@@ -1,0 +1,61 @@
+//! Engine throughput: analytic gate evaluations per second versus
+//! channel count, plus the raw LLG solver step cost that dominates the
+//! micromagnetic validation path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use magnon_core::gate::ParallelGateBuilder;
+use magnon_core::word::Word;
+use magnon_micromag::field::{Exchange, LocalDemag, UniaxialAnisotropy};
+use magnon_micromag::mesh::Mesh;
+use magnon_micromag::solver::LlgSolver;
+use magnon_micromag::stability::suggested_time_step;
+use magnon_physics::material::Material;
+use magnon_physics::waveguide::Waveguide;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(30);
+
+    let guide = Waveguide::paper_default().expect("waveguide");
+    for n in [2usize, 4, 8, 16] {
+        let gate = ParallelGateBuilder::new(guide)
+            .channels(n)
+            .inputs(3)
+            .frequency_step(5.0e9)
+            .build()
+            .expect("gate");
+        let words = vec![Word::zeros(n).expect("word"); 3];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("evaluate_{n}_channels"), |b| {
+            b.iter(|| gate.evaluate(black_box(&words)).expect("evaluate"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("llg_solver");
+    group.sample_size(20);
+    let material = Material::fe_co_b();
+    for cells in [250usize, 500, 1000] {
+        let mesh = Mesh::line(cells as f64 * 2.0e-9, 2.0e-9, 50.0e-9, 1.0e-9).expect("mesh");
+        let dt = suggested_time_step(&mesh, &material);
+        let mut solver = LlgSolver::new(mesh, material).expect("solver");
+        solver.add_field_term(Box::new(Exchange::new(&material)));
+        solver.add_field_term(Box::new(
+            UniaxialAnisotropy::perpendicular(&material).expect("anisotropy"),
+        ));
+        solver.add_field_term(Box::new(
+            LocalDemag::out_of_plane(&material, 1.0).expect("demag"),
+        ));
+        group.throughput(Throughput::Elements(cells as u64));
+        group.bench_function(format!("rk4_step_{cells}_cells"), |b| {
+            b.iter(|| {
+                solver.step(black_box(dt));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

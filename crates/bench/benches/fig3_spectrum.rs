@@ -1,0 +1,67 @@
+//! FIG3 bench: the spectral-analysis kernel of Figure 3 — windowed FFT
+//! of a detector record plus crosstalk scoring — and the analytic gate
+//! evaluation that predicts each combination's response.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use magnon_bench::{batched_combo_words, byte_majority_gate};
+use magnon_core::crosstalk::CrosstalkReport;
+use magnon_math::spectrum::TimeSeries;
+use magnon_math::window::Window;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn detector_record(samples: usize) -> TimeSeries {
+    let dt = 1.0e-12;
+    let freqs: Vec<f64> = (1..=8).map(|i| i as f64 * 10.0e9).collect();
+    let data: Vec<f64> = (0..samples)
+        .map(|i| {
+            let t = i as f64 * dt;
+            freqs
+                .iter()
+                .enumerate()
+                .map(|(k, &f)| (1.0 / (k + 1) as f64) * (2.0 * PI * f * t).sin())
+                .sum()
+        })
+        .collect();
+    TimeSeries::new(dt, data).expect("valid series")
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+
+    let record = detector_record(16384);
+    let freqs: Vec<f64> = (1..=8).map(|i| i as f64 * 10.0e9).collect();
+
+    group.bench_function("spectrum_16k", |b| {
+        b.iter(|| black_box(&record).spectrum(Window::Hann).expect("spectrum"))
+    });
+
+    let spectrum = record.spectrum(Window::Hann).expect("spectrum");
+    group.bench_function("crosstalk_report", |b| {
+        b.iter(|| CrosstalkReport::analyze(black_box(&spectrum), &freqs, 2.0e9).expect("report"))
+    });
+
+    group.bench_function("goertzel_8_channels", |b| {
+        b.iter(|| {
+            for &f in &freqs {
+                black_box(record.goertzel(f).expect("tone"));
+            }
+        })
+    });
+
+    let gate = byte_majority_gate().expect("gate");
+    let words = batched_combo_words(3, 8).expect("words");
+    group.bench_function("analytic_byte_evaluate", |b| {
+        b.iter_batched(
+            || words.clone(),
+            |w| gate.evaluate(black_box(&w)).expect("evaluate"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

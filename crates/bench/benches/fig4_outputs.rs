@@ -1,0 +1,57 @@
+//! FIG4 bench: band-pass reconstruction of the per-channel output
+//! traces (the paper's Matlab post-processing of Fig. 4) across all
+//! eight channels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magnon_math::spectrum::TimeSeries;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn detector_record(samples: usize) -> TimeSeries {
+    let dt = 1.0e-12;
+    let data: Vec<f64> = (0..samples)
+        .map(|i| {
+            let t = i as f64 * dt;
+            (1..=8)
+                .map(|k| (2.0 * PI * k as f64 * 10.0e9 * t + 0.3 * k as f64).sin())
+                .sum()
+        })
+        .collect();
+    TimeSeries::new(dt, data).expect("valid series")
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(20);
+
+    for samples in [4096usize, 16384] {
+        let record = detector_record(samples);
+        group.bench_function(format!("band_pass_8_channels_{samples}"), |b| {
+            b.iter(|| {
+                for k in 1..=8 {
+                    let f = k as f64 * 10.0e9;
+                    black_box(
+                        black_box(&record)
+                            .band_pass(f, 4.0e9)
+                            .expect("band pass"),
+                    );
+                }
+            })
+        });
+    }
+
+    let record = detector_record(16384);
+    group.bench_function("phase_decode_8_channels", |b| {
+        b.iter(|| {
+            for k in 1..=8 {
+                let f = k as f64 * 10.0e9;
+                black_box(record.phase_at(f).expect("phase"));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! SCALE bench: the scalability sweep of §V — channel allocation,
+//! layout solving and equalising-schedule computation across channel
+//! counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magnon_core::scalability::scalability_sweep;
+use magnon_physics::waveguide::Waveguide;
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(20);
+
+    let guide = Waveguide::paper_default().expect("waveguide");
+    for counts in [vec![2usize, 4], vec![2usize, 4, 8], vec![2usize, 4, 8, 12, 16]] {
+        let label = format!("sweep_to_{}", counts.last().expect("non-empty"));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                scalability_sweep(black_box(&guide), 3, &counts, 10.0e9, 5.0e9).expect("sweep")
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

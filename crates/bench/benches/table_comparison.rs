@@ -1,0 +1,42 @@
+//! TAB-AREA bench: the full cost-comparison pipeline — building the
+//! byte-wide gate (channel allocation + in-line layout solving) and the
+//! scalar/serialized equivalents, then computing the §V.B table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magnon_bench::byte_majority_gate;
+use magnon_core::gate::ParallelGateBuilder;
+use magnon_cost::{CostModel, Transducer};
+use magnon_physics::waveguide::Waveguide;
+use std::hint::black_box;
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_comparison");
+    group.sample_size(20);
+
+    group.bench_function("build_byte_gate", |b| {
+        b.iter(|| byte_majority_gate().expect("gate"))
+    });
+
+    let gate = byte_majority_gate().expect("gate");
+    let model = CostModel::new(Transducer::paper_default());
+    group.bench_function("compare_three_styles", |b| {
+        b.iter(|| model.compare(black_box(&gate)).expect("comparison"))
+    });
+
+    let guide = Waveguide::paper_default().expect("waveguide");
+    group.bench_function("layout_solve_16_channels", |b| {
+        b.iter(|| {
+            ParallelGateBuilder::new(guide)
+                .channels(16)
+                .inputs(3)
+                .frequency_step(5.0e9)
+                .build()
+                .expect("gate")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! WIDTH bench: the waveguide-width study of §V — Aharoni demagnetizing
+//! factors, FMR and dispersion inversion across widths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magnon_math::constants::{GHZ, NM};
+use magnon_physics::dispersion::DispersionRelation;
+use magnon_physics::waveguide::Waveguide;
+use std::hint::black_box;
+
+fn bench_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("width");
+    group.sample_size(30);
+
+    let base = Waveguide::paper_default().expect("waveguide");
+    let widths: Vec<f64> = (1..=10).map(|i| i as f64 * 50.0 * NM).collect();
+
+    group.bench_function("fmr_sweep_10_widths", |b| {
+        b.iter(|| {
+            for &w in &widths {
+                let guide = base.with_width(w).expect("waveguide");
+                black_box(guide.fmr_frequency().expect("fmr"));
+            }
+        })
+    });
+
+    group.bench_function("wavelength_table_per_width", |b| {
+        b.iter(|| {
+            for &w in &widths {
+                let disp = base
+                    .with_width(w)
+                    .expect("waveguide")
+                    .exchange_dispersion()
+                    .expect("dispersion");
+                for i in 1..=8 {
+                    black_box(disp.wavelength(i as f64 * 10.0 * GHZ).expect("wavelength"));
+                }
+            }
+        })
+    });
+
+    group.bench_function("kalinikos_slavin_inversion", |b| {
+        let disp = base.kalinikos_slavin_dispersion().expect("dispersion");
+        b.iter(|| {
+            for i in 1..=8 {
+                black_box(disp.wavelength(i as f64 * 10.0 * GHZ).expect("wavelength"));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_width);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! TAB-AREA — reproduces the paper's §V.B comparison: the byte-wide
+//! 3-input majority gate vs eight scalar gates vs one serialized gate.
+//!
+//! The paper reports 0.116 µm² (scalar ×8) vs 0.0279 µm² (parallel):
+//! a 4.16x area reduction at equal delay and energy. Absolute areas
+//! depend on the dispersion model (see DESIGN.md §2); the ratio and the
+//! delay/energy parity are the reproduction targets.
+//!
+//! Usage: `cargo run --release -p magnon-bench --bin repro_table_comparison`
+
+use magnon_bench::{byte_majority_gate, fmt_sci, results_dir, write_csv};
+use magnon_cost::{CostModel, Transducer};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let gate = byte_majority_gate()?;
+    let model = CostModel::new(Transducer::paper_default());
+    let cmp = model.compare(&gate)?;
+
+    println!("TAB-AREA: 8-bit 3-input majority — implementation comparison");
+    println!("(paper: scalar 0.116 um^2, parallel 0.0279 um^2, ratio 4.16x, delay/energy parity)\n");
+    println!("{cmp}");
+
+    let d = gate.layout().spacings();
+    println!("\nsame-frequency source spacings d_1..d_8 (nm), cf. paper's 166/100/117/165/174/130/168/176:");
+    let spacings: Vec<String> = d.iter().map(|x| format!("{:.0}", x * 1e9)).collect();
+    println!("  [{}]", spacings.join(", "));
+
+    let rows = vec![
+        vec![
+            "parallel".to_string(),
+            fmt_sci(cmp.parallel.area_um2()),
+            fmt_sci(cmp.parallel.delay_ns()),
+            fmt_sci(cmp.parallel.energy_aj()),
+            cmp.parallel.transducers.to_string(),
+        ],
+        vec![
+            "scalar_x8".to_string(),
+            fmt_sci(cmp.scalar.area_um2()),
+            fmt_sci(cmp.scalar.delay_ns()),
+            fmt_sci(cmp.scalar.energy_aj()),
+            cmp.scalar.transducers.to_string(),
+        ],
+        vec![
+            "serialized".to_string(),
+            fmt_sci(cmp.serialized.area_um2()),
+            fmt_sci(cmp.serialized.delay_ns()),
+            fmt_sci(cmp.serialized.energy_aj()),
+            cmp.serialized.transducers.to_string(),
+        ],
+        vec![
+            "ratio_scalar_over_parallel".to_string(),
+            fmt_sci(cmp.area_ratio()),
+            fmt_sci(cmp.delay_ratio()),
+            fmt_sci(cmp.energy_ratio()),
+            String::new(),
+        ],
+    ];
+    let dir = results_dir();
+    write_csv(
+        &dir.join("table_comparison.csv"),
+        &["implementation", "area_um2", "delay_ns", "energy_aj", "transducers"],
+        &rows,
+    )?;
+    println!("\nwrote {}/table_comparison.csv", dir.display());
+
+    let ok = cmp.area_ratio() > 2.0
+        && (cmp.energy_ratio() - 1.0).abs() < 1e-9
+        && (cmp.delay_ratio() - 1.0).abs() < 0.3;
+    println!(
+        "TAB-AREA {}",
+        if ok {
+            "PASS: multi-x area reduction at delay/energy parity (paper shape preserved)"
+        } else {
+            "FAIL"
+        }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+    Ok(())
+}

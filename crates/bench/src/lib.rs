@@ -1,0 +1,207 @@
+//! Shared harness for the experiment-reproduction binaries and the
+//! criterion benches.
+//!
+//! Every table and figure of the paper has a `repro_*` binary here (see
+//! `src/bin/`) that prints the paper-style rows and writes CSV into
+//! `results/`:
+//!
+//! | Experiment | Binary | Paper artifact |
+//! |-----------|--------|----------------|
+//! | FIG3 | `repro_fig3` | Fig. 3 — detector spectrum + time response |
+//! | FIG4 | `repro_fig4` | Fig. 4 — per-channel output traces |
+//! | TAB-AREA | `repro_table_comparison` | §V.B area/delay/energy |
+//! | SCALE | `repro_scalability` | §V scalability discussion |
+//! | WIDTH | `repro_width` | §V waveguide width variation |
+//!
+//! Run with `REPRO_FAST=1` to shrink the micromagnetic workloads (fewer
+//! channels, shorter runs) for smoke testing.
+
+use magnon_core::gate::{ParallelGate, ParallelGateBuilder};
+use magnon_core::truth::LogicFunction;
+use magnon_core::word::Word;
+use magnon_core::GateError;
+use magnon_physics::waveguide::Waveguide;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Builds the paper's byte-wide 3-input majority gate (8 channels at
+/// 10–80 GHz on the 50 nm × 1 nm FeCoB waveguide).
+///
+/// # Errors
+///
+/// Propagates gate construction errors.
+pub fn byte_majority_gate() -> Result<ParallelGate, GateError> {
+    let guide = Waveguide::paper_default()?;
+    ParallelGateBuilder::new(guide)
+        .channels(8)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .build()
+}
+
+/// Builds a reduced gate for fast smoke runs (`REPRO_FAST=1`):
+/// 3 channels at 10/20/30 GHz.
+///
+/// # Errors
+///
+/// Propagates gate construction errors.
+pub fn fast_majority_gate() -> Result<ParallelGate, GateError> {
+    let guide = Waveguide::paper_default()?;
+    ParallelGateBuilder::new(guide)
+        .channels(3)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .build()
+}
+
+/// `true` when `REPRO_FAST` is set in the environment.
+pub fn fast_mode() -> bool {
+    std::env::var("REPRO_FAST").map(|v| v != "0").unwrap_or(false)
+}
+
+/// The gate appropriate for the current mode.
+///
+/// # Errors
+///
+/// Propagates gate construction errors.
+pub fn experiment_gate() -> Result<ParallelGate, GateError> {
+    if fast_mode() {
+        fast_majority_gate()
+    } else {
+        byte_majority_gate()
+    }
+}
+
+/// Input words that apply the 3-input combination `combo` (bit `j` =
+/// input `j`) identically on every channel — the paper's Fig. 3/4 runs.
+///
+/// # Errors
+///
+/// Propagates word construction errors.
+pub fn combo_words(combo: usize, input_count: usize, width: usize) -> Result<Vec<Word>, GateError> {
+    (0..input_count)
+        .map(|j| {
+            let bit = (combo >> j) & 1 == 1;
+            if bit {
+                Word::ones(width)
+            } else {
+                Word::zeros(width)
+            }
+        })
+        .collect()
+}
+
+/// Input words that put combination `(c mod 2^m)` on channel `c` — the
+/// batched truth-table layout (all combinations in one evaluation when
+/// `width = 2^m`).
+///
+/// # Errors
+///
+/// Propagates word construction errors.
+pub fn batched_combo_words(input_count: usize, width: usize) -> Result<Vec<Word>, GateError> {
+    let combos = 1usize << input_count;
+    let mut words = vec![Word::zeros(width)?; input_count];
+    for c in 0..width {
+        let combo = c % combos;
+        for (j, w) in words.iter_mut().enumerate() {
+            *w = w.with_bit(c, (combo >> j) & 1 == 1)?;
+        }
+    }
+    Ok(words)
+}
+
+/// The `results/` directory (created on demand) next to the workspace
+/// root, or the current directory as a fallback.
+pub fn results_dir() -> PathBuf {
+    let candidates = [Path::new("results"), Path::new("../results"), Path::new("../../results")];
+    for c in candidates {
+        if c.parent().map(|p| p.as_os_str().is_empty() || p.exists()).unwrap_or(true) {
+            let _ = fs::create_dir_all(c);
+            if c.exists() {
+                return c.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Writes a CSV file with a header row.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a floating-point value for CSV output.
+pub fn fmt_sci(v: f64) -> String {
+    format!("{v:.6e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_gate_builds() {
+        let gate = byte_majority_gate().unwrap();
+        assert_eq!(gate.word_width(), 8);
+        assert_eq!(gate.input_count(), 3);
+    }
+
+    #[test]
+    fn combo_words_encode_combination() {
+        let words = combo_words(0b101, 3, 8).unwrap();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0], Word::ones(8).unwrap());
+        assert_eq!(words[1], Word::zeros(8).unwrap());
+        assert_eq!(words[2], Word::ones(8).unwrap());
+    }
+
+    #[test]
+    fn batched_words_cover_all_combos() {
+        let words = batched_combo_words(3, 8).unwrap();
+        // Channel c carries combo c: reconstruct and check.
+        for c in 0..8 {
+            let combo = (0..3).fold(0usize, |acc, j| {
+                acc | ((words[j].bit(c).unwrap() as usize) << j)
+            });
+            assert_eq!(combo, c);
+        }
+    }
+
+    #[test]
+    fn batched_evaluation_matches_per_combo() {
+        let gate = fast_majority_gate().unwrap();
+        let n = gate.word_width();
+        let batched = batched_combo_words(3, n).unwrap();
+        let out = gate.evaluate(&batched).unwrap();
+        for c in 0..n {
+            let combo = c % 8;
+            let per = combo_words(combo, 3, n).unwrap();
+            let single = gate.evaluate(&per).unwrap();
+            assert_eq!(out.word().bit(c).unwrap(), single.word().bit(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("magnon_bench_test.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("a,b\n1,2"));
+        let _ = std::fs::remove_file(path);
+    }
+}

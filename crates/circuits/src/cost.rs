@@ -1,0 +1,177 @@
+//! Circuit-level cost roll-up.
+//!
+//! Extends the paper's single-gate comparison to whole circuits: a
+//! data-parallel circuit instantiates each gate **once** regardless of
+//! the word width, while the conventional realisation replicates every
+//! gate per data set.
+
+use crate::netlist::Circuit;
+use magnon_core::gate::{ParallelGate, ParallelGateBuilder};
+use magnon_core::truth::LogicFunction;
+use magnon_core::GateError;
+use magnon_cost::{CostModel, Transducer};
+use magnon_physics::waveguide::Waveguide;
+
+/// Area/energy totals of one circuit implementation style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitCost {
+    /// Total area in m².
+    pub area: f64,
+    /// Total energy per (parallel) evaluation in J.
+    pub energy: f64,
+    /// Total transducer count.
+    pub transducers: usize,
+}
+
+/// Circuit-level comparison: parallel vs replicated-scalar realisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitComparison {
+    /// Word width (data sets processed per evaluation).
+    pub word_width: usize,
+    /// Data-parallel realisation.
+    pub parallel: CircuitCost,
+    /// Scalar realisation replicated per data set.
+    pub scalar: CircuitCost,
+}
+
+impl CircuitComparison {
+    /// Area advantage `scalar / parallel`.
+    pub fn area_ratio(&self) -> f64 {
+        self.scalar.area / self.parallel.area
+    }
+}
+
+/// Estimates circuit costs for `circuit` realised on `waveguide` with
+/// `transducer` technology.
+///
+/// Representative gates (one n-channel MAJ-3, one n-channel XOR-2 and
+/// their scalar counterparts) are synthesised once and their areas
+/// multiplied by the gate counts. Inversions are free (readout
+/// placement).
+///
+/// # Errors
+///
+/// Propagates gate construction errors.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_circuits::adder::RippleCarryAdder;
+/// use magnon_circuits::cost::estimate_circuit;
+/// use magnon_cost::Transducer;
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let adder = RippleCarryAdder::new(8, 8)?;
+/// let cmp = estimate_circuit(
+///     adder.circuit(),
+///     &Waveguide::paper_default()?,
+///     Transducer::paper_default(),
+/// )?;
+/// assert!(cmp.area_ratio() > 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_circuit(
+    circuit: &Circuit,
+    waveguide: &Waveguide,
+    transducer: Transducer,
+) -> Result<CircuitComparison, GateError> {
+    let n = circuit.width();
+    let counts = circuit.gate_counts();
+    let model = CostModel::new(transducer);
+
+    let build = |function: LogicFunction, inputs: usize| -> Result<ParallelGate, GateError> {
+        ParallelGateBuilder::new(*waveguide)
+            .channels(n)
+            .inputs(inputs)
+            .function(function)
+            .build()
+    };
+
+    let mut parallel = CircuitCost { area: 0.0, energy: 0.0, transducers: 0 };
+    let mut scalar = CircuitCost { area: 0.0, energy: 0.0, transducers: 0 };
+
+    if counts.maj3 > 0 {
+        let gate = build(LogicFunction::Majority, 3)?;
+        let cmp = model.compare(&gate)?;
+        parallel.area += counts.maj3 as f64 * cmp.parallel.area;
+        parallel.energy += counts.maj3 as f64 * cmp.parallel.energy;
+        parallel.transducers += counts.maj3 * cmp.parallel.transducers;
+        scalar.area += counts.maj3 as f64 * cmp.scalar.area;
+        scalar.energy += counts.maj3 as f64 * cmp.scalar.energy;
+        scalar.transducers += counts.maj3 * cmp.scalar.transducers;
+    }
+    if counts.xor2 > 0 {
+        let gate = build(LogicFunction::Xor, 2)?;
+        let cmp = model.compare(&gate)?;
+        parallel.area += counts.xor2 as f64 * cmp.parallel.area;
+        parallel.energy += counts.xor2 as f64 * cmp.parallel.energy;
+        parallel.transducers += counts.xor2 * cmp.parallel.transducers;
+        scalar.area += counts.xor2 as f64 * cmp.scalar.area;
+        scalar.energy += counts.xor2 as f64 * cmp.scalar.energy;
+        scalar.transducers += counts.xor2 * cmp.scalar.transducers;
+    }
+
+    Ok(CircuitComparison { word_width: n, parallel, scalar })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::RippleCarryAdder;
+    use crate::parity::ParityTree;
+
+    #[test]
+    fn adder_parallel_beats_scalar_in_area() {
+        let adder = RippleCarryAdder::new(8, 8).unwrap();
+        let cmp = estimate_circuit(
+            adder.circuit(),
+            &Waveguide::paper_default().unwrap(),
+            Transducer::paper_default(),
+        )
+        .unwrap();
+        assert!(cmp.area_ratio() > 2.0, "ratio = {}", cmp.area_ratio());
+        // Energy parity: same transducer events in both styles.
+        assert!((cmp.parallel.energy - cmp.scalar.energy).abs() / cmp.scalar.energy < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_costs_nothing() {
+        let c = Circuit::new(8).unwrap();
+        let cmp = estimate_circuit(
+            &c,
+            &Waveguide::paper_default().unwrap(),
+            Transducer::paper_default(),
+        )
+        .unwrap();
+        assert_eq!(cmp.parallel.area, 0.0);
+        assert_eq!(cmp.parallel.transducers, 0);
+    }
+
+    #[test]
+    fn parity_uses_only_xor_gates() {
+        let p = ParityTree::new(8, 8).unwrap();
+        let cmp = estimate_circuit(
+            p.circuit(),
+            &Waveguide::paper_default().unwrap(),
+            Transducer::paper_default(),
+        )
+        .unwrap();
+        // 7 XOR gates × 3 transducers each, parallel realisation keeps
+        // n channels per gate: transducers = 7 × n(m+1) = 7 × 8 × 3.
+        assert_eq!(cmp.parallel.transducers, 7 * 8 * 3);
+        assert!(cmp.area_ratio() > 2.0);
+    }
+
+    #[test]
+    fn wider_words_bigger_advantage() {
+        let a4 = RippleCarryAdder::new(4, 4).unwrap();
+        let a8 = RippleCarryAdder::new(4, 8).unwrap();
+        let g = Waveguide::paper_default().unwrap();
+        let t = Transducer::paper_default();
+        let c4 = estimate_circuit(a4.circuit(), &g, t).unwrap();
+        let c8 = estimate_circuit(a8.circuit(), &g, t).unwrap();
+        assert!(c8.area_ratio() > c4.area_ratio());
+    }
+}

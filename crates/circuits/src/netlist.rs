@@ -1,0 +1,382 @@
+//! Word-level netlists of data-parallel gates.
+
+use magnon_core::word::Word;
+use magnon_core::GateError;
+
+/// Handle to a node in a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// A circuit node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Node {
+    /// External input with its operand index.
+    Input(usize),
+    /// A constant word.
+    Constant(Word),
+    /// 3-input majority (one data-parallel MAJ gate).
+    Maj3(NodeId, NodeId, NodeId),
+    /// 2-input XOR (one data-parallel XOR gate).
+    Xor2(NodeId, NodeId),
+    /// Complement — free in hardware via inverted readout (paper §III),
+    /// so it is not counted as a gate.
+    Not(NodeId),
+}
+
+/// Gate-type counts of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    /// Number of 3-input majority gates.
+    pub maj3: usize,
+    /// Number of 2-input XOR gates.
+    pub xor2: usize,
+    /// Number of inversions (free: realised by detector placement).
+    pub not: usize,
+}
+
+impl GateCounts {
+    /// Total transducer count: `4` per MAJ-3 (3 sources + 1 detector),
+    /// `3` per XOR-2; inversions reuse their gate's detector.
+    pub fn transducers(&self) -> usize {
+        4 * self.maj3 + 3 * self.xor2
+    }
+}
+
+/// A feed-forward circuit over `n`-bit words.
+///
+/// Nodes may only reference earlier nodes, so evaluation is a single
+/// forward pass.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_circuits::netlist::Circuit;
+/// use magnon_core::word::Word;
+///
+/// # fn main() -> Result<(), magnon_core::GateError> {
+/// let mut c = Circuit::new(8)?;
+/// let a = c.input();
+/// let b = c.input();
+/// let x = c.xor2(a, b)?;
+/// c.mark_output(x)?;
+/// let out = c.evaluate(&[Word::from_u8(0xF0), Word::from_u8(0xAA)])?;
+/// assert_eq!(out[0].to_u8(), 0x5A);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    width: usize,
+    nodes: Vec<Node>,
+    input_count: usize,
+    outputs: Vec<NodeId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over words of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for widths outside
+    /// `1..=64`.
+    pub fn new(width: usize) -> Result<Self, GateError> {
+        Word::zeros(width)?; // reuse word-width validation
+        Ok(Circuit { width, nodes: Vec::new(), input_count: 0, outputs: Vec::new() })
+    }
+
+    /// Word width carried by every wire.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of external inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// The output nodes in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Adds an external input and returns its node.
+    pub fn input(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Input(self.input_count));
+        self.input_count += 1;
+        id
+    }
+
+    /// Adds a constant word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::WordWidthMismatch`] when the constant's
+    /// width differs from the circuit's.
+    pub fn constant(&mut self, word: Word) -> Result<NodeId, GateError> {
+        if word.width() != self.width {
+            return Err(GateError::WordWidthMismatch {
+                expected: self.width,
+                actual: word.width(),
+            });
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Constant(word));
+        Ok(id)
+    }
+
+    fn check(&self, id: NodeId) -> Result<(), GateError> {
+        if id.0 >= self.nodes.len() {
+            return Err(GateError::InvalidParameter { parameter: "node_id", value: id.0 as f64 });
+        }
+        Ok(())
+    }
+
+    /// Adds a 3-input majority gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for dangling operands.
+    pub fn maj3(&mut self, a: NodeId, b: NodeId, c: NodeId) -> Result<NodeId, GateError> {
+        self.check(a)?;
+        self.check(b)?;
+        self.check(c)?;
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Maj3(a, b, c));
+        Ok(id)
+    }
+
+    /// Adds a 2-input XOR gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for dangling operands.
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GateError> {
+        self.check(a)?;
+        self.check(b)?;
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Xor2(a, b));
+        Ok(id)
+    }
+
+    /// Adds an inversion (free: inverted readout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for a dangling operand.
+    pub fn not(&mut self, a: NodeId) -> Result<NodeId, GateError> {
+        self.check(a)?;
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Not(a));
+        Ok(id)
+    }
+
+    /// AND via majority with a constant-0 input: `AND(a,b) = MAJ(a,b,0)`
+    /// — the standard majority-logic construction (paper §I cites
+    /// (N)AND/(N)OR gates built this way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation.
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GateError> {
+        let zero = self.constant(Word::zeros(self.width)?)?;
+        self.maj3(a, b, zero)
+    }
+
+    /// OR via majority with a constant-1 input: `OR(a,b) = MAJ(a,b,1)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation.
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GateError> {
+        let one = self.constant(Word::ones(self.width)?)?;
+        self.maj3(a, b, one)
+    }
+
+    /// Marks a node as a circuit output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for a dangling node.
+    pub fn mark_output(&mut self, id: NodeId) -> Result<(), GateError> {
+        self.check(id)?;
+        self.outputs.push(id);
+        Ok(())
+    }
+
+    /// Counts gates by type.
+    pub fn gate_counts(&self) -> GateCounts {
+        let mut counts = GateCounts::default();
+        for node in &self.nodes {
+            match node {
+                Node::Maj3(..) => counts.maj3 += 1,
+                Node::Xor2(..) => counts.xor2 += 1,
+                Node::Not(..) => counts.not += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Evaluates the circuit on `input_count` words, returning one word
+    /// per marked output.
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InputCountMismatch`] for the wrong operand count.
+    /// * [`GateError::WordWidthMismatch`] for mis-sized operands.
+    pub fn evaluate(&self, inputs: &[Word]) -> Result<Vec<Word>, GateError> {
+        if inputs.len() != self.input_count {
+            return Err(GateError::InputCountMismatch {
+                expected: self.input_count,
+                actual: inputs.len(),
+            });
+        }
+        for w in inputs {
+            if w.width() != self.width {
+                return Err(GateError::WordWidthMismatch {
+                    expected: self.width,
+                    actual: w.width(),
+                });
+            }
+        }
+        let mut values: Vec<Word> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match *node {
+                Node::Input(k) => inputs[k],
+                Node::Constant(w) => w,
+                Node::Maj3(a, b, c) => {
+                    let (a, b, c) = (values[a.0], values[b.0], values[c.0]);
+                    Word::from_bits(
+                        (a.bits() & b.bits()) | (a.bits() & c.bits()) | (b.bits() & c.bits()),
+                        self.width,
+                    )?
+                }
+                Node::Xor2(a, b) => {
+                    Word::from_bits(values[a.0].bits() ^ values[b.0].bits(), self.width)?
+                }
+                Node::Not(a) => values[a.0].not(),
+            };
+            values.push(v);
+        }
+        Ok(self.outputs.iter().map(|id| values[id.0]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_evaluates_to_nothing() {
+        let c = Circuit::new(8).unwrap();
+        assert!(c.evaluate(&[]).unwrap().is_empty());
+        assert!(Circuit::new(0).is_err());
+    }
+
+    #[test]
+    fn maj_gate_identity() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let d = c.input();
+        let m = c.maj3(a, b, d).unwrap();
+        c.mark_output(m).unwrap();
+        let out = c
+            .evaluate(&[Word::from_u8(0x0F), Word::from_u8(0x33), Word::from_u8(0x55)])
+            .unwrap();
+        assert_eq!(out[0].to_u8(), 0x17);
+    }
+
+    #[test]
+    fn and_or_via_majority() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let and = c.and2(a, b).unwrap();
+        let or = c.or2(a, b).unwrap();
+        c.mark_output(and).unwrap();
+        c.mark_output(or).unwrap();
+        let out = c
+            .evaluate(&[Word::from_u8(0b1100), Word::from_u8(0b1010)])
+            .unwrap();
+        assert_eq!(out[0].to_u8(), 0b1000);
+        assert_eq!(out[1].to_u8(), 0b1110);
+    }
+
+    #[test]
+    fn not_is_free_and_correct() {
+        let mut c = Circuit::new(4).unwrap();
+        let a = c.input();
+        let n = c.not(a).unwrap();
+        c.mark_output(n).unwrap();
+        let out = c.evaluate(&[Word::from_bits(0b0110, 4).unwrap()]).unwrap();
+        assert_eq!(out[0].bits(), 0b1001);
+        assert_eq!(c.gate_counts().not, 1);
+        assert_eq!(c.gate_counts().transducers(), 0);
+    }
+
+    #[test]
+    fn gate_counts_and_transducers() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let x = c.xor2(a, b).unwrap();
+        let m = c.maj3(a, b, x).unwrap();
+        let _ = c.not(m).unwrap();
+        let counts = c.gate_counts();
+        assert_eq!(counts.maj3, 1);
+        assert_eq!(counts.xor2, 1);
+        assert_eq!(counts.not, 1);
+        assert_eq!(counts.transducers(), 7);
+    }
+
+    #[test]
+    fn dangling_references_rejected() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let bogus = NodeId(99);
+        assert!(c.maj3(a, a, bogus).is_err());
+        assert!(c.xor2(bogus, a).is_err());
+        assert!(c.not(bogus).is_err());
+        assert!(c.mark_output(bogus).is_err());
+    }
+
+    #[test]
+    fn operand_validation() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        c.mark_output(a).unwrap();
+        assert!(matches!(
+            c.evaluate(&[]),
+            Err(GateError::InputCountMismatch { .. })
+        ));
+        let narrow = Word::zeros(4).unwrap();
+        assert!(matches!(
+            c.evaluate(&[narrow]),
+            Err(GateError::WordWidthMismatch { .. })
+        ));
+        assert!(c.constant(narrow).is_err());
+    }
+
+    #[test]
+    fn parallelism_is_bitwise_independent() {
+        // Each channel (bit position) computes independently: evaluating
+        // all 8 MAJ combos at once matches per-bit evaluation.
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let d = c.input();
+        let m = c.maj3(a, b, d).unwrap();
+        c.mark_output(m).unwrap();
+        // Channel i carries combination i.
+        let a_w = Word::from_u8(0b10101010);
+        let b_w = Word::from_u8(0b11001100);
+        let d_w = Word::from_u8(0b11110000);
+        let out = c.evaluate(&[a_w, b_w, d_w]).unwrap()[0];
+        for i in 0..8 {
+            let expected = [false, false, false, true, false, true, true, true][i];
+            assert_eq!(out.bit(i).unwrap(), expected, "combo {i}");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Gate cascading: feeding one gate's output waves into a following
+//! gate without re-transduction.
+//!
+//! The paper (§III): the interference results "can be read by
+//! transducers placed at O₁…Oₙ **or passed to potential following SW
+//! gates**". This module models the second option analytically: the
+//! complex output amplitude of stage k becomes one input wave of stage
+//! k+1, accumulating further propagation decay. The key engineering
+//! question is *amplitude divergence*: a majority output wave has
+//! amplitude ≈ 1 or 3 sources depending on unanimity, so cascaded
+//! stages see input-amplitude spreads that eventually corrupt the vote
+//! — quantified by [`CascadeAnalysis`].
+
+use crate::channel::ChannelPlan;
+use crate::encoding::phase_of;
+use crate::error::GateError;
+use crate::inline::InlineLayout;
+use crate::truth::LogicFunction;
+use magnon_math::Complex64;
+
+/// One stage's per-channel complex output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOutput {
+    /// Complex wave amplitude per channel (units of one nominal source).
+    pub amplitudes: Vec<Complex64>,
+    /// Decoded logic per channel.
+    pub bits: Vec<bool>,
+}
+
+/// Analytic cascade of identical majority stages on one waveguide
+/// family.
+///
+/// Stage inputs: `fresh_inputs` waves are excited by transducers (clean
+/// amplitude 1, phase from the bit) and one input is the *wave* arriving
+/// from the previous stage (amplitude whatever it is).
+#[derive(Debug, Clone)]
+pub struct Cascade<'g> {
+    plan: &'g ChannelPlan,
+    layout: &'g InlineLayout,
+    /// Propagation distance between consecutive stages in metres
+    /// (integer wavelength multiples are enforced per channel at
+    /// construction).
+    stage_distance: Vec<f64>,
+}
+
+impl<'g> Cascade<'g> {
+    /// Creates a cascade over the geometry of an existing gate.
+    ///
+    /// `stage_gap_wavelengths` is the whole number of wavelengths
+    /// separating a stage's detector point from the next stage's
+    /// interference point, per channel (phase-preserving hand-off).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for a zero multiple or a
+    /// mismatched length.
+    pub fn new(
+        plan: &'g ChannelPlan,
+        layout: &'g InlineLayout,
+        stage_gap_wavelengths: &[usize],
+    ) -> Result<Self, GateError> {
+        if stage_gap_wavelengths.len() != plan.len() {
+            return Err(GateError::InputCountMismatch {
+                expected: plan.len(),
+                actual: stage_gap_wavelengths.len(),
+            });
+        }
+        if stage_gap_wavelengths.iter().any(|&g| g == 0) {
+            return Err(GateError::InvalidParameter {
+                parameter: "stage_gap_wavelengths",
+                value: 0.0,
+            });
+        }
+        let stage_distance = plan
+            .channels()
+            .iter()
+            .zip(stage_gap_wavelengths)
+            .map(|(c, &g)| g as f64 * c.wavelength)
+            .collect();
+        Ok(Cascade { plan, layout, stage_distance })
+    }
+
+    /// Evaluates one majority stage: `carried` is the wave arriving from
+    /// the previous stage (or `None` for the first stage, where all
+    /// inputs are fresh), `fresh_bits[j]` the transducer-driven inputs.
+    ///
+    /// Returns the stage's complex outputs at its detector plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InputCountMismatch`] when the fresh-input
+    /// count does not complete the gate's operand count.
+    pub fn stage(
+        &self,
+        carried: Option<&StageOutput>,
+        fresh_bits: &[Vec<bool>],
+    ) -> Result<StageOutput, GateError> {
+        let n = self.plan.len();
+        let m = self.layout.input_count();
+        let expected_fresh = if carried.is_some() { m - 1 } else { m };
+        if fresh_bits.len() != expected_fresh {
+            return Err(GateError::InputCountMismatch {
+                expected: expected_fresh,
+                actual: fresh_bits.len(),
+            });
+        }
+        for bits in fresh_bits {
+            if bits.len() != n {
+                return Err(GateError::WordWidthMismatch { expected: n, actual: bits.len() });
+            }
+        }
+        let mut amplitudes = Vec::with_capacity(n);
+        let mut bits = Vec::with_capacity(n);
+        for c in 0..n {
+            let ch = &self.plan.channels()[c];
+            let det = self.layout.detector_position(c)?;
+            let mut z = Complex64::ZERO;
+            // Fresh transducer inputs occupy the *last* operand slots;
+            // the carried wave takes slot 0 (farthest source site).
+            let slot_offset = if carried.is_some() { 1 } else { 0 };
+            for (idx, bits_j) in fresh_bits.iter().enumerate() {
+                let src = self.layout.source_position(c, idx + slot_offset)?;
+                let dx = det - src;
+                let decay = (-dx / ch.attenuation_length).exp();
+                z += Complex64::from_polar(decay, ch.wavenumber * dx + phase_of(bits_j[c]));
+            }
+            if let Some(prev) = carried {
+                // The carried wave travelled stage_distance from the
+                // previous detector plane to this stage's slot-0 site,
+                // then on to this detector.
+                let src = self.layout.source_position(c, 0)?;
+                let dx_inside = det - src;
+                let total = self.stage_distance[c] + dx_inside;
+                let decay = (-total / ch.attenuation_length).exp();
+                let phase = ch.wavenumber * total;
+                z += prev.amplitudes[c] * Complex64::from_polar(decay, phase);
+            }
+            bits.push(z.re < 0.0);
+            amplitudes.push(z);
+        }
+        Ok(StageOutput { amplitudes, bits })
+    }
+
+    /// Runs a chain of majority stages and reports amplitude statistics.
+    ///
+    /// Stage 0 consumes `first_stage_bits` (m operands); each later
+    /// stage consumes the carried wave plus `later_bits[k−1]` (m−1
+    /// operands each).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage evaluation errors.
+    pub fn run(
+        &self,
+        first_stage_bits: &[Vec<bool>],
+        later_bits: &[Vec<Vec<bool>>],
+    ) -> Result<CascadeAnalysis, GateError> {
+        let mut outputs = Vec::with_capacity(later_bits.len() + 1);
+        let first = self.stage(None, first_stage_bits)?;
+        outputs.push(first);
+        for fresh in later_bits {
+            let prev = outputs.last().expect("at least one stage");
+            let next = self.stage(Some(prev), fresh)?;
+            outputs.push(next);
+        }
+        Ok(CascadeAnalysis { outputs })
+    }
+
+    /// The logic function realised per stage (always majority here).
+    pub fn function(&self) -> LogicFunction {
+        LogicFunction::Majority
+    }
+}
+
+/// Amplitude/logic record of a cascade run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeAnalysis {
+    /// Per-stage outputs, stage 0 first.
+    pub outputs: Vec<StageOutput>,
+}
+
+impl CascadeAnalysis {
+    /// Number of stages evaluated.
+    pub fn depth(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Decoded bits of the final stage.
+    pub fn final_bits(&self) -> &[bool] {
+        &self.outputs.last().expect("non-empty cascade").bits
+    }
+
+    /// The worst (smallest) output amplitude across channels at each
+    /// stage — the signal-integrity budget of deep cascades.
+    pub fn min_amplitude_per_stage(&self) -> Vec<f64> {
+        self.outputs
+            .iter()
+            .map(|s| {
+                s.amplitudes
+                    .iter()
+                    .map(|z| z.abs())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelPlan, DispersionModel};
+    use crate::encoding::ReadoutMode;
+    use crate::inline::{InlineLayout, LayoutSpec};
+    use magnon_math::constants::GHZ;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn setup(n: usize) -> (ChannelPlan, InlineLayout) {
+        let guide = Waveguide::paper_default().unwrap();
+        let plan =
+            ChannelPlan::uniform(&guide, DispersionModel::Exchange, n, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        let layout = InlineLayout::solve(
+            &plan,
+            3,
+            LayoutSpec::default(),
+            &vec![ReadoutMode::Direct; n],
+        )
+        .unwrap();
+        (plan, layout)
+    }
+
+    #[test]
+    fn construction_validation() {
+        let (plan, layout) = setup(2);
+        assert!(Cascade::new(&plan, &layout, &[1]).is_err());
+        assert!(Cascade::new(&plan, &layout, &[1, 0]).is_err());
+        assert!(Cascade::new(&plan, &layout, &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn single_stage_matches_majority() {
+        let (plan, layout) = setup(2);
+        let cascade = Cascade::new(&plan, &layout, &[2, 2]).unwrap();
+        // Channel 0: (0,1,0) -> 0; channel 1: (1,1,0) -> 1.
+        let out = cascade
+            .stage(
+                None,
+                &[
+                    vec![false, true],
+                    vec![true, true],
+                    vec![false, false],
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.bits, vec![false, true]);
+    }
+
+    #[test]
+    fn carried_wave_votes_in_next_stage() {
+        let (plan, layout) = setup(2);
+        let cascade = Cascade::new(&plan, &layout, &[2, 2]).unwrap();
+        // Stage 1: unanimous ones -> strong logic-1 wave.
+        let s1 = cascade
+            .stage(None, &[vec![true; 2], vec![true; 2], vec![true; 2]])
+            .unwrap();
+        assert_eq!(s1.bits, vec![true, true]);
+        // Stage 2: carried 1-wave + fresh (1, 0): majority 1.
+        let s2 = cascade
+            .stage(Some(&s1), &[vec![true; 2], vec![false; 2]])
+            .unwrap();
+        assert_eq!(s2.bits, vec![true, true]);
+        // Stage 2': carried 1-wave + fresh (0, 0): majority 0 — the
+        // carried wave is outvoted even though it is 3 sources strong?
+        // No: a unanimous carried wave carries ~3x amplitude, so it CAN
+        // outvote two fresh zeros — the cascade fan-in hazard.
+        let s2b = cascade
+            .stage(Some(&s1), &[vec![false; 2], vec![false; 2]])
+            .unwrap();
+        assert_eq!(
+            s2b.bits,
+            vec![true, true],
+            "unanimous carried wave dominates two fresh inputs (fan-in hazard)"
+        );
+    }
+
+    #[test]
+    fn split_carried_wave_is_outvoted() {
+        let (plan, layout) = setup(2);
+        let cascade = Cascade::new(&plan, &layout, &[2, 2]).unwrap();
+        // Stage 1: 2-1 split -> weak logic-1 wave (~1 source).
+        let s1 = cascade
+            .stage(None, &[vec![true; 2], vec![true; 2], vec![false; 2]])
+            .unwrap();
+        assert_eq!(s1.bits, vec![true, true]);
+        // Weak carried 1 + two fresh zeros: zeros win.
+        let s2 = cascade
+            .stage(Some(&s1), &[vec![false; 2], vec![false; 2]])
+            .unwrap();
+        assert_eq!(s2.bits, vec![false, false]);
+    }
+
+    #[test]
+    fn run_reports_amplitude_decay() {
+        let (plan, layout) = setup(2);
+        let cascade = Cascade::new(&plan, &layout, &[3, 3]).unwrap();
+        let analysis = cascade
+            .run(
+                &[vec![true; 2], vec![true; 2], vec![true; 2]],
+                &[
+                    vec![vec![true; 2], vec![true; 2]],
+                    vec![vec![true; 2], vec![true; 2]],
+                ],
+            )
+            .unwrap();
+        assert_eq!(analysis.depth(), 3);
+        assert_eq!(analysis.final_bits(), &[true, true]);
+        let mins = analysis.min_amplitude_per_stage();
+        assert_eq!(mins.len(), 3);
+        assert!(mins.iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn operand_count_enforced() {
+        let (plan, layout) = setup(2);
+        let cascade = Cascade::new(&plan, &layout, &[2, 2]).unwrap();
+        assert!(cascade.stage(None, &[vec![true; 2]]).is_err());
+        let s1 = cascade
+            .stage(None, &[vec![true; 2], vec![true; 2], vec![true; 2]])
+            .unwrap();
+        assert!(cascade.stage(Some(&s1), &[vec![true; 2]]).is_err());
+        assert!(cascade
+            .stage(Some(&s1), &[vec![true; 2], vec![true, false, true]])
+            .is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Frequency-channel allocation.
+//!
+//! Each of the `n` parallel data sets rides on its own frequency. A
+//! [`ChannelPlan`] resolves those frequencies against a dispersion
+//! relation into wavelengths, wavenumbers, group velocities and
+//! attenuation lengths — everything the layout solver and the analytic
+//! engine need.
+
+use crate::error::GateError;
+use magnon_physics::damping::DampingModel;
+use magnon_physics::dispersion::{
+    DispersionRelation, ExchangeDispersion, KalinikosSlavinFvmsw,
+};
+use magnon_physics::waveguide::Waveguide;
+use serde::{Deserialize, Serialize};
+
+/// Which dispersion branch the gate designer uses.
+///
+/// `Exchange` matches the `magnon-micromag` simulator exactly (use it
+/// when validating micromagnetically); `KalinikosSlavin` is the paper's
+/// forward-volume branch with the thickness correction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispersionModel {
+    /// Local-demag exchange branch (simulator-exact).
+    #[default]
+    Exchange,
+    /// Kalinikos–Slavin forward-volume branch ("paper mode").
+    KalinikosSlavin,
+}
+
+/// A concrete dispersion instance built from a [`Waveguide`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dispersion {
+    /// Exchange branch.
+    Exchange(ExchangeDispersion),
+    /// Kalinikos–Slavin branch.
+    KalinikosSlavin(KalinikosSlavinFvmsw),
+}
+
+impl Dispersion {
+    /// Builds the selected branch for `waveguide`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`magnon_physics::PhysicsError`] construction failures
+    /// (e.g. in-plane material).
+    pub fn for_waveguide(
+        model: DispersionModel,
+        waveguide: &Waveguide,
+    ) -> Result<Self, GateError> {
+        Ok(match model {
+            DispersionModel::Exchange => Dispersion::Exchange(waveguide.exchange_dispersion()?),
+            DispersionModel::KalinikosSlavin => {
+                Dispersion::KalinikosSlavin(waveguide.kalinikos_slavin_dispersion()?)
+            }
+        })
+    }
+}
+
+impl DispersionRelation for Dispersion {
+    fn frequency(&self, k: f64) -> f64 {
+        match self {
+            Dispersion::Exchange(d) => d.frequency(k),
+            Dispersion::KalinikosSlavin(d) => d.frequency(k),
+        }
+    }
+
+    fn wavenumber(&self, frequency: f64) -> Result<f64, magnon_physics::PhysicsError> {
+        match self {
+            Dispersion::Exchange(d) => d.wavenumber(frequency),
+            Dispersion::KalinikosSlavin(d) => d.wavenumber(frequency),
+        }
+    }
+
+    fn group_velocity(&self, k: f64) -> f64 {
+        match self {
+            Dispersion::Exchange(d) => d.group_velocity(k),
+            Dispersion::KalinikosSlavin(d) => d.group_velocity(k),
+        }
+    }
+}
+
+/// One frequency channel with its resolved wave parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyChannel {
+    /// Channel index (bit position in data words).
+    pub index: usize,
+    /// Carrier frequency in Hz.
+    pub frequency: f64,
+    /// Wavelength in metres.
+    pub wavelength: f64,
+    /// Wavenumber in rad/m.
+    pub wavenumber: f64,
+    /// Group velocity in m/s.
+    pub group_velocity: f64,
+    /// Amplitude attenuation length in metres.
+    pub attenuation_length: f64,
+}
+
+/// The ordered set of frequency channels of a gate.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::channel::{ChannelPlan, DispersionModel};
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let guide = Waveguide::paper_default()?;
+/// let plan = ChannelPlan::uniform(&guide, DispersionModel::Exchange, 8, 10.0e9, 10.0e9)?;
+/// assert_eq!(plan.len(), 8);
+/// // Wavelength decreases with channel frequency.
+/// assert!(plan.channels()[0].wavelength > plan.channels()[7].wavelength);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPlan {
+    channels: Vec<FrequencyChannel>,
+    dispersion: Dispersion,
+    fmr: f64,
+}
+
+impl ChannelPlan {
+    /// Allocates `count` channels at `f_start, f_start + f_step, …` on
+    /// the chosen dispersion branch of `waveguide` (the paper: 8
+    /// channels, 10 GHz start, 10 GHz step).
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InvalidParameter`] for `count == 0` or
+    ///   non-positive frequencies.
+    /// * [`GateError::BadChannelFrequency`] when a channel falls at or
+    ///   below the waveguide's FMR.
+    pub fn uniform(
+        waveguide: &Waveguide,
+        model: DispersionModel,
+        count: usize,
+        f_start: f64,
+        f_step: f64,
+    ) -> Result<Self, GateError> {
+        if count == 0 {
+            return Err(GateError::InvalidParameter { parameter: "channel_count", value: 0.0 });
+        }
+        if !(f_start.is_finite() && f_start > 0.0) {
+            return Err(GateError::InvalidParameter { parameter: "f_start", value: f_start });
+        }
+        if !(f_step.is_finite() && f_step > 0.0) {
+            return Err(GateError::InvalidParameter { parameter: "f_step", value: f_step });
+        }
+        let freqs: Vec<f64> = (0..count).map(|i| f_start + i as f64 * f_step).collect();
+        ChannelPlan::from_frequencies(waveguide, model, &freqs)
+    }
+
+    /// Allocates channels at explicit frequencies (must be strictly
+    /// increasing).
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InvalidParameter`] for an empty list.
+    /// * [`GateError::BadChannelFrequency`] for non-increasing entries
+    ///   or frequencies at or below FMR.
+    pub fn from_frequencies(
+        waveguide: &Waveguide,
+        model: DispersionModel,
+        frequencies: &[f64],
+    ) -> Result<Self, GateError> {
+        if frequencies.is_empty() {
+            return Err(GateError::InvalidParameter { parameter: "channel_count", value: 0.0 });
+        }
+        let dispersion = Dispersion::for_waveguide(model, waveguide)?;
+        let fmr = dispersion.fmr_frequency();
+        let damping = DampingModel::new(waveguide.material().gilbert_damping())?;
+        let mut channels = Vec::with_capacity(frequencies.len());
+        let mut last = 0.0;
+        for (index, &frequency) in frequencies.iter().enumerate() {
+            if frequency <= last {
+                return Err(GateError::BadChannelFrequency {
+                    frequency,
+                    reason: "channel frequencies must be strictly increasing",
+                });
+            }
+            last = frequency;
+            if frequency <= fmr {
+                return Err(GateError::BadChannelFrequency {
+                    frequency,
+                    reason: "at or below the ferromagnetic resonance",
+                });
+            }
+            let wavenumber = dispersion.wavenumber(frequency)?;
+            channels.push(FrequencyChannel {
+                index,
+                frequency,
+                wavelength: 2.0 * std::f64::consts::PI / wavenumber,
+                wavenumber,
+                group_velocity: dispersion.group_velocity(wavenumber),
+                attenuation_length: damping.attenuation_length(&dispersion, frequency)?,
+            });
+        }
+        Ok(ChannelPlan { channels, dispersion, fmr })
+    }
+
+    /// The channels in index order.
+    pub fn channels(&self) -> &[FrequencyChannel] {
+        &self.channels
+    }
+
+    /// Number of channels (the gate's word width `n`).
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// `true` when the plan holds no channels (never for a constructed
+    /// plan).
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The dispersion the plan was built on.
+    pub fn dispersion(&self) -> &Dispersion {
+        &self.dispersion
+    }
+
+    /// FMR floor of the waveguide in Hz.
+    pub fn fmr_frequency(&self) -> f64 {
+        self.fmr
+    }
+
+    /// The channel frequencies in Hz.
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.channels.iter().map(|c| c.frequency).collect()
+    }
+
+    /// Shortest wavelength across channels (sets mesh resolution).
+    pub fn min_wavelength(&self) -> f64 {
+        self.channels
+            .iter()
+            .map(|c| c.wavelength)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Highest channel frequency in Hz (sets the sampling rate).
+    pub fn max_frequency(&self) -> f64 {
+        self.channels
+            .iter()
+            .map(|c| c.frequency)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::{GHZ, NM};
+
+    fn guide() -> Waveguide {
+        Waveguide::paper_default().unwrap()
+    }
+
+    #[test]
+    fn paper_plan_allocates_eight_channels() {
+        let plan =
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 8, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        assert_eq!(plan.len(), 8);
+        assert_eq!(plan.frequencies()[7], 80.0 * GHZ);
+        assert!(plan.min_wavelength() > 10.0 * NM);
+        assert_eq!(plan.max_frequency(), 80.0 * GHZ);
+    }
+
+    #[test]
+    fn wavelengths_strictly_decreasing() {
+        let plan =
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 8, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        for pair in plan.channels().windows(2) {
+            assert!(pair[0].wavelength > pair[1].wavelength);
+            assert!(pair[0].wavenumber < pair[1].wavenumber);
+        }
+    }
+
+    #[test]
+    fn channel_below_fmr_rejected() {
+        // FMR of the 50 nm guide is ~4.9 GHz; 1 GHz start must fail.
+        let e = ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 4, 1.0 * GHZ, 10.0 * GHZ);
+        assert!(matches!(e, Err(GateError::BadChannelFrequency { .. })));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 0, 10.0 * GHZ, 10.0 * GHZ)
+                .is_err()
+        );
+        assert!(
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 4, -1.0, 10.0 * GHZ).is_err()
+        );
+        assert!(
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 4, 10.0 * GHZ, 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn explicit_frequencies_must_increase() {
+        let e = ChannelPlan::from_frequencies(
+            &guide(),
+            DispersionModel::Exchange,
+            &[10.0 * GHZ, 10.0 * GHZ],
+        );
+        assert!(matches!(e, Err(GateError::BadChannelFrequency { .. })));
+        assert!(ChannelPlan::from_frequencies(&guide(), DispersionModel::Exchange, &[]).is_err());
+    }
+
+    #[test]
+    fn kalinikos_slavin_gives_longer_wavelengths() {
+        // At fixed f, the KS branch (higher ω at fixed k) yields smaller
+        // k, i.e. longer wavelengths, than the exchange branch.
+        let pe =
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 3, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        let pk = ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::KalinikosSlavin,
+            3,
+            10.0 * GHZ,
+            10.0 * GHZ,
+        )
+        .unwrap();
+        for (a, b) in pe.channels().iter().zip(pk.channels()) {
+            assert!(b.wavelength > a.wavelength);
+        }
+    }
+
+    #[test]
+    fn attenuation_lengths_positive_and_finite() {
+        let plan =
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 8, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        for c in plan.channels() {
+            assert!(c.attenuation_length.is_finite());
+            assert!(c.attenuation_length > 100.0 * NM);
+            assert!(c.group_velocity > 0.0);
+        }
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let plan =
+            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 5, 12.0 * GHZ, 7.0 * GHZ)
+                .unwrap();
+        for (i, c) in plan.channels().iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert!((c.frequency - (12.0 * GHZ + i as f64 * 7.0 * GHZ)).abs() < 1.0);
+        }
+    }
+}

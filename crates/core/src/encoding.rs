@@ -1,0 +1,176 @@
+//! Phase encoding of logic values and readout conventions.
+//!
+//! The paper (§II): logic `0` is a spin wave with phase 0, logic `1` a
+//! wave with phase π. The gate's output can be read **directly** (the
+//! detector sits an integer number of wavelengths from the last source)
+//! or **inverted** (an odd number of half wavelengths away), giving
+//! complemented outputs for free (§III).
+
+use std::f64::consts::PI;
+
+/// Drive phase of a logic value: 0 → 0 rad, 1 → π rad.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::encoding::phase_of;
+///
+/// assert_eq!(phase_of(false), 0.0);
+/// assert_eq!(phase_of(true), std::f64::consts::PI);
+/// ```
+#[inline]
+pub fn phase_of(bit: bool) -> f64 {
+    if bit {
+        PI
+    } else {
+        0.0
+    }
+}
+
+/// Decodes a phase (radians, any branch) into a logic value: phases
+/// within ±π/2 of 0 are logic `0`, the rest logic `1`.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::encoding::decode_phase;
+///
+/// assert!(!decode_phase(0.1));
+/// assert!(decode_phase(3.0));
+/// assert!(decode_phase(-3.0));
+/// assert!(!decode_phase(2.0 * std::f64::consts::PI - 0.1));
+/// ```
+#[inline]
+pub fn decode_phase(phase: f64) -> bool {
+    phase.cos() < 0.0
+}
+
+/// Wraps a phase to `(-π, π]`.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::encoding::wrap_phase;
+///
+/// assert!((wrap_phase(3.0 * std::f64::consts::PI) - std::f64::consts::PI).abs() < 1e-12);
+/// assert!(wrap_phase(0.5).abs() - 0.5 < 1e-12);
+/// ```
+pub fn wrap_phase(phase: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut p = phase % two_pi;
+    if p > PI {
+        p -= two_pi;
+    } else if p <= -PI {
+        p += two_pi;
+    }
+    p
+}
+
+/// How a channel's output detector is positioned (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadoutMode {
+    /// Detector an integer number of wavelengths from the last source:
+    /// reads the function value.
+    #[default]
+    Direct,
+    /// Detector an odd number of half wavelengths away: reads the
+    /// complemented value.
+    Inverted,
+}
+
+impl ReadoutMode {
+    /// The detector offset in units of the channel wavelength for the
+    /// `n`-th admissible position (`n = 0, 1, …`): `n+1` wavelengths for
+    /// direct readout, `(2n+1)/2` wavelengths for inverted readout.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_core::encoding::ReadoutMode;
+    ///
+    /// assert_eq!(ReadoutMode::Direct.offset_in_wavelengths(0), 1.0);
+    /// assert_eq!(ReadoutMode::Direct.offset_in_wavelengths(2), 3.0);
+    /// assert_eq!(ReadoutMode::Inverted.offset_in_wavelengths(0), 0.5);
+    /// assert_eq!(ReadoutMode::Inverted.offset_in_wavelengths(1), 1.5);
+    /// ```
+    pub fn offset_in_wavelengths(self, n: usize) -> f64 {
+        match self {
+            ReadoutMode::Direct => (n + 1) as f64,
+            ReadoutMode::Inverted => n as f64 + 0.5,
+        }
+    }
+
+    /// Applies the readout convention to a decoded direct-logic bit.
+    pub fn apply(self, direct_bit: bool) -> bool {
+        match self {
+            ReadoutMode::Direct => direct_bit,
+            ReadoutMode::Inverted => !direct_bit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_encoding_paper_convention() {
+        assert_eq!(phase_of(false), 0.0);
+        assert_eq!(phase_of(true), PI);
+    }
+
+    #[test]
+    fn decode_is_inverse_of_encode() {
+        assert!(!decode_phase(phase_of(false)));
+        assert!(decode_phase(phase_of(true)));
+    }
+
+    #[test]
+    fn decode_tolerates_noise() {
+        assert!(!decode_phase(0.4));
+        assert!(!decode_phase(-0.4));
+        assert!(decode_phase(PI - 0.4));
+        assert!(decode_phase(-PI + 0.4));
+    }
+
+    #[test]
+    fn decode_handles_any_branch() {
+        assert!(decode_phase(PI + 2.0 * PI * 5.0));
+        assert!(!decode_phase(-2.0 * PI * 3.0));
+    }
+
+    #[test]
+    fn wrap_phase_range() {
+        for p in [-10.0, -3.2, 0.0, 3.2, 10.0, 100.0] {
+            let w = wrap_phase(p);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "wrap({p}) = {w}");
+            // Same point on the circle.
+            assert!((w.cos() - p.cos()).abs() < 1e-9);
+            assert!((w.sin() - p.sin()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn direct_offsets_are_integer_wavelengths() {
+        for n in 0..5 {
+            let off = ReadoutMode::Direct.offset_in_wavelengths(n);
+            assert_eq!(off.fract(), 0.0);
+            assert!(off >= 1.0);
+        }
+    }
+
+    #[test]
+    fn inverted_offsets_are_half_odd() {
+        for n in 0..5 {
+            let off = ReadoutMode::Inverted.offset_in_wavelengths(n);
+            assert_eq!((off * 2.0) as u64 % 2, 1);
+        }
+    }
+
+    #[test]
+    fn apply_inverts() {
+        assert!(ReadoutMode::Direct.apply(true));
+        assert!(!ReadoutMode::Inverted.apply(true));
+        assert!(ReadoutMode::Inverted.apply(false));
+    }
+}

@@ -1,0 +1,250 @@
+//! Analytic wave-superposition engine.
+//!
+//! Evaluates a gate in O(sources) by summing complex wave amplitudes per
+//! channel at the detector:
+//!
+//! ```text
+//! z_c = Σ_j  A_{c,j} · e^{−Δx_{c,j}/L_c} · e^{i (k_c Δx_{c,j} + φ_j)}
+//! ```
+//!
+//! with `Δx` the source→detector distance, `L_c` the attenuation length
+//! and `φ_j ∈ {0, π}` the encoded input bit. Because the layout places
+//! same-channel sources an integer number of wavelengths apart, the
+//! geometric phases collapse and the interference is governed by the
+//! encoded bits exactly as in the paper's §II. The engine keeps the full
+//! `k_c Δx` term, so layout errors surface as wrong logic — the same
+//! failure mode a real device would show.
+
+use crate::channel::ChannelPlan;
+use crate::encoding::phase_of;
+use crate::inline::InlineLayout;
+use crate::truth::LogicFunction;
+use magnon_math::Complex64;
+
+/// Per-channel readout produced by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelReadout {
+    /// Channel index.
+    pub channel: usize,
+    /// Carrier frequency in Hz.
+    pub frequency: f64,
+    /// Interference amplitude at the detector (arbitrary units; 1.0 =
+    /// one un-attenuated source).
+    pub amplitude: f64,
+    /// Interference phase at the detector in radians.
+    pub phase: f64,
+    /// The decoded logic value.
+    pub logic: bool,
+}
+
+/// Evaluates one channel: complex superposition of all of the channel's
+/// sources observed at its detector.
+///
+/// `bits[j]` is input `j`'s logic value on this channel; `amplitudes[j]`
+/// the excitation amplitude of source `j` (1.0 nominal).
+pub(crate) fn superpose_channel(
+    plan: &ChannelPlan,
+    layout: &InlineLayout,
+    channel: usize,
+    bits: &[bool],
+    amplitudes: &[f64],
+) -> Complex64 {
+    let ch = &plan.channels()[channel];
+    let detector = layout
+        .detectors()
+        .iter()
+        .find(|d| d.channel == channel)
+        .expect("layout carries one detector per channel");
+    let mut z = Complex64::ZERO;
+    for src in layout.sources().iter().filter(|s| s.channel == channel) {
+        let dx = detector.position - src.position;
+        let decay = (-dx / ch.attenuation_length).exp();
+        let phase = ch.wavenumber * dx + phase_of(bits[src.input]);
+        z += Complex64::from_polar(amplitudes[src.input] * decay, phase);
+    }
+    z
+}
+
+/// Decodes the interference phasor of one channel into a logic value.
+///
+/// * Majority: the phase decides — `Re(z) < 0` means the π-phase camp
+///   won. Inverted readout is realised geometrically (the detector
+///   offset already flips the phase), so no software inversion happens
+///   here.
+/// * XOR: the amplitude decides — below half of the full constructive
+///   amplitude `reference` means cancellation, i.e. logic 1; inverted
+///   readout complements that decision (amplitude carries no geometric
+///   phase flip).
+pub(crate) fn decode_channel(
+    function: LogicFunction,
+    z: Complex64,
+    reference: f64,
+    inverted_amplitude_readout: bool,
+) -> bool {
+    match function {
+        LogicFunction::Majority => z.re < 0.0,
+        LogicFunction::Xor => {
+            let bit = z.abs() < 0.5 * reference;
+            if inverted_amplitude_readout {
+                !bit
+            } else {
+                bit
+            }
+        }
+    }
+}
+
+/// The full constructive-interference amplitude of a channel — all
+/// sources in phase — used as the XOR decision reference.
+pub(crate) fn constructive_reference(
+    plan: &ChannelPlan,
+    layout: &InlineLayout,
+    channel: usize,
+    amplitudes: &[f64],
+) -> f64 {
+    let ch = &plan.channels()[channel];
+    let detector = layout
+        .detectors()
+        .iter()
+        .find(|d| d.channel == channel)
+        .expect("layout carries one detector per channel");
+    layout
+        .sources()
+        .iter()
+        .filter(|s| s.channel == channel)
+        .map(|src| {
+            let dx = detector.position - src.position;
+            amplitudes[src.input] * (-dx / ch.attenuation_length).exp()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::DispersionModel;
+    use crate::encoding::ReadoutMode;
+    use crate::inline::LayoutSpec;
+    use magnon_math::constants::GHZ;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn setup(n: usize, m: usize, readout: ReadoutMode) -> (ChannelPlan, InlineLayout) {
+        let guide = Waveguide::paper_default().unwrap();
+        let plan =
+            ChannelPlan::uniform(&guide, DispersionModel::Exchange, n, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        let layout =
+            InlineLayout::solve(&plan, m, LayoutSpec::default(), &vec![readout; n]).unwrap();
+        (plan, layout)
+    }
+
+    #[test]
+    fn all_zeros_interferes_constructively_near_zero_phase() {
+        let (plan, layout) = setup(3, 3, ReadoutMode::Direct);
+        for c in 0..3 {
+            let z = superpose_channel(&plan, &layout, c, &[false; 3], &[1.0; 3]);
+            assert!(z.re > 0.0, "channel {c}: phase should be ~0");
+            // Almost all the amplitude survives (sub-micron propagation,
+            // micron-scale attenuation).
+            assert!(z.abs() > 2.0, "channel {c}: |z| = {}", z.abs());
+            assert!(z.arg().abs() < 1e-3, "channel {c}: arg = {}", z.arg());
+        }
+    }
+
+    #[test]
+    fn all_ones_interferes_constructively_at_pi() {
+        let (plan, layout) = setup(3, 3, ReadoutMode::Direct);
+        for c in 0..3 {
+            let z = superpose_channel(&plan, &layout, c, &[true; 3], &[1.0; 3]);
+            assert!(z.re < 0.0);
+            assert!(z.abs() > 2.0);
+        }
+    }
+
+    #[test]
+    fn majority_phase_wins_in_two_vs_one() {
+        let (plan, layout) = setup(2, 3, ReadoutMode::Direct);
+        for c in 0..2 {
+            // Two zeros, one one: phase ≈ 0, amplitude ≈ 1 source.
+            let z = superpose_channel(&plan, &layout, c, &[false, true, false], &[1.0; 3]);
+            assert!(z.re > 0.0);
+            assert!(z.abs() < 1.5 && z.abs() > 0.5);
+            // Two ones, one zero: phase ≈ π.
+            let z = superpose_channel(&plan, &layout, c, &[true, false, true], &[1.0; 3]);
+            assert!(z.re < 0.0);
+        }
+    }
+
+    #[test]
+    fn inverted_detector_flips_phase_geometrically() {
+        let (plan, layout) = setup(2, 3, ReadoutMode::Inverted);
+        for c in 0..2 {
+            let z = superpose_channel(&plan, &layout, c, &[false; 3], &[1.0; 3]);
+            // All-zeros at a half-wavelength-offset detector: phase π.
+            assert!(z.re < 0.0, "inverted channel {c} should read π for zeros");
+        }
+    }
+
+    #[test]
+    fn xor_cancellation() {
+        let (plan, layout) = setup(2, 2, ReadoutMode::Direct);
+        for c in 0..2 {
+            let equal = superpose_channel(&plan, &layout, c, &[false, false], &[1.0; 2]);
+            let differ = superpose_channel(&plan, &layout, c, &[false, true], &[1.0; 2]);
+            let reference = constructive_reference(&plan, &layout, c, &[1.0; 2]);
+            assert!(equal.abs() > 0.9 * reference);
+            assert!(differ.abs() < 0.2 * reference, "cancellation failed: {}", differ.abs());
+            assert!(!decode_channel(LogicFunction::Xor, equal, reference, false));
+            assert!(decode_channel(LogicFunction::Xor, differ, reference, false));
+        }
+    }
+
+    #[test]
+    fn xor_inverted_readout_complements() {
+        let z_small = Complex64::new(0.05, 0.0);
+        let z_big = Complex64::new(1.9, 0.0);
+        assert!(decode_channel(LogicFunction::Xor, z_small, 2.0, false));
+        assert!(!decode_channel(LogicFunction::Xor, z_small, 2.0, true));
+        assert!(!decode_channel(LogicFunction::Xor, z_big, 2.0, false));
+        assert!(decode_channel(LogicFunction::Xor, z_big, 2.0, true));
+    }
+
+    #[test]
+    fn majority_decode_sign_convention() {
+        assert!(!decode_channel(
+            LogicFunction::Majority,
+            Complex64::new(0.8, 0.1),
+            0.0,
+            false
+        ));
+        assert!(decode_channel(
+            LogicFunction::Majority,
+            Complex64::new(-0.3, 0.2),
+            0.0,
+            false
+        ));
+    }
+
+    #[test]
+    fn unequal_amplitudes_shift_the_balance() {
+        // The scalability hazard: if the far source is much weaker, a
+        // 2-vs-1 majority can flip. With equalised amplitudes it cannot.
+        let (plan, layout) = setup(2, 3, ReadoutMode::Direct);
+        let z_eq = superpose_channel(&plan, &layout, 0, &[true, false, false], &[1.0; 3]);
+        assert!(z_eq.re > 0.0, "balanced amplitudes: majority of zeros wins");
+        // Give the two logic-0 sources only a tenth of the amplitude.
+        let z_skew =
+            superpose_channel(&plan, &layout, 0, &[true, false, false], &[1.0, 0.05, 0.05]);
+        assert!(z_skew.re < 0.0, "skewed amplitudes flip the vote");
+    }
+
+    #[test]
+    fn decay_reduces_far_source_contribution() {
+        let (plan, layout) = setup(2, 3, ReadoutMode::Direct);
+        // Drive only input 0 (farthest) vs only input 2 (nearest).
+        let far = superpose_channel(&plan, &layout, 0, &[false; 3], &[1.0, 0.0, 0.0]);
+        let near = superpose_channel(&plan, &layout, 0, &[false; 3], &[0.0, 0.0, 1.0]);
+        assert!(far.abs() < near.abs(), "farther source must arrive weaker");
+        assert!(far.abs() > 0.5 * near.abs(), "but not catastrophically so");
+    }
+}

@@ -1,0 +1,618 @@
+//! The data-parallel gate: builder, evaluation and verification.
+
+use crate::channel::{ChannelPlan, DispersionModel};
+use crate::encoding::ReadoutMode;
+use crate::engine::{constructive_reference, decode_channel, superpose_channel, ChannelReadout};
+use crate::error::GateError;
+use crate::inline::{InlineLayout, LayoutSpec};
+use crate::scalability::EnergySchedule;
+use crate::truth::LogicFunction;
+use crate::word::Word;
+use magnon_math::constants::GHZ;
+use magnon_physics::waveguide::Waveguide;
+
+/// Builder for [`ParallelGate`]s.
+///
+/// Defaults reproduce the paper's byte-wide 3-input majority gate:
+/// 8 channels at 10–80 GHz, 3 inputs, direct readout, 10 nm × 50 nm
+/// transducers with 1 nm clearance, amplitude equalisation on.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::prelude::*;
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+///     .channels(4)
+///     .inputs(3)
+///     .function(LogicFunction::Majority)
+///     .build()?;
+/// assert_eq!(gate.word_width(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelGateBuilder {
+    waveguide: Waveguide,
+    channel_count: usize,
+    input_count: usize,
+    function: LogicFunction,
+    dispersion_model: DispersionModel,
+    base_frequency: f64,
+    frequency_step: f64,
+    explicit_frequencies: Option<Vec<f64>>,
+    readout: ReadoutChoice,
+    layout_spec: LayoutSpec,
+    equalize: bool,
+}
+
+#[derive(Debug, Clone)]
+enum ReadoutChoice {
+    Uniform(ReadoutMode),
+    PerChannel(Vec<ReadoutMode>),
+}
+
+impl ParallelGateBuilder {
+    /// Starts a builder for gates on `waveguide`.
+    pub fn new(waveguide: Waveguide) -> Self {
+        ParallelGateBuilder {
+            waveguide,
+            channel_count: 8,
+            input_count: 3,
+            function: LogicFunction::Majority,
+            dispersion_model: DispersionModel::Exchange,
+            base_frequency: 10.0 * GHZ,
+            frequency_step: 10.0 * GHZ,
+            explicit_frequencies: None,
+            readout: ReadoutChoice::Uniform(ReadoutMode::Direct),
+            layout_spec: LayoutSpec::default(),
+            equalize: true,
+        }
+    }
+
+    /// Sets the number of parallel channels `n` (word width).
+    pub fn channels(mut self, n: usize) -> Self {
+        self.channel_count = n;
+        self
+    }
+
+    /// Sets the number of logic inputs `m`.
+    pub fn inputs(mut self, m: usize) -> Self {
+        self.input_count = m;
+        self
+    }
+
+    /// Sets the logic function.
+    pub fn function(mut self, function: LogicFunction) -> Self {
+        self.function = function;
+        self
+    }
+
+    /// Selects the dispersion branch (default
+    /// [`DispersionModel::Exchange`], which the micromagnetic validator
+    /// realises exactly).
+    pub fn dispersion_model(mut self, model: DispersionModel) -> Self {
+        self.dispersion_model = model;
+        self
+    }
+
+    /// Sets the first channel frequency (default 10 GHz).
+    pub fn base_frequency(mut self, f: f64) -> Self {
+        self.base_frequency = f;
+        self
+    }
+
+    /// Sets the channel frequency spacing (default 10 GHz).
+    pub fn frequency_step(mut self, step: f64) -> Self {
+        self.frequency_step = step;
+        self
+    }
+
+    /// Uses explicit channel frequencies instead of the uniform grid.
+    pub fn frequencies(mut self, freqs: Vec<f64>) -> Self {
+        self.explicit_frequencies = Some(freqs);
+        self
+    }
+
+    /// Applies one readout mode to every channel (default
+    /// [`ReadoutMode::Direct`]).
+    pub fn readout(mut self, mode: ReadoutMode) -> Self {
+        self.readout = ReadoutChoice::Uniform(mode);
+        self
+    }
+
+    /// Sets readout modes per channel (the paper's §III mixed
+    /// direct/complemented outputs).
+    pub fn readout_per_channel(mut self, modes: Vec<ReadoutMode>) -> Self {
+        self.readout = ReadoutChoice::PerChannel(modes);
+        self
+    }
+
+    /// Overrides transducer geometry.
+    pub fn layout_spec(mut self, spec: LayoutSpec) -> Self {
+        self.layout_spec = spec;
+        self
+    }
+
+    /// Enables or disables the damping-compensating input-energy
+    /// schedule (paper §V "Scalability"; default on). With equalisation
+    /// off, far sources arrive weaker and large gates may misvote.
+    pub fn equalize_amplitudes(mut self, on: bool) -> Self {
+        self.equalize = on;
+        self
+    }
+
+    /// Builds the gate: allocates channels, solves the in-line layout
+    /// and computes the excitation schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::UnsupportedFunction`] for invalid
+    ///   function/input-count combinations.
+    /// * [`GateError::BadChannelFrequency`] for unusable frequencies.
+    /// * [`GateError::LayoutCollision`] when transducers cannot be
+    ///   placed.
+    /// * [`GateError::InputCountMismatch`] when per-channel readout
+    ///   lists have the wrong length.
+    pub fn build(self) -> Result<ParallelGate, GateError> {
+        self.function.check_input_count(self.input_count)?;
+        let plan = match &self.explicit_frequencies {
+            Some(freqs) => {
+                ChannelPlan::from_frequencies(&self.waveguide, self.dispersion_model, freqs)?
+            }
+            None => ChannelPlan::uniform(
+                &self.waveguide,
+                self.dispersion_model,
+                self.channel_count,
+                self.base_frequency,
+                self.frequency_step,
+            )?,
+        };
+        let readout = match self.readout {
+            ReadoutChoice::Uniform(mode) => vec![mode; plan.len()],
+            ReadoutChoice::PerChannel(modes) => {
+                if modes.len() != plan.len() {
+                    return Err(GateError::InputCountMismatch {
+                        expected: plan.len(),
+                        actual: modes.len(),
+                    });
+                }
+                modes
+            }
+        };
+        let layout = InlineLayout::solve(&plan, self.input_count, self.layout_spec, &readout)?;
+        let schedule = if self.equalize {
+            EnergySchedule::equalizing(&plan, &layout)?
+        } else {
+            EnergySchedule::flat(&plan, &layout)?
+        };
+        Ok(ParallelGate {
+            waveguide: self.waveguide,
+            plan,
+            layout,
+            function: self.function,
+            readout,
+            schedule,
+        })
+    }
+}
+
+/// An `n`-bit data-parallel, `m`-input spin-wave logic gate.
+///
+/// Built by [`ParallelGateBuilder`]; evaluated analytically with
+/// [`ParallelGate::evaluate`] or micromagnetically through
+/// [`crate::micromag_bridge::MicromagValidator`].
+#[derive(Debug, Clone)]
+pub struct ParallelGate {
+    waveguide: Waveguide,
+    plan: ChannelPlan,
+    layout: InlineLayout,
+    function: LogicFunction,
+    readout: Vec<ReadoutMode>,
+    schedule: EnergySchedule,
+}
+
+impl ParallelGate {
+    /// The waveguide hosting the gate.
+    pub fn waveguide(&self) -> &Waveguide {
+        &self.waveguide
+    }
+
+    /// The channel plan.
+    pub fn channel_plan(&self) -> &ChannelPlan {
+        &self.plan
+    }
+
+    /// The solved in-line layout.
+    pub fn layout(&self) -> &InlineLayout {
+        &self.layout
+    }
+
+    /// The logic function.
+    pub fn function(&self) -> LogicFunction {
+        self.function
+    }
+
+    /// Per-channel readout modes.
+    pub fn readout(&self) -> &[ReadoutMode] {
+        &self.readout
+    }
+
+    /// The excitation schedule (per input, per channel amplitudes).
+    pub fn schedule(&self) -> &EnergySchedule {
+        &self.schedule
+    }
+
+    /// Word width `n` (channel count).
+    pub fn word_width(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Input operand count `m`.
+    pub fn input_count(&self) -> usize {
+        self.layout.input_count()
+    }
+
+    fn check_inputs(&self, inputs: &[Word]) -> Result<(), GateError> {
+        if inputs.len() != self.input_count() {
+            return Err(GateError::InputCountMismatch {
+                expected: self.input_count(),
+                actual: inputs.len(),
+            });
+        }
+        for w in inputs {
+            if w.width() != self.word_width() {
+                return Err(GateError::WordWidthMismatch {
+                    expected: self.word_width(),
+                    actual: w.width(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the gate on `m` input words of width `n` using the
+    /// analytic superposition engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InputCountMismatch`] /
+    ///   [`GateError::WordWidthMismatch`] for malformed operands.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_core::prelude::*;
+    /// use magnon_physics::waveguide::Waveguide;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+    ///     .channels(8).inputs(3).build()?;
+    /// let out = gate.evaluate(&[
+    ///     Word::from_u8(0x0F),
+    ///     Word::from_u8(0x33),
+    ///     Word::from_u8(0x55),
+    /// ])?;
+    /// // MAJ(a,b,c) = ab | ac | bc = 0x17
+    /// assert_eq!(out.word().to_u8(), 0x17);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn evaluate(&self, inputs: &[Word]) -> Result<GateOutput, GateError> {
+        self.check_inputs(inputs)?;
+        let n = self.word_width();
+        let m = self.input_count();
+        let mut word = Word::zeros(n)?;
+        let mut readouts = Vec::with_capacity(n);
+        for c in 0..n {
+            let bits: Vec<bool> = (0..m)
+                .map(|j| inputs[j].bit(c))
+                .collect::<Result<_, _>>()?;
+            let amplitudes = self.schedule.amplitudes_for_channel(c);
+            let z = superpose_channel(&self.plan, &self.layout, c, &bits, amplitudes);
+            let reference = constructive_reference(&self.plan, &self.layout, c, amplitudes);
+            let inverted = self.readout[c] == ReadoutMode::Inverted;
+            let logic = decode_channel(self.function, z, reference, inverted);
+            word = word.with_bit(c, logic)?;
+            readouts.push(ChannelReadout {
+                channel: c,
+                frequency: self.plan.channels()[c].frequency,
+                amplitude: z.abs(),
+                phase: z.arg(),
+                logic,
+            });
+        }
+        Ok(GateOutput { word, readouts })
+    }
+
+    /// Exhaustively verifies the gate against the logic truth table by
+    /// driving every input combination on every channel (combinations
+    /// are batched across channels, the paper's Fig. 3 trick: with
+    /// `n = 2^m` every combination runs in a single evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn verify_truth_table(&self) -> Result<TruthReport, GateError> {
+        let n = self.word_width();
+        let m = self.input_count();
+        let combos = 1usize << m;
+        let expected_table = self.function.truth_table(m)?;
+        let mut failures = Vec::new();
+        let mut checked = 0usize;
+
+        let mut combo = 0usize;
+        while combo < combos {
+            // Assign combination (combo + c) mod combos to channel c.
+            let mut inputs = vec![Word::zeros(n)?; m];
+            for c in 0..n {
+                let assigned = (combo + c) % combos;
+                for (j, word) in inputs.iter_mut().enumerate() {
+                    *word = word.with_bit(c, (assigned >> j) & 1 == 1)?;
+                }
+            }
+            let out = self.evaluate(&inputs)?;
+            for c in 0..n {
+                let assigned = (combo + c) % combos;
+                // Each batch covers `n` consecutive combos; only count
+                // each combo once.
+                if assigned >= combo && assigned < combo + n.min(combos - combo) {
+                    let expected =
+                        self.readout[c].apply(expected_table[assigned]);
+                    let got = out.word().bit(c)?;
+                    checked += 1;
+                    if got != expected {
+                        failures.push(TruthFailure {
+                            combination: assigned,
+                            channel: c,
+                            expected,
+                            got,
+                        });
+                    }
+                }
+            }
+            combo += n.max(1).min(combos);
+        }
+        Ok(TruthReport { combinations: combos, checked, failures })
+    }
+}
+
+/// Result of one gate evaluation.
+#[derive(Debug, Clone)]
+pub struct GateOutput {
+    word: Word,
+    readouts: Vec<ChannelReadout>,
+}
+
+impl GateOutput {
+    /// The decoded output word.
+    pub fn word(&self) -> Word {
+        self.word
+    }
+
+    /// Per-channel amplitude/phase diagnostics.
+    pub fn readouts(&self) -> &[ChannelReadout] {
+        &self.readouts
+    }
+}
+
+/// One truth-table mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthFailure {
+    /// The input combination (bit `j` = input `j`).
+    pub combination: usize,
+    /// The channel on which it was evaluated.
+    pub channel: usize,
+    /// Expected output bit.
+    pub expected: bool,
+    /// Observed output bit.
+    pub got: bool,
+}
+
+/// Outcome of [`ParallelGate::verify_truth_table`].
+#[derive(Debug, Clone)]
+pub struct TruthReport {
+    /// Total input combinations (2^m).
+    pub combinations: usize,
+    /// Number of (combination, channel) checks performed.
+    pub checked: usize,
+    /// All mismatches (empty for a correct gate).
+    pub failures: Vec<TruthFailure>,
+}
+
+impl TruthReport {
+    /// `true` when every combination decoded correctly.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn byte_majority() -> ParallelGate {
+        ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let gate = byte_majority();
+        assert_eq!(gate.word_width(), 8);
+        assert_eq!(gate.input_count(), 3);
+        assert_eq!(gate.function(), LogicFunction::Majority);
+        assert_eq!(gate.channel_plan().frequencies()[0], 10.0 * GHZ);
+        assert_eq!(gate.channel_plan().frequencies()[7], 80.0 * GHZ);
+    }
+
+    #[test]
+    fn byte_majority_matches_boolean_identity() {
+        let gate = byte_majority();
+        for (a, b, c) in [
+            (0x00u8, 0x00u8, 0x00u8),
+            (0xFF, 0xFF, 0xFF),
+            (0xAA, 0xCC, 0xF0),
+            (0x01, 0x80, 0xFF),
+            (0x37, 0x91, 0x5E),
+            (0x13, 0x57, 0x9B),
+        ] {
+            let out = gate
+                .evaluate(&[Word::from_u8(a), Word::from_u8(b), Word::from_u8(c)])
+                .unwrap();
+            let expected = (a & b) | (a & c) | (b & c);
+            assert_eq!(out.word().to_u8(), expected, "MAJ({a:#x},{b:#x},{c:#x})");
+        }
+    }
+
+    #[test]
+    fn truth_table_verification_passes() {
+        let gate = byte_majority();
+        let report = gate.verify_truth_table().unwrap();
+        assert!(report.all_passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.combinations, 8);
+        assert!(report.checked >= 8);
+    }
+
+    #[test]
+    fn xor_gate_works() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(2)
+            .function(LogicFunction::Xor)
+            .build()
+            .unwrap();
+        let a = Word::from_bits(0b0011, 4).unwrap();
+        let b = Word::from_bits(0b0101, 4).unwrap();
+        let out = gate.evaluate(&[a, b]).unwrap();
+        assert_eq!(out.word().bits(), 0b0110);
+        assert!(gate.verify_truth_table().unwrap().all_passed());
+    }
+
+    #[test]
+    fn inverted_readout_complements_majority() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .readout(ReadoutMode::Inverted)
+            .build()
+            .unwrap();
+        let a = Word::from_bits(0b1111, 4).unwrap();
+        let b = Word::from_bits(0b0011, 4).unwrap();
+        let c = Word::from_bits(0b0101, 4).unwrap();
+        let out = gate.evaluate(&[a, b, c]).unwrap();
+        let maj = 0b0001u64 | 0b0101 & 0b0011 | 0b1111 & (0b0011 | 0b0101);
+        let expected = !( (0b1111 & 0b0011) | (0b1111 & 0b0101) | (0b0011 & 0b0101) ) & 0b1111;
+        let _ = maj;
+        assert_eq!(out.word().bits(), expected);
+        assert!(gate.verify_truth_table().unwrap().all_passed());
+    }
+
+    #[test]
+    fn mixed_readout_modes() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .readout_per_channel(vec![
+                ReadoutMode::Direct,
+                ReadoutMode::Inverted,
+                ReadoutMode::Direct,
+                ReadoutMode::Inverted,
+            ])
+            .build()
+            .unwrap();
+        assert!(gate.verify_truth_table().unwrap().all_passed());
+    }
+
+    #[test]
+    fn input_validation() {
+        let gate = byte_majority();
+        // Wrong operand count.
+        assert!(matches!(
+            gate.evaluate(&[Word::from_u8(0), Word::from_u8(0)]),
+            Err(GateError::InputCountMismatch { .. })
+        ));
+        // Wrong width.
+        let narrow = Word::zeros(4).unwrap();
+        assert!(matches!(
+            gate.evaluate(&[narrow, narrow, narrow]),
+            Err(GateError::WordWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        let g = Waveguide::paper_default().unwrap();
+        // Even-input majority.
+        assert!(ParallelGateBuilder::new(g).inputs(4).build().is_err());
+        // 3-input XOR.
+        assert!(ParallelGateBuilder::new(g)
+            .function(LogicFunction::Xor)
+            .inputs(3)
+            .build()
+            .is_err());
+        // Below-FMR base frequency.
+        assert!(ParallelGateBuilder::new(g).base_frequency(1.0 * GHZ).build().is_err());
+        // Mismatched per-channel readout list.
+        assert!(ParallelGateBuilder::new(g)
+            .channels(4)
+            .readout_per_channel(vec![ReadoutMode::Direct; 3])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn explicit_frequencies() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .frequencies(vec![12.0 * GHZ, 31.0 * GHZ, 64.0 * GHZ])
+            .inputs(3)
+            .build()
+            .unwrap();
+        assert_eq!(gate.word_width(), 3);
+        assert!(gate.verify_truth_table().unwrap().all_passed());
+    }
+
+    #[test]
+    fn five_input_majority_gate() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(5)
+            .build()
+            .unwrap();
+        assert!(gate.verify_truth_table().unwrap().all_passed());
+    }
+
+    #[test]
+    fn unequalized_gate_still_correct_at_paper_scale() {
+        // At the byte-gate's sub-micron span, damping skew is small
+        // enough that even a flat excitation schedule votes correctly —
+        // consistent with the paper needing no graded energies for m=3.
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .equalize_amplitudes(false)
+            .build()
+            .unwrap();
+        assert!(gate.verify_truth_table().unwrap().all_passed());
+    }
+
+    #[test]
+    fn readouts_expose_amplitude_and_phase() {
+        let gate = byte_majority();
+        let out = gate
+            .evaluate(&[Word::from_u8(0), Word::from_u8(0), Word::from_u8(0)])
+            .unwrap();
+        assert_eq!(out.readouts().len(), 8);
+        for r in out.readouts() {
+            assert!(r.amplitude > 0.0);
+            assert!(!r.logic);
+            assert!(r.phase.abs() < 0.1, "all-zeros phase should be ~0");
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! The in-line gate layout (paper Fig. 2) and its distance solver.
+//!
+//! All `m × n` excitation transducers and all `n` detectors sit on one
+//! straight waveguide. Correct interference requires, per channel `c`:
+//!
+//! * consecutive same-channel sources spaced by `d_c = n_c · λ_c`
+//!   (an integer number of wavelengths), and
+//! * the detector an integer (direct readout) or half-odd (inverted
+//!   readout) number of wavelengths past the channel's last source.
+//!
+//! The solver picks the smallest `d_c ≥` the interleaving floor
+//! (`n + 1` transducer pitches: one slot per channel plus slack), which
+//! reproduces the paper's non-monotone sequence `d_1 … d_8`, then places
+//! channels greedily, scanning each channel's offset until it clears all
+//! previously placed transducers (channel offsets drop out of every
+//! source→detector distance, so scanning them is free).
+
+use crate::channel::ChannelPlan;
+use crate::encoding::ReadoutMode;
+use crate::error::GateError;
+use magnon_math::constants::NM;
+
+/// One excitation transducer site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceSite {
+    /// Channel (frequency) index.
+    pub channel: usize,
+    /// Input operand index `j` (0 = first input = farthest from the
+    /// output).
+    pub input: usize,
+    /// Centre position along the guide in metres.
+    pub position: f64,
+}
+
+/// One detector transducer site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorSite {
+    /// Channel index.
+    pub channel: usize,
+    /// Centre position along the guide in metres.
+    pub position: f64,
+    /// Readout convention realised by this position.
+    pub mode: ReadoutMode,
+}
+
+/// Geometric parameters of the layout solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutSpec {
+    /// Transducer footprint along the guide (paper: 10 nm).
+    pub transducer_width: f64,
+    /// Minimum edge-to-edge clearance between transducers (paper: 1 nm).
+    pub min_gap: f64,
+}
+
+impl Default for LayoutSpec {
+    fn default() -> Self {
+        LayoutSpec { transducer_width: 10.0 * NM, min_gap: 1.0 * NM }
+    }
+}
+
+impl LayoutSpec {
+    /// Minimum centre-to-centre pitch between transducers.
+    pub fn pitch(&self) -> f64 {
+        self.transducer_width + self.min_gap
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for non-positive width or
+    /// negative gap.
+    pub fn validate(&self) -> Result<(), GateError> {
+        if !(self.transducer_width.is_finite() && self.transducer_width > 0.0) {
+            return Err(GateError::InvalidParameter {
+                parameter: "transducer_width",
+                value: self.transducer_width,
+            });
+        }
+        if !(self.min_gap.is_finite() && self.min_gap >= 0.0) {
+            return Err(GateError::InvalidParameter { parameter: "min_gap", value: self.min_gap });
+        }
+        Ok(())
+    }
+}
+
+/// A fully placed in-line gate layout.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::channel::{ChannelPlan, DispersionModel};
+/// use magnon_core::encoding::ReadoutMode;
+/// use magnon_core::inline::{InlineLayout, LayoutSpec};
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let guide = Waveguide::paper_default()?;
+/// let plan = ChannelPlan::uniform(&guide, DispersionModel::Exchange, 8, 10.0e9, 10.0e9)?;
+/// let layout = InlineLayout::solve(
+///     &plan, 3, LayoutSpec::default(), &[ReadoutMode::Direct; 8],
+/// )?;
+/// assert_eq!(layout.sources().len(), 24); // 8 channels × 3 inputs
+/// assert_eq!(layout.detectors().len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InlineLayout {
+    sources: Vec<SourceSite>,
+    detectors: Vec<DetectorSite>,
+    spacings: Vec<f64>,
+    spec: LayoutSpec,
+    channel_count: usize,
+    input_count: usize,
+}
+
+impl InlineLayout {
+    /// Solves source/detector positions for `plan` with `input_count`
+    /// operands and per-channel readout modes.
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InvalidParameter`] for `input_count < 2` or an
+    ///   invalid spec.
+    /// * [`GateError::InputCountMismatch`] when `readout.len()` differs
+    ///   from the channel count.
+    /// * [`GateError::LayoutCollision`] when overlaps cannot be repaired.
+    pub fn solve(
+        plan: &ChannelPlan,
+        input_count: usize,
+        spec: LayoutSpec,
+        readout: &[ReadoutMode],
+    ) -> Result<Self, GateError> {
+        spec.validate()?;
+        if input_count < 2 {
+            return Err(GateError::InvalidParameter {
+                parameter: "input_count",
+                value: input_count as f64,
+            });
+        }
+        let n = plan.len();
+        if readout.len() != n {
+            return Err(GateError::InputCountMismatch { expected: n, actual: readout.len() });
+        }
+        let pitch = spec.pitch();
+        // Same-channel spacing: smallest wavelength multiple that leaves
+        // room for one source of every channel in between, plus one
+        // pitch of slack so the greedy placement below always finds
+        // collision-free offsets.
+        let floor = (n + 1) as f64 * pitch;
+        let spacings: Vec<f64> = plan
+            .channels()
+            .iter()
+            .map(|c| (floor / c.wavelength).ceil().max(1.0) * c.wavelength)
+            .collect();
+
+        // Greedy channel placement: channels are placed one at a time;
+        // a channel's offset is scanned in sub-pitch steps until all of
+        // its sources clear every already-placed transducer. Channel
+        // offsets are free parameters — they cancel in all
+        // source→detector distances — so scanning them is legal.
+        let mut offsets: Vec<f64> = vec![0.0; n];
+        let mut placed: Vec<f64> = Vec::with_capacity(n * input_count);
+        let step = pitch / 8.0;
+        let mut attempts = 0usize;
+        const MAX_ATTEMPTS: usize = 200_000;
+        for c in 0..n {
+            let d = spacings[c];
+            let mut off = c as f64 * pitch;
+            loop {
+                let clear = (0..input_count).all(|j| {
+                    let x = off + j as f64 * d;
+                    placed
+                        .iter()
+                        .all(|&p| (x - p).abs() >= pitch * (1.0 - 1e-9))
+                });
+                if clear {
+                    break;
+                }
+                off += step;
+                attempts += 1;
+                if attempts >= MAX_ATTEMPTS {
+                    return Err(GateError::LayoutCollision { attempts });
+                }
+            }
+            offsets[c] = off;
+            for j in 0..input_count {
+                placed.push(off + j as f64 * d);
+            }
+        }
+
+        let sources: Vec<SourceSite> = (0..n)
+            .flat_map(|c| {
+                let off = offsets[c];
+                let d = spacings[c];
+                (0..input_count).map(move |j| SourceSite {
+                    channel: c,
+                    input: j,
+                    position: off + j as f64 * d,
+                })
+            })
+            .collect();
+
+        // Detectors: past every source, an admissible multiple of λ_c
+        // beyond the channel's last source, then nudged by further full
+        // wavelengths until clear of all other transducers.
+        let global_last = sources
+            .iter()
+            .map(|s| s.position)
+            .fold(0.0f64, f64::max);
+        let mut detectors: Vec<DetectorSite> = Vec::with_capacity(n);
+        for (c, ch) in plan.channels().iter().enumerate() {
+            let last_source = offsets[c] + (input_count - 1) as f64 * spacings[c];
+            let clearance = global_last + pitch - last_source;
+            let mode = readout[c];
+            // Smallest admissible multiple index whose offset clears
+            // `clearance`.
+            let mut idx = 0usize;
+            while mode.offset_in_wavelengths(idx) * ch.wavelength < clearance {
+                idx += 1;
+            }
+            let mut position =
+                last_source + mode.offset_in_wavelengths(idx) * ch.wavelength;
+            // Clear the detector against sources and earlier detectors
+            // by whole-wavelength steps (phase-invariant).
+            let mut guard = 0usize;
+            'clear: loop {
+                for s in &sources {
+                    if (s.position - position).abs() < pitch * (1.0 - 1e-9) {
+                        position += ch.wavelength;
+                        guard += 1;
+                        if guard > 1000 {
+                            return Err(GateError::LayoutCollision { attempts: guard });
+                        }
+                        continue 'clear;
+                    }
+                }
+                for d in &detectors {
+                    if (d.position - position).abs() < pitch * (1.0 - 1e-9) {
+                        position += ch.wavelength;
+                        guard += 1;
+                        if guard > 1000 {
+                            return Err(GateError::LayoutCollision { attempts: guard });
+                        }
+                        continue 'clear;
+                    }
+                }
+                break;
+            }
+            detectors.push(DetectorSite { channel: c, position, mode });
+        }
+
+        let layout = InlineLayout {
+            sources,
+            detectors,
+            spacings,
+            spec,
+            channel_count: n,
+            input_count,
+        };
+        layout.check_wavelength_multiples(plan)?;
+        Ok(layout)
+    }
+
+    fn check_wavelength_multiples(&self, plan: &ChannelPlan) -> Result<(), GateError> {
+        for det in &self.detectors {
+            let ch = &plan.channels()[det.channel];
+            for src in self.sources.iter().filter(|s| s.channel == det.channel) {
+                let distance = det.position - src.position;
+                if distance <= 0.0 {
+                    return Err(GateError::LayoutCollision { attempts: 0 });
+                }
+                let in_wavelengths = distance / ch.wavelength;
+                let expected_fract = match det.mode {
+                    ReadoutMode::Direct => 0.0,
+                    ReadoutMode::Inverted => 0.5,
+                };
+                let fract = in_wavelengths.fract();
+                let err = (fract - expected_fract).abs().min((fract - expected_fract - 1.0).abs());
+                if err > 1e-6 {
+                    return Err(GateError::InvalidParameter {
+                        parameter: "detector_alignment",
+                        value: err,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All source sites (channel-major, input order within a channel).
+    pub fn sources(&self) -> &[SourceSite] {
+        &self.sources
+    }
+
+    /// All detector sites, one per channel.
+    pub fn detectors(&self) -> &[DetectorSite] {
+        &self.detectors
+    }
+
+    /// The same-channel source spacings `d_c` in metres.
+    pub fn spacings(&self) -> &[f64] {
+        &self.spacings
+    }
+
+    /// Geometric parameters used by the solver.
+    pub fn spec(&self) -> &LayoutSpec {
+        &self.spec
+    }
+
+    /// Number of channels `n`.
+    pub fn channel_count(&self) -> usize {
+        self.channel_count
+    }
+
+    /// Number of inputs `m`.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Position of the source for channel `c`, input `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for out-of-range indices.
+    pub fn source_position(&self, channel: usize, input: usize) -> Result<f64, GateError> {
+        self.sources
+            .iter()
+            .find(|s| s.channel == channel && s.input == input)
+            .map(|s| s.position)
+            .ok_or(GateError::InvalidParameter {
+                parameter: "source_index",
+                value: channel as f64,
+            })
+    }
+
+    /// Detector position of channel `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for an out-of-range index.
+    pub fn detector_position(&self, channel: usize) -> Result<f64, GateError> {
+        self.detectors
+            .iter()
+            .find(|d| d.channel == channel)
+            .map(|d| d.position)
+            .ok_or(GateError::InvalidParameter {
+                parameter: "detector_index",
+                value: channel as f64,
+            })
+    }
+
+    /// First transducer centre position in metres.
+    pub fn start(&self) -> f64 {
+        self.sources
+            .iter()
+            .map(|s| s.position)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Last transducer centre position (always a detector) in metres.
+    pub fn end(&self) -> f64 {
+        self.detectors
+            .iter()
+            .map(|d| d.position)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Occupied length along the guide, including transducer footprints.
+    pub fn span(&self) -> f64 {
+        self.end() - self.start() + self.spec.transducer_width
+    }
+
+    /// Verifies that no two transducer centres are closer than the
+    /// pitch; returns the smallest observed centre separation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::LayoutCollision`] when an overlap exists.
+    pub fn min_separation(&self) -> Result<f64, GateError> {
+        let mut positions: Vec<f64> = self
+            .sources
+            .iter()
+            .map(|s| s.position)
+            .chain(self.detectors.iter().map(|d| d.position))
+            .collect();
+        positions.sort_by(f64::total_cmp);
+        let mut min_gap = f64::INFINITY;
+        for w in positions.windows(2) {
+            min_gap = min_gap.min(w[1] - w[0]);
+        }
+        if min_gap < self.spec.pitch() * (1.0 - 1e-6) {
+            return Err(GateError::LayoutCollision { attempts: 0 });
+        }
+        Ok(min_gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::DispersionModel;
+    use magnon_math::constants::GHZ;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn plan(n: usize) -> ChannelPlan {
+        let guide = Waveguide::paper_default().unwrap();
+        ChannelPlan::uniform(&guide, DispersionModel::Exchange, n, 10.0 * GHZ, 10.0 * GHZ).unwrap()
+    }
+
+    fn solve(n: usize, m: usize) -> InlineLayout {
+        InlineLayout::solve(
+            &plan(n),
+            m,
+            LayoutSpec::default(),
+            &vec![ReadoutMode::Direct; n],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn byte_gate_site_counts() {
+        let layout = solve(8, 3);
+        assert_eq!(layout.sources().len(), 24);
+        assert_eq!(layout.detectors().len(), 8);
+        assert_eq!(layout.channel_count(), 8);
+        assert_eq!(layout.input_count(), 3);
+    }
+
+    #[test]
+    fn spacings_are_wavelength_multiples_above_floor() {
+        let p = plan(8);
+        let layout = solve(8, 3);
+        let floor = 9.0 * LayoutSpec::default().pitch();
+        for (d, c) in layout.spacings().iter().zip(p.channels()) {
+            assert!(*d >= floor - 1e-12, "spacing below interleave floor");
+            let multiple = d / c.wavelength;
+            assert!((multiple - multiple.round()).abs() < 1e-9, "d not a λ multiple");
+        }
+    }
+
+    #[test]
+    fn spacing_sequence_non_monotone_like_paper() {
+        // The paper's d_1..d_8 are not monotone because each is the
+        // smallest λ-multiple above a common floor. Verify ours show the
+        // same character: not sorted in either direction.
+        let layout = solve(8, 3);
+        let d = layout.spacings();
+        let ascending = d.windows(2).all(|w| w[1] >= w[0]);
+        let descending = d.windows(2).all(|w| w[1] <= w[0]);
+        assert!(!ascending && !descending, "spacings unexpectedly monotone: {d:?}");
+    }
+
+    #[test]
+    fn no_transducer_overlaps() {
+        for (n, m) in [(2, 3), (4, 3), (8, 3), (8, 5), (3, 2)] {
+            let layout = InlineLayout::solve(
+                &plan(n),
+                m,
+                LayoutSpec::default(),
+                &vec![ReadoutMode::Direct; n],
+            )
+            .unwrap();
+            let min_sep = layout.min_separation().unwrap();
+            assert!(min_sep >= LayoutSpec::default().pitch() * 0.999, "({n},{m}): {min_sep}");
+        }
+    }
+
+    #[test]
+    fn detectors_after_all_sources() {
+        let layout = solve(8, 3);
+        let last_source = layout
+            .sources()
+            .iter()
+            .map(|s| s.position)
+            .fold(0.0f64, f64::max);
+        for d in layout.detectors() {
+            assert!(d.position > last_source, "detector before a source");
+        }
+    }
+
+    #[test]
+    fn detector_distances_are_integer_wavelengths() {
+        let p = plan(4);
+        let layout = InlineLayout::solve(
+            &p,
+            3,
+            LayoutSpec::default(),
+            &[ReadoutMode::Direct; 4],
+        )
+        .unwrap();
+        for det in layout.detectors() {
+            let lambda = p.channels()[det.channel].wavelength;
+            for src in layout.sources().iter().filter(|s| s.channel == det.channel) {
+                let n = (det.position - src.position) / lambda;
+                assert!((n - n.round()).abs() < 1e-6, "distance {n} not integer λ");
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_readout_offsets_by_half_wavelength() {
+        let p = plan(4);
+        let layout = InlineLayout::solve(
+            &p,
+            3,
+            LayoutSpec::default(),
+            &[
+                ReadoutMode::Direct,
+                ReadoutMode::Inverted,
+                ReadoutMode::Direct,
+                ReadoutMode::Inverted,
+            ],
+        )
+        .unwrap();
+        for det in layout.detectors() {
+            let lambda = p.channels()[det.channel].wavelength;
+            let src = layout.source_position(det.channel, 2).unwrap();
+            let n = (det.position - src) / lambda;
+            match det.mode {
+                ReadoutMode::Direct => {
+                    assert!((n - n.round()).abs() < 1e-6);
+                }
+                ReadoutMode::Inverted => {
+                    assert!(((n - 0.5) - (n - 0.5).round()).abs() < 1e-6, "n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn span_is_sub_micron_for_byte_gate() {
+        // The paper's area advantage rests on the whole byte gate
+        // fitting in well under a micron of waveguide.
+        let layout = solve(8, 3);
+        assert!(layout.span() < 1.0e-6, "span = {}", layout.span());
+        assert!(layout.span() > 100.0e-9);
+        assert!(layout.start() >= 0.0);
+        assert!(layout.end() > layout.start());
+    }
+
+    #[test]
+    fn accessors_reject_bad_indices() {
+        let layout = solve(2, 3);
+        assert!(layout.source_position(5, 0).is_err());
+        assert!(layout.source_position(0, 7).is_err());
+        assert!(layout.detector_position(9).is_err());
+        assert!(layout.source_position(1, 2).is_ok());
+    }
+
+    #[test]
+    fn input_count_validation() {
+        assert!(InlineLayout::solve(
+            &plan(2),
+            1,
+            LayoutSpec::default(),
+            &[ReadoutMode::Direct; 2]
+        )
+        .is_err());
+        assert!(InlineLayout::solve(
+            &plan(2),
+            3,
+            LayoutSpec::default(),
+            &[ReadoutMode::Direct; 1]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn larger_channel_counts_still_solve() {
+        // Scalability: the solver must handle the 16-channel case used
+        // in the SCALE experiment.
+        let guide = Waveguide::paper_default().unwrap();
+        let p =
+            ChannelPlan::uniform(&guide, DispersionModel::Exchange, 16, 10.0 * GHZ, 5.0 * GHZ)
+                .unwrap();
+        let layout = InlineLayout::solve(
+            &p,
+            3,
+            LayoutSpec::default(),
+            &vec![ReadoutMode::Direct; 16],
+        )
+        .unwrap();
+        assert!(layout.min_separation().is_ok());
+        assert_eq!(layout.sources().len(), 48);
+    }
+}

@@ -1,0 +1,155 @@
+//! Human-readable rendering of in-line gate layouts.
+//!
+//! Renders the paper's Fig. 2 as text: one lane per channel, `0`–`9`
+//! marking that channel's input transducers in order and `D` its
+//! detector, plus a summary table of frequencies, wavelengths and
+//! spacings. Used by examples and debugging sessions; the renderer is
+//! pure formatting over [`InlineLayout`].
+
+use crate::channel::ChannelPlan;
+use crate::inline::InlineLayout;
+use std::fmt::Write as _;
+
+/// Renders `layout` as an ASCII diagram, `columns` characters wide.
+///
+/// Returns a multi-line string; one lane per channel plus an axis line.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::channel::{ChannelPlan, DispersionModel};
+/// use magnon_core::encoding::ReadoutMode;
+/// use magnon_core::inline::{InlineLayout, LayoutSpec};
+/// use magnon_core::layout_report::render_layout;
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let guide = Waveguide::paper_default()?;
+/// let plan = ChannelPlan::uniform(&guide, DispersionModel::Exchange, 2, 10.0e9, 10.0e9)?;
+/// let layout = InlineLayout::solve(&plan, 3, LayoutSpec::default(), &[ReadoutMode::Direct; 2])?;
+/// let diagram = render_layout(&plan, &layout, 72);
+/// assert!(diagram.contains("f1"));
+/// assert!(diagram.contains('D'));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_layout(plan: &ChannelPlan, layout: &InlineLayout, columns: usize) -> String {
+    let columns = columns.max(20);
+    let start = layout.start();
+    let end = layout.end();
+    let span = (end - start).max(1e-12);
+    let scale = |x: f64| -> usize {
+        (((x - start) / span) * (columns - 1) as f64).round().clamp(0.0, (columns - 1) as f64)
+            as usize
+    };
+
+    let mut out = String::new();
+    for c in 0..layout.channel_count() {
+        let ch = &plan.channels()[c];
+        let mut lane = vec![b'-'; columns];
+        for src in layout.sources().iter().filter(|s| s.channel == c) {
+            let pos = scale(src.position);
+            lane[pos] = b'0' + (src.input as u8 % 10);
+        }
+        if let Some(det) = layout.detectors().iter().find(|d| d.channel == c) {
+            let pos = scale(det.position);
+            lane[pos] = b'D';
+        }
+        let lane_str = String::from_utf8(lane).expect("ascii lane");
+        let _ = writeln!(
+            out,
+            "f{:<2} {:>5.1} GHz |{}| d={:5.1} nm, λ={:5.1} nm",
+            c + 1,
+            ch.frequency / 1e9,
+            lane_str,
+            layout.spacings()[c] * 1e9,
+            ch.wavelength * 1e9,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:<width$}  span {:.0} nm, {} sources + {} detectors",
+        "",
+        format!("0 nm{:>w$}", format!("{:.0} nm", span * 1e9), w = columns.saturating_sub(4)),
+        layout.span() * 1e9,
+        layout.sources().len(),
+        layout.detectors().len(),
+        width = columns
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::DispersionModel;
+    use crate::encoding::ReadoutMode;
+    use crate::inline::LayoutSpec;
+    use magnon_math::constants::GHZ;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn setup(n: usize) -> (ChannelPlan, InlineLayout) {
+        let guide = Waveguide::paper_default().unwrap();
+        let plan =
+            ChannelPlan::uniform(&guide, DispersionModel::Exchange, n, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        let layout = InlineLayout::solve(
+            &plan,
+            3,
+            LayoutSpec::default(),
+            &vec![ReadoutMode::Direct; n],
+        )
+        .unwrap();
+        (plan, layout)
+    }
+
+    #[test]
+    fn renders_one_lane_per_channel() {
+        let (plan, layout) = setup(4);
+        let s = render_layout(&plan, &layout, 80);
+        let lanes = s.lines().filter(|l| l.starts_with('f')).count();
+        assert_eq!(lanes, 4);
+    }
+
+    #[test]
+    fn every_lane_has_three_sources_and_a_detector() {
+        let (plan, layout) = setup(3);
+        let s = render_layout(&plan, &layout, 100);
+        for line in s.lines().filter(|l| l.starts_with('f')) {
+            assert!(line.contains('0'), "missing source 0: {line}");
+            assert!(line.contains('1'), "missing source 1: {line}");
+            assert!(line.contains('2'), "missing source 2: {line}");
+            assert!(line.contains('D'), "missing detector: {line}");
+        }
+    }
+
+    #[test]
+    fn detector_is_rightmost_marker() {
+        let (plan, layout) = setup(2);
+        let s = render_layout(&plan, &layout, 90);
+        for line in s.lines().filter(|l| l.starts_with('f')) {
+            let lane: &str = line.split('|').nth(1).unwrap();
+            let d = lane.find('D').unwrap();
+            for marker in ['0', '1', '2'] {
+                let m = lane.find(marker).unwrap();
+                assert!(m < d, "source {marker} after detector in {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_width_is_clamped() {
+        let (plan, layout) = setup(2);
+        let s = render_layout(&plan, &layout, 1);
+        assert!(!s.is_empty());
+        // Clamped to the 20-column minimum.
+        assert!(s.lines().next().unwrap().split('|').nth(1).unwrap().len() >= 20);
+    }
+
+    #[test]
+    fn summary_line_reports_counts() {
+        let (plan, layout) = setup(4);
+        let s = render_layout(&plan, &layout, 60);
+        assert!(s.contains("12 sources + 4 detectors"));
+    }
+}

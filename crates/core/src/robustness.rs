@@ -1,0 +1,279 @@
+//! Failure injection: gate error rates under phase and amplitude noise.
+//!
+//! The paper validates the gate at zero temperature with ideal
+//! transducers. Real transducers jitter in phase and amplitude, and
+//! finite temperature adds magnetization noise
+//! (see [`magnon_micromag::thermal`]). This module answers the
+//! engineering question the paper leaves open: *how much disturbance
+//! does the interference-based majority vote tolerate?*
+//!
+//! Monte-Carlo perturbation of the analytic engine: every source's
+//! drive phase receives Gaussian noise of width `phase_sigma`, every
+//! amplitude a relative Gaussian error of width `amplitude_sigma`, and
+//! the full truth table is re-decoded per trial.
+
+use crate::encoding::{phase_of, ReadoutMode};
+use crate::engine::{constructive_reference, decode_channel};
+use crate::error::GateError;
+use crate::gate::ParallelGate;
+use magnon_math::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise model applied per source and per trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Standard deviation of the drive-phase error in radians.
+    pub phase_sigma: f64,
+    /// Relative standard deviation of the drive amplitude.
+    pub amplitude_sigma: f64,
+}
+
+impl NoiseModel {
+    /// Creates a validated noise model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for negative or
+    /// non-finite widths.
+    pub fn new(phase_sigma: f64, amplitude_sigma: f64) -> Result<Self, GateError> {
+        if !(phase_sigma.is_finite() && phase_sigma >= 0.0) {
+            return Err(GateError::InvalidParameter {
+                parameter: "phase_sigma",
+                value: phase_sigma,
+            });
+        }
+        if !(amplitude_sigma.is_finite() && amplitude_sigma >= 0.0) {
+            return Err(GateError::InvalidParameter {
+                parameter: "amplitude_sigma",
+                value: amplitude_sigma,
+            });
+        }
+        Ok(NoiseModel { phase_sigma, amplitude_sigma })
+    }
+
+    /// The noiseless model.
+    pub fn none() -> Self {
+        NoiseModel { phase_sigma: 0.0, amplitude_sigma: 0.0 }
+    }
+}
+
+/// Result of a Monte-Carlo robustness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// The noise model applied.
+    pub noise: NoiseModel,
+    /// Trials evaluated (each covers the full truth table on every
+    /// channel).
+    pub trials: usize,
+    /// Individual (combination, channel) decodes checked.
+    pub checks: usize,
+    /// Decodes that flipped.
+    pub failures: usize,
+}
+
+impl RobustnessReport {
+    /// Observed bit-error rate.
+    pub fn error_rate(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.checks as f64
+        }
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 > 1e-300 {
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Runs `trials` Monte-Carlo truth-table evaluations of `gate` under
+/// `noise`, decoding with the same rules as the noiseless engine.
+///
+/// # Errors
+///
+/// Propagates truth-table enumeration errors.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::prelude::*;
+/// use magnon_core::robustness::{monte_carlo_error_rate, NoiseModel};
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+///     .channels(4).inputs(3).build()?;
+/// // Mild phase noise: the majority vote absorbs it.
+/// let report = monte_carlo_error_rate(&gate, NoiseModel::new(0.1, 0.02)?, 50, 1)?;
+/// assert_eq!(report.failures, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn monte_carlo_error_rate(
+    gate: &ParallelGate,
+    noise: NoiseModel,
+    trials: usize,
+    seed: u64,
+) -> Result<RobustnessReport, GateError> {
+    let n = gate.word_width();
+    let m = gate.input_count();
+    let combos = 1usize << m;
+    let table = gate.function().truth_table(m)?;
+    let plan = gate.channel_plan();
+    let layout = gate.layout();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+
+    for _ in 0..trials {
+        for combo in 0..combos {
+            for c in 0..n {
+                let ch = &plan.channels()[c];
+                let det = layout
+                    .detectors()
+                    .iter()
+                    .find(|d| d.channel == c)
+                    .expect("detector per channel");
+                let nominal = gate.schedule().amplitudes_for_channel(c);
+                let mut z = Complex64::ZERO;
+                for src in layout.sources().iter().filter(|s| s.channel == c) {
+                    let bit = (combo >> src.input) & 1 == 1;
+                    let dx = det.position - src.position;
+                    let decay = (-dx / ch.attenuation_length).exp();
+                    let amp = nominal[src.input]
+                        * (1.0 + noise.amplitude_sigma * gaussian(&mut rng)).max(0.0);
+                    let phase = ch.wavenumber * dx
+                        + phase_of(bit)
+                        + noise.phase_sigma * gaussian(&mut rng);
+                    z += Complex64::from_polar(amp * decay, phase);
+                }
+                let reference = constructive_reference(plan, layout, c, nominal);
+                let inverted = gate.readout()[c] == ReadoutMode::Inverted;
+                let decoded = decode_channel(gate.function(), z, reference, inverted);
+                let expected = gate.readout()[c].apply(table[combo]);
+                checks += 1;
+                if decoded != expected {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    Ok(RobustnessReport { noise, trials, checks, failures })
+}
+
+/// Sweeps phase-noise widths and reports the error rate at each point —
+/// the gate's noise margin curve.
+///
+/// # Errors
+///
+/// Propagates Monte-Carlo errors.
+pub fn phase_noise_sweep(
+    gate: &ParallelGate,
+    sigmas: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<RobustnessReport>, GateError> {
+    sigmas
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            monte_carlo_error_rate(gate, NoiseModel::new(s, 0.0)?, trials, seed ^ (i as u64) << 32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::ParallelGateBuilder;
+    use crate::truth::LogicFunction;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn gate(n: usize) -> ParallelGate {
+        ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(n)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn noise_model_validation() {
+        assert!(NoiseModel::new(-0.1, 0.0).is_err());
+        assert!(NoiseModel::new(0.0, f64::NAN).is_err());
+        assert_eq!(NoiseModel::none().phase_sigma, 0.0);
+    }
+
+    #[test]
+    fn zero_noise_is_error_free() {
+        let g = gate(4);
+        let r = monte_carlo_error_rate(&g, NoiseModel::none(), 10, 1).unwrap();
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.checks, 10 * 8 * 4);
+        assert_eq!(r.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn small_phase_noise_is_absorbed() {
+        // The phase decision boundary is π/2 away; σ = 0.15 rad leaves
+        // enormous margin for a 3-source vote.
+        let g = gate(4);
+        let r =
+            monte_carlo_error_rate(&g, NoiseModel::new(0.15, 0.0).unwrap(), 100, 2).unwrap();
+        assert_eq!(r.failures, 0, "error rate {}", r.error_rate());
+    }
+
+    #[test]
+    fn huge_phase_noise_randomises_output() {
+        // σ = π: phases are essentially uniform; errors approach 50%.
+        let g = gate(2);
+        let r = monte_carlo_error_rate(
+            &g,
+            NoiseModel::new(std::f64::consts::PI, 0.0).unwrap(),
+            200,
+            3,
+        )
+        .unwrap();
+        let rate = r.error_rate();
+        assert!(rate > 0.2 && rate < 0.7, "rate = {rate}");
+    }
+
+    #[test]
+    fn error_rate_monotone_in_noise() {
+        let g = gate(2);
+        let reports =
+            phase_noise_sweep(&g, &[0.0, 0.3, 0.8, 1.5, 2.5], 150, 4).unwrap();
+        let rates: Vec<f64> = reports.iter().map(|r| r.error_rate()).collect();
+        assert_eq!(rates[0], 0.0);
+        // Allow small Monte-Carlo wiggle but require the overall trend.
+        assert!(rates[4] > rates[1] + 0.05, "rates = {rates:?}");
+        assert!(rates[3] > rates[0], "rates = {rates:?}");
+    }
+
+    #[test]
+    fn amplitude_noise_alone_is_mild_for_majority() {
+        // Majority decodes on phase; even 20% amplitude jitter rarely
+        // flips a vote (it must invert the sign of the sum).
+        let g = gate(4);
+        let r =
+            monte_carlo_error_rate(&g, NoiseModel::new(0.0, 0.2).unwrap(), 100, 5).unwrap();
+        assert!(r.error_rate() < 0.05, "rate = {}", r.error_rate());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = gate(2);
+        let noise = NoiseModel::new(0.8, 0.1).unwrap();
+        let a = monte_carlo_error_rate(&g, noise, 50, 42).unwrap();
+        let b = monte_carlo_error_rate(&g, noise, 50, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,291 @@
+//! Input-energy schedules and scalability analysis (paper §V).
+//!
+//! Damping attenuates a wave by `e^{−Δx/L}` on its way to the detector,
+//! so sources farther from the output arrive weaker. The paper's remedy:
+//! excite far inputs harder, `E(I_1) > E(I_2) > … > E(I_m)` (input 1 is
+//! placed farthest). [`EnergySchedule::equalizing`] computes exactly the
+//! amplitude set that makes all arrivals equal, and
+//! [`scalability_sweep`] reports how the required amplitude spread and
+//! gate span grow with the channel count.
+
+use crate::channel::{ChannelPlan, DispersionModel};
+use crate::encoding::ReadoutMode;
+use crate::error::GateError;
+use crate::inline::{InlineLayout, LayoutSpec};
+use magnon_physics::waveguide::Waveguide;
+
+/// Excitation amplitudes per `(input, channel)` pair, normalised so the
+/// weakest source drives at 1.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySchedule {
+    /// `amplitudes[channel][input]`.
+    amplitudes: Vec<Vec<f64>>,
+}
+
+impl EnergySchedule {
+    /// A flat schedule: every source drives at amplitude 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] on channel/layout
+    /// disagreement (cannot occur for a layout solved from `plan`).
+    pub fn flat(plan: &ChannelPlan, layout: &InlineLayout) -> Result<Self, GateError> {
+        check_consistent(plan, layout)?;
+        Ok(EnergySchedule {
+            amplitudes: vec![vec![1.0; layout.input_count()]; plan.len()],
+        })
+    }
+
+    /// The damping-compensating schedule: source `(c, j)` drives at
+    /// `e^{Δx/L_c}` relative to the detector-adjacent reference, so all
+    /// same-channel waves arrive with equal amplitude.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EnergySchedule::flat`].
+    pub fn equalizing(plan: &ChannelPlan, layout: &InlineLayout) -> Result<Self, GateError> {
+        check_consistent(plan, layout)?;
+        let m = layout.input_count();
+        let mut amplitudes = Vec::with_capacity(plan.len());
+        for (c, ch) in plan.channels().iter().enumerate() {
+            let det = layout.detector_position(c)?;
+            let mut per_input = Vec::with_capacity(m);
+            for j in 0..m {
+                let src = layout.source_position(c, j)?;
+                let decay = (-(det - src) / ch.attenuation_length).exp();
+                per_input.push(1.0 / decay);
+            }
+            // Normalise: weakest drive = 1.0.
+            let min = per_input.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            for a in &mut per_input {
+                *a /= min;
+            }
+            amplitudes.push(per_input);
+        }
+        Ok(EnergySchedule { amplitudes })
+    }
+
+    /// Amplitudes for channel `c`, indexed by input `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a channel index outside the gate (schedules are only
+    /// obtainable consistent with their gate).
+    pub fn amplitudes_for_channel(&self, channel: usize) -> &[f64] {
+        &self.amplitudes[channel]
+    }
+
+    /// Number of channels covered.
+    pub fn channel_count(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// The largest amplitude anywhere in the schedule — the transducer
+    /// dynamic range the gate demands (1.0 for a flat schedule).
+    pub fn max_amplitude(&self) -> f64 {
+        self.amplitudes
+            .iter()
+            .flat_map(|v| v.iter())
+            .fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// `true` when far inputs drive at least as hard as near inputs on
+    /// every channel (the paper's `E(I_n) < E(I_{n−1}) < …` ordering;
+    /// input 0 is placed farthest).
+    pub fn is_monotone_decreasing(&self) -> bool {
+        self.amplitudes
+            .iter()
+            .all(|per_input| per_input.windows(2).all(|w| w[0] >= w[1] - 1e-12))
+    }
+}
+
+fn check_consistent(plan: &ChannelPlan, layout: &InlineLayout) -> Result<(), GateError> {
+    if plan.len() != layout.channel_count() {
+        return Err(GateError::InvalidParameter {
+            parameter: "channel_count",
+            value: layout.channel_count() as f64,
+        });
+    }
+    Ok(())
+}
+
+/// One row of the scalability study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Channel count `n`.
+    pub channels: usize,
+    /// Gate span along the guide in metres.
+    pub span: f64,
+    /// Worst single-trip amplitude decay across sources (min over
+    /// channels of `e^{−Δx/L}` for the farthest source).
+    pub worst_decay: f64,
+    /// Required drive-amplitude spread (max/min) of the equalising
+    /// schedule.
+    pub amplitude_spread: f64,
+}
+
+/// Sweeps the channel count and reports span, decay and the required
+/// input-energy spread — the quantitative version of the paper's §V
+/// scalability discussion.
+///
+/// # Errors
+///
+/// Propagates channel-allocation and layout errors (e.g. when `f_step`
+/// pushes channels into unusable territory).
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::scalability::scalability_sweep;
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let guide = Waveguide::paper_default()?;
+/// let points = scalability_sweep(&guide, 3, &[2, 4, 8], 10.0e9, 10.0e9)?;
+/// assert_eq!(points.len(), 3);
+/// // More channels -> longer gate -> more decay to compensate.
+/// assert!(points[2].amplitude_spread >= points[0].amplitude_spread);
+/// # Ok(())
+/// # }
+/// ```
+pub fn scalability_sweep(
+    waveguide: &Waveguide,
+    input_count: usize,
+    channel_counts: &[usize],
+    f_start: f64,
+    f_step: f64,
+) -> Result<Vec<ScalabilityPoint>, GateError> {
+    let mut points = Vec::with_capacity(channel_counts.len());
+    for &n in channel_counts {
+        let plan = ChannelPlan::uniform(waveguide, DispersionModel::Exchange, n, f_start, f_step)?;
+        let layout = InlineLayout::solve(
+            &plan,
+            input_count,
+            LayoutSpec::default(),
+            &vec![ReadoutMode::Direct; n],
+        )?;
+        let schedule = EnergySchedule::equalizing(&plan, &layout)?;
+        let mut worst_decay = f64::INFINITY;
+        for (c, ch) in plan.channels().iter().enumerate() {
+            let det = layout.detector_position(c)?;
+            let far = layout.source_position(c, 0)?;
+            worst_decay = worst_decay.min((-(det - far) / ch.attenuation_length).exp());
+        }
+        points.push(ScalabilityPoint {
+            channels: n,
+            span: layout.span(),
+            worst_decay,
+            amplitude_spread: schedule.max_amplitude(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::GHZ;
+
+    fn setup(n: usize, m: usize) -> (ChannelPlan, InlineLayout) {
+        let guide = Waveguide::paper_default().unwrap();
+        let plan =
+            ChannelPlan::uniform(&guide, DispersionModel::Exchange, n, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        let layout = InlineLayout::solve(
+            &plan,
+            m,
+            LayoutSpec::default(),
+            &vec![ReadoutMode::Direct; n],
+        )
+        .unwrap();
+        (plan, layout)
+    }
+
+    #[test]
+    fn flat_schedule_is_all_ones() {
+        let (plan, layout) = setup(4, 3);
+        let s = EnergySchedule::flat(&plan, &layout).unwrap();
+        assert_eq!(s.channel_count(), 4);
+        assert_eq!(s.max_amplitude(), 1.0);
+        for c in 0..4 {
+            assert!(s.amplitudes_for_channel(c).iter().all(|&a| a == 1.0));
+        }
+    }
+
+    #[test]
+    fn equalizing_schedule_orders_amplitudes_like_paper() {
+        // E(I_1) > E(I_2) > E(I_3): input 0 (farthest) drives hardest.
+        let (plan, layout) = setup(8, 3);
+        let s = EnergySchedule::equalizing(&plan, &layout).unwrap();
+        assert!(s.is_monotone_decreasing());
+        for c in 0..8 {
+            let a = s.amplitudes_for_channel(c);
+            assert!(a[0] > a[1] && a[1] > a[2], "channel {c}: {a:?}");
+            // Nearest source drives at the normalised minimum.
+            assert!((a[2] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equalizing_schedule_equalises_arrivals() {
+        let (plan, layout) = setup(4, 3);
+        let s = EnergySchedule::equalizing(&plan, &layout).unwrap();
+        for (c, ch) in plan.channels().iter().enumerate() {
+            let det = layout.detector_position(c).unwrap();
+            let arrivals: Vec<f64> = (0..3)
+                .map(|j| {
+                    let src = layout.source_position(c, j).unwrap();
+                    s.amplitudes_for_channel(c)[j]
+                        * (-(det - src) / ch.attenuation_length).exp()
+                })
+                .collect();
+            for w in arrivals.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-9, "unequal arrivals: {arrivals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_is_modest_at_paper_scale() {
+        // The byte gate is sub-micron; attenuation lengths are microns,
+        // so the spread is small — consistent with the paper noting the
+        // graded energies are only needed for large input counts.
+        let (plan, layout) = setup(8, 3);
+        let s = EnergySchedule::equalizing(&plan, &layout).unwrap();
+        assert!(s.max_amplitude() < 2.0, "spread = {}", s.max_amplitude());
+        assert!(s.max_amplitude() > 1.0);
+    }
+
+    #[test]
+    fn sweep_monotone_in_channel_count() {
+        let guide = Waveguide::paper_default().unwrap();
+        let pts = scalability_sweep(&guide, 3, &[2, 4, 8, 12], 10.0 * GHZ, 5.0 * GHZ).unwrap();
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[1].span >= w[0].span, "span must grow with channels");
+            assert!(
+                w[1].amplitude_spread >= w[0].amplitude_spread - 1e-9,
+                "spread must not shrink"
+            );
+        }
+        for p in &pts {
+            assert!(p.worst_decay > 0.0 && p.worst_decay <= 1.0);
+        }
+    }
+
+    #[test]
+    fn sweep_with_more_inputs_needs_more_compensation() {
+        let guide = Waveguide::paper_default().unwrap();
+        let p3 = scalability_sweep(&guide, 3, &[4], 10.0 * GHZ, 10.0 * GHZ).unwrap();
+        let p5 = scalability_sweep(&guide, 5, &[4], 10.0 * GHZ, 10.0 * GHZ).unwrap();
+        assert!(p5[0].amplitude_spread > p3[0].amplitude_spread);
+        assert!(p5[0].span > p3[0].span);
+    }
+
+    #[test]
+    fn inconsistent_plan_layout_rejected() {
+        let (plan4, _) = setup(4, 3);
+        let (_, layout2) = setup(2, 3);
+        assert!(EnergySchedule::flat(&plan4, &layout2).is_err());
+    }
+}

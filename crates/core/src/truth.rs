@@ -1,0 +1,177 @@
+//! Logic functions evaluated by interference.
+//!
+//! The paper's §II: when several same-frequency spin waves meet, the
+//! majority phase wins — a waveguide natively computes MAJ. XOR of two
+//! inputs falls out of the amplitude: in-phase waves add, antiphase
+//! waves cancel.
+
+use crate::error::GateError;
+
+/// The logic function a data-parallel gate computes per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LogicFunction {
+    /// Majority vote of an odd number (≥ 3) of inputs. The paper's
+    /// headline gate is the 3-input majority.
+    #[default]
+    Majority,
+    /// Exclusive OR of exactly 2 inputs, decoded from the interference
+    /// amplitude (in-phase → full amplitude → 0; antiphase → cancellation
+    /// → 1).
+    Xor,
+}
+
+impl LogicFunction {
+    /// Validates that this function supports `input_count` operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::UnsupportedFunction`]:
+    /// * majority requires an odd `input_count >= 3`;
+    /// * XOR requires exactly 2 inputs (amplitude readout cannot
+    ///   separate 1-of-3 from 2-of-3 interference).
+    pub fn check_input_count(self, input_count: usize) -> Result<(), GateError> {
+        match self {
+            LogicFunction::Majority => {
+                if input_count < 3 || input_count % 2 == 0 {
+                    return Err(GateError::UnsupportedFunction {
+                        reason: "majority needs an odd number of inputs, at least 3",
+                    });
+                }
+            }
+            LogicFunction::Xor => {
+                if input_count != 2 {
+                    return Err(GateError::UnsupportedFunction {
+                        reason: "amplitude-decoded XOR supports exactly 2 inputs",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the function on boolean inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogicFunction::check_input_count`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_core::truth::LogicFunction;
+    ///
+    /// # fn main() -> Result<(), magnon_core::GateError> {
+    /// assert!(LogicFunction::Majority.eval(&[true, false, true])?);
+    /// assert!(!LogicFunction::Majority.eval(&[true, false, false])?);
+    /// assert!(LogicFunction::Xor.eval(&[true, false])?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn eval(self, inputs: &[bool]) -> Result<bool, GateError> {
+        self.check_input_count(inputs.len())?;
+        Ok(match self {
+            LogicFunction::Majority => {
+                let ones = inputs.iter().filter(|&&b| b).count();
+                ones * 2 > inputs.len()
+            }
+            LogicFunction::Xor => inputs[0] ^ inputs[1],
+        })
+    }
+
+    /// The full truth table for `input_count` operands, indexed by the
+    /// input combination interpreted as a binary number
+    /// (bit `j` of the index = input `j`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogicFunction::check_input_count`].
+    pub fn truth_table(self, input_count: usize) -> Result<Vec<bool>, GateError> {
+        self.check_input_count(input_count)?;
+        (0..1usize << input_count)
+            .map(|combo| {
+                let inputs: Vec<bool> = (0..input_count).map(|j| (combo >> j) & 1 == 1).collect();
+                self.eval(&inputs)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for LogicFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogicFunction::Majority => write!(f, "MAJ"),
+            LogicFunction::Xor => write!(f, "XOR"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_three_input_table() {
+        // The paper's Fig. 3/4 truth table: output 1 iff ≥ 2 inputs are 1.
+        let table = LogicFunction::Majority.truth_table(3).unwrap();
+        assert_eq!(
+            table,
+            vec![false, false, false, true, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn majority_input_count_constraints() {
+        assert!(LogicFunction::Majority.check_input_count(3).is_ok());
+        assert!(LogicFunction::Majority.check_input_count(5).is_ok());
+        assert!(LogicFunction::Majority.check_input_count(2).is_err());
+        assert!(LogicFunction::Majority.check_input_count(4).is_err());
+        assert!(LogicFunction::Majority.check_input_count(1).is_err());
+    }
+
+    #[test]
+    fn xor_table() {
+        let table = LogicFunction::Xor.truth_table(2).unwrap();
+        assert_eq!(table, vec![false, true, true, false]);
+        assert!(LogicFunction::Xor.check_input_count(3).is_err());
+    }
+
+    #[test]
+    fn majority_is_symmetric() {
+        // Permuting inputs never changes the result.
+        for combo in 0..8u32 {
+            let a = [(combo & 1) == 1, (combo & 2) == 2, (combo & 4) == 4];
+            let b = [a[2], a[0], a[1]];
+            assert_eq!(
+                LogicFunction::Majority.eval(&a).unwrap(),
+                LogicFunction::Majority.eval(&b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn majority_is_self_dual() {
+        // MAJ(!a, !b, !c) == !MAJ(a, b, c).
+        for combo in 0..8u32 {
+            let a = [(combo & 1) == 1, (combo & 2) == 2, (combo & 4) == 4];
+            let inv = [!a[0], !a[1], !a[2]];
+            assert_eq!(
+                LogicFunction::Majority.eval(&inv).unwrap(),
+                !LogicFunction::Majority.eval(&a).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn five_input_majority() {
+        let f = LogicFunction::Majority;
+        assert!(f.eval(&[true, true, true, false, false]).unwrap());
+        assert!(!f.eval(&[true, true, false, false, false]).unwrap());
+        assert_eq!(f.truth_table(5).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(LogicFunction::Majority.to_string(), "MAJ");
+        assert_eq!(LogicFunction::Xor.to_string(), "XOR");
+    }
+}

@@ -1,0 +1,282 @@
+//! The scalar-vs-parallel-vs-serialized comparison (paper §V.B and the
+//! serialization trade-off of §III).
+
+use crate::report::CostReport;
+use crate::transducer::Transducer;
+use magnon_core::gate::{ParallelGate, ParallelGateBuilder};
+use magnon_core::GateError;
+use std::fmt;
+
+/// Computes implementation costs for a given transducer technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    transducer: Transducer,
+}
+
+impl CostModel {
+    /// Creates a model around one transducer technology.
+    pub fn new(transducer: Transducer) -> Self {
+        CostModel { transducer }
+    }
+
+    /// The transducer model in use.
+    pub fn transducer(&self) -> &Transducer {
+        &self.transducer
+    }
+
+    /// Longest source→detector flight time across channels, at each
+    /// channel's group velocity.
+    fn propagation_delay(&self, gate: &ParallelGate) -> Result<f64, GateError> {
+        let mut worst: f64 = 0.0;
+        for (c, ch) in gate.channel_plan().channels().iter().enumerate() {
+            let det = gate.layout().detector_position(c)?;
+            let first = gate.layout().source_position(c, 0)?;
+            worst = worst.max((det - first) / ch.group_velocity);
+        }
+        Ok(worst)
+    }
+
+    /// Cost of the data-parallel gate itself: one waveguide carrying
+    /// `m·n` sources and `n` detectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout lookups (cannot fail for a built gate).
+    pub fn parallel_report(&self, gate: &ParallelGate) -> Result<CostReport, GateError> {
+        let n = gate.word_width();
+        let m = gate.input_count();
+        let length = gate.layout().span();
+        let transducers = n * (m + 1);
+        Ok(CostReport {
+            label: "parallel",
+            area: length * gate.waveguide().width(),
+            delay: 2.0 * self.transducer.delay() + self.propagation_delay(gate)?,
+            energy: transducers as f64 * self.transducer.energy(),
+            transducers,
+            waveguide_length: length,
+        })
+    }
+
+    /// Builds the single-data-set scalar gate equivalent: same material,
+    /// same function and input count, one channel at the gate's first
+    /// frequency.
+    fn scalar_gate(&self, gate: &ParallelGate) -> Result<ParallelGate, GateError> {
+        ParallelGateBuilder::new(*gate.waveguide())
+            .channels(1)
+            .inputs(gate.input_count())
+            .function(gate.function())
+            .base_frequency(gate.channel_plan().frequencies()[0])
+            .frequency_step(gate.channel_plan().frequencies()[0])
+            .layout_spec(*gate.layout().spec())
+            .build()
+    }
+
+    /// Cost of the conventional approach: `n` scalar gates, one per data
+    /// set (the paper's 8 replicated majority gates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scalar-gate construction errors.
+    pub fn scalar_report(&self, gate: &ParallelGate) -> Result<CostReport, GateError> {
+        let n = gate.word_width();
+        let m = gate.input_count();
+        let scalar = self.scalar_gate(gate)?;
+        let length = scalar.layout().span();
+        let transducers = n * (m + 1);
+        Ok(CostReport {
+            label: "scalar x n",
+            area: n as f64 * length * gate.waveguide().width(),
+            delay: 2.0 * self.transducer.delay() + self.propagation_delay(&scalar)?,
+            energy: transducers as f64 * self.transducer.energy(),
+            transducers,
+            waveguide_length: n as f64 * length,
+        })
+    }
+
+    /// Cost of serialization: one scalar gate reused over `n` time
+    /// slots (the alternative the paper's §III mentions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scalar-gate construction errors.
+    pub fn serialized_report(&self, gate: &ParallelGate) -> Result<CostReport, GateError> {
+        let n = gate.word_width();
+        let m = gate.input_count();
+        let scalar = self.scalar_gate(gate)?;
+        let length = scalar.layout().span();
+        let per_slot = 2.0 * self.transducer.delay() + self.propagation_delay(&scalar)?;
+        Ok(CostReport {
+            label: "serialized",
+            area: length * gate.waveguide().width(),
+            delay: n as f64 * per_slot,
+            // Same total transducer events as the other styles.
+            energy: (n * (m + 1)) as f64 * self.transducer.energy(),
+            transducers: m + 1,
+            waveguide_length: length,
+        })
+    }
+
+    /// The full three-way comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the scalar equivalents.
+    pub fn compare(&self, gate: &ParallelGate) -> Result<Comparison, GateError> {
+        Ok(Comparison {
+            parallel: self.parallel_report(gate)?,
+            scalar: self.scalar_report(gate)?,
+            serialized: self.serialized_report(gate)?,
+        })
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new(Transducer::paper_default())
+    }
+}
+
+/// Result of [`CostModel::compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// The data-parallel gate.
+    pub parallel: CostReport,
+    /// `n` replicated scalar gates.
+    pub scalar: CostReport,
+    /// One scalar gate over `n` time slots.
+    pub serialized: CostReport,
+}
+
+impl Comparison {
+    /// Area advantage of the parallel gate over replication
+    /// (`scalar / parallel`; the paper reports 4.16).
+    pub fn area_ratio(&self) -> f64 {
+        self.scalar.area / self.parallel.area
+    }
+
+    /// Delay ratio `scalar / parallel` (paper: ~1.0).
+    pub fn delay_ratio(&self) -> f64 {
+        self.scalar.delay / self.parallel.delay
+    }
+
+    /// Energy ratio `scalar / parallel` (paper: 1.0).
+    pub fn energy_ratio(&self) -> f64 {
+        self.scalar.energy / self.parallel.energy
+    }
+
+    /// Delay advantage of the parallel gate over serialization
+    /// (`serialized / parallel`; ≈ n).
+    pub fn serialization_delay_ratio(&self) -> f64 {
+        self.serialized.delay / self.parallel.delay
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.parallel)?;
+        writeln!(f, "{}", self.scalar)?;
+        writeln!(f, "{}", self.serialized)?;
+        writeln!(
+            f,
+            "parallel vs scalar-replicated : {:.2}x area, {:.2}x delay, {:.2}x energy",
+            self.area_ratio(),
+            self.delay_ratio(),
+            self.energy_ratio()
+        )?;
+        write!(
+            f,
+            "parallel vs serialized        : {:.2}x faster at {:.2}x the area",
+            self.serialization_delay_ratio(),
+            self.parallel.area / self.serialized.area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_core::truth::LogicFunction;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn byte_gate() -> ParallelGate {
+        ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn transducer_counts_equal_across_styles() {
+        // The heart of the paper's "same delay and energy" claim.
+        let cmp = CostModel::default().compare(&byte_gate()).unwrap();
+        assert_eq!(cmp.parallel.transducers, 32);
+        assert_eq!(cmp.scalar.transducers, 32);
+        assert_eq!(cmp.parallel.energy, cmp.scalar.energy);
+        assert_eq!(cmp.parallel.energy, cmp.serialized.energy);
+    }
+
+    #[test]
+    fn area_advantage_in_paper_range() {
+        // Paper: 4.16x. Our dispersion differs (see DESIGN.md), so we
+        // accept the same order: between 2x and 8x.
+        let cmp = CostModel::default().compare(&byte_gate()).unwrap();
+        let ratio = cmp.area_ratio();
+        assert!(ratio > 2.0 && ratio < 8.0, "area ratio = {ratio}");
+        assert!(cmp.parallel.area < cmp.scalar.area);
+    }
+
+    #[test]
+    fn delay_parity_with_replication() {
+        // Transducers dominate: both styles pay 2 transducer delays plus
+        // a sub-ns flight; ratio close to 1.
+        let cmp = CostModel::default().compare(&byte_gate()).unwrap();
+        let r = cmp.delay_ratio();
+        assert!(r > 0.7 && r < 1.3, "delay ratio = {r}");
+    }
+
+    #[test]
+    fn serialization_trades_delay_for_area() {
+        let cmp = CostModel::default().compare(&byte_gate()).unwrap();
+        assert!(cmp.serialization_delay_ratio() > 6.0);
+        assert!(cmp.serialized.area < cmp.parallel.area);
+    }
+
+    #[test]
+    fn areas_scale_with_word_width() {
+        let model = CostModel::default();
+        let g4 = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let g8 = byte_gate();
+        let a4 = model.parallel_report(&g4).unwrap().area;
+        let a8 = model.parallel_report(&g8).unwrap().area;
+        assert!(a8 > a4);
+        // Replication area grows linearly with n; the parallel gate
+        // sub-linearly — the essence of the area win.
+        let r4 = model.compare(&g4).unwrap().area_ratio();
+        let r8 = model.compare(&g8).unwrap().area_ratio();
+        assert!(r8 > r4, "advantage must grow with word width: {r4} vs {r8}");
+    }
+
+    #[test]
+    fn display_mentions_ratios() {
+        let cmp = CostModel::default().compare(&byte_gate()).unwrap();
+        let s = cmp.to_string();
+        assert!(s.contains("parallel vs scalar-replicated"));
+        assert!(s.contains("serialized"));
+    }
+
+    #[test]
+    fn paper_area_magnitudes() {
+        // Absolute sanity: the byte gate occupies a few hundredths of a
+        // µm², the replicated version roughly a tenth — the same decade
+        // as the paper's 0.0279 / 0.116 µm².
+        let cmp = CostModel::default().compare(&byte_gate()).unwrap();
+        assert!(cmp.parallel.area_um2() > 0.005 && cmp.parallel.area_um2() < 0.1);
+        assert!(cmp.scalar.area_um2() > 0.03 && cmp.scalar.area_um2() < 0.5);
+    }
+}

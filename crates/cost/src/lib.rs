@@ -1,0 +1,36 @@
+//! Area, delay and energy models for spin-wave logic implementations.
+//!
+//! Reproduces the paper's §V.B comparison: a byte-wide data-parallel
+//! gate against (a) eight replicated scalar gates and (b) one scalar
+//! gate reused serially over eight time slots. Following the paper, the
+//! excitation/detection transducers (10 nm × 50 nm ME cells) dominate
+//! delay and energy, so the two implementation styles differ in **area
+//! only** — the data-parallel gate packs all 24 sources and 8 detectors
+//! into a single waveguide.
+//!
+//! # Examples
+//!
+//! ```
+//! use magnon_core::prelude::*;
+//! use magnon_cost::{CostModel, Transducer};
+//! use magnon_physics::waveguide::Waveguide;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+//!     .channels(8).inputs(3).build()?;
+//! let comparison = CostModel::new(Transducer::paper_default()).compare(&gate)?;
+//! // The paper reports 4.16x area with equal delay and energy.
+//! assert!(comparison.area_ratio() > 2.5);
+//! assert!((comparison.energy_ratio() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compare;
+pub mod report;
+pub mod sweep;
+pub mod transducer;
+
+pub use compare::{Comparison, CostModel};
+pub use report::CostReport;
+pub use transducer::Transducer;

@@ -1,0 +1,85 @@
+//! Cost figures of one implementation style.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Area, delay and energy of one gate implementation, for one operation
+/// over all `n` data sets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Implementation label.
+    pub label: &'static str,
+    /// Total silicon (well, magnonic) real estate in m².
+    pub area: f64,
+    /// Latency to produce all `n` outputs, in seconds.
+    pub delay: f64,
+    /// Energy to produce all `n` outputs, in joules.
+    pub energy: f64,
+    /// Number of transducers instantiated.
+    pub transducers: usize,
+    /// Total waveguide length instantiated, in metres.
+    pub waveguide_length: f64,
+}
+
+impl CostReport {
+    /// Area in µm², the unit the paper reports.
+    pub fn area_um2(&self) -> f64 {
+        self.area * 1.0e12
+    }
+
+    /// Delay in ns.
+    pub fn delay_ns(&self) -> f64 {
+        self.delay * 1.0e9
+    }
+
+    /// Energy in aJ.
+    pub fn energy_aj(&self) -> f64 {
+        self.energy * 1.0e18
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} area {:>9.5} um^2   delay {:>7.3} ns   energy {:>8.1} aJ   ({} transducers, {:.0} nm waveguide)",
+            self.label,
+            self.area_um2(),
+            self.delay_ns(),
+            self.energy_aj(),
+            self.transducers,
+            self.waveguide_length * 1.0e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CostReport {
+        CostReport {
+            label: "test",
+            area: 2.79e-14,
+            delay: 1.0e-9,
+            energy: 4.8e-16,
+            transducers: 32,
+            waveguide_length: 5.0e-7,
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = report();
+        assert!((r.area_um2() - 0.0279).abs() < 1e-6);
+        assert!((r.delay_ns() - 1.0).abs() < 1e-12);
+        assert!((r.energy_aj() - 480.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_contains_figures() {
+        let s = report().to_string();
+        assert!(s.contains("um^2"));
+        assert!(s.contains("32 transducers"));
+    }
+}

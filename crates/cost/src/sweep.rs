@@ -1,0 +1,208 @@
+//! Area-advantage sweeps: how the paper's 4.16× generalises with the
+//! word width and the input count.
+//!
+//! The paper evaluates one point (n = 8, m = 3). The advantage is not
+//! constant: replication area grows linearly in `n` while the parallel
+//! gate grows sub-linearly (shared waveguide, only the interleave floor
+//! stretches), so wider words win more — *on average*. Because the
+//! same-channel spacings are quantized to wavelength multiples, the
+//! floor occasionally jumps a full wavelength and the trend locally
+//! reverses (e.g. n = 12 at 5 GHz spacing scores below n = 8); the
+//! sweep exposes exactly this structure.
+
+use crate::compare::CostModel;
+use magnon_core::gate::ParallelGateBuilder;
+use magnon_core::truth::LogicFunction;
+use magnon_core::GateError;
+use magnon_physics::waveguide::Waveguide;
+
+/// One point of an area-advantage sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Word width `n`.
+    pub channels: usize,
+    /// Input count `m`.
+    pub inputs: usize,
+    /// Parallel gate area in m².
+    pub parallel_area: f64,
+    /// Replicated scalar area in m².
+    pub scalar_area: f64,
+    /// `scalar / parallel` area ratio.
+    pub area_ratio: f64,
+}
+
+/// Sweeps the word width at fixed input count.
+///
+/// `f_step` must keep every channel allocatable (all above FMR and
+/// below any intended cap).
+///
+/// # Errors
+///
+/// Propagates gate construction errors.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_cost::sweep::word_width_sweep;
+/// use magnon_cost::CostModel;
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let points = word_width_sweep(
+///     &CostModel::default(),
+///     &Waveguide::paper_default()?,
+///     3,
+///     &[2, 4, 8],
+///     10.0e9,
+///     10.0e9,
+/// )?;
+/// // Wider words enjoy a larger area advantage.
+/// assert!(points[2].area_ratio > points[0].area_ratio);
+/// # Ok(())
+/// # }
+/// ```
+pub fn word_width_sweep(
+    model: &CostModel,
+    waveguide: &Waveguide,
+    inputs: usize,
+    channel_counts: &[usize],
+    f_start: f64,
+    f_step: f64,
+) -> Result<Vec<SweepPoint>, GateError> {
+    channel_counts
+        .iter()
+        .map(|&n| {
+            let gate = ParallelGateBuilder::new(*waveguide)
+                .channels(n)
+                .inputs(inputs)
+                .function(LogicFunction::Majority)
+                .base_frequency(f_start)
+                .frequency_step(f_step)
+                .build()?;
+            let cmp = model.compare(&gate)?;
+            Ok(SweepPoint {
+                channels: n,
+                inputs,
+                parallel_area: cmp.parallel.area,
+                scalar_area: cmp.scalar.area,
+                area_ratio: cmp.area_ratio(),
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the input count at fixed word width (odd inputs only —
+/// majority gates).
+///
+/// # Errors
+///
+/// Propagates gate construction errors.
+pub fn input_count_sweep(
+    model: &CostModel,
+    waveguide: &Waveguide,
+    channels: usize,
+    input_counts: &[usize],
+    f_start: f64,
+    f_step: f64,
+) -> Result<Vec<SweepPoint>, GateError> {
+    input_counts
+        .iter()
+        .map(|&m| {
+            let gate = ParallelGateBuilder::new(*waveguide)
+                .channels(channels)
+                .inputs(m)
+                .function(LogicFunction::Majority)
+                .base_frequency(f_start)
+                .frequency_step(f_step)
+                .build()?;
+            let cmp = model.compare(&gate)?;
+            Ok(SweepPoint {
+                channels,
+                inputs: m,
+                parallel_area: cmp.parallel.area,
+                scalar_area: cmp.scalar.area,
+                area_ratio: cmp.area_ratio(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::GHZ;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    fn guide() -> Waveguide {
+        Waveguide::paper_default().unwrap()
+    }
+
+    #[test]
+    fn advantage_grows_with_word_width_overall() {
+        let points = word_width_sweep(
+            &model(),
+            &guide(),
+            3,
+            &[2, 4, 8, 12],
+            10.0 * GHZ,
+            5.0 * GHZ,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        // The trend: wider words clearly beat narrow ones, even though
+        // wavelength-multiple quantization makes the curve non-monotone
+        // point to point (n=12 can dip below n=8).
+        assert!(points[2].area_ratio > points[0].area_ratio + 0.5, "{points:?}");
+        assert!(points.iter().all(|p| p.area_ratio > 1.5));
+        // Scalar area is exactly linear in n (same gate, n copies).
+        let per_gate = points[0].scalar_area / 2.0;
+        for p in &points {
+            assert!((p.scalar_area - per_gate * p.channels as f64).abs() / p.scalar_area < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantization_makes_curve_non_monotone() {
+        // Document the interleave-floor quantization effect explicitly:
+        // at 5 GHz spacing the n=12 ratio falls below the n=8 ratio.
+        let points =
+            word_width_sweep(&model(), &guide(), 3, &[8, 12], 10.0 * GHZ, 5.0 * GHZ).unwrap();
+        assert!(
+            points[1].area_ratio < points[0].area_ratio,
+            "expected the documented local reversal: {points:?}"
+        );
+    }
+
+    #[test]
+    fn paper_point_is_on_the_curve() {
+        let points =
+            word_width_sweep(&model(), &guide(), 3, &[8], 10.0 * GHZ, 10.0 * GHZ).unwrap();
+        assert_eq!(points[0].channels, 8);
+        assert!(points[0].area_ratio > 3.0 && points[0].area_ratio < 4.5);
+    }
+
+    #[test]
+    fn input_sweep_valid_for_odd_counts() {
+        let points =
+            input_count_sweep(&model(), &guide(), 4, &[3, 5, 7], 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.area_ratio > 1.0);
+            assert!(p.parallel_area > 0.0);
+        }
+        // More inputs -> longer gates on both sides.
+        assert!(points[2].parallel_area > points[0].parallel_area);
+        assert!(points[2].scalar_area > points[0].scalar_area);
+    }
+
+    #[test]
+    fn even_input_counts_rejected() {
+        assert!(
+            input_count_sweep(&model(), &guide(), 4, &[4], 10.0 * GHZ, 10.0 * GHZ).is_err()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Behavioural transducer (ME cell) model.
+
+use magnon_core::GateError;
+use magnon_math::constants::{AJ, NM, NS};
+use serde::{Deserialize, Serialize};
+
+/// An excitation/detection transducer.
+///
+/// The paper assumes 10 nm × 50 nm cells that dominate gate delay and
+/// energy; the default delay and energy values are representative
+/// magnetoelectric-cell figures from the spin-wave circuit literature
+/// and are freely configurable — the comparison depends only on
+/// transducer *counts* being equal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transducer {
+    width: f64,
+    length: f64,
+    delay: f64,
+    energy: f64,
+}
+
+impl Transducer {
+    /// Creates a transducer model.
+    ///
+    /// * `width` — footprint along the waveguide, m.
+    /// * `length` — footprint across the waveguide, m.
+    /// * `delay` — excitation/detection latency, s.
+    /// * `energy` — energy per excitation or detection event, J.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for non-positive values.
+    pub fn new(width: f64, length: f64, delay: f64, energy: f64) -> Result<Self, GateError> {
+        for (name, v) in [
+            ("width", width),
+            ("length", length),
+            ("delay", delay),
+            ("energy", energy),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(GateError::InvalidParameter { parameter: name, value: v });
+            }
+        }
+        Ok(Transducer { width, length, delay, energy })
+    }
+
+    /// The paper's assumption: 10 nm × 50 nm cells; 0.42 ns and 15 aJ
+    /// per event (representative ME-cell figures).
+    pub fn paper_default() -> Self {
+        Transducer {
+            width: 10.0 * NM,
+            length: 50.0 * NM,
+            delay: 0.42 * NS,
+            energy: 15.0 * AJ,
+        }
+    }
+
+    /// Footprint along the waveguide in metres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Footprint across the waveguide in metres.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Latency per event in seconds.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Energy per event in joules.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Footprint area in m².
+    pub fn area(&self) -> f64 {
+        self.width * self.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_footprint() {
+        let t = Transducer::paper_default();
+        assert!((t.width() - 10.0 * NM).abs() < 1e-15);
+        assert!((t.length() - 50.0 * NM).abs() < 1e-15);
+        assert!((t.area() - 500.0 * NM * NM).abs() < 1e-30);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Transducer::new(0.0, 1e-9, 1e-9, 1e-18).is_err());
+        assert!(Transducer::new(1e-9, -1.0, 1e-9, 1e-18).is_err());
+        assert!(Transducer::new(1e-9, 1e-9, 0.0, 1e-18).is_err());
+        assert!(Transducer::new(1e-9, 1e-9, 1e-9, f64::NAN).is_err());
+        assert!(Transducer::new(1e-8, 5e-8, 4e-10, 1.5e-17).is_ok());
+    }
+}

@@ -1,0 +1,395 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The workspace deliberately avoids an external complex-number crate;
+//! wave superposition and spectral analysis need only the operations
+//! implemented here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// Used throughout the workspace for spin-wave amplitudes
+/// (`a·e^{iφ}`) and FFT spectra.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::Complex64;
+///
+/// let a = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+/// assert!((a.re).abs() < 1e-12);
+/// assert!((a.im - 2.0).abs() < 1e-12);
+/// assert!((a.abs() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_math::Complex64;
+    /// let z = Complex64::new(3.0, -4.0);
+    /// assert_eq!(z.abs(), 5.0);
+    /// ```
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar form `r·e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_math::Complex64;
+    /// let z = Complex64::from_polar(1.0, std::f64::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}` — a unit phasor at angle `theta`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::from_polar(1.0, theta)
+    }
+
+    /// Magnitude |z|.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude |z|²; cheaper than [`Complex64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Complex exponential `e^z`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_math::Complex64;
+    /// let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+    /// assert!((z.re + 1.0).abs() < 1e-12);
+    /// assert!(z.im.abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+
+    /// Reciprocal `1/z`.
+    ///
+    /// Returns an unbounded value when `z` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Integer power by repeated squaring.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_math::Complex64;
+    /// let z = Complex64::I.powi(4);
+    /// assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+    /// ```
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Complex64::ONE;
+        }
+        let mut base = if n < 0 { self.recip() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex64::new(1.5, -2.5);
+        assert_eq!(z.re, 1.5);
+        assert_eq!(z.im, -2.5);
+        assert_eq!(Complex64::from(3.0), Complex64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(-(-a), a));
+        assert!(close(a * Complex64::ONE, a));
+        assert!(close(a + Complex64::ZERO, a));
+    }
+
+    #[test]
+    fn multiplication_matches_polar_form() {
+        let a = Complex64::from_polar(2.0, 0.3);
+        let b = Complex64::from_polar(0.5, 1.1);
+        let p = a * b;
+        assert!((p.abs() - 1.0).abs() < EPS);
+        assert!((p.arg() - 1.4).abs() < EPS);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn conjugate_negates_phase() {
+        let z = Complex64::from_polar(1.0, FRAC_PI_2);
+        assert!((z.conj().arg() + FRAC_PI_2).abs() < EPS);
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = Complex64::new(0.0, PI).exp();
+        assert!(close(z, -Complex64::ONE));
+    }
+
+    #[test]
+    fn powi_positive_negative_zero() {
+        let z = Complex64::new(0.5, 0.5);
+        assert!(close(z.powi(0), Complex64::ONE));
+        assert!(close(z.powi(3), z * z * z));
+        assert!(close(z.powi(-2), (z * z).recip()));
+    }
+
+    #[test]
+    fn scalar_ops_commute() {
+        let z = Complex64::new(1.0, -1.0);
+        assert!(close(2.0 * z, z * 2.0));
+        assert!(close(z / 2.0, z * 0.5));
+    }
+
+    #[test]
+    fn sum_of_phasors_cancels() {
+        // Four phasors equally spaced around the circle sum to zero.
+        let total: Complex64 = (0..4).map(|k| Complex64::cis(k as f64 * FRAC_PI_2)).sum();
+        assert!(total.abs() < EPS);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex64::new(1.0, 1.0);
+        z += Complex64::ONE;
+        z -= Complex64::I;
+        z *= Complex64::new(0.0, 1.0);
+        assert!(close(z, Complex64::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Complex64::new(1.0, 2.0).is_finite());
+        assert!(!Complex64::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex64::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,69 @@
+//! Physical constants and unit multipliers used across the workspace.
+//!
+//! All quantities are SI. Unit multipliers ([`NM`], [`GHZ`], …) make the
+//! intent of literals explicit: `50.0 * NM` reads as "50 nanometres".
+//!
+//! # Examples
+//!
+//! ```
+//! use magnon_math::constants::{GAMMA_E, MU_0, GHZ};
+//!
+//! // Ferromagnetic resonance of a 0.13 T effective field, in GHz:
+//! let f = GAMMA_E * 0.13 / (2.0 * std::f64::consts::PI) / GHZ;
+//! assert!((f - 3.64).abs() < 0.02);
+//! ```
+
+/// Electron gyromagnetic ratio γ (rad·s⁻¹·T⁻¹) for g ≈ 2.002.
+pub const GAMMA_E: f64 = 1.760_859_630e11;
+
+/// Vacuum permeability μ₀ (T·m·A⁻¹).
+pub const MU_0: f64 = 1.256_637_062e-6;
+
+/// Reduced Planck constant ħ (J·s).
+pub const HBAR: f64 = 1.054_571_817e-34;
+
+/// Boltzmann constant k_B (J·K⁻¹).
+pub const K_B: f64 = 1.380_649e-23;
+
+/// One nanometre in metres.
+pub const NM: f64 = 1.0e-9;
+
+/// One micrometre in metres.
+pub const UM: f64 = 1.0e-6;
+
+/// One picosecond in seconds.
+pub const PS: f64 = 1.0e-12;
+
+/// One nanosecond in seconds.
+pub const NS: f64 = 1.0e-9;
+
+/// One gigahertz in hertz.
+pub const GHZ: f64 = 1.0e9;
+
+/// One attojoule in joules.
+pub const AJ: f64 = 1.0e-18;
+
+/// Gyromagnetic ratio divided by 2π (Hz·T⁻¹); ≈ 28.02 GHz/T.
+pub const GAMMA_E_OVER_2PI: f64 = GAMMA_E / (2.0 * std::f64::consts::PI);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_over_2pi_is_28_ghz_per_tesla() {
+        assert!((GAMMA_E_OVER_2PI / GHZ - 28.024).abs() < 0.01);
+    }
+
+    #[test]
+    fn mu0_matches_4pi_e7_to_si_redefinition_accuracy() {
+        let classic = 4.0 * std::f64::consts::PI * 1.0e-7;
+        assert!((MU_0 - classic).abs() / classic < 1.0e-9);
+    }
+
+    #[test]
+    fn unit_multipliers_compose() {
+        assert!((50.0 * NM - 5.0e-8).abs() < 1e-20);
+        assert!((2.5 * NS / PS - 2500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type shared by the numerical routines.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::{fft, Complex64, MathError};
+///
+/// let mut data = vec![Complex64::ZERO; 3]; // not a power of two
+/// assert!(matches!(
+///     fft::fft_in_place(&mut data),
+///     Err(MathError::NotPowerOfTwo { len: 3 })
+/// ));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// An FFT was requested on a buffer whose length is not a power of two.
+    NotPowerOfTwo {
+        /// Offending buffer length.
+        len: usize,
+    },
+    /// An operation that requires a non-empty input received an empty one.
+    EmptyInput,
+    /// A sampling interval, frequency or other scale parameter was not
+    /// strictly positive and finite.
+    InvalidScale {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected.
+        value: f64,
+    },
+    /// A requested frequency exceeds the Nyquist frequency of the series.
+    AboveNyquist {
+        /// Requested frequency in Hz.
+        frequency: f64,
+        /// Nyquist frequency of the sampled series in Hz.
+        nyquist: f64,
+    },
+    /// A root finder was given a bracket that does not straddle a sign
+    /// change.
+    InvalidBracket {
+        /// Lower bracket edge.
+        lo: f64,
+        /// Upper bracket edge.
+        hi: f64,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Interpolation abscissae were not strictly increasing.
+    NotMonotonic,
+    /// Inputs that must have identical lengths did not.
+    LengthMismatch {
+        /// Length of the first input.
+        expected: usize,
+        /// Length of the offending input.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::NotPowerOfTwo { len } => {
+                write!(f, "buffer length {len} is not a power of two")
+            }
+            MathError::EmptyInput => write!(f, "input is empty"),
+            MathError::InvalidScale { name, value } => {
+                write!(f, "parameter `{name}` must be positive and finite, got {value}")
+            }
+            MathError::AboveNyquist { frequency, nyquist } => {
+                write!(
+                    f,
+                    "frequency {frequency:.3e} Hz exceeds the Nyquist frequency {nyquist:.3e} Hz"
+                )
+            }
+            MathError::InvalidBracket { lo, hi } => {
+                write!(f, "bracket [{lo:.6e}, {hi:.6e}] does not straddle a root")
+            }
+            MathError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            MathError::NotMonotonic => write!(f, "abscissae are not strictly increasing"),
+            MathError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = MathError::NotPowerOfTwo { len: 7 };
+        let msg = e.to_string();
+        assert!(msg.contains('7'));
+        assert!(msg.starts_with("buffer"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(MathError::EmptyInput, MathError::EmptyInput);
+        assert_ne!(
+            MathError::NotPowerOfTwo { len: 3 },
+            MathError::NotPowerOfTwo { len: 5 }
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(MathError::EmptyInput);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Radix-2 Cooley–Tukey FFT.
+//!
+//! The spectra in the paper (Fig. 3) are obtained by Fourier-transforming
+//! the simulated `Mx(t)` detector signal; this module provides the
+//! transform. Only power-of-two lengths are supported — callers pad with
+//! [`next_power_of_two_len`] / zero-extension, which
+//! [`crate::spectrum::TimeSeries`] does automatically.
+
+use crate::complex::Complex64;
+use crate::error::MathError;
+
+/// Returns the smallest power of two that is `>= n` (and at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::fft::next_power_of_two_len;
+/// assert_eq!(next_power_of_two_len(1000), 1024);
+/// assert_eq!(next_power_of_two_len(1024), 1024);
+/// assert_eq!(next_power_of_two_len(0), 1);
+/// ```
+pub fn next_power_of_two_len(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn fft_core(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex64::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place forward FFT (engineering sign convention, `X_k = Σ x_n e^{-2πi k n / N}`).
+///
+/// # Errors
+///
+/// Returns [`MathError::NotPowerOfTwo`] if `data.len()` is not a power of
+/// two, and [`MathError::EmptyInput`] for an empty buffer.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::{fft, Complex64};
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// // The FFT of an impulse is flat.
+/// let mut data = vec![Complex64::ZERO; 8];
+/// data[0] = Complex64::ONE;
+/// fft::fft_in_place(&mut data)?;
+/// for bin in &data {
+///     assert!((bin.re - 1.0).abs() < 1e-12 && bin.im.abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), MathError> {
+    validate(data.len())?;
+    fft_core(data, false);
+    Ok(())
+}
+
+/// In-place inverse FFT, normalised by `1/N` so that
+/// `ifft(fft(x)) == x`.
+///
+/// # Errors
+///
+/// Same conditions as [`fft_in_place`].
+pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), MathError> {
+    validate(data.len())?;
+    fft_core(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z / n;
+    }
+    Ok(())
+}
+
+fn validate(len: usize) -> Result<(), MathError> {
+    if len == 0 {
+        return Err(MathError::EmptyInput);
+    }
+    if !len.is_power_of_two() {
+        return Err(MathError::NotPowerOfTwo { len });
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum (length = padded length).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] when `signal` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::fft::fft_real;
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// let signal: Vec<f64> = (0..64)
+///     .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 64.0).cos())
+///     .collect();
+/// let spec = fft_real(&signal)?;
+/// // Energy concentrates in bins 8 and 64-8.
+/// assert!(spec[8].abs() > 30.0);
+/// assert!(spec[9].abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex64>, MathError> {
+    if signal.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let n = next_power_of_two_len(signal.len());
+    let mut data = Vec::with_capacity(n);
+    data.extend(signal.iter().map(|&x| Complex64::new(x, 0.0)));
+    data.resize(n, Complex64::ZERO);
+    fft_in_place(&mut data)?;
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| x[j] * Complex64::cis(-2.0 * PI * (k * j) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex64::ZERO; 12];
+        assert_eq!(
+            fft_in_place(&mut data),
+            Err(MathError::NotPowerOfTwo { len: 12 })
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut data: Vec<Complex64> = vec![];
+        assert_eq!(fft_in_place(&mut data), Err(MathError::EmptyInput));
+        assert_eq!(fft_real(&[]).unwrap_err(), MathError::EmptyInput);
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let mut data = vec![Complex64::new(3.0, -1.0)];
+        fft_in_place(&mut data).unwrap();
+        assert_eq!(data[0], Complex64::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let expected = naive_dft(&x);
+        let mut got = x.clone();
+        fft_in_place(&mut got).unwrap();
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((*g - *e).abs() < 1e-9, "fft differs from dft");
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let x: Vec<Complex64> = (0..128)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut data = x.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let x: Vec<Complex64> = (0..256)
+            .map(|i| Complex64::new((i as f64 * 0.21).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = x.clone();
+        fft_in_place(&mut spec).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn pure_tone_lands_in_single_bin() {
+        let n = 512;
+        let bin = 37;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * bin as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&signal).unwrap();
+        // sin -> ±i N/2 at bins k and N-k
+        assert!((spec[bin].abs() - n as f64 / 2.0).abs() < 1e-6);
+        assert!((spec[n - bin].abs() - n as f64 / 2.0).abs() < 1e-6);
+        for (k, z) in spec.iter().enumerate() {
+            if k != bin && k != n - bin {
+                assert!(z.abs() < 1e-6, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn fft_is_linear() {
+        let a: Vec<Complex64> = (0..64).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new(0.0, (i as f64).cos()))
+            .collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        fft_in_place(&mut fa).unwrap();
+        fft_in_place(&mut fb).unwrap();
+        fft_in_place(&mut fab).unwrap();
+        for i in 0..64 {
+            assert!((fab[i] - (fa[i] + fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn real_input_spectrum_is_conjugate_symmetric() {
+        let signal: Vec<f64> = (0..128).map(|i| (i as f64 * 0.17).sin() + 0.3).collect();
+        let spec = fft_real(&signal).unwrap();
+        let n = spec.len();
+        for k in 1..n / 2 {
+            let diff = spec[k] - spec[n - k].conj();
+            assert!(diff.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_padding_applied_for_non_power_of_two_real_input() {
+        let signal = vec![1.0; 100];
+        let spec = fft_real(&signal).unwrap();
+        assert_eq!(spec.len(), 128);
+        // DC bin equals the sum of samples.
+        assert!((spec[0].re - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,436 @@
+//! Explicit ODE integrators.
+//!
+//! The micromagnetic solver integrates the Landau–Lifshitz–Gilbert
+//! equation with the classic fixed-step RK4 scheme; the adaptive
+//! Dormand–Prince integrator is provided for macrospin studies where the
+//! step size is not dictated by exchange stiffness.
+
+use crate::error::MathError;
+
+/// A first-order ODE system `dy/dt = f(t, y)` over a flat state vector.
+///
+/// Implementors fill `dydt` rather than allocating, so integrators can
+/// run allocation-free in their inner loop.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::integrate::{OdeSystem, Rk4};
+///
+/// /// dy/dt = -y  (exponential decay)
+/// struct Decay;
+/// impl OdeSystem for Decay {
+///     fn dim(&self) -> usize { 1 }
+///     fn eval(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+///         dydt[0] = -y[0];
+///     }
+/// }
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// let mut y = vec![1.0];
+/// let mut stepper = Rk4::new(1)?;
+/// let mut t = 0.0;
+/// while t < 1.0 {
+///     stepper.step(&Decay, t, &mut y, 1e-3);
+///     t += 1e-3;
+/// }
+/// assert!((y[0] - (-1.0f64).exp()).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub trait OdeSystem {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+    /// Writes `f(t, y)` into `dydt` (`dydt.len() == y.len() == dim`).
+    fn eval(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// Fixed-step fourth-order Runge–Kutta integrator with reusable
+/// work buffers.
+#[derive(Debug, Clone)]
+pub struct Rk4 {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Rk4 {
+    /// Creates an integrator for systems of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::EmptyInput`] for `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self, MathError> {
+        if dim == 0 {
+            return Err(MathError::EmptyInput);
+        }
+        Ok(Rk4 {
+            k1: vec![0.0; dim],
+            k2: vec![0.0; dim],
+            k3: vec![0.0; dim],
+            k4: vec![0.0; dim],
+            tmp: vec![0.0; dim],
+        })
+    }
+
+    /// Advances `y` in place from `t` to `t + dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the dimension the integrator was
+    /// constructed with.
+    pub fn step<S: OdeSystem>(&mut self, system: &S, t: f64, y: &mut [f64], dt: f64) {
+        let n = self.k1.len();
+        assert_eq!(y.len(), n, "state dimension mismatch");
+        system.eval(t, y, &mut self.k1);
+        for i in 0..n {
+            self.tmp[i] = y[i] + 0.5 * dt * self.k1[i];
+        }
+        system.eval(t + 0.5 * dt, &self.tmp, &mut self.k2);
+        for i in 0..n {
+            self.tmp[i] = y[i] + 0.5 * dt * self.k2[i];
+        }
+        system.eval(t + 0.5 * dt, &self.tmp, &mut self.k3);
+        for i in 0..n {
+            self.tmp[i] = y[i] + dt * self.k3[i];
+        }
+        system.eval(t + dt, &self.tmp, &mut self.k4);
+        for i in 0..n {
+            y[i] += dt / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+        }
+    }
+}
+
+/// Second-order Heun (explicit trapezoidal) integrator.
+///
+/// Half the field evaluations of RK4 per step; used where speed matters
+/// more than fourth-order accuracy.
+#[derive(Debug, Clone)]
+pub struct Heun {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Heun {
+    /// Creates an integrator for systems of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::EmptyInput`] for `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self, MathError> {
+        if dim == 0 {
+            return Err(MathError::EmptyInput);
+        }
+        Ok(Heun {
+            k1: vec![0.0; dim],
+            k2: vec![0.0; dim],
+            tmp: vec![0.0; dim],
+        })
+    }
+
+    /// Advances `y` in place from `t` to `t + dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the constructed dimension.
+    pub fn step<S: OdeSystem>(&mut self, system: &S, t: f64, y: &mut [f64], dt: f64) {
+        let n = self.k1.len();
+        assert_eq!(y.len(), n, "state dimension mismatch");
+        system.eval(t, y, &mut self.k1);
+        for i in 0..n {
+            self.tmp[i] = y[i] + dt * self.k1[i];
+        }
+        system.eval(t + dt, &self.tmp, &mut self.k2);
+        for i in 0..n {
+            y[i] += 0.5 * dt * (self.k1[i] + self.k2[i]);
+        }
+    }
+}
+
+/// Outcome of an adaptive integration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveStats {
+    /// Number of accepted steps.
+    pub accepted: usize,
+    /// Number of rejected (retried) steps.
+    pub rejected: usize,
+    /// Final step size.
+    pub final_dt: f64,
+}
+
+/// Adaptive Dormand–Prince 5(4) integrator.
+#[derive(Debug, Clone)]
+pub struct DormandPrince {
+    /// Relative error tolerance per step.
+    pub rel_tol: f64,
+    /// Absolute error tolerance per step.
+    pub abs_tol: f64,
+    /// Hard cap on total accepted + rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for DormandPrince {
+    fn default() -> Self {
+        DormandPrince { rel_tol: 1e-8, abs_tol: 1e-10, max_steps: 1_000_000 }
+    }
+}
+
+impl DormandPrince {
+    /// Integrates `y` from `t0` to `t1` with adaptive step size,
+    /// starting from an initial guess `dt0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidScale`] if `t1 <= t0` or `dt0` is not
+    ///   positive.
+    /// * [`MathError::NoConvergence`] if `max_steps` is exhausted.
+    pub fn integrate<S: OdeSystem>(
+        &self,
+        system: &S,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+        dt0: f64,
+    ) -> Result<AdaptiveStats, MathError> {
+        if !(t1 > t0) {
+            return Err(MathError::InvalidScale { name: "t1 - t0", value: t1 - t0 });
+        }
+        if !(dt0.is_finite() && dt0 > 0.0) {
+            return Err(MathError::InvalidScale { name: "dt0", value: dt0 });
+        }
+        let n = y.len();
+        let mut k = vec![vec![0.0; n]; 7];
+        let mut tmp = vec![0.0; n];
+        let mut y5 = vec![0.0; n];
+        let mut y4 = vec![0.0; n];
+
+        // Dormand–Prince Butcher tableau.
+        const A: [[f64; 6]; 6] = [
+            [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+            [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+            [19372.0 / 6561.0, -25360.0 / 2187.0, 64448.0 / 6561.0, -212.0 / 729.0, 0.0, 0.0],
+            [9017.0 / 3168.0, -355.0 / 33.0, 46732.0 / 5247.0, 49.0 / 176.0, -5103.0 / 18656.0, 0.0],
+            [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0],
+        ];
+        const C: [f64; 6] = [0.2, 0.3, 0.8, 8.0 / 9.0, 1.0, 1.0];
+        const B5: [f64; 7] = [
+            35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0,
+        ];
+        const B4: [f64; 7] = [
+            5179.0 / 57600.0, 0.0, 7571.0 / 16695.0, 393.0 / 640.0,
+            -92097.0 / 339200.0, 187.0 / 2100.0, 1.0 / 40.0,
+        ];
+
+        let mut t = t0;
+        let mut dt = dt0.min(t1 - t0);
+        let mut stats = AdaptiveStats { accepted: 0, rejected: 0, final_dt: dt };
+
+        while t < t1 {
+            if stats.accepted + stats.rejected >= self.max_steps {
+                return Err(MathError::NoConvergence { iterations: self.max_steps });
+            }
+            dt = dt.min(t1 - t);
+            system.eval(t, y, &mut k[0]);
+            for s in 0..6 {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, a) in A[s].iter().enumerate().take(s + 1) {
+                        acc += a * k[j][i];
+                    }
+                    tmp[i] = y[i] + dt * acc;
+                }
+                system.eval(t + C[s] * dt, &tmp, &mut k[s + 1]);
+            }
+            let mut err_norm = 0.0f64;
+            for i in 0..n {
+                let mut acc5 = 0.0;
+                let mut acc4 = 0.0;
+                for s in 0..7 {
+                    acc5 += B5[s] * k[s][i];
+                    acc4 += B4[s] * k[s][i];
+                }
+                y5[i] = y[i] + dt * acc5;
+                y4[i] = y[i] + dt * acc4;
+                let scale = self.abs_tol + self.rel_tol * y5[i].abs().max(y[i].abs());
+                let e = (y5[i] - y4[i]) / scale;
+                err_norm += e * e;
+            }
+            err_norm = (err_norm / n as f64).sqrt();
+            if err_norm <= 1.0 {
+                t += dt;
+                y.copy_from_slice(&y5);
+                stats.accepted += 1;
+            } else {
+                stats.rejected += 1;
+            }
+            let factor = if err_norm > 0.0 {
+                0.9 * err_norm.powf(-0.2)
+            } else {
+                5.0
+            };
+            dt *= factor.clamp(0.2, 5.0);
+            stats.final_dt = dt;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Decay {
+        rate: f64,
+    }
+
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn eval(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = -self.rate * y[0];
+        }
+    }
+
+    /// Harmonic oscillator: y = (q, p), H = (q² + p²)/2.
+    struct Oscillator {
+        omega: f64,
+    }
+
+    impl OdeSystem for Oscillator {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = y[1];
+            dydt[1] = -self.omega * self.omega * y[0];
+        }
+    }
+
+    #[test]
+    fn rk4_rejects_zero_dim() {
+        assert!(Rk4::new(0).is_err());
+        assert!(Heun::new(0).is_err());
+    }
+
+    #[test]
+    fn rk4_exponential_decay_fourth_order() {
+        let sys = Decay { rate: 1.0 };
+        let run = |dt: f64| {
+            let mut y = vec![1.0];
+            let mut rk = Rk4::new(1).unwrap();
+            let steps = (1.0 / dt).round() as usize;
+            for s in 0..steps {
+                rk.step(&sys, s as f64 * dt, &mut y, dt);
+            }
+            (y[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(0.01);
+        let e2 = run(0.02);
+        // Fourth order: halving dt reduces error by ~16x.
+        assert!(e2 / e1 > 10.0, "e1={e1}, e2={e2}");
+        assert!(e1 < 1e-9);
+    }
+
+    #[test]
+    fn heun_second_order() {
+        let sys = Decay { rate: 1.0 };
+        let run = |dt: f64| {
+            let mut y = vec![1.0];
+            let mut h = Heun::new(1).unwrap();
+            let steps = (1.0 / dt).round() as usize;
+            for s in 0..steps {
+                h.step(&sys, s as f64 * dt, &mut y, dt);
+            }
+            (y[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(0.005);
+        let e2 = run(0.01);
+        assert!(e2 / e1 > 3.0, "e1={e1}, e2={e2}");
+    }
+
+    #[test]
+    fn rk4_oscillator_preserves_energy() {
+        let sys = Oscillator { omega: 2.0 * std::f64::consts::PI };
+        let mut y = vec![1.0, 0.0];
+        let mut rk = Rk4::new(2).unwrap();
+        let dt = 1e-3;
+        for s in 0..10_000 {
+            rk.step(&sys, s as f64 * dt, &mut y, dt);
+        }
+        let energy = (y[0] * y[0] * sys.omega * sys.omega + y[1] * y[1]) / 2.0;
+        let initial = sys.omega * sys.omega / 2.0;
+        assert!((energy - initial).abs() / initial < 1e-6);
+    }
+
+    #[test]
+    fn rk4_oscillator_period() {
+        // One full period returns to the initial state.
+        let sys = Oscillator { omega: 1.0 };
+        let mut y = vec![1.0, 0.0];
+        let mut rk = Rk4::new(2).unwrap();
+        let period = 2.0 * std::f64::consts::PI;
+        let steps = 10_000usize;
+        let dt = period / steps as f64;
+        for s in 0..steps {
+            rk.step(&sys, s as f64 * dt, &mut y, dt);
+        }
+        assert!((y[0] - 1.0).abs() < 1e-8);
+        assert!(y[1].abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn rk4_panics_on_dim_mismatch() {
+        let sys = Decay { rate: 1.0 };
+        let mut y = vec![1.0, 2.0];
+        let mut rk = Rk4::new(1).unwrap();
+        rk.step(&sys, 0.0, &mut y, 0.1);
+    }
+
+    #[test]
+    fn dormand_prince_decay() {
+        let sys = Decay { rate: 3.0 };
+        let mut y = vec![2.0];
+        let dp = DormandPrince::default();
+        let stats = dp.integrate(&sys, 0.0, 1.0, &mut y, 0.1).unwrap();
+        assert!((y[0] - 2.0 * (-3.0f64).exp()).abs() < 1e-7);
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn dormand_prince_adapts_step() {
+        let sys = Oscillator { omega: 50.0 };
+        let mut y = vec![1.0, 0.0];
+        let dp = DormandPrince { rel_tol: 1e-9, abs_tol: 1e-12, max_steps: 100_000 };
+        let stats = dp.integrate(&sys, 0.0, 1.0, &mut y, 0.5).unwrap();
+        // The initial dt=0.5 is far too large for ω=50; rejections expected.
+        assert!(stats.rejected > 0);
+        let expect_q = (50.0f64).cos();
+        assert!((y[0] - expect_q).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dormand_prince_validates_interval() {
+        let sys = Decay { rate: 1.0 };
+        let mut y = vec![1.0];
+        let dp = DormandPrince::default();
+        assert!(dp.integrate(&sys, 1.0, 0.0, &mut y, 0.1).is_err());
+        assert!(dp.integrate(&sys, 0.0, 1.0, &mut y, 0.0).is_err());
+    }
+
+    #[test]
+    fn dormand_prince_step_budget() {
+        let sys = Oscillator { omega: 1000.0 };
+        let mut y = vec![1.0, 0.0];
+        let dp = DormandPrince { rel_tol: 1e-13, abs_tol: 1e-14, max_steps: 10 };
+        assert!(matches!(
+            dp.integrate(&sys, 0.0, 100.0, &mut y, 1e-6),
+            Err(MathError::NoConvergence { iterations: 10 })
+        ));
+    }
+}

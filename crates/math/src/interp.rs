@@ -1,0 +1,183 @@
+//! Linear interpolation over tabulated data.
+//!
+//! Used for dispersion look-up tables and post-processing sweeps.
+
+use crate::error::MathError;
+
+/// A piecewise-linear interpolant over strictly increasing abscissae.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::interp::Interp1d;
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// let table = Interp1d::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(table.eval(0.5), 5.0);
+/// assert_eq!(table.eval(1.5), 25.0);
+/// // Out-of-range queries clamp to the boundary values.
+/// assert_eq!(table.eval(-1.0), 0.0);
+/// assert_eq!(table.eval(5.0), 40.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interp1d {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Interp1d {
+    /// Builds an interpolant from matching abscissa/ordinate vectors.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::EmptyInput`] when the table is empty.
+    /// * [`MathError::LengthMismatch`] when the vectors differ in length.
+    /// * [`MathError::NotMonotonic`] when `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, MathError> {
+        if xs.is_empty() {
+            return Err(MathError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(MathError::LengthMismatch { expected: xs.len(), actual: ys.len() });
+        }
+        if xs.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(MathError::NotMonotonic);
+        }
+        Ok(Interp1d { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x`, clamping outside the table.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the segment.
+        let idx = match self.xs.binary_search_by(|probe| probe.total_cmp(&x)) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i,
+        };
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Abscissae of the table.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Ordinates of the table.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when the table has no knots (never for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// Returns `count` evenly spaced values covering `[start, stop]`
+/// inclusive.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::interp::linspace;
+///
+/// let v = linspace(0.0, 1.0, 5);
+/// assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// assert_eq!(linspace(2.0, 2.0, 1), vec![2.0]);
+/// ```
+pub fn linspace(start: f64, stop: f64, count: usize) -> Vec<f64> {
+    match count {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (stop - start) / (count - 1) as f64;
+            (0..count).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_inputs() {
+        assert_eq!(Interp1d::new(vec![], vec![]), Err(MathError::EmptyInput));
+        assert!(matches!(
+            Interp1d::new(vec![0.0, 1.0], vec![0.0]),
+            Err(MathError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            Interp1d::new(vec![0.0, 0.0], vec![1.0, 2.0]),
+            Err(MathError::NotMonotonic)
+        );
+        assert_eq!(
+            Interp1d::new(vec![1.0, 0.0], vec![1.0, 2.0]),
+            Err(MathError::NotMonotonic)
+        );
+    }
+
+    #[test]
+    fn exact_knot_values() {
+        let t = Interp1d::new(vec![0.0, 1.0, 4.0], vec![2.0, 3.0, -1.0]).unwrap();
+        assert_eq!(t.eval(0.0), 2.0);
+        assert_eq!(t.eval(1.0), 3.0);
+        assert_eq!(t.eval(4.0), -1.0);
+    }
+
+    #[test]
+    fn midpoint_interpolation() {
+        let t = Interp1d::new(vec![0.0, 2.0], vec![0.0, 8.0]).unwrap();
+        assert_eq!(t.eval(1.0), 4.0);
+        assert_eq!(t.eval(0.25), 1.0);
+    }
+
+    #[test]
+    fn clamping_beyond_range() {
+        let t = Interp1d::new(vec![1.0, 2.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(t.eval(0.0), 5.0);
+        assert_eq!(t.eval(100.0), 7.0);
+    }
+
+    #[test]
+    fn single_knot_is_constant() {
+        let t = Interp1d::new(vec![3.0], vec![9.0]).unwrap();
+        assert_eq!(t.eval(-10.0), 9.0);
+        assert_eq!(t.eval(3.0), 9.0);
+        assert_eq!(t.eval(10.0), 9.0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn linspace_properties() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(5.0, 9.0, 1), vec![5.0]);
+        let v = linspace(-1.0, 1.0, 11);
+        assert_eq!(v.len(), 11);
+        assert!((v[5]).abs() < 1e-12);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[10], 1.0);
+    }
+
+    #[test]
+    fn linspace_descending() {
+        let v = linspace(1.0, 0.0, 3);
+        assert_eq!(v, vec![1.0, 0.5, 0.0]);
+    }
+}

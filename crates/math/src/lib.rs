@@ -1,0 +1,60 @@
+//! Numerical foundations for the `spinwave-parallel` workspace.
+//!
+//! This crate provides the self-contained numerics used by every other
+//! crate in the reproduction of *"n-bit Data Parallel Spin Wave Logic
+//! Gate"* (DATE 2020):
+//!
+//! * [`Complex64`] — complex arithmetic for wave amplitudes and spectra,
+//! * [`Vec3`] — 3-vectors for magnetization and magnetic fields,
+//! * [`fft`] — radix-2 FFT, inverse FFT and real-input helpers,
+//! * [`spectrum`] — sampled time series, windowed spectra, Goertzel
+//!   single-bin DFT, band-pass reconstruction (the "Matlab
+//!   post-processing" of the paper),
+//! * [`integrate`] — explicit ODE integrators (RK4, Heun, adaptive
+//!   Dormand–Prince) used by the LLG solvers,
+//! * [`roots`] — bracketing root finders for dispersion inversion,
+//! * [`interp`] — monotone linear interpolation tables,
+//! * [`stats`] — small-sample statistics for signal post-processing,
+//! * [`constants`] — physical constants (γ, μ₀) and unit multipliers.
+//!
+//! # Examples
+//!
+//! Compute the spectrum of a synthetic two-tone signal and read back the
+//! amplitude of each tone:
+//!
+//! ```
+//! use magnon_math::spectrum::TimeSeries;
+//!
+//! # fn main() -> Result<(), magnon_math::MathError> {
+//! let dt = 1.0e-12; // 1 ps sampling
+//! let samples: Vec<f64> = (0..4096)
+//!     .map(|i| {
+//!         let t = i as f64 * dt;
+//!         (2.0 * std::f64::consts::PI * 10.0e9 * t).sin()
+//!             + 0.5 * (2.0 * std::f64::consts::PI * 30.0e9 * t).sin()
+//!     })
+//!     .collect();
+//! let series = TimeSeries::new(dt, samples)?;
+//! let a10 = series.goertzel(10.0e9)?.abs();
+//! let a30 = series.goertzel(30.0e9)?.abs();
+//! assert!((a10 - 1.0).abs() < 0.05);
+//! assert!((a30 - 0.5).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod constants;
+pub mod error;
+pub mod fft;
+pub mod integrate;
+pub mod interp;
+pub mod roots;
+pub mod spectrum;
+pub mod stats;
+pub mod vec3;
+pub mod window;
+
+pub use complex::Complex64;
+pub use error::MathError;
+pub use vec3::Vec3;

@@ -1,0 +1,285 @@
+//! Bracketing root finders.
+//!
+//! Used to invert spin-wave dispersion relations `f(k) = f_target` when
+//! no closed-form inverse exists (the Kalinikos–Slavin branch).
+
+use crate::error::MathError;
+
+/// Result of a successful root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Function value at `x` (residual).
+    pub residual: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// * [`MathError::InvalidBracket`] if `f(lo)` and `f(hi)` have the same
+///   sign or the interval is degenerate.
+/// * [`MathError::NoConvergence`] if `max_iter` is exhausted before the
+///   bracket shrinks below `tol`.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::roots::bisect;
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root.x - 2.0f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, MathError> {
+    if !(hi > lo) {
+        return Err(MathError::InvalidBracket { lo, hi });
+    }
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(Root { x: lo, residual: 0.0, iterations: 0 });
+    }
+    if fhi == 0.0 {
+        return Ok(Root { x: hi, residual: 0.0, iterations: 0 });
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(MathError::InvalidBracket { lo, hi });
+    }
+    for it in 1..=max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tol {
+            return Ok(Root { x: mid, residual: fmid, iterations: it });
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(MathError::NoConvergence { iterations: max_iter })
+}
+
+/// Finds a root of `f` in `[lo, hi]` with Brent's method (inverse
+/// quadratic interpolation with bisection fallback).
+///
+/// Converges superlinearly on smooth functions while retaining the
+/// robustness of bisection.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::roots::brent;
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// let root = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100)?;
+/// assert!((root.x - 0.7390851332151607).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, MathError> {
+    if !(hi > lo) {
+        return Err(MathError::InvalidBracket { lo, hi });
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root { x: a, residual: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, residual: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(MathError::InvalidBracket { lo, hi });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+
+    for it in 1..=max_iter {
+        if fb.abs() < f64::EPSILON || (b - a).abs() < tol {
+            return Ok(Root { x: b, residual: fb, iterations: it });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let cond_range = {
+            let m = (3.0 * a + b) / 4.0;
+            !((m < s && s < b) || (b < s && s < m))
+        };
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_dflag = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond_tolm = mflag && (b - c).abs() < tol;
+        let cond_told = !mflag && (c - d).abs() < tol;
+
+        if cond_range || cond_mflag || cond_dflag || cond_tolm || cond_told {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(MathError::NoConvergence { iterations: max_iter })
+}
+
+/// Expands `hi` geometrically from `lo` until `f` changes sign, then
+/// returns the bracket. Useful for unbounded monotone functions such as
+/// dispersion relations.
+///
+/// # Errors
+///
+/// Returns [`MathError::NoConvergence`] if no sign change is found
+/// within `max_expansions` doublings.
+pub fn expand_bracket<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    mut hi: f64,
+    max_expansions: usize,
+) -> Result<(f64, f64), MathError> {
+    if !(hi > lo) {
+        return Err(MathError::InvalidBracket { lo, hi });
+    }
+    let flo = f(lo);
+    for i in 0..max_expansions {
+        if f(hi).signum() != flo.signum() {
+            return Ok((lo, hi));
+        }
+        hi = lo + (hi - lo) * 2.0;
+        if i == max_expansions - 1 {
+            break;
+        }
+    }
+    Err(MathError::NoConvergence { iterations: max_expansions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(MathError::InvalidBracket { .. })
+        ));
+        assert!(matches!(
+            bisect(|x| x, 1.0, 0.0, 1e-12, 100),
+            Err(MathError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap();
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn bisect_iteration_budget() {
+        assert!(matches!(
+            bisect(|x| x - 0.3, 0.0, 1.0, 1e-300, 5),
+            Err(MathError::NoConvergence { iterations: 5 })
+        ));
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100).unwrap();
+        assert!((r.x - 0.739_085_133_215_160_7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_faster_than_bisect() {
+        let f = |x: f64| x.exp() - 2.0;
+        let rb = brent(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        let ri = bisect(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((rb.x - 2.0f64.ln()).abs() < 1e-11);
+        assert!(rb.iterations < ri.iterations);
+    }
+
+    #[test]
+    fn brent_rejects_same_sign() {
+        assert!(brent(|x| x * x + 1.0, -3.0, 3.0, 1e-12, 50).is_err());
+    }
+
+    #[test]
+    fn brent_high_curvature() {
+        // Root of a steep function.
+        let r = brent(|x| (x * 50.0).tanh() - 0.5, 0.0, 1.0, 1e-14, 200).unwrap();
+        let expected = 0.5f64.atanh() / 50.0;
+        assert!((r.x - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expand_bracket_finds_sign_change() {
+        let (lo, hi) = expand_bracket(|x| x - 100.0, 0.0, 1.0, 20).unwrap();
+        assert!(lo < 100.0 && hi > 100.0);
+        let r = brent(|x| x - 100.0, lo, hi, 1e-12, 100).unwrap();
+        assert!((r.x - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_bracket_gives_up() {
+        assert!(expand_bracket(|_| 1.0, 0.0, 1.0, 8).is_err());
+    }
+}

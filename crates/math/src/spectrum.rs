@@ -1,0 +1,525 @@
+//! Sampled time series and spectral analysis.
+//!
+//! This module is the Rust equivalent of the paper's "Matlab
+//! post-processing": it turns recorded `Mx(t)` probe signals into the
+//! per-frequency amplitudes and phases (Fig. 3) and band-pass
+//! reconstructed per-channel traces (Fig. 4).
+
+use crate::complex::Complex64;
+use crate::error::MathError;
+use crate::fft;
+use crate::window::Window;
+
+/// A uniformly sampled real-valued time series.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::spectrum::TimeSeries;
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// let dt = 1e-12;
+/// let f = 25.0e9;
+/// let samples: Vec<f64> = (0..2048)
+///     .map(|i| (2.0 * std::f64::consts::PI * f * dt * i as f64).sin())
+///     .collect();
+/// let ts = TimeSeries::new(dt, samples)?;
+/// let tone = ts.goertzel(f)?;
+/// assert!((tone.abs() - 1.0).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    dt: f64,
+    samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from a sampling interval `dt` (seconds) and
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidScale`] if `dt` is not positive and finite.
+    /// * [`MathError::EmptyInput`] if `samples` is empty.
+    pub fn new(dt: f64, samples: Vec<f64>) -> Result<Self, MathError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(MathError::InvalidScale { name: "dt", value: dt });
+        }
+        if samples.is_empty() {
+            return Err(MathError::EmptyInput);
+        }
+        Ok(TimeSeries { dt, samples })
+    }
+
+    /// Sampling interval in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the series holds no samples (never true for a
+    /// constructed series).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total duration covered by the series in seconds.
+    pub fn duration(&self) -> f64 {
+        self.dt * self.samples.len() as f64
+    }
+
+    /// Nyquist frequency in Hz.
+    pub fn nyquist(&self) -> f64 {
+        0.5 / self.dt
+    }
+
+    /// The time coordinate of sample `i`.
+    pub fn time_at(&self, i: usize) -> f64 {
+        self.dt * i as f64
+    }
+
+    /// Returns a sub-series starting at time `t_start` (seconds),
+    /// discarding earlier samples. Used to drop the transient before
+    /// steady-state spectral analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::EmptyInput`] when nothing remains.
+    pub fn after(&self, t_start: f64) -> Result<TimeSeries, MathError> {
+        let skip = (t_start / self.dt).ceil().max(0.0) as usize;
+        if skip >= self.samples.len() {
+            return Err(MathError::EmptyInput);
+        }
+        TimeSeries::new(self.dt, self.samples[skip..].to_vec())
+    }
+
+    /// Single-bin DFT (Goertzel algorithm) at an arbitrary frequency.
+    ///
+    /// Returns the complex amplitude normalised such that a pure tone
+    /// `A·sin(2πft + φ)` yields magnitude ≈ `A`. The returned phase is
+    /// the phase of the complex exponential representation
+    /// `A·e^{i(2πft + θ)}` with `θ = arg − π/2` for sine input.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidScale`] for a non-positive frequency.
+    /// * [`MathError::AboveNyquist`] when `frequency` ≥ Nyquist.
+    pub fn goertzel(&self, frequency: f64) -> Result<Complex64, MathError> {
+        if !(frequency.is_finite() && frequency > 0.0) {
+            return Err(MathError::InvalidScale { name: "frequency", value: frequency });
+        }
+        if frequency >= self.nyquist() {
+            return Err(MathError::AboveNyquist { frequency, nyquist: self.nyquist() });
+        }
+        let n = self.samples.len() as f64;
+        let omega = 2.0 * std::f64::consts::PI * frequency * self.dt;
+        // Direct correlation; numerically robust for arbitrary (non-bin)
+        // frequencies, unlike the classic recursive Goertzel update.
+        let mut acc = Complex64::ZERO;
+        for (i, &x) in self.samples.iter().enumerate() {
+            acc += Complex64::cis(-omega * i as f64) * x;
+        }
+        // One-sided amplitude normalisation: X/N * 2.
+        Ok(acc.scale(2.0 / n))
+    }
+
+    /// Amplitude of the tone at `frequency` (convenience for
+    /// `goertzel(f)?.abs()`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TimeSeries::goertzel`].
+    pub fn amplitude_at(&self, frequency: f64) -> Result<f64, MathError> {
+        Ok(self.goertzel(frequency)?.abs())
+    }
+
+    /// Phase (radians, `(-π, π]`) of the tone at `frequency`, relative to
+    /// a cosine at the start of the record.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TimeSeries::goertzel`].
+    pub fn phase_at(&self, frequency: f64) -> Result<f64, MathError> {
+        Ok(self.goertzel(frequency)?.arg())
+    }
+
+    /// Computes the windowed amplitude spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FFT errors (cannot occur for a constructed series, as
+    /// padding rounds the length up to a power of two).
+    pub fn spectrum(&self, window: Window) -> Result<Spectrum, MathError> {
+        let mut buf = self.samples.clone();
+        let gain = window.apply(&mut buf);
+        let spec = fft::fft_real(&buf)?;
+        let n = spec.len();
+        let df = 1.0 / (self.dt * n as f64);
+        // One-sided amplitude spectrum, corrected for window gain.
+        let half = n / 2;
+        let mut amplitudes = Vec::with_capacity(half + 1);
+        let norm = 2.0 / (self.samples.len() as f64 * gain);
+        for (k, z) in spec.iter().take(half + 1).enumerate() {
+            let scale = if k == 0 { norm / 2.0 } else { norm };
+            amplitudes.push(z.abs() * scale);
+        }
+        Ok(Spectrum { df, amplitudes })
+    }
+
+    /// Band-pass filters the series around `f_center` with full width
+    /// `bandwidth`, via FFT masking, returning the reconstructed
+    /// time-domain trace (the per-channel output curves of the paper's
+    /// Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidScale`] for non-positive `f_center` or
+    ///   `bandwidth`.
+    /// * [`MathError::AboveNyquist`] if the band extends beyond Nyquist.
+    pub fn band_pass(&self, f_center: f64, bandwidth: f64) -> Result<TimeSeries, MathError> {
+        if !(f_center.is_finite() && f_center > 0.0) {
+            return Err(MathError::InvalidScale { name: "f_center", value: f_center });
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(MathError::InvalidScale { name: "bandwidth", value: bandwidth });
+        }
+        if f_center + bandwidth / 2.0 >= self.nyquist() {
+            return Err(MathError::AboveNyquist {
+                frequency: f_center + bandwidth / 2.0,
+                nyquist: self.nyquist(),
+            });
+        }
+        let n_orig = self.samples.len();
+        let mut data: Vec<Complex64> = self
+            .samples
+            .iter()
+            .map(|&x| Complex64::new(x, 0.0))
+            .collect();
+        data.resize(fft::next_power_of_two_len(n_orig), Complex64::ZERO);
+        fft::fft_in_place(&mut data)?;
+        let n = data.len();
+        let df = 1.0 / (self.dt * n as f64);
+        let lo = f_center - bandwidth / 2.0;
+        let hi = f_center + bandwidth / 2.0;
+        for (k, z) in data.iter_mut().enumerate() {
+            let f = if k <= n / 2 {
+                k as f64 * df
+            } else {
+                (n - k) as f64 * df
+            };
+            if f < lo || f > hi {
+                *z = Complex64::ZERO;
+            }
+        }
+        fft::ifft_in_place(&mut data)?;
+        let samples: Vec<f64> = data.iter().take(n_orig).map(|z| z.re).collect();
+        TimeSeries::new(self.dt, samples)
+    }
+
+    /// Root-mean-square of the samples.
+    pub fn rms(&self) -> f64 {
+        let sum_sq: f64 = self.samples.iter().map(|x| x * x).sum();
+        (sum_sq / self.samples.len() as f64).sqrt()
+    }
+
+    /// Largest absolute sample value.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()))
+    }
+}
+
+/// One-sided amplitude spectrum produced by [`TimeSeries::spectrum`].
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::spectrum::TimeSeries;
+/// use magnon_math::window::Window;
+///
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// let dt = 1e-12;
+/// let samples: Vec<f64> = (0..4096)
+///     .map(|i| (2.0 * std::f64::consts::PI * 20e9 * dt * i as f64).sin())
+///     .collect();
+/// let spec = TimeSeries::new(dt, samples)?.spectrum(Window::Hann)?;
+/// let (f_peak, a_peak) = spec.peaks(1, 0.0)[0];
+/// assert!((f_peak - 20e9).abs() < spec.frequency_resolution());
+/// assert!((a_peak - 1.0).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    df: f64,
+    amplitudes: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Frequency spacing between bins in Hz.
+    pub fn frequency_resolution(&self) -> f64 {
+        self.df
+    }
+
+    /// One-sided bin amplitudes (index 0 = DC).
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.amplitudes
+    }
+
+    /// Frequency of bin `k` in Hz.
+    pub fn frequency_at(&self, k: usize) -> f64 {
+        self.df * k as f64
+    }
+
+    /// Amplitude near `frequency`, taking the maximum over the
+    /// ±1 neighbouring bins to tolerate bin misalignment.
+    pub fn amplitude_near(&self, frequency: f64) -> f64 {
+        if self.amplitudes.is_empty() {
+            return 0.0;
+        }
+        let k = (frequency / self.df).round() as isize;
+        let lo = (k - 1).max(0) as usize;
+        let hi = ((k + 1) as usize).min(self.amplitudes.len() - 1);
+        self.amplitudes[lo..=hi]
+            .iter()
+            .fold(0.0f64, |acc, &a| acc.max(a))
+    }
+
+    /// Returns up to `count` local maxima above `min_amplitude`, sorted
+    /// by descending amplitude, as `(frequency, amplitude)` pairs.
+    pub fn peaks(&self, count: usize, min_amplitude: f64) -> Vec<(f64, f64)> {
+        let a = &self.amplitudes;
+        let mut found: Vec<(f64, f64)> = Vec::new();
+        for k in 1..a.len().saturating_sub(1) {
+            if a[k] > a[k - 1] && a[k] >= a[k + 1] && a[k] > min_amplitude {
+                found.push((self.frequency_at(k), a[k]));
+            }
+        }
+        found.sort_by(|x, y| y.1.total_cmp(&x.1));
+        found.truncate(count);
+        found
+    }
+
+    /// Total spectral power excluding the bands `±half_width` around each
+    /// listed frequency — the out-of-channel leakage used by the
+    /// crosstalk analysis.
+    pub fn power_outside(&self, channels: &[f64], half_width: f64) -> f64 {
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(k, _)| {
+                let f = self.frequency_at(*k);
+                channels.iter().all(|&c| (f - c).abs() > half_width)
+            })
+            .map(|(_, &a)| a * a)
+            .sum()
+    }
+
+    /// Total spectral power inside the bands `±half_width` around the
+    /// listed frequencies.
+    pub fn power_inside(&self, channels: &[f64], half_width: f64) -> f64 {
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(k, _)| {
+                let f = self.frequency_at(*k);
+                channels.iter().any(|&c| (f - c).abs() <= half_width)
+            })
+            .map(|(_, &a)| a * a)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(dt: f64, n: usize, f: f64, amp: f64, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * PI * f * dt * i as f64 + phase).sin())
+            .collect()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(matches!(
+            TimeSeries::new(0.0, vec![1.0]),
+            Err(MathError::InvalidScale { .. })
+        ));
+        assert!(matches!(
+            TimeSeries::new(-1e-12, vec![1.0]),
+            Err(MathError::InvalidScale { .. })
+        ));
+        assert_eq!(TimeSeries::new(1e-12, vec![]), Err(MathError::EmptyInput));
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ts = TimeSeries::new(2e-12, vec![0.0; 100]).unwrap();
+        assert_eq!(ts.len(), 100);
+        assert!(!ts.is_empty());
+        assert!((ts.duration() - 200e-12).abs() < 1e-24);
+        assert!((ts.nyquist() - 2.5e11).abs() < 1.0);
+        assert!((ts.time_at(10) - 20e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn goertzel_amplitude_and_phase_of_pure_tone() {
+        let dt = 1e-12;
+        let f = 10e9;
+        // Use a whole number of periods: 10 GHz at 1 ps -> 100 samples/period.
+        let ts = TimeSeries::new(dt, tone(dt, 2000, f, 0.7, 0.0)).unwrap();
+        let z = ts.goertzel(f).unwrap();
+        assert!((z.abs() - 0.7).abs() < 1e-9);
+        // sin(ωt) = cos(ωt - π/2): correlating against e^{-iωt} gives arg -π/2.
+        assert!((z.arg() + PI / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goertzel_detects_phase_flip() {
+        let dt = 1e-12;
+        let f = 10e9;
+        let ts0 = TimeSeries::new(dt, tone(dt, 2000, f, 1.0, 0.0)).unwrap();
+        let ts1 = TimeSeries::new(dt, tone(dt, 2000, f, 1.0, PI)).unwrap();
+        let dphi = (ts1.phase_at(f).unwrap() - ts0.phase_at(f).unwrap()).abs();
+        let wrapped = (dphi - PI).abs().min((dphi + PI).abs()).min(dphi - PI);
+        assert!((dphi - PI).abs() < 1e-9 || wrapped.abs() < 1e-9);
+    }
+
+    #[test]
+    fn goertzel_rejects_bad_frequencies() {
+        let ts = TimeSeries::new(1e-12, vec![0.0; 64]).unwrap();
+        assert!(matches!(
+            ts.goertzel(-1.0),
+            Err(MathError::InvalidScale { .. })
+        ));
+        assert!(matches!(
+            ts.goertzel(6e11),
+            Err(MathError::AboveNyquist { .. })
+        ));
+    }
+
+    #[test]
+    fn goertzel_separates_two_tones() {
+        let dt = 1e-12;
+        let n = 4000;
+        let mut s = tone(dt, n, 10e9, 1.0, 0.0);
+        for (a, b) in s.iter_mut().zip(tone(dt, n, 30e9, 0.25, 0.0)) {
+            *a += b;
+        }
+        let ts = TimeSeries::new(dt, s).unwrap();
+        assert!((ts.amplitude_at(10e9).unwrap() - 1.0).abs() < 0.01);
+        assert!((ts.amplitude_at(30e9).unwrap() - 0.25).abs() < 0.01);
+        assert!(ts.amplitude_at(20e9).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn after_drops_transient() {
+        let dt = 1e-12;
+        let mut s = vec![5.0; 100];
+        s.extend(vec![1.0; 100]);
+        let ts = TimeSeries::new(dt, s).unwrap();
+        let tail = ts.after(100e-12).unwrap();
+        assert_eq!(tail.len(), 100);
+        assert!(tail.samples().iter().all(|&x| x == 1.0));
+        assert!(ts.after(1.0).is_err());
+    }
+
+    #[test]
+    fn spectrum_peak_matches_tone() {
+        let dt = 1e-12;
+        let f = 40e9;
+        let ts = TimeSeries::new(dt, tone(dt, 4096, f, 2.0, 0.3)).unwrap();
+        let spec = ts.spectrum(Window::Hann).unwrap();
+        let peaks = spec.peaks(1, 0.0);
+        assert_eq!(peaks.len(), 1);
+        assert!((peaks[0].0 - f).abs() <= spec.frequency_resolution());
+        assert!((peaks[0].1 - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn spectrum_amplitude_near_tolerates_misalignment() {
+        let dt = 1e-12;
+        // Frequency deliberately off-bin.
+        let f = 13.37e9;
+        let ts = TimeSeries::new(dt, tone(dt, 4096, f, 1.0, 0.0)).unwrap();
+        let spec = ts.spectrum(Window::Hann).unwrap();
+        assert!(spec.amplitude_near(f) > 0.7);
+    }
+
+    #[test]
+    fn spectrum_multi_peak_ordering() {
+        let dt = 1e-12;
+        let n = 8192;
+        let mut s = tone(dt, n, 10e9, 0.5, 0.0);
+        for (a, b) in s.iter_mut().zip(tone(dt, n, 50e9, 1.5, 0.0)) {
+            *a += b;
+        }
+        let ts = TimeSeries::new(dt, s).unwrap();
+        let spec = ts.spectrum(Window::Hann).unwrap();
+        let peaks = spec.peaks(2, 0.05);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].0 - 50e9).abs() < 2.0 * spec.frequency_resolution());
+        assert!((peaks[1].0 - 10e9).abs() < 2.0 * spec.frequency_resolution());
+    }
+
+    #[test]
+    fn band_pass_isolates_channel() {
+        let dt = 1e-12;
+        let n = 4096;
+        let mut s = tone(dt, n, 10e9, 1.0, 0.0);
+        for (a, b) in s.iter_mut().zip(tone(dt, n, 30e9, 1.0, 0.0)) {
+            *a += b;
+        }
+        let ts = TimeSeries::new(dt, s).unwrap();
+        let only10 = ts.band_pass(10e9, 8e9).unwrap();
+        // The reconstructed trace should be almost a pure 10 GHz tone.
+        assert!((only10.amplitude_at(10e9).unwrap() - 1.0).abs() < 0.05);
+        assert!(only10.amplitude_at(30e9).unwrap() < 0.05);
+        assert_eq!(only10.len(), ts.len());
+    }
+
+    #[test]
+    fn band_pass_validates_inputs() {
+        let ts = TimeSeries::new(1e-12, vec![0.0; 64]).unwrap();
+        assert!(ts.band_pass(-1.0, 1e9).is_err());
+        assert!(ts.band_pass(1e9, 0.0).is_err());
+        assert!(ts.band_pass(4.999e11, 1e9).is_err());
+    }
+
+    #[test]
+    fn power_inside_outside_partition() {
+        let dt = 1e-12;
+        let n = 4096;
+        let mut s = tone(dt, n, 10e9, 1.0, 0.0);
+        for (a, b) in s.iter_mut().zip(tone(dt, n, 30e9, 0.5, 0.0)) {
+            *a += b;
+        }
+        let ts = TimeSeries::new(dt, s).unwrap();
+        let spec = ts.spectrum(Window::Hann).unwrap();
+        let inside = spec.power_inside(&[10e9, 30e9], 2e9);
+        let outside = spec.power_outside(&[10e9, 30e9], 2e9);
+        assert!(inside > 100.0 * outside, "inside={inside}, outside={outside}");
+    }
+
+    #[test]
+    fn rms_and_peak() {
+        let dt = 1e-12;
+        let ts = TimeSeries::new(dt, tone(dt, 10_000, 10e9, 2.0, 0.0)).unwrap();
+        assert!((ts.rms() - 2.0 / 2.0f64.sqrt()).abs() < 1e-3);
+        assert!((ts.peak() - 2.0).abs() < 1e-3);
+    }
+}

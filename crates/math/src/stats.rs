@@ -1,0 +1,162 @@
+//! Small-sample statistics for signal post-processing.
+
+use crate::error::MathError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::stats::mean;
+/// # fn main() -> Result<(), magnon_math::MathError> {
+/// assert_eq!(mean(&[1.0, 2.0, 3.0])?, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean(xs: &[f64]) -> Result<f64, MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn variance(xs: &[f64]) -> Result<f64, MathError> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Result<f64, MathError> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Root mean square.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn rms(xs: &[f64]) -> Result<f64, MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    Ok((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// Index and value of the maximum element (ties resolve to the first).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn argmax(xs: &[f64]) -> Result<(usize, f64), MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let mut best = (0usize, xs[0]);
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > best.1 {
+            best = (i, x);
+        }
+    }
+    Ok(best)
+}
+
+/// Largest absolute value in the slice.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn max_abs(xs: &[f64]) -> Result<f64, MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    Ok(xs.iter().fold(0.0f64, |acc, &x| acc.max(x.abs())))
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|)`, or zero when both are
+/// (near) zero. Symmetric in its arguments; used by tests and the
+/// experiment harness to compare paper vs measured values.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::stats::relative_difference;
+/// assert!(relative_difference(100.0, 104.0) < 0.05);
+/// assert_eq!(relative_difference(0.0, 0.0), 0.0);
+/// ```
+pub fn relative_difference(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale < 1e-300 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert_eq!(mean(&[]), Err(MathError::EmptyInput));
+        assert_eq!(variance(&[]), Err(MathError::EmptyInput));
+        assert_eq!(rms(&[]), Err(MathError::EmptyInput));
+        assert_eq!(argmax(&[]), Err(MathError::EmptyInput));
+        assert_eq!(max_abs(&[]), Err(MathError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert_eq!(variance(&xs).unwrap(), 4.0);
+        assert_eq!(std_dev(&xs).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert_eq!(rms(&[-3.0, -3.0, -3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let (i, v) = argmax(&[1.0, 5.0, 5.0, 2.0]).unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    fn max_abs_mixed_signs() {
+        assert_eq!(max_abs(&[1.0, -7.0, 3.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn relative_difference_properties() {
+        assert_eq!(relative_difference(1.0, 1.0), 0.0);
+        assert!((relative_difference(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(
+            relative_difference(3.0, 5.0),
+            relative_difference(5.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(mean(&[42.0]).unwrap(), 42.0);
+        assert_eq!(variance(&[42.0]).unwrap(), 0.0);
+        assert_eq!(argmax(&[42.0]).unwrap(), (0, 42.0));
+    }
+}

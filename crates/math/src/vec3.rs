@@ -1,0 +1,337 @@
+//! Three-component vectors for magnetization and field arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-vector with `f64` components.
+///
+/// In the micromagnetic crates `Vec3` represents unit magnetization
+/// directions `m`, effective fields `H_eff` (A/m) and spatial axes.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::Vec3;
+///
+/// let m = Vec3::Z;
+/// let h = Vec3::new(0.0, 1.0e5, 0.0);
+/// let torque = m.cross(h);
+/// assert!((torque.x + 1.0e5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Unit vector along +x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+
+    /// Unit vector along +y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+
+    /// Unit vector along +z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_math::Vec3;
+    /// assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+    /// ```
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm |v|.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm |v|².
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the unit vector along `self`, or `None` for a (near-)zero
+    /// vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_math::Vec3;
+    /// let n = Vec3::new(0.0, 0.0, 2.0).normalized().unwrap();
+    /// assert_eq!(n, Vec3::Z);
+    /// assert!(Vec3::ZERO.normalized().is_none());
+    /// ```
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Renormalizes in place to unit length, leaving near-zero vectors
+    /// untouched. Used by LLG integrators to project back onto the unit
+    /// sphere after each step.
+    #[inline]
+    pub fn renormalize(&mut self) {
+        let n = self.norm();
+        if n > 1e-300 {
+            self.x /= n;
+            self.y /= n;
+            self.z /= n;
+        }
+    }
+
+    /// Linear interpolation `self + t (rhs − self)`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f64) -> Vec3 {
+        self + (rhs - self) * t
+    }
+
+    /// Component-wise multiplication (Hadamard product); used for
+    /// diagonal demagnetizing tensors `N ∘ M`.
+    #[inline]
+    pub fn component_mul(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+
+    /// `true` when all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// The largest absolute component.
+    #[inline]
+    pub fn max_abs(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+        self.z -= rhs.z;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.x *= rhs;
+        self.y *= rhs;
+        self.z *= rhs;
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::Y.dot(Vec3::Z), 0.0);
+        assert_eq!(Vec3::X.norm(), 1.0);
+    }
+
+    #[test]
+    fn cross_product_right_handed() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn cross_is_antisymmetric() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-0.5, 4.0, 1.5);
+        let c = a.cross(b) + b.cross(a);
+        assert!(c.norm() < EPS);
+    }
+
+    #[test]
+    fn cross_is_perpendicular() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-0.5, 4.0, 1.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < EPS);
+        assert!(c.dot(b).abs() < EPS);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < EPS);
+        assert!((n.x - 0.6).abs() < EPS);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn renormalize_in_place() {
+        let mut v = Vec3::new(0.0, 0.0, 5.0);
+        v.renormalize();
+        assert_eq!(v, Vec3::Z);
+        let mut z = Vec3::ZERO;
+        z.renormalize();
+        assert_eq!(z, Vec3::ZERO);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::X;
+        let b = Vec3::Y;
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.x - 0.5).abs() < EPS && (mid.y - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn component_mul_models_diagonal_tensor() {
+        let n = Vec3::new(0.0, 0.1, 0.9);
+        let m = Vec3::new(1.0, 1.0, 1.0);
+        assert_eq!(n.component_mul(m), n);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::splat(3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::X;
+        v += Vec3::Y;
+        v -= Vec3::X;
+        v *= 3.0;
+        assert_eq!(v, Vec3::new(0.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn max_abs_and_finite() {
+        assert_eq!(Vec3::new(-5.0, 2.0, 3.0).max_abs(), 5.0);
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(Vec3::Z.is_finite());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Vec3::ZERO.to_string(), "(0, 0, 0)");
+    }
+}

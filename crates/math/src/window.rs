@@ -1,0 +1,160 @@
+//! Window functions for spectral analysis.
+//!
+//! Spectra of finite detector records leak energy between bins; the
+//! windows here trade main-lobe width against side-lobe level. The
+//! paper's FFT plots (Fig. 3) correspond to a rectangular window on a
+//! steady-state record; [`Window::Hann`] is the default elsewhere in the
+//! workspace because it suppresses inter-channel leakage when channel
+//! frequencies do not align with FFT bins.
+
+/// Spectral window shapes.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_math::window::Window;
+///
+/// let w = Window::Hann.coefficients(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0] < 1e-12); // Hann tapers to zero at the edges
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No tapering (all ones).
+    Rectangular,
+    /// Hann (raised cosine); −31.5 dB first side lobe.
+    #[default]
+    Hann,
+    /// Hamming; −42.7 dB first side lobe, non-zero edges.
+    Hamming,
+    /// Blackman; −58 dB first side lobe, widest main lobe.
+    Blackman,
+}
+
+impl Window {
+    /// Returns the `n` window coefficients.
+    ///
+    /// An empty vector is returned for `n == 0`; a single `1.0` for
+    /// `n == 1`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let denom = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / denom;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    Window::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    Window::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Multiplies `signal` by the window in place and returns the
+    /// coherent gain (mean coefficient), which callers divide out to
+    /// recover absolute amplitudes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_math::window::Window;
+    ///
+    /// let mut signal = vec![1.0; 64];
+    /// let gain = Window::Hann.apply(&mut signal);
+    /// assert!((gain - 0.5).abs() < 0.02);
+    /// ```
+    pub fn apply(self, signal: &mut [f64]) -> f64 {
+        let coeffs = self.coefficients(signal.len());
+        for (s, c) in signal.iter_mut().zip(&coeffs) {
+            *s *= c;
+        }
+        if coeffs.is_empty() {
+            1.0
+        } else {
+            coeffs.iter().sum::<f64>() / coeffs.len() as f64
+        }
+    }
+
+    /// The coherent gain of the window at length `n` without applying it.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let coeffs = self.coefficients(n);
+        if coeffs.is_empty() {
+            1.0
+        } else {
+            coeffs.iter().sum::<f64>() / coeffs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&c| c == 1.0));
+        assert!((Window::Rectangular.coherent_gain(16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_is_symmetric_and_tapers_to_zero() {
+        let w = Window::Hann.coefficients(33);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[32].abs() < 1e-12);
+        assert!((w[16] - 1.0).abs() < 1e-12); // peak at centre
+        for i in 0..16 {
+            assert!((w[i] - w[32 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_edges_nonzero() {
+        let w = Window::Hamming.coefficients(10);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_in_unit_range() {
+        let w = Window::Blackman.coefficients(100);
+        assert!(w.iter().all(|&c| (-1e-12..=1.0 + 1e-12).contains(&c)));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(Window::Blackman.coherent_gain(0), 1.0);
+    }
+
+    #[test]
+    fn hann_gain_near_half() {
+        let g = Window::Hann.coherent_gain(4096);
+        assert!((g - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_scales_signal_and_returns_gain() {
+        let mut signal = vec![2.0; 128];
+        let gain = Window::Hamming.apply(&mut signal);
+        let mean: f64 = signal.iter().sum::<f64>() / 128.0;
+        assert!((mean - 2.0 * gain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_hann() {
+        assert_eq!(Window::default(), Window::Hann);
+    }
+}

@@ -1,0 +1,197 @@
+//! Graded-damping absorbing boundaries.
+//!
+//! A finite waveguide reflects spin waves at its ends; reflections
+//! corrupt the interference pattern the gate relies on. The standard
+//! micromagnetic remedy — used by the paper's OOMMF setup and here — is
+//! to raise the Gilbert damping smoothly toward the ends so incoming
+//! waves are dissipated instead of reflected. A quadratic profile keeps
+//! the impedance mismatch (and hence residual reflection) small.
+
+use crate::error::SimError;
+use crate::mesh::Mesh;
+
+/// Specification of symmetric graded-damping absorbers at both ends of
+/// the waveguide.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::absorber::Absorber;
+/// use magnon_micromag::mesh::Mesh;
+///
+/// # fn main() -> Result<(), magnon_micromag::SimError> {
+/// let mesh = Mesh::line(1.0e-6, 2.0e-9, 50.0e-9, 1.0e-9)?;
+/// let absorber = Absorber::new(100.0e-9, 0.5)?;
+/// let alpha = absorber.damping_profile(&mesh, 0.004)?;
+/// assert!((alpha[0] - 0.5).abs() < 0.02);            // strongly damped edge
+/// assert!((alpha[mesh.nx() / 2] - 0.004).abs() < 1e-12); // pristine interior
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Absorber {
+    width: f64,
+    alpha_max: f64,
+}
+
+impl Absorber {
+    /// Creates an absorber of physical `width` (m) at each end, ramping
+    /// the damping quadratically up to `alpha_max` at the boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive width or
+    /// `alpha_max` outside `(0, 1]`.
+    pub fn new(width: f64, alpha_max: f64) -> Result<Self, SimError> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "width", value: width });
+        }
+        if !(alpha_max.is_finite() && alpha_max > 0.0 && alpha_max <= 1.0) {
+            return Err(SimError::InvalidParameter { parameter: "alpha_max", value: alpha_max });
+        }
+        Ok(Absorber { width, alpha_max })
+    }
+
+    /// Absorber width at each end in metres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Peak damping at the boundary.
+    pub fn alpha_max(&self) -> f64 {
+        self.alpha_max
+    }
+
+    /// Builds the per-column damping profile for `mesh` on top of the
+    /// material damping `alpha_base`: quadratic ramps from `alpha_base`
+    /// at the inner absorber edge to `alpha_max` at the waveguide ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RegionOutOfBounds`] when the two absorbers
+    /// would overlap (combined width ≥ mesh length) and
+    /// [`SimError::InvalidParameter`] for `alpha_base` outside `(0, 1)`.
+    pub fn damping_profile(&self, mesh: &Mesh, alpha_base: f64) -> Result<Vec<f64>, SimError> {
+        if !(alpha_base.is_finite() && alpha_base > 0.0 && alpha_base < 1.0) {
+            return Err(SimError::InvalidParameter { parameter: "alpha_base", value: alpha_base });
+        }
+        if 2.0 * self.width >= mesh.length() {
+            return Err(SimError::RegionOutOfBounds {
+                what: "absorber",
+                requested: 2.0 * self.width,
+                available: mesh.length(),
+            });
+        }
+        let nx = mesh.nx();
+        let mut alpha = vec![alpha_base; nx];
+        let n_cells = (self.width / mesh.dx()).round() as usize;
+        let n_cells = n_cells.clamp(1, nx / 2);
+        let delta = self.alpha_max - alpha_base;
+        for c in 0..n_cells {
+            // Normalised distance into the absorber: 1 at the boundary,
+            // 0 at its inner edge.
+            let depth = (n_cells - c) as f64 / n_cells as f64;
+            let add = delta * depth * depth;
+            alpha[c] = alpha_base + add.max(0.0);
+            alpha[nx - 1 - c] = alpha_base + add.max(0.0);
+        }
+        Ok(alpha)
+    }
+
+    /// Expands the per-column profile to one value per cell of a 2D
+    /// mesh (damping constant across the width).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Absorber::damping_profile`].
+    pub fn damping_profile_2d(&self, mesh: &Mesh, alpha_base: f64) -> Result<Vec<f64>, SimError> {
+        let cols = self.damping_profile(mesh, alpha_base)?;
+        let mut out = Vec::with_capacity(mesh.cell_count());
+        for _ in 0..mesh.ny() {
+            out.extend_from_slice(&cols);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::line(1.0e-6, 2.0e-9, 50.0e-9, 1.0e-9).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Absorber::new(0.0, 0.5).is_err());
+        assert!(Absorber::new(1e-7, 0.0).is_err());
+        assert!(Absorber::new(1e-7, 1.5).is_err());
+        let a = Absorber::new(1e-7, 0.5).unwrap();
+        assert!(a.damping_profile(&mesh(), 0.0).is_err());
+        assert!(a.damping_profile(&mesh(), 1.0).is_err());
+    }
+
+    #[test]
+    fn overlapping_absorbers_rejected() {
+        let a = Absorber::new(600e-9, 0.5).unwrap();
+        assert!(matches!(
+            a.damping_profile(&mesh(), 0.004),
+            Err(SimError::RegionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_is_symmetric() {
+        let a = Absorber::new(100e-9, 0.5).unwrap();
+        let alpha = a.damping_profile(&mesh(), 0.004).unwrap();
+        let n = alpha.len();
+        for i in 0..n / 2 {
+            assert!((alpha[i] - alpha[n - 1 - i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn profile_monotone_into_absorber() {
+        let a = Absorber::new(100e-9, 0.5).unwrap();
+        let alpha = a.damping_profile(&mesh(), 0.004).unwrap();
+        // Damping decreases moving inward from the boundary.
+        for i in 0..49 {
+            assert!(alpha[i] >= alpha[i + 1], "profile not monotone at {i}");
+        }
+        // Interior untouched.
+        assert_eq!(alpha[250], 0.004);
+    }
+
+    #[test]
+    fn boundary_value_near_alpha_max() {
+        let a = Absorber::new(100e-9, 0.7).unwrap();
+        let alpha = a.damping_profile(&mesh(), 0.004).unwrap();
+        assert!((alpha[0] - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn quadratic_shape() {
+        let a = Absorber::new(100e-9, 0.504).unwrap();
+        let alpha = a.damping_profile(&mesh(), 0.004).unwrap();
+        // 50 absorber cells; half depth (cell 25) should carry ~1/4 of
+        // the added damping.
+        let added_mid = alpha[25] - 0.004;
+        let added_edge = alpha[0] - 0.004;
+        assert!((added_mid / added_edge - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn profile_2d_replicates_rows() {
+        let mesh = Mesh::plane(400e-9, 10e-9, 2e-9, 2e-9, 1e-9).unwrap();
+        let a = Absorber::new(50e-9, 0.5).unwrap();
+        let alpha = a.damping_profile_2d(&mesh, 0.004).unwrap();
+        assert_eq!(alpha.len(), mesh.cell_count());
+        let nx = mesh.nx();
+        for j in 1..mesh.ny() {
+            for i in 0..nx {
+                assert_eq!(alpha[j * nx + i], alpha[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Micromagnetic energy accounting.
+//!
+//! Energies are the standard diagnostics of any micromagnetic study:
+//! exchange energy measures texture, anisotropy energy the departure
+//! from the easy axis, Zeeman energy the alignment with an applied
+//! field. With Gilbert damping and no drive, the total energy must
+//! decrease monotonically — a strong correctness check on the solver
+//! used by the test suite.
+
+use crate::error::SimError;
+use crate::mesh::Mesh;
+use magnon_math::constants::MU_0;
+use magnon_math::Vec3;
+use magnon_physics::material::Material;
+
+/// Energy breakdown of a magnetization state, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Heisenberg exchange energy (≥ 0, zero for a uniform state).
+    pub exchange: f64,
+    /// Uniaxial anisotropy energy (zero along the easy axis).
+    pub anisotropy: f64,
+    /// Zeeman energy (−μ₀ Ms m·H per volume), zero without a field.
+    pub zeeman: f64,
+    /// Local-demag (shape) energy for the diagonal tensor.
+    pub demag: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.exchange + self.anisotropy + self.zeeman + self.demag
+    }
+}
+
+/// Computes the energy breakdown of a state.
+///
+/// * `applied_field` — uniform Zeeman field in A/m (zero for the
+///   paper's device).
+/// * `demag_tensor` — the diagonal local demag tensor `(Nx, Ny, Nz)`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] when `m.len()` does not match
+/// the mesh.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::energy::energy_breakdown;
+/// use magnon_micromag::mesh::Mesh;
+/// use magnon_math::Vec3;
+/// use magnon_physics::material::Material;
+///
+/// # fn main() -> Result<(), magnon_micromag::SimError> {
+/// let mesh = Mesh::line(100.0e-9, 2.0e-9, 50.0e-9, 1.0e-9)?;
+/// let m = vec![Vec3::Z; mesh.cell_count()];
+/// let e = energy_breakdown(&mesh, &Material::fe_co_b(), &m, Vec3::ZERO, Vec3::Z)?;
+/// assert_eq!(e.exchange, 0.0);       // uniform
+/// assert!(e.anisotropy.abs() < 1e-30); // on the easy axis
+/// # Ok(())
+/// # }
+/// ```
+pub fn energy_breakdown(
+    mesh: &Mesh,
+    material: &Material,
+    m: &[Vec3],
+    applied_field: Vec3,
+    demag_tensor: Vec3,
+) -> Result<EnergyBreakdown, SimError> {
+    if m.len() != mesh.cell_count() {
+        return Err(SimError::InvalidParameter {
+            parameter: "state_len",
+            value: m.len() as f64,
+        });
+    }
+    let v_cell = mesh.cell_volume();
+    let ms = material.saturation_magnetization();
+    let a_ex = material.exchange_stiffness();
+    let k_ani = material.anisotropy_constant();
+    let nx = mesh.nx();
+    let ny = mesh.ny();
+
+    let mut exchange = 0.0;
+    let mut anisotropy = 0.0;
+    let mut zeeman = 0.0;
+    let mut demag = 0.0;
+
+    for j in 0..ny {
+        let row = j * nx;
+        for i in 0..nx {
+            let idx = row + i;
+            let mi = m[idx];
+            // Exchange: A (∇m)², discretised on forward differences so
+            // every bond counts once.
+            if i + 1 < nx {
+                let d = m[idx + 1] - mi;
+                exchange += a_ex * d.norm_sqr() / (mesh.dx() * mesh.dx()) * v_cell;
+            }
+            if ny > 1 && j + 1 < ny {
+                let d = m[idx + nx] - mi;
+                exchange += a_ex * d.norm_sqr() / (mesh.dy() * mesh.dy()) * v_cell;
+            }
+            // Uniaxial (easy z): K (1 − m_z²).
+            anisotropy += k_ani * (1.0 - mi.z * mi.z) * v_cell;
+            // Zeeman: −μ₀ Ms m·H.
+            zeeman -= MU_0 * ms * mi.dot(applied_field) * v_cell;
+            // Local demag: (μ₀ Ms² / 2) Σ N_i m_i².
+            demag += 0.5
+                * MU_0
+                * ms
+                * ms
+                * demag_tensor.dot(Vec3::new(mi.x * mi.x, mi.y * mi.y, mi.z * mi.z))
+                * v_cell;
+        }
+    }
+    Ok(EnergyBreakdown { exchange, anisotropy, zeeman, demag })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{Exchange, LocalDemag, UniaxialAnisotropy};
+    use crate::solver::LlgSolver;
+    use crate::stability::suggested_time_step;
+    use magnon_math::constants::NM;
+
+    fn mesh() -> Mesh {
+        Mesh::line(100.0 * NM, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap()
+    }
+
+    #[test]
+    fn uniform_easy_axis_state_is_ground() {
+        let e = energy_breakdown(
+            &mesh(),
+            &Material::fe_co_b(),
+            &vec![Vec3::Z; 50],
+            Vec3::ZERO,
+            Vec3::ZERO,
+        )
+        .unwrap();
+        assert_eq!(e.exchange, 0.0);
+        assert!(e.anisotropy.abs() < 1e-30);
+        assert_eq!(e.zeeman, 0.0);
+        assert_eq!(e.total(), e.exchange + e.anisotropy + e.zeeman + e.demag);
+    }
+
+    #[test]
+    fn tilted_state_costs_anisotropy() {
+        let m = vec![Vec3::X; 50];
+        let e = energy_breakdown(&mesh(), &Material::fe_co_b(), &m, Vec3::ZERO, Vec3::ZERO)
+            .unwrap();
+        // K V_total for fully in-plane magnetization.
+        let expected = 8.3177e5 * 100e-9 * 50e-9 * 1e-9;
+        assert!((e.anisotropy - expected).abs() / expected < 1e-9);
+        assert_eq!(e.exchange, 0.0);
+    }
+
+    #[test]
+    fn texture_costs_exchange() {
+        let mesh = mesh();
+        let mut m = vec![Vec3::Z; mesh.cell_count()];
+        m[25] = Vec3::X; // a hard kink
+        let e = energy_breakdown(&mesh, &Material::fe_co_b(), &m, Vec3::ZERO, Vec3::ZERO)
+            .unwrap();
+        assert!(e.exchange > 0.0);
+    }
+
+    #[test]
+    fn zeeman_favours_alignment() {
+        let h = Vec3::new(0.0, 0.0, 1.0e5);
+        let aligned = energy_breakdown(
+            &mesh(),
+            &Material::fe_co_b(),
+            &vec![Vec3::Z; 50],
+            h,
+            Vec3::ZERO,
+        )
+        .unwrap();
+        let anti = energy_breakdown(
+            &mesh(),
+            &Material::fe_co_b(),
+            &vec![-Vec3::Z; 50],
+            h,
+            Vec3::ZERO,
+        )
+        .unwrap();
+        assert!(aligned.zeeman < 0.0);
+        assert!(anti.zeeman > 0.0);
+        assert!((aligned.zeeman + anti.zeeman).abs() < 1e-30);
+    }
+
+    #[test]
+    fn demag_penalises_out_of_plane() {
+        let tensor = Vec3::new(0.0, 0.0, 1.0);
+        let out = energy_breakdown(
+            &mesh(),
+            &Material::fe_co_b(),
+            &vec![Vec3::Z; 50],
+            Vec3::ZERO,
+            tensor,
+        )
+        .unwrap();
+        let inplane = energy_breakdown(
+            &mesh(),
+            &Material::fe_co_b(),
+            &vec![Vec3::X; 50],
+            Vec3::ZERO,
+            tensor,
+        )
+        .unwrap();
+        assert!(out.demag > inplane.demag);
+        assert_eq!(inplane.demag, 0.0);
+    }
+
+    #[test]
+    fn state_length_validated() {
+        assert!(energy_breakdown(
+            &mesh(),
+            &Material::fe_co_b(),
+            &[Vec3::Z; 3],
+            Vec3::ZERO,
+            Vec3::ZERO
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn damped_free_dynamics_dissipate_energy() {
+        // Excite a texture, then let it relax with no drive: total
+        // energy must decrease monotonically (sampled coarsely).
+        let mesh = mesh();
+        let material = Material::fe_co_b();
+        let nz = 1.0;
+        let mut solver = LlgSolver::new(mesh.clone(), material).unwrap();
+        solver.add_field_term(Box::new(Exchange::new(&material)));
+        solver.add_field_term(Box::new(UniaxialAnisotropy::perpendicular(&material).unwrap()));
+        solver.add_field_term(Box::new(LocalDemag::out_of_plane(&material, nz).unwrap()));
+        solver.set_magnetization_with(|i| {
+            let x = i as f64 * 0.4;
+            Vec3::new(0.3 * x.sin(), 0.3 * x.cos(), 1.0)
+        });
+        let dt = suggested_time_step(&mesh, &material);
+        let mut last = f64::INFINITY;
+        for _ in 0..6 {
+            let e = energy_breakdown(
+                &mesh,
+                &material,
+                solver.magnetization(),
+                Vec3::ZERO,
+                Vec3::new(0.0, 0.0, nz),
+            )
+            .unwrap()
+            .total();
+            assert!(
+                e <= last + 1e-25,
+                "energy increased without drive: {e} > {last}"
+            );
+            last = e;
+            solver.run(0.02e-9, dt).unwrap();
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for the micromagnetic simulator.
+
+use magnon_math::MathError;
+use magnon_physics::PhysicsError;
+use std::fmt;
+
+/// Errors produced while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A geometric or temporal parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A region (antenna, probe, absorber) does not fit in the mesh.
+    RegionOutOfBounds {
+        /// Description of the region.
+        what: &'static str,
+        /// Requested position or extent in metres.
+        requested: f64,
+        /// Available mesh length in metres.
+        available: f64,
+    },
+    /// The simulation was asked to run with no probes or no duration.
+    NothingToDo,
+    /// The time step exceeds the explicit-integration stability limit.
+    UnstableTimeStep {
+        /// Requested step in seconds.
+        requested: f64,
+        /// Largest stable step in seconds.
+        limit: f64,
+    },
+    /// The magnetization diverged (NaN/∞) during integration.
+    Diverged {
+        /// Simulation time at which divergence was detected, in seconds.
+        at_time: f64,
+    },
+    /// An underlying physics computation failed.
+    Physics(PhysicsError),
+    /// An underlying numerical routine failed.
+    Math(MathError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { parameter, value } => {
+                write!(f, "parameter `{parameter}` is invalid: {value}")
+            }
+            SimError::RegionOutOfBounds { what, requested, available } => {
+                write!(
+                    f,
+                    "{what} at {requested:.3e} m does not fit in a mesh of length {available:.3e} m"
+                )
+            }
+            SimError::NothingToDo => write!(f, "simulation has no probes or zero duration"),
+            SimError::UnstableTimeStep { requested, limit } => {
+                write!(
+                    f,
+                    "time step {requested:.3e} s exceeds the stability limit {limit:.3e} s"
+                )
+            }
+            SimError::Diverged { at_time } => {
+                write!(f, "magnetization diverged at t = {at_time:.3e} s")
+            }
+            SimError::Physics(e) => write!(f, "physics error: {e}"),
+            SimError::Math(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Physics(e) => Some(e),
+            SimError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PhysicsError> for SimError {
+    fn from(e: PhysicsError) -> Self {
+        SimError::Physics(e)
+    }
+}
+
+impl From<MathError> for SimError {
+    fn from(e: MathError) -> Self {
+        SimError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::NothingToDo.to_string().contains("no probes"));
+        let e = SimError::UnstableTimeStep { requested: 1e-12, limit: 1e-13 };
+        assert!(e.to_string().contains("stability"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SimError = PhysicsError::NotPerpendicular { internal_field: -1.0 }.into();
+        assert!(matches!(e, SimError::Physics(_)));
+        let e: SimError = MathError::EmptyInput.into();
+        assert!(matches!(e, SimError::Math(_)));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = SimError::Physics(PhysicsError::NotPerpendicular { internal_field: -1.0 });
+        assert!(e.source().is_some());
+        assert!(SimError::NothingToDo.source().is_none());
+    }
+}

@@ -1,0 +1,409 @@
+//! Effective-field terms.
+//!
+//! The effective field entering the LLG equation is the sum of
+//! independent contributions; each implements [`FieldTerm`] and *adds*
+//! its field (in A/m) into the shared accumulation buffer. The set used
+//! for the paper's waveguide is: exchange + uniaxial PMA anisotropy +
+//! local demagnetizing tensor (+ antenna sources from
+//! [`crate::source`]).
+
+use crate::error::SimError;
+use crate::mesh::Mesh;
+use magnon_math::constants::MU_0;
+use magnon_math::Vec3;
+use magnon_physics::material::Material;
+
+/// A contribution to the effective field.
+///
+/// Implementations must **accumulate** into `h` (`h[i] += ...`), never
+/// overwrite, so terms compose.
+pub trait FieldTerm: Send + Sync {
+    /// Adds this term's field (A/m) for magnetization state `m` at time
+    /// `t` into `h`.
+    fn add_field(&self, mesh: &Mesh, m: &[Vec3], t: f64, h: &mut [Vec3]);
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Heisenberg exchange via the 4-neighbour (2-neighbour in 1D) discrete
+/// Laplacian: `H_ex = Ms λ_ex² ∇² m`, free (Neumann) boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::field::{Exchange, FieldTerm};
+/// use magnon_micromag::mesh::Mesh;
+/// use magnon_math::Vec3;
+/// use magnon_physics::material::Material;
+///
+/// # fn main() -> Result<(), magnon_micromag::SimError> {
+/// let mesh = Mesh::line(20.0e-9, 2.0e-9, 50.0e-9, 1.0e-9)?;
+/// let ex = Exchange::new(&Material::fe_co_b());
+/// let m = vec![Vec3::Z; mesh.cell_count()];
+/// let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+/// ex.add_field(&mesh, &m, 0.0, &mut h);
+/// // A uniform state has zero exchange field.
+/// assert!(h.iter().all(|v| v.norm() < 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Exchange {
+    /// Ms λ_ex² in A·m (field = this × ∇²m).
+    coeff: f64,
+}
+
+impl Exchange {
+    /// Builds the exchange term for `material`.
+    pub fn new(material: &Material) -> Self {
+        Exchange {
+            coeff: material.saturation_magnetization() * material.exchange_length_sq(),
+        }
+    }
+
+    /// The prefactor `Ms λ_ex²` in A·m.
+    pub fn coefficient(&self) -> f64 {
+        self.coeff
+    }
+}
+
+impl FieldTerm for Exchange {
+    fn add_field(&self, mesh: &Mesh, m: &[Vec3], _t: f64, h: &mut [Vec3]) {
+        let nx = mesh.nx();
+        let ny = mesh.ny();
+        let inv_dx2 = self.coeff / (mesh.dx() * mesh.dx());
+        let inv_dy2 = self.coeff / (mesh.dy() * mesh.dy());
+        for j in 0..ny {
+            let row = j * nx;
+            for i in 0..nx {
+                let idx = row + i;
+                let mi = m[idx];
+                let mut acc = Vec3::ZERO;
+                if i > 0 {
+                    acc += (m[idx - 1] - mi) * inv_dx2;
+                }
+                if i + 1 < nx {
+                    acc += (m[idx + 1] - mi) * inv_dx2;
+                }
+                if ny > 1 {
+                    if j > 0 {
+                        acc += (m[idx - nx] - mi) * inv_dy2;
+                    }
+                    if j + 1 < ny {
+                        acc += (m[idx + nx] - mi) * inv_dy2;
+                    }
+                }
+                h[idx] += acc;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exchange"
+    }
+}
+
+/// First-order uniaxial anisotropy:
+/// `H_ani = (2 k_ani / μ₀ Ms) (m · u) u`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniaxialAnisotropy {
+    field_scale: f64,
+    axis: Vec3,
+}
+
+impl UniaxialAnisotropy {
+    /// Builds the anisotropy term for `material` with easy axis `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `axis` is (near)
+    /// zero.
+    pub fn new(material: &Material, axis: Vec3) -> Result<Self, SimError> {
+        let axis = axis
+            .normalized()
+            .ok_or(SimError::InvalidParameter { parameter: "axis", value: 0.0 })?;
+        Ok(UniaxialAnisotropy {
+            field_scale: 2.0 * material.anisotropy_constant()
+                / (MU_0 * material.saturation_magnetization()),
+            axis,
+        })
+    }
+
+    /// The paper's configuration: easy axis out of plane (+z).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept for constructor uniformity.
+    pub fn perpendicular(material: &Material) -> Result<Self, SimError> {
+        UniaxialAnisotropy::new(material, Vec3::Z)
+    }
+
+    /// Peak anisotropy field `2 k_ani / (μ₀ Ms)` in A/m.
+    pub fn field_scale(&self) -> f64 {
+        self.field_scale
+    }
+}
+
+impl FieldTerm for UniaxialAnisotropy {
+    fn add_field(&self, _mesh: &Mesh, m: &[Vec3], _t: f64, h: &mut [Vec3]) {
+        for (hi, mi) in h.iter_mut().zip(m) {
+            *hi += self.axis * (self.field_scale * mi.dot(self.axis));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniaxial_anisotropy"
+    }
+}
+
+/// Local (cell-wise) demagnetizing field with a diagonal tensor:
+/// `H_d = −Ms (N_x m_x, N_y m_y, N_z m_z)`.
+///
+/// For a thin film `N = (0, 0, 1)`; for the paper's waveguide the
+/// designer uses `(0, 0, N_z(width, thickness))` so that the simulated
+/// dispersion matches
+/// [`magnon_physics::dispersion::ExchangeDispersion`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalDemag {
+    ms: f64,
+    tensor: Vec3,
+}
+
+impl LocalDemag {
+    /// Builds a local demag term with diagonal `tensor = (Nx, Ny, Nz)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when any factor lies
+    /// outside `[0, 1]` or the trace exceeds 1 + 1e-6.
+    pub fn new(material: &Material, tensor: Vec3) -> Result<Self, SimError> {
+        for v in [tensor.x, tensor.y, tensor.z] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(SimError::InvalidParameter { parameter: "demag_factor", value: v });
+            }
+        }
+        let trace = tensor.x + tensor.y + tensor.z;
+        if trace > 1.0 + 1e-6 {
+            return Err(SimError::InvalidParameter { parameter: "demag_trace", value: trace });
+        }
+        Ok(LocalDemag { ms: material.saturation_magnetization(), tensor })
+    }
+
+    /// Out-of-plane-only tensor `(0, 0, nz)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LocalDemag::new`].
+    pub fn out_of_plane(material: &Material, nz: f64) -> Result<Self, SimError> {
+        LocalDemag::new(material, Vec3::new(0.0, 0.0, nz))
+    }
+
+    /// The diagonal tensor.
+    pub fn tensor(&self) -> Vec3 {
+        self.tensor
+    }
+}
+
+impl FieldTerm for LocalDemag {
+    fn add_field(&self, _mesh: &Mesh, m: &[Vec3], _t: f64, h: &mut [Vec3]) {
+        for (hi, mi) in h.iter_mut().zip(m) {
+            *hi -= self.tensor.component_mul(*mi) * self.ms;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "local_demag"
+    }
+}
+
+/// Static uniform applied field (A/m).
+#[derive(Debug, Clone, Copy)]
+pub struct Zeeman {
+    field: Vec3,
+}
+
+impl Zeeman {
+    /// Builds a uniform field term.
+    pub fn new(field: Vec3) -> Self {
+        Zeeman { field }
+    }
+
+    /// The applied field.
+    pub fn field(&self) -> Vec3 {
+        self.field
+    }
+}
+
+impl FieldTerm for Zeeman {
+    fn add_field(&self, _mesh: &Mesh, _m: &[Vec3], _t: f64, h: &mut [Vec3]) {
+        for hi in h.iter_mut() {
+            *hi += self.field;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "zeeman"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::line(40.0e-9, 2.0e-9, 50.0e-9, 1.0e-9).unwrap()
+    }
+
+    #[test]
+    fn exchange_zero_for_uniform_state() {
+        let mesh = mesh();
+        let ex = Exchange::new(&Material::fe_co_b());
+        let m = vec![Vec3::new(0.6, 0.0, 0.8); mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        ex.add_field(&mesh, &m, 0.0, &mut h);
+        assert!(h.iter().all(|v| v.norm() < 1e-9));
+    }
+
+    #[test]
+    fn exchange_opposes_gradient() {
+        let mesh = mesh();
+        let ex = Exchange::new(&Material::fe_co_b());
+        let mut m = vec![Vec3::Z; mesh.cell_count()];
+        // Tilt one cell: its neighbours feel a field pulling toward it,
+        // and it feels a field pulling back toward +z.
+        m[10] = Vec3::new(0.5, 0.0, 0.866_025).normalized().unwrap();
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        ex.add_field(&mesh, &m, 0.0, &mut h);
+        assert!(h[10].x < 0.0, "tilted cell pulled back");
+        assert!(h[9].x > 0.0, "left neighbour pulled toward tilt");
+        assert!(h[11].x > 0.0, "right neighbour pulled toward tilt");
+        // Distant cells unaffected.
+        assert!(h[0].norm() < 1e-9);
+    }
+
+    #[test]
+    fn exchange_laplacian_quantitative() {
+        // For m_x(x) = ε sin(kx) the exchange field is −Ms λ² k² m_x.
+        let mesh = Mesh::line(400.0e-9, 1.0e-9, 50.0e-9, 1.0e-9).unwrap();
+        let mat = Material::fe_co_b();
+        let ex = Exchange::new(&mat);
+        let k = 2.0 * std::f64::consts::PI / 100.0e-9;
+        let eps = 1e-4;
+        let m: Vec<Vec3> = (0..mesh.cell_count())
+            .map(|i| Vec3::new(eps * (k * mesh.x_at(i)).sin(), 0.0, 1.0))
+            .collect();
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        ex.add_field(&mesh, &m, 0.0, &mut h);
+        // Check an interior cell against the continuum expression.
+        let i = 200;
+        let expected = -ex.coefficient() * k * k * m[i].x;
+        assert!(
+            (h[i].x - expected).abs() / expected.abs() < 0.01,
+            "h = {}, expected = {expected}",
+            h[i].x
+        );
+    }
+
+    #[test]
+    fn exchange_2d_couples_rows() {
+        let mesh = Mesh::plane(20e-9, 10e-9, 2e-9, 2e-9, 1e-9).unwrap();
+        let ex = Exchange::new(&Material::fe_co_b());
+        let mut m = vec![Vec3::Z; mesh.cell_count()];
+        let centre = mesh.index(5, 2);
+        m[centre] = Vec3::X;
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        ex.add_field(&mesh, &m, 0.0, &mut h);
+        // All four neighbours must feel the tilt.
+        assert!(h[mesh.index(4, 2)].x > 0.0);
+        assert!(h[mesh.index(6, 2)].x > 0.0);
+        assert!(h[mesh.index(5, 1)].x > 0.0);
+        assert!(h[mesh.index(5, 3)].x > 0.0);
+    }
+
+    #[test]
+    fn anisotropy_field_along_axis() {
+        let mat = Material::fe_co_b();
+        let ani = UniaxialAnisotropy::perpendicular(&mat).unwrap();
+        let mesh = mesh();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        ani.add_field(&mesh, &m, 0.0, &mut h);
+        let expected = mat.anisotropy_field();
+        assert!((h[0].z - expected).abs() / expected < 1e-12);
+        assert_eq!(h[0].x, 0.0);
+    }
+
+    #[test]
+    fn anisotropy_projects_tilted_m() {
+        let mat = Material::fe_co_b();
+        let ani = UniaxialAnisotropy::perpendicular(&mat).unwrap();
+        let mesh = mesh();
+        let m = vec![Vec3::new(0.6, 0.0, 0.8); mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        ani.add_field(&mesh, &m, 0.0, &mut h);
+        // H = scale · (m·z) z = scale · 0.8 z.
+        assert!((h[0].z - ani.field_scale() * 0.8).abs() < 1e-6);
+        assert_eq!(h[0].x, 0.0);
+    }
+
+    #[test]
+    fn anisotropy_rejects_zero_axis() {
+        assert!(UniaxialAnisotropy::new(&Material::fe_co_b(), Vec3::ZERO).is_err());
+    }
+
+    #[test]
+    fn demag_opposes_magnetization() {
+        let mat = Material::fe_co_b();
+        let d = LocalDemag::out_of_plane(&mat, 1.0).unwrap();
+        let mesh = mesh();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        d.add_field(&mesh, &m, 0.0, &mut h);
+        assert!((h[0].z + mat.saturation_magnetization()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demag_tensor_validation() {
+        let mat = Material::fe_co_b();
+        assert!(LocalDemag::new(&mat, Vec3::new(0.5, 0.5, 0.5)).is_err()); // trace > 1
+        assert!(LocalDemag::new(&mat, Vec3::new(-0.1, 0.0, 0.9)).is_err());
+        assert!(LocalDemag::new(&mat, Vec3::new(0.0, 0.1, 0.9)).is_ok());
+        assert!(LocalDemag::out_of_plane(&mat, 1.5).is_err());
+    }
+
+    #[test]
+    fn zeeman_uniform() {
+        let z = Zeeman::new(Vec3::new(1e4, 0.0, 2e4));
+        let mesh = mesh();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        z.add_field(&mesh, &m, 0.0, &mut h);
+        assert!(h.iter().all(|v| *v == Vec3::new(1e4, 0.0, 2e4)));
+    }
+
+    #[test]
+    fn terms_accumulate() {
+        // Applying two terms adds their fields.
+        let mesh = mesh();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        let z1 = Zeeman::new(Vec3::X * 10.0);
+        let z2 = Zeeman::new(Vec3::X * 5.0);
+        z1.add_field(&mesh, &m, 0.0, &mut h);
+        z2.add_field(&mesh, &m, 0.0, &mut h);
+        assert!((h[0].x - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let mat = Material::fe_co_b();
+        assert_eq!(Exchange::new(&mat).name(), "exchange");
+        assert_eq!(
+            UniaxialAnisotropy::perpendicular(&mat).unwrap().name(),
+            "uniaxial_anisotropy"
+        );
+        assert_eq!(LocalDemag::out_of_plane(&mat, 1.0).unwrap().name(), "local_demag");
+        assert_eq!(Zeeman::new(Vec3::ZERO).name(), "zeeman");
+    }
+}

@@ -1,0 +1,298 @@
+//! Regular finite-difference meshes.
+
+use crate::error::SimError;
+
+/// A regular 1D or 2D mesh of cuboid cells.
+///
+/// The x axis is the propagation direction of the waveguide; the y axis
+/// spans its width (single cell for 1D simulations); z is the film
+/// normal, resolved by a single cell of height `thickness`.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::mesh::Mesh;
+///
+/// # fn main() -> Result<(), magnon_micromag::SimError> {
+/// let mesh = Mesh::line(1.0e-6, 2.0e-9, 50.0e-9, 1.0e-9)?;
+/// assert_eq!(mesh.nx(), 500);
+/// assert_eq!(mesh.ny(), 1);
+/// assert_eq!(mesh.cell_count(), 500);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    nx: usize,
+    ny: usize,
+    dx: f64,
+    dy: f64,
+    thickness: f64,
+}
+
+impl Mesh {
+    /// Creates a 1D mesh (a single row of cells along x) covering
+    /// `length` metres with cells of size `dx`; the cross-section is
+    /// `width` × `thickness`.
+    ///
+    /// The cell count is `round(length / dx)`, with a minimum of 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive
+    /// dimensions or when `dx > length / 2`.
+    pub fn line(length: f64, dx: f64, width: f64, thickness: f64) -> Result<Self, SimError> {
+        for (name, v) in [
+            ("length", length),
+            ("dx", dx),
+            ("width", width),
+            ("thickness", thickness),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SimError::InvalidParameter { parameter: name, value: v });
+            }
+        }
+        if dx > length / 2.0 {
+            return Err(SimError::InvalidParameter { parameter: "dx", value: dx });
+        }
+        let nx = (length / dx).round().max(2.0) as usize;
+        Ok(Mesh { nx, ny: 1, dx, dy: width, thickness })
+    }
+
+    /// Creates a 2D mesh covering `length` × `width` with cells of size
+    /// `dx` × `dy`; the film is one cell of `thickness` high.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive
+    /// dimensions or degenerate cell counts.
+    pub fn plane(
+        length: f64,
+        width: f64,
+        dx: f64,
+        dy: f64,
+        thickness: f64,
+    ) -> Result<Self, SimError> {
+        for (name, v) in [
+            ("length", length),
+            ("width", width),
+            ("dx", dx),
+            ("dy", dy),
+            ("thickness", thickness),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SimError::InvalidParameter { parameter: name, value: v });
+            }
+        }
+        if dx > length / 2.0 {
+            return Err(SimError::InvalidParameter { parameter: "dx", value: dx });
+        }
+        if dy > width {
+            return Err(SimError::InvalidParameter { parameter: "dy", value: dy });
+        }
+        let nx = (length / dx).round().max(2.0) as usize;
+        let ny = (width / dy).round().max(1.0) as usize;
+        Ok(Mesh { nx, ny, dx, dy, thickness })
+    }
+
+    /// Number of cells along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of cells along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total cell count.
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Cell size along x in metres.
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// Cell size along y in metres.
+    pub fn dy(&self) -> f64 {
+        self.dy
+    }
+
+    /// Film thickness (cell size along z) in metres.
+    pub fn thickness(&self) -> f64 {
+        self.thickness
+    }
+
+    /// Physical length along x in metres.
+    pub fn length(&self) -> f64 {
+        self.nx as f64 * self.dx
+    }
+
+    /// Physical width along y in metres.
+    pub fn width(&self) -> f64 {
+        self.ny as f64 * self.dy
+    }
+
+    /// Volume of one cell in m³.
+    pub fn cell_volume(&self) -> f64 {
+        self.dx * self.dy * self.thickness
+    }
+
+    /// Flat index of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= nx` or `j >= ny`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.nx && j < self.ny, "cell index out of bounds");
+        j * self.nx + i
+    }
+
+    /// `(i, j)` coordinates of a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= cell_count()`.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.cell_count(), "flat index out of bounds");
+        (idx % self.nx, idx / self.nx)
+    }
+
+    /// x coordinate of the centre of column `i`, in metres.
+    #[inline]
+    pub fn x_at(&self, i: usize) -> f64 {
+        (i as f64 + 0.5) * self.dx
+    }
+
+    /// Column index containing the coordinate `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RegionOutOfBounds`] when `x` lies outside the
+    /// mesh.
+    pub fn column_at(&self, x: f64) -> Result<usize, SimError> {
+        if !(x.is_finite() && x >= 0.0 && x < self.length()) {
+            return Err(SimError::RegionOutOfBounds {
+                what: "coordinate",
+                requested: x,
+                available: self.length(),
+            });
+        }
+        // Nudge coordinates sitting on a cell edge (within fp noise)
+        // into the upper cell, so 100 nm / 2 nm lands in column 50.
+        Ok(((x / self.dx * (1.0 + 1e-12)) as usize).min(self.nx - 1))
+    }
+
+    /// Range of column indices covering `[x_start, x_start + extent)`.
+    ///
+    /// The range always contains at least one column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RegionOutOfBounds`] when the interval does
+    /// not fit inside the mesh.
+    pub fn columns_in(&self, x_start: f64, extent: f64) -> Result<std::ops::Range<usize>, SimError> {
+        if !(extent.is_finite() && extent >= 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "extent", value: extent });
+        }
+        let first = self.column_at(x_start)?;
+        let x_end = x_start + extent;
+        if x_end > self.length() + 1e-15 {
+            return Err(SimError::RegionOutOfBounds {
+                what: "region end",
+                requested: x_end,
+                available: self.length(),
+            });
+        }
+        // Guard against floating-point spill past an exact cell edge
+        // (e.g. 110 nm / 2 nm evaluating to 55.000000000000007).
+        let last_f = (x_end / self.dx * (1.0 - 1e-12)).ceil();
+        let last = (last_f as usize).clamp(first + 1, self.nx);
+        Ok(first..last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::line(1.0e-6, 2.0e-9, 50.0e-9, 1.0e-9).unwrap()
+    }
+
+    #[test]
+    fn line_construction() {
+        let m = mesh();
+        assert_eq!(m.nx(), 500);
+        assert_eq!(m.ny(), 1);
+        assert_eq!(m.cell_count(), 500);
+        assert!((m.length() - 1.0e-6).abs() < 1e-18);
+        assert!((m.cell_volume() - 2e-9 * 50e-9 * 1e-9).abs() < 1e-40);
+    }
+
+    #[test]
+    fn plane_construction() {
+        let m = Mesh::plane(200e-9, 50e-9, 2e-9, 5e-9, 1e-9).unwrap();
+        assert_eq!(m.nx(), 100);
+        assert_eq!(m.ny(), 10);
+        assert_eq!(m.cell_count(), 1000);
+        assert!((m.width() - 50e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Mesh::line(0.0, 1e-9, 1e-9, 1e-9).is_err());
+        assert!(Mesh::line(1e-6, -1e-9, 1e-9, 1e-9).is_err());
+        assert!(Mesh::line(1e-6, 0.9e-6, 1e-9, 1e-9).is_err());
+        assert!(Mesh::plane(1e-6, 50e-9, 2e-9, 60e-9, 1e-9).is_err());
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let m = Mesh::plane(100e-9, 20e-9, 2e-9, 2e-9, 1e-9).unwrap();
+        for idx in [0, 1, 49, 50, 499] {
+            let (i, j) = m.coords(idx);
+            assert_eq!(m.index(i, j), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_bounds_checked() {
+        mesh().index(500, 0);
+    }
+
+    #[test]
+    fn positions_are_cell_centres() {
+        let m = mesh();
+        assert!((m.x_at(0) - 1e-9).abs() < 1e-18);
+        assert!((m.x_at(1) - 3e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let m = mesh();
+        assert_eq!(m.column_at(0.0).unwrap(), 0);
+        assert_eq!(m.column_at(3.9e-9).unwrap(), 1);
+        assert!(m.column_at(2e-6).is_err());
+        assert!(m.column_at(-1e-9).is_err());
+    }
+
+    #[test]
+    fn column_ranges() {
+        let m = mesh();
+        // A 10 nm region starting at 100 nm covers 5 cells of 2 nm.
+        let r = m.columns_in(100e-9, 10e-9).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.start, 50);
+        // Zero extent still selects one column.
+        let r = m.columns_in(100e-9, 0.0).unwrap();
+        assert_eq!(r.len(), 1);
+        // Region escaping the mesh is rejected.
+        assert!(m.columns_in(990e-9, 100e-9).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Magnetization probes and time-series recording.
+//!
+//! A [`Probe`] observes one magnetization component averaged over a
+//! point or region of the mesh; the solver samples all probes at a fixed
+//! interval and returns [`magnon_math::spectrum::TimeSeries`] traces —
+//! directly analysable with the workspace's FFT/Goertzel tooling, like
+//! the paper's `Mx/Ms` detector curves.
+
+use crate::error::SimError;
+use crate::mesh::Mesh;
+use magnon_math::spectrum::TimeSeries;
+use magnon_math::Vec3;
+
+/// Which magnetization component a probe records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Component {
+    /// In-plane component along the guide — the paper's readout signal.
+    #[default]
+    Mx,
+    /// Transverse in-plane component.
+    My,
+    /// Out-of-plane component.
+    Mz,
+}
+
+impl Component {
+    fn extract(self, m: Vec3) -> f64 {
+        match self {
+            Component::Mx => m.x,
+            Component::My => m.y,
+            Component::Mz => m.z,
+        }
+    }
+}
+
+/// A detector recording one magnetization component at a point or
+/// averaged over a region along the guide.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::probe::{Component, Probe};
+/// use magnon_math::constants::NM;
+///
+/// let point = Probe::point(500.0 * NM);
+/// let region = Probe::region(480.0 * NM, 40.0 * NM).component(Component::My);
+/// assert_eq!(point.x_start(), 500.0 * NM);
+/// assert_eq!(region.extent(), 40.0 * NM);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    x_start: f64,
+    extent: f64,
+    component: Component,
+}
+
+impl Probe {
+    /// A probe at a single mesh column containing `x`.
+    pub fn point(x: f64) -> Self {
+        Probe { x_start: x, extent: 0.0, component: Component::Mx }
+    }
+
+    /// A probe averaging over `[x_start, x_start + extent)`.
+    pub fn region(x_start: f64, extent: f64) -> Self {
+        Probe { x_start, extent, component: Component::Mx }
+    }
+
+    /// Selects the recorded component (default [`Component::Mx`]).
+    pub fn component(mut self, component: Component) -> Self {
+        self.component = component;
+        self
+    }
+
+    /// Start coordinate in metres.
+    pub fn x_start(&self) -> f64 {
+        self.x_start
+    }
+
+    /// Extent in metres (0 for a point probe).
+    pub fn extent(&self) -> f64 {
+        self.extent
+    }
+
+    /// Samples the probe: the selected component averaged over the
+    /// probed cells (all rows of a 2D mesh).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RegionOutOfBounds`] when the probe lies
+    /// outside the mesh.
+    pub fn sample(&self, mesh: &Mesh, m: &[Vec3]) -> Result<f64, SimError> {
+        let cols = mesh.columns_in(self.x_start, self.extent)?;
+        let nx = mesh.nx();
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for j in 0..mesh.ny() {
+            let row = j * nx;
+            for i in cols.clone() {
+                acc += self.component.extract(m[row + i]);
+                count += 1;
+            }
+        }
+        Ok(acc / count as f64)
+    }
+}
+
+/// Accumulates probe samples into time series during a run.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    probes: Vec<Probe>,
+    interval: usize,
+    dt: f64,
+    buffers: Vec<Vec<f64>>,
+    step: usize,
+}
+
+impl Recorder {
+    /// Creates a recorder sampling each of `probes` every `interval`
+    /// solver steps of size `dt`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NothingToDo`] with no probes.
+    /// * [`SimError::InvalidParameter`] for a zero interval or
+    ///   non-positive `dt`.
+    pub fn new(probes: Vec<Probe>, interval: usize, dt: f64) -> Result<Self, SimError> {
+        if probes.is_empty() {
+            return Err(SimError::NothingToDo);
+        }
+        if interval == 0 {
+            return Err(SimError::InvalidParameter { parameter: "interval", value: 0.0 });
+        }
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "dt", value: dt });
+        }
+        let buffers = vec![Vec::new(); probes.len()];
+        Ok(Recorder { probes, interval, dt, buffers, step: 0 })
+    }
+
+    /// Number of probes.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Called by the solver after each step; samples when due.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe sampling errors.
+    pub fn observe(&mut self, mesh: &Mesh, m: &[Vec3]) -> Result<(), SimError> {
+        if self.step % self.interval == 0 {
+            for (probe, buf) in self.probes.iter().zip(&mut self.buffers) {
+                buf.push(probe.sample(mesh, m)?);
+            }
+        }
+        self.step += 1;
+        Ok(())
+    }
+
+    /// Finalises the recording into one [`TimeSeries`] per probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NothingToDo`] when no samples were taken.
+    pub fn into_series(self) -> Result<Vec<TimeSeries>, SimError> {
+        if self.buffers.iter().any(|b| b.is_empty()) {
+            return Err(SimError::NothingToDo);
+        }
+        let sample_dt = self.dt * self.interval as f64;
+        self.buffers
+            .into_iter()
+            .map(|b| TimeSeries::new(sample_dt, b).map_err(SimError::from))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::NM;
+
+    fn mesh() -> Mesh {
+        Mesh::line(200.0 * NM, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap()
+    }
+
+    #[test]
+    fn point_probe_reads_single_cell() {
+        let mesh = mesh();
+        let mut m = vec![Vec3::Z; mesh.cell_count()];
+        m[50] = Vec3::new(0.25, 0.0, 0.97);
+        let p = Probe::point(101.0 * NM); // cell 50 spans 100..102 nm
+        assert!((p.sample(&mesh, &m).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_probe_averages() {
+        let mesh = mesh();
+        let mut m = vec![Vec3::Z; mesh.cell_count()];
+        m[50] = Vec3::new(0.2, 0.0, 0.98);
+        m[51] = Vec3::new(0.4, 0.0, 0.92);
+        let p = Probe::region(100.0 * NM, 4.0 * NM);
+        assert!((p.sample(&mesh, &m).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_selection() {
+        let mesh = mesh();
+        let mut m = vec![Vec3::Z; mesh.cell_count()];
+        m[10] = Vec3::new(0.1, 0.2, 0.97);
+        let x = 21.0 * NM;
+        assert!((Probe::point(x).sample(&mesh, &m).unwrap() - 0.1).abs() < 1e-12);
+        assert!(
+            (Probe::point(x).component(Component::My).sample(&mesh, &m).unwrap() - 0.2).abs()
+                < 1e-12
+        );
+        assert!(
+            (Probe::point(x).component(Component::Mz).sample(&mesh, &m).unwrap() - 0.97).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_probe_rejected() {
+        let mesh = mesh();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        assert!(Probe::point(500.0 * NM).sample(&mesh, &m).is_err());
+    }
+
+    #[test]
+    fn recorder_validation() {
+        assert!(matches!(
+            Recorder::new(vec![], 1, 1e-13),
+            Err(SimError::NothingToDo)
+        ));
+        assert!(Recorder::new(vec![Probe::point(0.0)], 0, 1e-13).is_err());
+        assert!(Recorder::new(vec![Probe::point(0.0)], 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn recorder_samples_at_interval() {
+        let mesh = mesh();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut rec = Recorder::new(vec![Probe::point(100.0 * NM)], 10, 1e-13).unwrap();
+        for _ in 0..100 {
+            rec.observe(&mesh, &m).unwrap();
+        }
+        let series = rec.into_series().unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].len(), 10);
+        assert!((series[0].dt() - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn empty_recorder_cannot_finalize() {
+        let rec = Recorder::new(vec![Probe::point(0.0)], 1, 1e-13).unwrap();
+        assert!(matches!(rec.into_series(), Err(SimError::NothingToDo)));
+    }
+
+    #[test]
+    fn recorder_tracks_changing_state() {
+        let mesh = mesh();
+        let mut m = vec![Vec3::Z; mesh.cell_count()];
+        let mut rec = Recorder::new(vec![Probe::point(100.0 * NM)], 1, 1e-13).unwrap();
+        for s in 0..5 {
+            m[50].x = s as f64 * 0.1;
+            rec.observe(&mesh, &m).unwrap();
+        }
+        let series = rec.into_series().unwrap();
+        let v = series[0].samples();
+        assert!((v[0] - 0.0).abs() < 1e-12);
+        assert!((v[4] - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,352 @@
+//! High-level simulation assembly.
+//!
+//! [`SimulationBuilder`] wires a [`Waveguide`] into a ready-to-run LLG
+//! simulation: it sizes the mesh, installs the exchange + anisotropy +
+//! local-demag field stack that realises the waveguide's
+//! [`ExchangeDispersion`](magnon_physics::dispersion::ExchangeDispersion),
+//! applies absorbing boundaries, and runs antennas and probes to produce
+//! analysable time series.
+
+use crate::absorber::Absorber;
+use crate::error::SimError;
+use crate::field::{Exchange, LocalDemag, UniaxialAnisotropy};
+use crate::mesh::Mesh;
+use crate::probe::{Probe, Recorder};
+use crate::solver::LlgSolver;
+use crate::source::Antenna;
+use crate::stability;
+use magnon_math::spectrum::TimeSeries;
+use magnon_math::Vec3;
+use magnon_physics::waveguide::Waveguide;
+
+/// Builder for waveguide simulations.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug)]
+pub struct SimulationBuilder {
+    waveguide: Waveguide,
+    length: f64,
+    cell_size: f64,
+    duration: f64,
+    time_step: Option<f64>,
+    sample_interval: usize,
+    absorber: Option<Absorber>,
+    antennas: Vec<Antenna>,
+    probes: Vec<Probe>,
+    rows: usize,
+}
+
+impl SimulationBuilder {
+    /// Starts a simulation of `length` metres of `waveguide`.
+    ///
+    /// Defaults: 1 nm cells, 1 ns duration, automatic stable time step,
+    /// sampling every 4 steps, 10% of the length as absorbers at each
+    /// end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive length.
+    pub fn new(waveguide: Waveguide, length: f64) -> Result<Self, SimError> {
+        if !(length.is_finite() && length > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "length", value: length });
+        }
+        Ok(SimulationBuilder {
+            waveguide,
+            length,
+            cell_size: 1.0e-9,
+            duration: 1.0e-9,
+            time_step: None,
+            sample_interval: 4,
+            absorber: Some(Absorber::new(length * 0.1, 0.5)?),
+            antennas: Vec::new(),
+            probes: Vec::new(),
+            rows: 1,
+        })
+    }
+
+    /// Resolves the waveguide width with `rows` cells (default 1, i.e.
+    /// a 1D simulation; larger values enable transverse dynamics for
+    /// width studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero rows.
+    pub fn rows(mut self, rows: usize) -> Result<Self, SimError> {
+        if rows == 0 {
+            return Err(SimError::InvalidParameter { parameter: "rows", value: 0.0 });
+        }
+        self.rows = rows;
+        Ok(self)
+    }
+
+    /// Sets the cell size along the guide (default 1 nm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive value.
+    pub fn cell_size(mut self, dx: f64) -> Result<Self, SimError> {
+        if !(dx.is_finite() && dx > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "cell_size", value: dx });
+        }
+        self.cell_size = dx;
+        Ok(self)
+    }
+
+    /// Sets the simulated duration (default 1 ns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive value.
+    pub fn duration(mut self, duration: f64) -> Result<Self, SimError> {
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "duration", value: duration });
+        }
+        self.duration = duration;
+        Ok(self)
+    }
+
+    /// Overrides the automatic time step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive value.
+    /// Stability is checked at [`SimulationBuilder::run`].
+    pub fn time_step(mut self, dt: f64) -> Result<Self, SimError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "time_step", value: dt });
+        }
+        self.time_step = Some(dt);
+        Ok(self)
+    }
+
+    /// Sets the probe sampling interval in solver steps (default 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero.
+    pub fn sample_interval(mut self, interval: usize) -> Result<Self, SimError> {
+        if interval == 0 {
+            return Err(SimError::InvalidParameter { parameter: "sample_interval", value: 0.0 });
+        }
+        self.sample_interval = interval;
+        Ok(self)
+    }
+
+    /// Replaces the default absorbers (pass `None` to disable).
+    pub fn absorber(mut self, absorber: Option<Absorber>) -> Self {
+        self.absorber = absorber;
+        self
+    }
+
+    /// Adds a microwave source.
+    pub fn add_antenna(mut self, antenna: Antenna) -> Self {
+        self.antennas.push(antenna);
+        self
+    }
+
+    /// Adds a detector probe.
+    pub fn add_probe(mut self, probe: Probe) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    fn mesh(&self) -> Result<Mesh, SimError> {
+        if self.rows == 1 {
+            Mesh::line(
+                self.length,
+                self.cell_size,
+                self.waveguide.width(),
+                self.waveguide.thickness(),
+            )
+        } else {
+            Mesh::plane(
+                self.length,
+                self.waveguide.width(),
+                self.cell_size,
+                self.waveguide.width() / self.rows as f64,
+                self.waveguide.thickness(),
+            )
+        }
+    }
+
+    /// Builds the solver (without running). Exposed for callers that
+    /// need custom stepping; most users call [`SimulationBuilder::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh, physics and region-validation errors.
+    pub fn build_solver(&self) -> Result<LlgSolver, SimError> {
+        let mesh = self.mesh()?;
+        let material = *self.waveguide.material();
+        // Fail early when the waveguide cannot host FVMSW-like waves.
+        let nz = self.waveguide.demag_factor()?;
+        self.waveguide.internal_field()?;
+
+        let mut solver = LlgSolver::new(mesh, material)?;
+        solver.add_field_term(Box::new(Exchange::new(&material)));
+        solver.add_field_term(Box::new(UniaxialAnisotropy::perpendicular(&material)?));
+        solver.add_field_term(Box::new(LocalDemag::out_of_plane(&material, nz)?));
+        for antenna in &self.antennas {
+            antenna.check_fits(solver.mesh())?;
+            solver.add_field_term(Box::new(*antenna));
+        }
+        if let Some(absorber) = &self.absorber {
+            let profile = absorber.damping_profile_2d(solver.mesh(), material.gilbert_damping())?;
+            solver.set_damping_profile(profile)?;
+        }
+        solver.set_uniform_magnetization(Vec3::Z);
+        Ok(solver)
+    }
+
+    /// The time step that [`SimulationBuilder::run`] will use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh construction errors.
+    pub fn effective_time_step(&self) -> Result<f64, SimError> {
+        let mesh = self.mesh()?;
+        Ok(self
+            .time_step
+            .unwrap_or_else(|| stability::suggested_time_step(&mesh, self.waveguide.material())))
+    }
+
+    /// Builds and runs the simulation, returning the recorded probe
+    /// series.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NothingToDo`] when no probes were added.
+    /// * Propagates solver and recording errors.
+    pub fn run(self) -> Result<SimOutput, SimError> {
+        if self.probes.is_empty() {
+            return Err(SimError::NothingToDo);
+        }
+        let dt = self.effective_time_step()?;
+        let mut solver = self.build_solver()?;
+        let mut recorder = Recorder::new(self.probes.clone(), self.sample_interval, dt)?;
+        let steps = solver.run_recorded(self.duration, dt, &mut recorder)?;
+        Ok(SimOutput {
+            series: recorder.into_series()?,
+            final_magnetization: solver.magnetization().to_vec(),
+            steps,
+            time_step: dt,
+        })
+    }
+}
+
+/// Result of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    series: Vec<TimeSeries>,
+    final_magnetization: Vec<Vec3>,
+    steps: usize,
+    time_step: f64,
+}
+
+impl SimOutput {
+    /// Recorded probe series, in probe insertion order.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Consumes the output, returning the probe series.
+    pub fn into_series(self) -> Vec<TimeSeries> {
+        self.series
+    }
+
+    /// Final magnetization state.
+    pub fn final_magnetization(&self) -> &[Vec3] {
+        &self.final_magnetization
+    }
+
+    /// Number of solver steps taken.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The time step used, in seconds.
+    pub fn time_step(&self) -> f64 {
+        self.time_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::{GHZ, NM, NS};
+
+    #[test]
+    fn builder_validation() {
+        let g = Waveguide::paper_default().unwrap();
+        assert!(SimulationBuilder::new(g, 0.0).is_err());
+        let b = SimulationBuilder::new(g, 400.0 * NM).unwrap();
+        assert!(b.cell_size(0.0).is_err());
+        let b = SimulationBuilder::new(g, 400.0 * NM).unwrap();
+        assert!(b.duration(-1.0).is_err());
+        let b = SimulationBuilder::new(g, 400.0 * NM).unwrap();
+        assert!(b.sample_interval(0).is_err());
+    }
+
+    #[test]
+    fn run_requires_probes() {
+        let g = Waveguide::paper_default().unwrap();
+        let b = SimulationBuilder::new(g, 400.0 * NM).unwrap();
+        assert!(matches!(b.run(), Err(SimError::NothingToDo)));
+    }
+
+    #[test]
+    fn antenna_must_fit() {
+        let g = Waveguide::paper_default().unwrap();
+        let sim = SimulationBuilder::new(g, 200.0 * NM)
+            .unwrap()
+            .add_antenna(Antenna::new(300.0 * NM, 10.0 * NM, 20.0 * GHZ, 1e4, 0.0).unwrap())
+            .add_probe(Probe::point(100.0 * NM));
+        assert!(matches!(sim.run(), Err(SimError::RegionOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn short_run_produces_series() {
+        let g = Waveguide::paper_default().unwrap();
+        let out = SimulationBuilder::new(g, 300.0 * NM)
+            .unwrap()
+            .cell_size(2.0 * NM)
+            .unwrap()
+            .add_antenna(Antenna::new(60.0 * NM, 10.0 * NM, 20.0 * GHZ, 2.0e4, 0.0).unwrap())
+            .add_probe(Probe::point(150.0 * NM))
+            .add_probe(Probe::point(200.0 * NM))
+            .duration(0.05 * NS)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(out.series().len(), 2);
+        assert!(out.steps() > 100);
+        assert!(out.time_step() > 0.0);
+        assert_eq!(out.final_magnetization().len(), 150);
+        // Both probes recorded the same number of samples.
+        assert_eq!(out.series()[0].len(), out.series()[1].len());
+    }
+
+    #[test]
+    fn effective_time_step_defaults_to_stability() {
+        let g = Waveguide::paper_default().unwrap();
+        let b = SimulationBuilder::new(g, 300.0 * NM).unwrap().cell_size(2.0 * NM).unwrap();
+        let auto = b.effective_time_step().unwrap();
+        assert!(auto > 0.0 && auto < 1e-12);
+        let b = SimulationBuilder::new(g, 300.0 * NM)
+            .unwrap()
+            .time_step(1.23e-14)
+            .unwrap();
+        assert!((b.effective_time_step().unwrap() - 1.23e-14).abs() < 1e-28);
+    }
+
+    #[test]
+    fn solver_carries_field_stack() {
+        let g = Waveguide::paper_default().unwrap();
+        let solver = SimulationBuilder::new(g, 300.0 * NM)
+            .unwrap()
+            .build_solver()
+            .unwrap();
+        let names = solver.field_term_names();
+        assert_eq!(names, vec!["exchange", "uniaxial_anisotropy", "local_demag"]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Spatial analysis of magnetization snapshots.
+//!
+//! OOMMF workflows inspect `m(x)` snapshots as much as probe traces;
+//! this module provides the Rust equivalents: per-row extraction of a
+//! magnetization component, spatial FFT to read off the dominant
+//! wavenumber (the k-space counterpart of the paper's Fig. 3), and
+//! zero-crossing wavelength estimation.
+
+use crate::error::SimError;
+use crate::mesh::Mesh;
+use magnon_math::fft;
+use magnon_math::stats;
+use magnon_math::Vec3;
+
+/// A 1D profile of one magnetization component along the guide
+/// (averaged across rows for 2D meshes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialProfile {
+    dx: f64,
+    values: Vec<f64>,
+}
+
+impl SpatialProfile {
+    /// Extracts the `m_x` profile from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `m.len()` does not
+    /// match the mesh.
+    pub fn mx(mesh: &Mesh, m: &[Vec3]) -> Result<Self, SimError> {
+        Self::component(mesh, m, |v| v.x)
+    }
+
+    /// Extracts an arbitrary component profile from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `m.len()` does not
+    /// match the mesh.
+    pub fn component<F: Fn(Vec3) -> f64>(
+        mesh: &Mesh,
+        m: &[Vec3],
+        extract: F,
+    ) -> Result<Self, SimError> {
+        if m.len() != mesh.cell_count() {
+            return Err(SimError::InvalidParameter {
+                parameter: "snapshot_len",
+                value: m.len() as f64,
+            });
+        }
+        let nx = mesh.nx();
+        let ny = mesh.ny();
+        let mut values = vec![0.0; nx];
+        for j in 0..ny {
+            let row = j * nx;
+            for (i, v) in values.iter_mut().enumerate() {
+                *v += extract(m[row + i]);
+            }
+        }
+        for v in &mut values {
+            *v /= ny as f64;
+        }
+        Ok(SpatialProfile { dx: mesh.dx(), values })
+    }
+
+    /// Cell size along x in metres.
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// The profile samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Restricts the profile to the window `[x_lo, x_hi)` (metres).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RegionOutOfBounds`] for an empty window.
+    pub fn window(&self, x_lo: f64, x_hi: f64) -> Result<SpatialProfile, SimError> {
+        let i_lo = (x_lo / self.dx).max(0.0) as usize;
+        let i_hi = ((x_hi / self.dx) as usize).min(self.values.len());
+        if i_lo + 2 > i_hi {
+            return Err(SimError::RegionOutOfBounds {
+                what: "profile window",
+                requested: x_lo,
+                available: self.values.len() as f64 * self.dx,
+            });
+        }
+        Ok(SpatialProfile { dx: self.dx, values: self.values[i_lo..i_hi].to_vec() })
+    }
+
+    /// Dominant spatial wavenumber (rad/m) from the spatial FFT,
+    /// ignoring the DC bin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FFT errors; returns [`SimError::InvalidParameter`]
+    /// when the profile is too short.
+    pub fn dominant_wavenumber(&self) -> Result<f64, SimError> {
+        if self.values.len() < 8 {
+            return Err(SimError::InvalidParameter {
+                parameter: "profile_len",
+                value: self.values.len() as f64,
+            });
+        }
+        let spec = fft::fft_real(&self.values)?;
+        let n = spec.len();
+        let half = n / 2;
+        let magnitudes: Vec<f64> = spec[1..half].iter().map(|z| z.abs()).collect();
+        let (idx, _) = stats::argmax(&magnitudes)?;
+        let bin = idx + 1;
+        // Parabolic interpolation around the peak for sub-bin accuracy.
+        let refined = if bin > 1 && bin + 1 < half {
+            let (a, b, c) = (
+                spec[bin - 1].abs(),
+                spec[bin].abs(),
+                spec[bin + 1].abs(),
+            );
+            let denom = a - 2.0 * b + c;
+            if denom.abs() > 1e-300 {
+                bin as f64 + 0.5 * (a - c) / denom
+            } else {
+                bin as f64
+            }
+        } else {
+            bin as f64
+        };
+        let dk = 2.0 * std::f64::consts::PI / (n as f64 * self.dx);
+        Ok(refined * dk)
+    }
+
+    /// Wavelength estimate from interpolated zero crossings (mean
+    /// half-period × 2). More robust than the FFT for short windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when fewer than 3
+    /// crossings exist.
+    pub fn zero_crossing_wavelength(&self) -> Result<f64, SimError> {
+        let mut crossings = Vec::new();
+        for i in 0..self.values.len() - 1 {
+            let (a, b) = (self.values[i], self.values[i + 1]);
+            if (a == 0.0 && b != 0.0) || a * b < 0.0 {
+                let frac = if a == b { 0.0 } else { a / (a - b) };
+                crossings.push((i as f64 + frac) * self.dx);
+            }
+        }
+        if crossings.len() < 3 {
+            return Err(SimError::InvalidParameter {
+                parameter: "zero_crossings",
+                value: crossings.len() as f64,
+            });
+        }
+        let spacing = (crossings.last().expect("non-empty")
+            - crossings.first().expect("non-empty"))
+            / (crossings.len() - 1) as f64;
+        Ok(2.0 * spacing)
+    }
+
+    /// Peak absolute value of the profile.
+    pub fn peak(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Root-mean-square of the profile.
+    pub fn rms(&self) -> f64 {
+        let sum: f64 = self.values.iter().map(|v| v * v).sum();
+        (sum / self.values.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::NM;
+
+    fn sine_snapshot(mesh: &Mesh, lambda: f64, amplitude: f64) -> Vec<Vec3> {
+        let k = 2.0 * std::f64::consts::PI / lambda;
+        (0..mesh.cell_count())
+            .map(|idx| {
+                let (i, _) = mesh.coords(idx);
+                let x = mesh.x_at(i);
+                Vec3::new(amplitude * (k * x).sin(), 0.0, 1.0)
+            })
+            .collect()
+    }
+
+    fn mesh() -> Mesh {
+        Mesh::line(1000.0 * NM, 1.0 * NM, 50.0 * NM, 1.0 * NM).unwrap()
+    }
+
+    #[test]
+    fn length_validation() {
+        let mesh = mesh();
+        assert!(SpatialProfile::mx(&mesh, &[Vec3::Z; 3]).is_err());
+    }
+
+    #[test]
+    fn fft_recovers_wavenumber() {
+        let mesh = mesh();
+        let lambda = 80.0 * NM;
+        let snap = sine_snapshot(&mesh, lambda, 1e-3);
+        let profile = SpatialProfile::mx(&mesh, &snap).unwrap();
+        let k = profile.dominant_wavenumber().unwrap();
+        let k_expected = 2.0 * std::f64::consts::PI / lambda;
+        assert!(
+            (k - k_expected).abs() / k_expected < 0.02,
+            "k = {k}, expected {k_expected}"
+        );
+    }
+
+    #[test]
+    fn zero_crossings_recover_wavelength() {
+        let mesh = mesh();
+        let lambda = 64.0 * NM;
+        let snap = sine_snapshot(&mesh, lambda, 1e-3);
+        let profile = SpatialProfile::mx(&mesh, &snap).unwrap();
+        let measured = profile.zero_crossing_wavelength().unwrap();
+        assert!(
+            (measured - lambda).abs() / lambda < 0.01,
+            "λ = {measured}, expected {lambda}"
+        );
+    }
+
+    #[test]
+    fn window_restricts_range() {
+        let mesh = mesh();
+        let snap = sine_snapshot(&mesh, 100.0 * NM, 1.0);
+        let profile = SpatialProfile::mx(&mesh, &snap).unwrap();
+        let win = profile.window(200.0 * NM, 600.0 * NM).unwrap();
+        assert_eq!(win.values().len(), 400);
+        assert!(profile.window(990.0 * NM, 991.0 * NM).is_err());
+    }
+
+    #[test]
+    fn averages_rows_in_2d() {
+        let mesh = Mesh::plane(100.0 * NM, 10.0 * NM, 2.0 * NM, 2.0 * NM, 1.0 * NM).unwrap();
+        // Rows alternate ±0.5: the average is 0; a uniform 0.2 offset
+        // survives.
+        let m: Vec<Vec3> = (0..mesh.cell_count())
+            .map(|idx| {
+                let (_, j) = mesh.coords(idx);
+                let alt = if j % 2 == 0 { 0.5 } else { -0.5 };
+                Vec3::new(alt + 0.2, 0.0, 1.0)
+            })
+            .collect();
+        let profile = SpatialProfile::mx(&mesh, &m).unwrap();
+        // 5 rows: 3 positive (+0.7), 2 negative (-0.3) -> mean 0.3.
+        let expected = (3.0 * 0.7 - 2.0 * 0.3) / 5.0;
+        for v in profile.values() {
+            assert!((v - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn peak_and_rms() {
+        let mesh = mesh();
+        let snap = sine_snapshot(&mesh, 100.0 * NM, 2.0);
+        let profile = SpatialProfile::mx(&mesh, &snap).unwrap();
+        assert!((profile.peak() - 2.0).abs() < 0.01);
+        assert!((profile.rms() - 2.0 / 2.0f64.sqrt()).abs() < 0.05);
+    }
+
+    #[test]
+    fn short_profiles_rejected() {
+        let mesh = Mesh::line(10.0 * NM, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        let snap = vec![Vec3::Z; mesh.cell_count()];
+        let profile = SpatialProfile::mx(&mesh, &snap).unwrap();
+        assert!(profile.dominant_wavenumber().is_err());
+        assert!(profile.zero_crossing_wavelength().is_err());
+    }
+}

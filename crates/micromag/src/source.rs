@@ -1,0 +1,263 @@
+//! Microwave excitation sources (transducer models).
+//!
+//! The paper excites spin waves with ME cells placed along the
+//! waveguide; electrically they apply a localized oscillating in-plane
+//! field. [`Antenna`] models one such transducer: a sinusoidal field
+//! `h(t) = A sin(2πft + φ) x̂` over a short x-interval, with an optional
+//! linear ramp that suppresses the broadband switch-on transient.
+//!
+//! Phase encodes logic: φ = 0 for logic `0`, φ = π for logic `1`
+//! (paper §II).
+
+use crate::error::SimError;
+use crate::field::FieldTerm;
+use crate::mesh::Mesh;
+use magnon_math::Vec3;
+
+/// A localized sinusoidal field source.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::source::Antenna;
+/// use magnon_math::constants::{GHZ, NM};
+///
+/// # fn main() -> Result<(), magnon_micromag::SimError> {
+/// // Logic-1 transducer: 20 GHz, phase π, 10 nm footprint at x = 50 nm.
+/// let antenna = Antenna::new(50.0 * NM, 10.0 * NM, 20.0 * GHZ, 5.0e3, std::f64::consts::PI)?;
+/// assert_eq!(antenna.frequency(), 20.0 * GHZ);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Antenna {
+    x_start: f64,
+    extent: f64,
+    frequency: f64,
+    amplitude: f64,
+    phase: f64,
+    ramp_time: f64,
+    axis: Vec3,
+}
+
+impl Antenna {
+    /// Creates an antenna occupying `[x_start, x_start + extent)` that
+    /// applies `amplitude·sin(2πft + phase)` along x.
+    ///
+    /// * `x_start`, `extent` — position and footprint along the guide, m.
+    /// * `frequency` — drive frequency, Hz.
+    /// * `amplitude` — peak field, A/m.
+    /// * `phase` — drive phase, rad (0 = logic 0, π = logic 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive extent or
+    /// frequency, negative start or amplitude, or non-finite phase.
+    pub fn new(
+        x_start: f64,
+        extent: f64,
+        frequency: f64,
+        amplitude: f64,
+        phase: f64,
+    ) -> Result<Self, SimError> {
+        if !(x_start.is_finite() && x_start >= 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "x_start", value: x_start });
+        }
+        if !(extent.is_finite() && extent > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "extent", value: extent });
+        }
+        if !(frequency.is_finite() && frequency > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "frequency", value: frequency });
+        }
+        if !(amplitude.is_finite() && amplitude >= 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "amplitude", value: amplitude });
+        }
+        if !phase.is_finite() {
+            return Err(SimError::InvalidParameter { parameter: "phase", value: phase });
+        }
+        Ok(Antenna {
+            x_start,
+            extent,
+            frequency,
+            amplitude,
+            phase,
+            ramp_time: 0.0,
+            axis: Vec3::X,
+        })
+    }
+
+    /// Adds a linear amplitude ramp over `ramp_time` seconds (reduces
+    /// the switch-on transient's spectral splatter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a negative ramp time.
+    pub fn with_ramp(mut self, ramp_time: f64) -> Result<Self, SimError> {
+        if !(ramp_time.is_finite() && ramp_time >= 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "ramp_time", value: ramp_time });
+        }
+        self.ramp_time = ramp_time;
+        Ok(self)
+    }
+
+    /// Changes the field axis (default x̂).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a zero axis.
+    pub fn with_axis(mut self, axis: Vec3) -> Result<Self, SimError> {
+        self.axis = axis
+            .normalized()
+            .ok_or(SimError::InvalidParameter { parameter: "axis", value: 0.0 })?;
+        Ok(self)
+    }
+
+    /// Start of the footprint in metres.
+    pub fn x_start(&self) -> f64 {
+        self.x_start
+    }
+
+    /// Footprint extent in metres.
+    pub fn extent(&self) -> f64 {
+        self.extent
+    }
+
+    /// Centre of the footprint in metres.
+    pub fn centre(&self) -> f64 {
+        self.x_start + self.extent / 2.0
+    }
+
+    /// Drive frequency in Hz.
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// Peak drive field in A/m.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Drive phase in radians.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Instantaneous drive field magnitude at time `t`.
+    pub fn drive(&self, t: f64) -> f64 {
+        let envelope = if self.ramp_time > 0.0 {
+            (t / self.ramp_time).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        envelope
+            * self.amplitude
+            * (2.0 * std::f64::consts::PI * self.frequency * t + self.phase).sin()
+    }
+
+    /// Validates that the antenna footprint lies inside `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RegionOutOfBounds`] otherwise.
+    pub fn check_fits(&self, mesh: &Mesh) -> Result<(), SimError> {
+        mesh.columns_in(self.x_start, self.extent).map(|_| ())
+    }
+}
+
+impl FieldTerm for Antenna {
+    fn add_field(&self, mesh: &Mesh, _m: &[Vec3], t: f64, h: &mut [Vec3]) {
+        let Ok(cols) = mesh.columns_in(self.x_start, self.extent) else {
+            return;
+        };
+        let drive = self.axis * self.drive(t);
+        let nx = mesh.nx();
+        for j in 0..mesh.ny() {
+            let row = j * nx;
+            for i in cols.clone() {
+                h[row + i] += drive;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "antenna"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::{GHZ, NM};
+    use std::f64::consts::PI;
+
+    fn antenna() -> Antenna {
+        Antenna::new(50.0 * NM, 10.0 * NM, 20.0 * GHZ, 1.0e4, 0.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Antenna::new(-1.0, 1e-9, 1e9, 1.0, 0.0).is_err());
+        assert!(Antenna::new(0.0, 0.0, 1e9, 1.0, 0.0).is_err());
+        assert!(Antenna::new(0.0, 1e-9, -1e9, 1.0, 0.0).is_err());
+        assert!(Antenna::new(0.0, 1e-9, 1e9, -1.0, 0.0).is_err());
+        assert!(Antenna::new(0.0, 1e-9, 1e9, 1.0, f64::NAN).is_err());
+        assert!(antenna().with_ramp(-1.0).is_err());
+        assert!(antenna().with_axis(Vec3::ZERO).is_err());
+    }
+
+    #[test]
+    fn drive_waveform() {
+        let a = antenna();
+        assert_eq!(a.drive(0.0), 0.0);
+        // Quarter period of 20 GHz = 12.5 ps: sin peaks.
+        let quarter = 1.0 / (4.0 * 20.0 * GHZ);
+        assert!((a.drive(quarter) - 1.0e4).abs() < 1.0);
+    }
+
+    #[test]
+    fn phase_pi_flips_sign() {
+        let a0 = antenna();
+        let a1 = Antenna::new(50.0 * NM, 10.0 * NM, 20.0 * GHZ, 1.0e4, PI).unwrap();
+        let t = 3.3e-12;
+        assert!((a0.drive(t) + a1.drive(t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ramp_scales_envelope() {
+        let a = antenna().with_ramp(1e-10).unwrap();
+        let quarter = 1.0 / (4.0 * 20.0 * GHZ); // 12.5 ps, 1/8 through ramp
+        let unramped = antenna().drive(quarter);
+        assert!((a.drive(quarter) - unramped * 0.125).abs() < 1.0);
+        // After the ramp the envelope is 1.
+        let late = 1e-10 + quarter;
+        assert!((a.drive(late).abs() - antenna().drive(late).abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn field_applied_only_in_footprint() {
+        let mesh = Mesh::line(200.0 * NM, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        let a = antenna();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        let quarter = 1.0 / (4.0 * 20.0 * GHZ);
+        a.add_field(&mesh, &m, quarter, &mut h);
+        // Footprint: cells 25..30 (50..60 nm at 2 nm cells).
+        assert!(h[24].norm() < 1e-9);
+        assert!((h[25].x - 1.0e4).abs() < 1.0);
+        assert!((h[29].x - 1.0e4).abs() < 1.0);
+        assert!(h[30].norm() < 1e-9);
+    }
+
+    #[test]
+    fn fits_check() {
+        let mesh = Mesh::line(200.0 * NM, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        assert!(antenna().check_fits(&mesh).is_ok());
+        let off = Antenna::new(195.0 * NM, 10.0 * NM, 20.0 * GHZ, 1.0, 0.0).unwrap();
+        assert!(off.check_fits(&mesh).is_err());
+    }
+
+    #[test]
+    fn centre_is_midpoint() {
+        assert!((antenna().centre() - 55.0 * NM).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,92 @@
+//! Explicit-integration stability estimates.
+//!
+//! The stiffest mode on a discrete exchange mesh is the checkerboard
+//! mode with Laplacian eigenvalue `4/dx² (+ 4/dy²)`; its precession rate
+//! bounds the stable RK4 step. [`suggested_time_step`] returns a step
+//! with a comfortable safety margin, [`max_stable_time_step`] the
+//! theoretical bound.
+
+use crate::mesh::Mesh;
+use magnon_math::constants::{GAMMA_E, MU_0};
+use magnon_physics::material::Material;
+
+/// Fastest precession rate (rad/s) supported by `mesh` for `material`,
+/// bounded by the checkerboard exchange mode plus the static fields.
+pub fn max_precession_rate(mesh: &Mesh, material: &Material) -> f64 {
+    let mut lap_max = 4.0 / (mesh.dx() * mesh.dx());
+    if mesh.ny() > 1 {
+        lap_max += 4.0 / (mesh.dy() * mesh.dy());
+    }
+    let h_exchange = material.saturation_magnetization() * material.exchange_length_sq() * lap_max;
+    let h_static = material.anisotropy_field() + material.saturation_magnetization();
+    GAMMA_E * MU_0 * (h_exchange + h_static)
+}
+
+/// Largest explicitly stable RK4 step in seconds (linear stability limit
+/// `|λ| dt ≤ 2.78` for purely imaginary eigenvalues).
+pub fn max_stable_time_step(mesh: &Mesh, material: &Material) -> f64 {
+    2.78 / max_precession_rate(mesh, material)
+}
+
+/// A safe default time step: 40% of the stability limit.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::mesh::Mesh;
+/// use magnon_micromag::stability::suggested_time_step;
+/// use magnon_physics::material::Material;
+///
+/// # fn main() -> Result<(), magnon_micromag::SimError> {
+/// let mesh = Mesh::line(1.0e-6, 1.0e-9, 50.0e-9, 1.0e-9)?;
+/// let dt = suggested_time_step(&mesh, &Material::fe_co_b());
+/// assert!(dt > 1.0e-15 && dt < 1.0e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn suggested_time_step(mesh: &Mesh, material: &Material) -> f64 {
+    0.4 * max_stable_time_step(mesh, material)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::NM;
+
+    #[test]
+    fn finer_mesh_needs_smaller_step() {
+        let m = Material::fe_co_b();
+        let coarse = Mesh::line(1.0e-6, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        let fine = Mesh::line(1.0e-6, 1.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        assert!(suggested_time_step(&fine, &m) < suggested_time_step(&coarse, &m));
+        // Quadratic scaling dominates at small dx: ratio close to 4.
+        let ratio = suggested_time_step(&coarse, &m) / suggested_time_step(&fine, &m);
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn two_dimensional_meshes_are_stiffer() {
+        let m = Material::fe_co_b();
+        let line = Mesh::line(400e-9, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        let plane = Mesh::plane(400e-9, 50e-9, 2.0 * NM, 2.0 * NM, 1.0 * NM).unwrap();
+        assert!(suggested_time_step(&plane, &m) < suggested_time_step(&line, &m));
+    }
+
+    #[test]
+    fn magnitudes_for_paper_mesh() {
+        // 1 nm cells, FeCoB: limit in the tens of femtoseconds.
+        let m = Material::fe_co_b();
+        let mesh = Mesh::line(1.0e-6, 1.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        let dt = max_stable_time_step(&mesh, &m);
+        assert!(dt > 5.0e-14 && dt < 2.0e-13, "dt = {dt}");
+    }
+
+    #[test]
+    fn suggested_is_fraction_of_max() {
+        let m = Material::fe_co_b();
+        let mesh = Mesh::line(1.0e-6, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        assert!(
+            (suggested_time_step(&mesh, &m) / max_stable_time_step(&mesh, &m) - 0.4).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Stochastic thermal field (Brown's fluctuating field).
+//!
+//! Finite temperature enters the LLG equation as a Gaussian random
+//! field with variance set by the fluctuation–dissipation theorem
+//! (W. F. Brown, Phys. Rev. 130, 1677 (1963)):
+//!
+//! ```text
+//! <H_i(t) H_j(t')> = (2 α k_B T / (γ μ₀² Ms V)) δ_ij δ(t − t')
+//! ```
+//!
+//! Discretised with time step `dt`, each cell receives an independent
+//! field with standard deviation `σ = sqrt(2 α k_B T / (γ μ₀² Ms V dt))`
+//! per component. The paper's simulations are at 0 K; this term enables
+//! the failure-injection studies in `magnon-core::robustness` — how hot
+//! can the gate run before majority votes start flipping?
+
+use crate::error::SimError;
+use crate::field::FieldTerm;
+use crate::mesh::Mesh;
+use magnon_math::constants::{GAMMA_E, K_B, MU_0};
+use magnon_math::Vec3;
+use magnon_physics::material::Material;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// A stochastic thermal field term.
+///
+/// The field is resampled whenever the solver time advances past the
+/// last sampled step (the same noise realisation is reused within one
+/// RK4 step's substages, which keeps the integrator consistent).
+///
+/// # Examples
+///
+/// ```
+/// use magnon_micromag::thermal::ThermalField;
+/// use magnon_micromag::mesh::Mesh;
+/// use magnon_physics::material::Material;
+///
+/// # fn main() -> Result<(), magnon_micromag::SimError> {
+/// let mesh = Mesh::line(100.0e-9, 2.0e-9, 50.0e-9, 1.0e-9)?;
+/// let thermal = ThermalField::new(&Material::fe_co_b(), &mesh, 300.0, 1.0e-14, 42)?;
+/// assert!(thermal.sigma() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ThermalField {
+    sigma: f64,
+    dt: f64,
+    state: Mutex<ThermalState>,
+}
+
+struct ThermalState {
+    rng: StdRng,
+    fields: Vec<Vec3>,
+    last_step: i64,
+}
+
+impl std::fmt::Debug for ThermalField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThermalField")
+            .field("sigma", &self.sigma)
+            .field("dt", &self.dt)
+            .finish()
+    }
+}
+
+impl ThermalField {
+    /// Creates a thermal field for `material` on `mesh` at temperature
+    /// `temperature` (K), matched to the solver step `dt` (s), seeded
+    /// deterministically with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a negative temperature
+    /// or non-positive `dt`.
+    pub fn new(
+        material: &Material,
+        mesh: &Mesh,
+        temperature: f64,
+        dt: f64,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if !(temperature.is_finite() && temperature >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                parameter: "temperature",
+                value: temperature,
+            });
+        }
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(SimError::InvalidParameter { parameter: "dt", value: dt });
+        }
+        let volume = mesh.cell_volume();
+        let sigma = (2.0
+            * material.gilbert_damping()
+            * K_B
+            * temperature
+            / (GAMMA_E * MU_0 * MU_0 * material.saturation_magnetization() * volume * dt))
+            .sqrt();
+        Ok(ThermalField {
+            sigma,
+            dt,
+            state: Mutex::new(ThermalState {
+                rng: StdRng::seed_from_u64(seed),
+                fields: vec![Vec3::ZERO; mesh.cell_count()],
+                last_step: -1,
+            }),
+        })
+    }
+
+    /// Per-component field standard deviation in A/m.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn gaussian(rng: &mut StdRng) -> f64 {
+        // Box–Muller transform.
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            if u1 > 1e-300 {
+                let u2: f64 = rng.gen::<f64>();
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+impl FieldTerm for ThermalField {
+    fn add_field(&self, _mesh: &Mesh, _m: &[Vec3], t: f64, h: &mut [Vec3]) {
+        let mut state = self.state.lock().expect("thermal state lock");
+        let step = (t / self.dt).floor() as i64;
+        if step != state.last_step {
+            state.last_step = step;
+            let sigma = self.sigma;
+            // Split borrow: sample into a scratch variable per cell.
+            let ThermalState { rng, fields, .. } = &mut *state;
+            for f in fields.iter_mut() {
+                *f = Vec3::new(
+                    sigma * Self::gaussian(rng),
+                    sigma * Self::gaussian(rng),
+                    sigma * Self::gaussian(rng),
+                );
+            }
+        }
+        for (hi, fi) in h.iter_mut().zip(&state.fields) {
+            *hi += *fi;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "thermal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::NM;
+
+    fn mesh() -> Mesh {
+        Mesh::line(100.0 * NM, 2.0 * NM, 50.0 * NM, 1.0 * NM).unwrap()
+    }
+
+    #[test]
+    fn zero_temperature_is_silent() {
+        let t = ThermalField::new(&Material::fe_co_b(), &mesh(), 0.0, 1e-14, 1).unwrap();
+        assert_eq!(t.sigma(), 0.0);
+        let m = vec![Vec3::Z; mesh().cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh().cell_count()];
+        t.add_field(&mesh(), &m, 0.0, &mut h);
+        assert!(h.iter().all(|v| v.norm() == 0.0));
+    }
+
+    #[test]
+    fn sigma_scales_with_sqrt_temperature() {
+        let mat = Material::fe_co_b();
+        let t100 = ThermalField::new(&mat, &mesh(), 100.0, 1e-14, 1).unwrap();
+        let t400 = ThermalField::new(&mat, &mesh(), 400.0, 1e-14, 1).unwrap();
+        assert!((t400.sigma() / t100.sigma() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_scales_inverse_sqrt_volume_and_dt() {
+        let mat = Material::fe_co_b();
+        let fine = Mesh::line(100.0 * NM, 1.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
+        let coarse = mesh();
+        let s_fine = ThermalField::new(&mat, &fine, 300.0, 1e-14, 1).unwrap().sigma();
+        let s_coarse = ThermalField::new(&mat, &coarse, 300.0, 1e-14, 1).unwrap().sigma();
+        // Half the cell volume -> sqrt(2) larger sigma.
+        assert!((s_fine / s_coarse - 2.0f64.sqrt()).abs() < 1e-12);
+        let s_dt = ThermalField::new(&mat, &coarse, 300.0, 4e-14, 1).unwrap().sigma();
+        assert!((s_coarse / s_dt - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_statistics_match_sigma() {
+        let mat = Material::fe_co_b();
+        let mesh = mesh();
+        let t = ThermalField::new(&mat, &mesh, 300.0, 1e-14, 7).unwrap();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
+        for step in 0..200 {
+            let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+            t.add_field(&mesh, &m, step as f64 * 1e-14, &mut h);
+            for v in &h {
+                for comp in [v.x, v.y, v.z] {
+                    sum += comp;
+                    sum_sq += comp * comp;
+                    count += 1;
+                }
+            }
+        }
+        let mean = sum / count as f64;
+        let std = (sum_sq / count as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.05 * t.sigma(), "biased noise: mean = {mean}");
+        assert!(
+            (std / t.sigma() - 1.0).abs() < 0.05,
+            "std = {std}, sigma = {}",
+            t.sigma()
+        );
+    }
+
+    #[test]
+    fn same_step_reuses_realisation() {
+        let mat = Material::fe_co_b();
+        let mesh = mesh();
+        let t = ThermalField::new(&mat, &mesh, 300.0, 1e-14, 9).unwrap();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut h1 = vec![Vec3::ZERO; mesh.cell_count()];
+        let mut h2 = vec![Vec3::ZERO; mesh.cell_count()];
+        // Two calls within the same step (RK4 substages) see the same field.
+        t.add_field(&mesh, &m, 1.0e-14, &mut h1);
+        t.add_field(&mesh, &m, 1.4e-14, &mut h2);
+        assert_eq!(h1, h2);
+        // A later step resamples.
+        let mut h3 = vec![Vec3::ZERO; mesh.cell_count()];
+        t.add_field(&mesh, &m, 2.5e-14, &mut h3);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mat = Material::fe_co_b();
+        let mesh = mesh();
+        let m = vec![Vec3::Z; mesh.cell_count()];
+        let mut h_a = vec![Vec3::ZERO; mesh.cell_count()];
+        let mut h_b = vec![Vec3::ZERO; mesh.cell_count()];
+        ThermalField::new(&mat, &mesh, 300.0, 1e-14, 123)
+            .unwrap()
+            .add_field(&mesh, &m, 0.0, &mut h_a);
+        ThermalField::new(&mat, &mesh, 300.0, 1e-14, 123)
+            .unwrap()
+            .add_field(&mesh, &m, 0.0, &mut h_b);
+        assert_eq!(h_a, h_b);
+    }
+
+    #[test]
+    fn validation() {
+        let mat = Material::fe_co_b();
+        assert!(ThermalField::new(&mat, &mesh(), -1.0, 1e-14, 0).is_err());
+        assert!(ThermalField::new(&mat, &mesh(), 300.0, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn room_temperature_magnitude() {
+        // For a 2x50x1 nm FeCoB cell at 300 K and dt = 10 fs the thermal
+        // field is in the kA/m range — strong on the nanoscale, which is
+        // why the robustness study matters.
+        let t = ThermalField::new(&Material::fe_co_b(), &mesh(), 300.0, 1e-14, 0).unwrap();
+        assert!(t.sigma() > 1.0e2 && t.sigma() < 1.0e6, "sigma = {}", t.sigma());
+    }
+}

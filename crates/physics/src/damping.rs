@@ -1,0 +1,160 @@
+//! Gilbert-damping lifetimes and propagation losses.
+//!
+//! Spin-wave amplitude decays as `e^{−t/τ}` with `τ = 1/(α ω)`; a
+//! packet travelling at the group velocity therefore decays over the
+//! attenuation length `L = v_g τ`. These losses drive the paper's
+//! scalability discussion (§V): sources farther from the output must be
+//! excited harder so all waves reach the functional region with equal
+//! amplitude.
+
+use crate::dispersion::DispersionRelation;
+use crate::error::PhysicsError;
+
+/// Amplitude-loss model for propagating spin waves in a waveguide with
+/// Gilbert damping `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DampingModel {
+    alpha: f64,
+}
+
+impl DampingModel {
+    /// Creates a model for Gilbert damping `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidMaterial`] for `alpha` outside
+    /// `(0, 1)`.
+    pub fn new(alpha: f64) -> Result<Self, PhysicsError> {
+        if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
+            return Err(PhysicsError::InvalidMaterial { parameter: "gilbert_damping", value: alpha });
+        }
+        Ok(DampingModel { alpha })
+    }
+
+    /// The Gilbert damping constant.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Amplitude lifetime `τ = 1/(α ω)` in seconds for a wave at
+    /// `frequency` (Hz).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidGeometry`] for a non-positive
+    /// frequency.
+    pub fn lifetime(&self, frequency: f64) -> Result<f64, PhysicsError> {
+        if !(frequency.is_finite() && frequency > 0.0) {
+            return Err(PhysicsError::InvalidGeometry { parameter: "frequency", value: frequency });
+        }
+        Ok(1.0 / (self.alpha * 2.0 * std::f64::consts::PI * frequency))
+    }
+
+    /// Attenuation length `L = v_g τ` in metres for a wave at
+    /// `frequency` on the given dispersion branch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispersion-inversion errors for frequencies at or
+    /// below FMR.
+    pub fn attenuation_length<D: DispersionRelation + ?Sized>(
+        &self,
+        dispersion: &D,
+        frequency: f64,
+    ) -> Result<f64, PhysicsError> {
+        let k = dispersion.wavenumber(frequency)?;
+        let vg = dispersion.group_velocity(k);
+        Ok(vg * self.lifetime(frequency)?)
+    }
+
+    /// Remaining amplitude fraction after propagating `distance` metres
+    /// at `frequency`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispersion-inversion errors; rejects negative
+    /// distances.
+    pub fn amplitude_after<D: DispersionRelation + ?Sized>(
+        &self,
+        dispersion: &D,
+        frequency: f64,
+        distance: f64,
+    ) -> Result<f64, PhysicsError> {
+        if !(distance.is_finite() && distance >= 0.0) {
+            return Err(PhysicsError::InvalidGeometry { parameter: "distance", value: distance });
+        }
+        let l = self.attenuation_length(dispersion, frequency)?;
+        Ok((-distance / l).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispersion::ExchangeDispersion;
+    use crate::material::Material;
+    use magnon_math::constants::{GHZ, NM, UM};
+
+    fn model() -> (DampingModel, ExchangeDispersion) {
+        let m = Material::fe_co_b();
+        (
+            DampingModel::new(m.gilbert_damping()).unwrap(),
+            ExchangeDispersion::new(&m, 1.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(DampingModel::new(0.0).is_err());
+        assert!(DampingModel::new(1.0).is_err());
+        assert!(DampingModel::new(f64::NAN).is_err());
+        assert!(DampingModel::new(0.004).is_ok());
+    }
+
+    #[test]
+    fn lifetime_inverse_in_frequency() {
+        let (d, _) = model();
+        let t10 = d.lifetime(10.0 * GHZ).unwrap();
+        let t80 = d.lifetime(80.0 * GHZ).unwrap();
+        assert!((t10 / t80 - 8.0).abs() < 1e-9);
+        assert!(d.lifetime(-1.0).is_err());
+    }
+
+    #[test]
+    fn attenuation_lengths_micron_scale() {
+        // FeCoB at α=0.004: attenuation lengths of a few microns —
+        // comfortably larger than the sub-micron gate, as the paper
+        // requires for correct operation.
+        let (d, disp) = model();
+        for f in [10.0 * GHZ, 40.0 * GHZ, 80.0 * GHZ] {
+            let l = d.attenuation_length(&disp, f).unwrap();
+            assert!(l > 0.5 * UM && l < 10.0 * UM, "L({f}) = {l}");
+        }
+    }
+
+    #[test]
+    fn amplitude_decay_monotone_in_distance() {
+        let (d, disp) = model();
+        let a100 = d.amplitude_after(&disp, 20.0 * GHZ, 100.0 * NM).unwrap();
+        let a500 = d.amplitude_after(&disp, 20.0 * GHZ, 500.0 * NM).unwrap();
+        assert!(a100 > a500);
+        assert!(a100 < 1.0 && a100 > 0.8);
+        assert_eq!(d.amplitude_after(&disp, 20.0 * GHZ, 0.0).unwrap(), 1.0);
+        assert!(d.amplitude_after(&disp, 20.0 * GHZ, -1.0).is_err());
+    }
+
+    #[test]
+    fn decay_composes_multiplicatively() {
+        let (d, disp) = model();
+        let a1 = d.amplitude_after(&disp, 30.0 * GHZ, 200.0 * NM).unwrap();
+        let a2 = d.amplitude_after(&disp, 30.0 * GHZ, 300.0 * NM).unwrap();
+        let a3 = d.amplitude_after(&disp, 30.0 * GHZ, 500.0 * NM).unwrap();
+        assert!((a1 * a2 - a3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_fmr_propagates_error() {
+        let (d, disp) = model();
+        assert!(d.attenuation_length(&disp, 1.0 * GHZ).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Demagnetizing factors of rectangular prisms.
+//!
+//! The gate waveguide is a long rectangular bar. Its out-of-plane
+//! demagnetizing factor `N_z` sets the internal field
+//! `H_i = H_ani − N_z·Ms`, and therefore the FMR frequency. The paper's
+//! "Waveguide Width Variation" study (§V) observes that the FMR
+//! frequency falls as the width grows — exactly the behaviour of
+//! `N_z(width)` computed here.
+//!
+//! [`prism_demag_factor`] implements Aharoni's exact closed form for a
+//! uniformly magnetized rectangular prism (A. Aharoni, *J. Appl. Phys.*
+//! **83**, 3432 (1998)).
+
+use crate::error::PhysicsError;
+
+/// Demagnetizing factor of a rectangular prism along its `2c` edge.
+///
+/// Arguments are the **full** edge lengths of the prism along x, y and
+/// z; the returned factor is for magnetization along z. The three
+/// factors obtained by permuting arguments sum to 1.
+///
+/// # Errors
+///
+/// Returns [`PhysicsError::InvalidGeometry`] when a dimension is not
+/// strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_physics::demag::prism_demag_factor;
+///
+/// # fn main() -> Result<(), magnon_physics::PhysicsError> {
+/// // A cube has N = 1/3 along each axis.
+/// let n = prism_demag_factor(1.0, 1.0, 1.0)?;
+/// assert!((n - 1.0 / 3.0).abs() < 1e-12);
+///
+/// // A thin film (z much smaller than x, y) has N_z -> 1.
+/// let n = prism_demag_factor(1e-6, 1e-6, 1e-9)?;
+/// assert!(n > 0.99);
+/// # Ok(())
+/// # }
+/// ```
+pub fn prism_demag_factor(x: f64, y: f64, z: f64) -> Result<f64, PhysicsError> {
+    for (name, v) in [("x", x), ("y", y), ("z", z)] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(PhysicsError::InvalidGeometry { parameter: name, value: v });
+        }
+    }
+    // Aharoni's formula is written for semi-axes a, b, c with
+    // magnetization along c.
+    let a = x / 2.0;
+    let b = y / 2.0;
+    let c = z / 2.0;
+
+    let a2 = a * a;
+    let b2 = b * b;
+    let c2 = c * c;
+    let r_abc = (a2 + b2 + c2).sqrt();
+    let r_ab = (a2 + b2).sqrt();
+    let r_bc = (b2 + c2).sqrt();
+    let r_ac = (a2 + c2).sqrt();
+
+    let mut pi_nz = 0.0;
+    pi_nz += (b2 - c2) / (2.0 * b * c) * ((r_abc - a) / (r_abc + a)).ln();
+    pi_nz += (a2 - c2) / (2.0 * a * c) * ((r_abc - b) / (r_abc + b)).ln();
+    pi_nz += b / (2.0 * c) * ((r_ab + a) / (r_ab - a)).ln();
+    pi_nz += a / (2.0 * c) * ((r_ab + b) / (r_ab - b)).ln();
+    pi_nz += c / (2.0 * a) * ((r_bc - b) / (r_bc + b)).ln();
+    pi_nz += c / (2.0 * b) * ((r_ac - a) / (r_ac + a)).ln();
+    pi_nz += 2.0 * (a * b / (c * r_abc)).atan();
+    pi_nz += (a2 + b2 - 2.0 * c2) / (3.0 * a * b * c) * r_abc;
+    pi_nz += (a * a * a + b * b * b - 2.0 * c * c * c) / (3.0 * a * b * c);
+    pi_nz += c / (a * b) * (r_ac + r_bc);
+    pi_nz -= (r_ab.powi(3) + r_bc.powi(3) + r_ac.powi(3)) / (3.0 * a * b * c);
+
+    Ok(pi_nz / std::f64::consts::PI)
+}
+
+/// All three demagnetizing factors `(N_x, N_y, N_z)` of a prism with
+/// full edge lengths `(x, y, z)`.
+///
+/// # Errors
+///
+/// Returns [`PhysicsError::InvalidGeometry`] when a dimension is not
+/// strictly positive and finite.
+pub fn prism_demag_factors(x: f64, y: f64, z: f64) -> Result<(f64, f64, f64), PhysicsError> {
+    Ok((
+        prism_demag_factor(y, z, x)?,
+        prism_demag_factor(z, x, y)?,
+        prism_demag_factor(x, y, z)?,
+    ))
+}
+
+/// Out-of-plane demagnetizing factor of an effectively infinite
+/// waveguide bar of rectangular cross-section (`width` × `thickness`),
+/// magnetized along the thickness.
+///
+/// Evaluates Aharoni's prism factor with a length 10⁴ times the larger
+/// cross-section dimension, which converges to the infinite-bar limit to
+/// better than 10⁻⁴.
+///
+/// # Errors
+///
+/// Returns [`PhysicsError::InvalidGeometry`] when a dimension is not
+/// strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_physics::demag::waveguide_demag_factor;
+///
+/// # fn main() -> Result<(), magnon_physics::PhysicsError> {
+/// let narrow = waveguide_demag_factor(50.0e-9, 1.0e-9)?;
+/// let wide = waveguide_demag_factor(500.0e-9, 1.0e-9)?;
+/// // A wider bar is closer to an infinite film: N_z grows toward 1,
+/// // so the internal field and the FMR frequency fall (paper §V).
+/// assert!(wide > narrow);
+/// assert!(wide < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn waveguide_demag_factor(width: f64, thickness: f64) -> Result<f64, PhysicsError> {
+    for (name, v) in [("width", width), ("thickness", thickness)] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(PhysicsError::InvalidGeometry { parameter: name, value: v });
+        }
+    }
+    let length = 1.0e4 * width.max(thickness);
+    prism_demag_factor(length, width, thickness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_has_one_third() {
+        let n = prism_demag_factor(2.0, 2.0, 2.0).unwrap();
+        assert!((n - 1.0 / 3.0).abs() < 1e-12, "N_cube = {n}");
+    }
+
+    #[test]
+    fn factors_sum_to_one() {
+        for dims in [
+            (1.0, 1.0, 1.0),
+            (2.0, 1.0, 0.5),
+            (10.0, 1.0, 0.1),
+            (50.0e-9, 1.0e-9, 100.0e-9),
+        ] {
+            let (nx, ny, nz) = prism_demag_factors(dims.0, dims.1, dims.2).unwrap();
+            let sum = nx + ny + nz;
+            assert!((sum - 1.0).abs() < 1e-9, "sum = {sum} for {dims:?}");
+            assert!(nx > 0.0 && ny > 0.0 && nz > 0.0);
+        }
+    }
+
+    #[test]
+    fn thin_film_limit() {
+        let n = prism_demag_factor(1.0, 1.0, 1e-4).unwrap();
+        assert!(n > 0.999, "thin-film N_z = {n}");
+    }
+
+    #[test]
+    fn long_rod_limit() {
+        // Magnetized along the long axis: N -> 0.
+        let n = prism_demag_factor(1e-3, 1e-3, 10.0).unwrap();
+        assert!(n < 1e-3, "rod N_z = {n}");
+    }
+
+    #[test]
+    fn square_bar_cross_section_symmetry() {
+        // An infinite bar with square cross-section: the two transverse
+        // factors are equal and sum to ~1.
+        let ny = prism_demag_factor(1e4, 1.0, 1.0).unwrap();
+        assert!((ny - 0.5).abs() < 1e-3, "square bar N = {ny}");
+    }
+
+    #[test]
+    fn monotone_in_aspect_ratio() {
+        // Flattening the prism along z increases N_z monotonically.
+        let mut last = 0.0;
+        for t in [1.0, 0.5, 0.2, 0.1, 0.01] {
+            let n = prism_demag_factor(1.0, 1.0, t).unwrap();
+            assert!(n > last, "N_z not monotone at t={t}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn rejects_nonpositive_dimensions() {
+        assert!(prism_demag_factor(0.0, 1.0, 1.0).is_err());
+        assert!(prism_demag_factor(1.0, -1.0, 1.0).is_err());
+        assert!(prism_demag_factor(1.0, 1.0, f64::NAN).is_err());
+        assert!(waveguide_demag_factor(0.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn paper_waveguide_values() {
+        // 50 nm × 1 nm cross-section: mostly film-like but clearly below 1.
+        let n50 = waveguide_demag_factor(50e-9, 1e-9).unwrap();
+        assert!(n50 > 0.9 && n50 < 1.0, "N_z(50nm) = {n50}");
+        let n500 = waveguide_demag_factor(500e-9, 1e-9).unwrap();
+        assert!(n500 > n50);
+        // Width scaling monotonically raises N_z.
+        let widths = [50e-9, 100e-9, 200e-9, 350e-9, 500e-9];
+        let mut prev = 0.0;
+        for w in widths {
+            let n = waveguide_demag_factor(w, 1e-9).unwrap();
+            assert!(n > prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn permutation_consistency() {
+        // prism_demag_factors must equal direct calls with permuted axes.
+        let (nx, ny, nz) = prism_demag_factors(3.0, 2.0, 1.0).unwrap();
+        assert_eq!(nx, prism_demag_factor(2.0, 1.0, 3.0).unwrap());
+        assert_eq!(ny, prism_demag_factor(1.0, 3.0, 2.0).unwrap());
+        assert_eq!(nz, prism_demag_factor(3.0, 2.0, 1.0).unwrap());
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for the physics layer.
+
+use magnon_math::MathError;
+use std::fmt;
+
+/// Errors produced by material validation, geometry and dispersion
+/// calculations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicsError {
+    /// A material parameter was out of its physical range.
+    InvalidMaterial {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A geometric dimension was not strictly positive and finite.
+    InvalidGeometry {
+        /// Name of the offending dimension.
+        parameter: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// The out-of-plane internal field `H_ani − N_z·M_s` is not positive,
+    /// so the film is not perpendicularly magnetized and forward-volume
+    /// waves cannot be hosted.
+    NotPerpendicular {
+        /// Computed internal field in A/m (≤ 0).
+        internal_field: f64,
+    },
+    /// A requested frequency lies at or below the ferromagnetic
+    /// resonance, where no propagating spin wave exists.
+    FrequencyBelowFmr {
+        /// Requested frequency in Hz.
+        frequency: f64,
+        /// FMR frequency in Hz.
+        fmr: f64,
+    },
+    /// An underlying numerical routine failed.
+    Math(MathError),
+}
+
+impl fmt::Display for PhysicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicsError::InvalidMaterial { parameter, value } => {
+                write!(f, "material parameter `{parameter}` is out of range: {value}")
+            }
+            PhysicsError::InvalidGeometry { parameter, value } => {
+                write!(f, "geometry parameter `{parameter}` must be positive and finite, got {value}")
+            }
+            PhysicsError::NotPerpendicular { internal_field } => {
+                write!(
+                    f,
+                    "internal field {internal_field:.3e} A/m is not positive; film is not perpendicularly magnetized"
+                )
+            }
+            PhysicsError::FrequencyBelowFmr { frequency, fmr } => {
+                write!(
+                    f,
+                    "frequency {frequency:.3e} Hz is at or below the ferromagnetic resonance {fmr:.3e} Hz"
+                )
+            }
+            PhysicsError::Math(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PhysicsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PhysicsError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for PhysicsError {
+    fn from(e: MathError) -> Self {
+        PhysicsError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PhysicsError::FrequencyBelowFmr { frequency: 1e9, fmr: 3e9 };
+        assert!(e.to_string().contains("ferromagnetic resonance"));
+        let e = PhysicsError::Math(MathError::EmptyInput);
+        assert!(e.to_string().contains("numerical error"));
+    }
+
+    #[test]
+    fn source_chains_math_errors() {
+        use std::error::Error;
+        let e = PhysicsError::Math(MathError::EmptyInput);
+        assert!(e.source().is_some());
+        let e = PhysicsError::NotPerpendicular { internal_field: -1.0 };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn from_math_error() {
+        let e: PhysicsError = MathError::EmptyInput.into();
+        assert_eq!(e, PhysicsError::Math(MathError::EmptyInput));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhysicsError>();
+    }
+}

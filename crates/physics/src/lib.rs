@@ -1,0 +1,51 @@
+//! Magnetics domain layer for the `spinwave-parallel` workspace.
+//!
+//! Everything the gate designer and the micromagnetic simulator need to
+//! agree on lives here:
+//!
+//! * [`material`] — material parameter sets ([`material::Material`]),
+//!   including the Fe₆₀Co₂₀B₂₀ preset with the exact constants of the
+//!   reproduced paper,
+//! * [`demag`] — demagnetizing factors of rectangular prisms (Aharoni's
+//!   exact expression) used for finite-width waveguide corrections,
+//! * [`waveguide`] — waveguide geometry + material, internal field and
+//!   ferromagnetic resonance (FMR),
+//! * [`dispersion`] — spin-wave dispersion relations `f(k)`: the
+//!   exchange (local-demag) branch realised by the finite-difference
+//!   simulator, and the Kalinikos–Slavin forward-volume branch with the
+//!   non-local thickness correction,
+//! * [`damping`] — Gilbert-damping lifetimes and attenuation lengths,
+//! * [`macrospin`] — the Landau–Lifshitz–Gilbert right-hand side for a
+//!   single spin, shared with the micromagnetic solver.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's operating point: FMR of the 50 nm × 1 nm FeCoB
+//! waveguide is a few GHz, so all eight 10–80 GHz channels propagate:
+//!
+//! ```
+//! use magnon_physics::waveguide::Waveguide;
+//! use magnon_physics::dispersion::DispersionRelation;
+//!
+//! # fn main() -> Result<(), magnon_physics::PhysicsError> {
+//! let guide = Waveguide::paper_default()?;
+//! let disp = guide.exchange_dispersion()?;
+//! let fmr = disp.fmr_frequency();
+//! assert!(fmr < 10.0e9, "all paper channels must lie above FMR");
+//! let lambda10 = disp.wavelength(10.0e9)?;
+//! let lambda80 = disp.wavelength(80.0e9)?;
+//! assert!(lambda10 > lambda80, "wavelength decreases with frequency");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod damping;
+pub mod demag;
+pub mod dispersion;
+pub mod error;
+pub mod macrospin;
+pub mod magnetostatic;
+pub mod material;
+pub mod waveguide;
+
+pub use error::PhysicsError;

@@ -1,0 +1,297 @@
+//! In-plane magnetostatic spin-wave branches: BVMSW and MSSW.
+//!
+//! The paper's §II lists the spin-wave families — forward volume
+//! (FVMSW, used by the gate because its in-plane propagation is
+//! isotropic), backward volume (BVMSW, k ∥ M in plane) and surface
+//! waves (MSSW/Damon–Eshbach, k ⊥ M in plane). The in-plane branches
+//! are provided here for completeness and for comparative studies; both
+//! use the standard dipole-exchange expressions for the lowest
+//! thickness mode of an in-plane magnetized film:
+//!
+//! * BVMSW: `ω² = ω_h (ω_h + ω_M (1 − F(kd)))` — *backward*: the
+//!   magnetostatic part of the group velocity is negative at small `kd`
+//!   until exchange takes over.
+//! * MSSW:  `ω² = ω_h (ω_h + ω_M) + (ω_M²/4)(1 − e^{−2kd})` — surface
+//!   localised, always forward.
+//!
+//! with `ω_h = ω_H + ω_M λ_ex² k²` and `F(x) = 1 − (1 − e^{−x})/x`.
+
+use crate::dispersion::DispersionRelation;
+use crate::error::PhysicsError;
+use crate::material::Material;
+use magnon_math::constants::{GAMMA_E, MU_0};
+use magnon_math::roots;
+
+fn shape_factor(x: f64) -> f64 {
+    if x < 1e-6 {
+        x / 2.0 - x * x / 6.0
+    } else {
+        1.0 + (-x).exp_m1() / x
+    }
+}
+
+/// Shared parameters of the in-plane branches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct InPlaneFilm {
+    /// ω_H = γ μ₀ H_i (rad/s) from the in-plane internal field.
+    omega_h0: f64,
+    /// ω_M = γ μ₀ Ms (rad/s).
+    omega_m: f64,
+    /// λ_ex² (m²).
+    lambda_ex_sq: f64,
+    /// Film thickness (m).
+    thickness: f64,
+}
+
+impl InPlaneFilm {
+    fn new(
+        material: &Material,
+        applied_field: f64,
+        thickness: f64,
+    ) -> Result<Self, PhysicsError> {
+        if !(applied_field.is_finite() && applied_field > 0.0) {
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: "applied_field",
+                value: applied_field,
+            });
+        }
+        if !(thickness.is_finite() && thickness > 0.0) {
+            return Err(PhysicsError::InvalidGeometry { parameter: "thickness", value: thickness });
+        }
+        Ok(InPlaneFilm {
+            omega_h0: GAMMA_E * MU_0 * applied_field,
+            omega_m: material.omega_m(),
+            lambda_ex_sq: material.exchange_length_sq(),
+            thickness,
+        })
+    }
+
+    fn omega_h(&self, k: f64) -> f64 {
+        self.omega_h0 + self.omega_m * self.lambda_ex_sq * k * k
+    }
+}
+
+/// Backward-volume magnetostatic spin waves (k parallel to in-plane M).
+///
+/// # Examples
+///
+/// ```
+/// use magnon_physics::magnetostatic::BackwardVolumeDispersion;
+/// use magnon_physics::dispersion::DispersionRelation;
+/// use magnon_physics::material::Material;
+///
+/// # fn main() -> Result<(), magnon_physics::PhysicsError> {
+/// let d = BackwardVolumeDispersion::new(&Material::yig(), 2.0e4, 30.0e-9)?;
+/// // Backward character: frequency *decreases* with k at small k.
+/// assert!(d.frequency(1.0e5) > d.frequency(2.0e6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackwardVolumeDispersion {
+    film: InPlaneFilm,
+}
+
+impl BackwardVolumeDispersion {
+    /// Builds the BVMSW branch for a film of `thickness` under an
+    /// in-plane `applied_field` (A/m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidGeometry`] for non-positive field
+    /// or thickness.
+    pub fn new(
+        material: &Material,
+        applied_field: f64,
+        thickness: f64,
+    ) -> Result<Self, PhysicsError> {
+        Ok(BackwardVolumeDispersion { film: InPlaneFilm::new(material, applied_field, thickness)? })
+    }
+
+    /// Frequency in Hz at wavenumber `k` (rad/m).
+    pub fn frequency(&self, k: f64) -> f64 {
+        let wh = self.film.omega_h(k);
+        let f_factor = 1.0 - shape_factor(k * self.film.thickness);
+        (wh * (wh + self.film.omega_m * f_factor)).sqrt() / (2.0 * std::f64::consts::PI)
+    }
+
+    /// The frequency minimum (bottom of the backward band): `(k_min,
+    /// f_min)` located numerically.
+    pub fn band_minimum(&self) -> (f64, f64) {
+        // Scan then refine: the minimum sits where dipole decrease and
+        // exchange increase balance, k ~ 1/sqrt(λ_ex d).
+        let mut best = (0.0, self.frequency(0.0));
+        for i in 1..4000 {
+            let k = i as f64 * 5.0e4;
+            let f = self.frequency(k);
+            if f < best.1 {
+                best = (k, f);
+            }
+        }
+        best
+    }
+}
+
+/// Magnetostatic surface (Damon–Eshbach) spin waves (k perpendicular to
+/// in-plane M).
+///
+/// # Examples
+///
+/// ```
+/// use magnon_physics::magnetostatic::SurfaceDispersion;
+/// use magnon_physics::dispersion::DispersionRelation;
+/// use magnon_physics::material::Material;
+///
+/// # fn main() -> Result<(), magnon_physics::PhysicsError> {
+/// let d = SurfaceDispersion::new(&Material::yig(), 2.0e4, 30.0e-9)?;
+/// let k = d.wavenumber(3.0e9)?;
+/// assert!((d.frequency(k) - 3.0e9).abs() < 1.0e3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceDispersion {
+    film: InPlaneFilm,
+}
+
+impl SurfaceDispersion {
+    /// Builds the MSSW branch for a film of `thickness` under an
+    /// in-plane `applied_field` (A/m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidGeometry`] for non-positive field
+    /// or thickness.
+    pub fn new(
+        material: &Material,
+        applied_field: f64,
+        thickness: f64,
+    ) -> Result<Self, PhysicsError> {
+        Ok(SurfaceDispersion { film: InPlaneFilm::new(material, applied_field, thickness)? })
+    }
+}
+
+impl DispersionRelation for SurfaceDispersion {
+    fn frequency(&self, k: f64) -> f64 {
+        let wh = self.film.omega_h(k);
+        let wm = self.film.omega_m;
+        let x = 2.0 * k * self.film.thickness;
+        let surface = wm * wm / 4.0 * (-(-x).exp_m1());
+        (wh * (wh + wm) + surface).sqrt() / (2.0 * std::f64::consts::PI)
+    }
+
+    fn wavenumber(&self, frequency: f64) -> Result<f64, PhysicsError> {
+        let fmr = self.fmr_frequency();
+        if !(frequency.is_finite() && frequency > fmr) {
+            return Err(PhysicsError::FrequencyBelowFmr { frequency, fmr });
+        }
+        let objective = |k: f64| self.frequency(k) - frequency;
+        let (lo, hi) = roots::expand_bracket(objective, 0.0, 1.0e6, 80)?;
+        Ok(roots::brent(objective, lo, hi, 1e-6, 200)?.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::{GHZ, NM};
+
+    fn yig_film() -> (Material, f64, f64) {
+        (Material::yig(), 2.0e4, 30.0 * NM)
+    }
+
+    #[test]
+    fn validation() {
+        let (m, _, t) = yig_film();
+        assert!(BackwardVolumeDispersion::new(&m, 0.0, t).is_err());
+        assert!(BackwardVolumeDispersion::new(&m, 2.0e4, -1.0).is_err());
+        assert!(SurfaceDispersion::new(&m, f64::NAN, t).is_err());
+    }
+
+    #[test]
+    fn bvmsw_is_backward_at_small_k() {
+        let (m, h, t) = yig_film();
+        let d = BackwardVolumeDispersion::new(&m, h, t).unwrap();
+        // Frequency decreases from the k=0 point into the band.
+        let f0 = d.frequency(1.0e5);
+        let f1 = d.frequency(2.0e6);
+        assert!(f1 < f0, "BVMSW must be backward: f(k small)={f0}, f(k)={f1}");
+    }
+
+    #[test]
+    fn bvmsw_band_minimum_exists_then_exchange_wins() {
+        let (m, h, t) = yig_film();
+        let d = BackwardVolumeDispersion::new(&m, h, t).unwrap();
+        let (k_min, f_min) = d.band_minimum();
+        assert!(k_min > 0.0);
+        assert!(f_min < d.frequency(1.0e4));
+        // Beyond the minimum, exchange makes the branch forward again.
+        assert!(d.frequency(4.0 * k_min) > f_min);
+    }
+
+    #[test]
+    fn mssw_lies_above_bvmsw_band() {
+        // At the same k, the surface branch has higher frequency than
+        // the backward-volume branch (standard ordering).
+        let (m, h, t) = yig_film();
+        let bv = BackwardVolumeDispersion::new(&m, h, t).unwrap();
+        let sw = SurfaceDispersion::new(&m, h, t).unwrap();
+        for k in [1.0e5, 1.0e6, 5.0e6] {
+            assert!(sw.frequency(k) > bv.frequency(k));
+        }
+    }
+
+    #[test]
+    fn mssw_monotone_and_invertible() {
+        let (m, h, t) = yig_film();
+        let d = SurfaceDispersion::new(&m, h, t).unwrap();
+        let mut last = 0.0;
+        for i in 1..100 {
+            let k = i as f64 * 2.0e5;
+            let f = d.frequency(k);
+            assert!(f > last);
+            last = f;
+        }
+        for f in [2.5 * GHZ, 3.0 * GHZ, 5.0 * GHZ] {
+            let k = d.wavenumber(f).unwrap();
+            assert!((d.frequency(k) - f).abs() / f < 1e-6);
+        }
+        assert!(d.wavenumber(0.1 * GHZ).is_err());
+    }
+
+    #[test]
+    fn mssw_k0_limit_is_kittel_like() {
+        // At k -> 0 the MSSW frequency approaches sqrt(ω_H (ω_H + ω_M)):
+        // the in-plane Kittel FMR.
+        let (m, h, t) = yig_film();
+        let d = SurfaceDispersion::new(&m, h, t).unwrap();
+        let wh = GAMMA_E * MU_0 * h;
+        let wm = m.omega_m();
+        let kittel = (wh * (wh + wm)).sqrt() / (2.0 * std::f64::consts::PI);
+        assert!((d.fmr_frequency() - kittel).abs() / kittel < 1e-9);
+    }
+
+    #[test]
+    fn branch_degeneracy_at_k0() {
+        // All dipolar corrections vanish differently, but at exactly
+        // k=0 BVMSW reduces to the same Kittel point as MSSW.
+        let (m, h, t) = yig_film();
+        let bv = BackwardVolumeDispersion::new(&m, h, t).unwrap();
+        let sw = SurfaceDispersion::new(&m, h, t).unwrap();
+        let f_bv = bv.frequency(0.0);
+        let f_sw = sw.fmr_frequency();
+        assert!((f_bv - f_sw).abs() / f_sw < 1e-9);
+    }
+
+    #[test]
+    fn thicker_films_disperse_more() {
+        // The dipolar terms scale with kd: a thicker film departs from
+        // the Kittel point faster.
+        let (m, h, _) = yig_film();
+        let thin = SurfaceDispersion::new(&m, h, 10.0 * NM).unwrap();
+        let thick = SurfaceDispersion::new(&m, h, 100.0 * NM).unwrap();
+        let k = 1.0e6;
+        let base = thin.fmr_frequency();
+        assert!((thick.frequency(k) - base) > (thin.frequency(k) - base));
+    }
+}

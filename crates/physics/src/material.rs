@@ -1,0 +1,247 @@
+//! Ferromagnetic material parameter sets.
+
+use crate::error::PhysicsError;
+use magnon_math::constants::{GAMMA_E, MU_0};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a ferromagnetic material with perpendicular uniaxial
+/// anisotropy.
+///
+/// The preset [`Material::fe_co_b`] carries the exact constants used in
+/// the reproduced paper (§IV.B): Fe₆₀Co₂₀B₂₀ with
+/// `Ms = 1.1e6 A/m`, `A_ex = 18.5 pJ/m`, `α = 0.004`,
+/// `k_ani = 8.3177e5 J/m³`.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_physics::material::Material;
+///
+/// let m = Material::fe_co_b();
+/// // PMA dominates shape anisotropy: H_ani > Ms.
+/// assert!(m.anisotropy_field() > m.saturation_magnetization());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    saturation_magnetization: f64,
+    exchange_stiffness: f64,
+    gilbert_damping: f64,
+    anisotropy_constant: f64,
+}
+
+impl Material {
+    /// Creates a validated material.
+    ///
+    /// * `saturation_magnetization` — `Ms` in A/m, must be positive.
+    /// * `exchange_stiffness` — `A_ex` in J/m, must be positive.
+    /// * `gilbert_damping` — dimensionless `α`, in `(0, 1)`.
+    /// * `anisotropy_constant` — first-order uniaxial `k_ani` in J/m³,
+    ///   must be non-negative (easy axis out of plane).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidMaterial`] naming the offending
+    /// parameter.
+    pub fn new(
+        saturation_magnetization: f64,
+        exchange_stiffness: f64,
+        gilbert_damping: f64,
+        anisotropy_constant: f64,
+    ) -> Result<Self, PhysicsError> {
+        if !(saturation_magnetization.is_finite() && saturation_magnetization > 0.0) {
+            return Err(PhysicsError::InvalidMaterial {
+                parameter: "saturation_magnetization",
+                value: saturation_magnetization,
+            });
+        }
+        if !(exchange_stiffness.is_finite() && exchange_stiffness > 0.0) {
+            return Err(PhysicsError::InvalidMaterial {
+                parameter: "exchange_stiffness",
+                value: exchange_stiffness,
+            });
+        }
+        if !(gilbert_damping.is_finite() && gilbert_damping > 0.0 && gilbert_damping < 1.0) {
+            return Err(PhysicsError::InvalidMaterial {
+                parameter: "gilbert_damping",
+                value: gilbert_damping,
+            });
+        }
+        if !(anisotropy_constant.is_finite() && anisotropy_constant >= 0.0) {
+            return Err(PhysicsError::InvalidMaterial {
+                parameter: "anisotropy_constant",
+                value: anisotropy_constant,
+            });
+        }
+        Ok(Material {
+            saturation_magnetization,
+            exchange_stiffness,
+            gilbert_damping,
+            anisotropy_constant,
+        })
+    }
+
+    /// Fe₆₀Co₂₀B₂₀ with perpendicular magnetic anisotropy — the material
+    /// of the reproduced paper (§IV.B, after Devolder et al., PRB 93,
+    /// 024420).
+    pub fn fe_co_b() -> Self {
+        Material {
+            saturation_magnetization: 1.1e6,
+            exchange_stiffness: 18.5e-12,
+            gilbert_damping: 0.004,
+            anisotropy_constant: 8.3177e5,
+        }
+    }
+
+    /// Yttrium iron garnet (YIG): the canonical ultra-low-damping
+    /// magnonic material. In-plane film — `k_ani = 0`.
+    pub fn yig() -> Self {
+        Material {
+            saturation_magnetization: 1.4e5,
+            exchange_stiffness: 3.5e-12,
+            gilbert_damping: 2.0e-4,
+            anisotropy_constant: 0.0,
+        }
+    }
+
+    /// Permalloy (Ni₈₀Fe₂₀), a common metallic reference material.
+    pub fn permalloy() -> Self {
+        Material {
+            saturation_magnetization: 8.0e5,
+            exchange_stiffness: 13.0e-12,
+            gilbert_damping: 0.01,
+            anisotropy_constant: 0.0,
+        }
+    }
+
+    /// Saturation magnetization `Ms` in A/m.
+    pub fn saturation_magnetization(&self) -> f64 {
+        self.saturation_magnetization
+    }
+
+    /// Exchange stiffness `A_ex` in J/m.
+    pub fn exchange_stiffness(&self) -> f64 {
+        self.exchange_stiffness
+    }
+
+    /// Gilbert damping constant `α`.
+    pub fn gilbert_damping(&self) -> f64 {
+        self.gilbert_damping
+    }
+
+    /// First-order uniaxial anisotropy constant `k_ani` in J/m³.
+    pub fn anisotropy_constant(&self) -> f64 {
+        self.anisotropy_constant
+    }
+
+    /// Anisotropy field `H_ani = 2 k_ani / (μ₀ Ms)` in A/m.
+    pub fn anisotropy_field(&self) -> f64 {
+        2.0 * self.anisotropy_constant / (MU_0 * self.saturation_magnetization)
+    }
+
+    /// Squared exchange length `λ_ex² = 2 A_ex / (μ₀ Ms²)` in m².
+    ///
+    /// This is the coefficient of `k²` in the exchange contribution to
+    /// the internal field: `H_ex = Ms λ_ex² k²`.
+    pub fn exchange_length_sq(&self) -> f64 {
+        2.0 * self.exchange_stiffness
+            / (MU_0 * self.saturation_magnetization * self.saturation_magnetization)
+    }
+
+    /// Exchange length `λ_ex` in m.
+    pub fn exchange_length(&self) -> f64 {
+        self.exchange_length_sq().sqrt()
+    }
+
+    /// Circular frequency of the magnetization, `ω_M = γ μ₀ Ms` (rad/s).
+    pub fn omega_m(&self) -> f64 {
+        GAMMA_E * MU_0 * self.saturation_magnetization
+    }
+
+    /// Returns a copy with a different Gilbert damping; used by graded
+    /// absorbing boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidMaterial`] if `alpha` is outside
+    /// `(0, 1)`.
+    pub fn with_damping(&self, alpha: f64) -> Result<Self, PhysicsError> {
+        Material::new(
+            self.saturation_magnetization,
+            self.exchange_stiffness,
+            alpha,
+            self.anisotropy_constant,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_preserved() {
+        let m = Material::fe_co_b();
+        assert_eq!(m.saturation_magnetization(), 1.1e6);
+        assert_eq!(m.exchange_stiffness(), 18.5e-12);
+        assert_eq!(m.gilbert_damping(), 0.004);
+        assert_eq!(m.anisotropy_constant(), 8.3177e5);
+    }
+
+    #[test]
+    fn fe_co_b_anisotropy_field_exceeds_ms() {
+        // The paper: H_anisotropy > Ms implies no external field needed.
+        let m = Material::fe_co_b();
+        assert!(m.anisotropy_field() > m.saturation_magnetization());
+        // Known value: ≈ 1.2035e6 A/m.
+        assert!((m.anisotropy_field() - 1.2035e6).abs() / 1.2035e6 < 1e-3);
+    }
+
+    #[test]
+    fn exchange_length_magnitude() {
+        // FeCoB: λ_ex = sqrt(2·18.5e-12 / (μ0·(1.1e6)²)) ≈ 4.93 nm.
+        let m = Material::fe_co_b();
+        let lex = m.exchange_length();
+        assert!((lex - 4.93e-9).abs() < 0.1e-9, "λ_ex = {lex}");
+    }
+
+    #[test]
+    fn omega_m_magnitude() {
+        let m = Material::fe_co_b();
+        // γ μ0 Ms ≈ 1.7609e11 · 1.2566e-6 · 1.1e6 ≈ 2.434e11 rad/s.
+        assert!((m.omega_m() - 2.434e11).abs() / 2.434e11 < 1e-3);
+    }
+
+    #[test]
+    fn validation_rejects_nonphysical_values() {
+        assert!(Material::new(-1.0, 1e-12, 0.01, 0.0).is_err());
+        assert!(Material::new(1e6, 0.0, 0.01, 0.0).is_err());
+        assert!(Material::new(1e6, 1e-12, 0.0, 0.0).is_err());
+        assert!(Material::new(1e6, 1e-12, 1.0, 0.0).is_err());
+        assert!(Material::new(1e6, 1e-12, 0.01, -5.0).is_err());
+        assert!(Material::new(1e6, f64::NAN, 0.01, 0.0).is_err());
+    }
+
+    #[test]
+    fn with_damping_preserves_other_fields() {
+        let m = Material::fe_co_b().with_damping(0.5).unwrap();
+        assert_eq!(m.gilbert_damping(), 0.5);
+        assert_eq!(
+            m.saturation_magnetization(),
+            Material::fe_co_b().saturation_magnetization()
+        );
+        assert!(Material::fe_co_b().with_damping(2.0).is_err());
+    }
+
+    #[test]
+    fn alternative_presets_are_valid() {
+        for m in [Material::yig(), Material::permalloy()] {
+            assert!(m.saturation_magnetization() > 0.0);
+            assert!(m.exchange_length() > 1e-9);
+        }
+    }
+
+    #[test]
+    fn yig_damping_much_lower_than_metals() {
+        assert!(Material::yig().gilbert_damping() < Material::permalloy().gilbert_damping());
+    }
+}

@@ -1,0 +1,227 @@
+//! Waveguide geometry and its derived magnetic operating point.
+
+use crate::demag;
+use crate::dispersion::{DispersionRelation, ExchangeDispersion, KalinikosSlavinFvmsw};
+use crate::error::PhysicsError;
+use crate::material::Material;
+use magnon_math::constants::NM;
+use serde::{Deserialize, Serialize};
+
+/// A straight spin-wave waveguide: a long ferromagnetic bar of
+/// rectangular cross-section, magnetized out of plane by its
+/// perpendicular magnetic anisotropy.
+///
+/// The paper's device (§IV.B) is a Fe₆₀Co₂₀B₂₀ bar 50 nm wide and 1 nm
+/// thick; [`Waveguide::paper_default`] reproduces it.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), magnon_physics::PhysicsError> {
+/// let guide = Waveguide::paper_default()?;
+/// assert!((guide.width() - 50.0e-9).abs() < 1e-15);
+/// assert!(guide.fmr_frequency()? < 10.0e9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waveguide {
+    material: Material,
+    width: f64,
+    thickness: f64,
+}
+
+impl Waveguide {
+    /// Creates a waveguide from a material and cross-section dimensions
+    /// (metres).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidGeometry`] for non-positive or
+    /// non-finite dimensions.
+    pub fn new(material: Material, width: f64, thickness: f64) -> Result<Self, PhysicsError> {
+        for (name, v) in [("width", width), ("thickness", thickness)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(PhysicsError::InvalidGeometry { parameter: name, value: v });
+            }
+        }
+        Ok(Waveguide { material, width, thickness })
+    }
+
+    /// The paper's waveguide: FeCoB, 50 nm wide, 1 nm thick.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature keeps construction uniform.
+    pub fn paper_default() -> Result<Self, PhysicsError> {
+        Waveguide::new(Material::fe_co_b(), 50.0 * NM, 1.0 * NM)
+    }
+
+    /// The material of the waveguide.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+
+    /// Width of the cross-section in metres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Thickness of the cross-section in metres.
+    pub fn thickness(&self) -> f64 {
+        self.thickness
+    }
+
+    /// Returns a copy with a different width (the paper's §V width
+    /// scaling study).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidGeometry`] for an invalid width.
+    pub fn with_width(&self, width: f64) -> Result<Self, PhysicsError> {
+        Waveguide::new(self.material, width, self.thickness)
+    }
+
+    /// Returns a copy with a different material.
+    pub fn with_material(&self, material: Material) -> Self {
+        Waveguide { material, ..*self }
+    }
+
+    /// Out-of-plane demagnetizing factor of the bar cross-section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysicsError::InvalidGeometry`] (cannot occur for a
+    /// constructed waveguide).
+    pub fn demag_factor(&self) -> Result<f64, PhysicsError> {
+        demag::waveguide_demag_factor(self.width, self.thickness)
+    }
+
+    /// Static internal field `H_i = H_ani − N_z·Ms` in A/m.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::NotPerpendicular`] when the anisotropy
+    /// does not overcome shape anisotropy.
+    pub fn internal_field(&self) -> Result<f64, PhysicsError> {
+        let nz = self.demag_factor()?;
+        let h = self.material.anisotropy_field() - nz * self.material.saturation_magnetization();
+        if h <= 0.0 {
+            return Err(PhysicsError::NotPerpendicular { internal_field: h });
+        }
+        Ok(h)
+    }
+
+    /// Ferromagnetic resonance frequency of the waveguide in Hz.
+    ///
+    /// Wider guides have larger `N_z`, smaller internal field and hence
+    /// lower FMR — the paper's width-scaling observation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Waveguide::internal_field`].
+    pub fn fmr_frequency(&self) -> Result<f64, PhysicsError> {
+        Ok(self.exchange_dispersion()?.fmr_frequency())
+    }
+
+    /// The exchange (local-demag) dispersion of this waveguide — the
+    /// branch realised by the `magnon-micromag` simulator.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Waveguide::internal_field`].
+    pub fn exchange_dispersion(&self) -> Result<ExchangeDispersion, PhysicsError> {
+        ExchangeDispersion::new(&self.material, self.demag_factor()?)
+    }
+
+    /// The Kalinikos–Slavin forward-volume dispersion of this waveguide
+    /// ("paper mode": closest to the OOMMF dispersion).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Waveguide::internal_field`].
+    pub fn kalinikos_slavin_dispersion(&self) -> Result<KalinikosSlavinFvmsw, PhysicsError> {
+        KalinikosSlavinFvmsw::new(&self.material, self.demag_factor()?, self.thickness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magnon_math::constants::GHZ;
+
+    #[test]
+    fn paper_default_dimensions() {
+        let g = Waveguide::paper_default().unwrap();
+        assert_eq!(g.width(), 50.0 * NM);
+        assert_eq!(g.thickness(), 1.0 * NM);
+        assert_eq!(*g.material(), Material::fe_co_b());
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let m = Material::fe_co_b();
+        assert!(Waveguide::new(m, 0.0, 1e-9).is_err());
+        assert!(Waveguide::new(m, 50e-9, -1e-9).is_err());
+        assert!(Waveguide::new(m, f64::INFINITY, 1e-9).is_err());
+    }
+
+    #[test]
+    fn internal_field_positive_for_paper_guide() {
+        let g = Waveguide::paper_default().unwrap();
+        let h = g.internal_field().unwrap();
+        // Between the Nz=1 film value (1.03e5) and the narrow-bar value.
+        assert!(h > 1.0e5 && h < 3.0e5, "H_i = {h}");
+    }
+
+    #[test]
+    fn fmr_decreases_with_width() {
+        // The paper's §V observation.
+        let g = Waveguide::paper_default().unwrap();
+        let mut last = f64::INFINITY;
+        for w in [50.0, 100.0, 200.0, 350.0, 500.0] {
+            let f = g.with_width(w * NM).unwrap().fmr_frequency().unwrap();
+            assert!(f < last, "FMR not decreasing at width {w} nm");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn fmr_below_first_channel_for_all_paper_widths() {
+        // All studied widths keep FMR below the 10 GHz first channel.
+        let g = Waveguide::paper_default().unwrap();
+        for w in [50.0, 100.0, 250.0, 500.0] {
+            let f = g.with_width(w * NM).unwrap().fmr_frequency().unwrap();
+            assert!(f < 10.0 * GHZ);
+            assert!(f > 1.0 * GHZ);
+        }
+    }
+
+    #[test]
+    fn dispersions_share_fmr() {
+        let g = Waveguide::paper_default().unwrap();
+        let fe = g.exchange_dispersion().unwrap().fmr_frequency();
+        let fk = g.kalinikos_slavin_dispersion().unwrap().fmr_frequency();
+        assert!((fe - fk).abs() < 1e3);
+    }
+
+    #[test]
+    fn in_plane_material_rejected() {
+        let g = Waveguide::paper_default()
+            .unwrap()
+            .with_material(Material::permalloy());
+        assert!(matches!(
+            g.internal_field(),
+            Err(PhysicsError::NotPerpendicular { .. })
+        ));
+    }
+
+    #[test]
+    fn with_width_preserves_material() {
+        let g = Waveguide::paper_default().unwrap().with_width(100.0 * NM).unwrap();
+        assert_eq!(*g.material(), Material::fe_co_b());
+        assert_eq!(g.thickness(), 1.0 * NM);
+    }
+}

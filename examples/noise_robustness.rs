@@ -1,0 +1,46 @@
+//! Failure injection on the byte-wide majority gate: how much
+//! transducer phase jitter and amplitude error does the
+//! interference-based vote tolerate?
+//!
+//! Run with: `cargo run --release --example noise_robustness`
+
+use spinwave_parallel::core::prelude::*;
+use spinwave_parallel::core::robustness::{
+    monte_carlo_error_rate, phase_noise_sweep, NoiseModel,
+};
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+        .channels(8)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .build()?;
+
+    println!("phase-noise margin of the byte-wide MAJ-3 gate (500 Monte-Carlo trials each):\n");
+    println!("{:>12} {:>14}", "sigma (rad)", "bit error rate");
+    let sigmas = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+    for report in phase_noise_sweep(&gate, &sigmas, 500, 12345)? {
+        println!(
+            "{:>12.2} {:>14.5}",
+            report.noise.phase_sigma,
+            report.error_rate()
+        );
+    }
+
+    println!("\namplitude-only noise (phase exact):");
+    for sigma in [0.05, 0.1, 0.2, 0.4] {
+        let report =
+            monte_carlo_error_rate(&gate, NoiseModel::new(0.0, sigma)?, 500, 678)?;
+        println!(
+            "  {:>4.0}% amplitude jitter -> error rate {:.5}",
+            sigma * 100.0,
+            report.error_rate()
+        );
+    }
+
+    println!("\nconclusion: the majority vote decodes on phase, so it shrugs off");
+    println!("substantial amplitude error, and the π-separated phase encoding");
+    println!("leaves roughly ±π/2 of phase margin per source.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build the paper's byte-wide 3-input majority gate and
+//! process eight independent data sets in a single evaluation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spinwave_parallel::core::prelude::*;
+use spinwave_parallel::cost::{CostModel, Transducer};
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The device of the paper: a 50 nm x 1 nm FeCoB waveguide with
+    //    perpendicular magnetic anisotropy (no external field needed).
+    let guide = Waveguide::paper_default()?;
+    println!(
+        "waveguide: FeCoB {:.0}x{:.0} nm, FMR = {:.2} GHz",
+        guide.width() * 1e9,
+        guide.thickness() * 1e9,
+        guide.fmr_frequency()? / 1e9
+    );
+
+    // 2. A byte-wide (8-channel) 3-input majority gate. Channels ride on
+    //    10..80 GHz spin waves that share the waveguide but only
+    //    interfere with their own frequency.
+    let gate = ParallelGateBuilder::new(guide)
+        .channels(8)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .build()?;
+    println!(
+        "gate: {} channels, {} transducers, span {:.0} nm",
+        gate.word_width(),
+        gate.layout().sources().len() + gate.layout().detectors().len(),
+        gate.layout().span() * 1e9
+    );
+    // The in-line structure of the paper's Fig. 2, to scale:
+    println!(
+        "\n{}",
+        spinwave_parallel::core::layout_report::render_layout(
+            gate.channel_plan(),
+            gate.layout(),
+            72
+        )
+    );
+
+    // 3. Evaluate: eight majority votes at once.
+    let a = Word::from_u8(0b1010_1010);
+    let b = Word::from_u8(0b1100_1100);
+    let c = Word::from_u8(0b1111_0000);
+    let out = gate.evaluate(&[a, b, c])?;
+    println!("\nMAJ({a}, {b}, {c}) = {}", out.word());
+    assert_eq!(out.word().to_u8(), 0b1110_1000);
+
+    // 4. Exhaustive verification and the paper's cost comparison.
+    let report = gate.verify_truth_table()?;
+    println!(
+        "truth table: {}/{} checks passed",
+        report.checked - report.failures.len(),
+        report.checked
+    );
+    let comparison = CostModel::new(Transducer::paper_default()).compare(&gate)?;
+    println!("\n{comparison}");
+    Ok(())
+}

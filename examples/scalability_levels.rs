@@ -1,0 +1,44 @@
+//! The paper's §V scalability rule from the public API: to keep the
+//! majority vote balanced, sources farther from the output must be
+//! excited harder — `E(I_1) > E(I_2) > … > E(I_m)` — and the required
+//! spread grows with the gate size.
+//!
+//! Run with: `cargo run --release --example scalability_levels`
+
+use spinwave_parallel::core::prelude::*;
+use spinwave_parallel::core::scalability::scalability_sweep;
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let guide = Waveguide::paper_default()?;
+
+    // Per-input drive amplitudes for the byte gate.
+    let gate = ParallelGateBuilder::new(guide)
+        .channels(8)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .build()?;
+    println!("per-channel drive amplitudes (relative), byte-wide MAJ-3:");
+    println!("channel   E(I_1)   E(I_2)   E(I_3)");
+    for c in 0..8 {
+        let a = gate.schedule().amplitudes_for_channel(c);
+        println!("  f{}     {:.4}   {:.4}   {:.4}", c + 1, a[0], a[1], a[2]);
+        assert!(a[0] > a[1] && a[1] > a[2], "paper ordering E(I_1)>E(I_2)>E(I_3)");
+    }
+
+    // How the requirement scales with the channel count.
+    println!("\nchannels  span(nm)  worst-decay  required spread");
+    for p in scalability_sweep(&guide, 3, &[2, 4, 8, 12, 16], 10.0e9, 5.0e9)? {
+        println!(
+            "{:>8}  {:>8.0}  {:>11.4}  {:>15.4}",
+            p.channels,
+            p.span * 1e9,
+            p.worst_decay,
+            p.amplitude_spread
+        );
+    }
+    println!("\nthe spread stays close to 1 at the paper's scale (sub-micron gates,");
+    println!("micron attenuation lengths) — graded energies only matter for large n,");
+    println!("exactly as the paper's scalability discussion states.");
+    Ok(())
+}

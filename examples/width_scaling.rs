@@ -1,0 +1,41 @@
+//! The paper's §V waveguide-width study from the public API: as the
+//! width grows toward 500 nm the out-of-plane demagnetizing factor
+//! rises, the internal field falls, and with it the ferromagnetic
+//! resonance — while the gate stays functional.
+//!
+//! Run with: `cargo run --release --example width_scaling`
+
+use spinwave_parallel::core::prelude::*;
+use spinwave_parallel::physics::dispersion::DispersionRelation;
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = Waveguide::paper_default()?;
+    println!("width(nm)    N_z     FMR(GHz)  lambda@10GHz(nm)  byte-gate truth table");
+    let mut previous_fmr = f64::INFINITY;
+    for width_nm in (50..=500).step_by(50) {
+        let guide = base.with_width(width_nm as f64 * 1e-9)?;
+        let fmr = guide.fmr_frequency()?;
+        let lambda = guide.exchange_dispersion()?.wavelength(10.0e9)?;
+        let gate = ParallelGateBuilder::new(guide)
+            .channels(8)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()?;
+        let verdict = gate.verify_truth_table()?;
+        println!(
+            "{:>8}  {:.4}   {:>8.3}  {:>16.1}  {}",
+            width_nm,
+            guide.demag_factor()?,
+            fmr / 1e9,
+            lambda * 1e9,
+            if verdict.all_passed() { "PASS" } else { "FAIL" }
+        );
+        assert!(fmr < previous_fmr, "FMR must decrease with width");
+        assert!(verdict.all_passed());
+        previous_fmr = fmr;
+    }
+    println!("\nFMR decreases monotonically with width; gate functional at every width —");
+    println!("matching the paper's width-variation observations.");
+    Ok(())
+}

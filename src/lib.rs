@@ -1,0 +1,58 @@
+//! # spinwave-parallel
+//!
+//! A comprehensive Rust reproduction of *"n-bit Data Parallel Spin Wave
+//! Logic Gate"* (Mahmoud, Vanderveken, Ciubotaru, Adelmann, Cotofana,
+//! Hamdioui — DATE 2020, arXiv:2109.05229).
+//!
+//! Spin waves of different frequencies coexist in one waveguide and only
+//! interfere with their own frequency. This umbrella crate re-exports
+//! the whole workspace:
+//!
+//! * [`math`] — FFT, Goertzel, ODE integrators, root finding,
+//! * [`physics`] — materials, demagnetizing factors, dispersion, damping,
+//! * [`micromag`] — finite-difference LLG simulator (the OOMMF-class
+//!   substrate used for validation),
+//! * [`core`] — the paper's contribution: `n`-bit data-parallel
+//!   multi-frequency in-line logic gates (majority, XOR) with analytic
+//!   and micromagnetic evaluation,
+//! * [`cost`] — area/delay/energy models and the scalar-vs-parallel
+//!   comparison of the paper's §V.B,
+//! * [`circuits`] — word-level circuits (full adders, parity trees)
+//!   composed from data-parallel gates.
+//!
+//! # Quickstart
+//!
+//! Build a byte-wide (8-channel) 3-input majority gate and evaluate all
+//! eight data sets at once:
+//!
+//! ```
+//! use spinwave_parallel::core::prelude::*;
+//! use spinwave_parallel::physics::waveguide::Waveguide;
+//! use spinwave_parallel::physics::material::Material;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let guide = Waveguide::paper_default()?;
+//! let gate = ParallelGateBuilder::new(guide)
+//!     .channels(8)
+//!     .inputs(3)
+//!     .function(LogicFunction::Majority)
+//!     .build()?;
+//!
+//! let a = Word::from_u8(0b1010_1010);
+//! let b = Word::from_u8(0b1100_1100);
+//! let c = Word::from_u8(0b1111_0000);
+//! let out = gate.evaluate(&[a, b, c])?;
+//! assert_eq!(out.word().to_u8(), (0b1010_1010u8 & 0b1100_1100)
+//!     | (0b1010_1010u8 & 0b1111_0000)
+//!     | (0b1100_1100u8 & 0b1111_0000));
+//! # let _ = Material::fe_co_b();
+//! # Ok(())
+//! # }
+//! ```
+
+pub use magnon_circuits as circuits;
+pub use magnon_core as core;
+pub use magnon_cost as cost;
+pub use magnon_math as math;
+pub use magnon_micromag as micromag;
+pub use magnon_physics as physics;

@@ -1,0 +1,150 @@
+//! Integration: the micromagnetic simulator must realise the analytic
+//! exchange dispersion the gate designer uses — the self-consistency
+//! guarantee that makes layout wavelength-multiples meaningful
+//! (DESIGN.md §4).
+
+use spinwave_parallel::math::constants::{GHZ, NM, NS};
+use spinwave_parallel::micromag::probe::Probe;
+use spinwave_parallel::micromag::sim::SimulationBuilder;
+use spinwave_parallel::micromag::source::Antenna;
+use spinwave_parallel::physics::dispersion::DispersionRelation;
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+/// Excite a single frequency and measure the spatial wavelength from
+/// the zero crossings of the final `m_x(x)` snapshot in a window away
+/// from the source and the absorbers. Interpolated crossings averaged
+/// over many periods beat cell-snapping noise.
+#[test]
+fn measured_wavelength_matches_designer_dispersion() {
+    let guide = Waveguide::paper_default().unwrap();
+    let dispersion = guide.exchange_dispersion().unwrap();
+    let f = 20.0 * GHZ;
+    let lambda_design = dispersion.wavelength(f).unwrap();
+
+    let dx = 1.0 * NM;
+    let output = SimulationBuilder::new(guide, 900.0 * NM)
+        .unwrap()
+        .cell_size(dx)
+        .unwrap()
+        .add_antenna(
+            Antenna::new(150.0 * NM, 10.0 * NM, f, 2.0e4, 0.0)
+                .unwrap()
+                .with_ramp(2.0 / f)
+                .unwrap(),
+        )
+        .add_probe(Probe::point(450.0 * NM))
+        .duration(2.0 * NS)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Analysis window: from 100 nm past the source to 150 nm before the
+    // far absorber.
+    let m = output.final_magnetization();
+    let i_lo = (260.0 * NM / dx) as usize;
+    let i_hi = (660.0 * NM / dx) as usize;
+    let mut crossings: Vec<f64> = Vec::new();
+    for i in i_lo..i_hi {
+        let (a, b) = (m[i].x, m[i + 1].x);
+        if a == 0.0 || a * b < 0.0 {
+            // Linear interpolation of the crossing position.
+            let frac = a / (a - b);
+            crossings.push((i as f64 + frac) * dx);
+        }
+    }
+    assert!(
+        crossings.len() >= 8,
+        "need several periods in the window, got {} crossings",
+        crossings.len()
+    );
+    // Mean spacing between consecutive crossings is λ/2.
+    let spacing =
+        (crossings.last().unwrap() - crossings.first().unwrap()) / (crossings.len() - 1) as f64;
+    let lambda_measured = 2.0 * spacing;
+    let error = (lambda_measured - lambda_design).abs() / lambda_design;
+    assert!(
+        error < 0.05,
+        "measured λ = {:.2} nm vs designed {:.2} nm ({:.1}% off)",
+        lambda_measured * 1e9,
+        lambda_design * 1e9,
+        error * 100.0
+    );
+}
+
+/// The amplitude at the drive frequency must dominate every other
+/// spectral component (linear, single-tone response).
+#[test]
+fn single_tone_response_is_clean() {
+    let guide = Waveguide::paper_default().unwrap();
+    let f = 30.0 * GHZ;
+    let output = SimulationBuilder::new(guide, 600.0 * NM)
+        .unwrap()
+        .cell_size(2.0 * NM)
+        .unwrap()
+        .add_antenna(
+            Antenna::new(120.0 * NM, 10.0 * NM, f, 1.0e4, 0.0)
+                .unwrap()
+                .with_ramp(2.0 / f)
+                .unwrap(),
+        )
+        .add_probe(Probe::point(350.0 * NM))
+        .duration(1.5 * NS)
+        .unwrap()
+        .run()
+        .unwrap();
+    let steady = output.series()[0].after(0.75 * NS).unwrap();
+    let at_drive = steady.amplitude_at(f).unwrap();
+    for other in [10.0 * GHZ, 20.0 * GHZ, 45.0 * GHZ, 60.0 * GHZ] {
+        let leak = steady.amplitude_at(other).unwrap();
+        assert!(
+            at_drive > 10.0 * leak,
+            "leakage at {:.0} GHz: {leak} vs drive {at_drive}",
+            other / 1e9
+        );
+    }
+}
+
+/// Group velocity: a wave front launched at t=0 must not arrive faster
+/// than the dispersion's group velocity predicts (within tolerance).
+#[test]
+fn arrival_time_consistent_with_group_velocity() {
+    let guide = Waveguide::paper_default().unwrap();
+    let dispersion = guide.exchange_dispersion().unwrap();
+    let f = 40.0 * GHZ;
+    let k = dispersion.wavenumber(f).unwrap();
+    let vg = dispersion.group_velocity(k);
+
+    let source_x = 100.0 * NM;
+    let probe_x = 500.0 * NM;
+    let output = SimulationBuilder::new(guide, 700.0 * NM)
+        .unwrap()
+        .cell_size(1.0 * NM)
+        .unwrap()
+        .add_antenna(Antenna::new(source_x, 10.0 * NM, f, 2.0e4, 0.0).unwrap())
+        .add_probe(Probe::point(probe_x))
+        .duration(0.8 * NS)
+        .unwrap()
+        .sample_interval(2)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // First time the probe signal exceeds 10% of its final peak.
+    let series = &output.series()[0];
+    let peak = series.peak();
+    assert!(peak > 1e-6, "wave never arrived");
+    let threshold = 0.1 * peak;
+    let arrival_idx = series
+        .samples()
+        .iter()
+        .position(|&v| v.abs() > threshold)
+        .expect("arrival");
+    let t_arrival = series.time_at(arrival_idx);
+    let t_expected = (probe_x - source_x - 5.0 * NM) / vg;
+    // Leading exchange-wave precursors are faster than vg; accept a
+    // generous band around the ballistic estimate.
+    assert!(
+        t_arrival > 0.2 * t_expected && t_arrival < 3.0 * t_expected,
+        "arrival {t_arrival:.3e} s vs ballistic {t_expected:.3e} s"
+    );
+}

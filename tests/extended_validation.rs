@@ -1,0 +1,201 @@
+//! Extended integration tests: 2D meshes, XOR gates, inverted readout
+//! and absorber effectiveness — the behaviours beyond the paper's
+//! headline experiment that the library must still get right.
+
+use spinwave_parallel::core::micromag_bridge::{MicromagValidator, ValidationSettings};
+use spinwave_parallel::core::prelude::*;
+use spinwave_parallel::math::constants::{GHZ, NM, NS};
+use spinwave_parallel::micromag::absorber::Absorber;
+use spinwave_parallel::micromag::probe::Probe;
+use spinwave_parallel::micromag::sim::SimulationBuilder;
+use spinwave_parallel::micromag::source::Antenna;
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+fn fast_settings() -> ValidationSettings {
+    ValidationSettings {
+        cell_size: Some(2.0e-9),
+        duration: Some(2.5e-9),
+        ..ValidationSettings::default()
+    }
+}
+
+#[test]
+fn two_dimensional_mesh_propagates_waves() {
+    // Same experiment as 1D, resolved with 5 transverse rows: the wave
+    // still arrives and no transverse instability develops.
+    let guide = Waveguide::paper_default().unwrap();
+    let f = 20.0 * GHZ;
+    let output = SimulationBuilder::new(guide, 400.0 * NM)
+        .unwrap()
+        .cell_size(2.0 * NM)
+        .unwrap()
+        .rows(5)
+        .unwrap()
+        .add_antenna(
+            Antenna::new(80.0 * NM, 10.0 * NM, f, 2.0e4, 0.0)
+                .unwrap()
+                .with_ramp(2.0 / f)
+                .unwrap(),
+        )
+        .add_probe(Probe::point(250.0 * NM))
+        .duration(1.0 * NS)
+        .unwrap()
+        .run()
+        .unwrap();
+    let steady = output.series()[0].after(0.5 * NS).unwrap();
+    assert!(steady.amplitude_at(f).unwrap() > 1e-5, "wave did not arrive in 2D");
+    // Magnetization stays on the unit sphere everywhere.
+    for m in output.final_magnetization() {
+        assert!((m.norm() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn xor_gate_validates_micromagnetically() {
+    let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+        .channels(2)
+        .inputs(2)
+        .function(LogicFunction::Xor)
+        .build()
+        .unwrap();
+    let mut validator = MicromagValidator::with_settings(&gate, fast_settings());
+    // Channel 0: 0^0 = 0, channel 1: 0^1 = 1.
+    let a = Word::zeros(2).unwrap();
+    let b = Word::from_bits(0b10, 2).unwrap();
+    let reading = validator.evaluate(&[a, b]).unwrap();
+    assert_eq!(reading.word.bits(), 0b10, "XOR micromagnetic decode");
+    // The cancelled channel must show much weaker tone amplitude.
+    assert!(
+        reading.amplitudes[1] < 0.4 * reading.amplitudes[0],
+        "cancellation: {:.3e} vs {:.3e}",
+        reading.amplitudes[1],
+        reading.amplitudes[0]
+    );
+    // 1^1 = 0 again full amplitude.
+    let ones = Word::ones(2).unwrap();
+    let reading = validator.evaluate(&[ones, ones]).unwrap();
+    assert_eq!(reading.word.bits(), 0b00);
+}
+
+#[test]
+fn inverted_readout_validates_micromagnetically() {
+    // Inverted detectors decode the complemented majority with no
+    // software negation — the half-wavelength offset does it.
+    let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+        .channels(2)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .readout(ReadoutMode::Inverted)
+        .build()
+        .unwrap();
+    let mut validator = MicromagValidator::with_settings(&gate, fast_settings());
+    let zeros = Word::zeros(2).unwrap();
+    let ones = Word::ones(2).unwrap();
+    // MAJ(0,0,0) = 0, inverted -> 1 on both channels.
+    let reading = validator.evaluate(&[zeros, zeros, zeros]).unwrap();
+    assert_eq!(reading.word.bits(), 0b11, "inverted all-zeros must read 1");
+    // MAJ(1,1,1) = 1, inverted -> 0.
+    let reading = validator.evaluate(&[ones, ones, ones]).unwrap();
+    assert_eq!(reading.word.bits(), 0b00, "inverted all-ones must read 0");
+}
+
+#[test]
+fn absorber_suppresses_end_reflection() {
+    // Drive a wave toward the far end and compare the standing-wave
+    // ripple with and without the absorber: reflections create spatial
+    // amplitude modulation at λ/2; an absorber flattens it.
+    let guide = Waveguide::paper_default().unwrap();
+    let f = 20.0 * GHZ;
+    let run = |absorber: Option<Absorber>| {
+        let output = SimulationBuilder::new(guide, 600.0 * NM)
+            .unwrap()
+            .cell_size(2.0 * NM)
+            .unwrap()
+            .absorber(absorber)
+            .add_antenna(
+                Antenna::new(100.0 * NM, 10.0 * NM, f, 1.0e4, 0.0)
+                    .unwrap()
+                    .with_ramp(2.0 / f)
+                    .unwrap(),
+            )
+            // Two probes λ/4 apart mid-guide: a pure travelling wave has
+            // equal tone amplitude at both; a standing wave does not.
+            .add_probe(Probe::point(330.0 * NM))
+            .add_probe(Probe::point(330.0 * NM + 22.0 * NM))
+            .duration(3.0 * NS)
+            .unwrap()
+            .run()
+            .unwrap();
+        let a = output.series()[0]
+            .after(2.0 * NS)
+            .unwrap()
+            .amplitude_at(f)
+            .unwrap();
+        let b = output.series()[1]
+            .after(2.0 * NS)
+            .unwrap()
+            .amplitude_at(f)
+            .unwrap();
+        (a - b).abs() / a.max(b)
+    };
+    let ripple_without = run(None);
+    let ripple_with = run(Some(Absorber::new(120.0 * NM, 0.5).unwrap()));
+    assert!(
+        ripple_with < 0.6 * ripple_without,
+        "absorber must reduce standing-wave ripple: {ripple_with:.3} vs {ripple_without:.3}"
+    );
+    assert!(ripple_with < 0.15, "residual ripple too high: {ripple_with:.3}");
+}
+
+#[test]
+fn thermal_noise_perturbs_but_small_signal_survives() {
+    use spinwave_parallel::micromag::thermal::ThermalField;
+
+    // A 20 GHz wave at 30 K: the tone must still dominate the noise
+    // floor at the probe (graceful degradation, not collapse). At this
+    // cell volume the 100+ K thermal field already rivals the drive --
+    // nanoscale gates are thermally hard, which is what the robustness
+    // module quantifies.
+    let guide = Waveguide::paper_default().unwrap();
+    let f = 20.0 * GHZ;
+    let builder = SimulationBuilder::new(guide, 400.0 * NM)
+        .unwrap()
+        .cell_size(2.0 * NM)
+        .unwrap()
+        .add_antenna(
+            Antenna::new(80.0 * NM, 10.0 * NM, f, 2.0e4, 0.0)
+                .unwrap()
+                .with_ramp(2.0 / f)
+                .unwrap(),
+        )
+        .add_probe(Probe::point(250.0 * NM))
+        .duration(1.5 * NS)
+        .unwrap();
+    let dt = builder.effective_time_step().unwrap();
+    let mut solver = builder.build_solver().unwrap();
+    let thermal = ThermalField::new(
+        guide.material(),
+        solver.mesh(),
+        30.0,
+        dt,
+        2024,
+    )
+    .unwrap();
+    solver.add_field_term(Box::new(thermal));
+    let mut recorder = spinwave_parallel::micromag::probe::Recorder::new(
+        vec![Probe::point(250.0 * NM)],
+        4,
+        dt,
+    )
+    .unwrap();
+    solver.run_recorded(1.5 * NS, dt, &mut recorder).unwrap();
+    let series = recorder.into_series().unwrap();
+    let steady = series[0].after(0.75 * NS).unwrap();
+    let tone = steady.amplitude_at(f).unwrap();
+    let off_tone = steady.amplitude_at(1.37 * f).unwrap();
+    assert!(tone > 1e-5, "tone lost in thermal noise: {tone:.3e}");
+    assert!(
+        tone > 3.0 * off_tone,
+        "SNR too low at 30 K: tone {tone:.3e} vs floor {off_tone:.3e}"
+    );
+}

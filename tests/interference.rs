@@ -1,0 +1,149 @@
+//! Integration: same-frequency interference — the gate's physical
+//! primitive (paper §II). Two sources spaced an integer number of
+//! wavelengths interfere constructively when in phase and destructively
+//! when π out of phase; a third source decides the majority.
+
+use spinwave_parallel::math::constants::{GHZ, NM, NS};
+use spinwave_parallel::micromag::probe::Probe;
+use spinwave_parallel::micromag::sim::SimulationBuilder;
+use spinwave_parallel::micromag::source::Antenna;
+use spinwave_parallel::physics::dispersion::DispersionRelation;
+use spinwave_parallel::physics::waveguide::Waveguide;
+use std::f64::consts::PI;
+
+const F: f64 = 20.0 * GHZ;
+
+/// Runs two sources separated by `spacing_wavelengths`·λ with the given
+/// phases; returns the steady-state tone amplitude at a downstream
+/// detector placed an integer number of wavelengths after the second
+/// source.
+fn two_source_amplitude(phase_a: f64, phase_b: f64) -> f64 {
+    let guide = Waveguide::paper_default().unwrap();
+    let lambda = guide.exchange_dispersion().unwrap().wavelength(F).unwrap();
+    let x_a = 150.0 * NM;
+    let x_b = x_a + 2.0 * lambda;
+    let x_det = x_b + 3.0 * lambda;
+    let output = SimulationBuilder::new(guide, x_det + 250.0 * NM)
+        .unwrap()
+        .cell_size(1.0 * NM)
+        .unwrap()
+        .add_antenna(
+            Antenna::new(x_a - 5.0 * NM, 10.0 * NM, F, 1.0e4, phase_a)
+                .unwrap()
+                .with_ramp(2.0 / F)
+                .unwrap(),
+        )
+        .add_antenna(
+            Antenna::new(x_b - 5.0 * NM, 10.0 * NM, F, 1.0e4, phase_b)
+                .unwrap()
+                .with_ramp(2.0 / F)
+                .unwrap(),
+        )
+        .add_probe(Probe::point(x_det))
+        .duration(2.0 * NS)
+        .unwrap()
+        .run()
+        .unwrap();
+    output.series()[0]
+        .after(1.2 * NS)
+        .unwrap()
+        .amplitude_at(F)
+        .unwrap()
+}
+
+#[test]
+fn in_phase_sources_interfere_constructively() {
+    let both = two_source_amplitude(0.0, 0.0);
+    let anti = two_source_amplitude(0.0, PI);
+    // Constructive clearly exceeds destructive.
+    assert!(
+        both > 3.0 * anti,
+        "constructive {both:.3e} vs destructive {anti:.3e}"
+    );
+}
+
+#[test]
+fn antiphase_sources_cancel() {
+    let anti = two_source_amplitude(0.0, PI);
+    let single = {
+        // One source only, for scale.
+        let guide = Waveguide::paper_default().unwrap();
+        let lambda = guide.exchange_dispersion().unwrap().wavelength(F).unwrap();
+        let x_a = 150.0 * NM;
+        let x_det = x_a + 5.0 * lambda;
+        let output = SimulationBuilder::new(guide, x_det + 250.0 * NM)
+            .unwrap()
+            .cell_size(1.0 * NM)
+            .unwrap()
+            .add_antenna(
+                Antenna::new(x_a - 5.0 * NM, 10.0 * NM, F, 1.0e4, 0.0)
+                    .unwrap()
+                    .with_ramp(2.0 / F)
+                    .unwrap(),
+            )
+            .add_probe(Probe::point(x_det))
+            .duration(2.0 * NS)
+            .unwrap()
+            .run()
+            .unwrap();
+        output.series()[0]
+            .after(1.2 * NS)
+            .unwrap()
+            .amplitude_at(F)
+            .unwrap()
+    };
+    // XOR physics: anti-phase pair leaves far less than one source.
+    assert!(
+        anti < 0.35 * single,
+        "cancellation too weak: pair {anti:.3e} vs single {single:.3e}"
+    );
+}
+
+#[test]
+fn different_frequencies_do_not_interfere() {
+    // Two channels, both logic 0 on one and the interference measured on
+    // the other: the 20 GHz tone amplitude must be unaffected by
+    // whether a 40 GHz source is also driving.
+    let guide = Waveguide::paper_default().unwrap();
+    let lambda = guide.exchange_dispersion().unwrap().wavelength(F).unwrap();
+    let x_a = 150.0 * NM;
+    let x_det = x_a + 5.0 * lambda;
+    let build = |with_interferer: bool| {
+        let mut builder = SimulationBuilder::new(guide, x_det + 250.0 * NM)
+            .unwrap()
+            .cell_size(1.0 * NM)
+            .unwrap()
+            .add_antenna(
+                Antenna::new(x_a - 5.0 * NM, 10.0 * NM, F, 1.0e4, 0.0)
+                    .unwrap()
+                    .with_ramp(2.0 / F)
+                    .unwrap(),
+            )
+            .add_probe(Probe::point(x_det));
+        if with_interferer {
+            builder = builder.add_antenna(
+                Antenna::new(x_a + 37.0 * NM, 10.0 * NM, 2.0 * F, 1.0e4, PI)
+                    .unwrap()
+                    .with_ramp(1.0 / F)
+                    .unwrap(),
+            );
+        }
+        builder.duration(2.0 * NS).unwrap().run().unwrap()
+    };
+    let alone = build(false).series()[0]
+        .after(1.2 * NS)
+        .unwrap()
+        .amplitude_at(F)
+        .unwrap();
+    let with_other = build(true).series()[0]
+        .after(1.2 * NS)
+        .unwrap()
+        .amplitude_at(F)
+        .unwrap();
+    let change = (with_other - alone).abs() / alone;
+    assert!(
+        change < 0.05,
+        "20 GHz tone changed by {:.1}% when 40 GHz was added",
+        change * 100.0
+    );
+}

@@ -1,0 +1,85 @@
+//! Integration: end-to-end micromagnetic validation of a reduced
+//! data-parallel majority gate — the paper's OOMMF methodology (Fig. 3)
+//! at test-suite scale. The full byte-wide validation lives in the
+//! `repro_fig3` / `repro_fig4` binaries.
+
+use spinwave_parallel::core::micromag_bridge::{MicromagValidator, ValidationSettings};
+use spinwave_parallel::core::prelude::*;
+use spinwave_parallel::math::constants::GHZ;
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+fn reduced_gate(channels: usize) -> ParallelGate {
+    ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+        .channels(channels)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .base_frequency(10.0 * GHZ)
+        .frequency_step(10.0 * GHZ)
+        .build()
+        .unwrap()
+}
+
+fn fast_settings() -> ValidationSettings {
+    ValidationSettings {
+        cell_size: Some(2.0e-9),
+        duration: Some(2.5e-9),
+        ..ValidationSettings::default()
+    }
+}
+
+#[test]
+fn two_channel_gate_decodes_key_combinations() {
+    let gate = reduced_gate(2);
+    let mut validator = MicromagValidator::with_settings(&gate, fast_settings());
+    // Distinct per-channel data: channel 0 sees (0,1,0) -> MAJ 0;
+    // channel 1 sees (1,1,0) -> MAJ 1.
+    let a = Word::from_bits(0b10, 2).unwrap();
+    let b = Word::from_bits(0b11, 2).unwrap();
+    let c = Word::from_bits(0b00, 2).unwrap();
+    let (micromag, analytic) = validator.cross_check(&[a, b, c]).unwrap();
+    assert_eq!(analytic.bits(), 0b10);
+    assert_eq!(
+        micromag, analytic,
+        "micromagnetic decode must match the analytic engine"
+    );
+}
+
+#[test]
+fn two_channel_gate_all_zero_and_all_one() {
+    let gate = reduced_gate(2);
+    let mut validator = MicromagValidator::with_settings(&gate, fast_settings());
+    let zeros = Word::zeros(2).unwrap();
+    let ones = Word::ones(2).unwrap();
+
+    let reading = validator.evaluate(&[zeros, zeros, zeros]).unwrap();
+    assert_eq!(reading.word.bits(), 0, "MAJ(0,0,0) must be 0 on both channels");
+    for delta in &reading.phase_deltas {
+        assert!(delta.cos() > 0.0, "phase delta {delta} should be near 0");
+    }
+
+    let reading = validator.evaluate(&[ones, ones, ones]).unwrap();
+    assert_eq!(reading.word.bits(), 0b11, "MAJ(1,1,1) must be 1 on both channels");
+    for delta in &reading.phase_deltas {
+        assert!(delta.cos() < 0.0, "phase delta {delta} should be near π");
+    }
+}
+
+#[test]
+fn majority_amplitude_hierarchy() {
+    // Unanimous votes interfere fully constructively; 2-1 votes leave a
+    // single net wave: the unanimous amplitude must be visibly larger.
+    let gate = reduced_gate(2);
+    let mut validator = MicromagValidator::with_settings(&gate, fast_settings());
+    let zeros = Word::zeros(2).unwrap();
+    let ones = Word::ones(2).unwrap();
+    let unanimous = validator.evaluate(&[zeros, zeros, zeros]).unwrap();
+    let split = validator.evaluate(&[ones, zeros, zeros]).unwrap();
+    for c in 0..2 {
+        assert!(
+            unanimous.amplitudes[c] > 1.5 * split.amplitudes[c],
+            "channel {c}: unanimous {:.3e} vs split {:.3e}",
+            unanimous.amplitudes[c],
+            split.amplitudes[c]
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use spinwave_parallel::circuits::adder::{transpose_from_words, transpose_to_words};
+use spinwave_parallel::core::encoding::{decode_phase, phase_of, wrap_phase};
+use spinwave_parallel::core::prelude::*;
+use spinwave_parallel::core::truth::LogicFunction;
+use spinwave_parallel::math::fft;
+use spinwave_parallel::math::Complex64;
+use spinwave_parallel::physics::demag::prism_demag_factors;
+use spinwave_parallel::physics::dispersion::DispersionRelation;
+use spinwave_parallel::physics::waveguide::Waveguide;
+
+fn byte_gate() -> ParallelGate {
+    ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+        .channels(8)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The analytic spin-wave engine always agrees with boolean majority.
+    #[test]
+    fn engine_matches_boolean_majority(a: u8, b: u8, c: u8) {
+        let gate = byte_gate();
+        let out = gate
+            .evaluate(&[Word::from_u8(a), Word::from_u8(b), Word::from_u8(c)])
+            .unwrap();
+        let expected = (a & b) | (a & c) | (b & c);
+        prop_assert_eq!(out.word().to_u8(), expected);
+    }
+
+    /// Majority is self-dual: complementing all inputs complements the
+    /// output — through the physical engine.
+    #[test]
+    fn engine_majority_self_dual(a: u8, b: u8, c: u8) {
+        let gate = byte_gate();
+        let direct = gate
+            .evaluate(&[Word::from_u8(a), Word::from_u8(b), Word::from_u8(c)])
+            .unwrap()
+            .word();
+        let complemented = gate
+            .evaluate(&[
+                Word::from_u8(!a),
+                Word::from_u8(!b),
+                Word::from_u8(!c),
+            ])
+            .unwrap()
+            .word();
+        prop_assert_eq!(direct.not(), complemented);
+    }
+
+    /// FFT roundtrip recovers arbitrary signals.
+    #[test]
+    fn fft_roundtrip(values in proptest::collection::vec(-1.0e3f64..1.0e3, 1..200)) {
+        let mut data: Vec<Complex64> =
+            values.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        data.resize(fft::next_power_of_two_len(data.len()), Complex64::ZERO);
+        let original = data.clone();
+        fft::fft_in_place(&mut data).unwrap();
+        fft::ifft_in_place(&mut data).unwrap();
+        for (got, want) in data.iter().zip(&original) {
+            prop_assert!((got.re - want.re).abs() < 1e-8);
+            prop_assert!(got.im.abs() < 1e-8);
+        }
+    }
+
+    /// Parseval: FFT preserves energy (up to 1/N normalisation).
+    #[test]
+    fn fft_parseval(values in proptest::collection::vec(-10.0f64..10.0, 2..128)) {
+        let mut data: Vec<Complex64> =
+            values.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        data.resize(fft::next_power_of_two_len(data.len()), Complex64::ZERO);
+        let n = data.len() as f64;
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        fft::fft_in_place(&mut data).unwrap();
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-9 * time_energy.max(1.0));
+    }
+
+    /// Demagnetizing factors of any prism are positive and sum to 1.
+    #[test]
+    fn demag_trace_is_one(
+        x in 1.0e-9f64..1.0e-5,
+        y in 1.0e-9f64..1.0e-5,
+        z in 1.0e-9f64..1.0e-5,
+    ) {
+        let (nx, ny, nz) = prism_demag_factors(x, y, z).unwrap();
+        prop_assert!(nx > 0.0 && ny > 0.0 && nz > 0.0);
+        prop_assert!((nx + ny + nz - 1.0).abs() < 1e-6);
+    }
+
+    /// Dispersion inversion roundtrips for any usable frequency.
+    #[test]
+    fn dispersion_roundtrip(f_ghz in 6.0f64..200.0) {
+        let disp = Waveguide::paper_default()
+            .unwrap()
+            .exchange_dispersion()
+            .unwrap();
+        let f = f_ghz * 1e9;
+        let k = disp.wavenumber(f).unwrap();
+        prop_assert!((disp.frequency(k) - f).abs() / f < 1e-9);
+        // Group velocity is positive above FMR.
+        prop_assert!(disp.group_velocity(k) > 0.0);
+    }
+
+    /// Phase encode/decode are inverse through arbitrary 2π wraps.
+    #[test]
+    fn phase_roundtrip(bit: bool, wraps in -5i32..5) {
+        let phase = phase_of(bit) + wraps as f64 * 2.0 * std::f64::consts::PI;
+        prop_assert_eq!(decode_phase(phase), bit);
+        let w = wrap_phase(phase);
+        prop_assert!(w > -std::f64::consts::PI - 1e-9);
+        prop_assert!(w <= std::f64::consts::PI + 1e-9);
+    }
+
+    /// Word bit accessors are consistent with the raw bits.
+    #[test]
+    fn word_bits_consistent(bits: u64, width in 1usize..=64) {
+        let w = Word::from_bits(bits, width).unwrap();
+        for i in 0..width {
+            prop_assert_eq!(w.bit(i).unwrap(), (bits >> i) & 1 == 1);
+        }
+        prop_assert_eq!(w.not().not(), w);
+        let ones = w.iter_bits().filter(|&b| b).count() as u32;
+        prop_assert_eq!(ones, w.count_ones());
+    }
+
+    /// Transpose to channel words and back is the identity.
+    #[test]
+    fn transpose_roundtrip(
+        numbers in proptest::collection::vec(0u64..65536, 1..16),
+    ) {
+        let width = numbers.len();
+        let words = transpose_to_words(&numbers, 16, width).unwrap();
+        let back = transpose_from_words(&words, width);
+        prop_assert_eq!(back, numbers);
+    }
+
+    /// Layout invariant: for random channel counts and input counts the
+    /// solved layout keeps every source→detector distance an integer
+    /// number of that channel's wavelengths.
+    #[test]
+    fn layout_distances_are_wavelength_multiples(
+        channels in 2usize..7,
+        inputs in 1usize..3,
+    ) {
+        let inputs = inputs * 2 + 1; // 3 or 5 (odd for majority)
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(channels)
+            .inputs(inputs)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap();
+        for det in gate.layout().detectors() {
+            let lambda = gate.channel_plan().channels()[det.channel].wavelength;
+            for src in gate
+                .layout()
+                .sources()
+                .iter()
+                .filter(|s| s.channel == det.channel)
+            {
+                let n = (det.position - src.position) / lambda;
+                prop_assert!((n - n.round()).abs() < 1e-6, "ratio {}", n);
+            }
+        }
+        // And the gate must decode its truth table.
+        prop_assert!(gate.verify_truth_table().unwrap().all_passed());
+    }
+
+    /// XOR gates agree with boolean XOR for random words.
+    #[test]
+    fn engine_matches_boolean_xor(a: u8, b: u8) {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(2)
+            .function(LogicFunction::Xor)
+            .build()
+            .unwrap();
+        let out = gate
+            .evaluate(&[Word::from_u8(a), Word::from_u8(b)])
+            .unwrap();
+        prop_assert_eq!(out.word().to_u8(), a ^ b);
+    }
+
+    /// The ALU agrees with u64 arithmetic for every op and random
+    /// operand vectors.
+    #[test]
+    fn alu_matches_reference(
+        a in proptest::collection::vec(0u64..256, 8),
+        b in proptest::collection::vec(0u64..256, 8),
+    ) {
+        use spinwave_parallel::circuits::alu::{Alu, AluOp};
+        let alu = Alu::new(8, 8).unwrap();
+        let add = alu.execute(AluOp::Add, &a, &b).unwrap();
+        let sub = alu.execute(AluOp::Sub, &a, &b).unwrap();
+        let and = alu.execute(AluOp::And, &a, &b).unwrap();
+        let or = alu.execute(AluOp::Or, &a, &b).unwrap();
+        let xor = alu.execute(AluOp::Xor, &a, &b).unwrap();
+        for c in 0..8 {
+            prop_assert_eq!(add[c], a[c] + b[c]);
+            prop_assert_eq!(sub[c], a[c].wrapping_sub(b[c]) & 0xFF);
+            prop_assert_eq!(and[c], a[c] & b[c]);
+            prop_assert_eq!(or[c], a[c] | b[c]);
+            prop_assert_eq!(xor[c], a[c] ^ b[c]);
+        }
+    }
+
+    /// Monte-Carlo error rates are proper probabilities, zero without
+    /// noise, and deterministic under a fixed seed.
+    #[test]
+    fn robustness_error_rate_bounds(sigma in 0.0f64..2.5, seed: u64) {
+        use spinwave_parallel::core::robustness::{monte_carlo_error_rate, NoiseModel};
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(2)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let noise = NoiseModel::new(sigma, 0.0).unwrap();
+        let r = monte_carlo_error_rate(&gate, noise, 5, seed).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.error_rate()));
+        prop_assert_eq!(r.checks, 5 * 8 * 2);
+        let r2 = monte_carlo_error_rate(&gate, noise, 5, seed).unwrap();
+        prop_assert_eq!(r.failures, r2.failures);
+        if sigma == 0.0 {
+            prop_assert_eq!(r.failures, 0);
+        }
+    }
+}
