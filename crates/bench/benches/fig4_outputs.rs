@@ -30,11 +30,7 @@ fn bench_fig4(c: &mut Criterion) {
             b.iter(|| {
                 for k in 1..=8 {
                     let f = k as f64 * 10.0e9;
-                    black_box(
-                        black_box(&record)
-                            .band_pass(f, 4.0e9)
-                            .expect("band pass"),
-                    );
+                    black_box(black_box(&record).band_pass(f, 4.0e9).expect("band pass"));
                 }
             })
         });

@@ -12,7 +12,11 @@ fn bench_scalability(c: &mut Criterion) {
     group.sample_size(20);
 
     let guide = Waveguide::paper_default().expect("waveguide");
-    for counts in [vec![2usize, 4], vec![2usize, 4, 8], vec![2usize, 4, 8, 12, 16]] {
+    for counts in [
+        vec![2usize, 4],
+        vec![2usize, 4, 8],
+        vec![2usize, 4, 8, 12, 16],
+    ] {
         let label = format!("sweep_to_{}", counts.last().expect("non-empty"));
         group.bench_function(label, |b| {
             b.iter(|| {

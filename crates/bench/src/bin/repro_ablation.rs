@@ -82,15 +82,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     // Sanity: noiseless is perfect, and σ=π/2-class noise causes errors.
     let clean = reports[0].error_rate() == 0.0;
-    let degrades = reports.last().map(|r| r.error_rate() > 0.05).unwrap_or(false);
+    let degrades = reports
+        .last()
+        .map(|r| r.error_rate() > 0.05)
+        .unwrap_or(false);
 
     // And a confirmation that mild amplitude noise is harmless.
-    let amp_report = magnon_core::robustness::monte_carlo_error_rate(
-        &gate,
-        NoiseModel::new(0.0, 0.1)?,
-        200,
-        7,
-    )?;
+    let amp_report =
+        magnon_core::robustness::monte_carlo_error_rate(&gate, NoiseModel::new(0.0, 0.1)?, 200, 7)?;
     println!(
         "10% amplitude jitter alone: error rate {:.4} (majority decodes on phase)",
         amp_report.error_rate()

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let m = gate.input_count();
     let freqs = gate.channel_plan().frequencies();
 
-    println!("FIG3: byte-wide {}-input majority — micromagnetic validation", m);
+    println!(
+        "FIG3: byte-wide {}-input majority — micromagnetic validation",
+        m
+    );
     println!(
         "gate: {} channels at {:?} GHz, span {:.0} nm, {} sources + {} detectors",
         n,
@@ -32,7 +35,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         gate.layout().detectors().len(),
     );
     let settings = if fast_mode() {
-        ValidationSettings { duration: Some(2.0e-9), ..ValidationSettings::default() }
+        ValidationSettings {
+            duration: Some(2.0e-9),
+            ..ValidationSettings::default()
+        }
     } else {
         ValidationSettings::default()
     };
@@ -43,7 +49,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut all_pass = true;
     let mut worst_isolation = f64::INFINITY;
 
-    println!("\n{:<10} {:>9} {:>10} {:>14}  per-channel decoded bits", "combo", "expected", "decoded", "isolation(dB)");
+    println!(
+        "\n{:<10} {:>9} {:>10} {:>14}  per-channel decoded bits",
+        "combo", "expected", "decoded", "isolation(dB)"
+    );
     for combo in 0..(1usize << m) {
         let words = combo_words(combo, m, n)?;
         let reading = validator.evaluate(&words)?;
@@ -71,11 +80,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         for (k, &a) in spectrum.amplitudes().iter().enumerate() {
             let f = spectrum.frequency_at(k);
             if f <= freqs.last().copied().unwrap_or(0.0) * 1.25 {
-                spectrum_rows.push(vec![
-                    combo.to_string(),
-                    fmt_sci(f),
-                    fmt_sci(a),
-                ]);
+                spectrum_rows.push(vec![combo.to_string(), fmt_sci(f), fmt_sci(a)]);
             }
         }
         // Decimated time trace (every 8th sample).
@@ -89,11 +94,29 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     let dir = results_dir();
-    write_csv(&dir.join("fig3_spectrum.csv"), &["combo", "frequency_hz", "amplitude"], &spectrum_rows)?;
-    write_csv(&dir.join("fig3_time.csv"), &["combo", "time_s", "mx_over_ms"], &time_rows)?;
+    write_csv(
+        &dir.join("fig3_spectrum.csv"),
+        &["combo", "frequency_hz", "amplitude"],
+        &spectrum_rows,
+    )?;
+    write_csv(
+        &dir.join("fig3_time.csv"),
+        &["combo", "time_s", "mx_over_ms"],
+        &time_rows,
+    )?;
     println!("\nworst inter-channel isolation: {worst_isolation:.1} dB (paper: no visible off-channel peaks)");
-    println!("wrote {}/fig3_spectrum.csv and fig3_time.csv", dir.display());
-    println!("FIG3 {}", if all_pass { "PASS: all combinations decoded correctly on every channel" } else { "FAIL" });
+    println!(
+        "wrote {}/fig3_spectrum.csv and fig3_time.csv",
+        dir.display()
+    );
+    println!(
+        "FIG3 {}",
+        if all_pass {
+            "PASS: all combinations decoded correctly on every channel"
+        } else {
+            "FAIL"
+        }
+    );
     if !all_pass {
         std::process::exit(1);
     }

@@ -20,9 +20,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let m = gate.input_count();
     let freqs = gate.channel_plan().frequencies();
 
-    println!("FIG4: per-channel output traces of the {}-channel majority gate", n);
+    println!(
+        "FIG4: per-channel output traces of the {}-channel majority gate",
+        n
+    );
     let settings = if fast_mode() {
-        ValidationSettings { duration: Some(2.0e-9), ..ValidationSettings::default() }
+        ValidationSettings {
+            duration: Some(2.0e-9),
+            ..ValidationSettings::default()
+        }
     } else {
         ValidationSettings::default()
     };
@@ -39,14 +45,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         let words = combo_words(combo, m, n)?;
         let reading = validator.evaluate(&words)?;
         let expected = (combo.count_ones() as usize) * 2 > m;
-        for c in 0..n {
+        for (c, &freq) in freqs.iter().enumerate().take(n) {
             let decoded = reading.word.bit(c)?;
             let pass = decoded == expected;
             all_pass &= pass;
             println!(
                 "f{}={:>2}GHz {:<10} {:>12.4e} {:>12.3} {:>9} {:>9}{}",
                 c + 1,
-                (freqs[c] / 1e9).round() as u64,
+                (freq / 1e9).round() as u64,
                 format!("{combo:0m$b}"),
                 reading.amplitudes[c],
                 reading.phase_deltas[c],

@@ -10,7 +10,8 @@
 //!
 //! Usage: `cargo run --release -p magnon-bench --bin repro_scalability`
 
-use magnon_bench::{fmt_sci, results_dir, write_csv};
+use magnon_bench::{combo_operand_sets, fmt_sci, results_dir, write_csv};
+use magnon_core::backend::BackendChoice;
 use magnon_core::gate::ParallelGateBuilder;
 use magnon_core::scalability::scalability_sweep;
 use magnon_core::truth::LogicFunction;
@@ -27,8 +28,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("SCALE: channel-count sweep (3-input majority, 10 GHz start, 5 GHz spacing)");
     println!(
-        "\n{:>9} {:>10} {:>14} {:>18} {:>12}",
-        "channels", "span(nm)", "worst decay", "amplitude spread", "truth table"
+        "\n{:>9} {:>10} {:>14} {:>18} {:>12} {:>10}",
+        "channels", "span(nm)", "worst decay", "amplitude spread", "truth table", "backends"
     );
     let mut rows = Vec::new();
     let mut all_pass = true;
@@ -42,13 +43,24 @@ fn main() -> Result<(), Box<dyn Error>> {
             .build()?;
         let report = gate.verify_truth_table()?;
         all_pass &= report.all_passed();
+        // Every gate in the sweep must also decode identically through
+        // the cached (LUT) backend — one batch covers all combinations.
+        let sets = combo_operand_sets(3, p.channels)?;
+        let mut cached = gate.session(BackendChoice::Cached)?;
+        let batch = cached.evaluate_batch(&sets)?;
+        let mut backends_agree = true;
+        for (set, out) in sets.iter().zip(&batch) {
+            backends_agree &= out.word() == gate.evaluate(set.words())?.word();
+        }
+        all_pass &= backends_agree;
         println!(
-            "{:>9} {:>10.0} {:>14.4} {:>18.4} {:>12}",
+            "{:>9} {:>10.0} {:>14.4} {:>18.4} {:>12} {:>10}",
             p.channels,
             p.span * 1e9,
             p.worst_decay,
             p.amplitude_spread,
-            if report.all_passed() { "PASS" } else { "FAIL" }
+            if report.all_passed() { "PASS" } else { "FAIL" },
+            if backends_agree { "AGREE" } else { "DIVERGE" }
         );
         rows.push(vec![
             p.channels.to_string(),
@@ -56,6 +68,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             fmt_sci(p.worst_decay),
             fmt_sci(p.amplitude_spread),
             report.all_passed().to_string(),
+            backends_agree.to_string(),
         ]);
     }
 
@@ -68,7 +81,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dir = results_dir();
     write_csv(
         &dir.join("scalability.csv"),
-        &["channels", "span_m", "worst_decay", "amplitude_spread", "truth_table_pass"],
+        &[
+            "channels",
+            "span_m",
+            "worst_decay",
+            "amplitude_spread",
+            "truth_table_pass",
+            "backends_agree",
+        ],
         &rows,
     )?;
     println!("\nwrote {}/scalability.csv", dir.display());

@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cmp = model.compare(&gate)?;
 
     println!("TAB-AREA: 8-bit 3-input majority — implementation comparison");
-    println!("(paper: scalar 0.116 um^2, parallel 0.0279 um^2, ratio 4.16x, delay/energy parity)\n");
+    println!(
+        "(paper: scalar 0.116 um^2, parallel 0.0279 um^2, ratio 4.16x, delay/energy parity)\n"
+    );
     println!("{cmp}");
 
     let d = gate.layout().spacings();
@@ -59,7 +61,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dir = results_dir();
     write_csv(
         &dir.join("table_comparison.csv"),
-        &["implementation", "area_um2", "delay_ns", "energy_aj", "transducers"],
+        &[
+            "implementation",
+            "area_um2",
+            "delay_ns",
+            "energy_aj",
+            "transducers",
+        ],
         &rows,
     )?;
     println!("\nwrote {}/table_comparison.csv", dir.display());

@@ -24,10 +24,14 @@ use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let base = Waveguide::paper_default()?;
-    let widths_nm = [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0];
+    let widths_nm = [
+        50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0,
+    ];
     let micromag_widths = [50.0, 250.0, 500.0];
 
-    println!("WIDTH: waveguide width scaling, 50..500 nm (paper: gate keeps working, FMR decreases)");
+    println!(
+        "WIDTH: waveguide width scaling, 50..500 nm (paper: gate keeps working, FMR decreases)"
+    );
     println!(
         "\n{:>9} {:>8} {:>10} {:>12} {:>12} {:>14}",
         "width(nm)", "N_z", "FMR(GHz)", "lambda1(nm)", "truth table", "isolation(dB)"
@@ -87,7 +91,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dir = results_dir();
     write_csv(
         &dir.join("width_sweep.csv"),
-        &["width_nm", "nz", "fmr_hz", "lambda1_m", "truth_table_pass", "isolation_db"],
+        &[
+            "width_nm",
+            "nz",
+            "fmr_hz",
+            "lambda1_m",
+            "truth_table_pass",
+            "isolation_db",
+        ],
         &rows,
     )?;
     println!("\nwrote {}/width_sweep.csv", dir.display());
@@ -113,7 +124,10 @@ fn measure_isolation(guide: &Waveguide) -> Result<f64, Box<dyn Error>> {
         .inputs(3)
         .function(LogicFunction::Majority)
         .build()?;
-    let settings = ValidationSettings { duration: Some(2.5e-9), ..ValidationSettings::default() };
+    let settings = ValidationSettings {
+        duration: Some(2.5e-9),
+        ..ValidationSettings::default()
+    };
     let mut validator = MicromagValidator::with_settings(&gate, settings);
     let zeros = Word::zeros(2)?;
     let ones = Word::ones(2)?;

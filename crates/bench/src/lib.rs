@@ -16,6 +16,7 @@
 //! Run with `REPRO_FAST=1` to shrink the micromagnetic workloads (fewer
 //! channels, shorter runs) for smoke testing.
 
+use magnon_core::backend::OperandSet;
 use magnon_core::gate::{ParallelGate, ParallelGateBuilder};
 use magnon_core::truth::LogicFunction;
 use magnon_core::word::Word;
@@ -57,7 +58,9 @@ pub fn fast_majority_gate() -> Result<ParallelGate, GateError> {
 
 /// `true` when `REPRO_FAST` is set in the environment.
 pub fn fast_mode() -> bool {
-    std::env::var("REPRO_FAST").map(|v| v != "0").unwrap_or(false)
+    std::env::var("REPRO_FAST")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// The gate appropriate for the current mode.
@@ -111,12 +114,61 @@ pub fn batched_combo_words(input_count: usize, width: usize) -> Result<Vec<Word>
     Ok(words)
 }
 
+/// One [`OperandSet`] per input combination, each applying its
+/// combination identically on every channel — the batch covering a
+/// gate's full truth table, ready for
+/// [`magnon_core::backend::GateSession::evaluate_batch`].
+///
+/// # Errors
+///
+/// Propagates word construction errors.
+pub fn combo_operand_sets(input_count: usize, width: usize) -> Result<Vec<OperandSet>, GateError> {
+    (0..1usize << input_count)
+        .map(|combo| Ok(OperandSet::new(combo_words(combo, input_count, width)?)))
+        .collect()
+}
+
+/// Deterministic pseudo-random operand sets for throughput runs.
+///
+/// # Errors
+///
+/// Propagates word construction errors.
+pub fn random_operand_sets(
+    gate: &ParallelGate,
+    count: usize,
+) -> Result<Vec<OperandSet>, GateError> {
+    let n = gate.word_width();
+    let m = gate.input_count();
+    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    (0..count as u64)
+        .map(|i| {
+            let words = (0..m as u64)
+                .map(|j| {
+                    let bits = 0x9E37_79B9_7F4A_7C15u64
+                        .wrapping_mul(i + 1)
+                        .rotate_left(j as u32 * 11)
+                        & mask;
+                    Word::from_bits(bits, n)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(OperandSet::new(words))
+        })
+        .collect()
+}
+
 /// The `results/` directory (created on demand) next to the workspace
 /// root, or the current directory as a fallback.
 pub fn results_dir() -> PathBuf {
-    let candidates = [Path::new("results"), Path::new("../results"), Path::new("../../results")];
+    let candidates = [
+        Path::new("results"),
+        Path::new("../results"),
+        Path::new("../../results"),
+    ];
     for c in candidates {
-        if c.parent().map(|p| p.as_os_str().is_empty() || p.exists()).unwrap_or(true) {
+        if c.parent()
+            .map(|p| p.as_os_str().is_empty() || p.exists())
+            .unwrap_or(true)
+        {
             let _ = fs::create_dir_all(c);
             if c.exists() {
                 return c.to_path_buf();
@@ -131,11 +183,7 @@ pub fn results_dir() -> PathBuf {
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     let mut f = fs::File::create(path)?;
     writeln!(f, "{}", header.join(","))?;
     for row in rows {

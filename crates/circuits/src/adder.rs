@@ -74,7 +74,11 @@ impl RippleCarryAdder {
             carry = carry_out;
         }
         circuit.mark_output(carry)?;
-        Ok(RippleCarryAdder { circuit, bit_width, word_width })
+        Ok(RippleCarryAdder {
+            circuit,
+            bit_width,
+            word_width,
+        })
     }
 
     /// Adder bit width W.
@@ -100,14 +104,34 @@ impl RippleCarryAdder {
     ///
     /// Propagates operand validation from the netlist.
     pub fn add_words(&self, a_bits: &[Word], b_bits: &[Word]) -> Result<Vec<Word>, GateError> {
+        let inputs = self.gather_operands(a_bits, b_bits)?;
+        self.circuit.evaluate(&inputs)
+    }
+
+    /// [`RippleCarryAdder::add_words`] with every gate evaluated on a
+    /// physical spin-wave backend from `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Operand validation plus gate/backend errors from the bank.
+    pub fn add_words_with(
+        &self,
+        bank: &mut crate::netlist::GateBank,
+        a_bits: &[Word],
+        b_bits: &[Word],
+    ) -> Result<Vec<Word>, GateError> {
+        let inputs = self.gather_operands(a_bits, b_bits)?;
+        self.circuit.evaluate_with(bank, &inputs)
+    }
+
+    fn gather_operands(&self, a_bits: &[Word], b_bits: &[Word]) -> Result<Vec<Word>, GateError> {
         if a_bits.len() != self.bit_width || b_bits.len() != self.bit_width {
             return Err(GateError::InputCountMismatch {
                 expected: self.bit_width,
                 actual: a_bits.len().min(b_bits.len()),
             });
         }
-        let inputs: Vec<Word> = a_bits.iter().chain(b_bits.iter()).copied().collect();
-        self.circuit.evaluate(&inputs)
+        Ok(a_bits.iter().chain(b_bits.iter()).copied().collect())
     }
 
     /// Adds `n = word_width` pairs of numbers, transposing to channel
@@ -120,6 +144,34 @@ impl RippleCarryAdder {
     /// * [`GateError::InvalidParameter`] when an operand does not fit in
     ///   `bit_width` bits.
     pub fn add_many(&self, a: &[u64], b: &[u64]) -> Result<Vec<u64>, GateError> {
+        let (a_bits, b_bits) = self.transpose_operands(a, b)?;
+        let outputs = self.add_words(&a_bits, &b_bits)?;
+        Ok(transpose_from_words(&outputs, self.word_width))
+    }
+
+    /// [`RippleCarryAdder::add_many`] with every gate evaluated on a
+    /// physical spin-wave backend from `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RippleCarryAdder::add_many`], plus
+    /// gate/backend errors from the bank.
+    pub fn add_many_with(
+        &self,
+        bank: &mut crate::netlist::GateBank,
+        a: &[u64],
+        b: &[u64],
+    ) -> Result<Vec<u64>, GateError> {
+        let (a_bits, b_bits) = self.transpose_operands(a, b)?;
+        let outputs = self.add_words_with(bank, &a_bits, &b_bits)?;
+        Ok(transpose_from_words(&outputs, self.word_width))
+    }
+
+    fn transpose_operands(
+        &self,
+        a: &[u64],
+        b: &[u64],
+    ) -> Result<(Vec<Word>, Vec<Word>), GateError> {
         if a.len() != self.word_width || b.len() != self.word_width {
             return Err(GateError::InputCountMismatch {
                 expected: self.word_width,
@@ -135,10 +187,10 @@ impl RippleCarryAdder {
                 });
             }
         }
-        let a_bits = transpose_to_words(a, self.bit_width, self.word_width)?;
-        let b_bits = transpose_to_words(b, self.bit_width, self.word_width)?;
-        let outputs = self.add_words(&a_bits, &b_bits)?;
-        Ok(transpose_from_words(&outputs, self.word_width))
+        Ok((
+            transpose_to_words(a, self.bit_width, self.word_width)?,
+            transpose_to_words(b, self.bit_width, self.word_width)?,
+        ))
     }
 }
 
@@ -255,9 +307,7 @@ mod tests {
         let adder = RippleCarryAdder::new(4, 8).unwrap();
         assert!(adder.add_many(&[0; 7], &[0; 8]).is_err());
         // 16 does not fit in 4 bits.
-        assert!(adder
-            .add_many(&[16, 0, 0, 0, 0, 0, 0, 0], &[0; 8])
-            .is_err());
+        assert!(adder.add_many(&[16, 0, 0, 0, 0, 0, 0, 0], &[0; 8]).is_err());
         assert!(RippleCarryAdder::new(0, 8).is_err());
         assert!(RippleCarryAdder::new(64, 8).is_err());
     }
@@ -269,6 +319,28 @@ mod tests {
         assert_eq!(words.len(), 4);
         let back = transpose_from_words(&words, 8);
         assert_eq!(back, numbers.to_vec());
+    }
+
+    #[test]
+    fn physical_adder_matches_boolean_adder() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let adder = RippleCarryAdder::new(6, 8).unwrap();
+        let mut bank = crate::netlist::GateBank::new(
+            Waveguide::paper_default().unwrap(),
+            8,
+            BackendChoice::Cached,
+        );
+        let a = [63u64, 0, 17, 42, 5, 60, 33, 1];
+        let b = [1u64, 63, 8, 21, 58, 3, 30, 62];
+        let physical = adder.add_many_with(&mut bank, &a, &b).unwrap();
+        let boolean = adder.add_many(&a, &b).unwrap();
+        assert_eq!(physical, boolean);
+        for c in 0..8 {
+            assert_eq!(physical[c], a[c] + b[c], "channel {c}");
+        }
+        // 6 full adders x 3 gates each, all batched once per node.
+        assert!(bank.sets_evaluated() >= 18);
     }
 
     #[test]

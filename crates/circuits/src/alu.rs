@@ -178,24 +178,57 @@ impl Alu {
     /// * [`GateError::InputCountMismatch`] for wrong operand counts.
     /// * [`GateError::InvalidParameter`] for out-of-range operands.
     pub fn execute(&self, op: AluOp, a: &[u64], b: &[u64]) -> Result<Vec<u64>, GateError> {
+        self.execute_inner(op, a, b, None)
+    }
+
+    /// [`Alu::execute`] with every gate evaluated on a physical
+    /// spin-wave backend from `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Alu::execute`], plus gate/backend errors
+    /// from the bank.
+    pub fn execute_with(
+        &self,
+        bank: &mut crate::netlist::GateBank,
+        op: AluOp,
+        a: &[u64],
+        b: &[u64],
+    ) -> Result<Vec<u64>, GateError> {
+        self.execute_inner(op, a, b, Some(bank))
+    }
+
+    fn execute_inner(
+        &self,
+        op: AluOp,
+        a: &[u64],
+        b: &[u64],
+        mut bank: Option<&mut crate::netlist::GateBank>,
+    ) -> Result<Vec<u64>, GateError> {
         self.check_operands(a, b)?;
         let a_words = transpose_to_words(a, self.bit_width, self.word_width)?;
         let b_words = transpose_to_words(b, self.bit_width, self.word_width)?;
         let inputs: Vec<Word> = a_words.iter().chain(b_words.iter()).copied().collect();
+        let mut run = |circuit: &Circuit| -> Result<Vec<Word>, GateError> {
+            match bank.as_deref_mut() {
+                Some(bank) => circuit.evaluate_with(bank, &inputs),
+                None => circuit.evaluate(&inputs),
+            }
+        };
         let mask = (1u64 << self.bit_width) - 1;
         match op {
             AluOp::Add => {
-                let out = self.add_circuit.evaluate(&inputs)?;
+                let out = run(&self.add_circuit)?;
                 Ok(transpose_from_words(&out, self.word_width))
             }
             AluOp::Sub => {
-                let out = self.sub_circuit.evaluate(&inputs)?;
+                let out = run(&self.sub_circuit)?;
                 // Drop the final carry (borrow-free flag), truncate.
                 let sums = transpose_from_words(&out[..self.bit_width], self.word_width);
                 Ok(sums.into_iter().map(|v| v & mask).collect())
             }
             AluOp::And | AluOp::Or | AluOp::Xor => {
-                let out = self.logic_circuit.evaluate(&inputs)?;
+                let out = run(&self.logic_circuit)?;
                 let offset = match op {
                     AluOp::And => 0,
                     AluOp::Or => self.bit_width,
@@ -281,6 +314,25 @@ mod tests {
         assert_eq!(add_counts.not, 0);
         assert_eq!(sub_counts.not, 8);
         assert_eq!(add_counts.transducers(), sub_counts.transducers());
+    }
+
+    #[test]
+    fn physical_alu_matches_boolean_alu() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let alu = Alu::new(4, 8).unwrap();
+        let mut bank = crate::netlist::GateBank::new(
+            Waveguide::paper_default().unwrap(),
+            8,
+            BackendChoice::Cached,
+        );
+        let a = [7u64, 0, 15, 4, 9, 12, 3, 1];
+        let b = [1u64, 15, 15, 11, 6, 2, 3, 14];
+        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor] {
+            let physical = alu.execute_with(&mut bank, op, &a, &b).unwrap();
+            let boolean = alu.execute(op, &a, &b).unwrap();
+            assert_eq!(physical, boolean, "{op:?}");
+        }
     }
 
     #[test]

@@ -89,8 +89,16 @@ pub fn estimate_circuit(
             .build()
     };
 
-    let mut parallel = CircuitCost { area: 0.0, energy: 0.0, transducers: 0 };
-    let mut scalar = CircuitCost { area: 0.0, energy: 0.0, transducers: 0 };
+    let mut parallel = CircuitCost {
+        area: 0.0,
+        energy: 0.0,
+        transducers: 0,
+    };
+    let mut scalar = CircuitCost {
+        area: 0.0,
+        energy: 0.0,
+        transducers: 0,
+    };
 
     if counts.maj3 > 0 {
         let gate = build(LogicFunction::Majority, 3)?;
@@ -113,7 +121,11 @@ pub fn estimate_circuit(
         scalar.transducers += counts.xor2 * cmp.scalar.transducers;
     }
 
-    Ok(CircuitComparison { word_width: n, parallel, scalar })
+    Ok(CircuitComparison {
+        word_width: n,
+        parallel,
+        scalar,
+    })
 }
 
 #[cfg(test)]

@@ -9,7 +9,11 @@
 //! payoff of the paper's Fig. 1.
 //!
 //! * [`netlist`] — a small word-level netlist with topological
-//!   evaluation,
+//!   evaluation; its [`netlist::GateBank`] routes every MAJ/XOR node
+//!   through a physical spin-wave gate on any
+//!   [`magnon_core::backend::SpinWaveBackend`] (analytic, cached LUT,
+//!   or full LLG), switchable with one
+//!   [`magnon_core::backend::BackendChoice`] argument,
 //! * [`adder`] — full adders and ripple-carry adders (MAJ for carry,
 //!   XOR for sum, exactly the magnonic-logic textbook construction),
 //! * [`parity`] — XOR reduction trees,

@@ -1,7 +1,22 @@
 //! Word-level netlists of data-parallel gates.
+//!
+//! Circuits evaluate on two levels:
+//!
+//! * [`Circuit::evaluate`] — the boolean reference semantics (bitwise
+//!   MAJ/XOR), used as the specification;
+//! * [`Circuit::evaluate_with`] / [`Circuit::evaluate_batch_with`] —
+//!   every MAJ/XOR node routed through a *physical* data-parallel
+//!   spin-wave gate via a [`GateBank`]. The bank holds one
+//!   [`GateSession`] per gate shape, so switching a whole circuit from
+//!   analytic to cached to micromagnetic evaluation is the one-line
+//!   change of its [`BackendChoice`].
 
+use magnon_core::backend::{BackendChoice, GateSession, OperandSet};
+use magnon_core::gate::ParallelGateBuilder;
+use magnon_core::truth::LogicFunction;
 use magnon_core::word::Word;
 use magnon_core::GateError;
+use magnon_physics::waveguide::Waveguide;
 
 /// Handle to a node in a [`Circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,6 +54,175 @@ impl GateCounts {
     /// `3` per XOR-2; inversions reuse their gate's detector.
     pub fn transducers(&self) -> usize {
         4 * self.maj3 + 3 * self.xor2
+    }
+}
+
+/// Physical gate sessions backing a circuit's node types.
+///
+/// Each distinct gate shape (3-input majority, 2-input XOR) is built
+/// lazily as one data-parallel [`magnon_core::gate::ParallelGate`] and
+/// wrapped in a [`GateSession`] on the bank's backend. Inversions stay
+/// free (inverted readout), constants and inputs pass through.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_circuits::netlist::{Circuit, GateBank};
+/// use magnon_core::backend::BackendChoice;
+/// use magnon_core::word::Word;
+/// use magnon_physics::waveguide::Waveguide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new(8)?;
+/// let a = c.input();
+/// let b = c.input();
+/// let x = c.xor2(a, b)?;
+/// c.mark_output(x)?;
+///
+/// // The one line that selects the evaluation engine:
+/// let mut bank = GateBank::new(Waveguide::paper_default()?, 8, BackendChoice::Cached);
+/// let out = c.evaluate_with(&mut bank, &[Word::from_u8(0xF0), Word::from_u8(0xAA)])?;
+/// assert_eq!(out[0].to_u8(), 0x5A);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GateBank {
+    waveguide: Waveguide,
+    width: usize,
+    choice: BackendChoice,
+    maj3: Option<GateSession>,
+    xor2: Option<GateSession>,
+}
+
+impl GateBank {
+    /// Creates a bank of `width`-channel gates on `waveguide`,
+    /// evaluating through `choice`'s backend.
+    ///
+    /// Gates use the paper's default frequency plan (10 GHz base) with
+    /// the channel spacing packed automatically for widths beyond 8;
+    /// build [`GateBank::with_sessions`] for full control.
+    pub fn new(waveguide: Waveguide, width: usize, choice: BackendChoice) -> Self {
+        GateBank {
+            waveguide,
+            width,
+            choice,
+            maj3: None,
+            xor2: None,
+        }
+    }
+
+    /// Assembles a bank from pre-built sessions (custom frequency plans,
+    /// layouts or backends). Either session may be omitted if the
+    /// circuit never uses that gate shape; a slot the circuit *does*
+    /// reach but was not provided is built lazily on `choice`'s
+    /// backend, like [`GateBank::new`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::WordWidthMismatch`] when the sessions'
+    /// word widths disagree, and [`GateError::UnsupportedFunction`]
+    /// when a session's gate computes the wrong function or operand
+    /// count for its slot.
+    pub fn with_sessions(
+        waveguide: Waveguide,
+        choice: BackendChoice,
+        maj3: Option<GateSession>,
+        xor2: Option<GateSession>,
+    ) -> Result<Self, GateError> {
+        let widths: Vec<usize> = maj3
+            .iter()
+            .chain(xor2.iter())
+            .map(|s| s.gate().word_width())
+            .collect();
+        let Some(&width) = widths.first() else {
+            return Err(GateError::UnsupportedFunction {
+                reason: "a gate bank needs at least one session",
+            });
+        };
+        if widths.iter().any(|&w| w != width) {
+            return Err(GateError::WordWidthMismatch {
+                expected: width,
+                actual: widths[1],
+            });
+        }
+        if let Some(s) = &maj3 {
+            if s.gate().function() != LogicFunction::Majority || s.gate().input_count() != 3 {
+                return Err(GateError::UnsupportedFunction {
+                    reason: "maj3 slot requires a 3-input majority gate",
+                });
+            }
+        }
+        if let Some(s) = &xor2 {
+            if s.gate().function() != LogicFunction::Xor || s.gate().input_count() != 2 {
+                return Err(GateError::UnsupportedFunction {
+                    reason: "xor2 slot requires a 2-input XOR gate",
+                });
+            }
+        }
+        Ok(GateBank {
+            waveguide,
+            width,
+            choice,
+            maj3,
+            xor2,
+        })
+    }
+
+    /// Word width of every gate in the bank.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The backend lazily-built gates will use.
+    pub fn backend_choice(&self) -> BackendChoice {
+        self.choice
+    }
+
+    /// Total operand sets evaluated across both sessions.
+    pub fn sets_evaluated(&self) -> u64 {
+        self.maj3
+            .iter()
+            .chain(self.xor2.iter())
+            .map(GateSession::sets_evaluated)
+            .sum()
+    }
+
+    /// Channel spacing that keeps `width` channels inside the paper's
+    /// 10–80 GHz style window.
+    fn frequency_step(width: usize) -> f64 {
+        let ghz = 1.0e9;
+        match width {
+            0..=8 => 10.0 * ghz,
+            9..=16 => 5.0 * ghz,
+            _ => 2.5 * ghz,
+        }
+    }
+
+    fn maj3_session(&mut self) -> Result<&mut GateSession, GateError> {
+        if self.maj3.is_none() {
+            let gate = ParallelGateBuilder::new(self.waveguide)
+                .channels(self.width)
+                .inputs(3)
+                .function(LogicFunction::Majority)
+                .frequency_step(Self::frequency_step(self.width))
+                .build()?;
+            self.maj3 = Some(GateSession::new(gate, self.choice)?);
+        }
+        Ok(self.maj3.as_mut().expect("just built"))
+    }
+
+    fn xor2_session(&mut self) -> Result<&mut GateSession, GateError> {
+        if self.xor2.is_none() {
+            let gate = ParallelGateBuilder::new(self.waveguide)
+                .channels(self.width)
+                .inputs(2)
+                .function(LogicFunction::Xor)
+                .frequency_step(Self::frequency_step(self.width))
+                .build()?;
+            self.xor2 = Some(GateSession::new(gate, self.choice)?);
+        }
+        Ok(self.xor2.as_mut().expect("just built"))
     }
 }
 
@@ -81,7 +265,12 @@ impl Circuit {
     /// `1..=64`.
     pub fn new(width: usize) -> Result<Self, GateError> {
         Word::zeros(width)?; // reuse word-width validation
-        Ok(Circuit { width, nodes: Vec::new(), input_count: 0, outputs: Vec::new() })
+        Ok(Circuit {
+            width,
+            nodes: Vec::new(),
+            input_count: 0,
+            outputs: Vec::new(),
+        })
     }
 
     /// Word width carried by every wire.
@@ -127,7 +316,10 @@ impl Circuit {
 
     fn check(&self, id: NodeId) -> Result<(), GateError> {
         if id.0 >= self.nodes.len() {
-            return Err(GateError::InvalidParameter { parameter: "node_id", value: id.0 as f64 });
+            return Err(GateError::InvalidParameter {
+                parameter: "node_id",
+                value: id.0 as f64,
+            });
         }
         Ok(())
     }
@@ -218,14 +410,7 @@ impl Circuit {
         counts
     }
 
-    /// Evaluates the circuit on `input_count` words, returning one word
-    /// per marked output.
-    ///
-    /// # Errors
-    ///
-    /// * [`GateError::InputCountMismatch`] for the wrong operand count.
-    /// * [`GateError::WordWidthMismatch`] for mis-sized operands.
-    pub fn evaluate(&self, inputs: &[Word]) -> Result<Vec<Word>, GateError> {
+    fn check_inputs(&self, inputs: &[Word]) -> Result<(), GateError> {
         if inputs.len() != self.input_count {
             return Err(GateError::InputCountMismatch {
                 expected: self.input_count,
@@ -240,6 +425,18 @@ impl Circuit {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Evaluates the circuit on `input_count` words, returning one word
+    /// per marked output — the boolean reference semantics.
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InputCountMismatch`] for the wrong operand count.
+    /// * [`GateError::WordWidthMismatch`] for mis-sized operands.
+    pub fn evaluate(&self, inputs: &[Word]) -> Result<Vec<Word>, GateError> {
+        self.check_inputs(inputs)?;
         let mut values: Vec<Word> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let v = match *node {
@@ -260,6 +457,114 @@ impl Circuit {
             values.push(v);
         }
         Ok(self.outputs.iter().map(|id| values[id.0]).collect())
+    }
+
+    /// Evaluates the circuit in the boolean reference semantics for
+    /// many operand sets, returning one output vector per set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::evaluate`], per set.
+    pub fn evaluate_batch(&self, sets: &[Vec<Word>]) -> Result<Vec<Vec<Word>>, GateError> {
+        sets.iter().map(|set| self.evaluate(set)).collect()
+    }
+
+    /// Evaluates the circuit with every MAJ/XOR node routed through a
+    /// physical spin-wave gate from `bank`.
+    ///
+    /// # Errors
+    ///
+    /// * Operand shape errors as in [`Circuit::evaluate`].
+    /// * Gate-construction and backend errors from the bank.
+    pub fn evaluate_with(
+        &self,
+        bank: &mut GateBank,
+        inputs: &[Word],
+    ) -> Result<Vec<Word>, GateError> {
+        let sets = [inputs.to_vec()];
+        let mut outputs = self.evaluate_batch_with(bank, &sets)?;
+        Ok(outputs.pop().expect("one set in, one set out"))
+    }
+
+    /// Evaluates many operand sets through `bank`'s physical gates.
+    ///
+    /// The walk is node-major: each MAJ/XOR node sends *all* sets to its
+    /// gate session as one [`SpinWaveBackend::evaluate_batch`] call, so
+    /// the per-node gate work is batched exactly where the paper's data
+    /// parallelism lives.
+    ///
+    /// [`SpinWaveBackend::evaluate_batch`]:
+    ///     magnon_core::backend::SpinWaveBackend::evaluate_batch
+    ///
+    /// # Errors
+    ///
+    /// * Operand shape errors as in [`Circuit::evaluate`], per set.
+    /// * [`GateError::WordWidthMismatch`] when the bank's gates carry a
+    ///   different word width than the circuit.
+    /// * Gate-construction and backend errors from the bank.
+    pub fn evaluate_batch_with(
+        &self,
+        bank: &mut GateBank,
+        sets: &[Vec<Word>],
+    ) -> Result<Vec<Vec<Word>>, GateError> {
+        if bank.width() != self.width {
+            return Err(GateError::WordWidthMismatch {
+                expected: self.width,
+                actual: bank.width(),
+            });
+        }
+        for set in sets {
+            self.check_inputs(set)?;
+        }
+        // values[set][node] — grown one node (for every set) at a time.
+        let mut values: Vec<Vec<Word>> = vec![Vec::with_capacity(self.nodes.len()); sets.len()];
+        let mut batch: Vec<OperandSet> = Vec::with_capacity(sets.len());
+        for node in &self.nodes {
+            match *node {
+                Node::Input(k) => {
+                    for (per_set, set) in values.iter_mut().zip(sets) {
+                        per_set.push(set[k]);
+                    }
+                }
+                Node::Constant(w) => {
+                    for per_set in &mut values {
+                        per_set.push(w);
+                    }
+                }
+                Node::Not(a) => {
+                    for per_set in &mut values {
+                        let v = per_set[a.0].not();
+                        per_set.push(v);
+                    }
+                }
+                Node::Maj3(a, b, c) => {
+                    batch.clear();
+                    batch.extend(values.iter().map(|per_set| {
+                        OperandSet::new(vec![per_set[a.0], per_set[b.0], per_set[c.0]])
+                    }));
+                    let outs = bank.maj3_session()?.evaluate_batch(&batch)?;
+                    for (per_set, out) in values.iter_mut().zip(outs) {
+                        per_set.push(out.word());
+                    }
+                }
+                Node::Xor2(a, b) => {
+                    batch.clear();
+                    batch.extend(
+                        values
+                            .iter()
+                            .map(|per_set| OperandSet::new(vec![per_set[a.0], per_set[b.0]])),
+                    );
+                    let outs = bank.xor2_session()?.evaluate_batch(&batch)?;
+                    for (per_set, out) in values.iter_mut().zip(outs) {
+                        per_set.push(out.word());
+                    }
+                }
+            }
+        }
+        Ok(values
+            .into_iter()
+            .map(|per_set| self.outputs.iter().map(|id| per_set[id.0]).collect())
+            .collect())
     }
 }
 
@@ -283,7 +588,11 @@ mod tests {
         let m = c.maj3(a, b, d).unwrap();
         c.mark_output(m).unwrap();
         let out = c
-            .evaluate(&[Word::from_u8(0x0F), Word::from_u8(0x33), Word::from_u8(0x55)])
+            .evaluate(&[
+                Word::from_u8(0x0F),
+                Word::from_u8(0x33),
+                Word::from_u8(0x55),
+            ])
             .unwrap();
         assert_eq!(out[0].to_u8(), 0x17);
     }
@@ -357,6 +666,141 @@ mod tests {
             Err(GateError::WordWidthMismatch { .. })
         ));
         assert!(c.constant(narrow).is_err());
+    }
+
+    fn full_adder_circuit() -> Circuit {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let cin = c.input();
+        let axb = c.xor2(a, b).unwrap();
+        let sum = c.xor2(axb, cin).unwrap();
+        let carry = c.maj3(a, b, cin).unwrap();
+        c.mark_output(sum).unwrap();
+        c.mark_output(carry).unwrap();
+        c
+    }
+
+    fn sample_sets(count: usize) -> Vec<Vec<Word>> {
+        (0..count as u64)
+            .map(|i| {
+                let seed = 0x9E37u64.wrapping_mul(i + 1);
+                vec![
+                    Word::from_u8(seed as u8),
+                    Word::from_u8((seed >> 8) as u8),
+                    Word::from_u8((seed >> 16) as u8),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn physical_gates_match_boolean_semantics() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let circuit = full_adder_circuit();
+        let guide = Waveguide::paper_default().unwrap();
+        let sets = sample_sets(6);
+        let reference = circuit.evaluate_batch(&sets).unwrap();
+        for choice in [BackendChoice::Analytic, BackendChoice::Cached] {
+            let mut bank = GateBank::new(guide, 8, choice);
+            let physical = circuit.evaluate_batch_with(&mut bank, &sets).unwrap();
+            assert_eq!(physical, reference, "backend {choice:?}");
+            assert!(bank.sets_evaluated() >= 3 * sets.len() as u64);
+        }
+    }
+
+    #[test]
+    fn evaluate_with_single_set_matches_batch() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let circuit = full_adder_circuit();
+        let mut bank = GateBank::new(
+            Waveguide::paper_default().unwrap(),
+            8,
+            BackendChoice::Cached,
+        );
+        let set = sample_sets(1).pop().unwrap();
+        let single = circuit.evaluate_with(&mut bank, &set).unwrap();
+        assert_eq!(single, circuit.evaluate(&set).unwrap());
+    }
+
+    #[test]
+    fn bank_rejects_width_mismatch_and_bad_sessions() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let circuit = full_adder_circuit();
+        let guide = Waveguide::paper_default().unwrap();
+        let mut bank = GateBank::new(guide, 4, BackendChoice::Analytic);
+        assert!(matches!(
+            circuit.evaluate_with(&mut bank, &sample_sets(1)[0]),
+            Err(GateError::WordWidthMismatch { .. })
+        ));
+        assert!(GateBank::with_sessions(guide, BackendChoice::Analytic, None, None).is_err());
+    }
+
+    #[test]
+    fn with_sessions_lazily_fills_missing_slots_on_the_given_choice() {
+        use magnon_core::backend::{BackendChoice, GateSession};
+        use magnon_core::gate::ParallelGateBuilder;
+        use magnon_physics::waveguide::Waveguide;
+        let guide = Waveguide::paper_default().unwrap();
+        let maj_gate = ParallelGateBuilder::new(guide)
+            .channels(8)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap();
+        let maj3 = GateSession::new(maj_gate, BackendChoice::Cached).unwrap();
+        // No XOR session provided: the full adder forces a lazy build,
+        // which must use the bank's choice, not a silent default.
+        let mut bank =
+            GateBank::with_sessions(guide, BackendChoice::Cached, Some(maj3), None).unwrap();
+        assert_eq!(bank.backend_choice(), BackendChoice::Cached);
+        let circuit = full_adder_circuit();
+        let set = sample_sets(1).pop().unwrap();
+        let physical = circuit.evaluate_with(&mut bank, &set).unwrap();
+        assert_eq!(physical, circuit.evaluate(&set).unwrap());
+        // A wrong-shape XOR slot is rejected up front.
+        let bad_xor = GateSession::new(
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(3)
+                .function(LogicFunction::Majority)
+                .build()
+                .unwrap(),
+            BackendChoice::Analytic,
+        )
+        .unwrap();
+        assert!(matches!(
+            GateBank::with_sessions(guide, BackendChoice::Analytic, None, Some(bad_xor)),
+            Err(GateError::UnsupportedFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn free_inversion_composes_with_physical_gates() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let d = c.input();
+        let m = c.maj3(a, b, d).unwrap();
+        let n = c.not(m).unwrap();
+        c.mark_output(n).unwrap();
+        let mut bank = GateBank::new(
+            Waveguide::paper_default().unwrap(),
+            8,
+            BackendChoice::Analytic,
+        );
+        let inputs = vec![
+            Word::from_u8(0x0F),
+            Word::from_u8(0x33),
+            Word::from_u8(0x55),
+        ];
+        let out = c.evaluate_with(&mut bank, &inputs).unwrap();
+        assert_eq!(out[0].to_u8(), !0x17u8);
     }
 
     #[test]

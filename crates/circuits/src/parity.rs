@@ -12,7 +12,10 @@ use magnon_core::GateError;
 /// propagates netlist errors.
 pub fn xor_tree(circuit: &mut Circuit, leaves: &[NodeId]) -> Result<NodeId, GateError> {
     if leaves.is_empty() {
-        return Err(GateError::InvalidParameter { parameter: "leaves", value: 0.0 });
+        return Err(GateError::InvalidParameter {
+            parameter: "leaves",
+            value: 0.0,
+        });
     }
     let mut layer: Vec<NodeId> = leaves.to_vec();
     while layer.len() > 1 {
@@ -64,13 +67,19 @@ impl ParityTree {
     /// Returns [`GateError::InvalidParameter`] for zero leaves.
     pub fn new(leaf_count: usize, word_width: usize) -> Result<Self, GateError> {
         if leaf_count == 0 {
-            return Err(GateError::InvalidParameter { parameter: "leaf_count", value: 0.0 });
+            return Err(GateError::InvalidParameter {
+                parameter: "leaf_count",
+                value: 0.0,
+            });
         }
         let mut circuit = Circuit::new(word_width)?;
         let leaves: Vec<NodeId> = (0..leaf_count).map(|_| circuit.input()).collect();
         let root = xor_tree(&mut circuit, &leaves)?;
         circuit.mark_output(root)?;
-        Ok(ParityTree { circuit, leaf_count })
+        Ok(ParityTree {
+            circuit,
+            leaf_count,
+        })
     }
 
     /// Number of inputs.
@@ -88,8 +97,25 @@ impl ParityTree {
     /// # Errors
     ///
     /// Propagates operand validation from the netlist.
-    pub fn evaluate(&self, inputs: &[magnon_core::word::Word]) -> Result<magnon_core::word::Word, GateError> {
+    pub fn evaluate(
+        &self,
+        inputs: &[magnon_core::word::Word],
+    ) -> Result<magnon_core::word::Word, GateError> {
         Ok(self.circuit.evaluate(inputs)?[0])
+    }
+
+    /// [`ParityTree::evaluate`] with every XOR evaluated on a physical
+    /// spin-wave backend from `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Operand validation plus gate/backend errors from the bank.
+    pub fn evaluate_with(
+        &self,
+        bank: &mut crate::netlist::GateBank,
+        inputs: &[magnon_core::word::Word],
+    ) -> Result<magnon_core::word::Word, GateError> {
+        Ok(self.circuit.evaluate_with(bank, inputs)?[0])
     }
 }
 
@@ -121,6 +147,23 @@ mod tests {
             let p = ParityTree::new(k, 4).unwrap();
             assert_eq!(p.circuit().gate_counts().xor2, k - 1, "k = {k}");
         }
+    }
+
+    #[test]
+    fn physical_parity_matches_boolean_parity() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let p = ParityTree::new(4, 8).unwrap();
+        let mut bank = crate::netlist::GateBank::new(
+            Waveguide::paper_default().unwrap(),
+            8,
+            BackendChoice::Analytic,
+        );
+        let ws = [0xF0u8, 0xCC, 0xAA, 0x01];
+        let words: Vec<Word> = ws.iter().map(|&b| Word::from_u8(b)).collect();
+        let physical = p.evaluate_with(&mut bank, &words).unwrap();
+        assert_eq!(physical, p.evaluate(&words).unwrap());
+        assert_eq!(physical.to_u8(), ws.iter().fold(0u8, |acc, &b| acc ^ b));
     }
 
     #[test]

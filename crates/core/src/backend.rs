@@ -1,0 +1,631 @@
+//! Pluggable evaluation backends and the batched session API.
+//!
+//! The paper's core claim is data parallelism: one waveguide evaluates
+//! `n` logic results per pass. This module extends that parallelism
+//! across *operand sets* and across *evaluation engines*:
+//!
+//! * [`SpinWaveBackend`] — the evaluation contract. A backend is bound
+//!   to one [`ParallelGate`] and turns operand words into a
+//!   [`GateOutput`], one set at a time or in batches.
+//! * [`AnalyticBackend`] — the wave-superposition engine
+//!   ([`crate::engine`]), with rayon data-parallelism across the sets
+//!   of a batch.
+//! * [`CachedBackend`] — a precompiled truth-table backend: per-channel
+//!   decode results are memoized keyed on the channel's input bits, so
+//!   hot-path serving of repeated combinations is a table lookup.
+//! * [`MicromagBackend`] — adapts
+//!   [`crate::micromag_bridge::MicromagValidator`] so full LLG
+//!   validation runs through the *same* interface (the calibration run
+//!   is cached across the whole session).
+//! * [`GateSession`] — owns one backend and precomputes everything an
+//!   evaluation needs exactly once; [`GateSession::evaluate_batch`]
+//!   then streams any number of [`OperandSet`]s through it.
+//!
+//! Pick a backend with [`BackendChoice`]; switching a whole circuit
+//! from analytic to cached to micromagnetic evaluation is a one-line
+//! change (see `magnon_circuits::netlist`).
+
+use crate::engine::ChannelReadout;
+use crate::error::GateError;
+use crate::gate::{GateOutput, ParallelGate};
+use crate::micromag_bridge::{MicromagValidator, ValidationSettings};
+use crate::word::Word;
+use rayon::prelude::*;
+
+/// One gate invocation's operand words (`m` words of width `n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandSet {
+    words: Vec<Word>,
+}
+
+impl OperandSet {
+    /// Wraps `words` as one operand set.
+    pub fn new(words: Vec<Word>) -> Self {
+        OperandSet { words }
+    }
+
+    /// The operand words.
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Unwraps into the operand words.
+    pub fn into_words(self) -> Vec<Word> {
+        self.words
+    }
+}
+
+impl From<Vec<Word>> for OperandSet {
+    fn from(words: Vec<Word>) -> Self {
+        OperandSet::new(words)
+    }
+}
+
+impl From<&[Word]> for OperandSet {
+    fn from(words: &[Word]) -> Self {
+        OperandSet::new(words.to_vec())
+    }
+}
+
+/// The evaluation contract every engine implements.
+///
+/// A backend is constructed around one gate; `evaluate` answers a
+/// single operand set, `evaluate_batch` any number of them. The default
+/// batch implementation maps `evaluate` — backends override it when
+/// they can do better (the analytic backend parallelises across sets,
+/// the cached backend serves from its LUT).
+pub trait SpinWaveBackend {
+    /// Stable identifier for reports and logs.
+    fn name(&self) -> &'static str;
+
+    /// The gate this backend evaluates.
+    fn gate(&self) -> &ParallelGate;
+
+    /// Evaluates one operand set.
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InputCountMismatch`] /
+    ///   [`GateError::WordWidthMismatch`] for malformed operands.
+    /// * Backend-specific failures (e.g. simulation errors).
+    fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError>;
+
+    /// Evaluates many operand sets, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWaveBackend::evaluate`]; the first
+    /// failing set aborts the batch.
+    fn evaluate_batch(&mut self, sets: &[OperandSet]) -> Result<Vec<GateOutput>, GateError> {
+        sets.iter().map(|set| self.evaluate(set.words())).collect()
+    }
+}
+
+/// Selects and constructs a backend; [`Default`] is the analytic
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BackendChoice {
+    /// Complex wave superposition (exact analytic model).
+    #[default]
+    Analytic,
+    /// Precompiled/memoized truth-table lookups on top of the analytic
+    /// engine.
+    Cached,
+    /// Full LLG micromagnetic simulation with the given settings.
+    Micromag(ValidationSettings),
+}
+
+impl BackendChoice {
+    /// Instantiates the chosen backend around `gate`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures
+    /// ([`CachedBackend::new`]'s input-count cap).
+    pub fn instantiate(self, gate: ParallelGate) -> Result<Box<dyn SpinWaveBackend>, GateError> {
+        Ok(match self {
+            BackendChoice::Analytic => Box::new(AnalyticBackend::new(gate)),
+            BackendChoice::Cached => Box::new(CachedBackend::new(gate)?),
+            BackendChoice::Micromag(settings) => {
+                Box::new(MicromagBackend::with_settings(gate, settings))
+            }
+        })
+    }
+}
+
+/// The analytic wave-superposition engine as a backend.
+///
+/// All geometry, damping and drive amplitudes were folded into the
+/// gate's compiled prep at build time; a batch fans operand sets out
+/// across rayon workers.
+#[derive(Debug, Clone)]
+pub struct AnalyticBackend {
+    gate: ParallelGate,
+}
+
+impl AnalyticBackend {
+    /// Wraps `gate` in the analytic engine.
+    pub fn new(gate: ParallelGate) -> Self {
+        AnalyticBackend { gate }
+    }
+}
+
+impl SpinWaveBackend for AnalyticBackend {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn gate(&self) -> &ParallelGate {
+        &self.gate
+    }
+
+    fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
+        self.gate.evaluate(inputs)
+    }
+
+    fn evaluate_batch(&mut self, sets: &[OperandSet]) -> Result<Vec<GateOutput>, GateError> {
+        // Validate the whole batch up front so workers run the pure
+        // hot path.
+        for set in sets {
+            self.gate.check_inputs(set.words())?;
+        }
+        let prep = self.gate.prep();
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        if workers > 1 && sets.len() > 1 {
+            return sets
+                .par_iter()
+                .map(|set| {
+                    let (word, readouts) = prep.evaluate_set(set.words())?;
+                    Ok(GateOutput::new(word, readouts))
+                })
+                .collect();
+        }
+        // Single worker: a direct loop skips the fan-out/collect
+        // machinery, which benches ~25% slower than this loop on a
+        // 1-core host (see benches/batch_throughput.rs).
+        let mut outputs = Vec::with_capacity(sets.len());
+        for set in sets {
+            let (word, readouts) = prep.evaluate_set(set.words())?;
+            outputs.push(GateOutput::new(word, readouts));
+        }
+        Ok(outputs)
+    }
+}
+
+/// Upper bound on the operand count a LUT backend will precompile
+/// (`2^m` entries per channel).
+const MAX_LUT_INPUTS: usize = 16;
+
+/// A precompiled truth-table backend.
+///
+/// Each channel's decode depends only on the `m` input bits it carries,
+/// so there are just `2^m` distinct readouts per channel. They are
+/// memoized on first use — or all at once via
+/// [`CachedBackend::precompile`] — after which evaluation is a pure
+/// table lookup per channel.
+#[derive(Debug, Clone)]
+pub struct CachedBackend {
+    gate: ParallelGate,
+    /// `lut[channel][combo]` — memoized readout for that input
+    /// combination.
+    lut: Vec<Vec<Option<ChannelReadout>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachedBackend {
+    /// Wraps `gate` in a LUT backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::UnsupportedFunction`] when the gate has more
+    /// than 16 inputs (the LUT would need `2^m` entries per channel).
+    pub fn new(gate: ParallelGate) -> Result<Self, GateError> {
+        if gate.input_count() > MAX_LUT_INPUTS {
+            return Err(GateError::UnsupportedFunction {
+                reason: "cached backend supports at most 16 inputs (2^m LUT entries per channel)",
+            });
+        }
+        // Rows are allocated lazily on first touch: construction stays
+        // O(n) even at the 2^16-combination cap.
+        let lut = vec![Vec::new(); gate.word_width()];
+        Ok(CachedBackend {
+            gate,
+            lut,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Fills the whole LUT eagerly (`n · 2^m` channel evaluations), so
+    /// serving never computes again.
+    pub fn precompile(&mut self) {
+        let combos = 1usize << self.gate.input_count();
+        for c in 0..self.gate.word_width() {
+            let row = &mut self.lut[c];
+            if row.is_empty() {
+                row.resize(combos, None);
+            }
+            for (combo, entry) in row.iter_mut().enumerate() {
+                if entry.is_none() {
+                    *entry = Some(self.gate.prep().channel_readout(c, combo));
+                    self.misses += 1;
+                }
+            }
+        }
+    }
+
+    /// LUT lookups answered from memory so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// LUT entries computed so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn channel_readout(&mut self, channel: usize, combo: usize) -> ChannelReadout {
+        let row = &mut self.lut[channel];
+        if row.is_empty() {
+            row.resize(1usize << self.gate.prep().input_count(), None);
+        }
+        if let Some(readout) = self.lut[channel][combo] {
+            self.hits += 1;
+            return readout;
+        }
+        let readout = self.gate.prep().channel_readout(channel, combo);
+        self.lut[channel][combo] = Some(readout);
+        self.misses += 1;
+        readout
+    }
+
+    fn evaluate_prepared(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
+        let n = self.gate.word_width();
+        let mut word = Word::zeros(n)?;
+        let mut readouts = Vec::with_capacity(n);
+        for c in 0..n {
+            let combo = crate::engine::EnginePrep::channel_combo(inputs, c)?;
+            let readout = self.channel_readout(c, combo);
+            word = word.with_bit(c, readout.logic)?;
+            readouts.push(readout);
+        }
+        Ok(GateOutput::new(word, readouts))
+    }
+}
+
+impl SpinWaveBackend for CachedBackend {
+    fn name(&self) -> &'static str {
+        "cached"
+    }
+
+    fn gate(&self) -> &ParallelGate {
+        &self.gate
+    }
+
+    fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
+        self.gate.check_inputs(inputs)?;
+        self.evaluate_prepared(inputs)
+    }
+
+    fn evaluate_batch(&mut self, sets: &[OperandSet]) -> Result<Vec<GateOutput>, GateError> {
+        for set in sets {
+            self.gate.check_inputs(set.words())?;
+        }
+        sets.iter()
+            .map(|set| self.evaluate_prepared(set.words()))
+            .collect()
+    }
+}
+
+/// The full LLG micromagnetic simulator as a backend — the paper's
+/// OOMMF methodology behind the same trait as the analytic engine.
+///
+/// The all-zeros calibration run happens once per backend and is reused
+/// for every subsequent set (including across batches).
+#[derive(Debug, Clone)]
+pub struct MicromagBackend {
+    gate: ParallelGate,
+    settings: ValidationSettings,
+    calibration: Option<Vec<(f64, f64)>>,
+}
+
+impl MicromagBackend {
+    /// Wraps `gate` with default validation settings.
+    pub fn new(gate: ParallelGate) -> Self {
+        Self::with_settings(gate, ValidationSettings::default())
+    }
+
+    /// Wraps `gate` with custom validation settings.
+    pub fn with_settings(gate: ParallelGate, settings: ValidationSettings) -> Self {
+        MicromagBackend {
+            gate,
+            settings,
+            calibration: None,
+        }
+    }
+
+    /// The simulation settings in effect.
+    pub fn settings(&self) -> &ValidationSettings {
+        &self.settings
+    }
+
+    /// Whether the calibration run has already happened.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibration.is_some()
+    }
+}
+
+impl SpinWaveBackend for MicromagBackend {
+    fn name(&self) -> &'static str {
+        "micromag"
+    }
+
+    fn gate(&self) -> &ParallelGate {
+        &self.gate
+    }
+
+    fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
+        let mut validator = MicromagValidator::with_settings(&self.gate, self.settings);
+        if let Some(calibration) = self.calibration.clone() {
+            validator.import_calibration(calibration)?;
+        }
+        let reading = validator.evaluate(inputs)?;
+        self.calibration = validator.export_calibration();
+
+        let n = self.gate.word_width();
+        let mut readouts = Vec::with_capacity(n);
+        for c in 0..n {
+            readouts.push(ChannelReadout {
+                channel: c,
+                frequency: self.gate.channel_plan().channels()[c].frequency,
+                amplitude: reading.amplitudes[c],
+                phase: reading.phase_deltas[c],
+                logic: reading.word.bit(c)?,
+            });
+        }
+        Ok(GateOutput::new(reading.word, readouts))
+    }
+}
+
+/// An open evaluation session: one gate, one backend, everything
+/// precomputed once up front.
+///
+/// Obtained from [`ParallelGate::session`] or assembled directly with
+/// [`GateSession::with_backend`] around any [`SpinWaveBackend`].
+pub struct GateSession {
+    backend: Box<dyn SpinWaveBackend>,
+    sets_evaluated: u64,
+}
+
+impl GateSession {
+    /// Opens a session evaluating `gate` on `choice`'s backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures.
+    pub fn new(gate: ParallelGate, choice: BackendChoice) -> Result<Self, GateError> {
+        Ok(GateSession {
+            backend: choice.instantiate(gate)?,
+            sets_evaluated: 0,
+        })
+    }
+
+    /// Opens a session around an existing backend (e.g. a custom
+    /// implementation of [`SpinWaveBackend`]).
+    pub fn with_backend(backend: Box<dyn SpinWaveBackend>) -> Self {
+        GateSession {
+            backend,
+            sets_evaluated: 0,
+        }
+    }
+
+    /// The gate under evaluation.
+    pub fn gate(&self) -> &ParallelGate {
+        self.backend.gate()
+    }
+
+    /// The active backend's name (`"analytic"`, `"cached"`,
+    /// `"micromag"`, …).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Operand sets evaluated through this session so far.
+    pub fn sets_evaluated(&self) -> u64 {
+        self.sets_evaluated
+    }
+
+    /// Evaluates one operand set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWaveBackend::evaluate`].
+    pub fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
+        let output = self.backend.evaluate(inputs)?;
+        self.sets_evaluated += 1;
+        Ok(output)
+    }
+
+    /// Streams a batch of operand sets through the backend, preserving
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWaveBackend::evaluate_batch`].
+    pub fn evaluate_batch(&mut self, sets: &[OperandSet]) -> Result<Vec<GateOutput>, GateError> {
+        let outputs = self.backend.evaluate_batch(sets)?;
+        self.sets_evaluated += outputs.len() as u64;
+        Ok(outputs)
+    }
+
+    /// Mutable access to the backend for implementation-specific calls
+    /// (e.g. warming a cache).
+    pub fn backend_mut(&mut self) -> &mut dyn SpinWaveBackend {
+        self.backend.as_mut()
+    }
+}
+
+impl std::fmt::Debug for GateSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateSession")
+            .field("backend", &self.backend.name())
+            .field("sets_evaluated", &self.sets_evaluated)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::ParallelGateBuilder;
+    use crate::truth::LogicFunction;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn byte_majority() -> ParallelGate {
+        ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap()
+    }
+
+    fn sample_sets(count: usize) -> Vec<OperandSet> {
+        (0..count)
+            .map(|i| {
+                let seed = 0x9E37u64.wrapping_mul(i as u64 + 1);
+                OperandSet::new(vec![
+                    Word::from_u8(seed as u8),
+                    Word::from_u8((seed >> 8) as u8),
+                    Word::from_u8((seed >> 16) as u8),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn analytic_batch_matches_single_shot() {
+        let gate = byte_majority();
+        let mut backend = AnalyticBackend::new(gate.clone());
+        let sets = sample_sets(16);
+        let batch = backend.evaluate_batch(&sets).unwrap();
+        assert_eq!(batch.len(), 16);
+        for (set, output) in sets.iter().zip(&batch) {
+            let single = gate.evaluate(set.words()).unwrap();
+            assert_eq!(single.word(), output.word());
+        }
+    }
+
+    #[test]
+    fn cached_agrees_with_analytic_and_counts_hits() {
+        let gate = byte_majority();
+        let mut cached = CachedBackend::new(gate.clone()).unwrap();
+        let sets = sample_sets(8);
+        let first = cached.evaluate_batch(&sets).unwrap();
+        assert!(cached.cache_misses() > 0);
+        let miss_count = cached.cache_misses();
+        // Second pass over the same sets: pure hits.
+        let second = cached.evaluate_batch(&sets).unwrap();
+        assert_eq!(cached.cache_misses(), miss_count);
+        assert!(cached.cache_hits() >= 64);
+        for ((a, b), set) in first.iter().zip(&second).zip(&sets) {
+            assert_eq!(a.word(), b.word());
+            assert_eq!(a.word(), gate.evaluate(set.words()).unwrap().word());
+        }
+    }
+
+    #[test]
+    fn precompile_fills_the_whole_lut() {
+        let gate = byte_majority();
+        let mut cached = CachedBackend::new(gate).unwrap();
+        cached.precompile();
+        assert_eq!(cached.cache_misses(), 8 * 8); // n channels x 2^3 combos
+        let sets = sample_sets(4);
+        cached.evaluate_batch(&sets).unwrap();
+        assert_eq!(cached.cache_misses(), 8 * 8, "serving must not recompute");
+    }
+
+    #[test]
+    fn cached_rejects_oversized_luts() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(2)
+            .inputs(17)
+            .build();
+        // 17-input majority may not even build a layout; if it does, the
+        // cached backend must refuse it.
+        if let Ok(gate) = gate {
+            assert!(matches!(
+                CachedBackend::new(gate),
+                Err(GateError::UnsupportedFunction { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn session_tracks_counts_and_dispatches() {
+        let gate = byte_majority();
+        let mut session = gate.session(BackendChoice::Cached).unwrap();
+        assert_eq!(session.backend_name(), "cached");
+        assert_eq!(session.gate().word_width(), 8);
+        let sets = sample_sets(5);
+        session.evaluate_batch(&sets).unwrap();
+        session.evaluate(sets[0].words()).unwrap();
+        assert_eq!(session.sets_evaluated(), 6);
+    }
+
+    #[test]
+    fn default_choice_is_analytic() {
+        let gate = byte_majority();
+        let session = gate.session(BackendChoice::default()).unwrap();
+        assert_eq!(session.backend_name(), "analytic");
+    }
+
+    #[test]
+    fn batch_propagates_operand_errors() {
+        let gate = byte_majority();
+        let mut session = gate.session(BackendChoice::Analytic).unwrap();
+        let bad = OperandSet::new(vec![Word::from_u8(1)]);
+        assert!(matches!(
+            session.evaluate_batch(&[bad]),
+            Err(GateError::InputCountMismatch { .. })
+        ));
+        let narrow = OperandSet::new(vec![Word::zeros(4).unwrap(); 3]);
+        assert!(matches!(
+            session.evaluate_batch(&[narrow]),
+            Err(GateError::WordWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_set_conversions() {
+        let words = vec![Word::from_u8(1), Word::from_u8(2)];
+        let a: OperandSet = words.clone().into();
+        let b: OperandSet = words.as_slice().into();
+        assert_eq!(a, b);
+        assert_eq!(a.words().len(), 2);
+        assert_eq!(a.clone().into_words(), words);
+    }
+
+    #[test]
+    fn xor_gates_work_through_every_analytic_backend() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(2)
+            .function(LogicFunction::Xor)
+            .build()
+            .unwrap();
+        let a = Word::from_bits(0b0011, 4).unwrap();
+        let b = Word::from_bits(0b0101, 4).unwrap();
+        for choice in [BackendChoice::Analytic, BackendChoice::Cached] {
+            let mut session = gate.session(choice).unwrap();
+            let out = session.evaluate(&[a, b]).unwrap();
+            assert_eq!(
+                out.word().bits(),
+                0b0110,
+                "{} backend",
+                session.backend_name()
+            );
+        }
+    }
+}

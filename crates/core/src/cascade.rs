@@ -65,7 +65,7 @@ impl<'g> Cascade<'g> {
                 actual: stage_gap_wavelengths.len(),
             });
         }
-        if stage_gap_wavelengths.iter().any(|&g| g == 0) {
+        if stage_gap_wavelengths.contains(&0) {
             return Err(GateError::InvalidParameter {
                 parameter: "stage_gap_wavelengths",
                 value: 0.0,
@@ -77,7 +77,11 @@ impl<'g> Cascade<'g> {
             .zip(stage_gap_wavelengths)
             .map(|(c, &g)| g as f64 * c.wavelength)
             .collect();
-        Ok(Cascade { plan, layout, stage_distance })
+        Ok(Cascade {
+            plan,
+            layout,
+            stage_distance,
+        })
     }
 
     /// Evaluates one majority stage: `carried` is the wave arriving from
@@ -106,7 +110,10 @@ impl<'g> Cascade<'g> {
         }
         for bits in fresh_bits {
             if bits.len() != n {
-                return Err(GateError::WordWidthMismatch { expected: n, actual: bits.len() });
+                return Err(GateError::WordWidthMismatch {
+                    expected: n,
+                    actual: bits.len(),
+                });
             }
         }
         let mut amplitudes = Vec::with_capacity(n);
@@ -245,11 +252,7 @@ mod tests {
         let out = cascade
             .stage(
                 None,
-                &[
-                    vec![false, true],
-                    vec![true, true],
-                    vec![false, false],
-                ],
+                &[vec![false, true], vec![true, true], vec![false, false]],
             )
             .unwrap();
         assert_eq!(out.bits, vec![false, true]);

@@ -8,9 +8,7 @@
 
 use crate::error::GateError;
 use magnon_physics::damping::DampingModel;
-use magnon_physics::dispersion::{
-    DispersionRelation, ExchangeDispersion, KalinikosSlavinFvmsw,
-};
+use magnon_physics::dispersion::{DispersionRelation, ExchangeDispersion, KalinikosSlavinFvmsw};
 use magnon_physics::waveguide::Waveguide;
 use serde::{Deserialize, Serialize};
 
@@ -44,10 +42,7 @@ impl Dispersion {
     ///
     /// Propagates [`magnon_physics::PhysicsError`] construction failures
     /// (e.g. in-plane material).
-    pub fn for_waveguide(
-        model: DispersionModel,
-        waveguide: &Waveguide,
-    ) -> Result<Self, GateError> {
+    pub fn for_waveguide(model: DispersionModel, waveguide: &Waveguide) -> Result<Self, GateError> {
         Ok(match model {
             DispersionModel::Exchange => Dispersion::Exchange(waveguide.exchange_dispersion()?),
             DispersionModel::KalinikosSlavin => {
@@ -140,13 +135,22 @@ impl ChannelPlan {
         f_step: f64,
     ) -> Result<Self, GateError> {
         if count == 0 {
-            return Err(GateError::InvalidParameter { parameter: "channel_count", value: 0.0 });
+            return Err(GateError::InvalidParameter {
+                parameter: "channel_count",
+                value: 0.0,
+            });
         }
         if !(f_start.is_finite() && f_start > 0.0) {
-            return Err(GateError::InvalidParameter { parameter: "f_start", value: f_start });
+            return Err(GateError::InvalidParameter {
+                parameter: "f_start",
+                value: f_start,
+            });
         }
         if !(f_step.is_finite() && f_step > 0.0) {
-            return Err(GateError::InvalidParameter { parameter: "f_step", value: f_step });
+            return Err(GateError::InvalidParameter {
+                parameter: "f_step",
+                value: f_step,
+            });
         }
         let freqs: Vec<f64> = (0..count).map(|i| f_start + i as f64 * f_step).collect();
         ChannelPlan::from_frequencies(waveguide, model, &freqs)
@@ -166,7 +170,10 @@ impl ChannelPlan {
         frequencies: &[f64],
     ) -> Result<Self, GateError> {
         if frequencies.is_empty() {
-            return Err(GateError::InvalidParameter { parameter: "channel_count", value: 0.0 });
+            return Err(GateError::InvalidParameter {
+                parameter: "channel_count",
+                value: 0.0,
+            });
         }
         let dispersion = Dispersion::for_waveguide(model, waveguide)?;
         let fmr = dispersion.fmr_frequency();
@@ -197,7 +204,11 @@ impl ChannelPlan {
                 attenuation_length: damping.attenuation_length(&dispersion, frequency)?,
             });
         }
-        Ok(ChannelPlan { channels, dispersion, fmr })
+        Ok(ChannelPlan {
+            channels,
+            dispersion,
+            fmr,
+        })
     }
 
     /// The channels in index order.
@@ -259,9 +270,14 @@ mod tests {
 
     #[test]
     fn paper_plan_allocates_eight_channels() {
-        let plan =
-            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 8, 10.0 * GHZ, 10.0 * GHZ)
-                .unwrap();
+        let plan = ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::Exchange,
+            8,
+            10.0 * GHZ,
+            10.0 * GHZ,
+        )
+        .unwrap();
         assert_eq!(plan.len(), 8);
         assert_eq!(plan.frequencies()[7], 80.0 * GHZ);
         assert!(plan.min_wavelength() > 10.0 * NM);
@@ -270,9 +286,14 @@ mod tests {
 
     #[test]
     fn wavelengths_strictly_decreasing() {
-        let plan =
-            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 8, 10.0 * GHZ, 10.0 * GHZ)
-                .unwrap();
+        let plan = ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::Exchange,
+            8,
+            10.0 * GHZ,
+            10.0 * GHZ,
+        )
+        .unwrap();
         for pair in plan.channels().windows(2) {
             assert!(pair[0].wavelength > pair[1].wavelength);
             assert!(pair[0].wavenumber < pair[1].wavenumber);
@@ -282,16 +303,26 @@ mod tests {
     #[test]
     fn channel_below_fmr_rejected() {
         // FMR of the 50 nm guide is ~4.9 GHz; 1 GHz start must fail.
-        let e = ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 4, 1.0 * GHZ, 10.0 * GHZ);
+        let e = ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::Exchange,
+            4,
+            1.0 * GHZ,
+            10.0 * GHZ,
+        );
         assert!(matches!(e, Err(GateError::BadChannelFrequency { .. })));
     }
 
     #[test]
     fn parameter_validation() {
-        assert!(
-            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 0, 10.0 * GHZ, 10.0 * GHZ)
-                .is_err()
-        );
+        assert!(ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::Exchange,
+            0,
+            10.0 * GHZ,
+            10.0 * GHZ
+        )
+        .is_err());
         assert!(
             ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 4, -1.0, 10.0 * GHZ).is_err()
         );
@@ -315,9 +346,14 @@ mod tests {
     fn kalinikos_slavin_gives_longer_wavelengths() {
         // At fixed f, the KS branch (higher ω at fixed k) yields smaller
         // k, i.e. longer wavelengths, than the exchange branch.
-        let pe =
-            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 3, 10.0 * GHZ, 10.0 * GHZ)
-                .unwrap();
+        let pe = ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::Exchange,
+            3,
+            10.0 * GHZ,
+            10.0 * GHZ,
+        )
+        .unwrap();
         let pk = ChannelPlan::uniform(
             &guide(),
             DispersionModel::KalinikosSlavin,
@@ -333,9 +369,14 @@ mod tests {
 
     #[test]
     fn attenuation_lengths_positive_and_finite() {
-        let plan =
-            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 8, 10.0 * GHZ, 10.0 * GHZ)
-                .unwrap();
+        let plan = ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::Exchange,
+            8,
+            10.0 * GHZ,
+            10.0 * GHZ,
+        )
+        .unwrap();
         for c in plan.channels() {
             assert!(c.attenuation_length.is_finite());
             assert!(c.attenuation_length > 100.0 * NM);
@@ -345,9 +386,14 @@ mod tests {
 
     #[test]
     fn indices_match_positions() {
-        let plan =
-            ChannelPlan::uniform(&guide(), DispersionModel::Exchange, 5, 12.0 * GHZ, 7.0 * GHZ)
-                .unwrap();
+        let plan = ChannelPlan::uniform(
+            &guide(),
+            DispersionModel::Exchange,
+            5,
+            12.0 * GHZ,
+            7.0 * GHZ,
+        )
+        .unwrap();
         for (i, c) in plan.channels().iter().enumerate() {
             assert_eq!(c.index, i);
             assert!((c.frequency - (12.0 * GHZ + i as f64 * 7.0 * GHZ)).abs() < 1.0);

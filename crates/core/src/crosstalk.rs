@@ -59,7 +59,10 @@ impl CrosstalkReport {
         half_width: f64,
     ) -> Result<Self, GateError> {
         if channels.is_empty() {
-            return Err(GateError::InvalidParameter { parameter: "channels", value: 0.0 });
+            return Err(GateError::InvalidParameter {
+                parameter: "channels",
+                value: 0.0,
+            });
         }
         if !(half_width.is_finite() && half_width > 0.0) {
             return Err(GateError::InvalidParameter {
@@ -138,7 +141,10 @@ mod tests {
                     .sum()
             })
             .collect();
-        TimeSeries::new(dt, samples).unwrap().spectrum(Window::Hann).unwrap()
+        TimeSeries::new(dt, samples)
+            .unwrap()
+            .spectrum(Window::Hann)
+            .unwrap()
     }
 
     #[test]
@@ -146,7 +152,11 @@ mod tests {
         let channels: Vec<f64> = (1..=8).map(|i| i as f64 * 10e9).collect();
         let spec = spectrum_of(&channels.iter().map(|&f| (f, 1.0)).collect::<Vec<_>>());
         let report = CrosstalkReport::analyze(&spec, &channels, 2e9).unwrap();
-        assert!(report.is_clean(15.0), "isolation = {} dB", report.isolation_db);
+        assert!(
+            report.is_clean(15.0),
+            "isolation = {} dB",
+            report.isolation_db
+        );
         assert_eq!(report.channel_amplitudes.len(), 8);
         for a in &report.channel_amplitudes {
             assert!(*a > 0.5);

@@ -36,6 +36,15 @@ pub enum GateError {
         /// Number of repair iterations attempted.
         attempts: usize,
     },
+    /// A layout handed to the evaluation engine is internally
+    /// inconsistent (e.g. a channel without its detector). Surfaced as
+    /// an error by the backend API instead of panicking.
+    MalformedLayout {
+        /// The offending channel index.
+        channel: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
     /// Word width does not match the gate's channel count.
     WordWidthMismatch {
         /// Expected width (channel count).
@@ -78,10 +87,19 @@ impl fmt::Display for GateError {
                 write!(f, "channel frequency {frequency:.3e} Hz rejected: {reason}")
             }
             GateError::LayoutCollision { attempts } => {
-                write!(f, "layout collision unresolved after {attempts} repair iterations")
+                write!(
+                    f,
+                    "layout collision unresolved after {attempts} repair iterations"
+                )
+            }
+            GateError::MalformedLayout { channel, reason } => {
+                write!(f, "malformed layout at channel {channel}: {reason}")
             }
             GateError::WordWidthMismatch { expected, actual } => {
-                write!(f, "word width {actual} does not match the gate's {expected} channels")
+                write!(
+                    f,
+                    "word width {actual} does not match the gate's {expected} channels"
+                )
             }
             GateError::InputCountMismatch { expected, actual } => {
                 write!(f, "gate expects {expected} input words, got {actual}")
@@ -131,16 +149,28 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = GateError::WordWidthMismatch { expected: 8, actual: 4 };
+        let e = GateError::WordWidthMismatch {
+            expected: 8,
+            actual: 4,
+        };
         assert!(e.to_string().contains('8'));
         let e = GateError::LayoutCollision { attempts: 100 };
         assert!(e.to_string().contains("100"));
+        let e = GateError::MalformedLayout {
+            channel: 3,
+            reason: "missing detector",
+        };
+        assert!(e.to_string().contains("channel 3"));
+        assert!(e.to_string().contains("missing detector"));
     }
 
     #[test]
     fn conversions_and_sources() {
         use std::error::Error;
-        let e: GateError = PhysicsError::NotPerpendicular { internal_field: -1.0 }.into();
+        let e: GateError = PhysicsError::NotPerpendicular {
+            internal_field: -1.0,
+        }
+        .into();
         assert!(e.source().is_some());
         let e: GateError = SimError::NothingToDo.into();
         assert!(matches!(e, GateError::Simulation(_)));

@@ -1,8 +1,9 @@
 //! The data-parallel gate: builder, evaluation and verification.
 
+use crate::backend::{BackendChoice, GateSession};
 use crate::channel::{ChannelPlan, DispersionModel};
 use crate::encoding::ReadoutMode;
-use crate::engine::{constructive_reference, decode_channel, superpose_channel, ChannelReadout};
+use crate::engine::{ChannelReadout, EnginePrep};
 use crate::error::GateError;
 use crate::inline::{InlineLayout, LayoutSpec};
 use crate::scalability::EnergySchedule;
@@ -188,6 +189,7 @@ impl ParallelGateBuilder {
         } else {
             EnergySchedule::flat(&plan, &layout)?
         };
+        let prep = EnginePrep::compile(&plan, &layout, &schedule, &readout, self.function)?;
         Ok(ParallelGate {
             waveguide: self.waveguide,
             plan,
@@ -195,15 +197,24 @@ impl ParallelGateBuilder {
             function: self.function,
             readout,
             schedule,
+            prep,
         })
     }
 }
 
 /// An `n`-bit data-parallel, `m`-input spin-wave logic gate.
 ///
-/// Built by [`ParallelGateBuilder`]; evaluated analytically with
-/// [`ParallelGate::evaluate`] or micromagnetically through
-/// [`crate::micromag_bridge::MicromagValidator`].
+/// Built by [`ParallelGateBuilder`]. The builder compiles the channel
+/// plan, in-line layout, equalised excitation schedule and readout
+/// conventions into an evaluation prep **once**; afterwards the gate
+/// can be evaluated
+///
+/// * single-shot with [`ParallelGate::evaluate`] (a thin wrapper over
+///   the compiled prep),
+/// * in batches through a [`GateSession`] obtained from
+///   [`ParallelGate::session`], which streams many operand sets through
+///   any [`crate::backend::SpinWaveBackend`] — analytic, precompiled
+///   LUT, or the full LLG simulator.
 #[derive(Debug, Clone)]
 pub struct ParallelGate {
     waveguide: Waveguide,
@@ -212,6 +223,7 @@ pub struct ParallelGate {
     function: LogicFunction,
     readout: Vec<ReadoutMode>,
     schedule: EnergySchedule,
+    prep: EnginePrep,
 }
 
 impl ParallelGate {
@@ -252,10 +264,21 @@ impl ParallelGate {
 
     /// Input operand count `m`.
     pub fn input_count(&self) -> usize {
-        self.layout.input_count()
+        self.prep.input_count()
     }
 
-    fn check_inputs(&self, inputs: &[Word]) -> Result<(), GateError> {
+    /// The compiled evaluation prep shared by every backend.
+    pub(crate) fn prep(&self) -> &EnginePrep {
+        &self.prep
+    }
+
+    /// Validates operand shape against the gate.
+    ///
+    /// # Errors
+    ///
+    /// * [`GateError::InputCountMismatch`] /
+    ///   [`GateError::WordWidthMismatch`] for malformed operands.
+    pub(crate) fn check_inputs(&self, inputs: &[Word]) -> Result<(), GateError> {
         if inputs.len() != self.input_count() {
             return Err(GateError::InputCountMismatch {
                 expected: self.input_count(),
@@ -302,29 +325,42 @@ impl ParallelGate {
     /// ```
     pub fn evaluate(&self, inputs: &[Word]) -> Result<GateOutput, GateError> {
         self.check_inputs(inputs)?;
-        let n = self.word_width();
-        let m = self.input_count();
-        let mut word = Word::zeros(n)?;
-        let mut readouts = Vec::with_capacity(n);
-        for c in 0..n {
-            let bits: Vec<bool> = (0..m)
-                .map(|j| inputs[j].bit(c))
-                .collect::<Result<_, _>>()?;
-            let amplitudes = self.schedule.amplitudes_for_channel(c);
-            let z = superpose_channel(&self.plan, &self.layout, c, &bits, amplitudes);
-            let reference = constructive_reference(&self.plan, &self.layout, c, amplitudes);
-            let inverted = self.readout[c] == ReadoutMode::Inverted;
-            let logic = decode_channel(self.function, z, reference, inverted);
-            word = word.with_bit(c, logic)?;
-            readouts.push(ChannelReadout {
-                channel: c,
-                frequency: self.plan.channels()[c].frequency,
-                amplitude: z.abs(),
-                phase: z.arg(),
-                logic,
-            });
-        }
+        let (word, readouts) = self.prep.evaluate_set(inputs)?;
         Ok(GateOutput { word, readouts })
+    }
+
+    /// Opens an evaluation session on `choice`'s backend — the batch
+    /// entry point. The session owns a clone of the gate, so it can
+    /// outlive it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction errors (e.g. a LUT over too many
+    /// inputs for [`BackendChoice::Cached`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magnon_core::backend::{BackendChoice, OperandSet};
+    /// use magnon_core::prelude::*;
+    /// use magnon_physics::waveguide::Waveguide;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+    ///     .channels(8).inputs(3).build()?;
+    /// let mut session = gate.session(BackendChoice::Cached)?;
+    /// let batch: Vec<OperandSet> = (0..4u8)
+    ///     .map(|i| OperandSet::new(vec![
+    ///         Word::from_u8(i), Word::from_u8(0x33), Word::from_u8(0x55),
+    ///     ]))
+    ///     .collect();
+    /// let outputs = session.evaluate_batch(&batch)?;
+    /// assert_eq!(outputs.len(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn session(&self, choice: BackendChoice) -> Result<GateSession, GateError> {
+        GateSession::new(self.clone(), choice)
     }
 
     /// Exhaustively verifies the gate against the logic truth table by
@@ -359,8 +395,7 @@ impl ParallelGate {
                 // Each batch covers `n` consecutive combos; only count
                 // each combo once.
                 if assigned >= combo && assigned < combo + n.min(combos - combo) {
-                    let expected =
-                        self.readout[c].apply(expected_table[assigned]);
+                    let expected = self.readout[c].apply(expected_table[assigned]);
                     let got = out.word().bit(c)?;
                     checked += 1;
                     if got != expected {
@@ -375,7 +410,11 @@ impl ParallelGate {
             }
             combo += n.max(1).min(combos);
         }
-        Ok(TruthReport { combinations: combos, checked, failures })
+        Ok(TruthReport {
+            combinations: combos,
+            checked,
+            failures,
+        })
     }
 }
 
@@ -387,6 +426,11 @@ pub struct GateOutput {
 }
 
 impl GateOutput {
+    /// Assembles an output from a decoded word and its diagnostics.
+    pub(crate) fn new(word: Word, readouts: Vec<ChannelReadout>) -> Self {
+        GateOutput { word, readouts }
+    }
+
     /// The decoded output word.
     pub fn word(&self) -> Word {
         self.word
@@ -508,7 +552,7 @@ mod tests {
         let c = Word::from_bits(0b0101, 4).unwrap();
         let out = gate.evaluate(&[a, b, c]).unwrap();
         let maj = 0b0001u64 | 0b0101 & 0b0011 | 0b1111 & (0b0011 | 0b0101);
-        let expected = !( (0b1111 & 0b0011) | (0b1111 & 0b0101) | (0b0011 & 0b0101) ) & 0b1111;
+        let expected = !((0b1111 & 0b0011) | (0b1111 & 0b0101) | (0b0011 & 0b0101)) & 0b1111;
         let _ = maj;
         assert_eq!(out.word().bits(), expected);
         assert!(gate.verify_truth_table().unwrap().all_passed());
@@ -558,7 +602,10 @@ mod tests {
             .build()
             .is_err());
         // Below-FMR base frequency.
-        assert!(ParallelGateBuilder::new(g).base_frequency(1.0 * GHZ).build().is_err());
+        assert!(ParallelGateBuilder::new(g)
+            .base_frequency(1.0 * GHZ)
+            .build()
+            .is_err());
         // Mismatched per-channel readout list.
         assert!(ParallelGateBuilder::new(g)
             .channels(4)

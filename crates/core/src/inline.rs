@@ -54,7 +54,10 @@ pub struct LayoutSpec {
 
 impl Default for LayoutSpec {
     fn default() -> Self {
-        LayoutSpec { transducer_width: 10.0 * NM, min_gap: 1.0 * NM }
+        LayoutSpec {
+            transducer_width: 10.0 * NM,
+            min_gap: 1.0 * NM,
+        }
     }
 }
 
@@ -78,7 +81,10 @@ impl LayoutSpec {
             });
         }
         if !(self.min_gap.is_finite() && self.min_gap >= 0.0) {
-            return Err(GateError::InvalidParameter { parameter: "min_gap", value: self.min_gap });
+            return Err(GateError::InvalidParameter {
+                parameter: "min_gap",
+                value: self.min_gap,
+            });
         }
         Ok(())
     }
@@ -141,7 +147,10 @@ impl InlineLayout {
         }
         let n = plan.len();
         if readout.len() != n {
-            return Err(GateError::InputCountMismatch { expected: n, actual: readout.len() });
+            return Err(GateError::InputCountMismatch {
+                expected: n,
+                actual: readout.len(),
+            });
         }
         let pitch = spec.pitch();
         // Same-channel spacing: smallest wavelength multiple that leaves
@@ -205,10 +214,7 @@ impl InlineLayout {
         // Detectors: past every source, an admissible multiple of λ_c
         // beyond the channel's last source, then nudged by further full
         // wavelengths until clear of all other transducers.
-        let global_last = sources
-            .iter()
-            .map(|s| s.position)
-            .fold(0.0f64, f64::max);
+        let global_last = sources.iter().map(|s| s.position).fold(0.0f64, f64::max);
         let mut detectors: Vec<DetectorSite> = Vec::with_capacity(n);
         for (c, ch) in plan.channels().iter().enumerate() {
             let last_source = offsets[c] + (input_count - 1) as f64 * spacings[c];
@@ -220,8 +226,7 @@ impl InlineLayout {
             while mode.offset_in_wavelengths(idx) * ch.wavelength < clearance {
                 idx += 1;
             }
-            let mut position =
-                last_source + mode.offset_in_wavelengths(idx) * ch.wavelength;
+            let mut position = last_source + mode.offset_in_wavelengths(idx) * ch.wavelength;
             // Clear the detector against sources and earlier detectors
             // by whole-wavelength steps (phase-invariant).
             let mut guard = 0usize;
@@ -248,7 +253,11 @@ impl InlineLayout {
                 }
                 break;
             }
-            detectors.push(DetectorSite { channel: c, position, mode });
+            detectors.push(DetectorSite {
+                channel: c,
+                position,
+                mode,
+            });
         }
 
         let layout = InlineLayout {
@@ -277,7 +286,9 @@ impl InlineLayout {
                     ReadoutMode::Inverted => 0.5,
                 };
                 let fract = in_wavelengths.fract();
-                let err = (fract - expected_fract).abs().min((fract - expected_fract - 1.0).abs());
+                let err = (fract - expected_fract)
+                    .abs()
+                    .min((fract - expected_fract - 1.0).abs());
                 if err > 1e-6 {
                     return Err(GateError::InvalidParameter {
                         parameter: "detector_alignment",
@@ -436,7 +447,10 @@ mod tests {
         for (d, c) in layout.spacings().iter().zip(p.channels()) {
             assert!(*d >= floor - 1e-12, "spacing below interleave floor");
             let multiple = d / c.wavelength;
-            assert!((multiple - multiple.round()).abs() < 1e-9, "d not a λ multiple");
+            assert!(
+                (multiple - multiple.round()).abs() < 1e-9,
+                "d not a λ multiple"
+            );
         }
     }
 
@@ -449,7 +463,10 @@ mod tests {
         let d = layout.spacings();
         let ascending = d.windows(2).all(|w| w[1] >= w[0]);
         let descending = d.windows(2).all(|w| w[1] <= w[0]);
-        assert!(!ascending && !descending, "spacings unexpectedly monotone: {d:?}");
+        assert!(
+            !ascending && !descending,
+            "spacings unexpectedly monotone: {d:?}"
+        );
     }
 
     #[test]
@@ -463,7 +480,10 @@ mod tests {
             )
             .unwrap();
             let min_sep = layout.min_separation().unwrap();
-            assert!(min_sep >= LayoutSpec::default().pitch() * 0.999, "({n},{m}): {min_sep}");
+            assert!(
+                min_sep >= LayoutSpec::default().pitch() * 0.999,
+                "({n},{m}): {min_sep}"
+            );
         }
     }
 
@@ -483,13 +503,8 @@ mod tests {
     #[test]
     fn detector_distances_are_integer_wavelengths() {
         let p = plan(4);
-        let layout = InlineLayout::solve(
-            &p,
-            3,
-            LayoutSpec::default(),
-            &[ReadoutMode::Direct; 4],
-        )
-        .unwrap();
+        let layout =
+            InlineLayout::solve(&p, 3, LayoutSpec::default(), &[ReadoutMode::Direct; 4]).unwrap();
         for det in layout.detectors() {
             let lambda = p.channels()[det.channel].wavelength;
             for src in layout.sources().iter().filter(|s| s.channel == det.channel) {
@@ -572,16 +587,10 @@ mod tests {
         // Scalability: the solver must handle the 16-channel case used
         // in the SCALE experiment.
         let guide = Waveguide::paper_default().unwrap();
-        let p =
-            ChannelPlan::uniform(&guide, DispersionModel::Exchange, 16, 10.0 * GHZ, 5.0 * GHZ)
-                .unwrap();
-        let layout = InlineLayout::solve(
-            &p,
-            3,
-            LayoutSpec::default(),
-            &vec![ReadoutMode::Direct; 16],
-        )
-        .unwrap();
+        let p = ChannelPlan::uniform(&guide, DispersionModel::Exchange, 16, 10.0 * GHZ, 5.0 * GHZ)
+            .unwrap();
+        let layout =
+            InlineLayout::solve(&p, 3, LayoutSpec::default(), &[ReadoutMode::Direct; 16]).unwrap();
         assert!(layout.min_separation().is_ok());
         assert_eq!(layout.sources().len(), 48);
     }

@@ -39,8 +39,9 @@ pub fn render_layout(plan: &ChannelPlan, layout: &InlineLayout, columns: usize) 
     let end = layout.end();
     let span = (end - start).max(1e-12);
     let scale = |x: f64| -> usize {
-        (((x - start) / span) * (columns - 1) as f64).round().clamp(0.0, (columns - 1) as f64)
-            as usize
+        (((x - start) / span) * (columns - 1) as f64)
+            .round()
+            .clamp(0.0, (columns - 1) as f64) as usize
     };
 
     let mut out = String::new();
@@ -70,7 +71,11 @@ pub fn render_layout(plan: &ChannelPlan, layout: &InlineLayout, columns: usize) 
         out,
         "{:<14} {:<width$}  span {:.0} nm, {} sources + {} detectors",
         "",
-        format!("0 nm{:>w$}", format!("{:.0} nm", span * 1e9), w = columns.saturating_sub(4)),
+        format!(
+            "0 nm{:>w$}",
+            format!("{:.0} nm", span * 1e9),
+            w = columns.saturating_sub(4)
+        ),
         layout.span() * 1e9,
         layout.sources().len(),
         layout.detectors().len(),

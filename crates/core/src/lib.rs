@@ -14,15 +14,18 @@
 //!    same `m`-input logic function ([`truth::LogicFunction::Majority`]
 //!    or [`truth::LogicFunction::Xor`]) on `n` independent data sets
 //!    *simultaneously*,
-//! 4. [`engine`] evaluates gates analytically (complex wave
-//!    superposition with damping decay),
-//! 5. [`micromag_bridge`] validates gates with the full LLG simulator,
-//!    reproducing the paper's OOMMF methodology,
+//! 4. [`backend`] evaluates gates through pluggable
+//!    [`backend::SpinWaveBackend`]s — the analytic superposition
+//!    [`engine`], a precompiled truth-table cache, or
+//! 5. [`micromag_bridge`], the full LLG simulator reproducing the
+//!    paper's OOMMF methodology, all behind the same interface,
 //! 6. [`scalability`] computes the graded input-energy schedules of the
 //!    paper's §V scalability discussion, and [`crosstalk`] quantifies
 //!    inter-channel isolation.
 //!
 //! # Quickstart
+//!
+//! Single-shot evaluation stays one call:
 //!
 //! ```
 //! use magnon_core::prelude::*;
@@ -44,7 +47,43 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! For throughput, open a [`backend::GateSession`]: the channel plan,
+//! layout, constructive references and equalised amplitudes are
+//! compiled once, then batches stream through the chosen backend —
+//! analytic, cached (truth-table LUT) or micromagnetic, switchable with
+//! one argument:
+//!
+//! ```
+//! use magnon_core::prelude::*;
+//! use magnon_physics::waveguide::Waveguide;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+//!     .channels(8)
+//!     .inputs(3)
+//!     .build()?;
+//!
+//! // One argument picks the engine: Analytic | Cached | Micromag(_).
+//! let mut session = gate.session(BackendChoice::Cached)?;
+//! let batch: Vec<OperandSet> = (0u8..32)
+//!     .map(|i| OperandSet::new(vec![
+//!         Word::from_u8(i.wrapping_mul(37)),
+//!         Word::from_u8(i.wrapping_mul(59)),
+//!         Word::from_u8(i.wrapping_mul(83)),
+//!     ]))
+//!     .collect();
+//! let outputs = session.evaluate_batch(&batch)?;
+//! assert_eq!(outputs.len(), 32);
+//! // Batched results are identical to single-shot evaluation:
+//! for (set, out) in batch.iter().zip(&outputs) {
+//!     assert_eq!(out.word(), gate.evaluate(set.words())?.word());
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
+pub mod backend;
 pub mod cascade;
 pub mod channel;
 pub mod crosstalk;
@@ -64,6 +103,10 @@ pub use error::GateError;
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
+    pub use crate::backend::{
+        AnalyticBackend, BackendChoice, CachedBackend, GateSession, MicromagBackend, OperandSet,
+        SpinWaveBackend,
+    };
     pub use crate::channel::{ChannelPlan, FrequencyChannel};
     pub use crate::encoding::ReadoutMode;
     pub use crate::gate::{GateOutput, ParallelGate, ParallelGateBuilder};

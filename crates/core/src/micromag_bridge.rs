@@ -85,12 +85,20 @@ pub struct MicromagValidator<'g> {
 impl<'g> MicromagValidator<'g> {
     /// Creates a validator for `gate` with default settings.
     pub fn new(gate: &'g ParallelGate) -> Self {
-        MicromagValidator { gate, settings: ValidationSettings::default(), calibration: None }
+        MicromagValidator {
+            gate,
+            settings: ValidationSettings::default(),
+            calibration: None,
+        }
     }
 
     /// Creates a validator with custom settings.
     pub fn with_settings(gate: &'g ParallelGate, settings: ValidationSettings) -> Self {
-        MicromagValidator { gate, settings, calibration: None }
+        MicromagValidator {
+            gate,
+            settings,
+            calibration: None,
+        }
     }
 
     /// The settings in effect.
@@ -98,10 +106,38 @@ impl<'g> MicromagValidator<'g> {
         &self.settings
     }
 
+    /// The cached per-channel calibration `(reference phase, reference
+    /// amplitude)`, if [`MicromagValidator::calibrate`] has run.
+    ///
+    /// Together with [`MicromagValidator::import_calibration`] this lets
+    /// an owner (e.g. [`crate::backend::MicromagBackend`]) persist the
+    /// expensive all-zeros run across validator instances.
+    pub fn export_calibration(&self) -> Option<Vec<(f64, f64)>> {
+        self.calibration.clone()
+    }
+
+    /// Installs a previously exported calibration, skipping the
+    /// calibration simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InputCountMismatch`] when the calibration
+    /// does not cover exactly one entry per channel.
+    pub fn import_calibration(&mut self, calibration: Vec<(f64, f64)>) -> Result<(), GateError> {
+        if calibration.len() != self.gate.word_width() {
+            return Err(GateError::InputCountMismatch {
+                expected: self.gate.word_width(),
+                actual: calibration.len(),
+            });
+        }
+        self.calibration = Some(calibration);
+        Ok(())
+    }
+
     fn cell_size(&self) -> f64 {
-        self.settings.cell_size.unwrap_or_else(|| {
-            (self.gate.channel_plan().min_wavelength() / 20.0).min(2.0 * NM)
-        })
+        self.settings
+            .cell_size
+            .unwrap_or_else(|| (self.gate.channel_plan().min_wavelength() / 20.0).min(2.0 * NM))
     }
 
     fn duration(&self) -> f64 {
@@ -141,11 +177,10 @@ impl<'g> MicromagValidator<'g> {
         let gate = self.gate;
         let offset = self.x_offset();
         let width = gate.layout().spec().transducer_width;
-        let mut builder =
-            SimulationBuilder::new(*gate.waveguide(), self.sim_length())?
-                .cell_size(self.cell_size())?
-                .duration(self.duration())?
-                .absorber(Some(Absorber::new(self.settings.absorber_length, 0.5)?));
+        let mut builder = SimulationBuilder::new(*gate.waveguide(), self.sim_length())?
+            .cell_size(self.cell_size())?
+            .duration(self.duration())?
+            .absorber(Some(Absorber::new(self.settings.absorber_length, 0.5)?));
         // One antenna per source site; amplitudes follow the gate's
         // energy schedule, phases the encoded bits, with a two-period
         // ramp to soften the switch-on transient.
@@ -171,10 +206,7 @@ impl<'g> MicromagValidator<'g> {
         Ok(output.into_series())
     }
 
-    fn analyze(
-        &self,
-        series: &[TimeSeries],
-    ) -> Result<Vec<(f64, f64)>, GateError> {
+    fn analyze(&self, series: &[TimeSeries]) -> Result<Vec<(f64, f64)>, GateError> {
         let start = self.duration() * self.settings.analysis_start_fraction;
         let mut out = Vec::with_capacity(series.len());
         for (c, s) in series.iter().enumerate() {
@@ -232,11 +264,17 @@ impl<'g> MicromagValidator<'g> {
         let n = self.gate.word_width();
         let m = self.gate.input_count();
         if inputs.len() != m {
-            return Err(GateError::InputCountMismatch { expected: m, actual: inputs.len() });
+            return Err(GateError::InputCountMismatch {
+                expected: m,
+                actual: inputs.len(),
+            });
         }
         for w in inputs {
             if w.width() != n {
-                return Err(GateError::WordWidthMismatch { expected: n, actual: w.width() });
+                return Err(GateError::WordWidthMismatch {
+                    expected: n,
+                    actual: w.width(),
+                });
             }
         }
         self.calibrate()?;
@@ -277,7 +315,12 @@ impl<'g> MicromagValidator<'g> {
             amplitudes.push(amplitude);
             phase_deltas.push(delta);
         }
-        Ok(MicromagReading { word, amplitudes, phase_deltas, series })
+        Ok(MicromagReading {
+            word,
+            amplitudes,
+            phase_deltas,
+            series,
+        })
     }
 
     /// Convenience: evaluates and compares against the analytic engine.

@@ -49,12 +49,18 @@ impl NoiseModel {
                 value: amplitude_sigma,
             });
         }
-        Ok(NoiseModel { phase_sigma, amplitude_sigma })
+        Ok(NoiseModel {
+            phase_sigma,
+            amplitude_sigma,
+        })
     }
 
     /// The noiseless model.
     pub fn none() -> Self {
-        NoiseModel { phase_sigma: 0.0, amplitude_sigma: 0.0 }
+        NoiseModel {
+            phase_sigma: 0.0,
+            amplitude_sigma: 0.0,
+        }
     }
 }
 
@@ -124,7 +130,6 @@ pub fn monte_carlo_error_rate(
 ) -> Result<RobustnessReport, GateError> {
     let n = gate.word_width();
     let m = gate.input_count();
-    let combos = 1usize << m;
     let table = gate.function().truth_table(m)?;
     let plan = gate.channel_plan();
     let layout = gate.layout();
@@ -133,14 +138,15 @@ pub fn monte_carlo_error_rate(
     let mut checks = 0usize;
 
     for _ in 0..trials {
-        for combo in 0..combos {
+        for (combo, &expected_direct) in table.iter().enumerate() {
             for c in 0..n {
                 let ch = &plan.channels()[c];
-                let det = layout
-                    .detectors()
-                    .iter()
-                    .find(|d| d.channel == c)
-                    .expect("detector per channel");
+                let det = layout.detectors().iter().find(|d| d.channel == c).ok_or(
+                    GateError::MalformedLayout {
+                        channel: c,
+                        reason: "layout carries no detector for this channel",
+                    },
+                )?;
                 let nominal = gate.schedule().amplitudes_for_channel(c);
                 let mut z = Complex64::ZERO;
                 for src in layout.sources().iter().filter(|s| s.channel == c) {
@@ -149,15 +155,14 @@ pub fn monte_carlo_error_rate(
                     let decay = (-dx / ch.attenuation_length).exp();
                     let amp = nominal[src.input]
                         * (1.0 + noise.amplitude_sigma * gaussian(&mut rng)).max(0.0);
-                    let phase = ch.wavenumber * dx
-                        + phase_of(bit)
-                        + noise.phase_sigma * gaussian(&mut rng);
+                    let phase =
+                        ch.wavenumber * dx + phase_of(bit) + noise.phase_sigma * gaussian(&mut rng);
                     z += Complex64::from_polar(amp * decay, phase);
                 }
-                let reference = constructive_reference(plan, layout, c, nominal);
+                let reference = constructive_reference(plan, layout, c, nominal)?;
                 let inverted = gate.readout()[c] == ReadoutMode::Inverted;
                 let decoded = decode_channel(gate.function(), z, reference, inverted);
-                let expected = gate.readout()[c].apply(table[combo]);
+                let expected = gate.readout()[c].apply(expected_direct);
                 checks += 1;
                 if decoded != expected {
                     failures += 1;
@@ -165,7 +170,12 @@ pub fn monte_carlo_error_rate(
             }
         }
     }
-    Ok(RobustnessReport { noise, trials, checks, failures })
+    Ok(RobustnessReport {
+        noise,
+        trials,
+        checks,
+        failures,
+    })
 }
 
 /// Sweeps phase-noise widths and reports the error rate at each point —
@@ -184,7 +194,12 @@ pub fn phase_noise_sweep(
         .iter()
         .enumerate()
         .map(|(i, &s)| {
-            monte_carlo_error_rate(gate, NoiseModel::new(s, 0.0)?, trials, seed ^ (i as u64) << 32)
+            monte_carlo_error_rate(
+                gate,
+                NoiseModel::new(s, 0.0)?,
+                trials,
+                seed ^ (i as u64) << 32,
+            )
         })
         .collect()
 }
@@ -226,8 +241,7 @@ mod tests {
         // The phase decision boundary is π/2 away; σ = 0.15 rad leaves
         // enormous margin for a 3-source vote.
         let g = gate(4);
-        let r =
-            monte_carlo_error_rate(&g, NoiseModel::new(0.15, 0.0).unwrap(), 100, 2).unwrap();
+        let r = monte_carlo_error_rate(&g, NoiseModel::new(0.15, 0.0).unwrap(), 100, 2).unwrap();
         assert_eq!(r.failures, 0, "error rate {}", r.error_rate());
     }
 
@@ -249,8 +263,7 @@ mod tests {
     #[test]
     fn error_rate_monotone_in_noise() {
         let g = gate(2);
-        let reports =
-            phase_noise_sweep(&g, &[0.0, 0.3, 0.8, 1.5, 2.5], 150, 4).unwrap();
+        let reports = phase_noise_sweep(&g, &[0.0, 0.3, 0.8, 1.5, 2.5], 150, 4).unwrap();
         let rates: Vec<f64> = reports.iter().map(|r| r.error_rate()).collect();
         assert_eq!(rates[0], 0.0);
         // Allow small Monte-Carlo wiggle but require the overall trend.
@@ -263,8 +276,7 @@ mod tests {
         // Majority decodes on phase; even 20% amplitude jitter rarely
         // flips a vote (it must invert the sign of the sum).
         let g = gate(4);
-        let r =
-            monte_carlo_error_rate(&g, NoiseModel::new(0.0, 0.2).unwrap(), 100, 5).unwrap();
+        let r = monte_carlo_error_rate(&g, NoiseModel::new(0.0, 0.2).unwrap(), 100, 5).unwrap();
         assert!(r.error_rate() < 0.05, "rate = {}", r.error_rate());
     }
 

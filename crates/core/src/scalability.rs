@@ -235,8 +235,7 @@ mod tests {
             let arrivals: Vec<f64> = (0..3)
                 .map(|j| {
                     let src = layout.source_position(c, j).unwrap();
-                    s.amplitudes_for_channel(c)[j]
-                        * (-(det - src) / ch.attenuation_length).exp()
+                    s.amplitudes_for_channel(c)[j] * (-(det - src) / ch.attenuation_length).exp()
                 })
                 .collect();
             for w in arrivals.windows(2) {

@@ -32,7 +32,7 @@ impl LogicFunction {
     pub fn check_input_count(self, input_count: usize) -> Result<(), GateError> {
         match self {
             LogicFunction::Majority => {
-                if input_count < 3 || input_count % 2 == 0 {
+                if input_count < 3 || input_count.is_multiple_of(2) {
                     return Err(GateError::UnsupportedFunction {
                         reason: "majority needs an odd number of inputs, at least 3",
                     });

@@ -55,7 +55,10 @@ impl Word {
     /// Same conditions as [`Word::zeros`].
     pub fn ones(width: usize) -> Result<Self, GateError> {
         let w = Word::zeros(width)?;
-        Ok(Word { bits: mask(width), ..w })
+        Ok(Word {
+            bits: mask(width),
+            ..w
+        })
     }
 
     /// Creates a word from raw bits, truncating to `width`.
@@ -65,12 +68,18 @@ impl Word {
     /// Same conditions as [`Word::zeros`].
     pub fn from_bits(bits: u64, width: usize) -> Result<Self, GateError> {
         let w = Word::zeros(width)?;
-        Ok(Word { bits: bits & mask(width), ..w })
+        Ok(Word {
+            bits: bits & mask(width),
+            ..w
+        })
     }
 
     /// An 8-bit word from a byte — the paper's byte-wide operand.
     pub fn from_u8(byte: u8) -> Self {
-        Word { bits: byte as u64, width: 8 }
+        Word {
+            bits: byte as u64,
+            width: 8,
+        }
     }
 
     /// The word as a byte (low 8 bits).
@@ -95,7 +104,10 @@ impl Word {
     /// Returns [`GateError::BitIndexOutOfRange`] for `index >= width`.
     pub fn bit(self, index: usize) -> Result<bool, GateError> {
         if index >= self.width {
-            return Err(GateError::BitIndexOutOfRange { index, width: self.width });
+            return Err(GateError::BitIndexOutOfRange {
+                index,
+                width: self.width,
+            });
         }
         Ok((self.bits >> index) & 1 == 1)
     }
@@ -107,7 +119,10 @@ impl Word {
     /// Returns [`GateError::BitIndexOutOfRange`] for `index >= width`.
     pub fn with_bit(self, index: usize, value: bool) -> Result<Self, GateError> {
         if index >= self.width {
-            return Err(GateError::BitIndexOutOfRange { index, width: self.width });
+            return Err(GateError::BitIndexOutOfRange {
+                index,
+                width: self.width,
+            });
         }
         let bits = if value {
             self.bits | (1 << index)
@@ -122,14 +137,27 @@ impl Word {
         self.bits.count_ones()
     }
 
-    /// Bitwise NOT within the word width.
+    /// Bitwise NOT within the word width (also available through
+    /// [`std::ops::Not`]).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
-        Word { bits: !self.bits & mask(self.width), ..self }
+        Word {
+            bits: !self.bits & mask(self.width),
+            ..self
+        }
     }
 
     /// Iterates over the bits from index 0 upward.
     pub fn iter_bits(self) -> impl Iterator<Item = bool> {
         (0..self.width).map(move |i| (self.bits >> i) & 1 == 1)
+    }
+}
+
+impl std::ops::Not for Word {
+    type Output = Word;
+
+    fn not(self) -> Word {
+        Word::not(self)
     }
 }
 
@@ -203,6 +231,8 @@ mod tests {
         let w = Word::from_bits(0b0101, 4).unwrap();
         assert_eq!(w.not().bits(), 0b1010);
         assert_eq!(w.not().not(), w);
+        // The operator form goes through the same masked complement.
+        assert_eq!(!w, w.not());
     }
 
     #[test]

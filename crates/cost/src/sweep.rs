@@ -142,20 +142,16 @@ mod tests {
 
     #[test]
     fn advantage_grows_with_word_width_overall() {
-        let points = word_width_sweep(
-            &model(),
-            &guide(),
-            3,
-            &[2, 4, 8, 12],
-            10.0 * GHZ,
-            5.0 * GHZ,
-        )
-        .unwrap();
+        let points =
+            word_width_sweep(&model(), &guide(), 3, &[2, 4, 8, 12], 10.0 * GHZ, 5.0 * GHZ).unwrap();
         assert_eq!(points.len(), 4);
         // The trend: wider words clearly beat narrow ones, even though
         // wavelength-multiple quantization makes the curve non-monotone
         // point to point (n=12 can dip below n=8).
-        assert!(points[2].area_ratio > points[0].area_ratio + 0.5, "{points:?}");
+        assert!(
+            points[2].area_ratio > points[0].area_ratio + 0.5,
+            "{points:?}"
+        );
         assert!(points.iter().all(|p| p.area_ratio > 1.5));
         // Scalar area is exactly linear in n (same gate, n copies).
         let per_gate = points[0].scalar_area / 2.0;
@@ -178,8 +174,7 @@ mod tests {
 
     #[test]
     fn paper_point_is_on_the_curve() {
-        let points =
-            word_width_sweep(&model(), &guide(), 3, &[8], 10.0 * GHZ, 10.0 * GHZ).unwrap();
+        let points = word_width_sweep(&model(), &guide(), 3, &[8], 10.0 * GHZ, 10.0 * GHZ).unwrap();
         assert_eq!(points[0].channels, 8);
         assert!(points[0].area_ratio > 3.0 && points[0].area_ratio < 4.5);
     }
@@ -187,8 +182,7 @@ mod tests {
     #[test]
     fn input_sweep_valid_for_odd_counts() {
         let points =
-            input_count_sweep(&model(), &guide(), 4, &[3, 5, 7], 10.0 * GHZ, 10.0 * GHZ)
-                .unwrap();
+            input_count_sweep(&model(), &guide(), 4, &[3, 5, 7], 10.0 * GHZ, 10.0 * GHZ).unwrap();
         assert_eq!(points.len(), 3);
         for p in &points {
             assert!(p.area_ratio > 1.0);
@@ -201,8 +195,6 @@ mod tests {
 
     #[test]
     fn even_input_counts_rejected() {
-        assert!(
-            input_count_sweep(&model(), &guide(), 4, &[4], 10.0 * GHZ, 10.0 * GHZ).is_err()
-        );
+        assert!(input_count_sweep(&model(), &guide(), 4, &[4], 10.0 * GHZ, 10.0 * GHZ).is_err());
     }
 }

@@ -38,10 +38,18 @@ impl Transducer {
             ("energy", energy),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(GateError::InvalidParameter { parameter: name, value: v });
+                return Err(GateError::InvalidParameter {
+                    parameter: name,
+                    value: v,
+                });
             }
         }
-        Ok(Transducer { width, length, delay, energy })
+        Ok(Transducer {
+            width,
+            length,
+            delay,
+            energy,
+        })
     }
 
     /// The paper's assumption: 10 nm × 50 nm cells; 0.42 ns and 15 aJ

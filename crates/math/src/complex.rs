@@ -151,7 +151,7 @@ impl Complex64 {
         let mut acc = Complex64::ONE;
         while n > 0 {
             if n & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             n >>= 1;
@@ -241,6 +241,8 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    // Multiplying by the reciprocal IS complex division.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -71,7 +71,10 @@ impl fmt::Display for MathError {
             }
             MathError::EmptyInput => write!(f, "input is empty"),
             MathError::InvalidScale { name, value } => {
-                write!(f, "parameter `{name}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be positive and finite, got {value}"
+                )
             }
             MathError::AboveNyquist { frequency, nyquist } => {
                 write!(

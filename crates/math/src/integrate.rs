@@ -85,20 +85,20 @@ impl Rk4 {
         let n = self.k1.len();
         assert_eq!(y.len(), n, "state dimension mismatch");
         system.eval(t, y, &mut self.k1);
-        for i in 0..n {
-            self.tmp[i] = y[i] + 0.5 * dt * self.k1[i];
+        for (tmp, (&y_i, &k)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k1)) {
+            *tmp = y_i + 0.5 * dt * k;
         }
         system.eval(t + 0.5 * dt, &self.tmp, &mut self.k2);
-        for i in 0..n {
-            self.tmp[i] = y[i] + 0.5 * dt * self.k2[i];
+        for (tmp, (&y_i, &k)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k2)) {
+            *tmp = y_i + 0.5 * dt * k;
         }
         system.eval(t + 0.5 * dt, &self.tmp, &mut self.k3);
-        for i in 0..n {
-            self.tmp[i] = y[i] + dt * self.k3[i];
+        for (tmp, (&y_i, &k)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k3)) {
+            *tmp = y_i + dt * k;
         }
         system.eval(t + dt, &self.tmp, &mut self.k4);
-        for i in 0..n {
-            y[i] += dt / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+        for (i, y_i) in y.iter_mut().enumerate() {
+            *y_i += dt / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
         }
     }
 }
@@ -140,12 +140,12 @@ impl Heun {
         let n = self.k1.len();
         assert_eq!(y.len(), n, "state dimension mismatch");
         system.eval(t, y, &mut self.k1);
-        for i in 0..n {
-            self.tmp[i] = y[i] + dt * self.k1[i];
+        for (tmp, (&y_i, &k)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k1)) {
+            *tmp = y_i + dt * k;
         }
         system.eval(t + dt, &self.tmp, &mut self.k2);
-        for i in 0..n {
-            y[i] += 0.5 * dt * (self.k1[i] + self.k2[i]);
+        for (i, y_i) in y.iter_mut().enumerate() {
+            *y_i += 0.5 * dt * (self.k1[i] + self.k2[i]);
         }
     }
 }
@@ -174,7 +174,11 @@ pub struct DormandPrince {
 
 impl Default for DormandPrince {
     fn default() -> Self {
-        DormandPrince { rel_tol: 1e-8, abs_tol: 1e-10, max_steps: 1_000_000 }
+        DormandPrince {
+            rel_tol: 1e-8,
+            abs_tol: 1e-10,
+            max_steps: 1_000_000,
+        }
     }
 }
 
@@ -195,11 +199,17 @@ impl DormandPrince {
         y: &mut [f64],
         dt0: f64,
     ) -> Result<AdaptiveStats, MathError> {
-        if !(t1 > t0) {
-            return Err(MathError::InvalidScale { name: "t1 - t0", value: t1 - t0 });
+        if t1.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater) {
+            return Err(MathError::InvalidScale {
+                name: "t1 - t0",
+                value: t1 - t0,
+            });
         }
         if !(dt0.is_finite() && dt0 > 0.0) {
-            return Err(MathError::InvalidScale { name: "dt0", value: dt0 });
+            return Err(MathError::InvalidScale {
+                name: "dt0",
+                value: dt0,
+            });
         }
         let n = y.len();
         let mut k = vec![vec![0.0; n]; 7];
@@ -212,26 +222,64 @@ impl DormandPrince {
             [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
             [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
             [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
-            [19372.0 / 6561.0, -25360.0 / 2187.0, 64448.0 / 6561.0, -212.0 / 729.0, 0.0, 0.0],
-            [9017.0 / 3168.0, -355.0 / 33.0, 46732.0 / 5247.0, 49.0 / 176.0, -5103.0 / 18656.0, 0.0],
-            [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0],
+            [
+                19372.0 / 6561.0,
+                -25360.0 / 2187.0,
+                64448.0 / 6561.0,
+                -212.0 / 729.0,
+                0.0,
+                0.0,
+            ],
+            [
+                9017.0 / 3168.0,
+                -355.0 / 33.0,
+                46732.0 / 5247.0,
+                49.0 / 176.0,
+                -5103.0 / 18656.0,
+                0.0,
+            ],
+            [
+                35.0 / 384.0,
+                0.0,
+                500.0 / 1113.0,
+                125.0 / 192.0,
+                -2187.0 / 6784.0,
+                11.0 / 84.0,
+            ],
         ];
         const C: [f64; 6] = [0.2, 0.3, 0.8, 8.0 / 9.0, 1.0, 1.0];
         const B5: [f64; 7] = [
-            35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0,
+            35.0 / 384.0,
+            0.0,
+            500.0 / 1113.0,
+            125.0 / 192.0,
+            -2187.0 / 6784.0,
+            11.0 / 84.0,
+            0.0,
         ];
         const B4: [f64; 7] = [
-            5179.0 / 57600.0, 0.0, 7571.0 / 16695.0, 393.0 / 640.0,
-            -92097.0 / 339200.0, 187.0 / 2100.0, 1.0 / 40.0,
+            5179.0 / 57600.0,
+            0.0,
+            7571.0 / 16695.0,
+            393.0 / 640.0,
+            -92097.0 / 339200.0,
+            187.0 / 2100.0,
+            1.0 / 40.0,
         ];
 
         let mut t = t0;
         let mut dt = dt0.min(t1 - t0);
-        let mut stats = AdaptiveStats { accepted: 0, rejected: 0, final_dt: dt };
+        let mut stats = AdaptiveStats {
+            accepted: 0,
+            rejected: 0,
+            final_dt: dt,
+        };
 
         while t < t1 {
             if stats.accepted + stats.rejected >= self.max_steps {
-                return Err(MathError::NoConvergence { iterations: self.max_steps });
+                return Err(MathError::NoConvergence {
+                    iterations: self.max_steps,
+                });
             }
             dt = dt.min(t1 - t);
             system.eval(t, y, &mut k[0]);
@@ -355,7 +403,9 @@ mod tests {
 
     #[test]
     fn rk4_oscillator_preserves_energy() {
-        let sys = Oscillator { omega: 2.0 * std::f64::consts::PI };
+        let sys = Oscillator {
+            omega: 2.0 * std::f64::consts::PI,
+        };
         let mut y = vec![1.0, 0.0];
         let mut rk = Rk4::new(2).unwrap();
         let dt = 1e-3;
@@ -406,7 +456,11 @@ mod tests {
     fn dormand_prince_adapts_step() {
         let sys = Oscillator { omega: 50.0 };
         let mut y = vec![1.0, 0.0];
-        let dp = DormandPrince { rel_tol: 1e-9, abs_tol: 1e-12, max_steps: 100_000 };
+        let dp = DormandPrince {
+            rel_tol: 1e-9,
+            abs_tol: 1e-12,
+            max_steps: 100_000,
+        };
         let stats = dp.integrate(&sys, 0.0, 1.0, &mut y, 0.5).unwrap();
         // The initial dt=0.5 is far too large for ω=50; rejections expected.
         assert!(stats.rejected > 0);
@@ -427,7 +481,11 @@ mod tests {
     fn dormand_prince_step_budget() {
         let sys = Oscillator { omega: 1000.0 };
         let mut y = vec![1.0, 0.0];
-        let dp = DormandPrince { rel_tol: 1e-13, abs_tol: 1e-14, max_steps: 10 };
+        let dp = DormandPrince {
+            rel_tol: 1e-13,
+            abs_tol: 1e-14,
+            max_steps: 10,
+        };
         assert!(matches!(
             dp.integrate(&sys, 0.0, 100.0, &mut y, 1e-6),
             Err(MathError::NoConvergence { iterations: 10 })

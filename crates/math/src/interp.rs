@@ -40,7 +40,10 @@ impl Interp1d {
             return Err(MathError::EmptyInput);
         }
         if xs.len() != ys.len() {
-            return Err(MathError::LengthMismatch { expected: xs.len(), actual: ys.len() });
+            return Err(MathError::LengthMismatch {
+                expected: xs.len(),
+                actual: ys.len(),
+            });
         }
         if xs.windows(2).any(|w| w[1] <= w[0]) {
             return Err(MathError::NotMonotonic);

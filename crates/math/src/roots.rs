@@ -43,16 +43,24 @@ pub fn bisect<F: Fn(f64) -> f64>(
     tol: f64,
     max_iter: usize,
 ) -> Result<Root, MathError> {
-    if !(hi > lo) {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Err(MathError::InvalidBracket { lo, hi });
     }
     let mut flo = f(lo);
     let fhi = f(hi);
     if flo == 0.0 {
-        return Ok(Root { x: lo, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: lo,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fhi == 0.0 {
-        return Ok(Root { x: hi, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: hi,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if flo.signum() == fhi.signum() {
         return Err(MathError::InvalidBracket { lo, hi });
@@ -61,7 +69,11 @@ pub fn bisect<F: Fn(f64) -> f64>(
         let mid = 0.5 * (lo + hi);
         let fmid = f(mid);
         if fmid == 0.0 || (hi - lo) < tol {
-            return Ok(Root { x: mid, residual: fmid, iterations: it });
+            return Ok(Root {
+                x: mid,
+                residual: fmid,
+                iterations: it,
+            });
         }
         if fmid.signum() == flo.signum() {
             lo = mid;
@@ -70,7 +82,9 @@ pub fn bisect<F: Fn(f64) -> f64>(
             hi = mid;
         }
     }
-    Err(MathError::NoConvergence { iterations: max_iter })
+    Err(MathError::NoConvergence {
+        iterations: max_iter,
+    })
 }
 
 /// Finds a root of `f` in `[lo, hi]` with Brent's method (inverse
@@ -101,7 +115,7 @@ pub fn brent<F: Fn(f64) -> f64>(
     tol: f64,
     max_iter: usize,
 ) -> Result<Root, MathError> {
-    if !(hi > lo) {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Err(MathError::InvalidBracket { lo, hi });
     }
     let mut a = lo;
@@ -109,10 +123,18 @@ pub fn brent<F: Fn(f64) -> f64>(
     let mut fa = f(a);
     let mut fb = f(b);
     if fa == 0.0 {
-        return Ok(Root { x: a, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, residual: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(MathError::InvalidBracket { lo, hi });
@@ -128,7 +150,11 @@ pub fn brent<F: Fn(f64) -> f64>(
 
     for it in 1..=max_iter {
         if fb.abs() < f64::EPSILON || (b - a).abs() < tol {
-            return Ok(Root { x: b, residual: fb, iterations: it });
+            return Ok(Root {
+                x: b,
+                residual: fb,
+                iterations: it,
+            });
         }
         let mut s = if fa != fc && fb != fc {
             // Inverse quadratic interpolation.
@@ -172,7 +198,9 @@ pub fn brent<F: Fn(f64) -> f64>(
             std::mem::swap(&mut fa, &mut fb);
         }
     }
-    Err(MathError::NoConvergence { iterations: max_iter })
+    Err(MathError::NoConvergence {
+        iterations: max_iter,
+    })
 }
 
 /// Expands `hi` geometrically from `lo` until `f` changes sign, then
@@ -189,7 +217,7 @@ pub fn expand_bracket<F: Fn(f64) -> f64>(
     mut hi: f64,
     max_expansions: usize,
 ) -> Result<(f64, f64), MathError> {
-    if !(hi > lo) {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Err(MathError::InvalidBracket { lo, hi });
     }
     let flo = f(lo);
@@ -202,7 +230,9 @@ pub fn expand_bracket<F: Fn(f64) -> f64>(
             break;
         }
     }
-    Err(MathError::NoConvergence { iterations: max_expansions })
+    Err(MathError::NoConvergence {
+        iterations: max_expansions,
+    })
 }
 
 #[cfg(test)]

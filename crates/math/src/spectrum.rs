@@ -45,7 +45,10 @@ impl TimeSeries {
     /// * [`MathError::EmptyInput`] if `samples` is empty.
     pub fn new(dt: f64, samples: Vec<f64>) -> Result<Self, MathError> {
         if !(dt.is_finite() && dt > 0.0) {
-            return Err(MathError::InvalidScale { name: "dt", value: dt });
+            return Err(MathError::InvalidScale {
+                name: "dt",
+                value: dt,
+            });
         }
         if samples.is_empty() {
             return Err(MathError::EmptyInput);
@@ -117,10 +120,16 @@ impl TimeSeries {
     /// * [`MathError::AboveNyquist`] when `frequency` ≥ Nyquist.
     pub fn goertzel(&self, frequency: f64) -> Result<Complex64, MathError> {
         if !(frequency.is_finite() && frequency > 0.0) {
-            return Err(MathError::InvalidScale { name: "frequency", value: frequency });
+            return Err(MathError::InvalidScale {
+                name: "frequency",
+                value: frequency,
+            });
         }
         if frequency >= self.nyquist() {
-            return Err(MathError::AboveNyquist { frequency, nyquist: self.nyquist() });
+            return Err(MathError::AboveNyquist {
+                frequency,
+                nyquist: self.nyquist(),
+            });
         }
         let n = self.samples.len() as f64;
         let omega = 2.0 * std::f64::consts::PI * frequency * self.dt;
@@ -189,10 +198,16 @@ impl TimeSeries {
     /// * [`MathError::AboveNyquist`] if the band extends beyond Nyquist.
     pub fn band_pass(&self, f_center: f64, bandwidth: f64) -> Result<TimeSeries, MathError> {
         if !(f_center.is_finite() && f_center > 0.0) {
-            return Err(MathError::InvalidScale { name: "f_center", value: f_center });
+            return Err(MathError::InvalidScale {
+                name: "f_center",
+                value: f_center,
+            });
         }
         if !(bandwidth.is_finite() && bandwidth > 0.0) {
-            return Err(MathError::InvalidScale { name: "bandwidth", value: bandwidth });
+            return Err(MathError::InvalidScale {
+                name: "bandwidth",
+                value: bandwidth,
+            });
         }
         if f_center + bandwidth / 2.0 >= self.nyquist() {
             return Err(MathError::AboveNyquist {
@@ -512,7 +527,10 @@ mod tests {
         let spec = ts.spectrum(Window::Hann).unwrap();
         let inside = spec.power_inside(&[10e9, 30e9], 2e9);
         let outside = spec.power_outside(&[10e9, 30e9], 2e9);
-        assert!(inside > 100.0 * outside, "inside={inside}, outside={outside}");
+        assert!(
+            inside > 100.0 * outside,
+            "inside={inside}, outside={outside}"
+        );
     }
 
     #[test]

@@ -147,10 +147,7 @@ mod tests {
     fn relative_difference_properties() {
         assert_eq!(relative_difference(1.0, 1.0), 0.0);
         assert!((relative_difference(1.0, 2.0) - 0.5).abs() < 1e-12);
-        assert_eq!(
-            relative_difference(3.0, 5.0),
-            relative_difference(5.0, 3.0)
-        );
+        assert_eq!(relative_difference(3.0, 5.0), relative_difference(5.0, 3.0));
     }
 
     #[test]

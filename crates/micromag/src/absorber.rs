@@ -44,10 +44,16 @@ impl Absorber {
     /// `alpha_max` outside `(0, 1]`.
     pub fn new(width: f64, alpha_max: f64) -> Result<Self, SimError> {
         if !(width.is_finite() && width > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "width", value: width });
+            return Err(SimError::InvalidParameter {
+                parameter: "width",
+                value: width,
+            });
         }
         if !(alpha_max.is_finite() && alpha_max > 0.0 && alpha_max <= 1.0) {
-            return Err(SimError::InvalidParameter { parameter: "alpha_max", value: alpha_max });
+            return Err(SimError::InvalidParameter {
+                parameter: "alpha_max",
+                value: alpha_max,
+            });
         }
         Ok(Absorber { width, alpha_max })
     }
@@ -73,7 +79,10 @@ impl Absorber {
     /// [`SimError::InvalidParameter`] for `alpha_base` outside `(0, 1)`.
     pub fn damping_profile(&self, mesh: &Mesh, alpha_base: f64) -> Result<Vec<f64>, SimError> {
         if !(alpha_base.is_finite() && alpha_base > 0.0 && alpha_base < 1.0) {
-            return Err(SimError::InvalidParameter { parameter: "alpha_base", value: alpha_base });
+            return Err(SimError::InvalidParameter {
+                parameter: "alpha_base",
+                value: alpha_base,
+            });
         }
         if 2.0 * self.width >= mesh.length() {
             return Err(SimError::RegionOutOfBounds {

@@ -114,7 +114,12 @@ pub fn energy_breakdown(
                 * v_cell;
         }
     }
-    Ok(EnergyBreakdown { exchange, anisotropy, zeeman, demag })
+    Ok(EnergyBreakdown {
+        exchange,
+        anisotropy,
+        zeeman,
+        demag,
+    })
 }
 
 #[cfg(test)]
@@ -148,8 +153,8 @@ mod tests {
     #[test]
     fn tilted_state_costs_anisotropy() {
         let m = vec![Vec3::X; 50];
-        let e = energy_breakdown(&mesh(), &Material::fe_co_b(), &m, Vec3::ZERO, Vec3::ZERO)
-            .unwrap();
+        let e =
+            energy_breakdown(&mesh(), &Material::fe_co_b(), &m, Vec3::ZERO, Vec3::ZERO).unwrap();
         // K V_total for fully in-plane magnetization.
         let expected = 8.3177e5 * 100e-9 * 50e-9 * 1e-9;
         assert!((e.anisotropy - expected).abs() / expected < 1e-9);
@@ -161,8 +166,7 @@ mod tests {
         let mesh = mesh();
         let mut m = vec![Vec3::Z; mesh.cell_count()];
         m[25] = Vec3::X; // a hard kink
-        let e = energy_breakdown(&mesh, &Material::fe_co_b(), &m, Vec3::ZERO, Vec3::ZERO)
-            .unwrap();
+        let e = energy_breakdown(&mesh, &Material::fe_co_b(), &m, Vec3::ZERO, Vec3::ZERO).unwrap();
         assert!(e.exchange > 0.0);
     }
 
@@ -234,7 +238,9 @@ mod tests {
         let nz = 1.0;
         let mut solver = LlgSolver::new(mesh.clone(), material).unwrap();
         solver.add_field_term(Box::new(Exchange::new(&material)));
-        solver.add_field_term(Box::new(UniaxialAnisotropy::perpendicular(&material).unwrap()));
+        solver.add_field_term(Box::new(
+            UniaxialAnisotropy::perpendicular(&material).unwrap(),
+        ));
         solver.add_field_term(Box::new(LocalDemag::out_of_plane(&material, nz).unwrap()));
         solver.set_magnetization_with(|i| {
             let x = i as f64 * 0.4;

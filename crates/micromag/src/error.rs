@@ -49,7 +49,11 @@ impl fmt::Display for SimError {
             SimError::InvalidParameter { parameter, value } => {
                 write!(f, "parameter `{parameter}` is invalid: {value}")
             }
-            SimError::RegionOutOfBounds { what, requested, available } => {
+            SimError::RegionOutOfBounds {
+                what,
+                requested,
+                available,
+            } => {
                 write!(
                     f,
                     "{what} at {requested:.3e} m does not fit in a mesh of length {available:.3e} m"
@@ -100,13 +104,19 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(SimError::NothingToDo.to_string().contains("no probes"));
-        let e = SimError::UnstableTimeStep { requested: 1e-12, limit: 1e-13 };
+        let e = SimError::UnstableTimeStep {
+            requested: 1e-12,
+            limit: 1e-13,
+        };
         assert!(e.to_string().contains("stability"));
     }
 
     #[test]
     fn conversions() {
-        let e: SimError = PhysicsError::NotPerpendicular { internal_field: -1.0 }.into();
+        let e: SimError = PhysicsError::NotPerpendicular {
+            internal_field: -1.0,
+        }
+        .into();
         assert!(matches!(e, SimError::Physics(_)));
         let e: SimError = MathError::EmptyInput.into();
         assert!(matches!(e, SimError::Math(_)));
@@ -115,7 +125,9 @@ mod tests {
     #[test]
     fn source_chain() {
         use std::error::Error;
-        let e = SimError::Physics(PhysicsError::NotPerpendicular { internal_field: -1.0 });
+        let e = SimError::Physics(PhysicsError::NotPerpendicular {
+            internal_field: -1.0,
+        });
         assert!(e.source().is_some());
         assert!(SimError::NothingToDo.source().is_none());
     }

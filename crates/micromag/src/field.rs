@@ -120,9 +120,10 @@ impl UniaxialAnisotropy {
     /// Returns [`SimError::InvalidParameter`] when `axis` is (near)
     /// zero.
     pub fn new(material: &Material, axis: Vec3) -> Result<Self, SimError> {
-        let axis = axis
-            .normalized()
-            .ok_or(SimError::InvalidParameter { parameter: "axis", value: 0.0 })?;
+        let axis = axis.normalized().ok_or(SimError::InvalidParameter {
+            parameter: "axis",
+            value: 0.0,
+        })?;
         Ok(UniaxialAnisotropy {
             field_scale: 2.0 * material.anisotropy_constant()
                 / (MU_0 * material.saturation_magnetization()),
@@ -180,14 +181,23 @@ impl LocalDemag {
     pub fn new(material: &Material, tensor: Vec3) -> Result<Self, SimError> {
         for v in [tensor.x, tensor.y, tensor.z] {
             if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
-                return Err(SimError::InvalidParameter { parameter: "demag_factor", value: v });
+                return Err(SimError::InvalidParameter {
+                    parameter: "demag_factor",
+                    value: v,
+                });
             }
         }
         let trace = tensor.x + tensor.y + tensor.z;
         if trace > 1.0 + 1e-6 {
-            return Err(SimError::InvalidParameter { parameter: "demag_trace", value: trace });
+            return Err(SimError::InvalidParameter {
+                parameter: "demag_trace",
+                value: trace,
+            });
         }
-        Ok(LocalDemag { ms: material.saturation_magnetization(), tensor })
+        Ok(LocalDemag {
+            ms: material.saturation_magnetization(),
+            tensor,
+        })
     }
 
     /// Out-of-plane-only tensor `(0, 0, nz)`.
@@ -403,7 +413,10 @@ mod tests {
             UniaxialAnisotropy::perpendicular(&mat).unwrap().name(),
             "uniaxial_anisotropy"
         );
-        assert_eq!(LocalDemag::out_of_plane(&mat, 1.0).unwrap().name(), "local_demag");
+        assert_eq!(
+            LocalDemag::out_of_plane(&mat, 1.0).unwrap().name(),
+            "local_demag"
+        );
         assert_eq!(Zeeman::new(Vec3::ZERO).name(), "zeeman");
     }
 }

@@ -49,14 +49,26 @@ impl Mesh {
             ("thickness", thickness),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(SimError::InvalidParameter { parameter: name, value: v });
+                return Err(SimError::InvalidParameter {
+                    parameter: name,
+                    value: v,
+                });
             }
         }
         if dx > length / 2.0 {
-            return Err(SimError::InvalidParameter { parameter: "dx", value: dx });
+            return Err(SimError::InvalidParameter {
+                parameter: "dx",
+                value: dx,
+            });
         }
         let nx = (length / dx).round().max(2.0) as usize;
-        Ok(Mesh { nx, ny: 1, dx, dy: width, thickness })
+        Ok(Mesh {
+            nx,
+            ny: 1,
+            dx,
+            dy: width,
+            thickness,
+        })
     }
 
     /// Creates a 2D mesh covering `length` × `width` with cells of size
@@ -81,18 +93,33 @@ impl Mesh {
             ("thickness", thickness),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(SimError::InvalidParameter { parameter: name, value: v });
+                return Err(SimError::InvalidParameter {
+                    parameter: name,
+                    value: v,
+                });
             }
         }
         if dx > length / 2.0 {
-            return Err(SimError::InvalidParameter { parameter: "dx", value: dx });
+            return Err(SimError::InvalidParameter {
+                parameter: "dx",
+                value: dx,
+            });
         }
         if dy > width {
-            return Err(SimError::InvalidParameter { parameter: "dy", value: dy });
+            return Err(SimError::InvalidParameter {
+                parameter: "dy",
+                value: dy,
+            });
         }
         let nx = (length / dx).round().max(2.0) as usize;
         let ny = (width / dy).round().max(1.0) as usize;
-        Ok(Mesh { nx, ny, dx, dy, thickness })
+        Ok(Mesh {
+            nx,
+            ny,
+            dx,
+            dy,
+            thickness,
+        })
     }
 
     /// Number of cells along x.
@@ -195,9 +222,16 @@ impl Mesh {
     ///
     /// Returns [`SimError::RegionOutOfBounds`] when the interval does
     /// not fit inside the mesh.
-    pub fn columns_in(&self, x_start: f64, extent: f64) -> Result<std::ops::Range<usize>, SimError> {
+    pub fn columns_in(
+        &self,
+        x_start: f64,
+        extent: f64,
+    ) -> Result<std::ops::Range<usize>, SimError> {
         if !(extent.is_finite() && extent >= 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "extent", value: extent });
+            return Err(SimError::InvalidParameter {
+                parameter: "extent",
+                value: extent,
+            });
         }
         let first = self.column_at(x_start)?;
         let x_end = x_start + extent;

@@ -57,12 +57,20 @@ pub struct Probe {
 impl Probe {
     /// A probe at a single mesh column containing `x`.
     pub fn point(x: f64) -> Self {
-        Probe { x_start: x, extent: 0.0, component: Component::Mx }
+        Probe {
+            x_start: x,
+            extent: 0.0,
+            component: Component::Mx,
+        }
     }
 
     /// A probe averaging over `[x_start, x_start + extent)`.
     pub fn region(x_start: f64, extent: f64) -> Self {
-        Probe { x_start, extent, component: Component::Mx }
+        Probe {
+            x_start,
+            extent,
+            component: Component::Mx,
+        }
     }
 
     /// Selects the recorded component (default [`Component::Mx`]).
@@ -128,13 +136,25 @@ impl Recorder {
             return Err(SimError::NothingToDo);
         }
         if interval == 0 {
-            return Err(SimError::InvalidParameter { parameter: "interval", value: 0.0 });
+            return Err(SimError::InvalidParameter {
+                parameter: "interval",
+                value: 0.0,
+            });
         }
         if !(dt.is_finite() && dt > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "dt", value: dt });
+            return Err(SimError::InvalidParameter {
+                parameter: "dt",
+                value: dt,
+            });
         }
         let buffers = vec![Vec::new(); probes.len()];
-        Ok(Recorder { probes, interval, dt, buffers, step: 0 })
+        Ok(Recorder {
+            probes,
+            interval,
+            dt,
+            buffers,
+            step: 0,
+        })
     }
 
     /// Number of probes.
@@ -148,7 +168,7 @@ impl Recorder {
     ///
     /// Propagates probe sampling errors.
     pub fn observe(&mut self, mesh: &Mesh, m: &[Vec3]) -> Result<(), SimError> {
-        if self.step % self.interval == 0 {
+        if self.step.is_multiple_of(self.interval) {
             for (probe, buf) in self.probes.iter().zip(&mut self.buffers) {
                 buf.push(probe.sample(mesh, m)?);
             }
@@ -210,11 +230,21 @@ mod tests {
         let x = 21.0 * NM;
         assert!((Probe::point(x).sample(&mesh, &m).unwrap() - 0.1).abs() < 1e-12);
         assert!(
-            (Probe::point(x).component(Component::My).sample(&mesh, &m).unwrap() - 0.2).abs()
+            (Probe::point(x)
+                .component(Component::My)
+                .sample(&mesh, &m)
+                .unwrap()
+                - 0.2)
+                .abs()
                 < 1e-12
         );
         assert!(
-            (Probe::point(x).component(Component::Mz).sample(&mesh, &m).unwrap() - 0.97).abs()
+            (Probe::point(x)
+                .component(Component::Mz)
+                .sample(&mesh, &m)
+                .unwrap()
+                - 0.97)
+                .abs()
                 < 1e-12
         );
     }

@@ -48,7 +48,10 @@ impl SimulationBuilder {
     /// Returns [`SimError::InvalidParameter`] for a non-positive length.
     pub fn new(waveguide: Waveguide, length: f64) -> Result<Self, SimError> {
         if !(length.is_finite() && length > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "length", value: length });
+            return Err(SimError::InvalidParameter {
+                parameter: "length",
+                value: length,
+            });
         }
         Ok(SimulationBuilder {
             waveguide,
@@ -73,7 +76,10 @@ impl SimulationBuilder {
     /// Returns [`SimError::InvalidParameter`] for zero rows.
     pub fn rows(mut self, rows: usize) -> Result<Self, SimError> {
         if rows == 0 {
-            return Err(SimError::InvalidParameter { parameter: "rows", value: 0.0 });
+            return Err(SimError::InvalidParameter {
+                parameter: "rows",
+                value: 0.0,
+            });
         }
         self.rows = rows;
         Ok(self)
@@ -86,7 +92,10 @@ impl SimulationBuilder {
     /// Returns [`SimError::InvalidParameter`] for a non-positive value.
     pub fn cell_size(mut self, dx: f64) -> Result<Self, SimError> {
         if !(dx.is_finite() && dx > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "cell_size", value: dx });
+            return Err(SimError::InvalidParameter {
+                parameter: "cell_size",
+                value: dx,
+            });
         }
         self.cell_size = dx;
         Ok(self)
@@ -99,7 +108,10 @@ impl SimulationBuilder {
     /// Returns [`SimError::InvalidParameter`] for a non-positive value.
     pub fn duration(mut self, duration: f64) -> Result<Self, SimError> {
         if !(duration.is_finite() && duration > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "duration", value: duration });
+            return Err(SimError::InvalidParameter {
+                parameter: "duration",
+                value: duration,
+            });
         }
         self.duration = duration;
         Ok(self)
@@ -113,7 +125,10 @@ impl SimulationBuilder {
     /// Stability is checked at [`SimulationBuilder::run`].
     pub fn time_step(mut self, dt: f64) -> Result<Self, SimError> {
         if !(dt.is_finite() && dt > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "time_step", value: dt });
+            return Err(SimError::InvalidParameter {
+                parameter: "time_step",
+                value: dt,
+            });
         }
         self.time_step = Some(dt);
         Ok(self)
@@ -126,7 +141,10 @@ impl SimulationBuilder {
     /// Returns [`SimError::InvalidParameter`] for zero.
     pub fn sample_interval(mut self, interval: usize) -> Result<Self, SimError> {
         if interval == 0 {
-            return Err(SimError::InvalidParameter { parameter: "sample_interval", value: 0.0 });
+            return Err(SimError::InvalidParameter {
+                parameter: "sample_interval",
+                value: 0.0,
+            });
         }
         self.sample_interval = interval;
         Ok(self)
@@ -329,7 +347,10 @@ mod tests {
     #[test]
     fn effective_time_step_defaults_to_stability() {
         let g = Waveguide::paper_default().unwrap();
-        let b = SimulationBuilder::new(g, 300.0 * NM).unwrap().cell_size(2.0 * NM).unwrap();
+        let b = SimulationBuilder::new(g, 300.0 * NM)
+            .unwrap()
+            .cell_size(2.0 * NM)
+            .unwrap();
         let auto = b.effective_time_step().unwrap();
         assert!(auto > 0.0 && auto < 1e-12);
         let b = SimulationBuilder::new(g, 300.0 * NM)
@@ -347,6 +368,9 @@ mod tests {
             .build_solver()
             .unwrap();
         let names = solver.field_term_names();
-        assert_eq!(names, vec!["exchange", "uniaxial_anisotropy", "local_demag"]);
+        assert_eq!(
+            names,
+            vec!["exchange", "uniaxial_anisotropy", "local_demag"]
+        );
     }
 }

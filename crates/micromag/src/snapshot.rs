@@ -60,7 +60,10 @@ impl SpatialProfile {
         for v in &mut values {
             *v /= ny as f64;
         }
-        Ok(SpatialProfile { dx: mesh.dx(), values })
+        Ok(SpatialProfile {
+            dx: mesh.dx(),
+            values,
+        })
     }
 
     /// Cell size along x in metres.
@@ -88,7 +91,10 @@ impl SpatialProfile {
                 available: self.values.len() as f64 * self.dx,
             });
         }
-        Ok(SpatialProfile { dx: self.dx, values: self.values[i_lo..i_hi].to_vec() })
+        Ok(SpatialProfile {
+            dx: self.dx,
+            values: self.values[i_lo..i_hi].to_vec(),
+        })
     }
 
     /// Dominant spatial wavenumber (rad/m) from the spatial FFT,
@@ -113,11 +119,7 @@ impl SpatialProfile {
         let bin = idx + 1;
         // Parabolic interpolation around the peak for sub-bin accuracy.
         let refined = if bin > 1 && bin + 1 < half {
-            let (a, b, c) = (
-                spec[bin - 1].abs(),
-                spec[bin].abs(),
-                spec[bin + 1].abs(),
-            );
+            let (a, b, c) = (spec[bin - 1].abs(), spec[bin].abs(), spec[bin + 1].abs());
             let denom = a - 2.0 * b + c;
             if denom.abs() > 1e-300 {
                 bin as f64 + 0.5 * (a - c) / denom

@@ -61,7 +61,14 @@ impl std::fmt::Debug for LlgSolver {
         f.debug_struct("LlgSolver")
             .field("mesh", &self.mesh)
             .field("t", &self.t)
-            .field("terms", &self.field_terms.iter().map(|t| t.name()).collect::<Vec<_>>())
+            .field(
+                "terms",
+                &self
+                    .field_terms
+                    .iter()
+                    .map(|t| t.name())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -77,7 +84,10 @@ impl LlgSolver {
     pub fn new(mesh: Mesh, material: Material) -> Result<Self, SimError> {
         let n = mesh.cell_count();
         if n == 0 {
-            return Err(SimError::InvalidParameter { parameter: "cell_count", value: 0.0 });
+            return Err(SimError::InvalidParameter {
+                parameter: "cell_count",
+                value: 0.0,
+            });
         }
         Ok(LlgSolver {
             alpha: vec![material.gilbert_damping(); n],
@@ -138,8 +148,14 @@ impl LlgSolver {
                 value: alpha.len() as f64,
             });
         }
-        if alpha.iter().any(|&a| !(a.is_finite() && a > 0.0 && a <= 1.0)) {
-            return Err(SimError::InvalidParameter { parameter: "alpha", value: f64::NAN });
+        if alpha
+            .iter()
+            .any(|&a| !(a.is_finite() && a > 0.0 && a <= 1.0))
+        {
+            return Err(SimError::InvalidParameter {
+                parameter: "alpha",
+                value: f64::NAN,
+            });
         }
         self.alpha = alpha;
         Ok(())
@@ -271,14 +287,23 @@ impl LlgSolver {
         F: FnMut((&Mesh, &[Vec3]), usize) -> Result<(), SimError>,
     {
         if !(duration.is_finite() && duration > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "duration", value: duration });
+            return Err(SimError::InvalidParameter {
+                parameter: "duration",
+                value: duration,
+            });
         }
         if !(dt.is_finite() && dt > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "dt", value: dt });
+            return Err(SimError::InvalidParameter {
+                parameter: "dt",
+                value: dt,
+            });
         }
         let limit = crate::stability::max_stable_time_step(&self.mesh, &self.material);
         if dt > limit {
-            return Err(SimError::UnstableTimeStep { requested: dt, limit });
+            return Err(SimError::UnstableTimeStep {
+                requested: dt,
+                limit,
+            });
         }
         let steps = (duration / dt).round().max(1.0) as usize;
         for s in 0..steps {
@@ -313,7 +338,9 @@ mod tests {
         let material = Material::fe_co_b();
         let mut s = LlgSolver::new(mesh, material).unwrap();
         s.add_field_term(Box::new(Exchange::new(&material)));
-        s.add_field_term(Box::new(UniaxialAnisotropy::perpendicular(&material).unwrap()));
+        s.add_field_term(Box::new(
+            UniaxialAnisotropy::perpendicular(&material).unwrap(),
+        ));
         s.add_field_term(Box::new(LocalDemag::out_of_plane(&material, 1.0).unwrap()));
         s
     }
@@ -351,7 +378,9 @@ mod tests {
         let field = Vec3::new(0.0, 0.0, 2.0e5);
         let mut s = LlgSolver::new(mesh, material).unwrap();
         s.add_field_term(Box::new(Zeeman::new(field)));
-        let m0 = Vec3::new(0.4, 0.0, 0.916_515_138_991_168).normalized().unwrap();
+        let m0 = Vec3::new(0.4, 0.0, 0.916_515_138_991_168)
+            .normalized()
+            .unwrap();
         s.set_uniform_magnetization(m0);
         let dt = 1.0e-14;
         let duration = 0.05 * NS;
@@ -361,7 +390,10 @@ mod tests {
         let traj = reference.integrate(m0, duration, dt).unwrap();
         let expected = traj.last().unwrap();
         let got = s.magnetization()[0];
-        assert!((got - *expected).norm() < 1e-6, "got {got}, expected {expected}");
+        assert!(
+            (got - *expected).norm() < 1e-6,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]

@@ -61,19 +61,34 @@ impl Antenna {
         phase: f64,
     ) -> Result<Self, SimError> {
         if !(x_start.is_finite() && x_start >= 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "x_start", value: x_start });
+            return Err(SimError::InvalidParameter {
+                parameter: "x_start",
+                value: x_start,
+            });
         }
         if !(extent.is_finite() && extent > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "extent", value: extent });
+            return Err(SimError::InvalidParameter {
+                parameter: "extent",
+                value: extent,
+            });
         }
         if !(frequency.is_finite() && frequency > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "frequency", value: frequency });
+            return Err(SimError::InvalidParameter {
+                parameter: "frequency",
+                value: frequency,
+            });
         }
         if !(amplitude.is_finite() && amplitude >= 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "amplitude", value: amplitude });
+            return Err(SimError::InvalidParameter {
+                parameter: "amplitude",
+                value: amplitude,
+            });
         }
         if !phase.is_finite() {
-            return Err(SimError::InvalidParameter { parameter: "phase", value: phase });
+            return Err(SimError::InvalidParameter {
+                parameter: "phase",
+                value: phase,
+            });
         }
         Ok(Antenna {
             x_start,
@@ -94,7 +109,10 @@ impl Antenna {
     /// Returns [`SimError::InvalidParameter`] for a negative ramp time.
     pub fn with_ramp(mut self, ramp_time: f64) -> Result<Self, SimError> {
         if !(ramp_time.is_finite() && ramp_time >= 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "ramp_time", value: ramp_time });
+            return Err(SimError::InvalidParameter {
+                parameter: "ramp_time",
+                value: ramp_time,
+            });
         }
         self.ramp_time = ramp_time;
         Ok(self)
@@ -106,9 +124,10 @@ impl Antenna {
     ///
     /// Returns [`SimError::InvalidParameter`] for a zero axis.
     pub fn with_axis(mut self, axis: Vec3) -> Result<Self, SimError> {
-        self.axis = axis
-            .normalized()
-            .ok_or(SimError::InvalidParameter { parameter: "axis", value: 0.0 })?;
+        self.axis = axis.normalized().ok_or(SimError::InvalidParameter {
+            parameter: "axis",
+            value: 0.0,
+        })?;
         Ok(self)
     }
 

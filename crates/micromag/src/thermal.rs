@@ -88,13 +88,13 @@ impl ThermalField {
             });
         }
         if !(dt.is_finite() && dt > 0.0) {
-            return Err(SimError::InvalidParameter { parameter: "dt", value: dt });
+            return Err(SimError::InvalidParameter {
+                parameter: "dt",
+                value: dt,
+            });
         }
         let volume = mesh.cell_volume();
-        let sigma = (2.0
-            * material.gilbert_damping()
-            * K_B
-            * temperature
+        let sigma = (2.0 * material.gilbert_damping() * K_B * temperature
             / (GAMMA_E * MU_0 * MU_0 * material.saturation_magnetization() * volume * dt))
             .sqrt();
         Ok(ThermalField {
@@ -184,11 +184,17 @@ mod tests {
         let mat = Material::fe_co_b();
         let fine = Mesh::line(100.0 * NM, 1.0 * NM, 50.0 * NM, 1.0 * NM).unwrap();
         let coarse = mesh();
-        let s_fine = ThermalField::new(&mat, &fine, 300.0, 1e-14, 1).unwrap().sigma();
-        let s_coarse = ThermalField::new(&mat, &coarse, 300.0, 1e-14, 1).unwrap().sigma();
+        let s_fine = ThermalField::new(&mat, &fine, 300.0, 1e-14, 1)
+            .unwrap()
+            .sigma();
+        let s_coarse = ThermalField::new(&mat, &coarse, 300.0, 1e-14, 1)
+            .unwrap()
+            .sigma();
         // Half the cell volume -> sqrt(2) larger sigma.
         assert!((s_fine / s_coarse - 2.0f64.sqrt()).abs() < 1e-12);
-        let s_dt = ThermalField::new(&mat, &coarse, 300.0, 4e-14, 1).unwrap().sigma();
+        let s_dt = ThermalField::new(&mat, &coarse, 300.0, 4e-14, 1)
+            .unwrap()
+            .sigma();
         assert!((s_coarse / s_dt - 2.0).abs() < 1e-12);
     }
 
@@ -269,6 +275,10 @@ mod tests {
         // field is in the kA/m range — strong on the nanoscale, which is
         // why the robustness study matters.
         let t = ThermalField::new(&Material::fe_co_b(), &mesh(), 300.0, 1e-14, 0).unwrap();
-        assert!(t.sigma() > 1.0e2 && t.sigma() < 1.0e6, "sigma = {}", t.sigma());
+        assert!(
+            t.sigma() > 1.0e2 && t.sigma() < 1.0e6,
+            "sigma = {}",
+            t.sigma()
+        );
     }
 }

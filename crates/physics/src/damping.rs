@@ -26,7 +26,10 @@ impl DampingModel {
     /// `(0, 1)`.
     pub fn new(alpha: f64) -> Result<Self, PhysicsError> {
         if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
-            return Err(PhysicsError::InvalidMaterial { parameter: "gilbert_damping", value: alpha });
+            return Err(PhysicsError::InvalidMaterial {
+                parameter: "gilbert_damping",
+                value: alpha,
+            });
         }
         Ok(DampingModel { alpha })
     }
@@ -45,7 +48,10 @@ impl DampingModel {
     /// frequency.
     pub fn lifetime(&self, frequency: f64) -> Result<f64, PhysicsError> {
         if !(frequency.is_finite() && frequency > 0.0) {
-            return Err(PhysicsError::InvalidGeometry { parameter: "frequency", value: frequency });
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: "frequency",
+                value: frequency,
+            });
         }
         Ok(1.0 / (self.alpha * 2.0 * std::f64::consts::PI * frequency))
     }
@@ -81,7 +87,10 @@ impl DampingModel {
         distance: f64,
     ) -> Result<f64, PhysicsError> {
         if !(distance.is_finite() && distance >= 0.0) {
-            return Err(PhysicsError::InvalidGeometry { parameter: "distance", value: distance });
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: "distance",
+                value: distance,
+            });
         }
         let l = self.attenuation_length(dispersion, frequency)?;
         Ok((-distance / l).exp())

@@ -43,7 +43,10 @@ use crate::error::PhysicsError;
 pub fn prism_demag_factor(x: f64, y: f64, z: f64) -> Result<f64, PhysicsError> {
     for (name, v) in [("x", x), ("y", y), ("z", z)] {
         if !(v.is_finite() && v > 0.0) {
-            return Err(PhysicsError::InvalidGeometry { parameter: name, value: v });
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: name,
+                value: v,
+            });
         }
     }
     // Aharoni's formula is written for semi-axes a, b, c with
@@ -122,7 +125,10 @@ pub fn prism_demag_factors(x: f64, y: f64, z: f64) -> Result<(f64, f64, f64), Ph
 pub fn waveguide_demag_factor(width: f64, thickness: f64) -> Result<f64, PhysicsError> {
     for (name, v) in [("width", width), ("thickness", thickness)] {
         if !(v.is_finite() && v > 0.0) {
-            return Err(PhysicsError::InvalidGeometry { parameter: name, value: v });
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: name,
+                value: v,
+            });
         }
     }
     let length = 1.0e4 * width.max(thickness);

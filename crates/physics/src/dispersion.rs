@@ -97,7 +97,10 @@ impl ExchangeDispersion {
     ///   `H_ani − nz·Ms ≤ 0` (the film is not out-of-plane magnetized).
     pub fn new(material: &crate::material::Material, nz: f64) -> Result<Self, PhysicsError> {
         if !(0.0..=1.0).contains(&nz) || !nz.is_finite() {
-            return Err(PhysicsError::InvalidGeometry { parameter: "nz", value: nz });
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: "nz",
+                value: nz,
+            });
         }
         let internal_field = material.anisotropy_field() - nz * material.saturation_magnetization();
         if internal_field <= 0.0 {
@@ -105,7 +108,10 @@ impl ExchangeDispersion {
         }
         let omega_h = GAMMA_E * magnon_math::constants::MU_0 * internal_field;
         let exchange_coeff = material.omega_m() * material.exchange_length_sq();
-        Ok(ExchangeDispersion { omega_h, exchange_coeff })
+        Ok(ExchangeDispersion {
+            omega_h,
+            exchange_coeff,
+        })
     }
 
     /// Builds the dispersion directly from circular frequencies; used by
@@ -117,7 +123,10 @@ impl ExchangeDispersion {
     /// coefficients.
     pub fn from_omegas(omega_h: f64, exchange_coeff: f64) -> Result<Self, PhysicsError> {
         if !(omega_h.is_finite() && omega_h > 0.0) {
-            return Err(PhysicsError::InvalidGeometry { parameter: "omega_h", value: omega_h });
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: "omega_h",
+                value: omega_h,
+            });
         }
         if !(exchange_coeff.is_finite() && exchange_coeff > 0.0) {
             return Err(PhysicsError::InvalidGeometry {
@@ -125,7 +134,10 @@ impl ExchangeDispersion {
                 value: exchange_coeff,
             });
         }
-        Ok(ExchangeDispersion { omega_h, exchange_coeff })
+        Ok(ExchangeDispersion {
+            omega_h,
+            exchange_coeff,
+        })
     }
 
     /// ω_H in rad/s.
@@ -226,11 +238,7 @@ impl DispersionRelation for KalinikosSlavinFvmsw {
         // for a given k (F ≥ 0), so its k is a lower bound... actually the
         // KS frequency exceeds the exchange frequency at the same k, so
         // the exchange-branch k is an upper bound. Bracket around it.
-        let k_guess = self
-            .base
-            .wavenumber(frequency)
-            .unwrap_or(1.0e6)
-            .max(1.0e3);
+        let k_guess = self.base.wavenumber(frequency).unwrap_or(1.0e6).max(1.0e3);
         let (lo, hi) = roots::expand_bracket(objective, 0.0, k_guess, 80)?;
         let root = roots::brent(objective, lo, hi, 1e-6, 200)?;
         Ok(root.x)
@@ -271,7 +279,10 @@ mod tests {
             let f = i as f64 * 10.0 * GHZ;
             let lambda = d.wavelength(f).unwrap();
             assert!(lambda < last);
-            assert!(lambda > 10.0 * NM && lambda < 200.0 * NM, "λ({f}) = {lambda}");
+            assert!(
+                lambda > 10.0 * NM && lambda < 200.0 * NM,
+                "λ({f}) = {lambda}"
+            );
             last = lambda;
         }
         // Spot values from the analytic inverse (documented in DESIGN.md).

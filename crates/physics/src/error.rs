@@ -44,10 +44,16 @@ impl fmt::Display for PhysicsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PhysicsError::InvalidMaterial { parameter, value } => {
-                write!(f, "material parameter `{parameter}` is out of range: {value}")
+                write!(
+                    f,
+                    "material parameter `{parameter}` is out of range: {value}"
+                )
             }
             PhysicsError::InvalidGeometry { parameter, value } => {
-                write!(f, "geometry parameter `{parameter}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "geometry parameter `{parameter}` must be positive and finite, got {value}"
+                )
             }
             PhysicsError::NotPerpendicular { internal_field } => {
                 write!(
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = PhysicsError::FrequencyBelowFmr { frequency: 1e9, fmr: 3e9 };
+        let e = PhysicsError::FrequencyBelowFmr {
+            frequency: 1e9,
+            fmr: 3e9,
+        };
         assert!(e.to_string().contains("ferromagnetic resonance"));
         let e = PhysicsError::Math(MathError::EmptyInput);
         assert!(e.to_string().contains("numerical error"));
@@ -98,7 +107,9 @@ mod tests {
         use std::error::Error;
         let e = PhysicsError::Math(MathError::EmptyInput);
         assert!(e.source().is_some());
-        let e = PhysicsError::NotPerpendicular { internal_field: -1.0 };
+        let e = PhysicsError::NotPerpendicular {
+            internal_field: -1.0,
+        };
         assert!(e.source().is_none());
     }
 

@@ -82,7 +82,10 @@ impl Macrospin {
     /// `[0, 1)`.
     pub fn new(field: Vec3, alpha: f64) -> Result<Self, PhysicsError> {
         if !(alpha.is_finite() && (0.0..1.0).contains(&alpha)) {
-            return Err(PhysicsError::InvalidMaterial { parameter: "gilbert_damping", value: alpha });
+            return Err(PhysicsError::InvalidMaterial {
+                parameter: "gilbert_damping",
+                value: alpha,
+            });
         }
         Ok(Macrospin { field, alpha })
     }
@@ -106,15 +109,13 @@ impl Macrospin {
     ///
     /// Returns [`PhysicsError::InvalidGeometry`] for non-positive
     /// `duration` or `dt`.
-    pub fn integrate(
-        &self,
-        m0: Vec3,
-        duration: f64,
-        dt: f64,
-    ) -> Result<Vec<Vec3>, PhysicsError> {
+    pub fn integrate(&self, m0: Vec3, duration: f64, dt: f64) -> Result<Vec<Vec3>, PhysicsError> {
         for (name, v) in [("duration", duration), ("dt", dt)] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(PhysicsError::InvalidGeometry { parameter: name, value: v });
+                return Err(PhysicsError::InvalidGeometry {
+                    parameter: name,
+                    value: v,
+                });
             }
         }
         let steps = (duration / dt).round().max(1.0) as usize;

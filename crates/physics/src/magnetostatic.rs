@@ -44,11 +44,7 @@ struct InPlaneFilm {
 }
 
 impl InPlaneFilm {
-    fn new(
-        material: &Material,
-        applied_field: f64,
-        thickness: f64,
-    ) -> Result<Self, PhysicsError> {
+    fn new(material: &Material, applied_field: f64, thickness: f64) -> Result<Self, PhysicsError> {
         if !(applied_field.is_finite() && applied_field > 0.0) {
             return Err(PhysicsError::InvalidGeometry {
                 parameter: "applied_field",
@@ -56,7 +52,10 @@ impl InPlaneFilm {
             });
         }
         if !(thickness.is_finite() && thickness > 0.0) {
-            return Err(PhysicsError::InvalidGeometry { parameter: "thickness", value: thickness });
+            return Err(PhysicsError::InvalidGeometry {
+                parameter: "thickness",
+                value: thickness,
+            });
         }
         Ok(InPlaneFilm {
             omega_h0: GAMMA_E * MU_0 * applied_field,
@@ -105,7 +104,9 @@ impl BackwardVolumeDispersion {
         applied_field: f64,
         thickness: f64,
     ) -> Result<Self, PhysicsError> {
-        Ok(BackwardVolumeDispersion { film: InPlaneFilm::new(material, applied_field, thickness)? })
+        Ok(BackwardVolumeDispersion {
+            film: InPlaneFilm::new(material, applied_field, thickness)?,
+        })
     }
 
     /// Frequency in Hz at wavenumber `k` (rad/m).
@@ -167,7 +168,9 @@ impl SurfaceDispersion {
         applied_field: f64,
         thickness: f64,
     ) -> Result<Self, PhysicsError> {
-        Ok(SurfaceDispersion { film: InPlaneFilm::new(material, applied_field, thickness)? })
+        Ok(SurfaceDispersion {
+            film: InPlaneFilm::new(material, applied_field, thickness)?,
+        })
     }
 }
 
@@ -215,7 +218,10 @@ mod tests {
         // Frequency decreases from the k=0 point into the band.
         let f0 = d.frequency(1.0e5);
         let f1 = d.frequency(2.0e6);
-        assert!(f1 < f0, "BVMSW must be backward: f(k small)={f0}, f(k)={f1}");
+        assert!(
+            f1 < f0,
+            "BVMSW must be backward: f(k small)={f0}, f(k)={f1}"
+        );
     }
 
     #[test]

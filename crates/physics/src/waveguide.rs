@@ -44,10 +44,17 @@ impl Waveguide {
     pub fn new(material: Material, width: f64, thickness: f64) -> Result<Self, PhysicsError> {
         for (name, v) in [("width", width), ("thickness", thickness)] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(PhysicsError::InvalidGeometry { parameter: name, value: v });
+                return Err(PhysicsError::InvalidGeometry {
+                    parameter: name,
+                    value: v,
+                });
             }
         }
-        Ok(Waveguide { material, width, thickness })
+        Ok(Waveguide {
+            material,
+            width,
+            thickness,
+        })
     }
 
     /// The paper's waveguide: FeCoB, 50 nm wide, 1 nm thick.
@@ -220,7 +227,10 @@ mod tests {
 
     #[test]
     fn with_width_preserves_material() {
-        let g = Waveguide::paper_default().unwrap().with_width(100.0 * NM).unwrap();
+        let g = Waveguide::paper_default()
+            .unwrap()
+            .with_width(100.0 * NM)
+            .unwrap();
         assert_eq!(*g.material(), Material::fe_co_b());
         assert_eq!(g.thickness(), 1.0 * NM);
     }

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
     );
 
-    let settings = ValidationSettings { duration: Some(2.5e-9), ..ValidationSettings::default() };
+    let settings = ValidationSettings {
+        duration: Some(2.5e-9),
+        ..ValidationSettings::default()
+    };
     let mut validator = MicromagValidator::with_settings(&gate, settings);
 
     // Drive each input combination on all channels simultaneously
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|p| (p * 100.0).round() / 100.0)
                 .collect::<Vec<_>>()
         );
-        assert_eq!(micromag, analytic, "micromagnetic and analytic decode differ");
+        assert_eq!(
+            micromag, analytic,
+            "micromagnetic and analytic decode differ"
+        );
     }
     println!("\nall input combinations validated micromagnetically");
     Ok(())

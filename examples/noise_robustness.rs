@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example noise_robustness`
 
 use spinwave_parallel::core::prelude::*;
-use spinwave_parallel::core::robustness::{
-    monte_carlo_error_rate, phase_noise_sweep, NoiseModel,
-};
+use spinwave_parallel::core::robustness::{monte_carlo_error_rate, phase_noise_sweep, NoiseModel};
 use spinwave_parallel::physics::waveguide::Waveguide;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\namplitude-only noise (phase exact):");
     for sigma in [0.05, 0.1, 0.2, 0.4] {
-        let report =
-            monte_carlo_error_rate(&gate, NoiseModel::new(0.0, sigma)?, 500, 678)?;
+        let report = monte_carlo_error_rate(&gate, NoiseModel::new(0.0, sigma)?, 500, 678)?;
         println!(
             "  {:>4.0}% amplitude jitter -> error rate {:.5}",
             sigma * 100.0,

@@ -59,5 +59,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let comparison = CostModel::new(Transducer::paper_default()).compare(&gate)?;
     println!("\n{comparison}");
+
+    // 5. Serving many operand sets: open a session on a backend (here
+    //    the precompiled truth-table cache) and evaluate a batch in one
+    //    call. See examples/batch_throughput.rs for the full story.
+    let mut session = gate.session(BackendChoice::Cached)?;
+    let batch: Vec<OperandSet> = (0u8..16)
+        .map(|i| {
+            OperandSet::new(vec![
+                Word::from_u8(i.wrapping_mul(37)),
+                Word::from_u8(i.wrapping_mul(59)),
+                Word::from_u8(i.wrapping_mul(83)),
+            ])
+        })
+        .collect();
+    let outputs = session.evaluate_batch(&batch)?;
+    println!(
+        "\nbatched: {} majority words through the `{}` backend",
+        outputs.len(),
+        session.backend_name()
+    );
     Ok(())
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in 0..8 {
         let a = gate.schedule().amplitudes_for_channel(c);
         println!("  f{}     {:.4}   {:.4}   {:.4}", c + 1, a[0], a[1], a[2]);
-        assert!(a[0] > a[1] && a[1] > a[2], "paper ordering E(I_1)>E(I_2)>E(I_3)");
+        assert!(
+            a[0] > a[1] && a[1] > a[2],
+            "paper ordering E(I_1)>E(I_2)>E(I_3)"
+        );
     }
 
     // How the requirement scales with the channel count.

@@ -13,12 +13,13 @@
 //! * [`micromag`] — finite-difference LLG simulator (the OOMMF-class
 //!   substrate used for validation),
 //! * [`core`] — the paper's contribution: `n`-bit data-parallel
-//!   multi-frequency in-line logic gates (majority, XOR) with analytic
-//!   and micromagnetic evaluation,
+//!   multi-frequency in-line logic gates (majority, XOR) behind
+//!   pluggable evaluation backends (analytic superposition, precompiled
+//!   truth-table cache, full LLG micromagnetics),
 //! * [`cost`] — area/delay/energy models and the scalar-vs-parallel
 //!   comparison of the paper's §V.B,
 //! * [`circuits`] — word-level circuits (full adders, parity trees)
-//!   composed from data-parallel gates.
+//!   composed from data-parallel gates, evaluable on any backend.
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,52 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Batched serving through backends
+//!
+//! For throughput, open a [`core::backend::GateSession`]: the channel
+//! plan, layout, constructive references and equalised drive amplitudes
+//! are compiled **once**, then any number of operand sets stream
+//! through the chosen [`core::backend::SpinWaveBackend`] —
+//!
+//! * [`BackendChoice::Analytic`] — exact wave superposition,
+//! * [`BackendChoice::Cached`] — memoized per-channel truth-table LUT
+//!   for hot-path serving,
+//! * [`BackendChoice::Micromag`] — the full LLG simulator behind the
+//!   same interface (the paper's OOMMF methodology).
+//!
+//! [`BackendChoice::Analytic`]: core::backend::BackendChoice::Analytic
+//! [`BackendChoice::Cached`]: core::backend::BackendChoice::Cached
+//! [`BackendChoice::Micromag`]: core::backend::BackendChoice::Micromag
+//!
+//! ```
+//! use spinwave_parallel::core::prelude::*;
+//! use spinwave_parallel::physics::waveguide::Waveguide;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+//!     .channels(8)
+//!     .inputs(3)
+//!     .build()?;
+//! let mut session = gate.session(BackendChoice::Cached)?;
+//! let batch: Vec<OperandSet> = (0u8..64)
+//!     .map(|i| OperandSet::new(vec![
+//!         Word::from_u8(i.wrapping_mul(37)),
+//!         Word::from_u8(i.wrapping_mul(59)),
+//!         Word::from_u8(i.wrapping_mul(83)),
+//!     ]))
+//!     .collect();
+//! let outputs = session.evaluate_batch(&batch)?;
+//! assert_eq!(outputs.len(), 64);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Whole circuits switch engines the same way: a
+//! [`circuits::netlist::GateBank`] holds one session per gate shape, so
+//! `circuit.evaluate_with(&mut bank, …)` runs every MAJ/XOR node on the
+//! bank's backend — analytic, cached, or micromagnetic — with one line
+//! changed.
 
 pub use magnon_circuits as circuits;
 pub use magnon_core as core;

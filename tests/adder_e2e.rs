@@ -79,7 +79,11 @@ fn transpose_respects_channel_assignment() {
     // words[i].bit(c) == bit i of numbers[c]
     for (i, w) in words.iter().enumerate() {
         for (c, &v) in numbers.iter().enumerate() {
-            assert_eq!(w.bit(c).unwrap(), (v >> i) & 1 == 1, "plane {i}, channel {c}");
+            assert_eq!(
+                w.bit(c).unwrap(),
+                (v >> i) & 1 == 1,
+                "plane {i}, channel {c}"
+            );
         }
     }
 }

@@ -43,7 +43,10 @@ fn two_dimensional_mesh_propagates_waves() {
         .run()
         .unwrap();
     let steady = output.series()[0].after(0.5 * NS).unwrap();
-    assert!(steady.amplitude_at(f).unwrap() > 1e-5, "wave did not arrive in 2D");
+    assert!(
+        steady.amplitude_at(f).unwrap() > 1e-5,
+        "wave did not arrive in 2D"
+    );
     // Magnetization stays on the unit sphere everywhere.
     for m in output.final_magnetization() {
         assert!((m.norm() - 1.0).abs() < 1e-9);
@@ -144,7 +147,10 @@ fn absorber_suppresses_end_reflection() {
         ripple_with < 0.6 * ripple_without,
         "absorber must reduce standing-wave ripple: {ripple_with:.3} vs {ripple_without:.3}"
     );
-    assert!(ripple_with < 0.15, "residual ripple too high: {ripple_with:.3}");
+    assert!(
+        ripple_with < 0.15,
+        "residual ripple too high: {ripple_with:.3}"
+    );
 }
 
 #[test]
@@ -173,21 +179,11 @@ fn thermal_noise_perturbs_but_small_signal_survives() {
         .unwrap();
     let dt = builder.effective_time_step().unwrap();
     let mut solver = builder.build_solver().unwrap();
-    let thermal = ThermalField::new(
-        guide.material(),
-        solver.mesh(),
-        30.0,
-        dt,
-        2024,
-    )
-    .unwrap();
+    let thermal = ThermalField::new(guide.material(), solver.mesh(), 30.0, dt, 2024).unwrap();
     solver.add_field_term(Box::new(thermal));
-    let mut recorder = spinwave_parallel::micromag::probe::Recorder::new(
-        vec![Probe::point(250.0 * NM)],
-        4,
-        dt,
-    )
-    .unwrap();
+    let mut recorder =
+        spinwave_parallel::micromag::probe::Recorder::new(vec![Probe::point(250.0 * NM)], 4, dt)
+            .unwrap();
     solver.run_recorded(1.5 * NS, dt, &mut recorder).unwrap();
     let series = recorder.into_series().unwrap();
     let steady = series[0].after(0.75 * NS).unwrap();

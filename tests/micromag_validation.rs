@@ -52,13 +52,21 @@ fn two_channel_gate_all_zero_and_all_one() {
     let ones = Word::ones(2).unwrap();
 
     let reading = validator.evaluate(&[zeros, zeros, zeros]).unwrap();
-    assert_eq!(reading.word.bits(), 0, "MAJ(0,0,0) must be 0 on both channels");
+    assert_eq!(
+        reading.word.bits(),
+        0,
+        "MAJ(0,0,0) must be 0 on both channels"
+    );
     for delta in &reading.phase_deltas {
         assert!(delta.cos() > 0.0, "phase delta {delta} should be near 0");
     }
 
     let reading = validator.evaluate(&[ones, ones, ones]).unwrap();
-    assert_eq!(reading.word.bits(), 0b11, "MAJ(1,1,1) must be 1 on both channels");
+    assert_eq!(
+        reading.word.bits(),
+        0b11,
+        "MAJ(1,1,1) must be 1 on both channels"
+    );
     for delta in &reading.phase_deltas {
         assert!(delta.cos() < 0.0, "phase delta {delta} should be near π");
     }

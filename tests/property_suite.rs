@@ -210,6 +210,66 @@ proptest! {
         }
     }
 
+    /// `evaluate_batch` is exactly `evaluate` mapped over the sets, on
+    /// every software backend.
+    #[test]
+    fn batch_equals_mapped_single_shot(
+        raw_sets in proptest::collection::vec(proptest::collection::vec(0u64..256, 3), 1..12),
+    ) {
+        let gate = byte_gate();
+        let sets: Vec<OperandSet> = raw_sets
+            .iter()
+            .map(|words| {
+                OperandSet::new(words.iter().map(|&v| Word::from_u8(v as u8)).collect())
+            })
+            .collect();
+        for choice in [BackendChoice::Analytic, BackendChoice::Cached] {
+            let mut session = gate.session(choice).unwrap();
+            let batch = session.evaluate_batch(&sets).unwrap();
+            prop_assert_eq!(batch.len(), sets.len());
+            for (set, out) in sets.iter().zip(&batch) {
+                let single = gate.evaluate(set.words()).unwrap();
+                prop_assert_eq!(
+                    out.word(),
+                    single.word(),
+                    "{} backend diverged from single-shot",
+                    session.backend_name()
+                );
+            }
+        }
+        prop_assert_eq!(
+            gate.session(BackendChoice::Cached).unwrap().backend_name(),
+            "cached"
+        );
+    }
+
+    /// Sessions over random gate shapes agree with the boolean truth
+    /// table on random operand words.
+    #[test]
+    fn sessions_match_truth_table(
+        width in 1usize..=8,
+        a: u8, b: u8, c: u8,
+    ) {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(width)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap();
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let words = vec![
+            Word::from_bits(a as u64 & mask, width).unwrap(),
+            Word::from_bits(b as u64 & mask, width).unwrap(),
+            Word::from_bits(c as u64 & mask, width).unwrap(),
+        ];
+        let expected = ((a & b) | (a & c) | (b & c)) as u64 & mask;
+        for choice in [BackendChoice::Analytic, BackendChoice::Cached] {
+            let mut session = gate.session(choice).unwrap();
+            let out = session.evaluate(&words).unwrap();
+            prop_assert_eq!(out.word().bits(), expected);
+        }
+    }
+
     /// Monte-Carlo error rates are proper probabilities, zero without
     /// noise, and deterministic under a fixed seed.
     #[test]
@@ -228,6 +288,106 @@ proptest! {
         prop_assert_eq!(r.failures, r2.failures);
         if sigma == 0.0 {
             prop_assert_eq!(r.failures, 0);
+        }
+    }
+}
+
+/// Backend equivalence, exhaustively: the analytic and cached backends
+/// must agree on *every* input combination of 3-input majority gates at
+/// widths 1–8 — and both must match the boolean truth table.
+#[test]
+fn analytic_and_cached_agree_on_every_majority_combination() {
+    for width in 1usize..=8 {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(width)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .build()
+            .unwrap();
+        let mut analytic = gate.session(BackendChoice::Analytic).unwrap();
+        let mut cached = gate.session(BackendChoice::Cached).unwrap();
+        // One operand set per combination, the combination applied
+        // identically on every channel.
+        let sets: Vec<OperandSet> = (0..8usize)
+            .map(|combo| {
+                OperandSet::new(
+                    (0..3)
+                        .map(|j| {
+                            if (combo >> j) & 1 == 1 {
+                                Word::ones(width).unwrap()
+                            } else {
+                                Word::zeros(width).unwrap()
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let from_analytic = analytic.evaluate_batch(&sets).unwrap();
+        let from_cached = cached.evaluate_batch(&sets).unwrap();
+        for (combo, (a, c)) in from_analytic.iter().zip(&from_cached).enumerate() {
+            assert_eq!(
+                a.word(),
+                c.word(),
+                "width {width} combo {combo:03b}: analytic vs cached"
+            );
+            let ones = (combo & 1) + ((combo >> 1) & 1) + ((combo >> 2) & 1);
+            let expected = if ones >= 2 {
+                Word::ones(width).unwrap()
+            } else {
+                Word::zeros(width).unwrap()
+            };
+            assert_eq!(
+                a.word(),
+                expected,
+                "width {width} combo {combo:03b}: truth table"
+            );
+        }
+    }
+}
+
+/// The same exhaustive equivalence for 2-input XOR gates (amplitude
+/// decoding) at widths 1–8.
+#[test]
+fn analytic_and_cached_agree_on_every_xor_combination() {
+    for width in 1usize..=8 {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(width)
+            .inputs(2)
+            .function(LogicFunction::Xor)
+            .build()
+            .unwrap();
+        let mut analytic = gate.session(BackendChoice::Analytic).unwrap();
+        let mut cached = gate.session(BackendChoice::Cached).unwrap();
+        let sets: Vec<OperandSet> = (0..4usize)
+            .map(|combo| {
+                OperandSet::new(
+                    (0..2)
+                        .map(|j| {
+                            if (combo >> j) & 1 == 1 {
+                                Word::ones(width).unwrap()
+                            } else {
+                                Word::zeros(width).unwrap()
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let from_analytic = analytic.evaluate_batch(&sets).unwrap();
+        let from_cached = cached.evaluate_batch(&sets).unwrap();
+        for (combo, (a, c)) in from_analytic.iter().zip(&from_cached).enumerate() {
+            assert_eq!(a.word(), c.word(), "width {width} combo {combo:02b}");
+            let expected = if ((combo & 1) ^ ((combo >> 1) & 1)) == 1 {
+                Word::ones(width).unwrap()
+            } else {
+                Word::zeros(width).unwrap()
+            };
+            assert_eq!(
+                a.word(),
+                expected,
+                "width {width} combo {combo:02b}: truth table"
+            );
         }
     }
 }

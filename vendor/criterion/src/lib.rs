@@ -1,0 +1,259 @@
+//! Subset shim for `criterion` (offline build environment).
+//!
+//! Implements the macro/benchmark-group surface the workspace benches
+//! use, measuring wall-clock medians with `std::time::Instant`. No
+//! statistical regression machinery — each bench prints
+//! `<name>  time: <median> (<iters> iters x <samples> samples)` so
+//! relative comparisons between benches in one run remain meaningful.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` (the workspace
+/// mostly uses `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// measured iteration regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation printed alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default sample count for subsequent benches.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_bench(&id.into(), sample_size, measurement_time, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time per bench.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each bench closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration inputs built by `setup`
+    /// (setup time excluded from the measurement).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: time one iteration, then pick an iteration count that
+    // makes each sample last measurement_time / sample_size.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let per_sample = measurement_time / sample_size as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({:.3e} elem/s)", n as f64 / median),
+        Some(Throughput::Bytes(n)) => format!("  ({:.3e} B/s)", n as f64 / median),
+        None => String::new(),
+    };
+    println!(
+        "  {label:<48} time: {}{rate}  [{iters} iters x {sample_size} samples]",
+        format_time(median)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(4));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2.0e-3).ends_with(" ms"));
+        assert!(format_time(2.0e-6).ends_with(" us"));
+        assert!(format_time(2.0e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Subset shim for `proptest` (offline build environment).
+//!
+//! Supports the surface the workspace's property suite uses: the
+//! [`proptest!`] macro with `name: Type` and `name in strategy`
+//! parameters, `prop_assert!`/`prop_assert_eq!`, range and
+//! `collection::vec` strategies, and `ProptestConfig::with_cases`.
+//! Cases are drawn from a deterministic RNG seeded per test name, so
+//! failures reproduce; there is no shrinking.
+
+pub mod test_runner {
+    //! Case execution support used by the expanded macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test generator (FNV-1a of the test name).
+    pub fn new_rng(test_name: &str) -> StdRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+pub mod config {
+    //! Run configuration.
+
+    /// Controls how many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{SampleRange, Standard};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.clone().sample(rng)
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.clone().sample(rng)
+        }
+    }
+
+    /// Full-range strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::draw(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the strategy behind bare `name: Type` parameters.
+
+    use crate::strategy::Any;
+
+    /// Uniform strategy over `T`'s full value range.
+    pub fn any<T>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The names `use proptest::prelude::*` is expected to provide.
+
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property-test entry macro; see the crate docs for the supported
+/// subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg ($crate::config::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_params!(
+                @cfg ($cfg) @name ($name) @body ($body) @acc [] $($params)*
+            );
+        }
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // All parameters normalized to (name, strategy) pairs: run the cases.
+    (@cfg ($cfg:expr) @name ($name:ident) @body ($body:block)
+     @acc [$(($n:ident, $s:expr))*]) => {{
+        let config = $cfg;
+        let mut proptest_rng = $crate::test_runner::new_rng(stringify!($name));
+        for proptest_case in 0..config.cases {
+            $(
+                let $n = $crate::strategy::Strategy::sample(&($s), &mut proptest_rng);
+            )*
+            #[allow(clippy::redundant_closure_call)]
+            let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+            if let ::std::result::Result::Err(e) = outcome {
+                panic!(
+                    "proptest case {}/{} of `{}` failed: {}",
+                    proptest_case + 1,
+                    config.cases,
+                    stringify!($name),
+                    e
+                );
+            }
+        }
+    }};
+    // `name in strategy` (last parameter).
+    (@cfg ($cfg:expr) @name ($name:ident) @body ($body:block)
+     @acc [$($acc:tt)*] $n:ident in $s:expr) => {
+        $crate::__proptest_params!(
+            @cfg ($cfg) @name ($name) @body ($body) @acc [$($acc)* ($n, $s)]
+        );
+    };
+    // `name in strategy, rest...`
+    (@cfg ($cfg:expr) @name ($name:ident) @body ($body:block)
+     @acc [$($acc:tt)*] $n:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!(
+            @cfg ($cfg) @name ($name) @body ($body) @acc [$($acc)* ($n, $s)] $($rest)*
+        );
+    };
+    // `name: Type` (last parameter) — normalized to `any::<Type>()`.
+    (@cfg ($cfg:expr) @name ($name:ident) @body ($body:block)
+     @acc [$($acc:tt)*] $n:ident : $t:ty) => {
+        $crate::__proptest_params!(
+            @cfg ($cfg) @name ($name) @body ($body)
+            @acc [$($acc)* ($n, $crate::arbitrary::any::<$t>())]
+        );
+    };
+    // `name: Type, rest...`
+    (@cfg ($cfg:expr) @name ($name:ident) @body ($body:block)
+     @acc [$($acc:tt)*] $n:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_params!(
+            @cfg ($cfg) @name ($name) @body ($body)
+            @acc [$($acc)* ($n, $crate::arbitrary::any::<$t>())] $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Bare-typed parameters draw from the full range.
+        #[test]
+        fn typed_params(a: u8, b: u8) {
+            let sum = a as u16 + b as u16;
+            prop_assert!(sum <= 510);
+            prop_assert_eq!(sum, b as u16 + a as u16);
+        }
+
+        /// Mixed `: Type` and `in strategy` parameters.
+        #[test]
+        fn mixed_params(flag: bool, x in -5i32..5, f in 0.5f64..2.5) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.5..2.5).contains(&f));
+            let _ = flag;
+        }
+
+        /// Collection strategies honor length bounds.
+        #[test]
+        fn vec_strategy(values in crate::collection::vec(0u64..100, 1..10)) {
+            prop_assert!(!values.is_empty() && values.len() < 10);
+            prop_assert!(values.iter().all(|&v| v < 100));
+        }
+
+        /// Fixed-size collections.
+        #[test]
+        fn vec_fixed(values in crate::collection::vec(0u64..256, 8)) {
+            prop_assert_eq!(values.len(), 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::test_runner::new_rng("x");
+        let mut b = crate::test_runner::new_rng("x");
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn prop_assert_returns_err() {
+        let check = |v: u8| -> Result<(), TestCaseError> {
+            prop_assert!(v < 10, "too big: {}", v);
+            prop_assert_eq!(v, v);
+            prop_assert_ne!(v as u16, 300u16);
+            Ok(())
+        };
+        assert!(check(5).is_ok());
+        let err = check(50).unwrap_err();
+        assert!(err.to_string().contains("too big"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Subset shim for `rand` 0.8 (offline build environment).
+//!
+//! Implements exactly the surface the workspace uses: a seedable
+//! [`rngs::StdRng`] plus [`Rng::gen`] / [`Rng::gen_range`]. The
+//! generator is xoshiro256** seeded through SplitMix64 — statistically
+//! solid for Monte-Carlo tests, though the streams differ from upstream
+//! `rand`'s ChaCha-based `StdRng` (all workspace tests assert properties,
+//! not exact sequences).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a single `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values drawable uniformly from the generator's full output range
+/// (the `Standard` distribution of upstream `rand`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut rngs::StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by rejection-free modular reduction.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u128 + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// The generator methods the workspace calls.
+pub trait Rng {
+    /// Raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of `T` from its full range (`Standard`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsMutStdRng,
+    {
+        T::draw(self.as_mut_std())
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsMutStdRng,
+    {
+        range.sample(self.as_mut_std())
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsMutStdRng,
+    {
+        f64::draw(self.as_mut_std()) < p
+    }
+}
+
+/// Helper supertrait so distribution impls can stay concrete over
+/// [`rngs::StdRng`] (the only generator in this shim).
+pub trait AsMutStdRng {
+    /// The concrete generator.
+    fn as_mut_std(&mut self) -> &mut rngs::StdRng;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// xoshiro256** generator, seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Advances the state and returns 64 random bits.
+        pub fn next_raw(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 256-bit state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+    }
+
+    impl super::AsMutStdRng for StdRng {
+        fn as_mut_std(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&w));
+            let u: usize = rng.gen_range(1..=64);
+            assert!((1..=64).contains(&u));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_bytes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let v: u8 = rng.gen();
+            counts[(v / 64) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "bucket badly unbalanced: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Subset shim for `rayon` (offline build environment).
+//!
+//! Supports the one pattern the workspace uses —
+//! `slice.par_iter().map(f).collect()` — with an order-preserving
+//! implementation on `std::thread::scope`. Work is split into one
+//! contiguous chunk per available core; on a single-core host it
+//! degrades to a plain sequential map with no thread overhead.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! The traits `use rayon::prelude::*` is expected to bring in.
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads to use for a parallel map.
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// `&collection → par_iter()` — implemented for slices and `Vec`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+    /// Starts a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` (potentially on worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Accepted for API compatibility; chunking is already coarse.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map and gathers results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let workers = worker_count(n);
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelIterator<R>: Sized {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+impl<R, E> FromParallelIterator<Result<R, E>> for Result<Vec<R>, E> {
+    fn from_ordered_vec(items: Vec<Result<R, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let squared: Vec<u64> = input.par_iter().map(|&v| v * v).collect();
+        assert_eq!(squared.len(), 1000);
+        for (i, v) in squared.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_errors() {
+        let input = [1u32, 2, 3, 4];
+        let ok: Result<Vec<u32>, String> = input.par_iter().map(|&v| Ok(v * 2)).collect();
+        assert_eq!(ok.unwrap(), vec![2, 4, 6, 8]);
+        let err: Result<Vec<u32>, String> = input
+            .par_iter()
+            .map(|&v| {
+                if v == 3 {
+                    Err("three".to_string())
+                } else {
+                    Ok(v)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "three");
+    }
+
+    #[test]
+    fn empty_input() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&v| v).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Marker-trait shim for `serde` (offline build environment).
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! derive-macro namespaces so existing `#[derive(Serialize, Deserialize)]`
+//! code compiles unchanged. No serialization machinery is included —
+//! nothing in the workspace serializes yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

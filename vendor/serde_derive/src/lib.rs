@@ -1,0 +1,17 @@
+//! No-op derive shim for `serde_derive` (offline build environment).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on several plain-data
+//! structs but never serializes them yet, so the derives may expand to
+//! nothing. The `serde` helper attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
