@@ -1,0 +1,138 @@
+//! SERVE bench: direct batched evaluation vs scheduler-served traffic
+//! at widths 8/16/32 and 1/2/4 worker shards.
+//!
+//! The served load spans four gate instances on four distinct
+//! waveguides (`wg0..wg3`), requests round-robined across them, so the
+//! worker axis exercises real routing: 1 worker serves all four
+//! waveguides from one shard, 4 workers give each waveguide its own
+//! shard. Three serving modes per width:
+//!
+//! * `direct_batch_256` — one `evaluate_batch` call on a warm cached
+//!   session (the PR 1 `batch_throughput` ceiling; no runtime between
+//!   caller and backend, and no multi-waveguide routing);
+//! * `serve_sync_x256/w{N}` — single-request serving: each request is
+//!   submitted and awaited before the next, so no two requests can
+//!   share a drain cycle;
+//! * `serve_coalesced_256/w{N}` — batchable load: all 256 requests are
+//!   submitted up front and awaited afterwards, letting every shard
+//!   coalesce its share into large drain cycles.
+//!
+//! The acceptance comparison is coalesced ≥ sync at every width/worker
+//! count: coalescing must pay for the queueing it rides on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use magnon_bench::random_operand_sets;
+use magnon_core::backend::BackendChoice;
+use magnon_core::gate::{ParallelGate, ParallelGateBuilder, WaveguideId};
+use magnon_math::constants::GHZ;
+use magnon_physics::waveguide::Waveguide;
+use magnon_serve::{GateId, Scheduler, SchedulerBuilder, ServeConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BATCH: usize = 256;
+const WAVEGUIDES: u64 = 4;
+
+fn gate_with_width(n: usize, waveguide: WaveguideId) -> ParallelGate {
+    ParallelGateBuilder::new(Waveguide::paper_default().expect("waveguide"))
+        .channels(n)
+        .inputs(3)
+        .base_frequency(10.0 * GHZ)
+        .frequency_step(4.0 * GHZ)
+        .on_waveguide(waveguide)
+        .build()
+        .expect("gate")
+}
+
+/// One scheduler serving the same gate design on WAVEGUIDES distinct
+/// waveguides, so worker counts shard the load for real.
+fn scheduler_for(n: usize, workers: usize) -> (Scheduler, Vec<GateId>) {
+    let mut builder = SchedulerBuilder::new(ServeConfig {
+        workers,
+        max_batch: BATCH,
+        linger: Duration::from_micros(100),
+        queue_depth: BATCH,
+        lut_dir: None,
+    });
+    let ids = (0..WAVEGUIDES)
+        .map(|wg| {
+            builder
+                .register(
+                    format!("maj3_wg{wg}"),
+                    gate_with_width(n, WaveguideId(wg)),
+                    BackendChoice::Cached,
+                )
+                .expect("register")
+        })
+        .collect();
+    let scheduler = builder.build().expect("scheduler");
+    (scheduler, ids)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    for n in [8usize, 16, 32] {
+        let gate = gate_with_width(n, WaveguideId(0));
+        let sets = random_operand_sets(&gate, BATCH).expect("operand sets");
+        let mut group = c.benchmark_group(format!("serve_w{n}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements((BATCH * n) as u64));
+
+        // Ceiling: one direct batch on a warm cached session.
+        let mut direct = gate.session(BackendChoice::Cached).expect("session");
+        direct.evaluate_batch(&sets).expect("warm the LUT");
+        group.bench_function("direct_batch_256", |b| {
+            b.iter(|| black_box(direct.evaluate_batch(black_box(&sets)).expect("batch")))
+        });
+
+        for workers in [1usize, 2, 4] {
+            let (scheduler, ids) = scheduler_for(n, workers);
+            // Round-robin the load across the four waveguides.
+            let routed: Vec<(GateId, _)> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, set)| (ids[i % ids.len()], set.clone()))
+                .collect();
+            // Warm every shard's LUT before timing.
+            scheduler.evaluate_many(&routed).expect("warmup");
+
+            // Single-request serving: submit → wait → next.
+            group.bench_function(format!("serve_sync_x256/w{workers}"), |b| {
+                b.iter(|| {
+                    for (id, set) in &routed {
+                        let ticket = scheduler
+                            .submit(*id, black_box(set.clone()))
+                            .expect("submit");
+                        black_box(ticket.wait().expect("wait"));
+                    }
+                })
+            });
+
+            // Batchable load: submit all, then wait — coalescing on.
+            group.bench_function(format!("serve_coalesced_256/w{workers}"), |b| {
+                b.iter(|| {
+                    let tickets: Vec<_> = routed
+                        .iter()
+                        .map(|(id, set)| scheduler.submit(*id, set.clone()).expect("submit"))
+                        .collect();
+                    for ticket in tickets {
+                        black_box(ticket.wait().expect("wait"));
+                    }
+                })
+            });
+
+            let stats = scheduler.stats();
+            println!(
+                "  [w{workers}] drains={} mean_drain={:.1} max_drain={} coalesced={}",
+                stats.drain_passes,
+                stats.mean_drain(),
+                stats.max_drain,
+                stats.coalesced_requests
+            );
+            scheduler.shutdown().expect("shutdown");
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -198,20 +198,38 @@ impl Alu {
         self.execute_inner(op, a, b, Some(bank))
     }
 
+    /// [`Alu::execute`] with every gate routed through any
+    /// [`crate::netlist::GateDispatcher`] — an inline bank or a serving
+    /// scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Alu::execute`], plus gate/backend errors
+    /// from the dispatcher.
+    pub fn execute_on(
+        &self,
+        dispatcher: &mut dyn crate::netlist::GateDispatcher,
+        op: AluOp,
+        a: &[u64],
+        b: &[u64],
+    ) -> Result<Vec<u64>, GateError> {
+        self.execute_inner(op, a, b, Some(dispatcher))
+    }
+
     fn execute_inner(
         &self,
         op: AluOp,
         a: &[u64],
         b: &[u64],
-        mut bank: Option<&mut crate::netlist::GateBank>,
+        mut dispatcher: Option<&mut dyn crate::netlist::GateDispatcher>,
     ) -> Result<Vec<u64>, GateError> {
         self.check_operands(a, b)?;
         let a_words = transpose_to_words(a, self.bit_width, self.word_width)?;
         let b_words = transpose_to_words(b, self.bit_width, self.word_width)?;
         let inputs: Vec<Word> = a_words.iter().chain(b_words.iter()).copied().collect();
         let mut run = |circuit: &Circuit| -> Result<Vec<Word>, GateError> {
-            match bank.as_deref_mut() {
-                Some(bank) => circuit.evaluate_with(bank, &inputs),
+            match dispatcher.as_deref_mut() {
+                Some(d) => circuit.evaluate_on(d, &inputs),
                 None => circuit.evaluate(&inputs),
             }
         };

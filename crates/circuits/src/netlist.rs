@@ -10,13 +10,84 @@
 //!   [`GateSession`] per gate shape, so switching a whole circuit from
 //!   analytic to cached to micromagnetic evaluation is the one-line
 //!   change of its [`BackendChoice`].
+//!
+//! The physical path is abstracted behind [`GateDispatcher`]: a
+//! [`GateBank`] dispatches inline on its own sessions, while the
+//! `magnon-serve` crate's `ScheduledBank` submits the same per-node
+//! batches to a sharded scheduler, so whole circuits (adders, ALUs,
+//! parity trees) ride cross-request coalescing without knowing it.
 
 use magnon_core::backend::{BackendChoice, GateSession, OperandSet};
-use magnon_core::gate::ParallelGateBuilder;
+use magnon_core::gate::{GateOutput, ParallelGateBuilder};
 use magnon_core::truth::LogicFunction;
 use magnon_core::word::Word;
 use magnon_core::GateError;
 use magnon_physics::waveguide::Waveguide;
+
+/// The two physical gate shapes a netlist lowers to: 3-input majority
+/// and 2-input XOR (inversions are free detector placements, constants
+/// and inputs pass through).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateShape {
+    /// 3-input majority.
+    Maj3,
+    /// 2-input XOR.
+    Xor2,
+}
+
+impl GateShape {
+    /// The logic function of the shape.
+    pub fn function(self) -> LogicFunction {
+        match self {
+            GateShape::Maj3 => LogicFunction::Majority,
+            GateShape::Xor2 => LogicFunction::Xor,
+        }
+    }
+
+    /// Operand count `m` of the shape.
+    pub fn input_count(self) -> usize {
+        match self {
+            GateShape::Maj3 => 3,
+            GateShape::Xor2 => 2,
+        }
+    }
+}
+
+/// Evaluates batches of physical gate invocations on behalf of a
+/// [`Circuit`] walk.
+///
+/// Implementations decide *where* the work runs: [`GateBank`] evaluates
+/// inline on per-shape [`GateSession`]s; the `magnon-serve` scheduler
+/// fans the same batches out across worker shards and coalesces them
+/// with unrelated traffic.
+pub trait GateDispatcher {
+    /// Word width every dispatched gate carries.
+    fn width(&self) -> usize;
+
+    /// Evaluates `batch` on the physical gate of `shape`, preserving
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Gate-construction, operand-shape and backend errors.
+    fn dispatch(
+        &mut self,
+        shape: GateShape,
+        batch: &[OperandSet],
+    ) -> Result<Vec<GateOutput>, GateError>;
+}
+
+/// Channel spacing that keeps `width` channels inside the paper's
+/// 10–80 GHz style window (10 GHz spacing up to 8 channels, then packed
+/// tighter).
+pub fn packed_frequency_step(width: usize) -> f64 {
+    let ghz = 1.0e9;
+    match width {
+        0..=8 => 10.0 * ghz,
+        9..=16 => 5.0 * ghz,
+        _ => 2.5 * ghz,
+    }
+}
 
 /// Handle to a node in a [`Circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,24 +259,13 @@ impl GateBank {
             .sum()
     }
 
-    /// Channel spacing that keeps `width` channels inside the paper's
-    /// 10–80 GHz style window.
-    fn frequency_step(width: usize) -> f64 {
-        let ghz = 1.0e9;
-        match width {
-            0..=8 => 10.0 * ghz,
-            9..=16 => 5.0 * ghz,
-            _ => 2.5 * ghz,
-        }
-    }
-
     fn maj3_session(&mut self) -> Result<&mut GateSession, GateError> {
         if self.maj3.is_none() {
             let gate = ParallelGateBuilder::new(self.waveguide)
                 .channels(self.width)
                 .inputs(3)
                 .function(LogicFunction::Majority)
-                .frequency_step(Self::frequency_step(self.width))
+                .frequency_step(packed_frequency_step(self.width))
                 .build()?;
             self.maj3 = Some(GateSession::new(gate, self.choice)?);
         }
@@ -218,11 +278,29 @@ impl GateBank {
                 .channels(self.width)
                 .inputs(2)
                 .function(LogicFunction::Xor)
-                .frequency_step(Self::frequency_step(self.width))
+                .frequency_step(packed_frequency_step(self.width))
                 .build()?;
             self.xor2 = Some(GateSession::new(gate, self.choice)?);
         }
         Ok(self.xor2.as_mut().expect("just built"))
+    }
+}
+
+impl GateDispatcher for GateBank {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn dispatch(
+        &mut self,
+        shape: GateShape,
+        batch: &[OperandSet],
+    ) -> Result<Vec<GateOutput>, GateError> {
+        let session = match shape {
+            GateShape::Maj3 => self.maj3_session()?,
+            GateShape::Xor2 => self.xor2_session()?,
+        };
+        session.evaluate_batch(batch)
     }
 }
 
@@ -481,36 +559,61 @@ impl Circuit {
         bank: &mut GateBank,
         inputs: &[Word],
     ) -> Result<Vec<Word>, GateError> {
-        let sets = [inputs.to_vec()];
-        let mut outputs = self.evaluate_batch_with(bank, &sets)?;
-        Ok(outputs.pop().expect("one set in, one set out"))
+        self.evaluate_on(bank, inputs)
     }
 
     /// Evaluates many operand sets through `bank`'s physical gates.
     ///
-    /// The walk is node-major: each MAJ/XOR node sends *all* sets to its
-    /// gate session as one [`SpinWaveBackend::evaluate_batch`] call, so
-    /// the per-node gate work is batched exactly where the paper's data
-    /// parallelism lives.
-    ///
-    /// [`SpinWaveBackend::evaluate_batch`]:
-    ///     magnon_core::backend::SpinWaveBackend::evaluate_batch
-    ///
     /// # Errors
     ///
-    /// * Operand shape errors as in [`Circuit::evaluate`], per set.
-    /// * [`GateError::WordWidthMismatch`] when the bank's gates carry a
-    ///   different word width than the circuit.
-    /// * Gate-construction and backend errors from the bank.
+    /// Same conditions as [`Circuit::evaluate_batch_on`].
     pub fn evaluate_batch_with(
         &self,
         bank: &mut GateBank,
         sets: &[Vec<Word>],
     ) -> Result<Vec<Vec<Word>>, GateError> {
-        if bank.width() != self.width {
+        self.evaluate_batch_on(bank, sets)
+    }
+
+    /// Evaluates one operand set through any [`GateDispatcher`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::evaluate_batch_on`].
+    pub fn evaluate_on(
+        &self,
+        dispatcher: &mut dyn GateDispatcher,
+        inputs: &[Word],
+    ) -> Result<Vec<Word>, GateError> {
+        let sets = [inputs.to_vec()];
+        let mut outputs = self.evaluate_batch_on(dispatcher, &sets)?;
+        Ok(outputs.pop().expect("one set in, one set out"))
+    }
+
+    /// Evaluates many operand sets through any [`GateDispatcher`] —
+    /// an inline [`GateBank`] or a serving scheduler.
+    ///
+    /// The walk is node-major: each MAJ/XOR node sends *all* sets to the
+    /// dispatcher as one [`GateDispatcher::dispatch`] batch, so the
+    /// per-node gate work is batched exactly where the paper's data
+    /// parallelism lives (and a scheduler-backed dispatcher can coalesce
+    /// it further with unrelated traffic).
+    ///
+    /// # Errors
+    ///
+    /// * Operand shape errors as in [`Circuit::evaluate`], per set.
+    /// * [`GateError::WordWidthMismatch`] when the dispatcher's gates
+    ///   carry a different word width than the circuit.
+    /// * Gate-construction and backend errors from the dispatcher.
+    pub fn evaluate_batch_on(
+        &self,
+        dispatcher: &mut dyn GateDispatcher,
+        sets: &[Vec<Word>],
+    ) -> Result<Vec<Vec<Word>>, GateError> {
+        if dispatcher.width() != self.width {
             return Err(GateError::WordWidthMismatch {
                 expected: self.width,
-                actual: bank.width(),
+                actual: dispatcher.width(),
             });
         }
         for set in sets {
@@ -542,7 +645,7 @@ impl Circuit {
                     batch.extend(values.iter().map(|per_set| {
                         OperandSet::new(vec![per_set[a.0], per_set[b.0], per_set[c.0]])
                     }));
-                    let outs = bank.maj3_session()?.evaluate_batch(&batch)?;
+                    let outs = dispatcher.dispatch(GateShape::Maj3, &batch)?;
                     for (per_set, out) in values.iter_mut().zip(outs) {
                         per_set.push(out.word());
                     }
@@ -554,7 +657,7 @@ impl Circuit {
                             .iter()
                             .map(|per_set| OperandSet::new(vec![per_set[a.0], per_set[b.0]])),
                     );
-                    let outs = bank.xor2_session()?.evaluate_batch(&batch)?;
+                    let outs = dispatcher.dispatch(GateShape::Xor2, &batch)?;
                     for (per_set, out) in values.iter_mut().zip(outs) {
                         per_set.push(out.word());
                     }
@@ -801,6 +904,41 @@ mod tests {
         ];
         let out = c.evaluate_with(&mut bank, &inputs).unwrap();
         assert_eq!(out[0].to_u8(), !0x17u8);
+    }
+
+    #[test]
+    fn bank_dispatches_shapes_through_the_trait() {
+        use magnon_core::backend::BackendChoice;
+        use magnon_physics::waveguide::Waveguide;
+        let mut bank = GateBank::new(
+            Waveguide::paper_default().unwrap(),
+            8,
+            BackendChoice::Cached,
+        );
+        let dispatcher: &mut dyn GateDispatcher = &mut bank;
+        assert_eq!(dispatcher.width(), 8);
+        let batch = vec![OperandSet::new(vec![
+            Word::from_u8(0x0F),
+            Word::from_u8(0x33),
+            Word::from_u8(0x55),
+        ])];
+        let outs = dispatcher.dispatch(GateShape::Maj3, &batch).unwrap();
+        assert_eq!(outs[0].word().to_u8(), 0x17);
+        let batch = vec![OperandSet::new(vec![
+            Word::from_u8(0xF0),
+            Word::from_u8(0xAA),
+        ])];
+        let outs = dispatcher.dispatch(GateShape::Xor2, &batch).unwrap();
+        assert_eq!(outs[0].word().to_u8(), 0x5A);
+        assert_eq!(GateShape::Maj3.function(), LogicFunction::Majority);
+        assert_eq!(GateShape::Xor2.input_count(), 2);
+    }
+
+    #[test]
+    fn packed_step_keeps_wide_plans_buildable() {
+        assert_eq!(packed_frequency_step(8), 10.0e9);
+        assert_eq!(packed_frequency_step(16), 5.0e9);
+        assert_eq!(packed_frequency_step(32), 2.5e9);
     }
 
     #[test]

@@ -28,9 +28,15 @@
 use crate::engine::ChannelReadout;
 use crate::error::GateError;
 use crate::gate::{GateOutput, ParallelGate};
+use crate::lut_store::LutSnapshot;
 use crate::micromag_bridge::{MicromagValidator, ValidationSettings};
 use crate::word::Word;
 use rayon::prelude::*;
+
+/// Caller-chosen tag carried through batched evaluation so completions
+/// can be matched out of order (see
+/// [`GateSession::evaluate_batch_tagged`]).
+pub type RequestTag = u64;
 
 /// One gate invocation's operand words (`m` words of width `n`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,12 +80,45 @@ impl From<&[Word]> for OperandSet {
 /// batch implementation maps `evaluate` — backends override it when
 /// they can do better (the analytic backend parallelises across sets,
 /// the cached backend serves from its LUT).
-pub trait SpinWaveBackend {
+///
+/// Backends are `Send + Sync` so serving runtimes can move them onto
+/// worker shards; [`SpinWaveBackend::split`] mints the per-shard
+/// instances (see `magnon-serve`).
+pub trait SpinWaveBackend: Send + Sync {
     /// Stable identifier for reports and logs.
     fn name(&self) -> &'static str;
 
     /// The gate this backend evaluates.
     fn gate(&self) -> &ParallelGate;
+
+    /// Creates an independent instance of this backend for another
+    /// worker shard. State worth carrying over travels with the split —
+    /// a cached backend hands each shard a copy of its warm LUT, the
+    /// micromagnetic backend its calibration run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures.
+    fn split(&self) -> Result<Box<dyn SpinWaveBackend>, GateError>;
+
+    /// The backend's current truth-table LUT, when it maintains one
+    /// (`None` for engines that compute every request).
+    fn lut_snapshot(&self) -> Option<LutSnapshot> {
+        None
+    }
+
+    /// Adopts previously exported LUT entries, returning how many were
+    /// imported. Backends without a LUT accept and ignore the snapshot
+    /// (returning `0`), so persistence wiring stays backend-agnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Persistence`] when the snapshot was
+    /// computed for a different gate.
+    fn import_lut(&mut self, snapshot: &LutSnapshot) -> Result<usize, GateError> {
+        let _ = snapshot;
+        Ok(0)
+    }
 
     /// Evaluates one operand set.
     ///
@@ -157,6 +196,10 @@ impl SpinWaveBackend for AnalyticBackend {
 
     fn gate(&self) -> &ParallelGate {
         &self.gate
+    }
+
+    fn split(&self) -> Result<Box<dyn SpinWaveBackend>, GateError> {
+        Ok(Box::new(self.clone()))
     }
 
     fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
@@ -303,6 +346,42 @@ impl SpinWaveBackend for CachedBackend {
         &self.gate
     }
 
+    /// The split shard starts with a copy of the warm LUT and fresh
+    /// hit/miss counters.
+    fn split(&self) -> Result<Box<dyn SpinWaveBackend>, GateError> {
+        Ok(Box::new(CachedBackend {
+            gate: self.gate.clone(),
+            lut: self.lut.clone(),
+            hits: 0,
+            misses: 0,
+        }))
+    }
+
+    fn lut_snapshot(&self) -> Option<LutSnapshot> {
+        Some(LutSnapshot::from_gate(&self.gate, self.lut.clone()))
+    }
+
+    fn import_lut(&mut self, snapshot: &LutSnapshot) -> Result<usize, GateError> {
+        snapshot.matches_gate(&self.gate)?;
+        let combos = 1usize << self.gate.input_count();
+        let mut imported = 0usize;
+        for (row, snap_row) in self.lut.iter_mut().zip(snapshot.rows()) {
+            if snap_row.is_empty() {
+                continue;
+            }
+            if row.is_empty() {
+                row.resize(combos, None);
+            }
+            for (entry, snap_entry) in row.iter_mut().zip(snap_row) {
+                if entry.is_none() && snap_entry.is_some() {
+                    *entry = *snap_entry;
+                    imported += 1;
+                }
+            }
+        }
+        Ok(imported)
+    }
+
     fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
         self.gate.check_inputs(inputs)?;
         self.evaluate_prepared(inputs)
@@ -363,6 +442,11 @@ impl SpinWaveBackend for MicromagBackend {
 
     fn gate(&self) -> &ParallelGate {
         &self.gate
+    }
+
+    /// The split shard reuses the calibration run when one exists.
+    fn split(&self) -> Result<Box<dyn SpinWaveBackend>, GateError> {
+        Ok(Box::new(self.clone()))
     }
 
     fn evaluate(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
@@ -457,6 +541,58 @@ impl GateSession {
         let outputs = self.backend.evaluate_batch(sets)?;
         self.sets_evaluated += outputs.len() as u64;
         Ok(outputs)
+    }
+
+    /// Evaluates a batch of tagged requests, echoing each caller tag on
+    /// its result.
+    ///
+    /// Outputs come back in request order, but the tags make them safe
+    /// to complete out of order — a coalescing scheduler that merged
+    /// requests from many clients can route every `(tag, output)` back
+    /// to its originator without positional bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWaveBackend::evaluate_batch`].
+    pub fn evaluate_batch_tagged(
+        &mut self,
+        requests: &[(RequestTag, OperandSet)],
+    ) -> Result<Vec<(RequestTag, GateOutput)>, GateError> {
+        let sets: Vec<OperandSet> = requests.iter().map(|(_, set)| set.clone()).collect();
+        let outputs = self.evaluate_batch(&sets)?;
+        Ok(requests.iter().map(|(tag, _)| *tag).zip(outputs).collect())
+    }
+
+    /// Opens an independent session over a split of this backend — the
+    /// per-shard constructor serving runtimes use. The split carries
+    /// warm state (LUT contents, micromagnetic calibration) but starts
+    /// its own counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures.
+    pub fn split_session(&self) -> Result<GateSession, GateError> {
+        Ok(GateSession {
+            backend: self.backend.split()?,
+            sets_evaluated: 0,
+        })
+    }
+
+    /// The backend's LUT contents, when it maintains one (see
+    /// [`SpinWaveBackend::lut_snapshot`]).
+    pub fn lut_snapshot(&self) -> Option<LutSnapshot> {
+        self.backend.lut_snapshot()
+    }
+
+    /// Adopts previously exported LUT entries (see
+    /// [`SpinWaveBackend::import_lut`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Persistence`] for a snapshot of a different
+    /// gate.
+    pub fn import_lut(&mut self, snapshot: &LutSnapshot) -> Result<usize, GateError> {
+        self.backend.import_lut(snapshot)
     }
 
     /// Mutable access to the backend for implementation-specific calls
@@ -572,6 +708,89 @@ mod tests {
         session.evaluate_batch(&sets).unwrap();
         session.evaluate(sets[0].words()).unwrap();
         assert_eq!(session.sets_evaluated(), 6);
+    }
+
+    #[test]
+    fn split_sessions_are_independent_but_warm() {
+        let gate = byte_majority();
+        let mut session = gate.session(BackendChoice::Cached).unwrap();
+        let sets = sample_sets(8);
+        session.evaluate_batch(&sets).unwrap();
+        let warm_entries = session.lut_snapshot().unwrap().entry_count();
+        assert!(warm_entries > 0);
+
+        let mut shard = session.split_session().unwrap();
+        assert_eq!(shard.backend_name(), "cached");
+        assert_eq!(shard.sets_evaluated(), 0, "split starts fresh counters");
+        // The shard inherited the warm LUT: replaying the same sets
+        // computes nothing new.
+        let replay = shard.evaluate_batch(&sets).unwrap();
+        assert_eq!(
+            shard.lut_snapshot().unwrap().entry_count(),
+            warm_entries,
+            "no new entries on a warm shard"
+        );
+        for (a, b) in session.evaluate_batch(&sets).unwrap().iter().zip(&replay) {
+            assert_eq!(a.word(), b.word());
+        }
+        // Work on the shard does not leak back into the parent.
+        assert_eq!(session.sets_evaluated(), 16);
+    }
+
+    #[test]
+    fn tagged_batches_echo_tags_in_request_order() {
+        let gate = byte_majority();
+        let mut session = gate.session(BackendChoice::Analytic).unwrap();
+        let requests: Vec<(RequestTag, OperandSet)> = sample_sets(6)
+            .into_iter()
+            .enumerate()
+            .map(|(i, set)| (0xF00D_0000 + i as RequestTag * 3, set))
+            .collect();
+        let tagged = session.evaluate_batch_tagged(&requests).unwrap();
+        assert_eq!(tagged.len(), 6);
+        for ((tag, output), (expected_tag, set)) in tagged.iter().zip(&requests) {
+            assert_eq!(tag, expected_tag);
+            assert_eq!(output.word(), gate.evaluate(set.words()).unwrap().word());
+        }
+        assert_eq!(session.sets_evaluated(), 6);
+    }
+
+    #[test]
+    fn lut_import_skips_recomputation() {
+        let gate = byte_majority();
+        let mut warm = CachedBackend::new(gate.clone()).unwrap();
+        warm.precompile();
+        let snapshot = warm.lut_snapshot().unwrap();
+
+        let mut cold = CachedBackend::new(gate.clone()).unwrap();
+        let imported = cold.import_lut(&snapshot).unwrap();
+        assert_eq!(imported, 8 * 8);
+        cold.evaluate_batch(&sample_sets(8)).unwrap();
+        assert_eq!(cold.cache_misses(), 0, "imported LUT serves everything");
+
+        // Importing into a mismatched gate is rejected.
+        let other = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let mut mismatched = CachedBackend::new(other).unwrap();
+        assert!(matches!(
+            mismatched.import_lut(&snapshot),
+            Err(GateError::Persistence { .. })
+        ));
+
+        // Non-LUT backends ignore imports and report none.
+        let mut analytic = AnalyticBackend::new(gate);
+        assert!(analytic.lut_snapshot().is_none());
+        assert_eq!(analytic.import_lut(&snapshot).unwrap(), 0);
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<GateSession>();
+        assert_send::<Box<dyn SpinWaveBackend>>();
     }
 
     #[test]

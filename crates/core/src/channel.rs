@@ -216,6 +216,22 @@ impl ChannelPlan {
         &self.channels
     }
 
+    /// The channel at `index`, bounds-checked.
+    ///
+    /// The evaluation hot paths use this instead of raw indexing so a
+    /// caller-supplied out-of-range channel surfaces as a [`GateError`]
+    /// rather than a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for `index >= len()`.
+    pub fn channel(&self, index: usize) -> Result<&FrequencyChannel, GateError> {
+        self.channels.get(index).ok_or(GateError::InvalidParameter {
+            parameter: "channel_index",
+            value: index as f64,
+        })
+    }
+
     /// Number of channels (the gate's word width `n`).
     pub fn len(&self) -> usize {
         self.channels.len()

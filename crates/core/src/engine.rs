@@ -19,11 +19,12 @@
 //!
 //! * the free functions ([`superpose_channel`] etc.) recompute geometry
 //!   on every call — used by diagnostics and tests;
-//! * [`EnginePrep`] folds the per-source geometry, damping decay and
-//!   excitation schedule into one complex factor per `(channel, input)`
-//!   **once**, after which an evaluation is `m` fused multiply-adds per
-//!   channel. [`crate::gate::ParallelGate`] compiles its prep at build
-//!   time and every backend in [`crate::backend`] evaluates through it.
+//! * `EnginePrep` (crate-private) folds the per-source geometry, damping
+//!   decay and excitation schedule into one complex factor per
+//!   `(channel, input)` **once**, after which an evaluation is `m` fused
+//!   multiply-adds per channel. [`crate::gate::ParallelGate`] compiles
+//!   its prep at build time and every backend in [`crate::backend`]
+//!   evaluates through it.
 
 use crate::channel::ChannelPlan;
 use crate::encoding::{phase_of, ReadoutMode};
@@ -80,7 +81,7 @@ pub fn superpose_channel(
     bits: &[bool],
     amplitudes: &[f64],
 ) -> Result<Complex64, GateError> {
-    let ch = &plan.channels()[channel];
+    let ch = plan.channel(channel)?;
     let detector = &layout.detectors()[detector_index(layout, channel)?];
     let mut z = Complex64::ZERO;
     for src in layout.sources().iter().filter(|s| s.channel == channel) {
@@ -141,7 +142,7 @@ pub fn constructive_reference(
     channel: usize,
     amplitudes: &[f64],
 ) -> Result<f64, GateError> {
-    let ch = &plan.channels()[channel];
+    let ch = plan.channel(channel)?;
     let detector = &layout.detectors()[detector_index(layout, channel)?];
     let mut reference = 0.0;
     for src in layout.sources().iter().filter(|s| s.channel == channel) {
@@ -201,6 +202,12 @@ impl EnginePrep {
                 actual: readout.len(),
             });
         }
+        if schedule.channel_count() != n {
+            return Err(GateError::MalformedLayout {
+                channel: schedule.channel_count(),
+                reason: "energy schedule does not cover every channel",
+            });
+        }
         let mut factors = Vec::with_capacity(n);
         let mut references = Vec::with_capacity(n);
         for (c, ch) in plan.channels().iter().enumerate() {
@@ -247,7 +254,19 @@ impl EnginePrep {
 
     /// Evaluates one channel for the input combination `combo`
     /// (bit `j` of `combo` = input `j`'s logic value).
+    ///
+    /// Hot path: callers guarantee `channel < channel_count()` and
+    /// `combo < 2^m` (gate construction validates both), so this stays
+    /// a debug assertion rather than a `Result`.
     pub(crate) fn channel_readout(&self, channel: usize, combo: usize) -> ChannelReadout {
+        debug_assert!(
+            channel < self.factors.len(),
+            "channel {channel} outside the compiled prep"
+        );
+        debug_assert!(
+            combo < 1usize << self.input_count(),
+            "combo {combo} outside the gate's 2^m input combinations"
+        );
         let factors = &self.factors[channel];
         let mut z = Complex64::ZERO;
         for (j, factor) in factors.iter().enumerate() {

@@ -66,6 +66,18 @@ pub enum GateError {
         /// Word width.
         width: usize,
     },
+    /// Persisted state (e.g. an on-disk LUT file) could not be read,
+    /// written, or did not match what the loader expected.
+    Persistence {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A serving-runtime failure outside the gate model itself (e.g. a
+    /// scheduler worker that went away mid-request).
+    Runtime {
+        /// What went wrong.
+        reason: String,
+    },
     /// An underlying physics computation failed.
     Physics(PhysicsError),
     /// An underlying micromagnetic simulation failed.
@@ -106,6 +118,12 @@ impl fmt::Display for GateError {
             }
             GateError::BitIndexOutOfRange { index, width } => {
                 write!(f, "bit index {index} out of range for a {width}-bit word")
+            }
+            GateError::Persistence { reason } => {
+                write!(f, "persistence error: {reason}")
+            }
+            GateError::Runtime { reason } => {
+                write!(f, "runtime error: {reason}")
             }
             GateError::Physics(e) => write!(f, "physics error: {e}"),
             GateError::Simulation(e) => write!(f, "simulation error: {e}"),
@@ -162,6 +180,14 @@ mod tests {
         };
         assert!(e.to_string().contains("channel 3"));
         assert!(e.to_string().contains("missing detector"));
+        let e = GateError::Persistence {
+            reason: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+        let e = GateError::Runtime {
+            reason: "worker gone".into(),
+        };
+        assert!(e.to_string().contains("worker gone"));
     }
 
     #[test]

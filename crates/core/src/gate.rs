@@ -12,6 +12,26 @@ use crate::word::Word;
 use magnon_math::constants::GHZ;
 use magnon_physics::waveguide::Waveguide;
 
+/// Identifies the physical waveguide a gate is patterned on.
+///
+/// The paper's companion work (*Multi-frequency Data Parallel Spin Wave
+/// Logic Gates*, arXiv:2008.12220) extends frequency-division data
+/// parallelism across **gates sharing one magnetic medium**: requests
+/// for different gates on the same waveguide can ride one excitation
+/// pass. Schedulers use this id to keep such gates on the same shard
+/// and coalesce their work (see the `magnon-serve` crate).
+///
+/// Gates default to waveguide `0`, so every gate built without an
+/// explicit id is considered co-located and cross-gate batchable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct WaveguideId(pub u64);
+
+impl std::fmt::Display for WaveguideId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wg{}", self.0)
+    }
+}
+
 /// Builder for [`ParallelGate`]s.
 ///
 /// Defaults reproduce the paper's byte-wide 3-input majority gate:
@@ -47,6 +67,7 @@ pub struct ParallelGateBuilder {
     readout: ReadoutChoice,
     layout_spec: LayoutSpec,
     equalize: bool,
+    waveguide_id: WaveguideId,
 }
 
 #[derive(Debug, Clone)]
@@ -70,6 +91,7 @@ impl ParallelGateBuilder {
             readout: ReadoutChoice::Uniform(ReadoutMode::Direct),
             layout_spec: LayoutSpec::default(),
             equalize: true,
+            waveguide_id: WaveguideId::default(),
         }
     }
 
@@ -145,6 +167,14 @@ impl ParallelGateBuilder {
         self
     }
 
+    /// Tags the gate with the physical waveguide it shares with other
+    /// gates (default [`WaveguideId`] `0`). Schedulers coalesce
+    /// requests across gates carrying the same id.
+    pub fn on_waveguide(mut self, id: WaveguideId) -> Self {
+        self.waveguide_id = id;
+        self
+    }
+
     /// Builds the gate: allocates channels, solves the in-line layout
     /// and computes the excitation schedule.
     ///
@@ -198,6 +228,7 @@ impl ParallelGateBuilder {
             readout,
             schedule,
             prep,
+            waveguide_id: self.waveguide_id,
         })
     }
 }
@@ -224,12 +255,18 @@ pub struct ParallelGate {
     readout: Vec<ReadoutMode>,
     schedule: EnergySchedule,
     prep: EnginePrep,
+    waveguide_id: WaveguideId,
 }
 
 impl ParallelGate {
     /// The waveguide hosting the gate.
     pub fn waveguide(&self) -> &Waveguide {
         &self.waveguide
+    }
+
+    /// The shared-medium tag used for cross-gate scheduling.
+    pub fn waveguide_id(&self) -> WaveguideId {
+        self.waveguide_id
     }
 
     /// The channel plan.
@@ -494,6 +531,20 @@ mod tests {
         assert_eq!(gate.function(), LogicFunction::Majority);
         assert_eq!(gate.channel_plan().frequencies()[0], 10.0 * GHZ);
         assert_eq!(gate.channel_plan().frequencies()[7], 80.0 * GHZ);
+        assert_eq!(gate.waveguide_id(), WaveguideId::default());
+    }
+
+    #[test]
+    fn waveguide_id_tags_gates_for_cross_gate_scheduling() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .on_waveguide(WaveguideId(7))
+            .build()
+            .unwrap();
+        assert_eq!(gate.waveguide_id(), WaveguideId(7));
+        assert_eq!(gate.waveguide_id().to_string(), "wg7");
+        assert!(WaveguideId(7) > WaveguideId(0));
     }
 
     #[test]

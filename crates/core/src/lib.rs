@@ -93,6 +93,7 @@ pub mod error;
 pub mod gate;
 pub mod inline;
 pub mod layout_report;
+pub mod lut_store;
 pub mod micromag_bridge;
 pub mod robustness;
 pub mod scalability;
@@ -109,7 +110,7 @@ pub mod prelude {
     };
     pub use crate::channel::{ChannelPlan, FrequencyChannel};
     pub use crate::encoding::ReadoutMode;
-    pub use crate::gate::{GateOutput, ParallelGate, ParallelGateBuilder};
+    pub use crate::gate::{GateOutput, ParallelGate, ParallelGateBuilder, WaveguideId};
     pub use crate::truth::LogicFunction;
     pub use crate::word::Word;
     pub use crate::GateError;

@@ -1,0 +1,524 @@
+//! Versioned on-disk persistence for the cached backend's LUT.
+//!
+//! A [`crate::backend::CachedBackend`] memoizes one
+//! [`ChannelReadout`] per `(channel, input-combination)` pair. Warming
+//! that table costs `n · 2^m` analytic evaluations — work a serving
+//! runtime should not repeat on every restart. This module gives the
+//! table a hand-rolled binary format (the workspace's serde shim is a
+//! no-op, see `vendor/README.md`):
+//!
+//! ```text
+//! magic   4 B   "MGLT"
+//! version 2 B   little-endian u16, currently 1
+//! func    1 B   0 = majority, 1 = xor
+//! pad     1 B   0
+//! m       4 B   input count (LE u32)
+//! n       4 B   word width / channel count (LE u32)
+//! freqs   n×8 B channel carrier frequencies (LE f64 bits)
+//! rows    n ×   row tag (1 B: 0 = untouched row, 1 = present),
+//!               then if present 2^m entries, each:
+//!               tag (1 B: 0 = empty, 1 = filled),
+//!               if filled: amplitude f64, phase f64, logic u8
+//! check   8 B   FNV-1a 64 over every preceding byte (LE u64)
+//! ```
+//!
+//! The header doubles as a gate fingerprint: a snapshot only imports
+//! into a gate with the same function, operand count and channel
+//! frequencies, so a stale file from a different design is rejected
+//! instead of silently corrupting results. Any truncation, trailing
+//! garbage, wrong magic/version or checksum mismatch fails decoding
+//! with [`GateError::Persistence`].
+
+use crate::engine::ChannelReadout;
+use crate::error::GateError;
+use crate::gate::ParallelGate;
+use crate::truth::LogicFunction;
+use std::fs;
+use std::path::Path;
+
+/// File magic of the LUT format.
+pub const LUT_MAGIC: [u8; 4] = *b"MGLT";
+
+/// Current format version.
+pub const LUT_VERSION: u16 = 1;
+
+/// A cached backend's LUT contents, detached from the backend so it can
+/// be persisted, merged across shards, and re-imported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutSnapshot {
+    function: LogicFunction,
+    input_count: usize,
+    frequencies: Vec<f64>,
+    /// `rows[channel][combo]` — an empty row means the channel was
+    /// never touched (the backend's lazy representation).
+    rows: Vec<Vec<Option<ChannelReadout>>>,
+}
+
+impl LutSnapshot {
+    /// Wraps `rows` captured from a backend bound to `gate`.
+    pub(crate) fn from_gate(gate: &ParallelGate, rows: Vec<Vec<Option<ChannelReadout>>>) -> Self {
+        LutSnapshot {
+            function: gate.function(),
+            input_count: gate.input_count(),
+            frequencies: gate.channel_plan().frequencies(),
+            rows,
+        }
+    }
+
+    /// The logic function the table was computed for.
+    pub fn function(&self) -> LogicFunction {
+        self.function
+    }
+
+    /// Operand count `m`.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Word width `n`.
+    pub fn word_width(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Number of filled `(channel, combo)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| row.iter().filter(|e| e.is_some()).count())
+            .sum()
+    }
+
+    /// The per-channel rows, in the backend's lazy representation.
+    pub(crate) fn rows(&self) -> &[Vec<Option<ChannelReadout>>] {
+        &self.rows
+    }
+
+    /// Checks the snapshot was computed for (a gate identical to)
+    /// `gate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Persistence`] naming the first mismatching
+    /// fingerprint field.
+    pub fn matches_gate(&self, gate: &ParallelGate) -> Result<(), GateError> {
+        if self.function != gate.function() {
+            return Err(GateError::Persistence {
+                reason: format!(
+                    "LUT computed for {:?}, gate is {:?}",
+                    self.function,
+                    gate.function()
+                ),
+            });
+        }
+        if self.input_count != gate.input_count() {
+            return Err(GateError::Persistence {
+                reason: format!(
+                    "LUT computed for {} inputs, gate has {}",
+                    self.input_count,
+                    gate.input_count()
+                ),
+            });
+        }
+        let gate_freqs = gate.channel_plan().frequencies();
+        if self.frequencies != gate_freqs {
+            return Err(GateError::Persistence {
+                reason: format!(
+                    "LUT channel plan ({} channels) differs from the gate's ({})",
+                    self.frequencies.len(),
+                    gate_freqs.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Merges `other`'s entries into `self` (union; existing entries
+    /// win). Returns the number of newly adopted entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Persistence`] when the snapshots'
+    /// fingerprints differ.
+    pub fn merge(&mut self, other: &LutSnapshot) -> Result<usize, GateError> {
+        if self.function != other.function
+            || self.input_count != other.input_count
+            || self.frequencies != other.frequencies
+        {
+            return Err(GateError::Persistence {
+                reason: "cannot merge LUT snapshots of different gates".into(),
+            });
+        }
+        let combos = 1usize << self.input_count;
+        let mut adopted = 0usize;
+        for (row, other_row) in self.rows.iter_mut().zip(other.rows.iter()) {
+            if other_row.is_empty() {
+                continue;
+            }
+            if row.is_empty() {
+                row.resize(combos, None);
+            }
+            for (entry, other_entry) in row.iter_mut().zip(other_row) {
+                if entry.is_none() && other_entry.is_some() {
+                    *entry = *other_entry;
+                    adopted += 1;
+                }
+            }
+        }
+        Ok(adopted)
+    }
+
+    /// Serializes the snapshot into the versioned binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let combos = 1usize << self.input_count;
+        let mut buf = Vec::with_capacity(16 + self.frequencies.len() * (8 + 1 + combos * 18));
+        buf.extend_from_slice(&LUT_MAGIC);
+        buf.extend_from_slice(&LUT_VERSION.to_le_bytes());
+        buf.push(match self.function {
+            LogicFunction::Majority => 0,
+            LogicFunction::Xor => 1,
+        });
+        buf.push(0);
+        buf.extend_from_slice(&(self.input_count as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.frequencies.len() as u32).to_le_bytes());
+        for f in &self.frequencies {
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        for row in &self.rows {
+            if row.is_empty() {
+                buf.push(0);
+                continue;
+            }
+            buf.push(1);
+            for entry in row {
+                match entry {
+                    None => buf.push(0),
+                    Some(r) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&r.amplitude.to_bits().to_le_bytes());
+                        buf.extend_from_slice(&r.phase.to_bits().to_le_bytes());
+                        buf.push(r.logic as u8);
+                    }
+                }
+            }
+        }
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes a snapshot, verifying magic, version, structure and
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Persistence`] for any malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, GateError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4)?;
+        if magic != LUT_MAGIC {
+            return Err(malformed("bad magic (not a LUT file)"));
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+        if version != LUT_VERSION {
+            return Err(GateError::Persistence {
+                reason: format!("unsupported LUT version {version} (expected {LUT_VERSION})"),
+            });
+        }
+        let function = match r.byte()? {
+            0 => LogicFunction::Majority,
+            1 => LogicFunction::Xor,
+            tag => {
+                return Err(GateError::Persistence {
+                    reason: format!("unknown logic-function tag {tag}"),
+                })
+            }
+        };
+        if r.byte()? != 0 {
+            return Err(malformed("nonzero padding byte"));
+        }
+        let input_count = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")) as usize;
+        if input_count == 0 || input_count > 16 {
+            return Err(malformed("input count outside the cached backend's 1..=16"));
+        }
+        let width = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")) as usize;
+        if width == 0 || width > 64 {
+            return Err(malformed("word width outside 1..=64"));
+        }
+        let mut frequencies = Vec::with_capacity(width);
+        for _ in 0..width {
+            let bits = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+            frequencies.push(f64::from_bits(bits));
+        }
+        let combos = 1usize << input_count;
+        let mut rows = Vec::with_capacity(width);
+        for (channel, &frequency) in frequencies.iter().enumerate() {
+            match r.byte()? {
+                0 => rows.push(Vec::new()),
+                1 => {
+                    let mut row = Vec::with_capacity(combos);
+                    for _ in 0..combos {
+                        match r.byte()? {
+                            0 => row.push(None),
+                            1 => {
+                                let amplitude = f64::from_bits(u64::from_le_bytes(
+                                    r.take(8)?.try_into().expect("8 bytes"),
+                                ));
+                                let phase = f64::from_bits(u64::from_le_bytes(
+                                    r.take(8)?.try_into().expect("8 bytes"),
+                                ));
+                                let logic = match r.byte()? {
+                                    0 => false,
+                                    1 => true,
+                                    _ => return Err(malformed("logic byte outside 0/1")),
+                                };
+                                row.push(Some(ChannelReadout {
+                                    channel,
+                                    frequency,
+                                    amplitude,
+                                    phase,
+                                    logic,
+                                }));
+                            }
+                            _ => return Err(malformed("entry tag outside 0/1")),
+                        }
+                    }
+                    rows.push(row);
+                }
+                _ => return Err(malformed("row tag outside 0/1")),
+            }
+        }
+        let payload_len = r.consumed();
+        let stored = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+        if r.remaining() != 0 {
+            return Err(malformed("trailing bytes after checksum"));
+        }
+        let computed = fnv1a(&bytes[..payload_len]);
+        if stored != computed {
+            return Err(malformed("checksum mismatch (file corrupted)"));
+        }
+        Ok(LutSnapshot {
+            function,
+            input_count,
+            frequencies,
+            rows,
+        })
+    }
+}
+
+/// Writes `snapshot` to `path` (parent directories are created).
+///
+/// # Errors
+///
+/// Returns [`GateError::Persistence`] wrapping the I/O failure.
+pub fn save_lut(path: &Path, snapshot: &LutSnapshot) -> Result<(), GateError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| io_error(path, "create directory for", &e))?;
+        }
+    }
+    fs::write(path, snapshot.encode()).map_err(|e| io_error(path, "write", &e))
+}
+
+/// Reads and decodes a snapshot from `path`.
+///
+/// # Errors
+///
+/// Returns [`GateError::Persistence`] for I/O failures and any decoding
+/// error.
+pub fn load_lut(path: &Path) -> Result<LutSnapshot, GateError> {
+    let bytes = fs::read(path).map_err(|e| io_error(path, "read", &e))?;
+    LutSnapshot::decode(&bytes)
+}
+
+fn io_error(path: &Path, action: &str, e: &std::io::Error) -> GateError {
+    GateError::Persistence {
+        reason: format!("failed to {action} {}: {e}", path.display()),
+    }
+}
+
+fn malformed(reason: &str) -> GateError {
+    GateError::Persistence {
+        reason: format!("malformed LUT file: {reason}"),
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Cursor over the encoded byte stream; every read is bounds-checked so
+/// truncated files fail cleanly.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], GateError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(malformed("unexpected end of file"));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> Result<u8, GateError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CachedBackend, SpinWaveBackend};
+    use crate::gate::ParallelGateBuilder;
+    use magnon_physics::waveguide::Waveguide;
+
+    fn warm_backend() -> CachedBackend {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let mut cached = CachedBackend::new(gate).unwrap();
+        cached.precompile();
+        cached
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = warm_backend().lut_snapshot().unwrap();
+        assert_eq!(snap.entry_count(), 4 * 8);
+        let decoded = LutSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn partial_tables_roundtrip_too() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let mut cached = CachedBackend::new(gate).unwrap();
+        // Touch a single set: only some entries fill.
+        cached
+            .evaluate(&[
+                crate::word::Word::from_bits(0b0101, 4).unwrap(),
+                crate::word::Word::from_bits(0b0011, 4).unwrap(),
+                crate::word::Word::from_bits(0b1111, 4).unwrap(),
+            ])
+            .unwrap();
+        let snap = cached.lut_snapshot().unwrap();
+        assert!(snap.entry_count() > 0 && snap.entry_count() < 4 * 8);
+        assert_eq!(LutSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let snap = warm_backend().lut_snapshot().unwrap();
+        let good = snap.encode();
+        // Flip one payload byte: checksum must catch it.
+        let mut bad = good.clone();
+        bad[20] ^= 0xFF;
+        assert!(matches!(
+            LutSnapshot::decode(&bad),
+            Err(GateError::Persistence { .. })
+        ));
+        // Truncation.
+        assert!(LutSnapshot::decode(&good[..good.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(LutSnapshot::decode(&long).is_err());
+        // Wrong magic.
+        let mut magic = good.clone();
+        magic[0] = b'X';
+        assert!(LutSnapshot::decode(&magic).is_err());
+        // Wrong version.
+        let mut version = good;
+        version[4] = 99;
+        assert!(matches!(
+            LutSnapshot::decode(&version),
+            Err(GateError::Persistence { reason }) if reason.contains("version")
+        ));
+    }
+
+    #[test]
+    fn fingerprint_rejects_other_gates() {
+        let snap = warm_backend().lut_snapshot().unwrap();
+        let other = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .build()
+            .unwrap();
+        assert!(snap.matches_gate(&other).is_err());
+        let xor = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(2)
+            .function(LogicFunction::Xor)
+            .build()
+            .unwrap();
+        assert!(snap.matches_gate(&xor).is_err());
+    }
+
+    #[test]
+    fn merge_unions_entries() {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(4)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let w = |bits: u64| crate::word::Word::from_bits(bits, 4).unwrap();
+        let mut a = CachedBackend::new(gate.clone()).unwrap();
+        a.evaluate(&[w(0b0000), w(0b0000), w(0b0000)]).unwrap();
+        let mut b = CachedBackend::new(gate).unwrap();
+        b.evaluate(&[w(0b1111), w(0b1111), w(0b1111)]).unwrap();
+        let mut merged = a.lut_snapshot().unwrap();
+        let before = merged.entry_count();
+        let adopted = merged.merge(&b.lut_snapshot().unwrap()).unwrap();
+        assert_eq!(merged.entry_count(), before + adopted);
+        assert!(adopted > 0);
+        // Merging disagreeing shapes fails.
+        let other = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let mut other_snap = CachedBackend::new(other).unwrap().lut_snapshot().unwrap();
+        assert!(other_snap.merge(&merged).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let snap = warm_backend().lut_snapshot().unwrap();
+        let dir = std::env::temp_dir().join("magnon_lut_store_test");
+        let path = dir.join("maj3_w4.mglut");
+        save_lut(&path, &snap).unwrap();
+        assert_eq!(load_lut(&path).unwrap(), snap);
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            load_lut(&path),
+            Err(GateError::Persistence { .. })
+        ));
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -1,0 +1,107 @@
+//! Circuit evaluation through the scheduler.
+//!
+//! [`ScheduledBank`] is the serving-runtime counterpart of
+//! [`magnon_circuits::netlist::GateBank`]: it implements
+//! [`GateDispatcher`], so any circuit walk
+//! ([`Circuit::evaluate_batch_on`], the adder's `add_many_on`, the
+//! ALU's `execute_on`, the parity tree's `evaluate_on`) submits its
+//! per-node batches to the shared [`Scheduler`] instead of evaluating
+//! inline. Concurrent circuits — and raw [`Scheduler::submit`] traffic
+//! — targeting gates on the same waveguide then coalesce into common
+//! drain cycles.
+//!
+//! [`Circuit::evaluate_batch_on`]:
+//!     magnon_circuits::netlist::Circuit::evaluate_batch_on
+
+use crate::error::ServeError;
+use crate::request::GateId;
+use crate::scheduler::Scheduler;
+use magnon_circuits::netlist::{GateDispatcher, GateShape};
+use magnon_core::backend::OperandSet;
+use magnon_core::gate::GateOutput;
+use magnon_core::GateError;
+
+/// A [`GateDispatcher`] routing a circuit's MAJ/XOR batches to a
+/// [`Scheduler`].
+///
+/// Cheap to construct — make one per circuit evaluation (it only holds
+/// the scheduler reference and two gate ids).
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledBank<'a> {
+    scheduler: &'a Scheduler,
+    maj3: GateId,
+    xor2: GateId,
+    width: usize,
+}
+
+impl<'a> ScheduledBank<'a> {
+    /// Wraps `scheduler`'s `maj3`/`xor2` registrations (typically from
+    /// [`crate::SchedulerBuilder::register_circuit_gates`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownGate`] for foreign ids.
+    /// * [`ServeError::Gate`] when a slot's gate computes the wrong
+    ///   function/operand count, or the two widths disagree.
+    pub fn new(scheduler: &'a Scheduler, maj3: GateId, xor2: GateId) -> Result<Self, ServeError> {
+        let maj_gate = scheduler.gate(maj3).ok_or(ServeError::UnknownGate {
+            index: maj3.index(),
+        })?;
+        let xor_gate = scheduler.gate(xor2).ok_or(ServeError::UnknownGate {
+            index: xor2.index(),
+        })?;
+        for (gate, shape) in [(maj_gate, GateShape::Maj3), (xor_gate, GateShape::Xor2)] {
+            if gate.function() != shape.function() || gate.input_count() != shape.input_count() {
+                return Err(ServeError::Gate(GateError::UnsupportedFunction {
+                    reason: "scheduled bank slots need a 3-input majority and a 2-input XOR gate",
+                }));
+            }
+        }
+        if maj_gate.word_width() != xor_gate.word_width() {
+            return Err(ServeError::Gate(GateError::WordWidthMismatch {
+                expected: maj_gate.word_width(),
+                actual: xor_gate.word_width(),
+            }));
+        }
+        Ok(ScheduledBank {
+            scheduler,
+            maj3,
+            xor2,
+            width: maj_gate.word_width(),
+        })
+    }
+
+    /// The scheduler this bank submits to.
+    pub fn scheduler(&self) -> &Scheduler {
+        self.scheduler
+    }
+}
+
+impl GateDispatcher for ScheduledBank<'_> {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn dispatch(
+        &mut self,
+        shape: GateShape,
+        batch: &[OperandSet],
+    ) -> Result<Vec<GateOutput>, GateError> {
+        let id = match shape {
+            GateShape::Maj3 => self.maj3,
+            GateShape::Xor2 => self.xor2,
+        };
+        // Submit the whole node batch before waiting, so it coalesces
+        // with itself and with unrelated traffic (one payload copy per
+        // request — `batch` is borrowed).
+        let tickets: Vec<_> = batch
+            .iter()
+            .map(|set| self.scheduler.submit(id, set.clone()))
+            .collect::<Result<_, _>>()
+            .map_err(ServeError::into_gate_error)?;
+        tickets
+            .into_iter()
+            .map(|ticket| ticket.wait().map_err(ServeError::into_gate_error))
+            .collect()
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the serving runtime.
+
+use magnon_core::GateError;
+use std::fmt;
+
+/// Errors surfaced by the scheduler and its client handles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The gate model itself failed (operand shape, backend error,
+    /// persistence).
+    Gate(GateError),
+    /// A [`crate::GateId`] that was never registered with this
+    /// scheduler.
+    UnknownGate {
+        /// The unregistered index.
+        index: usize,
+    },
+    /// The target shard's bounded queue is full (only from
+    /// [`crate::Scheduler::try_submit`]; blocking submission applies
+    /// backpressure instead).
+    QueueFull {
+        /// The shard whose queue rejected the request.
+        shard: usize,
+    },
+    /// The runtime (or the worker owning the request) has shut down.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Gate(e) => write!(f, "gate error: {e}"),
+            ServeError::UnknownGate { index } => {
+                write!(f, "gate id {index} was not registered with this scheduler")
+            }
+            ServeError::QueueFull { shard } => {
+                write!(f, "shard {shard}'s request queue is full")
+            }
+            ServeError::Shutdown => write!(f, "the serving runtime has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Gate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GateError> for ServeError {
+    fn from(e: GateError) -> Self {
+        ServeError::Gate(e)
+    }
+}
+
+impl ServeError {
+    /// Collapses into a [`GateError`] for callers behind
+    /// backend-agnostic interfaces (runtime failures become
+    /// [`GateError::Runtime`]).
+    pub fn into_gate_error(self) -> GateError {
+        match self {
+            ServeError::Gate(e) => e,
+            other => GateError::Runtime {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ServeError = GateError::InputCountMismatch {
+            expected: 3,
+            actual: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("gate error"));
+        assert!(matches!(
+            e.clone().into_gate_error(),
+            GateError::InputCountMismatch { .. }
+        ));
+        let e = ServeError::QueueFull { shard: 2 };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(matches!(e.into_gate_error(), GateError::Runtime { .. }));
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        assert!(ServeError::UnknownGate { index: 9 }
+            .to_string()
+            .contains('9'));
+    }
+}

@@ -1,0 +1,166 @@
+//! Request handles and runtime statistics.
+
+use crate::error::ServeError;
+use magnon_core::backend::{OperandSet, RequestTag};
+use magnon_core::gate::GateOutput;
+use magnon_core::GateError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+/// Handle to a gate registered with a [`crate::Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// The registration index (stable for the scheduler's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One request travelling to a worker shard.
+pub(crate) struct EvalJob {
+    /// Registration index of the target gate.
+    pub gate: usize,
+    /// Scheduler-assigned tag echoed on the completion.
+    pub tag: RequestTag,
+    /// The operand words.
+    pub set: OperandSet,
+    /// Completion channel back to the submitting [`Ticket`].
+    pub reply: mpsc::Sender<(RequestTag, Result<GateOutput, GateError>)>,
+}
+
+/// A pending evaluation: redeem with [`Ticket::wait`].
+///
+/// Tickets are independent — they can be awaited in any order, from any
+/// thread, regardless of how the scheduler batched the underlying
+/// requests (each completion carries its request tag).
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) tag: RequestTag,
+    pub(crate) rx: mpsc::Receiver<(RequestTag, Result<GateOutput, GateError>)>,
+}
+
+impl Ticket {
+    /// The tag the scheduler stamped on this request.
+    pub fn tag(&self) -> RequestTag {
+        self.tag
+    }
+
+    /// Blocks until the evaluation completes.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Gate`] when the evaluation itself failed.
+    /// * [`ServeError::Shutdown`] when the owning worker went away
+    ///   before answering.
+    pub fn wait(self) -> Result<GateOutput, ServeError> {
+        match self.rx.recv() {
+            Ok((tag, result)) => {
+                debug_assert_eq!(tag, self.tag, "completion routed to the wrong ticket");
+                result.map_err(ServeError::Gate)
+            }
+            Err(mpsc::RecvError) => Err(ServeError::Shutdown),
+        }
+    }
+}
+
+/// Lock-free counters shared between client handles and worker shards.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub drain_passes: AtomicU64,
+    pub batches: AtomicU64,
+    pub coalesced_requests: AtomicU64,
+    pub cross_gate_passes: AtomicU64,
+    pub max_drain: AtomicU64,
+}
+
+impl SharedStats {
+    pub fn record_drain(&self, requests: u64, gates_touched: u64) {
+        self.drain_passes.fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(gates_touched, Ordering::Relaxed);
+        if requests > 1 {
+            self.coalesced_requests
+                .fetch_add(requests, Ordering::Relaxed);
+        }
+        if gates_touched > 1 {
+            self.cross_gate_passes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max_drain.fetch_max(requests, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> SchedulerStats {
+        SchedulerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            drain_passes: self.drain_passes.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            cross_gate_passes: self.cross_gate_passes.load(Ordering::Relaxed),
+            max_drain: self.max_drain.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerStats {
+    /// Requests accepted by [`crate::Scheduler::submit`] /
+    /// [`crate::Scheduler::try_submit`].
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Worker drain cycles (each serves everything queued at that
+    /// moment, up to the batch cap).
+    pub drain_passes: u64,
+    /// `evaluate_batch` calls issued (one per gate touched per drain).
+    pub batches: u64,
+    /// Requests that shared their drain cycle with at least one other
+    /// request — the coalescing win.
+    pub coalesced_requests: u64,
+    /// Drain cycles that batched across *different* gates sharing a
+    /// waveguide shard.
+    pub cross_gate_passes: u64,
+    /// Largest single drain observed.
+    pub max_drain: u64,
+}
+
+impl SchedulerStats {
+    /// Mean requests per drain cycle (1.0 = no coalescing happening).
+    pub fn mean_drain(&self) -> f64 {
+        if self.drain_passes == 0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / self.drain_passes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_record_coalescing() {
+        let stats = SharedStats::default();
+        stats.record_drain(1, 1);
+        stats.record_drain(7, 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.drain_passes, 2);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.coalesced_requests, 7);
+        assert_eq!(snap.cross_gate_passes, 1);
+        assert_eq!(snap.max_drain, 7);
+    }
+
+    #[test]
+    fn mean_drain_handles_empty() {
+        assert_eq!(SchedulerStats::default().mean_drain(), 0.0);
+    }
+}

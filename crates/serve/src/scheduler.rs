@@ -1,0 +1,638 @@
+//! The sharded, waveguide-aware scheduler.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ── submit(GateId, OperandSet) ──► Ticket
+//!      │
+//!      ▼  route by the gate's WaveguideId (gates sharing a
+//!      │  waveguide always land on the same shard)
+//!  ┌───────────────┐   ┌───────────────┐
+//!  │ shard 0 queue │   │ shard 1 queue │   … bounded MPSC
+//!  └──────┬────────┘   └──────┬────────┘
+//!         ▼                   ▼
+//!   worker thread        worker thread     each owns its OWN
+//!   drain → group        drain → group     backend instance per
+//!   by gate →            by gate →         gate (split_session)
+//!   evaluate_batch       evaluate_batch
+//! ```
+//!
+//! A worker drains its queue in cycles: it blocks on the first request,
+//! then keeps collecting until the configurable linger window closes or
+//! the batch cap is reached, groups what it got by target gate, and
+//! issues one [`GateSession::evaluate_batch`] per gate touched. Because
+//! routing is by [`WaveguideId`], a drain cycle naturally coalesces
+//! requests across *different* gates sharing a waveguide — the
+//! cross-gate data parallelism of the companion paper (arXiv:2008.12220)
+//! — while requests for the same gate ride one batch, the in-waveguide
+//! parallelism of the source paper.
+//!
+//! Completions carry the scheduler-assigned request tag, so they are
+//! safe to deliver out of order; each [`Ticket`] simply receives its
+//! own.
+//!
+//! # LUT persistence
+//!
+//! With [`ServeConfig::lut_dir`] set, [`SchedulerBuilder::build`] loads
+//! each gate's persisted truth-table LUT (if present and valid) into
+//! the template session before splitting per-shard instances, and
+//! [`Scheduler::shutdown`] merges every shard's LUT and writes it back.
+//! A warm restart therefore serves from the first request without
+//! recomputing any channel readout.
+
+use crate::error::ServeError;
+use crate::request::{EvalJob, GateId, SchedulerStats, SharedStats, Ticket};
+use magnon_circuits::netlist::packed_frequency_step;
+use magnon_core::backend::{BackendChoice, GateSession, OperandSet};
+use magnon_core::gate::{GateOutput, ParallelGate, ParallelGateBuilder, WaveguideId};
+use magnon_core::lut_store::{load_lut, save_lut, LutSnapshot};
+use magnon_core::truth::LogicFunction;
+use magnon_core::GateError;
+use magnon_physics::waveguide::Waveguide;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shard count (clamped to ≥ 1). Gates are routed to shard
+    /// `waveguide_id % workers`.
+    pub workers: usize,
+    /// Largest number of requests one drain cycle serves.
+    pub max_batch: usize,
+    /// How long a worker keeps collecting after the first request of a
+    /// drain cycle, trading latency for batch size.
+    pub linger: Duration,
+    /// Bound of each shard's request queue; blocking submission applies
+    /// backpressure when full.
+    pub queue_depth: usize,
+    /// Directory for persisted LUT files (`<gate name>.mglut`). `None`
+    /// disables persistence.
+    pub lut_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 256,
+            linger: Duration::from_micros(200),
+            queue_depth: 1024,
+            lut_dir: None,
+        }
+    }
+}
+
+/// One registered gate's bookkeeping.
+struct GateEntry {
+    name: String,
+    /// Introspection clone (the serving sessions live on the shards).
+    gate: ParallelGate,
+    shard: usize,
+    lut_loaded: usize,
+}
+
+/// Registers gates, then builds the runtime.
+///
+/// # Examples
+///
+/// ```
+/// use magnon_core::backend::{BackendChoice, OperandSet};
+/// use magnon_core::prelude::*;
+/// use magnon_physics::waveguide::Waveguide;
+/// use magnon_serve::{SchedulerBuilder, ServeConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gate = ParallelGateBuilder::new(Waveguide::paper_default()?)
+///     .channels(8)
+///     .inputs(3)
+///     .build()?;
+/// let mut builder = SchedulerBuilder::new(ServeConfig::default());
+/// let maj = builder.register("maj3", gate.clone(), BackendChoice::Cached)?;
+/// let scheduler = builder.build()?;
+///
+/// let set = OperandSet::new(vec![
+///     Word::from_u8(0x0F), Word::from_u8(0x33), Word::from_u8(0x55),
+/// ]);
+/// let ticket = scheduler.submit(maj, set.clone())?;
+/// assert_eq!(ticket.wait()?.word(), gate.evaluate(set.words())?.word());
+/// scheduler.shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct SchedulerBuilder {
+    config: ServeConfig,
+    registrations: Vec<(String, ParallelGate, BackendChoice)>,
+}
+
+impl SchedulerBuilder {
+    /// Starts a builder with `config`.
+    pub fn new(config: ServeConfig) -> Self {
+        SchedulerBuilder {
+            config,
+            registrations: Vec::new(),
+        }
+    }
+
+    /// Registers `gate` under `name` (also the LUT file stem when
+    /// persistence is on), serving through `choice`'s backend on every
+    /// shard the gate lands on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Gate`] for a duplicate name — compared on
+    /// the sanitized LUT file stem, so two names that would persist to
+    /// the same `.mglut` file (e.g. `maj3/a` and `maj3_a`) cannot
+    /// coexist and silently overwrite each other's tables.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        gate: ParallelGate,
+        choice: BackendChoice,
+    ) -> Result<GateId, ServeError> {
+        let name = name.into();
+        let stem = lut_stem(&name);
+        if self
+            .registrations
+            .iter()
+            .any(|(n, _, _)| lut_stem(n) == stem)
+        {
+            return Err(ServeError::Gate(GateError::Persistence {
+                reason: format!("gate name `{name}` collides with an earlier registration (LUT file stem `{stem}`)"),
+            }));
+        }
+        let id = GateId(self.registrations.len());
+        self.registrations.push((name, gate, choice));
+        Ok(id)
+    }
+
+    /// Registers the two gate shapes circuits lower to (3-input
+    /// majority, 2-input XOR) at `width` channels on `waveguide`,
+    /// mirroring what an inline
+    /// [`magnon_circuits::netlist::GateBank`] would lazily build. Both
+    /// gates carry `waveguide_id`, so their traffic shares a shard and
+    /// coalesces.
+    ///
+    /// # Errors
+    ///
+    /// Gate construction failures and duplicate names.
+    pub fn register_circuit_gates(
+        &mut self,
+        waveguide: Waveguide,
+        waveguide_id: WaveguideId,
+        width: usize,
+        choice: BackendChoice,
+    ) -> Result<(GateId, GateId), ServeError> {
+        let maj3 = ParallelGateBuilder::new(waveguide)
+            .channels(width)
+            .inputs(3)
+            .function(LogicFunction::Majority)
+            .frequency_step(packed_frequency_step(width))
+            .on_waveguide(waveguide_id)
+            .build()
+            .map_err(ServeError::Gate)?;
+        let xor2 = ParallelGateBuilder::new(waveguide)
+            .channels(width)
+            .inputs(2)
+            .function(LogicFunction::Xor)
+            .frequency_step(packed_frequency_step(width))
+            .on_waveguide(waveguide_id)
+            .build()
+            .map_err(ServeError::Gate)?;
+        let maj_id = self.register(format!("maj3_w{width}_{waveguide_id}"), maj3, choice)?;
+        let xor_id = self.register(format!("xor2_w{width}_{waveguide_id}"), xor2, choice)?;
+        Ok((maj_id, xor_id))
+    }
+
+    /// Builds the runtime: loads persisted LUTs, splits per-shard
+    /// sessions and spawns the workers.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Gate`] for backend construction failures.
+    /// * [`ServeError::Gate`] wrapping [`GateError::Persistence`] when
+    ///   a persisted LUT file exists but is corrupted or belongs to a
+    ///   different gate design (delete the stale file to proceed).
+    pub fn build(self) -> Result<Scheduler, ServeError> {
+        let mut config = self.config;
+        config.workers = config.workers.max(1);
+        config.max_batch = config.max_batch.max(1);
+        config.queue_depth = config.queue_depth.max(1);
+
+        let mut entries = Vec::with_capacity(self.registrations.len());
+        let mut templates: Vec<GateSession> = Vec::with_capacity(self.registrations.len());
+        for (name, gate, choice) in self.registrations {
+            let mut template = GateSession::new(gate.clone(), choice)?;
+            let mut lut_loaded = 0;
+            if let Some(dir) = &config.lut_dir {
+                let path = lut_path(dir, &name);
+                if path.exists() {
+                    let snapshot = load_lut(&path)?;
+                    lut_loaded = template.import_lut(&snapshot)?;
+                }
+            }
+            let shard = (gate.waveguide_id().0 % config.workers as u64) as usize;
+            entries.push(GateEntry {
+                name,
+                gate,
+                shard,
+                lut_loaded,
+            });
+            templates.push(template);
+        }
+
+        let stats = Arc::new(SharedStats::default());
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for shard in 0..config.workers {
+            // Each worker owns a fresh split of every gate routed to it.
+            let mut sessions: Vec<Option<GateSession>> = Vec::with_capacity(entries.len());
+            for (entry, template) in entries.iter().zip(&templates) {
+                if entry.shard == shard {
+                    sessions.push(Some(template.split_session()?));
+                } else {
+                    sessions.push(None);
+                }
+            }
+            let (tx, rx) = mpsc::sync_channel(config.queue_depth);
+            let worker = Worker {
+                rx,
+                sessions,
+                linger: config.linger,
+                max_batch: config.max_batch,
+                stats: Arc::clone(&stats),
+            };
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("magnon-serve-{shard}"))
+                    .spawn(move || worker.run())
+                    .map_err(|e| {
+                        ServeError::Gate(GateError::Runtime {
+                            reason: format!("failed to spawn worker thread: {e}"),
+                        })
+                    })?,
+            );
+        }
+        Ok(Scheduler {
+            entries,
+            senders,
+            handles,
+            stats,
+            next_tag: AtomicU64::new(0),
+            config,
+        })
+    }
+}
+
+/// Gate name → tame file stem; `register` enforces uniqueness on this,
+/// not on the raw name, so no two gates persist to the same file.
+fn lut_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn lut_path(dir: &std::path::Path, name: &str) -> PathBuf {
+    dir.join(format!("{}.mglut", lut_stem(name)))
+}
+
+/// One worker shard: a bounded queue and its own backend instances.
+struct Worker {
+    rx: Receiver<EvalJob>,
+    /// `sessions[gate index]` — `Some` only for gates routed here.
+    sessions: Vec<Option<GateSession>>,
+    linger: Duration,
+    max_batch: usize,
+    stats: Arc<SharedStats>,
+}
+
+/// What a worker hands back when its queue closes.
+struct WorkerReport {
+    /// `(gate index, LUT contents)` for every session that kept one.
+    luts: Vec<(usize, LutSnapshot)>,
+}
+
+impl Worker {
+    fn run(mut self) -> WorkerReport {
+        let mut pending: Vec<EvalJob> = Vec::with_capacity(self.max_batch);
+        loop {
+            // Block for the cycle's first request; a closed queue is
+            // the shutdown signal.
+            match self.rx.recv() {
+                Ok(job) => pending.push(job),
+                Err(_) => break,
+            }
+            // Linger: keep collecting so concurrent submitters coalesce.
+            let deadline = Instant::now() + self.linger;
+            while pending.len() < self.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    // The window closed; sweep whatever is already
+                    // queued without waiting further.
+                    match self.rx.try_recv() {
+                        Ok(job) => pending.push(job),
+                        Err(_) => break,
+                    }
+                    continue;
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(job) => pending.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            self.serve_drain(&mut pending);
+        }
+        // Drain stragglers that were queued before the last sender
+        // dropped.
+        while let Ok(job) = self.rx.try_recv() {
+            pending.push(job);
+            if pending.len() >= self.max_batch {
+                self.serve_drain(&mut pending);
+            }
+        }
+        if !pending.is_empty() {
+            self.serve_drain(&mut pending);
+        }
+        WorkerReport {
+            luts: self
+                .sessions
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, s)| Some((idx, s.as_ref()?.lut_snapshot()?)))
+                .collect(),
+        }
+    }
+
+    /// Serves one drain cycle: group by gate, one batch per gate, tags
+    /// routed back to their tickets.
+    fn serve_drain(&mut self, pending: &mut Vec<EvalJob>) {
+        let drained = pending.len() as u64;
+        let mut groups: BTreeMap<usize, Vec<EvalJob>> = BTreeMap::new();
+        for job in pending.drain(..) {
+            groups.entry(job.gate).or_default().push(job);
+        }
+        let gates_touched = groups.len() as u64;
+        for (gate_idx, group) in groups {
+            let Some(session) = self.sessions.get_mut(gate_idx).and_then(Option::as_mut) else {
+                for job in group {
+                    self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send((
+                        job.tag,
+                        Err(GateError::Runtime {
+                            reason: format!("gate {gate_idx} is not served by this shard"),
+                        }),
+                    ));
+                }
+                continue;
+            };
+            // Move the operand sets out of the jobs — the batch path
+            // must not copy request payloads.
+            let mut sets = Vec::with_capacity(group.len());
+            let mut replies = Vec::with_capacity(group.len());
+            for job in group {
+                sets.push(job.set);
+                replies.push((job.tag, job.reply));
+            }
+            match session.evaluate_batch(&sets) {
+                Ok(outputs) => {
+                    for ((tag, reply), output) in replies.into_iter().zip(outputs) {
+                        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        let _ = reply.send((tag, Ok(output)));
+                    }
+                }
+                Err(_) => {
+                    // The batch failed as a whole; fall back to
+                    // per-request evaluation so the error lands only on
+                    // the requests that earned it.
+                    for ((tag, reply), set) in replies.into_iter().zip(&sets) {
+                        let result = session.evaluate(set.words());
+                        match &result {
+                            Ok(_) => self.stats.completed.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => self.stats.failed.fetch_add(1, Ordering::Relaxed),
+                        };
+                        let _ = reply.send((tag, result));
+                    }
+                }
+            }
+        }
+        self.stats.record_drain(drained, gates_touched);
+    }
+}
+
+/// What [`Scheduler::shutdown`] hands back.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Final counter snapshot.
+    pub stats: SchedulerStats,
+    /// LUT files written (empty without persistence).
+    pub lut_files: Vec<PathBuf>,
+    /// Total LUT entries persisted across those files.
+    pub lut_entries_saved: usize,
+}
+
+/// The running sharded runtime. See the [module docs](self) for the
+/// architecture.
+pub struct Scheduler {
+    entries: Vec<GateEntry>,
+    senders: Vec<SyncSender<EvalJob>>,
+    handles: Vec<JoinHandle<WorkerReport>>,
+    stats: Arc<SharedStats>,
+    next_tag: AtomicU64,
+    config: ServeConfig,
+}
+
+impl Scheduler {
+    /// The gate behind `id`, when registered.
+    pub fn gate(&self, id: GateId) -> Option<&ParallelGate> {
+        self.entries.get(id.0).map(|e| &e.gate)
+    }
+
+    /// The registration name of `id`.
+    pub fn gate_name(&self, id: GateId) -> Option<&str> {
+        self.entries.get(id.0).map(|e| e.name.as_str())
+    }
+
+    /// Number of registered gates.
+    pub fn gate_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of worker shards.
+    pub fn worker_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard serving `id`'s waveguide.
+    pub fn shard_of(&self, id: GateId) -> Option<usize> {
+        self.entries.get(id.0).map(|e| e.shard)
+    }
+
+    /// LUT entries adopted from disk at build time (0 without
+    /// persistence or on a cold start).
+    pub fn lut_entries_loaded(&self) -> usize {
+        self.entries.iter().map(|e| e.lut_loaded).sum()
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats.snapshot()
+    }
+
+    fn job_for(&self, id: GateId, set: OperandSet) -> Result<(usize, EvalJob, Ticket), ServeError> {
+        let entry = self
+            .entries
+            .get(id.0)
+            .ok_or(ServeError::UnknownGate { index: id.0 })?;
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        Ok((
+            entry.shard,
+            EvalJob {
+                gate: id.0,
+                tag,
+                set,
+                reply,
+            },
+            Ticket { tag, rx },
+        ))
+    }
+
+    /// Submits one evaluation, blocking while the target shard's queue
+    /// is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownGate`] for a foreign [`GateId`].
+    /// * [`ServeError::Shutdown`] when the runtime is gone.
+    pub fn submit(&self, id: GateId, set: OperandSet) -> Result<Ticket, ServeError> {
+        let (shard, job, ticket) = self.job_for(id, set)?;
+        self.senders[shard]
+            .send(job)
+            .map_err(|_| ServeError::Shutdown)?;
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Submits without blocking; a full queue is an error instead of
+    /// backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] plus the conditions of
+    /// [`Scheduler::submit`].
+    pub fn try_submit(&self, id: GateId, set: OperandSet) -> Result<Ticket, ServeError> {
+        let (shard, job, ticket) = self.job_for(id, set)?;
+        match self.senders[shard].try_send(job) {
+            Ok(()) => {
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(TrySendError::Full(_)) => Err(ServeError::QueueFull { shard }),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Submits a whole request list up front, then waits for every
+    /// completion — the batchable-load entry point. Results come back
+    /// in request order regardless of how the shards batched or
+    /// reordered the work.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request aborts with its error.
+    pub fn evaluate_many(
+        &self,
+        requests: &[(GateId, OperandSet)],
+    ) -> Result<Vec<GateOutput>, ServeError> {
+        let mut tickets = Vec::with_capacity(requests.len());
+        for (id, set) in requests {
+            tickets.push(self.submit(*id, set.clone())?);
+        }
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Stops accepting work, joins every worker and — with persistence
+    /// configured — merges all shards' LUTs per gate and writes them to
+    /// disk, so the next [`SchedulerBuilder::build`] starts warm.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Shutdown`] when a worker panicked.
+    /// * [`ServeError::Gate`] wrapping [`GateError::Persistence`] when
+    ///   a LUT file could not be written.
+    pub fn shutdown(mut self) -> Result<ShutdownReport, ServeError> {
+        self.senders.clear();
+        let mut reports = Vec::new();
+        for handle in std::mem::take(&mut self.handles) {
+            reports.push(handle.join().map_err(|_| ServeError::Shutdown)?);
+        }
+        let stats = self.stats.snapshot();
+        let mut lut_files = Vec::new();
+        let mut lut_entries_saved = 0;
+        if let Some(dir) = self.config.lut_dir.clone() {
+            for (idx, entry) in self.entries.iter().enumerate() {
+                let mut merged: Option<LutSnapshot> = None;
+                for report in &reports {
+                    for (gate_idx, snapshot) in &report.luts {
+                        if *gate_idx != idx {
+                            continue;
+                        }
+                        match &mut merged {
+                            None => merged = Some(snapshot.clone()),
+                            Some(m) => {
+                                m.merge(snapshot)?;
+                            }
+                        }
+                    }
+                }
+                if let Some(snapshot) = merged {
+                    if snapshot.entry_count() > 0 {
+                        let path = lut_path(&dir, &entry.name);
+                        save_lut(&path, &snapshot)?;
+                        lut_entries_saved += snapshot.entry_count();
+                        lut_files.push(path);
+                    }
+                }
+            }
+        }
+        Ok(ShutdownReport {
+            stats,
+            lut_files,
+            lut_entries_saved,
+        })
+    }
+}
+
+impl Drop for Scheduler {
+    /// Dropping without [`Scheduler::shutdown`] still joins the
+    /// workers, but skips LUT persistence.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in std::mem::take(&mut self.handles) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("gates", &self.entries.len())
+            .field("workers", &self.senders.len())
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}

@@ -19,7 +19,10 @@
 //! * [`cost`] — area/delay/energy models and the scalar-vs-parallel
 //!   comparison of the paper's §V.B,
 //! * [`circuits`] — word-level circuits (full adders, parity trees)
-//!   composed from data-parallel gates, evaluable on any backend.
+//!   composed from data-parallel gates, evaluable on any backend,
+//! * [`serve`] — the sharded serving runtime: a waveguide-aware
+//!   scheduler that coalesces requests within and across gates, with
+//!   on-disk LUT persistence for warm restarts.
 //!
 //! # Quickstart
 //!
@@ -96,6 +99,15 @@
 //! `circuit.evaluate_with(&mut bank, …)` runs every MAJ/XOR node on the
 //! bank's backend — analytic, cached, or micromagnetic — with one line
 //! changed.
+//!
+//! # Serving at scale
+//!
+//! For sustained traffic, hand the gates to the
+//! [`serve::Scheduler`]: requests queue on bounded per-shard channels,
+//! coalesce under a batch-size/linger policy (within a gate *and*
+//! across gates sharing a [`core::gate::WaveguideId`]), and cached
+//! truth-table LUTs persist across restarts. See
+//! `examples/serve_pipeline.rs` and the `serve_throughput` bench.
 
 pub use magnon_circuits as circuits;
 pub use magnon_core as core;
@@ -103,3 +115,4 @@ pub use magnon_cost as cost;
 pub use magnon_math as math;
 pub use magnon_micromag as micromag;
 pub use magnon_physics as physics;
+pub use magnon_serve as serve;
