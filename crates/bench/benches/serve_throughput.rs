@@ -26,7 +26,7 @@ use magnon_core::backend::BackendChoice;
 use magnon_core::gate::{ParallelGate, ParallelGateBuilder, WaveguideId};
 use magnon_math::constants::GHZ;
 use magnon_physics::waveguide::Waveguide;
-use magnon_serve::{GateId, Scheduler, SchedulerBuilder, ServeConfig};
+use magnon_serve::{AdaptiveConfig, GateId, Scheduler, SchedulerBuilder, ServeConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -47,12 +47,15 @@ fn gate_with_width(n: usize, waveguide: WaveguideId) -> ParallelGate {
 /// One scheduler serving the same gate design on WAVEGUIDES distinct
 /// waveguides, so worker counts shard the load for real.
 fn scheduler_for(n: usize, workers: usize) -> (Scheduler, Vec<GateId>) {
+    // Static policies: this bench baselines the PR 2 runtime; the
+    // adaptive comparison lives in `serve_skew.rs`.
     let mut builder = SchedulerBuilder::new(ServeConfig {
         workers,
         max_batch: BATCH,
         linger: Duration::from_micros(100),
         queue_depth: BATCH,
         lut_dir: None,
+        adaptive: AdaptiveConfig::off(),
     });
     let ids = (0..WAVEGUIDES)
         .map(|wg| {

@@ -75,6 +75,25 @@ pub trait GateDispatcher {
         shape: GateShape,
         batch: &[OperandSet],
     ) -> Result<Vec<GateOutput>, GateError>;
+
+    /// Traffic this dispatcher has carried so far (all zero for
+    /// implementations that do not track it).
+    fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats::default()
+    }
+}
+
+/// Counters a [`GateDispatcher`] keeps about the traffic it carried —
+/// the circuit-side view of how much physical gate work an evaluation
+/// generated (and, for scheduled dispatchers, how much of it could
+/// coalesce downstream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// [`GateDispatcher::dispatch`] calls issued (one per circuit node
+    /// per batch).
+    pub dispatch_calls: u64,
+    /// Operand sets carried across those calls.
+    pub sets_dispatched: u64,
 }
 
 /// Channel spacing that keeps `width` channels inside the paper's
@@ -164,6 +183,8 @@ pub struct GateBank {
     choice: BackendChoice,
     maj3: Option<GateSession>,
     xor2: Option<GateSession>,
+    dispatch_calls: u64,
+    sets_dispatched: u64,
 }
 
 impl GateBank {
@@ -180,6 +201,8 @@ impl GateBank {
             choice,
             maj3: None,
             xor2: None,
+            dispatch_calls: 0,
+            sets_dispatched: 0,
         }
     }
 
@@ -237,6 +260,8 @@ impl GateBank {
             choice,
             maj3,
             xor2,
+            dispatch_calls: 0,
+            sets_dispatched: 0,
         })
     }
 
@@ -296,11 +321,20 @@ impl GateDispatcher for GateBank {
         shape: GateShape,
         batch: &[OperandSet],
     ) -> Result<Vec<GateOutput>, GateError> {
+        self.dispatch_calls += 1;
+        self.sets_dispatched += batch.len() as u64;
         let session = match shape {
             GateShape::Maj3 => self.maj3_session()?,
             GateShape::Xor2 => self.xor2_session()?,
         };
         session.evaluate_batch(batch)
+    }
+
+    fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            dispatch_calls: self.dispatch_calls,
+            sets_dispatched: self.sets_dispatched,
+        }
     }
 }
 
@@ -932,6 +966,10 @@ mod tests {
         assert_eq!(outs[0].word().to_u8(), 0x5A);
         assert_eq!(GateShape::Maj3.function(), LogicFunction::Majority);
         assert_eq!(GateShape::Xor2.input_count(), 2);
+        // The bank surfaces its traffic counters through the trait.
+        let stats = dispatcher.dispatch_stats();
+        assert_eq!(stats.dispatch_calls, 2);
+        assert_eq!(stats.sets_dispatched, 2);
     }
 
     #[test]

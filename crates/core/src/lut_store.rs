@@ -307,16 +307,42 @@ impl LutSnapshot {
 
 /// Writes `snapshot` to `path` (parent directories are created).
 ///
+/// The write is crash-safe: bytes land in a uniquely named temporary
+/// file in the same directory, which is renamed over `path` only once
+/// fully written. An interruption mid-write leaves at worst a stale
+/// `.tmp-*` sibling — a previously valid LUT at `path` is never
+/// replaced by a truncated one.
+///
 /// # Errors
 ///
-/// Returns [`GateError::Persistence`] wrapping the I/O failure.
+/// Returns [`GateError::Persistence`] wrapping the I/O failure; on
+/// error the temporary file is removed and `path` is untouched.
 pub fn save_lut(path: &Path, snapshot: &LutSnapshot) -> Result<(), GateError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent).map_err(|e| io_error(path, "create directory for", &e))?;
         }
     }
-    fs::write(path, snapshot.encode()).map_err(|e| io_error(path, "write", &e))
+    let tmp = tmp_sibling(path);
+    fs::write(&tmp, snapshot.encode()).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io_error(&tmp, "write", &e)
+    })?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io_error(path, "commit", &e)
+    })
+}
+
+/// A temporary path in `path`'s directory, unique to this process and
+/// call (concurrent savers never stomp each other's staging file).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp-{}-{n}", std::process::id()));
+    path.with_file_name(name)
 }
 
 /// Reads and decodes a snapshot from `path`.
@@ -505,6 +531,60 @@ mod tests {
             .unwrap();
         let mut other_snap = CachedBackend::new(other).unwrap().lut_snapshot().unwrap();
         assert!(other_snap.merge(&merged).is_err());
+    }
+
+    #[test]
+    fn interrupted_write_never_clobbers_a_valid_lut() {
+        let snap = warm_backend().lut_snapshot().unwrap();
+        let dir = std::env::temp_dir().join(format!("magnon_lut_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("maj3_w4.mglut");
+        save_lut(&path, &snap).unwrap();
+
+        // Simulate a crash mid-save: a truncated staging file left
+        // behind in the directory. The real path must still decode.
+        let encoded = snap.encode();
+        std::fs::write(
+            dir.join("maj3_w4.mglut.tmp-crashed-0"),
+            &encoded[..encoded.len() / 3],
+        )
+        .unwrap();
+        assert_eq!(load_lut(&path).unwrap(), snap);
+
+        // A subsequent save replaces the file atomically and leaves no
+        // staging residue of its own.
+        let richer = warm_backend().lut_snapshot().unwrap();
+        save_lut(&path, &richer).unwrap();
+        assert_eq!(load_lut(&path).unwrap(), richer);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.contains(".tmp-") && !name.contains("crashed")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left: {leftovers:?}");
+
+        // A failed commit (target occupied by a directory) errors out
+        // without leaving the staging file behind.
+        let blocked = dir.join("blocked.mglut");
+        std::fs::create_dir_all(&blocked).unwrap();
+        assert!(matches!(
+            save_lut(&blocked, &snap),
+            Err(GateError::Persistence { .. })
+        ));
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .contains("blocked.mglut.tmp-")
+            })
+            .collect();
+        assert!(stray.is_empty(), "failed commit left staging: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::error::ServeError;
 use crate::request::GateId;
 use crate::scheduler::Scheduler;
-use magnon_circuits::netlist::{GateDispatcher, GateShape};
+use magnon_circuits::netlist::{DispatchStats, GateDispatcher, GateShape};
 use magnon_core::backend::OperandSet;
 use magnon_core::gate::GateOutput;
 use magnon_core::GateError;
@@ -25,13 +25,16 @@ use magnon_core::GateError;
 /// [`Scheduler`].
 ///
 /// Cheap to construct — make one per circuit evaluation (it only holds
-/// the scheduler reference and two gate ids).
-#[derive(Debug, Clone, Copy)]
+/// the scheduler reference, two gate ids and its traffic counters,
+/// surfaced through [`GateDispatcher::dispatch_stats`]).
+#[derive(Debug, Clone)]
 pub struct ScheduledBank<'a> {
     scheduler: &'a Scheduler,
     maj3: GateId,
     xor2: GateId,
     width: usize,
+    dispatch_calls: u64,
+    sets_dispatched: u64,
 }
 
 impl<'a> ScheduledBank<'a> {
@@ -68,6 +71,8 @@ impl<'a> ScheduledBank<'a> {
             maj3,
             xor2,
             width: maj_gate.word_width(),
+            dispatch_calls: 0,
+            sets_dispatched: 0,
         })
     }
 
@@ -87,6 +92,8 @@ impl GateDispatcher for ScheduledBank<'_> {
         shape: GateShape,
         batch: &[OperandSet],
     ) -> Result<Vec<GateOutput>, GateError> {
+        self.dispatch_calls += 1;
+        self.sets_dispatched += batch.len() as u64;
         let id = match shape {
             GateShape::Maj3 => self.maj3,
             GateShape::Xor2 => self.xor2,
@@ -103,5 +110,12 @@ impl GateDispatcher for ScheduledBank<'_> {
             .into_iter()
             .map(|ticket| ticket.wait().map_err(ServeError::into_gate_error))
             .collect()
+    }
+
+    fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            dispatch_calls: self.dispatch_calls,
+            sets_dispatched: self.sets_dispatched,
+        }
     }
 }

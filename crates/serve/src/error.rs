@@ -9,6 +9,12 @@ pub enum ServeError {
     /// The gate model itself failed (operand shape, backend error,
     /// persistence).
     Gate(GateError),
+    /// A [`crate::ServeConfig`] that cannot produce a working runtime
+    /// (e.g. `max_batch == 0`, which would silently disable batching).
+    Config {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
     /// A [`crate::GateId`] that was never registered with this
     /// scheduler.
     UnknownGate {
@@ -30,6 +36,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Gate(e) => write!(f, "gate error: {e}"),
+            ServeError::Config { reason } => {
+                write!(f, "invalid serving configuration: {reason}")
+            }
             ServeError::UnknownGate { index } => {
                 write!(f, "gate id {index} was not registered with this scheduler")
             }
@@ -90,6 +99,11 @@ mod tests {
         assert!(e.to_string().contains("shard 2"));
         assert!(matches!(e.into_gate_error(), GateError::Runtime { .. }));
         assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        let e = ServeError::Config {
+            reason: "max_batch must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("invalid serving configuration"));
+        assert!(matches!(e.into_gate_error(), GateError::Runtime { .. }));
         assert!(ServeError::UnknownGate { index: 9 }
             .to_string()
             .contains('9'));

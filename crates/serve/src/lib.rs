@@ -14,6 +14,12 @@
 //!   land on one shard and batch *across gates* in a single drain
 //!   cycle, while `N` workers each own independent backend splits
 //!   ([`magnon_core::backend::SpinWaveBackend::split`]);
+//! * **load-adaptive policies** ([`AdaptiveConfig`], fed by the
+//!   lock-free [`telemetry`] counters) — per-worker linger windows that
+//!   shrink under light load and stretch under bursts, a placement
+//!   table that moves co-tenant waveguides off hot shards, and fusion
+//!   of design-compatible requests across *different* waveguides into
+//!   one batch when drains run deep;
 //! * [`ScheduledBank`] — plugs the scheduler into circuit evaluation
 //!   ([`magnon_circuits::netlist::GateDispatcher`]), so adders, ALUs
 //!   and parity trees ride the same coalescing;
@@ -66,11 +72,13 @@ pub mod dispatch;
 pub mod error;
 pub mod request;
 pub mod scheduler;
+pub mod telemetry;
 
 pub use dispatch::ScheduledBank;
 pub use error::ServeError;
 pub use request::{GateId, SchedulerStats, Ticket};
 pub use scheduler::{Scheduler, SchedulerBuilder, ServeConfig, ShutdownReport};
+pub use telemetry::{AdaptiveConfig, ShardTelemetry, TelemetrySnapshot, WaveguideTelemetry};
 
 #[cfg(test)]
 mod tests {
@@ -89,6 +97,7 @@ mod tests {
             linger: Duration::from_micros(100),
             queue_depth: 256,
             lut_dir: None,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 
@@ -316,6 +325,7 @@ mod tests {
             linger: Duration::from_millis(50),
             queue_depth: 1,
             lut_dir: None,
+            adaptive: AdaptiveConfig::default(),
         });
         let id = builder
             .register("maj3", gate, BackendChoice::Analytic)
@@ -335,6 +345,282 @@ mod tests {
             t.wait().unwrap();
         }
         assert!(bounced, "a depth-1 queue under flood must report QueueFull");
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_max_batch_is_rejected_at_build() {
+        let gate = byte_majority();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            max_batch: 0,
+            ..quick_config(1)
+        });
+        builder
+            .register("maj3", gate, BackendChoice::Analytic)
+            .unwrap();
+        match builder.build() {
+            Err(ServeError::Config { reason }) => {
+                assert!(reason.contains("max_batch"), "got: {reason}")
+            }
+            other => panic!("max_batch: 0 must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverted_adaptive_linger_bounds_are_rejected_at_build() {
+        let gate = byte_majority();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            adaptive: AdaptiveConfig {
+                min_linger: Duration::from_millis(5),
+                max_linger: Duration::from_micros(5),
+                ..AdaptiveConfig::default()
+            },
+            ..quick_config(1)
+        });
+        builder
+            .register("maj3", gate, BackendChoice::Analytic)
+            .unwrap();
+        assert!(matches!(builder.build(), Err(ServeError::Config { .. })));
+    }
+
+    #[test]
+    fn static_placement_spreads_even_waveguide_ids_over_two_shards() {
+        let guide = Waveguide::paper_default().unwrap();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            adaptive: AdaptiveConfig::off(),
+            ..quick_config(2)
+        });
+        let ids: Vec<GateId> = [0u64, 2, 4, 6]
+            .iter()
+            .map(|&wg| {
+                builder
+                    .register(
+                        format!("maj_wg{wg}"),
+                        ParallelGateBuilder::new(guide)
+                            .channels(8)
+                            .inputs(3)
+                            .on_waveguide(WaveguideId(wg))
+                            .build()
+                            .unwrap(),
+                        BackendChoice::Analytic,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let scheduler = builder.build().unwrap();
+        let shards: std::collections::BTreeSet<usize> = ids
+            .iter()
+            .map(|&id| scheduler.shard_of(id).unwrap())
+            .collect();
+        assert_eq!(
+            shards.len(),
+            2,
+            "all-even waveguide ids must use both shards (raw modulo would pin shard 0)"
+        );
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
+    fn rebalancing_moves_the_cotenant_off_a_hot_shard() {
+        let guide = Waveguide::paper_default().unwrap();
+        // Waveguides 0 and 4 statically hash to the same shard of 2.
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 2,
+            adaptive: AdaptiveConfig {
+                rebalance: true,
+                rebalance_interval: 8,
+                rebalance_ratio: 1.5,
+                fusion: false,
+                ..AdaptiveConfig::default()
+            },
+            ..quick_config(2)
+        });
+        let make = |wg: u64| {
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(3)
+                .on_waveguide(WaveguideId(wg))
+                .build()
+                .unwrap()
+        };
+        let hot = builder
+            .register("maj_hot", make(0), BackendChoice::Cached)
+            .unwrap();
+        let cold = builder
+            .register("maj_cold", make(4), BackendChoice::Cached)
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        assert_eq!(
+            scheduler.shard_of(hot),
+            scheduler.shard_of(cold),
+            "precondition: both waveguides start co-tenant"
+        );
+        // 7/8 of the traffic hammers the hot waveguide.
+        let sets = sample_sets(64, 3);
+        let requests: Vec<(GateId, OperandSet)> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| (if i % 8 == 7 { cold } else { hot }, set.clone()))
+            .collect();
+        let outputs = scheduler.evaluate_many(&requests).unwrap();
+        for ((id, set), output) in requests.iter().zip(&outputs) {
+            let reference = scheduler.gate(*id).unwrap().evaluate(set.words()).unwrap();
+            assert_eq!(output.word(), reference.word());
+        }
+        let telemetry = scheduler.telemetry();
+        assert!(
+            telemetry.rebalances >= 1,
+            "skewed traffic must trigger a placement move: {telemetry:?}"
+        );
+        assert_ne!(
+            scheduler.shard_of(hot),
+            scheduler.shard_of(cold),
+            "the cold co-tenant must move off the hot shard: {telemetry:?}"
+        );
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
+    fn deep_drains_fuse_compatible_gates_across_waveguides() {
+        let guide = Waveguide::paper_default().unwrap();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 1,
+            max_batch: 64,
+            linger: Duration::from_millis(2),
+            queue_depth: 256,
+            lut_dir: None,
+            adaptive: AdaptiveConfig {
+                fusion: true,
+                fusion_threshold: 2,
+                rebalance: false,
+                ..AdaptiveConfig::default()
+            },
+        });
+        let make = |wg: u64| {
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(3)
+                .on_waveguide(WaveguideId(wg))
+                .build()
+                .unwrap()
+        };
+        let a = builder
+            .register("maj_wg0", make(0), BackendChoice::Cached)
+            .unwrap();
+        let b = builder
+            .register("maj_wg1", make(1), BackendChoice::Cached)
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        let sets = sample_sets(32, 3);
+        let requests: Vec<(GateId, OperandSet)> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| (if i % 2 == 0 { a } else { b }, set.clone()))
+            .collect();
+        let outputs = scheduler.evaluate_many(&requests).unwrap();
+        for ((id, set), output) in requests.iter().zip(&outputs) {
+            let reference = scheduler.gate(*id).unwrap().evaluate(set.words()).unwrap();
+            assert_eq!(output.word(), reference.word());
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.completed, 32);
+        assert_eq!(stats.failed, 0);
+        assert!(
+            stats.fused_batches >= 1 && stats.fused_requests > 0,
+            "interleaved same-design traffic on one shard must fuse: {stats:?}"
+        );
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
+    fn incompatible_gates_never_fuse() {
+        let guide = Waveguide::paper_default().unwrap();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 1,
+            max_batch: 64,
+            linger: Duration::from_millis(2),
+            queue_depth: 256,
+            lut_dir: None,
+            adaptive: AdaptiveConfig {
+                fusion: true,
+                fusion_threshold: 2,
+                rebalance: false,
+                ..AdaptiveConfig::default()
+            },
+        });
+        let maj = builder
+            .register("maj3", byte_majority(), BackendChoice::Cached)
+            .unwrap();
+        let xor = builder
+            .register(
+                "xor2",
+                ParallelGateBuilder::new(guide)
+                    .channels(8)
+                    .inputs(2)
+                    .function(LogicFunction::Xor)
+                    .build()
+                    .unwrap(),
+                BackendChoice::Cached,
+            )
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        let maj_sets = sample_sets(16, 3);
+        let xor_sets = sample_sets(16, 2);
+        let mut requests = Vec::new();
+        for (m, x) in maj_sets.iter().zip(&xor_sets) {
+            requests.push((maj, m.clone()));
+            requests.push((xor, x.clone()));
+        }
+        let outputs = scheduler.evaluate_many(&requests).unwrap();
+        for ((id, set), output) in requests.iter().zip(&outputs) {
+            let reference = scheduler.gate(*id).unwrap().evaluate(set.words()).unwrap();
+            assert_eq!(output.word(), reference.word());
+        }
+        let stats = scheduler.stats();
+        assert_eq!(
+            stats.fused_batches, 0,
+            "MAJ and XOR must not fuse: {stats:?}"
+        );
+        assert_eq!(stats.failed, 0);
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
+    fn adaptive_linger_shrinks_under_sequential_load() {
+        let gate = byte_majority();
+        let base = Duration::from_micros(400);
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 1,
+            max_batch: 64,
+            linger: base,
+            queue_depth: 256,
+            lut_dir: None,
+            adaptive: AdaptiveConfig {
+                adaptive_linger: true,
+                min_linger: Duration::from_micros(10),
+                max_linger: Duration::from_millis(2),
+                rebalance: false,
+                fusion: false,
+                ..AdaptiveConfig::default()
+            },
+        });
+        let id = builder
+            .register("maj3", gate, BackendChoice::Cached)
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        // Strictly sequential submit→wait: every drain serves one
+        // request, so the window must walk down toward min_linger.
+        for set in sample_sets(8, 3) {
+            scheduler.submit(id, set).unwrap().wait().unwrap();
+        }
+        let telemetry = scheduler.telemetry();
+        let shard = &telemetry.shards[0];
+        assert!(shard.drain_cycles >= 8);
+        assert_eq!(shard.queued, 0);
+        assert!(
+            shard.linger < base && shard.linger >= Duration::from_micros(10),
+            "light load must shrink the window below the {base:?} base: {telemetry:?}"
+        );
         scheduler.shutdown().unwrap();
     }
 }

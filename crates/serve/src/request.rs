@@ -76,12 +76,17 @@ pub(crate) struct SharedStats {
     pub coalesced_requests: AtomicU64,
     pub cross_gate_passes: AtomicU64,
     pub max_drain: AtomicU64,
+    pub fused_batches: AtomicU64,
+    pub fused_requests: AtomicU64,
 }
 
 impl SharedStats {
-    pub fn record_drain(&self, requests: u64, gates_touched: u64) {
+    /// Records one drain cycle: `requests` served through `batches`
+    /// `evaluate_batch` calls spanning `gates_touched` distinct gates
+    /// (fusion can make `batches < gates_touched`).
+    pub fn record_drain(&self, requests: u64, batches: u64, gates_touched: u64) {
         self.drain_passes.fetch_add(1, Ordering::Relaxed);
-        self.batches.fetch_add(gates_touched, Ordering::Relaxed);
+        self.batches.fetch_add(batches, Ordering::Relaxed);
         if requests > 1 {
             self.coalesced_requests
                 .fetch_add(requests, Ordering::Relaxed);
@@ -90,6 +95,13 @@ impl SharedStats {
             self.cross_gate_passes.fetch_add(1, Ordering::Relaxed);
         }
         self.max_drain.fetch_max(requests, Ordering::Relaxed);
+    }
+
+    /// Records one fused batch: `requests` jobs for two or more
+    /// distinct gates evaluated through a single compatible session.
+    pub fn record_fusion(&self, requests: u64) {
+        self.fused_batches.fetch_add(1, Ordering::Relaxed);
+        self.fused_requests.fetch_add(requests, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> SchedulerStats {
@@ -102,6 +114,8 @@ impl SharedStats {
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
             cross_gate_passes: self.cross_gate_passes.load(Ordering::Relaxed),
             max_drain: self.max_drain.load(Ordering::Relaxed),
+            fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            fused_requests: self.fused_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +143,12 @@ pub struct SchedulerStats {
     pub cross_gate_passes: u64,
     /// Largest single drain observed.
     pub max_drain: u64,
+    /// Cross-waveguide fused batches issued: one `evaluate_batch` call
+    /// carrying requests for two or more distinct (but
+    /// design-compatible) gates.
+    pub fused_batches: u64,
+    /// Requests that rode a fused batch.
+    pub fused_requests: u64,
 }
 
 impl SchedulerStats {
@@ -149,14 +169,19 @@ mod tests {
     #[test]
     fn stats_record_coalescing() {
         let stats = SharedStats::default();
-        stats.record_drain(1, 1);
-        stats.record_drain(7, 2);
+        stats.record_drain(1, 1, 1);
+        stats.record_drain(7, 2, 2);
+        // A fused drain: 5 requests for 3 gates served as 1 batch.
+        stats.record_drain(5, 1, 3);
+        stats.record_fusion(5);
         let snap = stats.snapshot();
-        assert_eq!(snap.drain_passes, 2);
-        assert_eq!(snap.batches, 3);
-        assert_eq!(snap.coalesced_requests, 7);
-        assert_eq!(snap.cross_gate_passes, 1);
+        assert_eq!(snap.drain_passes, 3);
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.coalesced_requests, 12);
+        assert_eq!(snap.cross_gate_passes, 2);
         assert_eq!(snap.max_drain, 7);
+        assert_eq!(snap.fused_batches, 1);
+        assert_eq!(snap.fused_requests, 5);
     }
 
     #[test]

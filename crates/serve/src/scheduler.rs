@@ -1,31 +1,62 @@
-//! The sharded, waveguide-aware scheduler.
+//! The sharded, waveguide-aware, load-adaptive scheduler.
 //!
 //! # Architecture
 //!
 //! ```text
 //!  clients ── submit(GateId, OperandSet) ──► Ticket
 //!      │
-//!      ▼  route by the gate's WaveguideId (gates sharing a
-//!      │  waveguide always land on the same shard)
+//!      ▼  route by the gate's WaveguideId through the adaptive
+//!      │  placement table (gates sharing a waveguide always land on
+//!      │  the same shard; hot-shard co-tenants get moved)
 //!  ┌───────────────┐   ┌───────────────┐
 //!  │ shard 0 queue │   │ shard 1 queue │   … bounded MPSC
 //!  └──────┬────────┘   └──────┬────────┘
 //!         ▼                   ▼
-//!   worker thread        worker thread     each owns its OWN
-//!   drain → group        drain → group     backend instance per
-//!   by gate →            by gate →         gate (split_session)
+//!   worker thread        worker thread     each lazily owns its OWN
+//!   drain → group        drain → group     backend instance per gate
+//!   by gate (or by       by gate (or by    (split_session from a
+//!   design, fused) →     design, fused) →  shared template)
 //!   evaluate_batch       evaluate_batch
 //! ```
 //!
 //! A worker drains its queue in cycles: it blocks on the first request,
-//! then keeps collecting until the configurable linger window closes or
-//! the batch cap is reached, groups what it got by target gate, and
-//! issues one [`GateSession::evaluate_batch`] per gate touched. Because
-//! routing is by [`WaveguideId`], a drain cycle naturally coalesces
-//! requests across *different* gates sharing a waveguide — the
-//! cross-gate data parallelism of the companion paper (arXiv:2008.12220)
-//! — while requests for the same gate ride one batch, the in-waveguide
+//! then keeps collecting until the linger window closes or the batch
+//! cap is reached, groups what it got, and issues one
+//! [`GateSession::evaluate_batch`] per group. Because routing is by
+//! [`WaveguideId`], a drain cycle naturally coalesces requests across
+//! *different* gates sharing a waveguide — the cross-gate data
+//! parallelism of the companion paper (arXiv:2008.12220) — while
+//! requests for the same gate ride one batch, the in-waveguide
 //! parallelism of the source paper.
+//!
+//! # Adaptive policies
+//!
+//! Three load-aware policies (see [`AdaptiveConfig`], all on by
+//! default, all individually switchable) feed on the lock-free
+//! telemetry in [`crate::telemetry`]:
+//!
+//! * **load-aware linger** — each worker's linger window shrinks toward
+//!   [`AdaptiveConfig::min_linger`] while drains come back nearly empty
+//!   (low latency under light load) and stretches toward
+//!   [`AdaptiveConfig::max_linger`] while drains fill to `max_batch`
+//!   (big batches under bursts);
+//! * **hot-waveguide rebalancing** — instead of the static
+//!   hash-placement fallback, submissions consult a placement table
+//!   that periodically moves co-tenant waveguides off overloaded
+//!   shards, so a hot waveguide ends up with a shard to itself while
+//!   the background traffic spreads over the rest;
+//! * **cross-waveguide fusion** — when a drain runs deeper than
+//!   [`AdaptiveConfig::fusion_threshold`], requests for
+//!   *design-compatible* gates (equal
+//!   [`ParallelGate::design_fingerprint`] — a hash over the compiled
+//!   evaluation state, so only the waveguide id may differ — and the
+//!   same backend) merge into a single `evaluate_batch` call instead
+//!   of one call per gate.
+//!
+//! Rebalancing is safe mid-flight because workers create backend
+//! instances lazily: a request that reaches a shard whose worker has
+//! not served that gate before triggers a `split_session` from the
+//! shared warm template, instead of an error.
 //!
 //! Completions carry the scheduler-assigned request tag, so they are
 //! safe to deliver out of order; each [`Ticket`] simply receives its
@@ -36,12 +67,14 @@
 //! With [`ServeConfig::lut_dir`] set, [`SchedulerBuilder::build`] loads
 //! each gate's persisted truth-table LUT (if present and valid) into
 //! the template session before splitting per-shard instances, and
-//! [`Scheduler::shutdown`] merges every shard's LUT and writes it back.
+//! [`Scheduler::shutdown`] merges every shard's LUT and writes it back
+//! (atomically — a crash mid-write never corrupts the previous file).
 //! A warm restart therefore serves from the first request without
 //! recomputing any channel readout.
 
 use crate::error::ServeError;
 use crate::request::{EvalJob, GateId, SchedulerStats, SharedStats, Ticket};
+use crate::telemetry::{AdaptiveConfig, Telemetry, TelemetrySnapshot};
 use magnon_circuits::netlist::packed_frequency_step;
 use magnon_core::backend::{BackendChoice, GateSession, OperandSet};
 use magnon_core::gate::{GateOutput, ParallelGate, ParallelGateBuilder, WaveguideId};
@@ -49,7 +82,7 @@ use magnon_core::lut_store::{load_lut, save_lut, LutSnapshot};
 use magnon_core::truth::LogicFunction;
 use magnon_core::GateError;
 use magnon_physics::waveguide::Waveguide;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -60,13 +93,21 @@ use std::time::{Duration, Instant};
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker shard count (clamped to ≥ 1). Gates are routed to shard
-    /// `waveguide_id % workers`.
+    /// Worker shard count (clamped to ≥ 1). Each distinct waveguide is
+    /// initially placed on `mix64(waveguide_id) % workers` (a
+    /// multiplicative bit-mix, so ids sharing factors with the worker
+    /// count still spread) and may be moved by adaptive rebalancing.
     pub workers: usize,
-    /// Largest number of requests one drain cycle serves.
+    /// Largest number of requests one drain cycle serves. Zero is
+    /// rejected by [`SchedulerBuilder::build`] — it would silently
+    /// degenerate every drain to a batch of one.
     pub max_batch: usize,
-    /// How long a worker keeps collecting after the first request of a
-    /// drain cycle, trading latency for batch size.
+    /// Base linger: how long a worker keeps collecting after the first
+    /// request of a drain cycle, trading latency for batch size. With
+    /// [`AdaptiveConfig::adaptive_linger`] on, this is only the
+    /// starting point; the worker then walks the window between
+    /// [`AdaptiveConfig::min_linger`] and [`AdaptiveConfig::max_linger`]
+    /// based on observed drain sizes.
     pub linger: Duration,
     /// Bound of each shard's request queue; blocking submission applies
     /// backpressure when full.
@@ -74,6 +115,10 @@ pub struct ServeConfig {
     /// Directory for persisted LUT files (`<gate name>.mglut`). `None`
     /// disables persistence.
     pub lut_dir: Option<PathBuf>,
+    /// The load-adaptive policy knobs (linger adaptation, hot-waveguide
+    /// rebalancing, cross-waveguide fusion). [`AdaptiveConfig::off`]
+    /// reproduces the static runtime.
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +129,7 @@ impl Default for ServeConfig {
             linger: Duration::from_micros(200),
             queue_depth: 1024,
             lut_dir: None,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -93,7 +139,9 @@ struct GateEntry {
     name: String,
     /// Introspection clone (the serving sessions live on the shards).
     gate: ParallelGate,
-    shard: usize,
+    /// Index into the placement table (one slot per distinct
+    /// waveguide).
+    wg_slot: usize,
     lut_loaded: usize,
 }
 
@@ -209,24 +257,46 @@ impl SchedulerBuilder {
         Ok((maj_id, xor_id))
     }
 
-    /// Builds the runtime: loads persisted LUTs, splits per-shard
-    /// sessions and spawns the workers.
+    /// Builds the runtime: validates the configuration, loads persisted
+    /// LUTs, places waveguides on shards and spawns the workers.
     ///
     /// # Errors
     ///
+    /// * [`ServeError::Config`] for an unusable configuration
+    ///   (`max_batch == 0`, or `adaptive.min_linger` above
+    ///   `adaptive.max_linger`).
     /// * [`ServeError::Gate`] for backend construction failures.
     /// * [`ServeError::Gate`] wrapping [`GateError::Persistence`] when
     ///   a persisted LUT file exists but is corrupted or belongs to a
     ///   different gate design (delete the stale file to proceed).
     pub fn build(self) -> Result<Scheduler, ServeError> {
         let mut config = self.config;
+        if config.max_batch == 0 {
+            return Err(ServeError::Config {
+                reason: "max_batch must be at least 1 — a zero cap would make the linger loop \
+                         unreachable and silently serve every request as a batch of one"
+                    .into(),
+            });
+        }
+        if config.adaptive.min_linger > config.adaptive.max_linger {
+            return Err(ServeError::Config {
+                reason: format!(
+                    "adaptive.min_linger ({:?}) exceeds adaptive.max_linger ({:?})",
+                    config.adaptive.min_linger, config.adaptive.max_linger
+                ),
+            });
+        }
         config.workers = config.workers.max(1);
-        config.max_batch = config.max_batch.max(1);
         config.queue_depth = config.queue_depth.max(1);
+        config.adaptive.rebalance_interval = config.adaptive.rebalance_interval.max(1);
+        config.adaptive.fusion_threshold = config.adaptive.fusion_threshold.max(2);
 
+        let mut wg_slots: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut placements: Vec<(WaveguideId, usize)> = Vec::new();
         let mut entries = Vec::with_capacity(self.registrations.len());
         let mut templates: Vec<GateSession> = Vec::with_capacity(self.registrations.len());
-        for (name, gate, choice) in self.registrations {
+        let mut fingerprints: Vec<u64> = Vec::with_capacity(self.registrations.len());
+        for (index, (name, gate, choice)) in self.registrations.into_iter().enumerate() {
             let mut template = GateSession::new(gate.clone(), choice)?;
             let mut lut_loaded = 0;
             if let Some(dir) = &config.lut_dir {
@@ -236,24 +306,33 @@ impl SchedulerBuilder {
                     lut_loaded = template.import_lut(&snapshot)?;
                 }
             }
-            let shard = (gate.waveguide_id().0 % config.workers as u64) as usize;
+            let waveguide = gate.waveguide_id();
+            let wg_slot = *wg_slots.entry(waveguide.0).or_insert_with(|| {
+                placements.push((waveguide, static_shard(waveguide, config.workers)));
+                placements.len() - 1
+            });
+            fingerprints.push(fusion_fingerprint(index, &gate, choice));
             entries.push(GateEntry {
                 name,
                 gate,
-                shard,
+                wg_slot,
                 lut_loaded,
             });
             templates.push(template);
         }
 
+        let telemetry = Arc::new(Telemetry::new(config.workers, placements));
         let stats = Arc::new(SharedStats::default());
+        let templates = Arc::new(templates);
+        let fingerprints = Arc::new(fingerprints);
         let mut senders = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for shard in 0..config.workers {
-            // Each worker owns a fresh split of every gate routed to it.
+            // Pre-split the gates initially placed here (fast path);
+            // anything rebalancing routes over later splits lazily.
             let mut sessions: Vec<Option<GateSession>> = Vec::with_capacity(entries.len());
-            for (entry, template) in entries.iter().zip(&templates) {
-                if entry.shard == shard {
+            for (entry, template) in entries.iter().zip(templates.iter()) {
+                if telemetry.shard_of_slot(entry.wg_slot) == shard {
                     sessions.push(Some(template.split_session()?));
                 } else {
                     sessions.push(None);
@@ -261,11 +340,16 @@ impl SchedulerBuilder {
             }
             let (tx, rx) = mpsc::sync_channel(config.queue_depth);
             let worker = Worker {
+                shard,
                 rx,
                 sessions,
+                templates: Arc::clone(&templates),
+                fingerprints: Arc::clone(&fingerprints),
                 linger: config.linger,
                 max_batch: config.max_batch,
+                policy: config.adaptive.clone(),
                 stats: Arc::clone(&stats),
+                telemetry: Arc::clone(&telemetry),
             };
             senders.push(tx);
             handles.push(
@@ -284,6 +368,7 @@ impl SchedulerBuilder {
             senders,
             handles,
             stats,
+            telemetry,
             next_tag: AtomicU64::new(0),
             config,
         })
@@ -308,14 +393,60 @@ fn lut_path(dir: &std::path::Path, name: &str) -> PathBuf {
     dir.join(format!("{}.mglut", lut_stem(name)))
 }
 
+/// Splitmix64 finalizer: an invertible multiplicative bit-mix.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Static placement fallback: mix the id bits, then fold the
+/// well-mixed *high* half. A raw `waveguide_id % workers` systematically
+/// collides ids sharing a factor with the worker count (all-even ids on
+/// 2 workers load only the even shards); the mix makes placement
+/// uniform even before the adaptive table warms up.
+fn static_shard(waveguide: WaveguideId, workers: usize) -> usize {
+    ((mix64(waveguide.0) >> 32) % workers.max(1) as u64) as usize
+}
+
+/// Fusion-compatibility key: the gate's behavioral fingerprint
+/// ([`ParallelGate::design_fingerprint`] — a hash over the *compiled*
+/// evaluation state, so readout modes, layout, dispersion model,
+/// equalization and waveguide physics all participate) combined with
+/// the backend choice. Equal keys mean identical outputs for identical
+/// operands, so the fusion path may serve them from one session.
+/// Micromagnetic backends are salted with the registration index —
+/// their calibration is per-instance, so they never fuse.
+fn fusion_fingerprint(index: usize, gate: &ParallelGate, choice: BackendChoice) -> u64 {
+    let (tag, salt) = match choice {
+        BackendChoice::Analytic => (1u64, 0u64),
+        BackendChoice::Cached => (2, 0),
+        // The index salt makes every micromag registration unique.
+        BackendChoice::Micromag(_) => (3, index as u64 + 1),
+    };
+    mix64(gate.design_fingerprint() ^ mix64(tag) ^ mix64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
 /// One worker shard: a bounded queue and its own backend instances.
 struct Worker {
+    shard: usize,
     rx: Receiver<EvalJob>,
-    /// `sessions[gate index]` — `Some` only for gates routed here.
+    /// `sessions[gate index]` — filled lazily; gates placed here at
+    /// build time are pre-split.
     sessions: Vec<Option<GateSession>>,
+    /// Warm templates shared by all shards, the source of lazy splits.
+    templates: Arc<Vec<GateSession>>,
+    /// `fingerprints[gate index]` — the fusion compatibility key.
+    fingerprints: Arc<Vec<u64>>,
+    /// Base linger (the adaptive window starts here).
     linger: Duration,
     max_batch: usize,
+    policy: AdaptiveConfig,
     stats: Arc<SharedStats>,
+    telemetry: Arc<Telemetry>,
 }
 
 /// What a worker hands back when its queue closes.
@@ -327,6 +458,12 @@ struct WorkerReport {
 impl Worker {
     fn run(mut self) -> WorkerReport {
         let mut pending: Vec<EvalJob> = Vec::with_capacity(self.max_batch);
+        let mut linger = if self.policy.adaptive_linger {
+            self.linger
+                .clamp(self.policy.min_linger, self.policy.max_linger)
+        } else {
+            self.linger
+        };
         loop {
             // Block for the cycle's first request; a closed queue is
             // the shutdown signal.
@@ -335,7 +472,7 @@ impl Worker {
                 Err(_) => break,
             }
             // Linger: keep collecting so concurrent submitters coalesce.
-            let deadline = Instant::now() + self.linger;
+            let deadline = Instant::now() + linger;
             while pending.len() < self.max_batch {
                 let now = Instant::now();
                 if now >= deadline {
@@ -353,7 +490,12 @@ impl Worker {
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
+            let drained = pending.len();
             self.serve_drain(&mut pending);
+            if self.policy.adaptive_linger {
+                linger = self.adapted_linger(linger, drained);
+                self.telemetry.publish_linger(self.shard, linger);
+            }
         }
         // Drain stragglers that were queued before the last sender
         // dropped.
@@ -376,59 +518,110 @@ impl Worker {
         }
     }
 
-    /// Serves one drain cycle: group by gate, one batch per gate, tags
-    /// routed back to their tickets.
+    /// Multiplicative increase/decrease on the linger window: a drain
+    /// that filled the batch cap means traffic is bursty (stretch to
+    /// collect more next time); a drain of one request means the window
+    /// bought nothing (shrink toward pure latency).
+    fn adapted_linger(&self, current: Duration, drained: usize) -> Duration {
+        if drained >= self.max_batch {
+            // Seed the doubling when the window shrank all the way to
+            // zero (min_linger: 0), or it could never grow back.
+            current
+                .max(Duration::from_micros(1))
+                .saturating_mul(2)
+                .min(self.policy.max_linger)
+        } else if drained <= 1 {
+            (current / 2).max(self.policy.min_linger)
+        } else {
+            current
+        }
+    }
+
+    /// The serving session for `gate`, splitting one off the shared
+    /// warm template the first time rebalancing routes that gate here.
+    fn session_for(&mut self, gate: usize) -> Result<&mut GateSession, GateError> {
+        let slot = &mut self.sessions[gate];
+        if slot.is_none() {
+            *slot = Some(self.templates[gate].split_session()?);
+        }
+        Ok(slot.as_mut().expect("just filled"))
+    }
+
+    /// Serves one drain cycle: group by gate — or, when the drain is
+    /// deep enough to fuse, by design fingerprint — one batch per
+    /// group, tags routed back to their tickets.
     fn serve_drain(&mut self, pending: &mut Vec<EvalJob>) {
         let drained = pending.len() as u64;
-        let mut groups: BTreeMap<usize, Vec<EvalJob>> = BTreeMap::new();
+        let hit_cap = pending.len() >= self.max_batch;
+        // Account the dequeue *before* serving: a client that observes
+        // its completion must never still see its request in the queue
+        // gauge.
+        self.telemetry.record_drain(self.shard, drained, hit_cap);
+        let fuse = self.policy.fusion && pending.len() >= self.policy.fusion_threshold;
+        let mut gates_touched: BTreeSet<usize> = BTreeSet::new();
+        let mut groups: BTreeMap<u64, Vec<EvalJob>> = BTreeMap::new();
         for job in pending.drain(..) {
-            groups.entry(job.gate).or_default().push(job);
-        }
-        let gates_touched = groups.len() as u64;
-        for (gate_idx, group) in groups {
-            let Some(session) = self.sessions.get_mut(gate_idx).and_then(Option::as_mut) else {
-                for job in group {
-                    self.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send((
-                        job.tag,
-                        Err(GateError::Runtime {
-                            reason: format!("gate {gate_idx} is not served by this shard"),
-                        }),
-                    ));
-                }
-                continue;
+            gates_touched.insert(job.gate);
+            let key = if fuse {
+                self.fingerprints[job.gate]
+            } else {
+                job.gate as u64
             };
-            // Move the operand sets out of the jobs — the batch path
-            // must not copy request payloads.
-            let mut sets = Vec::with_capacity(group.len());
-            let mut replies = Vec::with_capacity(group.len());
-            for job in group {
-                sets.push(job.set);
-                replies.push((job.tag, job.reply));
-            }
-            match session.evaluate_batch(&sets) {
-                Ok(outputs) => {
-                    for ((tag, reply), output) in replies.into_iter().zip(outputs) {
-                        self.stats.completed.fetch_add(1, Ordering::Relaxed);
-                        let _ = reply.send((tag, Ok(output)));
-                    }
+            groups.entry(key).or_default().push(job);
+        }
+        let batches = groups.len() as u64;
+        let gates_touched = gates_touched.len() as u64;
+        for group in groups.into_values() {
+            self.serve_group(group);
+        }
+        self.stats.record_drain(drained, batches, gates_touched);
+    }
+
+    /// Serves one group (all jobs share a session-compatible target):
+    /// one `evaluate_batch` on the lead gate's session, with a
+    /// per-request fallback on each job's own gate so errors land only
+    /// on the requests that earned them.
+    fn serve_group(&mut self, group: Vec<EvalJob>) {
+        let lead = group[0].gate;
+        let fused = group.iter().any(|job| job.gate != lead);
+        // Move the operand sets out of the jobs — the batch path must
+        // not copy request payloads.
+        let mut sets = Vec::with_capacity(group.len());
+        let mut replies = Vec::with_capacity(group.len());
+        for job in group {
+            sets.push(job.set);
+            replies.push((job.gate, job.tag, job.reply));
+        }
+        let attempt = match self.session_for(lead) {
+            Ok(session) => session.evaluate_batch(&sets),
+            Err(e) => Err(e),
+        };
+        match attempt {
+            Ok(outputs) => {
+                if fused {
+                    self.stats.record_fusion(sets.len() as u64);
                 }
-                Err(_) => {
-                    // The batch failed as a whole; fall back to
-                    // per-request evaluation so the error lands only on
-                    // the requests that earned it.
-                    for ((tag, reply), set) in replies.into_iter().zip(&sets) {
-                        let result = session.evaluate(set.words());
-                        match &result {
-                            Ok(_) => self.stats.completed.fetch_add(1, Ordering::Relaxed),
-                            Err(_) => self.stats.failed.fetch_add(1, Ordering::Relaxed),
-                        };
-                        let _ = reply.send((tag, result));
-                    }
+                for ((_, tag, reply), output) in replies.into_iter().zip(outputs) {
+                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send((tag, Ok(output)));
+                }
+            }
+            Err(_) => {
+                // The batch failed as a whole; fall back to per-request
+                // evaluation on each job's own gate.
+                for ((gate, tag, reply), set) in replies.into_iter().zip(&sets) {
+                    let result = match self.session_for(gate) {
+                        Ok(session) => session.evaluate(set.words()),
+                        Err(e) => Err(e),
+                    };
+                    match &result {
+                        Ok(_) => self.stats.completed.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => self.stats.failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                    let _ = reply.send((tag, result));
                 }
             }
         }
-        self.stats.record_drain(drained, gates_touched);
     }
 }
 
@@ -450,6 +643,7 @@ pub struct Scheduler {
     senders: Vec<SyncSender<EvalJob>>,
     handles: Vec<JoinHandle<WorkerReport>>,
     stats: Arc<SharedStats>,
+    telemetry: Arc<Telemetry>,
     next_tag: AtomicU64,
     config: ServeConfig,
 }
@@ -475,9 +669,12 @@ impl Scheduler {
         self.senders.len()
     }
 
-    /// The shard serving `id`'s waveguide.
+    /// The shard *currently* serving `id`'s waveguide (rebalancing may
+    /// move it).
     pub fn shard_of(&self, id: GateId) -> Option<usize> {
-        self.entries.get(id.0).map(|e| e.shard)
+        self.entries
+            .get(id.0)
+            .map(|e| self.telemetry.shard_of_slot(e.wg_slot))
     }
 
     /// LUT entries adopted from disk at build time (0 without
@@ -491,15 +688,25 @@ impl Scheduler {
         self.stats.snapshot()
     }
 
+    /// Current load-telemetry snapshot: per-shard queue depths, drain
+    /// counters and linger windows, per-waveguide placement and recent
+    /// request counts, and the number of rebalance moves.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
     fn job_for(&self, id: GateId, set: OperandSet) -> Result<(usize, EvalJob, Ticket), ServeError> {
         let entry = self
             .entries
             .get(id.0)
             .ok_or(ServeError::UnknownGate { index: id.0 })?;
+        let shard = self
+            .telemetry
+            .route_submit(entry.wg_slot, &self.config.adaptive);
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
         Ok((
-            entry.shard,
+            shard,
             EvalJob {
                 gate: id.0,
                 tag,
@@ -519,9 +726,10 @@ impl Scheduler {
     /// * [`ServeError::Shutdown`] when the runtime is gone.
     pub fn submit(&self, id: GateId, set: OperandSet) -> Result<Ticket, ServeError> {
         let (shard, job, ticket) = self.job_for(id, set)?;
-        self.senders[shard]
-            .send(job)
-            .map_err(|_| ServeError::Shutdown)?;
+        self.senders[shard].send(job).map_err(|_| {
+            self.telemetry.retract_queued(shard);
+            ServeError::Shutdown
+        })?;
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(ticket)
     }
@@ -540,8 +748,14 @@ impl Scheduler {
                 self.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(ticket)
             }
-            Err(TrySendError::Full(_)) => Err(ServeError::QueueFull { shard }),
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+            Err(TrySendError::Full(_)) => {
+                self.telemetry.retract_queued(shard);
+                Err(ServeError::QueueFull { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.telemetry.retract_queued(shard);
+                Err(ServeError::Shutdown)
+            }
         }
     }
 
@@ -634,5 +848,81 @@ impl std::fmt::Debug for Scheduler {
             .field("workers", &self.senders.len())
             .field("stats", &self.stats.snapshot())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_static_placement_spreads_shared_factor_ids() {
+        // Raw modulo would put every even id on shard 0 of 2. The mixed
+        // fold must touch both shards for all-even ids.
+        let shards: BTreeSet<usize> = (0..16u64)
+            .map(|i| static_shard(WaveguideId(i * 2), 2))
+            .collect();
+        assert_eq!(shards.len(), 2, "all-even ids must reach both shards");
+        // And for a handful of worker counts, nothing maps out of
+        // range.
+        for workers in 1..=5 {
+            for id in 0..64u64 {
+                assert!(static_shard(WaveguideId(id), workers) < workers);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_designs_and_salt_micromag() {
+        let guide = Waveguide::paper_default().unwrap();
+        let maj = |wg: u64| {
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(3)
+                .on_waveguide(WaveguideId(wg))
+                .build()
+                .unwrap()
+        };
+        // Same design, different waveguides: compatible (fusable).
+        assert_eq!(
+            fusion_fingerprint(0, &maj(0), BackendChoice::Cached),
+            fusion_fingerprint(1, &maj(9), BackendChoice::Cached),
+        );
+        // Different backend: not compatible.
+        assert_ne!(
+            fusion_fingerprint(0, &maj(0), BackendChoice::Cached),
+            fusion_fingerprint(0, &maj(0), BackendChoice::Analytic),
+        );
+        // Different function or operand count: not compatible.
+        let xor = ParallelGateBuilder::new(guide)
+            .channels(8)
+            .inputs(2)
+            .function(LogicFunction::Xor)
+            .build()
+            .unwrap();
+        assert_ne!(
+            fusion_fingerprint(0, &maj(0), BackendChoice::Analytic),
+            fusion_fingerprint(0, &xor, BackendChoice::Analytic),
+        );
+        // Identical frequency plan but inverted readout: compiles to
+        // different behavior, so it must not fuse — the fingerprint
+        // hashes the compiled prep, not just the builder surface.
+        let inverted = ParallelGateBuilder::new(guide)
+            .channels(8)
+            .inputs(3)
+            .readout(magnon_core::encoding::ReadoutMode::Inverted)
+            .build()
+            .unwrap();
+        assert_ne!(
+            fusion_fingerprint(0, &maj(0), BackendChoice::Cached),
+            fusion_fingerprint(0, &inverted, BackendChoice::Cached),
+        );
+        // Micromag never fuses: even identical designs differ by
+        // registration index.
+        let settings = Default::default();
+        assert_ne!(
+            fusion_fingerprint(0, &maj(0), BackendChoice::Micromag(settings)),
+            fusion_fingerprint(1, &maj(0), BackendChoice::Micromag(settings)),
+        );
     }
 }

@@ -1,0 +1,445 @@
+//! Lock-free serving telemetry and the adaptive placement table.
+//!
+//! Every hot-path touch point is a relaxed atomic: submitters bump a
+//! per-waveguide request counter and read the placement table, workers
+//! publish drain sizes, queue depths and their current linger window.
+//! Nothing here takes a lock on the request path; the only
+//! coordination is a compare-and-swap guard around the (rare,
+//! submission-driven) placement review.
+//!
+//! Three adaptive policies consume the counters (all tunable through
+//! [`AdaptiveConfig`], all individually switchable):
+//!
+//! * **load-aware linger** — each worker shrinks its linger window
+//!   toward [`AdaptiveConfig::min_linger`] while drains come back
+//!   nearly empty (latency mode) and stretches it toward
+//!   [`AdaptiveConfig::max_linger`] while drains fill to the batch cap
+//!   (burst mode);
+//! * **hot-waveguide rebalancing** — every
+//!   [`AdaptiveConfig::rebalance_interval`] submissions, the placement
+//!   of waveguides over shards is reviewed: when the busiest shard
+//!   carries more than [`AdaptiveConfig::rebalance_ratio`] times the
+//!   load of the idlest one, a co-tenant waveguide is moved off the hot
+//!   shard, so a hot waveguide ends up with a shard (mostly) to itself;
+//! * **cross-waveguide fusion** — consumed by the worker drain loop
+//!   (see `scheduler.rs`): when a drain is deeper than
+//!   [`AdaptiveConfig::fusion_threshold`], requests for
+//!   design-compatible gates on *different* waveguides merge into one
+//!   `evaluate_batch` call.
+//!
+//! [`Scheduler::telemetry`](crate::Scheduler::telemetry) exposes a
+//! consistent-enough point-in-time [`TelemetrySnapshot`] for dashboards
+//! and tests. Request counters decay (halve) at every placement review,
+//! so placement follows *recent* traffic, not all-time totals.
+
+use magnon_core::gate::WaveguideId;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Tuning knobs for the three adaptive serving policies.
+///
+/// [`Default`] enables everything with conservative thresholds;
+/// [`AdaptiveConfig::off`] reproduces the static PR 2 runtime (fixed
+/// linger, fixed placement, per-gate batches) for baselines and
+/// comparisons.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Adapt the linger window to the observed drain sizes.
+    pub adaptive_linger: bool,
+    /// Floor the linger window shrinks to under light load.
+    pub min_linger: Duration,
+    /// Cap the linger window stretches to under bursts.
+    pub max_linger: Duration,
+    /// Move waveguides between shards when load skews.
+    pub rebalance: bool,
+    /// Submissions between placement reviews (clamped to ≥ 1).
+    pub rebalance_interval: u64,
+    /// Review trigger: busiest shard load > `ratio` × idlest shard
+    /// load.
+    pub rebalance_ratio: f64,
+    /// Fuse compatible same-design requests across waveguides into one
+    /// batch.
+    pub fusion: bool,
+    /// Minimum drain depth before fusion kicks in (clamped to ≥ 2).
+    pub fusion_threshold: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            adaptive_linger: true,
+            min_linger: Duration::from_micros(10),
+            max_linger: Duration::from_millis(2),
+            rebalance: true,
+            rebalance_interval: 64,
+            rebalance_ratio: 2.0,
+            fusion: true,
+            fusion_threshold: 16,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Every adaptive policy disabled: fixed linger, static placement,
+    /// per-gate batches — the PR 2 behaviour.
+    pub fn off() -> Self {
+        AdaptiveConfig {
+            adaptive_linger: false,
+            rebalance: false,
+            fusion: false,
+            ..AdaptiveConfig::default()
+        }
+    }
+}
+
+/// Per-shard counters (all relaxed atomics).
+#[derive(Debug, Default)]
+struct ShardCounters {
+    /// Requests currently sitting in the shard's queue.
+    queued: AtomicU64,
+    /// Requests the worker has pulled off the queue, ever.
+    drained: AtomicU64,
+    /// Drain cycles completed.
+    drain_cycles: AtomicU64,
+    /// Drain cycles that filled to the batch cap (linger utilization:
+    /// `full_drains / drain_cycles` ≈ how often the window saturates).
+    full_drains: AtomicU64,
+    /// The worker's current adaptive linger window, in nanoseconds.
+    linger_ns: AtomicU64,
+}
+
+/// Per-waveguide routing state: where traffic goes and how much of it
+/// there recently was.
+#[derive(Debug)]
+struct WaveguideState {
+    id: WaveguideId,
+    /// The shard currently serving this waveguide (the placement
+    /// table).
+    shard: AtomicUsize,
+    /// Decayed request counter (halved at every placement review).
+    requests: AtomicU64,
+}
+
+/// Lock-free telemetry shared between client handles and workers.
+#[derive(Debug)]
+pub(crate) struct Telemetry {
+    shards: Vec<ShardCounters>,
+    /// Indexed by waveguide *slot* (registration order of first
+    /// appearance), not raw id.
+    waveguides: Vec<WaveguideState>,
+    submits: AtomicU64,
+    rebalances: AtomicU64,
+    /// CAS guard: one placement review at a time, submitters never
+    /// block on it.
+    reviewing: AtomicBool,
+}
+
+impl Telemetry {
+    /// `placements[slot]` gives each waveguide's id and initial shard.
+    pub fn new(workers: usize, placements: Vec<(WaveguideId, usize)>) -> Self {
+        Telemetry {
+            shards: (0..workers).map(|_| ShardCounters::default()).collect(),
+            waveguides: placements
+                .into_iter()
+                .map(|(id, shard)| WaveguideState {
+                    id,
+                    shard: AtomicUsize::new(shard),
+                    requests: AtomicU64::new(0),
+                })
+                .collect(),
+            submits: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            reviewing: AtomicBool::new(false),
+        }
+    }
+
+    /// The shard currently serving waveguide `slot`.
+    pub fn shard_of_slot(&self, slot: usize) -> usize {
+        self.waveguides[slot].shard.load(Ordering::Acquire)
+    }
+
+    /// Routes one submission: bumps the waveguide's request counter,
+    /// possibly reviews placement, and returns the target shard (whose
+    /// queue-depth gauge it bumps optimistically — call
+    /// [`Telemetry::retract_queued`] if the send is then refused).
+    pub fn route_submit(&self, slot: usize, policy: &AdaptiveConfig) -> usize {
+        self.waveguides[slot]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        let n = self.submits.fetch_add(1, Ordering::Relaxed) + 1;
+        if policy.rebalance && n.is_multiple_of(policy.rebalance_interval.max(1)) {
+            self.review_placement(policy);
+        }
+        let shard = self.waveguides[slot].shard.load(Ordering::Acquire);
+        self.shards[shard].queued.fetch_add(1, Ordering::Relaxed);
+        shard
+    }
+
+    /// Undoes the queue-depth bump of a submission the channel refused.
+    pub fn retract_queued(&self, shard: usize) {
+        self.shards[shard].queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one worker drain of `requests` jobs.
+    pub fn record_drain(&self, shard: usize, requests: u64, hit_cap: bool) {
+        let counters = &self.shards[shard];
+        counters.queued.fetch_sub(requests, Ordering::Relaxed);
+        counters.drained.fetch_add(requests, Ordering::Relaxed);
+        counters.drain_cycles.fetch_add(1, Ordering::Relaxed);
+        if hit_cap {
+            counters.full_drains.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes a worker's current adaptive linger window.
+    pub fn publish_linger(&self, shard: usize, linger: Duration) {
+        self.shards[shard].linger_ns.store(
+            linger.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Reviews the placement table: when shard load (sum of resident
+    /// waveguides' recent requests) is skewed past the policy ratio,
+    /// moves the co-tenant waveguide that best narrows the gap from the
+    /// hottest shard to the idlest. A waveguide that *is* the whole hot
+    /// load stays put — one waveguide cannot be split across shards
+    /// without breaking same-shard coalescing.
+    fn review_placement(&self, policy: &AdaptiveConfig) {
+        if self.reviewing.swap(true, Ordering::AcqRel) {
+            return; // someone else is reviewing
+        }
+        if self.shards.len() > 1 && self.waveguides.len() > 1 {
+            let mut loads = vec![0u64; self.shards.len()];
+            let residents: Vec<(usize, u64)> = self
+                .waveguides
+                .iter()
+                .map(|wg| {
+                    let shard = wg.shard.load(Ordering::Acquire);
+                    let recent = wg.requests.load(Ordering::Relaxed);
+                    loads[shard] += recent;
+                    (shard, recent)
+                })
+                .collect();
+            let hot = (0..loads.len()).max_by_key(|&s| loads[s]).expect("shards");
+            let cold = (0..loads.len()).min_by_key(|&s| loads[s]).expect("shards");
+            if hot != cold && loads[hot] as f64 > policy.rebalance_ratio * loads[cold].max(1) as f64
+            {
+                let gap = loads[hot] - loads[cold];
+                // The move changes the gap to |gap - 2w|; pick the
+                // resident minimizing it, and only move if that
+                // actually narrows the skew.
+                let candidate = residents
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(shard, w))| shard == hot && w > 0 && w < loads[hot])
+                    .min_by_key(|(_, &(_, w))| {
+                        // Ties go to the lighter mover: the hot
+                        // waveguide keeps its warm shard and the
+                        // smaller co-tenant migrates.
+                        ((gap as i128 - 2 * w as i128).unsigned_abs(), w)
+                    })
+                    .map(|(slot, &(_, w))| (slot, w));
+                if let Some((slot, w)) = candidate {
+                    if (gap as i128 - 2 * w as i128).unsigned_abs() < gap as u128 {
+                        self.waveguides[slot].shard.store(cold, Ordering::Release);
+                        self.rebalances.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        // Decay the window (on every review, whatever the topology) so
+        // the counters track recent traffic. `fetch_sub` of the halved
+        // value, not a load/store pair: submissions landing mid-review
+        // must not be erased.
+        for wg in &self.waveguides {
+            let v = wg.requests.load(Ordering::Relaxed);
+            wg.requests.fetch_sub(v / 2, Ordering::Relaxed);
+        }
+        self.reviewing.store(false, Ordering::Release);
+    }
+
+    /// A point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardTelemetry {
+                    queued: s.queued.load(Ordering::Relaxed),
+                    drained: s.drained.load(Ordering::Relaxed),
+                    drain_cycles: s.drain_cycles.load(Ordering::Relaxed),
+                    full_drains: s.full_drains.load(Ordering::Relaxed),
+                    linger: Duration::from_nanos(s.linger_ns.load(Ordering::Relaxed)),
+                })
+                .collect(),
+            waveguides: self
+                .waveguides
+                .iter()
+                .map(|wg| WaveguideTelemetry {
+                    id: wg.id,
+                    shard: wg.shard.load(Ordering::Acquire),
+                    recent_requests: wg.requests.load(Ordering::Relaxed),
+                })
+                .collect(),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of the runtime's load counters (see
+/// [`crate::Scheduler::telemetry`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// One entry per worker shard.
+    pub shards: Vec<ShardTelemetry>,
+    /// One entry per distinct registered waveguide, including its
+    /// *current* shard assignment.
+    pub waveguides: Vec<WaveguideTelemetry>,
+    /// Placement moves performed since the runtime started.
+    pub rebalances: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Largest per-shard `drained` divided by the smallest (∞ when a
+    /// shard never drained anything): 1.0 is a perfectly even split.
+    pub fn drain_skew(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.drained).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.drained).min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// One shard's counters inside a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardTelemetry {
+    /// Requests sitting in the queue at snapshot time.
+    pub queued: u64,
+    /// Requests drained since start.
+    pub drained: u64,
+    /// Drain cycles since start.
+    pub drain_cycles: u64,
+    /// Drain cycles that filled to `max_batch` (the linger-utilization
+    /// numerator).
+    pub full_drains: u64,
+    /// The worker's current linger window (zero until the worker first
+    /// publishes, or when adaptive linger is off).
+    pub linger: Duration,
+}
+
+/// One waveguide's routing state inside a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveguideTelemetry {
+    /// The waveguide.
+    pub id: WaveguideId,
+    /// The shard currently serving it.
+    pub shard: usize,
+    /// Requests in the current decay window (halved at every placement
+    /// review).
+    pub recent_requests: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_policy() -> AdaptiveConfig {
+        AdaptiveConfig {
+            rebalance_interval: 8,
+            rebalance_ratio: 1.5,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn route_follows_the_placement_table() {
+        let telemetry = Telemetry::new(2, vec![(WaveguideId(0), 0), (WaveguideId(4), 0)]);
+        let policy = AdaptiveConfig::off();
+        assert_eq!(telemetry.route_submit(0, &policy), 0);
+        assert_eq!(telemetry.route_submit(1, &policy), 0);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.shards[0].queued, 2);
+        assert_eq!(snap.waveguides[0].recent_requests, 1);
+        assert_eq!(snap.rebalances, 0);
+    }
+
+    #[test]
+    fn skewed_load_moves_the_cotenant_off_the_hot_shard() {
+        // Both waveguides start on shard 0; waveguide 0 is hot.
+        let telemetry = Telemetry::new(2, vec![(WaveguideId(0), 0), (WaveguideId(4), 0)]);
+        let policy = hot_policy();
+        for i in 0..64u64 {
+            let slot = usize::from(i % 8 == 7); // 7/8 of traffic on slot 0
+            telemetry.route_submit(slot, &policy);
+        }
+        let snap = telemetry.snapshot();
+        assert!(snap.rebalances >= 1, "skew must trigger a move: {snap:?}");
+        assert_eq!(snap.waveguides[0].shard, 0, "the hot waveguide stays");
+        assert_eq!(snap.waveguides[1].shard, 1, "the co-tenant moves");
+    }
+
+    #[test]
+    fn a_lone_hot_waveguide_stays_put() {
+        let telemetry = Telemetry::new(2, vec![(WaveguideId(0), 0), (WaveguideId(1), 1)]);
+        let policy = hot_policy();
+        for _ in 0..64 {
+            telemetry.route_submit(0, &policy); // all load on slot 0, alone on shard 0
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.rebalances, 0, "nothing useful to move: {snap:?}");
+        assert_eq!(snap.waveguides[0].shard, 0);
+    }
+
+    #[test]
+    fn drain_accounting_balances_the_queue_gauge() {
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let policy = AdaptiveConfig::off();
+        for _ in 0..5 {
+            telemetry.route_submit(0, &policy);
+        }
+        telemetry.record_drain(0, 5, true);
+        telemetry.publish_linger(0, Duration::from_micros(40));
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.shards[0].queued, 0);
+        assert_eq!(snap.shards[0].drained, 5);
+        assert_eq!(snap.shards[0].drain_cycles, 1);
+        assert_eq!(snap.shards[0].full_drains, 1);
+        assert_eq!(snap.shards[0].linger, Duration::from_micros(40));
+        assert_eq!(snap.drain_skew(), 1.0);
+    }
+
+    #[test]
+    fn request_counters_decay_even_with_one_shard() {
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let policy = AdaptiveConfig {
+            rebalance: true,
+            rebalance_interval: 8,
+            ..AdaptiveConfig::default()
+        };
+        for _ in 0..16 {
+            telemetry.route_submit(0, &policy);
+        }
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.waveguides[0].recent_requests < 16,
+            "reviews must decay the window regardless of topology: {snap:?}"
+        );
+        assert_eq!(snap.rebalances, 0);
+    }
+
+    #[test]
+    fn retract_undoes_a_refused_submission() {
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let shard = telemetry.route_submit(0, &AdaptiveConfig::off());
+        telemetry.retract_queued(shard);
+        assert_eq!(telemetry.snapshot().shards[0].queued, 0);
+    }
+}

@@ -10,7 +10,9 @@ use spinwave_parallel::core::lut_store::{load_lut, LutSnapshot};
 use spinwave_parallel::core::prelude::*;
 use spinwave_parallel::core::truth::LogicFunction;
 use spinwave_parallel::physics::waveguide::Waveguide;
-use spinwave_parallel::serve::{ScheduledBank, SchedulerBuilder, ServeConfig, ServeError, Ticket};
+use spinwave_parallel::serve::{
+    AdaptiveConfig, ScheduledBank, SchedulerBuilder, ServeConfig, ServeError, Ticket,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -21,6 +23,7 @@ fn quick_config(workers: usize) -> ServeConfig {
         linger: Duration::from_micros(50),
         queue_depth: 256,
         lut_dir: None,
+        adaptive: AdaptiveConfig::default(),
     }
 }
 
@@ -132,6 +135,118 @@ proptest! {
         let stats = scheduler.stats();
         prop_assert_eq!(stats.completed, seeds.len() as u64);
         prop_assert_eq!(stats.failed, 0);
+        scheduler.shutdown().unwrap();
+    }
+
+    /// With every adaptive policy enabled and aggressive thresholds
+    /// (rebalancing every 8 submissions, fusion from 4 pending jobs,
+    /// linger walking between 10 µs and 1 ms), a hot-waveguide skewed
+    /// stream — ~80 % of requests hammering waveguide 0, the rest
+    /// spread over three co-registered waveguides of the same gate
+    /// design plus an XOR sharing the hot waveguide — must stay
+    /// output-equivalent to sequential `ParallelGate::evaluate`,
+    /// whatever placement moves and fused batches happen underneath.
+    #[test]
+    fn adaptive_scheduler_matches_sequential_under_hot_waveguide_skew(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 16..96),
+        workers in 1usize..5,
+    ) {
+        let guide = Waveguide::paper_default().unwrap();
+        let mut gates: Vec<ParallelGate> = (0..4u64)
+            .map(|wg| {
+                ParallelGateBuilder::new(guide)
+                    .channels(8)
+                    .inputs(3)
+                    .on_waveguide(WaveguideId(wg))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        gates.push(
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(2)
+                .function(LogicFunction::Xor)
+                .on_waveguide(WaveguideId(0))
+                .build()
+                .unwrap(),
+        );
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers,
+            max_batch: 32,
+            linger: Duration::from_micros(50),
+            queue_depth: 512,
+            lut_dir: None,
+            adaptive: AdaptiveConfig {
+                adaptive_linger: true,
+                min_linger: Duration::from_micros(10),
+                max_linger: Duration::from_millis(1),
+                rebalance: true,
+                rebalance_interval: 8,
+                rebalance_ratio: 1.5,
+                fusion: true,
+                fusion_threshold: 4,
+            },
+        });
+        let ids: Vec<_> = gates
+            .iter()
+            .enumerate()
+            .map(|(k, gate)| {
+                builder
+                    .register(format!("gate{k}"), gate.clone(), BackendChoice::Cached)
+                    .unwrap()
+            })
+            .collect();
+        let scheduler = builder.build().unwrap();
+
+        // Skew: seeds ending 0..=7 hit the hot waveguide-0 gates
+        // (majority or XOR), 8..=9 land on waveguides 1..=2; the
+        // waveguide-3 gate stays registered but idle, so placement
+        // reviews also see a zero-traffic resident.
+        let requests: Vec<(usize, OperandSet)> = seeds
+            .iter()
+            .map(|&seed| {
+                let which = match seed % 10 {
+                    0..=6 => 0,            // hot maj3 on waveguide 0
+                    7 => 4,                // hot xor2 on waveguide 0
+                    d => (d - 7) as usize, // cold maj3 on waveguides 1..=2
+                };
+                let gate = &gates[which];
+                let words: Vec<Word> = (0..gate.input_count() as u64)
+                    .map(|j| {
+                        Word::from_u8(
+                            (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(j as u32 * 9)
+                                >> 16) as u8,
+                        )
+                    })
+                    .collect();
+                (which, OperandSet::new(words))
+            })
+            .collect();
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|(which, set)| scheduler.submit(ids[*which], set.clone()).unwrap())
+            .collect();
+        // Redeem out of submission order: adaptivity must not break
+        // tag routing.
+        for (ticket, (which, set)) in tickets.into_iter().rev().zip(requests.iter().rev()) {
+            let served = ticket.wait().unwrap();
+            let reference = gates[*which].evaluate(set.words()).unwrap();
+            prop_assert_eq!(served.word(), reference.word());
+        }
+
+        let stats = scheduler.stats();
+        prop_assert_eq!(stats.completed, seeds.len() as u64);
+        prop_assert_eq!(stats.failed, 0);
+        let telemetry = scheduler.telemetry();
+        prop_assert_eq!(telemetry.shards.len(), workers);
+        // The placement table never points outside the shard range,
+        // however many moves happened.
+        for wg in &telemetry.waveguides {
+            prop_assert!(wg.shard < workers);
+        }
+        let queued: u64 = telemetry.shards.iter().map(|s| s.queued).sum();
+        prop_assert_eq!(queued, 0, "all queues drained after completion");
         scheduler.shutdown().unwrap();
     }
 
