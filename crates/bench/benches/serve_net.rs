@@ -1,0 +1,146 @@
+//! NET bench: loopback TCP serving vs the in-process serving baseline.
+//!
+//! Same load shape as `serve_throughput.rs` (256 requests round-robined
+//! over four same-design gates on four distinct waveguides, cached
+//! backend) so the numbers compare directly against the PR 2/PR 3
+//! baselines. Three modes per width:
+//!
+//! * `inproc_coalesced_256` — submit-all-then-wait straight on the
+//!   scheduler (the no-wire baseline this bench is measuring against);
+//! * `loopback_pipelined_256` — the same 256 requests through a
+//!   [`NetClient`]: one buffered flush of submit frames, then
+//!   tag-matched waits, so the wire cost is framing + two socket
+//!   copies, amortized across the batch;
+//! * `loopback_sync_x64` — strictly serial submit → wait round-trips
+//!   (64 of them): per-request wire latency with no pipelining to hide
+//!   it.
+//!
+//! Standing caveat: the container is 1-core, so server reader/writer
+//! threads and scheduler workers time-slice one CPU; re-baseline on a
+//! multi-core host before citing absolute throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use magnon_bench::random_operand_sets;
+use magnon_core::backend::BackendChoice;
+use magnon_core::gate::{ParallelGate, ParallelGateBuilder, WaveguideId};
+use magnon_core::word::Word;
+use magnon_math::constants::GHZ;
+use magnon_net::{NetClient, NetServer, NetServerConfig, RemoteGateId};
+use magnon_physics::waveguide::Waveguide;
+use magnon_serve::{AdaptiveConfig, GateId, Scheduler, SchedulerBuilder, ServeConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCH: usize = 256;
+const SYNC_BATCH: usize = 64;
+const WAVEGUIDES: u64 = 4;
+
+fn gate_with_width(n: usize, waveguide: WaveguideId) -> ParallelGate {
+    ParallelGateBuilder::new(Waveguide::paper_default().expect("waveguide"))
+        .channels(n)
+        .inputs(3)
+        .base_frequency(10.0 * GHZ)
+        .frequency_step(4.0 * GHZ)
+        .on_waveguide(waveguide)
+        .build()
+        .expect("gate")
+}
+
+fn scheduler_for(n: usize) -> (Arc<Scheduler>, Vec<GateId>) {
+    // Static policies, 2 workers: the serve_throughput comparison
+    // configuration.
+    let mut builder = SchedulerBuilder::new(ServeConfig {
+        workers: 2,
+        max_batch: BATCH,
+        linger: Duration::from_micros(100),
+        queue_depth: 1024,
+        lut_dir: None,
+        adaptive: AdaptiveConfig::off(),
+    });
+    let ids = (0..WAVEGUIDES)
+        .map(|wg| {
+            builder
+                .register(
+                    format!("maj3_wg{wg}"),
+                    gate_with_width(n, WaveguideId(wg)),
+                    BackendChoice::Cached,
+                )
+                .expect("register")
+        })
+        .collect();
+    (Arc::new(builder.build().expect("scheduler")), ids)
+}
+
+fn bench_net(c: &mut Criterion) {
+    for n in [8usize, 16] {
+        let gate = gate_with_width(n, WaveguideId(0));
+        let sets = random_operand_sets(&gate, BATCH).expect("operand sets");
+        let mut group = c.benchmark_group(format!("serve_net_w{n}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements((BATCH * n) as u64));
+
+        let (scheduler, ids) = scheduler_for(n);
+        let routed: Vec<(GateId, _)> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| (ids[i % ids.len()], set.clone()))
+            .collect();
+        scheduler.evaluate_many(&routed).expect("warm the LUTs");
+
+        // Baseline: the same load with no wire in the way.
+        group.bench_function("inproc_coalesced_256", |b| {
+            b.iter(|| black_box(scheduler.evaluate_many(black_box(&routed)).expect("serve")))
+        });
+
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&scheduler),
+            NetServerConfig::default(),
+        )
+        .expect("bind");
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        let remote: Vec<(RemoteGateId, Vec<Word>)> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| {
+                (
+                    RemoteGateId((i % WAVEGUIDES as usize) as u32),
+                    set.words().to_vec(),
+                )
+            })
+            .collect();
+
+        group.bench_function("loopback_pipelined_256", |b| {
+            b.iter(|| black_box(client.eval_many(black_box(&remote)).expect("serve")))
+        });
+
+        group.throughput(Throughput::Elements((SYNC_BATCH * n) as u64));
+        group.bench_function(format!("loopback_sync_x{SYNC_BATCH}"), |b| {
+            b.iter(|| {
+                for (id, words) in remote.iter().take(SYNC_BATCH) {
+                    black_box(client.eval(*id, black_box(words)).expect("round-trip"));
+                }
+            })
+        });
+
+        let net_stats = server.stats();
+        println!(
+            "  [w{n}] wire: {} submits, {} retry-afters, {} timeouts; client retries {}",
+            net_stats.submits,
+            net_stats.retry_afters,
+            net_stats.timeouts,
+            client.stats().retries,
+        );
+        drop(client);
+        server.shutdown();
+        Arc::try_unwrap(scheduler)
+            .expect("sole owner")
+            .shutdown()
+            .expect("scheduler shutdown");
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

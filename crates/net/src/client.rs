@@ -1,0 +1,395 @@
+//! Blocking client with pipelined submits and tag-matched waits.
+//!
+//! [`NetClient::submit`] only queues bytes on a buffered writer — many
+//! submits can be issued back-to-back and the flush happens when the
+//! first [`NetClient::wait`] needs the socket. Completions arrive in
+//! whatever order the scheduler finished them; `wait` stashes frames
+//! for other tags until their own waits come asking, so tickets can be
+//! redeemed in any order.
+//!
+//! Backpressure is transparent by default: a retry-after frame makes
+//! the client park for the server's hint and re-submit the stored
+//! payload under the same tag, up to
+//! [`NetClientConfig::max_retries`] attempts.
+
+use crate::error::NetError;
+use crate::protocol::{write_frame, Frame, FrameReader, GateInfo, NET_VERSION};
+use magnon_core::word::Word;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A gate in the connected server's directory (index into
+/// [`NetClient::gates`]). The index is public — it is just a position
+/// in the advertised directory, and [`NetClient::submit`] validates it
+/// against the directory before any bytes move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteGateId(pub u32);
+
+impl RemoteGateId {
+    /// The wire index this id carries on submit frames.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Overall deadline for one [`NetClient::wait`] (and the
+    /// handshake).
+    pub wait_timeout: Duration,
+    /// Backpressure retries per request before giving up.
+    pub max_retries: u32,
+    /// Socket read timeout granularity while waiting (how often the
+    /// deadline is checked).
+    pub read_poll: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            wait_timeout: Duration::from_secs(30),
+            max_retries: 4096,
+            read_poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Traffic counters a client keeps about its own connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetClientStats {
+    /// Submit frames written (first attempts, not retries).
+    pub submitted: u64,
+    /// Successful responses received.
+    pub responses: u64,
+    /// Re-submissions forced by retry-after backpressure.
+    pub retries: u64,
+    /// Requests answered with an error frame.
+    pub remote_errors: u64,
+}
+
+/// One request the client has sent and not yet resolved: enough to
+/// re-submit it verbatim when the server answers retry-after.
+#[derive(Debug)]
+struct InflightRequest {
+    gate: u32,
+    operands: Vec<Word>,
+    retries: u32,
+}
+
+/// A blocking connection to a [`crate::NetServer`].
+#[derive(Debug)]
+pub struct NetClient {
+    reader: TcpStream,
+    /// Resumable decoder: a read timeout mid-frame keeps its buffered
+    /// bytes, so slow links cannot desync the stream.
+    frames: FrameReader,
+    writer: std::io::BufWriter<TcpStream>,
+    gates: Vec<GateInfo>,
+    next_tag: u64,
+    inflight: HashMap<u64, InflightRequest>,
+    completed: HashMap<u64, Result<Word, NetError>>,
+    stats: NetClientStats,
+    config: NetClientConfig,
+}
+
+impl NetClient {
+    /// Connects with default tuning. See [`NetClient::connect_with`].
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`NetClient::connect_with`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::connect_with(addr, NetClientConfig::default())
+    }
+
+    /// Connects, performs the versioned hello handshake and loads the
+    /// server's gate directory.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Io`] for socket failures.
+    /// * [`NetError::VersionMismatch`] when the server speaks another
+    ///   protocol version.
+    /// * [`NetError::Remote`] when the server rejects the hello.
+    /// * [`NetError::Timeout`] when the handshake misses the configured
+    ///   deadline.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: NetClientConfig,
+    ) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(|e| NetError::io("connect", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::io("configure socket", e))?;
+        stream
+            .set_read_timeout(Some(config.read_poll))
+            .map_err(|e| NetError::io("configure socket", e))?;
+        let write_half = stream
+            .try_clone()
+            .map_err(|e| NetError::io("clone socket", e))?;
+        let mut client = NetClient {
+            reader: stream,
+            frames: FrameReader::new(),
+            writer: std::io::BufWriter::new(write_half),
+            gates: Vec::new(),
+            next_tag: 1,
+            inflight: HashMap::new(),
+            completed: HashMap::new(),
+            stats: NetClientStats::default(),
+            config,
+        };
+        write_frame(
+            &mut client.writer,
+            &Frame::Hello {
+                version: NET_VERSION,
+            },
+        )?;
+        client.flush()?;
+        let deadline = Instant::now() + client.config.wait_timeout;
+        match client.read_until(deadline)? {
+            Frame::HelloAck { version, gates } => {
+                if version != NET_VERSION {
+                    return Err(NetError::VersionMismatch {
+                        ours: NET_VERSION,
+                        theirs: version,
+                    });
+                }
+                client.gates = gates;
+                Ok(client)
+            }
+            Frame::Error { code, message, .. } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::protocol(format!(
+                "expected a hello-ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's gate directory, indexed by [`RemoteGateId`].
+    pub fn gates(&self) -> &[GateInfo] {
+        &self.gates
+    }
+
+    /// Looks a gate up by its registration name.
+    pub fn gate(&self, name: &str) -> Option<RemoteGateId> {
+        self.gates
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| RemoteGateId(i as u32))
+    }
+
+    /// This connection's traffic counters.
+    pub fn stats(&self) -> NetClientStats {
+        self.stats
+    }
+
+    /// Queues one evaluation and returns its tag (redeem with
+    /// [`NetClient::wait`], in any order). The submit frame sits in the
+    /// write buffer until a wait flushes it, so back-to-back submits
+    /// pipeline into few segments.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::BadRequest`] when `gate` is foreign or `operands`
+    ///   do not match its advertised shape (caught before any bytes
+    ///   move).
+    /// * [`NetError::Io`] when the write fails.
+    pub fn submit(&mut self, gate: RemoteGateId, operands: &[Word]) -> Result<u64, NetError> {
+        let info = self
+            .gates
+            .get(gate.0 as usize)
+            .ok_or_else(|| NetError::BadRequest {
+                reason: format!("gate index {} is not in the directory", gate.0),
+            })?;
+        if operands.len() != info.input_count as usize {
+            return Err(NetError::BadRequest {
+                reason: format!(
+                    "gate `{}` takes {} operands, got {}",
+                    info.name,
+                    info.input_count,
+                    operands.len()
+                ),
+            });
+        }
+        if let Some(word) = operands
+            .iter()
+            .find(|w| w.width() != info.word_width as usize)
+        {
+            return Err(NetError::BadRequest {
+                reason: format!(
+                    "gate `{}` serves {}-bit words, got a {}-bit operand",
+                    info.name,
+                    info.word_width,
+                    word.width()
+                ),
+            });
+        }
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        // One payload copy: encode the frame, then move its operand
+        // vector into the inflight store for potential retries.
+        let frame = Frame::Submit {
+            tag,
+            gate: gate.0,
+            operands: operands.to_vec(),
+        };
+        write_frame(&mut self.writer, &frame)?;
+        let Frame::Submit { operands, .. } = frame else {
+            unreachable!("constructed as Submit above")
+        };
+        self.inflight.insert(
+            tag,
+            InflightRequest {
+                gate: gate.0,
+                operands,
+                retries: 0,
+            },
+        );
+        self.stats.submitted += 1;
+        Ok(tag)
+    }
+
+    /// Blocks until `tag`'s completion arrives (frames for other tags
+    /// encountered on the way are stashed for their own waits).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Remote`] when the server answered an error frame.
+    /// * [`NetError::Timeout`] when [`NetClientConfig::wait_timeout`]
+    ///   elapses first.
+    /// * [`NetError::RetriesExhausted`] when backpressure outlasted
+    ///   [`NetClientConfig::max_retries`].
+    /// * [`NetError::BadRequest`] for a tag this client never issued
+    ///   (or already redeemed).
+    pub fn wait(&mut self, tag: u64) -> Result<Word, NetError> {
+        self.flush()?;
+        let deadline = Instant::now() + self.config.wait_timeout;
+        loop {
+            if let Some(result) = self.completed.remove(&tag) {
+                return result;
+            }
+            if !self.inflight.contains_key(&tag) {
+                return Err(NetError::BadRequest {
+                    reason: format!("tag {tag} was never submitted (or already redeemed)"),
+                });
+            }
+            let frame = self.read_until(deadline)?;
+            self.absorb(frame)?;
+        }
+    }
+
+    /// Submit + wait in one call.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`NetClient::submit`] and [`NetClient::wait`].
+    pub fn eval(&mut self, gate: RemoteGateId, operands: &[Word]) -> Result<Word, NetError> {
+        let tag = self.submit(gate, operands)?;
+        self.wait(tag)
+    }
+
+    /// Pipelines a whole request list (all submits flushed together),
+    /// then waits every completion; results come back in request order
+    /// however the server reordered them.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request aborts with its error.
+    pub fn eval_many(
+        &mut self,
+        requests: &[(RemoteGateId, Vec<Word>)],
+    ) -> Result<Vec<Word>, NetError> {
+        let tags: Vec<u64> = requests
+            .iter()
+            .map(|(gate, operands)| self.submit(*gate, operands))
+            .collect::<Result<_, _>>()?;
+        tags.into_iter().map(|tag| self.wait(tag)).collect()
+    }
+
+    fn flush(&mut self) -> Result<(), NetError> {
+        self.writer
+            .flush()
+            .map_err(|e| NetError::io("flush submits", e))
+    }
+
+    /// Reads the next frame, tolerating read-timeout polls until
+    /// `deadline` (partial frames stay buffered in the resumable
+    /// reader across polls).
+    fn read_until(&mut self, deadline: Instant) -> Result<Frame, NetError> {
+        loop {
+            match self.frames.read_frame(&mut self.reader) {
+                Ok(frame) => return Ok(frame),
+                Err(NetError::Io { source, .. })
+                    if matches!(
+                        source.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Files one inbound frame: resolves its tag, or re-submits on
+    /// backpressure.
+    fn absorb(&mut self, frame: Frame) -> Result<(), NetError> {
+        match frame {
+            Frame::Response { tag, word } => {
+                if self.inflight.remove(&tag).is_some() {
+                    self.stats.responses += 1;
+                    self.completed.insert(tag, Ok(word));
+                }
+                Ok(())
+            }
+            Frame::Error {
+                tag: 0,
+                code,
+                message,
+            } => {
+                // Connection-scoped error (handshake/framing): fatal.
+                Err(NetError::Remote { code, message })
+            }
+            Frame::Error { tag, code, message } => {
+                if self.inflight.remove(&tag).is_some() {
+                    self.stats.remote_errors += 1;
+                    self.completed
+                        .insert(tag, Err(NetError::Remote { code, message }));
+                }
+                Ok(())
+            }
+            Frame::RetryAfter { tag, hint, .. } => {
+                let Some(entry) = self.inflight.get_mut(&tag) else {
+                    return Ok(());
+                };
+                entry.retries += 1;
+                if entry.retries > self.config.max_retries {
+                    let attempts = entry.retries;
+                    self.inflight.remove(&tag);
+                    self.completed
+                        .insert(tag, Err(NetError::RetriesExhausted { attempts }));
+                    return Ok(());
+                }
+                self.stats.retries += 1;
+                let resubmit = Frame::Submit {
+                    tag,
+                    gate: entry.gate,
+                    operands: entry.operands.clone(),
+                };
+                // Honor the server's backoff hint before queueing the
+                // retry, then flush so it actually leaves.
+                std::thread::sleep(hint.min(Duration::from_millis(10)));
+                write_frame(&mut self.writer, &resubmit)?;
+                self.flush()
+            }
+            other => Err(NetError::protocol(format!(
+                "unexpected frame after handshake: {other:?}"
+            ))),
+        }
+    }
+}

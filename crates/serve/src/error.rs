@@ -1,5 +1,6 @@
 //! Error type for the serving runtime.
 
+use crate::scheduler::ShutdownReport;
 use magnon_core::GateError;
 use std::fmt;
 
@@ -28,6 +29,19 @@ pub enum ServeError {
         /// The shard whose queue rejected the request.
         shard: usize,
     },
+    /// A wait deadline elapsed before the completion arrived (only from
+    /// [`crate::Ticket::wait_timeout`]; the request may still complete
+    /// later and can be waited on again).
+    Timeout,
+    /// One or more workers panicked during [`crate::Scheduler::shutdown`].
+    /// The surviving shards were still joined and their LUTs persisted —
+    /// the enclosed report covers everything that could be salvaged.
+    WorkerPanicked {
+        /// Shards whose worker threads panicked.
+        shards: Vec<usize>,
+        /// The shutdown report assembled from the surviving workers.
+        report: Box<ShutdownReport>,
+    },
     /// The runtime (or the worker owning the request) has shut down.
     Shutdown,
 }
@@ -44,6 +58,17 @@ impl fmt::Display for ServeError {
             }
             ServeError::QueueFull { shard } => {
                 write!(f, "shard {shard}'s request queue is full")
+            }
+            ServeError::Timeout => {
+                write!(f, "the wait deadline elapsed before the completion arrived")
+            }
+            ServeError::WorkerPanicked { shards, report } => {
+                write!(
+                    f,
+                    "worker shard(s) {shards:?} panicked during shutdown ({} LUT entries \
+                     salvaged from survivors)",
+                    report.lut_entries_saved
+                )
             }
             ServeError::Shutdown => write!(f, "the serving runtime has shut down"),
         }
@@ -99,6 +124,11 @@ mod tests {
         assert!(e.to_string().contains("shard 2"));
         assert!(matches!(e.into_gate_error(), GateError::Runtime { .. }));
         assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        assert!(ServeError::Timeout.to_string().contains("deadline"));
+        assert!(matches!(
+            ServeError::Timeout.into_gate_error(),
+            GateError::Runtime { .. }
+        ));
         let e = ServeError::Config {
             reason: "max_batch must be at least 1".into(),
         };

@@ -349,6 +349,58 @@ mod tests {
     }
 
     #[test]
+    fn queue_gauge_stays_bounded_under_blocking_backpressure() {
+        // Regression for the phantom-depth overcount: the per-shard
+        // queued gauge used to be bumped before `send` could block on a
+        // full queue, so every parked submitter showed up as depth for
+        // as long as it stayed blocked. With accounting on successful
+        // enqueue, the gauge can never exceed what the shard actually
+        // holds: queue_depth in the channel plus max_batch mid-collection.
+        let gate = byte_majority();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            linger: Duration::ZERO,
+            queue_depth: 1,
+            lut_dir: None,
+            adaptive: AdaptiveConfig::off(),
+        });
+        let id = builder
+            .register("maj3", gate, BackendChoice::Cached)
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let mut max_seen = 0u64;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Flood through the blocking path: with queue_depth 1
+                // and serial drains, most of these submissions park.
+                let tickets: Vec<Ticket> = sample_sets(64, 3)
+                    .into_iter()
+                    .map(|set| scheduler.submit(id, set).unwrap())
+                    .collect();
+                for ticket in tickets {
+                    ticket.wait().unwrap();
+                }
+                done.store(true, std::sync::atomic::Ordering::Release);
+            });
+            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                max_seen = max_seen.max(scheduler.telemetry().shards[0].queued);
+                std::thread::yield_now();
+            }
+        });
+        assert!(
+            max_seen <= 2,
+            "queued gauge must never count parked submitters \
+             (depth 1 + one mid-collection job allows at most 2, saw {max_seen})"
+        );
+        let stats = scheduler.stats();
+        assert_eq!(stats.completed, 64);
+        assert_eq!(scheduler.telemetry().shards[0].queued, 0);
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
     fn zero_max_batch_is_rejected_at_build() {
         let gate = byte_majority();
         let mut builder = SchedulerBuilder::new(ServeConfig {

@@ -63,6 +63,50 @@ impl Ticket {
             Err(mpsc::RecvError) => Err(ServeError::Shutdown),
         }
     }
+
+    /// Blocks until the evaluation completes or `timeout` elapses.
+    ///
+    /// Takes `&self`, so a timed-out ticket is not lost: the request is
+    /// still in flight and the ticket can be waited on again (remote
+    /// clients retry with fresh deadlines; the network writer pump must
+    /// never park forever on a completion that will not come). A ticket
+    /// redeems exactly once — after a successful wait, further calls
+    /// report [`ServeError::Shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Timeout`] when `timeout` elapses first.
+    /// * The conditions of [`Ticket::wait`].
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<GateOutput, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok((tag, result)) => {
+                debug_assert_eq!(tag, self.tag, "completion routed to the wrong ticket");
+                result.map_err(ServeError::Gate)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Polls for the completion without blocking: `Ok(None)` while the
+    /// evaluation is still in flight. Like [`Ticket::wait_timeout`],
+    /// this redeems the ticket on the first `Ok(Some(_))` — poll loops
+    /// (e.g. a writer pump multiplexing many tickets) should drop the
+    /// ticket once it yields.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`Ticket::wait`].
+    pub fn try_wait(&self) -> Result<Option<GateOutput>, ServeError> {
+        match self.rx.try_recv() {
+            Ok((tag, result)) => {
+                debug_assert_eq!(tag, self.tag, "completion routed to the wrong ticket");
+                result.map(Some).map_err(ServeError::Gate)
+            }
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(ServeError::Shutdown),
+        }
+    }
 }
 
 /// Lock-free counters shared between client handles and worker shards.
@@ -187,5 +231,68 @@ mod tests {
     #[test]
     fn mean_drain_handles_empty() {
         assert_eq!(SchedulerStats::default().mean_drain(), 0.0);
+    }
+
+    #[test]
+    fn ticket_deadlines_and_polling() {
+        use magnon_core::gate::ParallelGateBuilder;
+        use magnon_core::word::Word;
+        use magnon_physics::waveguide::Waveguide;
+        use std::time::Duration;
+
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let output = gate
+            .evaluate(&[
+                Word::from_u8(0x0F),
+                Word::from_u8(0x33),
+                Word::from_u8(0x55),
+            ])
+            .unwrap();
+
+        // In flight: polling sees nothing, a deadline elapses without
+        // consuming the ticket.
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { tag: 7, rx };
+        assert!(matches!(ticket.try_wait(), Ok(None)));
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(5)),
+            Err(ServeError::Timeout)
+        ));
+        // The completion arrives late: the same ticket still redeems.
+        tx.send((7, Ok(output.clone()))).unwrap();
+        match ticket.try_wait() {
+            Ok(Some(out)) => assert_eq!(out.word(), output.word()),
+            other => panic!("expected the completion, got {other:?}"),
+        }
+
+        // A gate error lands as ServeError::Gate through wait_timeout.
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { tag: 8, rx };
+        tx.send((
+            8,
+            Err(GateError::InputCountMismatch {
+                expected: 3,
+                actual: 1,
+            }),
+        ))
+        .unwrap();
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_secs(1)),
+            Err(ServeError::Gate(_))
+        ));
+
+        // A vanished worker is Shutdown on every path.
+        let (tx, rx) = mpsc::channel::<(RequestTag, Result<GateOutput, GateError>)>();
+        let ticket = Ticket { tag: 9, rx };
+        drop(tx);
+        assert!(matches!(ticket.try_wait(), Err(ServeError::Shutdown)));
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(1)),
+            Err(ServeError::Shutdown)
+        ));
     }
 }

@@ -497,17 +497,7 @@ impl Worker {
                 self.telemetry.publish_linger(self.shard, linger);
             }
         }
-        // Drain stragglers that were queued before the last sender
-        // dropped.
-        while let Ok(job) = self.rx.try_recv() {
-            pending.push(job);
-            if pending.len() >= self.max_batch {
-                self.serve_drain(&mut pending);
-            }
-        }
-        if !pending.is_empty() {
-            self.serve_drain(&mut pending);
-        }
+        self.drain_stragglers(&mut pending);
         WorkerReport {
             luts: self
                 .sessions
@@ -515,6 +505,22 @@ impl Worker {
                 .enumerate()
                 .filter_map(|(idx, s)| Some((idx, s.as_ref()?.lut_snapshot()?)))
                 .collect(),
+        }
+    }
+
+    /// Serves everything still queued (or mid-collection in `pending`)
+    /// once the last sender has dropped: every straggler must be
+    /// answered, in batches capped at `max_batch` — a deep backlog
+    /// flushes mid-drain instead of growing one oversized batch.
+    fn drain_stragglers(&mut self, pending: &mut Vec<EvalJob>) {
+        while let Ok(job) = self.rx.try_recv() {
+            pending.push(job);
+            if pending.len() >= self.max_batch {
+                self.serve_drain(pending);
+            }
+        }
+        if !pending.is_empty() {
+            self.serve_drain(pending);
         }
     }
 
@@ -626,7 +632,7 @@ impl Worker {
 }
 
 /// What [`Scheduler::shutdown`] hands back.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShutdownReport {
     /// Final counter snapshot.
     pub stats: SchedulerStats,
@@ -657,6 +663,13 @@ impl Scheduler {
     /// The registration name of `id`.
     pub fn gate_name(&self, id: GateId) -> Option<&str> {
         self.entries.get(id.0).map(|e| e.name.as_str())
+    }
+
+    /// The [`GateId`] for registration index `index`, when it exists —
+    /// how front-ends that carry gate indices over a wire (e.g.
+    /// `magnon-net`) get back a validated handle.
+    pub fn gate_id(&self, index: usize) -> Option<GateId> {
+        (index < self.entries.len()).then_some(GateId(index))
     }
 
     /// Number of registered gates.
@@ -726,10 +739,13 @@ impl Scheduler {
     /// * [`ServeError::Shutdown`] when the runtime is gone.
     pub fn submit(&self, id: GateId, set: OperandSet) -> Result<Ticket, ServeError> {
         let (shard, job, ticket) = self.job_for(id, set)?;
-        self.senders[shard].send(job).map_err(|_| {
-            self.telemetry.retract_queued(shard);
-            ServeError::Shutdown
-        })?;
+        // Gauge accounting happens only after the send lands: a
+        // submitter parked here by backpressure must not show up as
+        // queue depth (the rebalancer would chase phantom load).
+        self.senders[shard]
+            .send(job)
+            .map_err(|_| ServeError::Shutdown)?;
+        self.telemetry.note_enqueued(shard);
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(ticket)
     }
@@ -745,17 +761,12 @@ impl Scheduler {
         let (shard, job, ticket) = self.job_for(id, set)?;
         match self.senders[shard].try_send(job) {
             Ok(()) => {
+                self.telemetry.note_enqueued(shard);
                 self.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(ticket)
             }
-            Err(TrySendError::Full(_)) => {
-                self.telemetry.retract_queued(shard);
-                Err(ServeError::QueueFull { shard })
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                self.telemetry.retract_queued(shard);
-                Err(ServeError::Shutdown)
-            }
+            Err(TrySendError::Full(_)) => Err(ServeError::QueueFull { shard }),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
         }
     }
 
@@ -782,22 +793,38 @@ impl Scheduler {
     /// configured — merges all shards' LUTs per gate and writes them to
     /// disk, so the next [`SchedulerBuilder::build`] starts warm.
     ///
+    /// Every worker is joined before any outcome is reported: a single
+    /// panicked shard must not detach the surviving workers or discard
+    /// their LUT snapshots. Survivors' LUTs are persisted first, then
+    /// the panic is reported through [`ServeError::WorkerPanicked`]
+    /// (carrying the salvaged report).
+    ///
     /// # Errors
     ///
-    /// * [`ServeError::Shutdown`] when a worker panicked.
+    /// * [`ServeError::WorkerPanicked`] when one or more workers
+    ///   panicked (after every survivor LUT was attempted; this takes
+    ///   precedence over persistence failures).
     /// * [`ServeError::Gate`] wrapping [`GateError::Persistence`] when
-    ///   a LUT file could not be written.
+    ///   a LUT file could not be merged or written. Persistence is
+    ///   attempted for *every* gate before the first such error is
+    ///   reported — one full disk must not discard the other gates'
+    ///   tables.
     pub fn shutdown(mut self) -> Result<ShutdownReport, ServeError> {
         self.senders.clear();
         let mut reports = Vec::new();
-        for handle in std::mem::take(&mut self.handles) {
-            reports.push(handle.join().map_err(|_| ServeError::Shutdown)?);
+        let mut panicked = Vec::new();
+        for (shard, handle) in std::mem::take(&mut self.handles).into_iter().enumerate() {
+            match handle.join() {
+                Ok(report) => reports.push(report),
+                Err(_) => panicked.push(shard),
+            }
         }
         let stats = self.stats.snapshot();
         let mut lut_files = Vec::new();
         let mut lut_entries_saved = 0;
+        let mut first_persist_error: Option<ServeError> = None;
         if let Some(dir) = self.config.lut_dir.clone() {
-            for (idx, entry) in self.entries.iter().enumerate() {
+            'gates: for (idx, entry) in self.entries.iter().enumerate() {
                 let mut merged: Option<LutSnapshot> = None;
                 for report in &reports {
                     for (gate_idx, snapshot) in &report.luts {
@@ -807,7 +834,10 @@ impl Scheduler {
                         match &mut merged {
                             None => merged = Some(snapshot.clone()),
                             Some(m) => {
-                                m.merge(snapshot)?;
+                                if let Err(e) = m.merge(snapshot) {
+                                    first_persist_error.get_or_insert(ServeError::Gate(e));
+                                    continue 'gates;
+                                }
                             }
                         }
                     }
@@ -815,18 +845,34 @@ impl Scheduler {
                 if let Some(snapshot) = merged {
                     if snapshot.entry_count() > 0 {
                         let path = lut_path(&dir, &entry.name);
-                        save_lut(&path, &snapshot)?;
-                        lut_entries_saved += snapshot.entry_count();
-                        lut_files.push(path);
+                        match save_lut(&path, &snapshot) {
+                            Ok(()) => {
+                                lut_entries_saved += snapshot.entry_count();
+                                lut_files.push(path);
+                            }
+                            Err(e) => {
+                                first_persist_error.get_or_insert(ServeError::Gate(e));
+                            }
+                        }
                     }
                 }
             }
         }
-        Ok(ShutdownReport {
+        let report = ShutdownReport {
             stats,
             lut_files,
             lut_entries_saved,
-        })
+        };
+        if !panicked.is_empty() {
+            Err(ServeError::WorkerPanicked {
+                shards: panicked,
+                report: Box::new(report),
+            })
+        } else if let Some(error) = first_persist_error {
+            Err(error)
+        } else {
+            Ok(report)
+        }
     }
 }
 
@@ -854,6 +900,202 @@ impl std::fmt::Debug for Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use magnon_core::word::Word;
+
+    fn sample_set(seed: u64) -> OperandSet {
+        OperandSet::new(
+            (0..3u64)
+                .map(|j| Word::from_u8((seed.wrapping_mul(0x9E37_79B9) >> (8 * j)) as u8))
+                .collect(),
+        )
+    }
+
+    /// A worker wired to a hand-held queue, for driving the drain paths
+    /// directly.
+    fn test_worker(max_batch: usize, queue_depth: usize) -> (SyncSender<EvalJob>, Worker) {
+        let gate = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .build()
+            .unwrap();
+        let template = GateSession::new(gate, BackendChoice::Cached).unwrap();
+        let session = template.split_session().unwrap();
+        let (tx, rx) = mpsc::sync_channel(queue_depth);
+        let worker = Worker {
+            shard: 0,
+            rx,
+            sessions: vec![Some(session)],
+            templates: Arc::new(vec![template]),
+            fingerprints: Arc::new(vec![0]),
+            linger: Duration::from_micros(50),
+            max_batch,
+            policy: AdaptiveConfig::off(),
+            stats: Arc::new(SharedStats::default()),
+            telemetry: Arc::new(Telemetry::new(1, vec![(WaveguideId(0), 0)])),
+        };
+        (tx, worker)
+    }
+
+    #[test]
+    fn stragglers_flush_in_capped_batches_when_the_sender_is_gone() {
+        // Ten jobs sit in the queue with no sender left: the straggler
+        // sweep must answer all of them, flushing mid-drain every time
+        // the collection reaches max_batch instead of growing one
+        // oversized batch.
+        let (tx, mut worker) = test_worker(4, 16);
+        let (reply, completions) = mpsc::channel();
+        for tag in 0..10u64 {
+            tx.send(EvalJob {
+                gate: 0,
+                tag,
+                set: sample_set(tag),
+                reply: reply.clone(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        drop(reply);
+        let mut pending = Vec::new();
+        worker.drain_stragglers(&mut pending);
+        assert!(pending.is_empty());
+        let mut tags: Vec<u64> = completions
+            .iter()
+            .map(|(tag, result)| {
+                result.expect("straggler must be served, not dropped");
+                tag
+            })
+            .collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+        let stats = worker.stats.snapshot();
+        // 10 jobs at cap 4: two full mid-drain flushes plus the tail.
+        assert_eq!(stats.drain_passes, 3);
+        assert_eq!(stats.max_drain, 4);
+        assert_eq!(stats.completed, 10);
+    }
+
+    #[test]
+    fn run_serves_jobs_queued_before_the_last_sender_dropped() {
+        // The whole worker loop: jobs buffered at spawn time with the
+        // sender already gone must all be answered and the session's
+        // LUT must survive into the worker report.
+        let (tx, worker) = test_worker(4, 16);
+        let (reply, completions) = mpsc::channel();
+        for tag in 0..7u64 {
+            tx.send(EvalJob {
+                gate: 0,
+                tag,
+                set: sample_set(tag),
+                reply: reply.clone(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        drop(reply);
+        let report = worker.run();
+        let mut served = 0;
+        for (_, result) in completions.iter() {
+            result.expect("queued job dropped");
+            served += 1;
+        }
+        assert_eq!(served, 7);
+        assert!(
+            report
+                .luts
+                .iter()
+                .any(|(idx, snap)| *idx == 0 && snap.entry_count() > 0),
+            "the cached session's LUT must reach the worker report"
+        );
+    }
+
+    #[test]
+    fn shutdown_joins_all_workers_and_persists_survivor_luts_on_panic() {
+        // One poisoned worker must not detach the others: shutdown has
+        // to join every shard, write the survivors' LUTs, and only then
+        // report the panic. (The poisoned worker prints a panic message
+        // to stderr — expected noise for this test.)
+        let dir =
+            std::env::temp_dir().join(format!("magnon_panic_shutdown_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 2,
+            lut_dir: Some(dir.clone()),
+            adaptive: AdaptiveConfig::off(),
+            ..ServeConfig::default()
+        });
+        let make = |wg: u64| {
+            ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+                .channels(8)
+                .inputs(3)
+                .on_waveguide(WaveguideId(wg))
+                .build()
+                .unwrap()
+        };
+        // Waveguides 0 and 1 statically land on different shards of 2.
+        let survivor = builder
+            .register("maj_survivor", make(0), BackendChoice::Cached)
+            .unwrap();
+        let victim = builder
+            .register("maj_victim", make(1), BackendChoice::Cached)
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        assert_ne!(
+            scheduler.shard_of(survivor),
+            scheduler.shard_of(victim),
+            "precondition: the gates must live on different shards"
+        );
+        // Warm both shards' LUTs with real traffic.
+        scheduler
+            .submit(survivor, sample_set(1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        scheduler
+            .submit(victim, sample_set(2))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Poison the victim's shard: a job whose gate index is out of
+        // range panics the worker when it indexes its session table.
+        let victim_shard = scheduler.shard_of(victim).unwrap();
+        let (reply, _completions) = mpsc::channel();
+        scheduler.senders[victim_shard]
+            .send(EvalJob {
+                gate: usize::MAX,
+                tag: u64::MAX,
+                set: sample_set(3),
+                reply,
+            })
+            .unwrap();
+        match scheduler.shutdown() {
+            Err(ServeError::WorkerPanicked { shards, report }) => {
+                assert_eq!(shards, vec![victim_shard]);
+                assert!(
+                    report.lut_entries_saved > 0,
+                    "survivor LUTs must persist: {report:?}"
+                );
+                assert!(
+                    report
+                        .lut_files
+                        .iter()
+                        .any(|p| p.file_name().is_some_and(|n| n == "maj_survivor.mglut")),
+                    "the surviving shard's LUT must reach disk: {report:?}"
+                );
+            }
+            other => panic!("a panicked worker must surface as WorkerPanicked, got {other:?}"),
+        }
+        // And the file on disk is a valid, loadable LUT.
+        load_lut(&dir.join("maj_survivor.mglut")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scheduler_is_send_and_sync() {
+        // The network front-end shares one scheduler across its accept
+        // loop and per-connection threads through an Arc.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scheduler>();
+    }
 
     #[test]
     fn mixed_static_placement_spreads_shared_factor_ids() {

@@ -33,7 +33,7 @@
 //! so placement follows *recent* traffic, not all-time totals.
 
 use magnon_core::gate::WaveguideId;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Tuning knobs for the three adaptive serving policies.
@@ -95,8 +95,12 @@ impl AdaptiveConfig {
 /// Per-shard counters (all relaxed atomics).
 #[derive(Debug, Default)]
 struct ShardCounters {
-    /// Requests currently sitting in the shard's queue.
-    queued: AtomicU64,
+    /// Requests enqueued but not yet drained. Signed: the increment
+    /// lands *after* a successful `send` (a submitter parked on a full
+    /// queue must not register as phantom depth), so a worker racing
+    /// ahead can transiently drive the counter below zero; the snapshot
+    /// clamps at 0 and the running sum stays exact.
+    queued: AtomicI64,
     /// Requests the worker has pulled off the queue, ever.
     drained: AtomicU64,
     /// Drain cycles completed.
@@ -159,9 +163,11 @@ impl Telemetry {
     }
 
     /// Routes one submission: bumps the waveguide's request counter,
-    /// possibly reviews placement, and returns the target shard (whose
-    /// queue-depth gauge it bumps optimistically — call
-    /// [`Telemetry::retract_queued`] if the send is then refused).
+    /// possibly reviews placement, and returns the target shard. The
+    /// queue gauge is NOT touched here — a blocking `send` may park the
+    /// submitter for arbitrarily long on a full queue, and the gauge
+    /// must only count requests that actually reached it; call
+    /// [`Telemetry::note_enqueued`] once the send succeeds.
     pub fn route_submit(&self, slot: usize, policy: &AdaptiveConfig) -> usize {
         self.waveguides[slot]
             .requests
@@ -170,20 +176,20 @@ impl Telemetry {
         if policy.rebalance && n.is_multiple_of(policy.rebalance_interval.max(1)) {
             self.review_placement(policy);
         }
-        let shard = self.waveguides[slot].shard.load(Ordering::Acquire);
-        self.shards[shard].queued.fetch_add(1, Ordering::Relaxed);
-        shard
+        self.waveguides[slot].shard.load(Ordering::Acquire)
     }
 
-    /// Undoes the queue-depth bump of a submission the channel refused.
-    pub fn retract_queued(&self, shard: usize) {
-        self.shards[shard].queued.fetch_sub(1, Ordering::Relaxed);
+    /// Accounts one request that actually landed in `shard`'s queue.
+    pub fn note_enqueued(&self, shard: usize) {
+        self.shards[shard].queued.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Accounts one worker drain of `requests` jobs.
     pub fn record_drain(&self, shard: usize, requests: u64, hit_cap: bool) {
         let counters = &self.shards[shard];
-        counters.queued.fetch_sub(requests, Ordering::Relaxed);
+        counters
+            .queued
+            .fetch_sub(requests as i64, Ordering::Relaxed);
         counters.drained.fetch_add(requests, Ordering::Relaxed);
         counters.drain_cycles.fetch_add(1, Ordering::Relaxed);
         if hit_cap {
@@ -266,7 +272,7 @@ impl Telemetry {
                 .shards
                 .iter()
                 .map(|s| ShardTelemetry {
-                    queued: s.queued.load(Ordering::Relaxed),
+                    queued: s.queued.load(Ordering::Relaxed).max(0) as u64,
                     drained: s.drained.load(Ordering::Relaxed),
                     drain_cycles: s.drain_cycles.load(Ordering::Relaxed),
                     full_drains: s.full_drains.load(Ordering::Relaxed),
@@ -363,12 +369,55 @@ mod tests {
     fn route_follows_the_placement_table() {
         let telemetry = Telemetry::new(2, vec![(WaveguideId(0), 0), (WaveguideId(4), 0)]);
         let policy = AdaptiveConfig::off();
-        assert_eq!(telemetry.route_submit(0, &policy), 0);
-        assert_eq!(telemetry.route_submit(1, &policy), 0);
+        let s0 = telemetry.route_submit(0, &policy);
+        let s1 = telemetry.route_submit(1, &policy);
+        assert_eq!((s0, s1), (0, 0));
+        // Routing alone leaves the gauge untouched; enqueueing bumps it.
+        assert_eq!(telemetry.snapshot().shards[0].queued, 0);
+        telemetry.note_enqueued(s0);
+        telemetry.note_enqueued(s1);
         let snap = telemetry.snapshot();
         assert_eq!(snap.shards[0].queued, 2);
         assert_eq!(snap.waveguides[0].recent_requests, 1);
         assert_eq!(snap.rebalances, 0);
+    }
+
+    #[test]
+    fn blocked_submitters_are_invisible_to_the_queue_gauge() {
+        // A shard with queue_depth 2: two submissions land, a third
+        // routes and then parks on the full queue. While parked it must
+        // not register as depth — the telemetry consumers (and the
+        // rebalancer) would otherwise see phantom load for as long as
+        // the submitter stays blocked.
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let policy = AdaptiveConfig::off();
+        for _ in 0..2 {
+            let shard = telemetry.route_submit(0, &policy);
+            telemetry.note_enqueued(shard);
+        }
+        let parked = telemetry.route_submit(0, &policy); // send would block here
+        assert_eq!(telemetry.snapshot().shards[0].queued, 2);
+        // The worker drains both; the parked send now completes.
+        telemetry.record_drain(0, 2, false);
+        telemetry.note_enqueued(parked);
+        assert_eq!(telemetry.snapshot().shards[0].queued, 1);
+    }
+
+    #[test]
+    fn gauge_clamps_transient_negatives() {
+        // The enqueue accounting lands after `send`, so a worker racing
+        // ahead can decrement first; the snapshot must clamp at zero
+        // instead of wrapping.
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        telemetry.record_drain(0, 3, false);
+        assert_eq!(telemetry.snapshot().shards[0].queued, 0);
+        for _ in 0..3 {
+            telemetry.note_enqueued(0);
+        }
+        // The running sum stays exact once the increments land.
+        assert_eq!(telemetry.snapshot().shards[0].queued, 0);
+        telemetry.note_enqueued(0);
+        assert_eq!(telemetry.snapshot().shards[0].queued, 1);
     }
 
     #[test]
@@ -403,7 +452,8 @@ mod tests {
         let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
         let policy = AdaptiveConfig::off();
         for _ in 0..5 {
-            telemetry.route_submit(0, &policy);
+            let shard = telemetry.route_submit(0, &policy);
+            telemetry.note_enqueued(shard);
         }
         telemetry.record_drain(0, 5, true);
         telemetry.publish_linger(0, Duration::from_micros(40));
@@ -436,10 +486,11 @@ mod tests {
     }
 
     #[test]
-    fn retract_undoes_a_refused_submission() {
+    fn refused_submissions_never_touch_the_gauge() {
+        // try_submit routing a request to a full queue simply never
+        // calls note_enqueued — no bump to undo.
         let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
-        let shard = telemetry.route_submit(0, &AdaptiveConfig::off());
-        telemetry.retract_queued(shard);
+        let _shard = telemetry.route_submit(0, &AdaptiveConfig::off());
         assert_eq!(telemetry.snapshot().shards[0].queued, 0);
     }
 }

@@ -22,7 +22,11 @@
 //!   composed from data-parallel gates, evaluable on any backend,
 //! * [`serve`] — the sharded serving runtime: a waveguide-aware
 //!   scheduler that coalesces requests within and across gates, with
-//!   on-disk LUT persistence for warm restarts.
+//!   on-disk LUT persistence for warm restarts,
+//! * [`net`] — the TCP front-end over the scheduler: a versioned
+//!   checksummed binary wire protocol, a threaded server, and a
+//!   blocking pipelined client, so remote request streams join the
+//!   same waveguide batches.
 //!
 //! # Quickstart
 //!
@@ -114,5 +118,6 @@ pub use magnon_core as core;
 pub use magnon_cost as cost;
 pub use magnon_math as math;
 pub use magnon_micromag as micromag;
+pub use magnon_net as net;
 pub use magnon_physics as physics;
 pub use magnon_serve as serve;
