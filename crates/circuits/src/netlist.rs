@@ -108,6 +108,20 @@ pub fn packed_frequency_step(width: usize) -> f64 {
     }
 }
 
+/// Base frequency of FDM lane `lane` for `width`-channel gates built on
+/// the [`packed_frequency_step`] grid.
+///
+/// Lane 0 keeps the paper's 10 GHz base; each further lane shifts up by
+/// the full occupied band plus one extra channel step, so adjacent
+/// lanes stay disjoint with a two-step guard band between the last
+/// channel of one lane and the first channel of the next — the
+/// frequency-division multiplexing layout of the companion paper
+/// (arXiv:2008.12220) that lets several circuits' gates share one
+/// physical waveguide.
+pub fn fdm_lane_base(lane: u16, width: usize) -> f64 {
+    10.0e9 + f64::from(lane) * (width as f64 + 1.0) * packed_frequency_step(width)
+}
+
 /// Handle to a node in a [`Circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
@@ -977,6 +991,24 @@ mod tests {
         assert_eq!(packed_frequency_step(8), 10.0e9);
         assert_eq!(packed_frequency_step(16), 5.0e9);
         assert_eq!(packed_frequency_step(32), 2.5e9);
+    }
+
+    #[test]
+    fn fdm_lane_bands_are_disjoint_with_guard_bands() {
+        for width in [4usize, 8, 16] {
+            let step = packed_frequency_step(width);
+            for lane in 0u16..3 {
+                let base = fdm_lane_base(lane, width);
+                let band_high = base + (width as f64 - 1.0) * step;
+                let next_base = fdm_lane_base(lane + 1, width);
+                assert!(
+                    next_base - band_high >= 2.0 * step - 1.0,
+                    "lane {lane} (w{width}) must keep a two-step guard band"
+                );
+            }
+        }
+        assert_eq!(fdm_lane_base(0, 8), 10.0e9);
+        assert_eq!(fdm_lane_base(1, 8), 100.0e9);
     }
 
     #[test]

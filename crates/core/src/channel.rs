@@ -273,6 +273,46 @@ impl ChannelPlan {
             .map(|c| c.frequency)
             .fold(0.0, f64::max)
     }
+
+    /// The occupied band as `(lowest, highest)` channel frequency in
+    /// Hz. Channels are stored in strictly increasing frequency order,
+    /// so this is the first and last entry.
+    pub fn band(&self) -> (f64, f64) {
+        (
+            self.channels.first().map_or(0.0, |c| c.frequency),
+            self.channels.last().map_or(0.0, |c| c.frequency),
+        )
+    }
+
+    /// Carrier frequency of the plan: the spectral centre of the
+    /// occupied band, in Hz. This is what a frequency lane reports as
+    /// its carrier (see [`crate::gate::FrequencyLane`]).
+    pub fn carrier_frequency(&self) -> f64 {
+        let (low, high) = self.band();
+        0.5 * (low + high)
+    }
+
+    /// `true` when this plan's band overlaps `other`'s. Overlapping
+    /// plans cannot ride the same waveguide as separate frequency
+    /// lanes — their channels would interfere.
+    pub fn overlaps(&self, other: &ChannelPlan) -> bool {
+        let (a_low, a_high) = self.band();
+        let (b_low, b_high) = other.band();
+        a_low <= b_high && b_low <= a_high
+    }
+
+    /// Smallest spectral gap in Hz between any channel of this plan and
+    /// any channel of `other` — the guard band two frequency lanes keep
+    /// between each other. Zero (or tiny) means the lanes collide.
+    pub fn guard_band_to(&self, other: &ChannelPlan) -> f64 {
+        let mut gap = f64::INFINITY;
+        for a in &self.channels {
+            for b in &other.channels {
+                gap = gap.min((a.frequency - b.frequency).abs());
+            }
+        }
+        gap
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! dB — reused by the width-variation study (§V), which reports "no
 //! crosstalk effects" up to 500 nm.
 
+use crate::channel::ChannelPlan;
 use crate::error::GateError;
 use magnon_math::spectrum::Spectrum;
 
@@ -122,6 +123,98 @@ impl CrosstalkReport {
     }
 }
 
+/// Inter-lane isolation assessment for several frequency lanes sharing
+/// one waveguide (frequency-division multiplexing, arXiv:2008.12220).
+///
+/// Each excited channel rings with a Lorentzian line of half-width
+/// `linewidth` (set by Gilbert damping); a neighbouring lane's channel
+/// at spectral distance `Δf` picks up the tail power
+/// `1 / (1 + (Δf / linewidth)²)`. The report carries the worst such
+/// leakage across every cross-lane channel pair — the penalty FDM
+/// serving pays for packing more gates onto one medium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneIsolationReport {
+    /// Number of lanes assessed.
+    pub lane_count: usize,
+    /// Smallest spectral gap between channels of different lanes, Hz.
+    pub min_guard_band: f64,
+    /// Worst cross-lane leakage as a power ratio (1.0 = a channel pair
+    /// collides exactly).
+    pub worst_leakage: f64,
+    /// `-10·log10(worst_leakage)` in dB; large is good.
+    pub isolation_db: f64,
+    /// The lane-index pair producing the worst leakage.
+    pub worst_pair: Option<(usize, usize)>,
+    /// Lane pairs whose occupied bands overlap outright (must be zero
+    /// for a usable FDM assignment).
+    pub overlapping_pairs: usize,
+}
+
+impl LaneIsolationReport {
+    /// Assesses `plans` (one [`ChannelPlan`] per lane) against a
+    /// Lorentzian line of half-width `linewidth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for fewer than two lanes
+    /// or a non-positive linewidth.
+    pub fn analyze(plans: &[&ChannelPlan], linewidth: f64) -> Result<Self, GateError> {
+        if plans.len() < 2 {
+            return Err(GateError::InvalidParameter {
+                parameter: "lane_count",
+                value: plans.len() as f64,
+            });
+        }
+        if !(linewidth.is_finite() && linewidth > 0.0) {
+            return Err(GateError::InvalidParameter {
+                parameter: "linewidth",
+                value: linewidth,
+            });
+        }
+        let mut min_guard_band = f64::INFINITY;
+        let mut worst_leakage = 0.0f64;
+        let mut worst_pair = None;
+        let mut overlapping_pairs = 0;
+        for i in 0..plans.len() {
+            for j in i + 1..plans.len() {
+                if plans[i].overlaps(plans[j]) {
+                    overlapping_pairs += 1;
+                }
+                let gap = plans[i].guard_band_to(plans[j]);
+                min_guard_band = min_guard_band.min(gap);
+                let leak = 1.0 / (1.0 + (gap / linewidth).powi(2));
+                if leak > worst_leakage {
+                    worst_leakage = leak;
+                    worst_pair = Some((i, j));
+                }
+            }
+        }
+        Ok(LaneIsolationReport {
+            lane_count: plans.len(),
+            min_guard_band,
+            worst_leakage,
+            isolation_db: -10.0 * worst_leakage.log10(),
+            worst_pair,
+            overlapping_pairs,
+        })
+    }
+
+    /// `true` when no bands overlap and the worst leakage stays under
+    /// `min_db` of isolation — the criterion FDM lane assignments are
+    /// validated against.
+    pub fn is_clean(&self, min_db: f64) -> bool {
+        self.overlapping_pairs == 0 && self.isolation_db >= min_db
+    }
+
+    /// The worst leakage as an *amplitude* ratio — what a disturbed
+    /// channel actually sees superposed on its own wave. Feed this to
+    /// [`crate::robustness::NoiseModel::with_lane_leakage`] to fold the
+    /// FDM penalty into a robustness run.
+    pub fn amplitude_leakage(&self) -> f64 {
+        self.worst_leakage.sqrt()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +279,55 @@ mod tests {
         let spec = spectrum_of(&[(10e9, 1.0)]);
         let r = CrosstalkReport::analyze(&spec, &[10e9], 2e9).unwrap();
         assert_eq!(r.midpoint_leakage(&spec), 0.0);
+    }
+
+    fn lane_plan(base_ghz: f64, count: usize) -> ChannelPlan {
+        use crate::channel::DispersionModel;
+        use magnon_physics::waveguide::Waveguide;
+        let guide = Waveguide::paper_default().unwrap();
+        ChannelPlan::uniform(
+            &guide,
+            DispersionModel::Exchange,
+            count,
+            base_ghz * 1e9,
+            10e9,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn separated_lanes_are_clean_and_adjacent_lanes_are_not() {
+        // Lane 0 at 10–40 GHz, lane 1 at 100–130 GHz: 60 GHz guard.
+        let a = lane_plan(10.0, 4);
+        let b = lane_plan(100.0, 4);
+        let far = LaneIsolationReport::analyze(&[&a, &b], 0.5e9).unwrap();
+        assert_eq!(far.overlapping_pairs, 0);
+        assert!(far.min_guard_band >= 59e9);
+        assert!(far.is_clean(30.0), "isolation = {} dB", far.isolation_db);
+        assert_eq!(far.worst_pair, Some((0, 1)));
+        assert!(far.amplitude_leakage() < 0.01);
+
+        // Lane 1 moved right next to lane 0 (45 GHz base, 5 GHz gap):
+        // still disjoint but much leakier than the far assignment.
+        let near = lane_plan(45.0, 4);
+        let close = LaneIsolationReport::analyze(&[&a, &near], 0.5e9).unwrap();
+        assert_eq!(close.overlapping_pairs, 0);
+        assert!(close.isolation_db < far.isolation_db);
+
+        // Overlapping bands are flagged outright.
+        let overlap = lane_plan(25.0, 4);
+        let bad = LaneIsolationReport::analyze(&[&a, &overlap], 0.5e9).unwrap();
+        assert!(bad.overlapping_pairs > 0);
+        assert!(!bad.is_clean(0.0));
+    }
+
+    #[test]
+    fn lane_isolation_validation() {
+        let a = lane_plan(10.0, 2);
+        assert!(LaneIsolationReport::analyze(&[&a], 1e9).is_err());
+        let b = lane_plan(50.0, 2);
+        assert!(LaneIsolationReport::analyze(&[&a, &b], 0.0).is_err());
+        assert!(LaneIsolationReport::analyze(&[&a, &b], f64::NAN).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::scalability::EnergySchedule;
 use crate::truth::LogicFunction;
 use crate::word::Word;
 use magnon_math::constants::GHZ;
+use magnon_physics::dispersion::DispersionRelation;
 use magnon_physics::waveguide::Waveguide;
 
 /// Identifies the physical waveguide a gate is patterned on.
@@ -29,6 +30,67 @@ pub struct WaveguideId(pub u64);
 impl std::fmt::Display for WaveguideId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "wg{}", self.0)
+    }
+}
+
+/// Identifies a frequency lane on a waveguide.
+///
+/// The companion paper (*Multi-frequency Data Parallel Spin Wave Logic
+/// Gates*, arXiv:2008.12220) shows that spin waves at different
+/// frequencies coexist on one waveguide without interfering, so several
+/// *different* gates can compute simultaneously on the same physical
+/// channel as long as their frequency bands stay disjoint. A lane id
+/// names one such band: gates sharing a [`WaveguideId`] but carrying
+/// distinct lane ids are independent compute channels of one medium,
+/// and the serving runtime coalesces their drains into a single
+/// multi-lane excitation pass (see `magnon-serve`).
+///
+/// Gates default to lane `0`, so every pre-FDM gate keeps its old
+/// single-lane behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LaneId(pub u16);
+
+impl std::fmt::Display for LaneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lane{}", self.0)
+    }
+}
+
+/// A gate's resolved frequency lane: which band it occupies on its
+/// waveguide and the carrier's dispersion solution.
+///
+/// Built by [`ParallelGateBuilder::build`] from the gate's
+/// [`ChannelPlan`]: the carrier is the spectral centre of the channel
+/// band, and its wavenumber comes from the same
+/// [`magnon_physics::dispersion`] branch the channels were resolved on.
+/// Two gates on one waveguide may compute concurrently exactly when
+/// their lanes' bands do not overlap (check with
+/// [`ChannelPlan::guard_band_to`] or
+/// [`crate::crosstalk::LaneIsolationReport`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyLane {
+    /// The lane id (scheduling key next to [`WaveguideId`]).
+    pub lane: LaneId,
+    /// Carrier frequency in Hz (centre of the occupied band).
+    pub carrier_frequency: f64,
+    /// Carrier wavenumber in rad/m on the gate's dispersion branch.
+    pub wavenumber: f64,
+    /// Lowest channel frequency in Hz.
+    pub band_low: f64,
+    /// Highest channel frequency in Hz.
+    pub band_high: f64,
+}
+
+impl FrequencyLane {
+    /// Occupied bandwidth in Hz (zero for a single-channel gate).
+    pub fn bandwidth(&self) -> f64 {
+        self.band_high - self.band_low
+    }
+
+    /// `true` when this lane's band overlaps `other`'s — such gates
+    /// must not share a waveguide.
+    pub fn overlaps(&self, other: &FrequencyLane) -> bool {
+        self.band_low <= other.band_high && other.band_low <= self.band_high
     }
 }
 
@@ -68,6 +130,7 @@ pub struct ParallelGateBuilder {
     layout_spec: LayoutSpec,
     equalize: bool,
     waveguide_id: WaveguideId,
+    lane_id: LaneId,
 }
 
 #[derive(Debug, Clone)]
@@ -92,6 +155,7 @@ impl ParallelGateBuilder {
             layout_spec: LayoutSpec::default(),
             equalize: true,
             waveguide_id: WaveguideId::default(),
+            lane_id: LaneId::default(),
         }
     }
 
@@ -175,6 +239,20 @@ impl ParallelGateBuilder {
         self
     }
 
+    /// Tags the gate with the frequency lane it occupies on its
+    /// waveguide (default [`LaneId`] `0`). Gates on the same waveguide
+    /// but different lanes are independent compute channels: schedulers
+    /// coalesce their drains into one multi-lane pass. The lane id is a
+    /// *name* for the band — the band itself is whatever frequencies
+    /// the builder allocates, so co-located lanes should also use
+    /// disjoint frequency plans (e.g. via
+    /// [`ParallelGateBuilder::base_frequency`] /
+    /// [`ParallelGateBuilder::frequencies`]).
+    pub fn on_lane(mut self, lane: LaneId) -> Self {
+        self.lane_id = lane;
+        self
+    }
+
     /// Builds the gate: allocates channels, solves the in-line layout
     /// and computes the excitation schedule.
     ///
@@ -220,6 +298,15 @@ impl ParallelGateBuilder {
             EnergySchedule::flat(&plan, &layout)?
         };
         let prep = EnginePrep::compile(&plan, &layout, &schedule, &readout, self.function)?;
+        let (band_low, band_high) = plan.band();
+        let carrier = plan.carrier_frequency();
+        let lane = FrequencyLane {
+            lane: self.lane_id,
+            carrier_frequency: carrier,
+            wavenumber: plan.dispersion().wavenumber(carrier)?,
+            band_low,
+            band_high,
+        };
         Ok(ParallelGate {
             waveguide: self.waveguide,
             plan,
@@ -229,6 +316,7 @@ impl ParallelGateBuilder {
             schedule,
             prep,
             waveguide_id: self.waveguide_id,
+            lane,
         })
     }
 }
@@ -256,6 +344,7 @@ pub struct ParallelGate {
     schedule: EnergySchedule,
     prep: EnginePrep,
     waveguide_id: WaveguideId,
+    lane: FrequencyLane,
 }
 
 impl ParallelGate {
@@ -267,6 +356,19 @@ impl ParallelGate {
     /// The shared-medium tag used for cross-gate scheduling.
     pub fn waveguide_id(&self) -> WaveguideId {
         self.waveguide_id
+    }
+
+    /// The frequency-lane tag: together with [`ParallelGate::waveguide_id`]
+    /// this is the scheduling key — `(waveguide, lane)` names one
+    /// independent compute channel of the shared medium.
+    pub fn lane_id(&self) -> LaneId {
+        self.lane.lane
+    }
+
+    /// The resolved frequency lane (carrier, wavenumber and occupied
+    /// band) computed from the channel plan at build time.
+    pub fn frequency_lane(&self) -> &FrequencyLane {
+        &self.lane
     }
 
     /// The channel plan.
@@ -557,6 +659,50 @@ mod tests {
         assert_eq!(gate.waveguide_id(), WaveguideId(7));
         assert_eq!(gate.waveguide_id().to_string(), "wg7");
         assert!(WaveguideId(7) > WaveguideId(0));
+    }
+
+    #[test]
+    fn frequency_lanes_resolve_carrier_band_and_wavenumber() {
+        use magnon_physics::dispersion::DispersionRelation;
+        // Default gates sit on lane 0 with the 10–80 GHz paper band.
+        let gate = byte_majority();
+        let lane = gate.frequency_lane();
+        assert_eq!(gate.lane_id(), LaneId(0));
+        assert_eq!(lane.band_low, 10.0 * GHZ);
+        assert_eq!(lane.band_high, 80.0 * GHZ);
+        assert_eq!(lane.carrier_frequency, 45.0 * GHZ);
+        assert_eq!(lane.bandwidth(), 70.0 * GHZ);
+        // The carrier wavenumber solves the same dispersion branch the
+        // channels were resolved on.
+        let k = lane.wavenumber;
+        assert!(k > 0.0);
+        let back = gate.channel_plan().dispersion().frequency(k);
+        assert!((back - lane.carrier_frequency).abs() < 1e6);
+
+        // A second lane on a 100 GHz band does not overlap lane 0.
+        let upper = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .base_frequency(100.0 * GHZ)
+            .on_lane(LaneId(1))
+            .build()
+            .unwrap();
+        assert_eq!(upper.lane_id(), LaneId(1));
+        assert_eq!(upper.lane_id().to_string(), "lane1");
+        assert!(!upper.frequency_lane().overlaps(lane));
+        assert!(upper.frequency_lane().wavenumber > lane.wavenumber);
+        // And the shifted-band gate still votes correctly.
+        assert!(upper.verify_truth_table().unwrap().all_passed());
+
+        // Overlapping bands are detected whatever the lane ids say.
+        let shifted = ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+            .channels(8)
+            .inputs(3)
+            .base_frequency(50.0 * GHZ)
+            .on_lane(LaneId(2))
+            .build()
+            .unwrap();
+        assert!(shifted.frequency_lane().overlaps(lane));
     }
 
     #[test]

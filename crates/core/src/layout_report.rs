@@ -7,6 +7,7 @@
 //! pure formatting over [`InlineLayout`].
 
 use crate::channel::ChannelPlan;
+use crate::gate::LaneId;
 use crate::inline::InlineLayout;
 use std::fmt::Write as _;
 
@@ -84,6 +85,55 @@ pub fn render_layout(plan: &ChannelPlan, layout: &InlineLayout, columns: usize) 
     out
 }
 
+/// Renders the frequency occupancy of several lanes sharing one
+/// waveguide as an ASCII spectrum, `columns` characters wide: one row
+/// per lane, `|` marking each of that lane's channel frequencies on a
+/// common axis. Guard bands between lanes show up as the blank runs
+/// between marker clusters — the at-a-glance view of an FDM lane
+/// assignment (companion paper arXiv:2008.12220).
+pub fn render_lane_spectrum(lanes: &[(LaneId, &ChannelPlan)], columns: usize) -> String {
+    let columns = columns.max(20);
+    let mut out = String::new();
+    if lanes.is_empty() {
+        return out;
+    }
+    let f_lo = lanes
+        .iter()
+        .map(|(_, p)| p.band().0)
+        .fold(f64::INFINITY, f64::min);
+    let f_hi = lanes.iter().map(|(_, p)| p.band().1).fold(0.0f64, f64::max);
+    let span = (f_hi - f_lo).max(1.0);
+    let scale = |f: f64| -> usize {
+        (((f - f_lo) / span) * (columns - 1) as f64)
+            .round()
+            .clamp(0.0, (columns - 1) as f64) as usize
+    };
+    for (lane, plan) in lanes {
+        let mut row = vec![b'.'; columns];
+        for ch in plan.channels() {
+            row[scale(ch.frequency)] = b'|';
+        }
+        let (low, high) = plan.band();
+        let _ = writeln!(
+            out,
+            "{lane:<7} [{}] {:5.1}-{:5.1} GHz ({} ch)",
+            String::from_utf8(row).expect("ascii row"),
+            low / 1e9,
+            high / 1e9,
+            plan.len(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<7} {:5.1} GHz{:>w$}",
+        "",
+        f_lo / 1e9,
+        format!("{:.1} GHz", f_hi / 1e9),
+        w = columns.saturating_sub(6)
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +199,40 @@ mod tests {
         assert!(!s.is_empty());
         // Clamped to the 20-column minimum.
         assert!(s.lines().next().unwrap().split('|').nth(1).unwrap().len() >= 20);
+    }
+
+    #[test]
+    fn lane_spectrum_renders_one_row_per_lane_with_guard_gaps() {
+        let guide = Waveguide::paper_default().unwrap();
+        let lane0 =
+            ChannelPlan::uniform(&guide, DispersionModel::Exchange, 4, 10.0 * GHZ, 10.0 * GHZ)
+                .unwrap();
+        let lane1 = ChannelPlan::uniform(
+            &guide,
+            DispersionModel::Exchange,
+            4,
+            100.0 * GHZ,
+            10.0 * GHZ,
+        )
+        .unwrap();
+        let s = render_lane_spectrum(
+            &[
+                (crate::gate::LaneId(0), &lane0),
+                (crate::gate::LaneId(1), &lane1),
+            ],
+            80,
+        );
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with("lane")).collect();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.matches('|').count(), 4, "4 channels per lane: {row}");
+        }
+        // Lane 0's markers sit left of lane 1's (disjoint bands).
+        let last0 = rows[0].rfind('|').unwrap();
+        let first1 = rows[1].find('|').unwrap();
+        assert!(last0 < first1, "lane bands must not interleave: {s}");
+        assert!(s.contains("10.0"));
+        assert!(render_lane_spectrum(&[], 40).is_empty());
     }
 
     #[test]

@@ -110,7 +110,9 @@ pub mod prelude {
     };
     pub use crate::channel::{ChannelPlan, FrequencyChannel};
     pub use crate::encoding::ReadoutMode;
-    pub use crate::gate::{GateOutput, ParallelGate, ParallelGateBuilder, WaveguideId};
+    pub use crate::gate::{
+        FrequencyLane, GateOutput, LaneId, ParallelGate, ParallelGateBuilder, WaveguideId,
+    };
     pub use crate::truth::LogicFunction;
     pub use crate::word::Word;
     pub use crate::GateError;

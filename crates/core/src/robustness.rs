@@ -62,6 +62,37 @@ impl NoiseModel {
             amplitude_sigma: 0.0,
         }
     }
+
+    /// Folds an inter-lane crosstalk penalty into the model.
+    ///
+    /// `amplitude_leakage` is the worst-case amplitude ratio a
+    /// neighbouring frequency lane superposes onto this gate's channels
+    /// (see
+    /// [`crate::crosstalk::LaneIsolationReport::amplitude_leakage`]).
+    /// An interfering wave of relative amplitude `a` at an uncorrelated
+    /// phase perturbs the decoded phasor by up to `a` in amplitude and
+    /// ≈`a` radians in phase, so the leakage RSS-combines into both
+    /// sigmas. This is how FDM lane assignments get a *robustness*
+    /// number, not just an isolation figure: run
+    /// [`monte_carlo_error_rate`] with the penalized model and check
+    /// the error rate stays zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InvalidParameter`] for a negative or
+    /// non-finite leakage.
+    pub fn with_lane_leakage(self, amplitude_leakage: f64) -> Result<Self, GateError> {
+        if !(amplitude_leakage.is_finite() && amplitude_leakage >= 0.0) {
+            return Err(GateError::InvalidParameter {
+                parameter: "amplitude_leakage",
+                value: amplitude_leakage,
+            });
+        }
+        NoiseModel::new(
+            self.phase_sigma.hypot(amplitude_leakage),
+            self.amplitude_sigma.hypot(amplitude_leakage),
+        )
+    }
 }
 
 /// Result of a Monte-Carlo robustness run.
@@ -278,6 +309,41 @@ mod tests {
         let g = gate(4);
         let r = monte_carlo_error_rate(&g, NoiseModel::new(0.0, 0.2).unwrap(), 100, 5).unwrap();
         assert!(r.error_rate() < 0.05, "rate = {}", r.error_rate());
+    }
+
+    #[test]
+    fn lane_leakage_penalty_combines_and_validates() {
+        let base = NoiseModel::new(0.3, 0.4).unwrap();
+        let penalized = base.with_lane_leakage(0.4).unwrap();
+        assert!((penalized.phase_sigma - 0.5).abs() < 1e-12);
+        assert!((penalized.amplitude_sigma - 0.4f64.hypot(0.4)).abs() < 1e-12);
+        assert!(NoiseModel::none().with_lane_leakage(-0.1).is_err());
+        assert!(NoiseModel::none().with_lane_leakage(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn well_separated_lanes_leave_the_gate_error_free() {
+        use crate::channel::ChannelPlan;
+        use crate::crosstalk::LaneIsolationReport;
+        // The gate's own lane (10–40 GHz) next to a 100 GHz neighbour:
+        // the crosstalk penalty is far inside the majority vote's
+        // margin, so the penalized Monte-Carlo run stays clean.
+        let g = gate(4);
+        let neighbour = ChannelPlan::uniform(
+            g.waveguide(),
+            crate::channel::DispersionModel::Exchange,
+            4,
+            100e9,
+            10e9,
+        )
+        .unwrap();
+        let report = LaneIsolationReport::analyze(&[g.channel_plan(), &neighbour], 0.5e9).unwrap();
+        let noise = NoiseModel::new(0.1, 0.02)
+            .unwrap()
+            .with_lane_leakage(report.amplitude_leakage())
+            .unwrap();
+        let r = monte_carlo_error_rate(&g, noise, 50, 7).unwrap();
+        assert_eq!(r.failures, 0, "rate = {}", r.error_rate());
     }
 
     #[test]

@@ -7,10 +7,20 @@
 //! for other tags until their own waits come asking, so tickets can be
 //! redeemed in any order.
 //!
-//! Backpressure is transparent by default: a retry-after frame makes
-//! the client park for the server's hint and re-submit the stored
-//! payload under the same tag, up to
-//! [`NetClientConfig::max_retries`] attempts.
+//! Backpressure is transparent by default: a retry-after frame
+//! schedules a re-submit of the stored payload under the same tag on a
+//! due-time queue, up to [`NetClientConfig::max_retries`] attempts.
+//! The backoff is honored by the *queue*, never by sleeping on the
+//! shared read path — while one tag waits out its hint, completions
+//! and errors for every other tag keep draining, and `wait` deadlines
+//! stay accurate. Due retries flush from whichever `wait` call is
+//! active when they mature (or at the start of the next one).
+//!
+//! A `wait` that returns [`NetError::Timeout`] does **not** lose the
+//! request: the tag stays in flight (queued retries included) and a
+//! later `wait` on the same tag redeems the completion whenever it
+//! arrives — the same re-waitable semantics as
+//! `magnon_serve::Ticket::wait_timeout`.
 
 use crate::error::NetError;
 use crate::protocol::{write_frame, Frame, FrameReader, GateInfo, NET_VERSION};
@@ -75,9 +85,23 @@ pub struct NetClientStats {
 #[derive(Debug)]
 struct InflightRequest {
     gate: u32,
+    lane: Option<u16>,
     operands: Vec<Word>,
     retries: u32,
 }
+
+/// One scheduled backpressure retry: `tag` re-submits once `due`
+/// passes (flushed from the wait loop, never slept on).
+#[derive(Debug)]
+struct PendingRetry {
+    tag: u64,
+    due: Instant,
+}
+
+/// Cap on how long a single retry-after hint may defer a re-submit —
+/// matches the old sleep cap, so a hostile or misconfigured server
+/// cannot push a tag's retry arbitrarily far out.
+const MAX_RETRY_PAUSE: Duration = Duration::from_millis(10);
 
 /// A blocking connection to a [`crate::NetServer`].
 #[derive(Debug)]
@@ -91,6 +115,7 @@ pub struct NetClient {
     next_tag: u64,
     inflight: HashMap<u64, InflightRequest>,
     completed: HashMap<u64, Result<Word, NetError>>,
+    retry_queue: Vec<PendingRetry>,
     stats: NetClientStats,
     config: NetClientConfig,
 }
@@ -138,6 +163,7 @@ impl NetClient {
             next_tag: 1,
             inflight: HashMap::new(),
             completed: HashMap::new(),
+            retry_queue: Vec::new(),
             stats: NetClientStats::default(),
             config,
         };
@@ -180,6 +206,20 @@ impl NetClient {
             .map(|i| RemoteGateId(i as u32))
     }
 
+    /// The directory entries riding `waveguide`, as `(id, lane, info)`
+    /// — the lanes-per-waveguide view of the hello-ack. Entries on
+    /// distinct lanes serve concurrently via FDM server-side.
+    pub fn gates_on_waveguide(
+        &self,
+        waveguide: u64,
+    ) -> impl Iterator<Item = (RemoteGateId, u16, &GateInfo)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(move |(_, g)| g.waveguide == waveguide)
+            .map(|(i, g)| (RemoteGateId(i as u32), g.lane, g))
+    }
+
     /// This connection's traffic counters.
     pub fn stats(&self) -> NetClientStats {
         self.stats
@@ -197,12 +237,52 @@ impl NetClient {
     ///   move).
     /// * [`NetError::Io`] when the write fails.
     pub fn submit(&mut self, gate: RemoteGateId, operands: &[Word]) -> Result<u64, NetError> {
+        self.submit_inner(gate, None, operands)
+    }
+
+    /// Like [`NetClient::submit`], but pins the submit to frequency
+    /// lane `lane` (protocol v2): the server verifies the gate still
+    /// occupies that lane and answers a
+    /// [`crate::error::WireErrorCode::LaneMismatch`] error otherwise.
+    /// The pin is validated against the advertised directory before any
+    /// bytes move.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::BadRequest`] when the directory advertises a
+    ///   different lane for `gate`, plus the conditions of
+    ///   [`NetClient::submit`].
+    pub fn submit_on_lane(
+        &mut self,
+        gate: RemoteGateId,
+        lane: u16,
+        operands: &[Word],
+    ) -> Result<u64, NetError> {
+        self.submit_inner(gate, Some(lane), operands)
+    }
+
+    fn submit_inner(
+        &mut self,
+        gate: RemoteGateId,
+        lane: Option<u16>,
+        operands: &[Word],
+    ) -> Result<u64, NetError> {
         let info = self
             .gates
             .get(gate.0 as usize)
             .ok_or_else(|| NetError::BadRequest {
                 reason: format!("gate index {} is not in the directory", gate.0),
             })?;
+        if let Some(lane) = lane {
+            if info.lane != lane {
+                return Err(NetError::BadRequest {
+                    reason: format!(
+                        "gate `{}` rides lane {}, not the pinned lane {lane}",
+                        info.name, info.lane
+                    ),
+                });
+            }
+        }
         if operands.len() != info.input_count as usize {
             return Err(NetError::BadRequest {
                 reason: format!(
@@ -233,6 +313,7 @@ impl NetClient {
         let frame = Frame::Submit {
             tag,
             gate: gate.0,
+            lane,
             operands: operands.to_vec(),
         };
         write_frame(&mut self.writer, &frame)?;
@@ -243,6 +324,7 @@ impl NetClient {
             tag,
             InflightRequest {
                 gate: gate.0,
+                lane,
                 operands,
                 retries: 0,
             },
@@ -252,20 +334,38 @@ impl NetClient {
     }
 
     /// Blocks until `tag`'s completion arrives (frames for other tags
-    /// encountered on the way are stashed for their own waits).
+    /// encountered on the way are stashed for their own waits), with
+    /// the configured [`NetClientConfig::wait_timeout`] deadline.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`NetClient::wait_deadline`].
+    pub fn wait(&mut self, tag: u64) -> Result<Word, NetError> {
+        self.wait_deadline(tag, self.config.wait_timeout)
+    }
+
+    /// Like [`NetClient::wait`], with an explicit deadline.
+    ///
+    /// A timeout does **not** consume the request: the tag stays in
+    /// flight (any queued backpressure retry included), and a later
+    /// wait on the same tag redeems the completion whenever it arrives
+    /// — mirroring `magnon_serve::Ticket::wait_timeout`, whose tickets
+    /// are also re-waitable after a deadline miss. Queued retries for
+    /// *other* tags that come due while this wait polls are flushed
+    /// along the way, so one tag's backoff never stalls another's.
     ///
     /// # Errors
     ///
     /// * [`NetError::Remote`] when the server answered an error frame.
-    /// * [`NetError::Timeout`] when [`NetClientConfig::wait_timeout`]
-    ///   elapses first.
+    /// * [`NetError::Timeout`] when `timeout` elapses first (the tag
+    ///   stays redeemable).
     /// * [`NetError::RetriesExhausted`] when backpressure outlasted
     ///   [`NetClientConfig::max_retries`].
     /// * [`NetError::BadRequest`] for a tag this client never issued
     ///   (or already redeemed).
-    pub fn wait(&mut self, tag: u64) -> Result<Word, NetError> {
+    pub fn wait_deadline(&mut self, tag: u64, timeout: Duration) -> Result<Word, NetError> {
         self.flush()?;
-        let deadline = Instant::now() + self.config.wait_timeout;
+        let deadline = Instant::now() + timeout;
         loop {
             if let Some(result) = self.completed.remove(&tag) {
                 return result;
@@ -275,8 +375,19 @@ impl NetClient {
                     reason: format!("tag {tag} was never submitted (or already redeemed)"),
                 });
             }
-            let frame = self.read_until(deadline)?;
-            self.absorb(frame)?;
+            self.flush_due_retries()?;
+            // Wake early when a queued retry matures before the
+            // deadline, so its re-submit is not delayed by a blocked
+            // read.
+            let wake = self
+                .retry_queue
+                .iter()
+                .map(|retry| retry.due)
+                .min()
+                .map_or(deadline, |due| due.min(deadline));
+            if let Some(frame) = self.poll_frame(wake, deadline)? {
+                self.absorb(frame)?;
+            }
         }
     }
 
@@ -318,17 +429,35 @@ impl NetClient {
     /// `deadline` (partial frames stay buffered in the resumable
     /// reader across polls).
     fn read_until(&mut self, deadline: Instant) -> Result<Frame, NetError> {
+        match self.poll_frame(deadline, deadline)? {
+            Some(frame) => Ok(frame),
+            // With wake == deadline the deadline check wins; this arm
+            // is defensive.
+            None => Err(NetError::Timeout),
+        }
+    }
+
+    /// Reads the next frame, tolerating read-timeout polls. Returns
+    /// `Ok(None)` once `wake` passes without a frame (so the wait loop
+    /// can flush a matured retry) and [`NetError::Timeout`] once
+    /// `deadline` does. Partial frames stay buffered in the resumable
+    /// reader across polls.
+    fn poll_frame(&mut self, wake: Instant, deadline: Instant) -> Result<Option<Frame>, NetError> {
         loop {
             match self.frames.read_frame(&mut self.reader) {
-                Ok(frame) => return Ok(frame),
+                Ok(frame) => return Ok(Some(frame)),
                 Err(NetError::Io { source, .. })
                     if matches!(
                         source.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(NetError::Timeout);
+                    }
+                    if now >= wake {
+                        return Ok(None);
                     }
                 }
                 Err(e) => return Err(e),
@@ -336,8 +465,42 @@ impl NetClient {
         }
     }
 
-    /// Files one inbound frame: resolves its tag, or re-submits on
-    /// backpressure.
+    /// Re-submits every queued backpressure retry whose due time has
+    /// passed. Runs inside the wait loop, so backoffs overlap with
+    /// useful reads instead of serializing in front of them.
+    fn flush_due_retries(&mut self) -> Result<(), NetError> {
+        let now = Instant::now();
+        let mut wrote = false;
+        let mut i = 0;
+        while i < self.retry_queue.len() {
+            if self.retry_queue[i].due > now {
+                i += 1;
+                continue;
+            }
+            let retry = self.retry_queue.swap_remove(i);
+            // The tag may have resolved meanwhile (an error frame, or
+            // retries exhausted); only live requests re-submit.
+            if let Some(entry) = self.inflight.get(&retry.tag) {
+                write_frame(
+                    &mut self.writer,
+                    &Frame::Submit {
+                        tag: retry.tag,
+                        gate: entry.gate,
+                        lane: entry.lane,
+                        operands: entry.operands.clone(),
+                    },
+                )?;
+                wrote = true;
+            }
+        }
+        if wrote {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Files one inbound frame: resolves its tag, or schedules a
+    /// re-submit on backpressure.
     fn absorb(&mut self, frame: Frame) -> Result<(), NetError> {
         match frame {
             Frame::Response { tag, word } => {
@@ -376,16 +539,20 @@ impl NetClient {
                     return Ok(());
                 }
                 self.stats.retries += 1;
-                let resubmit = Frame::Submit {
-                    tag,
-                    gate: entry.gate,
-                    operands: entry.operands.clone(),
-                };
-                // Honor the server's backoff hint before queueing the
-                // retry, then flush so it actually leaves.
-                std::thread::sleep(hint.min(Duration::from_millis(10)));
-                write_frame(&mut self.writer, &resubmit)?;
-                self.flush()
+                // Honor the backoff by SCHEDULING the re-submit on the
+                // due-time queue. Sleeping here — on the shared read
+                // path — would stall the drain of every other tag's
+                // completions for the duration of this tag's backoff
+                // and silently eat the active wait()'s deadline. One
+                // queue entry per tag: a flood of retry-after frames
+                // for one tag re-times the pending re-submit instead
+                // of scheduling duplicate submits.
+                let due = Instant::now() + hint.min(MAX_RETRY_PAUSE);
+                match self.retry_queue.iter_mut().find(|retry| retry.tag == tag) {
+                    Some(pending) => pending.due = due,
+                    None => self.retry_queue.push(PendingRetry { tag, due }),
+                }
+                Ok(())
             }
             other => Err(NetError::protocol(format!(
                 "unexpected frame after handshake: {other:?}"

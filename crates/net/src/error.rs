@@ -20,6 +20,9 @@ pub enum WireErrorCode {
     Shutdown = 4,
     /// The peer broke the framing or handshake rules.
     Protocol = 5,
+    /// The submit pinned a frequency lane that does not match the
+    /// target gate's advertised lane (protocol v2).
+    LaneMismatch = 6,
 }
 
 impl WireErrorCode {
@@ -31,6 +34,7 @@ impl WireErrorCode {
             3 => Some(WireErrorCode::Timeout),
             4 => Some(WireErrorCode::Shutdown),
             5 => Some(WireErrorCode::Protocol),
+            6 => Some(WireErrorCode::LaneMismatch),
             _ => None,
         }
     }
@@ -175,6 +179,7 @@ mod tests {
             WireErrorCode::Timeout,
             WireErrorCode::Shutdown,
             WireErrorCode::Protocol,
+            WireErrorCode::LaneMismatch,
         ] {
             assert_eq!(WireErrorCode::from_byte(code as u8), Some(code));
         }

@@ -18,16 +18,27 @@
 //! | type | frame       | body                                                         |
 //! |------|-------------|--------------------------------------------------------------|
 //! | 1    | Hello       | magic `MGNP` (4 B), version u16                              |
-//! | 2    | HelloAck    | version u16, gate count u32, then per gate: name len u16 + UTF-8, input count u8, word width u8 |
-//! | 3    | Submit      | tag u64, gate u32, operand count u8, then per operand: width u8, bits u64 |
+//! | 2    | HelloAck    | version u16, gate count u32, then per gate: name len u16 + UTF-8, input count u8, word width u8, waveguide u64, lane u16 |
+//! | 3    | Submit      | tag u64, gate u32, lane flag u8 (0/1), [lane u16], operand count u8, then per operand: width u8, bits u64 |
 //! | 4    | Response    | tag u64, width u8, bits u64                                  |
 //! | 5    | Error       | tag u64, code u8 ([`WireErrorCode`]), message len u16 + UTF-8 |
-//! | 6    | RetryAfter  | tag u64, shard u32, hint µs u32                              |
+//! | 6    | RetryAfter  | tag u64, shard u32, hint µs u32 (1..=u32::MAX)               |
 //!
 //! Any truncation, length overrun, checksum mismatch, unknown type tag
 //! or out-of-range field fails decoding with [`NetError::Protocol`];
 //! the server answers one diagnostic error frame and closes that
 //! connection without affecting others.
+//!
+//! # Version history
+//!
+//! * **v2** — the FDM revision: the hello-ack directory advertises each
+//!   gate's waveguide id and frequency lane, and submit frames may pin
+//!   an expected lane (the server rejects a mismatch with
+//!   [`WireErrorCode::LaneMismatch`] instead of silently serving a
+//!   repatterned gate). v1 peers are rejected at the hello; v1-shaped
+//!   submit/hello-ack bodies fail decoding outright (the lane fields
+//!   make them under- or over-long).
+//! * **v1** — initial protocol (PR 4).
 
 use crate::error::{NetError, WireErrorCode};
 use magnon_core::word::Word;
@@ -37,8 +48,9 @@ use std::time::Duration;
 /// Magic the client opens its [`Frame::Hello`] with.
 pub const NET_MAGIC: [u8; 4] = *b"MGNP";
 
-/// Current protocol version.
-pub const NET_VERSION: u16 = 1;
+/// Current protocol version (v2: FDM lanes in the directory and on
+/// submit frames).
+pub const NET_VERSION: u16 = 2;
 
 /// Upper bound on the length prefix: no legal frame comes close (the
 /// largest is a HelloAck for a big gate directory), and rejecting here
@@ -61,6 +73,11 @@ pub struct GateInfo {
     pub input_count: u8,
     /// Channel count / word width.
     pub word_width: u8,
+    /// The physical waveguide the gate is patterned on. Gates sharing
+    /// a waveguide on distinct lanes serve concurrently via FDM.
+    pub waveguide: u64,
+    /// The gate's frequency lane on that waveguide.
+    pub lane: u16,
 }
 
 /// A decoded protocol frame.
@@ -85,6 +102,11 @@ pub enum Frame {
         tag: u64,
         /// Index into the hello-ack gate directory.
         gate: u32,
+        /// Optional frequency-lane pin: when set, the server verifies
+        /// the target gate still occupies this lane and answers
+        /// [`WireErrorCode::LaneMismatch`] otherwise — a guard against
+        /// serving through a repatterned directory slot.
+        lane: Option<u16>,
         /// The operand words.
         operands: Vec<Word>,
     },
@@ -114,7 +136,13 @@ pub enum Frame {
         tag: u64,
         /// The shard whose queue was full.
         shard: u32,
-        /// Suggested backoff before re-submitting.
+        /// Suggested backoff before re-submitting. The wire field is a
+        /// u32 microsecond count: encoding clamps to
+        /// `1..=u32::MAX` µs (hints beyond ~71.6 minutes saturate;
+        /// sub-microsecond hints round up to 1 µs so a zero-length
+        /// hint can never tell a client to retry immediately in a hot
+        /// loop), and decoding rejects a zero hint as a protocol
+        /// violation.
         hint: Duration,
     },
 }
@@ -139,16 +167,26 @@ impl Frame {
                     body.extend_from_slice(name.as_bytes());
                     body.push(gate.input_count);
                     body.push(gate.word_width);
+                    body.extend_from_slice(&gate.waveguide.to_le_bytes());
+                    body.extend_from_slice(&gate.lane.to_le_bytes());
                 }
             }
             Frame::Submit {
                 tag,
                 gate,
+                lane,
                 operands,
             } => {
                 body.push(3);
                 body.extend_from_slice(&tag.to_le_bytes());
                 body.extend_from_slice(&gate.to_le_bytes());
+                match lane {
+                    Some(lane) => {
+                        body.push(1);
+                        body.extend_from_slice(&lane.to_le_bytes());
+                    }
+                    None => body.push(0),
+                }
                 body.push(operands.len() as u8);
                 for word in operands {
                     body.push(word.width() as u8);
@@ -173,7 +211,12 @@ impl Frame {
                 body.push(6);
                 body.extend_from_slice(&tag.to_le_bytes());
                 body.extend_from_slice(&shard.to_le_bytes());
-                let micros = hint.as_micros().min(u32::MAX as u128) as u32;
+                // Clamp into the wire range 1..=u32::MAX µs: hints past
+                // ~71.6 min saturate, and a zero-length hint rounds up
+                // to 1 µs — the decoder treats a literal zero as a
+                // protocol violation, so both ends agree it never
+                // appears on the wire.
+                let micros = hint.as_micros().clamp(1, u32::MAX as u128) as u32;
                 body.extend_from_slice(&micros.to_le_bytes());
             }
         }
@@ -222,10 +265,14 @@ impl Frame {
                         .map_err(|_| NetError::protocol("gate name is not UTF-8"))?;
                     let input_count = r.u8()?;
                     let word_width = r.u8()?;
+                    let waveguide = r.u64()?;
+                    let lane = r.u16()?;
                     gates.push(GateInfo {
                         name,
                         input_count,
                         word_width,
+                        waveguide,
+                        lane,
                     });
                 }
                 Frame::HelloAck { version, gates }
@@ -233,6 +280,15 @@ impl Frame {
             3 => {
                 let tag = r.u64()?;
                 let gate = r.u32()?;
+                let lane = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u16()?),
+                    flag => {
+                        return Err(NetError::protocol(format!(
+                            "submit lane flag must be 0 or 1, got {flag}"
+                        )))
+                    }
+                };
                 let count = r.u8()? as usize;
                 if count == 0 || count > MAX_OPERANDS {
                     return Err(NetError::protocol(format!(
@@ -246,6 +302,7 @@ impl Frame {
                 Frame::Submit {
                     tag,
                     gate,
+                    lane,
                     operands,
                 }
             }
@@ -269,7 +326,17 @@ impl Frame {
             6 => {
                 let tag = r.u64()?;
                 let shard = r.u32()?;
-                let hint = Duration::from_micros(r.u32()? as u64);
+                let micros = r.u32()?;
+                if micros == 0 {
+                    // A zero hint would have clients retrying in a hot
+                    // loop; the encoder never emits one (it clamps to
+                    // ≥ 1 µs), so reject it like any other
+                    // out-of-range field. The cap is u32::MAX µs —
+                    // longer encoder-side hints arrive saturated, not
+                    // wrapped.
+                    return Err(NetError::protocol("zero-length retry-after hint"));
+                }
+                let hint = Duration::from_micros(micros as u64);
                 Frame::RetryAfter { tag, shard, hint }
             }
             tag => return Err(NetError::protocol(format!("unknown frame type {tag}"))),
@@ -494,18 +561,29 @@ mod tests {
                     name: "maj3_w8_0".into(),
                     input_count: 3,
                     word_width: 8,
+                    waveguide: 0,
+                    lane: 0,
                 },
                 GateInfo {
-                    name: "xor2_w8_0".into(),
+                    name: "xor2_w8_0_lane1".into(),
                     input_count: 2,
                     word_width: 8,
+                    waveguide: 0,
+                    lane: 1,
                 },
             ],
         });
         roundtrip(Frame::Submit {
             tag: 0xDEAD_BEEF,
             gate: 1,
+            lane: None,
             operands: vec![Word::from_u8(0x5A), Word::from_bits(0x1FFF, 16).unwrap()],
+        });
+        roundtrip(Frame::Submit {
+            tag: 0xDEAD_BEF0,
+            gate: 1,
+            lane: Some(3),
+            operands: vec![Word::from_u8(0x5A)],
         });
         roundtrip(Frame::Response {
             tag: 7,
@@ -528,6 +606,7 @@ mod tests {
         let good = Frame::Submit {
             tag: 1,
             gate: 0,
+            lane: None,
             operands: vec![Word::from_u8(1), Word::from_u8(2), Word::from_u8(3)],
         }
         .encode();
@@ -588,7 +667,8 @@ mod tests {
         let mut body = vec![3u8];
         body.extend_from_slice(&1u64.to_le_bytes());
         body.extend_from_slice(&0u32.to_le_bytes());
-        body.push(0);
+        body.push(0); // lane flag: none
+        body.push(0); // operand count 0
         let mut payload = body.clone();
         payload.extend_from_slice(&fnv1a(&body).to_le_bytes());
         assert!(Frame::decode(&payload).is_err());
@@ -615,6 +695,90 @@ mod tests {
             Frame::decode(&payload),
             Err(NetError::Protocol { reason }) if reason.contains("trailing")
         ));
+    }
+
+    #[test]
+    fn retry_after_hints_saturate_and_reject_zero() {
+        // Exactly at the cap: round-trips unchanged.
+        roundtrip(Frame::RetryAfter {
+            tag: 1,
+            shard: 0,
+            hint: Duration::from_micros(u32::MAX as u64),
+        });
+        // Beyond the cap: encoding saturates to u32::MAX µs instead of
+        // wrapping (one µs past the boundary and a huge hint both land
+        // on the cap).
+        for big in [
+            Duration::from_micros(u32::MAX as u64 + 1),
+            Duration::from_secs(86_400),
+        ] {
+            let encoded = Frame::RetryAfter {
+                tag: 2,
+                shard: 0,
+                hint: big,
+            }
+            .encode();
+            match Frame::decode(&encoded[4..]).unwrap() {
+                Frame::RetryAfter { hint, .. } => {
+                    assert_eq!(hint, Duration::from_micros(u32::MAX as u64));
+                }
+                other => panic!("expected RetryAfter, got {other:?}"),
+            }
+        }
+        // A zero-length hint never reaches the wire: encode rounds it
+        // up to 1 µs…
+        let encoded = Frame::RetryAfter {
+            tag: 3,
+            shard: 0,
+            hint: Duration::ZERO,
+        }
+        .encode();
+        match Frame::decode(&encoded[4..]).unwrap() {
+            Frame::RetryAfter { hint, .. } => assert_eq!(hint, Duration::from_micros(1)),
+            other => panic!("expected RetryAfter, got {other:?}"),
+        }
+        // …and a crafted zero hint is rejected by decode.
+        let mut body = vec![6u8];
+        body.extend_from_slice(&3u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let mut payload = body.clone();
+        payload.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(NetError::Protocol { reason }) if reason.contains("zero-length")
+        ));
+    }
+
+    #[test]
+    fn v1_shaped_submit_frames_are_rejected() {
+        // A protocol-v1 submit had no lane flag: tag, gate, operand
+        // count, operands. Re-checksummed so only the layout is old.
+        let mut body = vec![3u8];
+        body.extend_from_slice(&9u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.push(3); // v1 operand count — v2 reads this as a lane flag
+        for byte in [1u8, 2, 3] {
+            body.push(8);
+            body.extend_from_slice(&(byte as u64).to_le_bytes());
+        }
+        let mut payload = body.clone();
+        payload.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(NetError::Protocol { reason }) if reason.contains("lane flag")
+        ));
+        // And a malformed v2 lane flag is rejected the same way.
+        let mut body = vec![3u8];
+        body.extend_from_slice(&9u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.push(2); // invalid flag
+        body.push(1);
+        body.push(8);
+        body.extend_from_slice(&1u64.to_le_bytes());
+        let mut payload = body.clone();
+        payload.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        assert!(Frame::decode(&payload).is_err());
     }
 
     /// Yields one byte per read, with a `WouldBlock` before every byte
@@ -646,6 +810,7 @@ mod tests {
         let frame = Frame::Submit {
             tag: 77,
             gate: 2,
+            lane: Some(1),
             operands: vec![Word::from_u8(1), Word::from_u8(2), Word::from_u8(3)],
         };
         let mut trickle = Trickle {

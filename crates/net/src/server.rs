@@ -177,6 +177,8 @@ impl NetServer {
                     name: scheduler.gate_name(id).unwrap_or("?").to_string(),
                     input_count: gate.input_count() as u8,
                     word_width: gate.word_width() as u8,
+                    waveguide: gate.waveguide_id().0,
+                    lane: gate.lane_id().0,
                 }
             })
             .collect();
@@ -438,6 +440,7 @@ fn serve_connection(
         let Frame::Submit {
             tag,
             gate,
+            lane,
             operands,
         } = frame
         else {
@@ -459,6 +462,23 @@ fn serve_connection(
             }));
             continue;
         };
+        // A lane-pinned submit (v2) only serves when the directory slot
+        // still occupies that frequency lane.
+        if let Some(expected) = lane {
+            let actual = scheduler.gate(id).map(|g| g.lane_id().0);
+            if actual != Some(expected) {
+                stats.request_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = out_tx.send(Outbound::Ready(Frame::Error {
+                    tag,
+                    code: WireErrorCode::LaneMismatch,
+                    message: format!(
+                        "gate {gate} rides lane {}, not the pinned lane {expected}",
+                        actual.unwrap_or_default()
+                    ),
+                }));
+                continue;
+            }
+        }
         match scheduler.try_submit(id, magnon_core::backend::OperandSet::new(operands)) {
             Ok(ticket) => {
                 let pending = Outbound::Pending(PendingReply {

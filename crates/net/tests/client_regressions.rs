@@ -1,0 +1,235 @@
+//! Client-side regression tests against a scripted wire peer (a raw
+//! `TcpListener` speaking the frame protocol), pinning the two PR 4
+//! net-client bugs:
+//!
+//! 1. backoff used to be honored by `std::thread::sleep` on the shared
+//!    read path, so a retry-after flood against ONE tag stalled the
+//!    drain of every other tag's completions (and silently ate `wait`
+//!    deadlines);
+//! 2. a `wait` that timed out left its tag in `inflight` with no
+//!    documented way to redeem it — timed-out tags must stay
+//!    re-waitable, mirroring `magnon_serve::Ticket::wait_timeout`.
+
+use magnon_core::word::Word;
+use magnon_net::protocol::{write_frame, FrameReader, GateInfo, NET_VERSION};
+use magnon_net::{Frame, NetClient, NetClientConfig, NetError};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Accepts one connection and performs the hello handshake, returning
+/// the stream (plus its persistent resumable reader — pipelined client
+/// frames share TCP segments, so a throwaway `read_frame` would drop
+/// buffered bytes) with a one-gate directory (3-input majority, width
+/// 8, waveguide 0, lane `lane`) already advertised.
+fn scripted_accept(listener: &TcpListener, lane: u16) -> (TcpStream, FrameReader) {
+    let (mut stream, _) = listener.accept().expect("accept");
+    let mut frames = FrameReader::new();
+    match frames.read_frame(&mut stream).expect("hello") {
+        Frame::Hello { version } => assert_eq!(version, NET_VERSION),
+        other => panic!("expected a hello, got {other:?}"),
+    }
+    write_frame(
+        &mut stream,
+        &Frame::HelloAck {
+            version: NET_VERSION,
+            gates: vec![GateInfo {
+                name: "maj3".into(),
+                input_count: 3,
+                word_width: 8,
+                waveguide: 0,
+                lane,
+            }],
+        },
+    )
+    .expect("hello-ack");
+    stream.flush().expect("flush");
+    (stream, frames)
+}
+
+fn operands() -> Vec<Word> {
+    vec![
+        Word::from_u8(0x0F),
+        Word::from_u8(0x33),
+        Word::from_u8(0x55),
+    ]
+}
+
+#[test]
+fn retry_after_flood_on_one_tag_does_not_stall_another_tags_completion() {
+    const FLOOD: usize = 30;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, mut frames) = scripted_accept(&listener, 0);
+        // Two pipelined submits arrive together at the first flush.
+        let tag_a = match frames.read_frame(&mut stream).expect("submit a") {
+            Frame::Submit { tag, .. } => tag,
+            other => panic!("expected a submit, got {other:?}"),
+        };
+        let tag_b = match frames.read_frame(&mut stream).expect("submit b") {
+            Frame::Submit { tag, .. } => tag,
+            other => panic!("expected a submit, got {other:?}"),
+        };
+        // Flood tag A with backpressure (10 ms hints), THEN answer B.
+        // The old client slept out every hint on the read path before
+        // it reached B's response — ~300 ms of self-inflicted stall.
+        for _ in 0..FLOOD {
+            write_frame(
+                &mut stream,
+                &Frame::RetryAfter {
+                    tag: tag_a,
+                    shard: 0,
+                    hint: Duration::from_millis(10),
+                },
+            )
+            .unwrap();
+        }
+        write_frame(
+            &mut stream,
+            &Frame::Response {
+                tag: tag_b,
+                word: Word::from_u8(0x17),
+            },
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        // Service the retries: the first re-submit of A gets answered,
+        // later duplicates (one per flood frame) drain until EOF.
+        match frames.read_frame(&mut stream).expect("resubmit of a") {
+            Frame::Submit { tag, .. } => assert_eq!(tag, tag_a),
+            other => panic!("expected the re-submit, got {other:?}"),
+        }
+        write_frame(
+            &mut stream,
+            &Frame::Response {
+                tag: tag_a,
+                word: Word::from_u8(0x17),
+            },
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        while frames.read_frame(&mut stream).is_ok() {}
+    });
+
+    let mut client = NetClient::connect_with(
+        addr,
+        NetClientConfig {
+            wait_timeout: Duration::from_secs(10),
+            ..NetClientConfig::default()
+        },
+    )
+    .unwrap();
+    let gate = client.gate("maj3").unwrap();
+    let tag_a = client.submit(gate, &operands()).unwrap();
+    let tag_b = client.submit(gate, &operands()).unwrap();
+
+    // B's completion sits right behind the flood: it must arrive
+    // without waiting out A's backoffs (the old sleeping client took
+    // FLOOD × 10 ms ≈ 300 ms here).
+    let start = Instant::now();
+    assert_eq!(client.wait(tag_b).unwrap().to_u8(), 0x17);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(250),
+        "another tag's backoff stalled this completion for {elapsed:?}"
+    );
+    assert_eq!(client.stats().retries, FLOOD as u64);
+
+    // A's queued retries mature (≤ 10 ms each) and redeem normally.
+    assert_eq!(client.wait(tag_a).unwrap().to_u8(), 0x17);
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn timed_out_tags_stay_redeemable() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let server = std::thread::spawn(move || {
+        let (mut stream, mut frames) = scripted_accept(&listener, 0);
+        let tag = match frames.read_frame(&mut stream).expect("submit") {
+            Frame::Submit { tag, .. } => tag,
+            other => panic!("expected a submit, got {other:?}"),
+        };
+        // Hold the completion until the client has timed out once.
+        release_rx.recv().expect("release signal");
+        write_frame(
+            &mut stream,
+            &Frame::Response {
+                tag,
+                word: Word::from_u8(0x17),
+            },
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        while frames.read_frame(&mut stream).is_ok() {}
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    let gate = client.gate("maj3").unwrap();
+    let tag = client.submit(gate, &operands()).unwrap();
+    // First wait misses its (short, explicit) deadline…
+    assert!(matches!(
+        client.wait_deadline(tag, Duration::from_millis(40)),
+        Err(NetError::Timeout)
+    ));
+    // …but the tag is still in flight, not lost: once the server
+    // answers, a second wait on the SAME tag redeems it.
+    release_tx.send(()).unwrap();
+    assert_eq!(client.wait(tag).unwrap().to_u8(), 0x17);
+    // A redeemed tag is spent — further waits are a caller error.
+    assert!(matches!(client.wait(tag), Err(NetError::BadRequest { .. })));
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn backpressure_retries_preserve_the_lane_pin() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, mut frames) = scripted_accept(&listener, 2);
+        let (tag, lane) = match frames.read_frame(&mut stream).expect("submit") {
+            Frame::Submit { tag, lane, .. } => (tag, lane),
+            other => panic!("expected a submit, got {other:?}"),
+        };
+        assert_eq!(lane, Some(2), "the pin must ride the first submit");
+        write_frame(
+            &mut stream,
+            &Frame::RetryAfter {
+                tag,
+                shard: 0,
+                hint: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        // The scheduled re-submit must carry the same pin.
+        let (retag, relane) = match frames.read_frame(&mut stream).expect("resubmit") {
+            Frame::Submit { tag, lane, .. } => (tag, lane),
+            other => panic!("expected the re-submit, got {other:?}"),
+        };
+        assert_eq!((retag, relane), (tag, Some(2)));
+        write_frame(
+            &mut stream,
+            &Frame::Response {
+                tag,
+                word: Word::from_u8(0x17),
+            },
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        while frames.read_frame(&mut stream).is_ok() {}
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    let gate = client.gate("maj3").unwrap();
+    assert_eq!(client.gates_on_waveguide(0).count(), 1);
+    let tag = client.submit_on_lane(gate, 2, &operands()).unwrap();
+    assert_eq!(client.wait(tag).unwrap().to_u8(), 0x17);
+    assert_eq!(client.stats().retries, 1);
+    drop(client);
+    server.join().unwrap();
+}

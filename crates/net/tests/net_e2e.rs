@@ -216,6 +216,7 @@ fn hostile_peers_cannot_kill_the_server() {
         let mut corrupt = Frame::Submit {
             tag: 1,
             gate: 0,
+            lane: None,
             operands: vec![Word::from_u8(1), Word::from_u8(2), Word::from_u8(3)],
         }
         .encode();
@@ -283,6 +284,7 @@ fn hostile_peers_cannot_kill_the_server() {
             &Frame::Submit {
                 tag: 41,
                 gate: 0,
+                lane: None,
                 operands: vec![Word::from_u8(0x7E)],
             }
             .encode(),
@@ -299,6 +301,7 @@ fn hostile_peers_cannot_kill_the_server() {
             &Frame::Submit {
                 tag: 42,
                 gate: 0,
+                lane: None,
                 operands: vec![
                     Word::from_u8(0x0F),
                     Word::from_u8(0x33),
@@ -321,6 +324,135 @@ fn hostile_peers_cannot_kill_the_server() {
     );
     assert!(stats.connections_accepted >= 3);
     Arc::try_unwrap(scheduler).unwrap().shutdown().unwrap();
+}
+
+#[test]
+fn lanes_ride_the_wire_directory_pins_and_fdm_coalescing() {
+    use magnon_core::gate::LaneId;
+    // Two frequency lanes of ONE waveguide: the v2 directory must
+    // advertise both, lane-pinned submits must validate, and remote
+    // traffic hitting both lanes must coalesce into multi-lane FDM
+    // drains server-side.
+    let mut builder = SchedulerBuilder::new(ServeConfig {
+        workers: 1,
+        linger: Duration::from_millis(1),
+        ..quick_serve_config()
+    });
+    for lane in [0u16, 1] {
+        builder
+            .register_circuit_gates_on_lane(
+                Waveguide::paper_default().unwrap(),
+                WaveguideId(0),
+                LaneId(lane),
+                8,
+                BackendChoice::Cached,
+            )
+            .unwrap();
+    }
+    let scheduler = Arc::new(builder.build().unwrap());
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&scheduler),
+        NetServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    // The hello-ack directory lists both lanes of waveguide 0.
+    let lanes: Vec<u16> = client
+        .gates_on_waveguide(0)
+        .map(|(_, lane, _)| lane)
+        .collect();
+    assert_eq!(lanes, vec![0, 0, 1, 1], "maj+xor on each of two lanes");
+    assert!(client.gates().iter().all(|g| g.waveguide == 0));
+    let maj_lane0 = client.gate("maj3_w8_wg0").unwrap();
+    let maj_lane1 = client.gate("maj3_w8_wg0_lane1").unwrap();
+
+    // Lane-pinned submits: the right pin serves, the wrong pin is
+    // caught client-side against the directory…
+    let words = [
+        Word::from_u8(0x0F),
+        Word::from_u8(0x33),
+        Word::from_u8(0x55),
+    ];
+    let tag = client.submit_on_lane(maj_lane1, 1, &words).unwrap();
+    assert_eq!(client.wait(tag).unwrap().to_u8(), 0x17);
+    assert!(matches!(
+        client.submit_on_lane(maj_lane1, 0, &words),
+        Err(NetError::BadRequest { .. })
+    ));
+    // …and a pin that lies on the wire is rejected by the server with
+    // the v2 lane-mismatch code.
+    {
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(
+            &Frame::Hello {
+                version: NET_VERSION,
+            }
+            .encode(),
+        )
+        .unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert!(matches!(
+            magnon_net::protocol::read_frame(&mut (&raw)),
+            Ok(Frame::HelloAck { .. })
+        ));
+        raw.write_all(
+            &Frame::Submit {
+                tag: 77,
+                gate: maj_lane1.index(),
+                lane: Some(9),
+                operands: words.to_vec(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        match magnon_net::protocol::read_frame(&mut (&raw)) {
+            Ok(Frame::Error { tag: 77, code, .. }) => {
+                assert_eq!(code, magnon_net::WireErrorCode::LaneMismatch)
+            }
+            other => panic!("expected a lane-mismatch error, got {other:?}"),
+        }
+    }
+
+    // Interleaved remote traffic across both lanes coalesces into
+    // multi-lane FDM drains on the shared waveguide.
+    let requests: Vec<(RemoteGateId, Vec<Word>)> = (0..64u64)
+        .map(|i| {
+            let gate = if i % 2 == 0 { maj_lane0 } else { maj_lane1 };
+            let words = (0..3)
+                .map(|j| Word::from_u8((i.wrapping_mul(0x9E37_79B9) >> (8 * j)) as u8))
+                .collect();
+            (gate, words)
+        })
+        .collect();
+    let outputs = client.eval_many(&requests).unwrap();
+    let reference: Vec<ParallelGate> = (0..scheduler.gate_count())
+        .map(|i| {
+            scheduler
+                .gate(scheduler.gate_id(i).unwrap())
+                .unwrap()
+                .clone()
+        })
+        .collect();
+    for ((gate, words), output) in requests.iter().zip(&outputs) {
+        assert_eq!(
+            *output,
+            reference[gate.index() as usize]
+                .evaluate(words)
+                .unwrap()
+                .word()
+        );
+    }
+    drop(client);
+    server.shutdown();
+    let scheduler = Arc::try_unwrap(scheduler).unwrap();
+    let stats = scheduler.stats();
+    assert!(
+        stats.fdm_batches >= 1 && stats.fdm_lanes >= 2,
+        "remote two-lane traffic must stack into FDM drains: {stats:?}"
+    );
+    scheduler.shutdown().unwrap();
 }
 
 #[test]

@@ -78,7 +78,7 @@ pub use dispatch::ScheduledBank;
 pub use error::ServeError;
 pub use request::{GateId, SchedulerStats, Ticket};
 pub use scheduler::{Scheduler, SchedulerBuilder, ServeConfig, ShutdownReport};
-pub use telemetry::{AdaptiveConfig, ShardTelemetry, TelemetrySnapshot, WaveguideTelemetry};
+pub use telemetry::{AdaptiveConfig, LaneTelemetry, ShardTelemetry, TelemetrySnapshot};
 
 #[cfg(test)]
 mod tests {
@@ -528,6 +528,189 @@ mod tests {
             scheduler.shard_of(hot),
             scheduler.shard_of(cold),
             "the cold co-tenant must move off the hot shard: {telemetry:?}"
+        );
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
+    fn distinct_designs_on_separate_lanes_coalesce_into_one_multi_lane_drain() {
+        use magnon_core::gate::LaneId;
+        // The FDM acceptance shape: a majority gate on waveguide 0 lane
+        // 0 (the paper's 10–80 GHz band) and an XOR on the SAME
+        // waveguide, lane 1 (100 GHz band). Fingerprint fusion is off —
+        // the designs differ anyway — so any coalescing across the two
+        // gates can only come from multi-lane FDM stacking.
+        let guide = Waveguide::paper_default().unwrap();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 1,
+            max_batch: 64,
+            linger: Duration::from_millis(2),
+            queue_depth: 256,
+            lut_dir: None,
+            adaptive: AdaptiveConfig::off(),
+        });
+        let maj = builder
+            .register("maj_lane0", byte_majority(), BackendChoice::Cached)
+            .unwrap();
+        let xor = builder
+            .register(
+                "xor_lane1",
+                ParallelGateBuilder::new(guide)
+                    .channels(8)
+                    .inputs(2)
+                    .function(LogicFunction::Xor)
+                    .base_frequency(100e9)
+                    .on_waveguide(WaveguideId(0))
+                    .on_lane(LaneId(1))
+                    .build()
+                    .unwrap(),
+                BackendChoice::Cached,
+            )
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        // Both lanes of waveguide 0 start co-resident on the one shard.
+        assert_eq!(scheduler.shard_of(maj), scheduler.shard_of(xor));
+        let maj_sets = sample_sets(16, 3);
+        let xor_sets = sample_sets(16, 2);
+        let mut requests = Vec::new();
+        for (m, x) in maj_sets.iter().zip(&xor_sets) {
+            requests.push((maj, m.clone()));
+            requests.push((xor, x.clone()));
+        }
+        let outputs = scheduler.evaluate_many(&requests).unwrap();
+        for ((id, set), output) in requests.iter().zip(&outputs) {
+            let reference = scheduler.gate(*id).unwrap().evaluate(set.words()).unwrap();
+            assert_eq!(output.word(), reference.word());
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.completed, 32);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.fused_batches, 0, "no fingerprint fusion here");
+        assert!(
+            stats.fdm_batches >= 1 && stats.fdm_lanes >= 2 && stats.fdm_requests > 0,
+            "two lanes of one waveguide must stack into a multi-lane drain: {stats:?}"
+        );
+        let telemetry = scheduler.telemetry();
+        assert!(
+            telemetry.shards[0].fdm_passes >= 1 && telemetry.shards[0].fdm_lanes >= 2,
+            "the shard must report its FDM passes: {telemetry:?}"
+        );
+        let lane0 = telemetry
+            .lanes
+            .iter()
+            .find(|l| l.lane == LaneId(0))
+            .expect("lane 0 slot");
+        let lane1 = telemetry
+            .lanes
+            .iter()
+            .find(|l| l.lane == LaneId(1))
+            .expect("lane 1 slot");
+        assert_eq!(lane0.id, lane1.id, "one waveguide, two lanes");
+        assert_eq!(lane0.served, 16, "per-lane served counters: {telemetry:?}");
+        assert_eq!(lane1.served, 16, "per-lane served counters: {telemetry:?}");
+        scheduler.shutdown().unwrap();
+    }
+
+    #[test]
+    fn overlapping_bands_on_distinct_lanes_are_rejected_at_build() {
+        use magnon_core::gate::LaneId;
+        // Two gates claim distinct lanes of waveguide 0 but both sit on
+        // the default 10–80 GHz band: a stacked "single excitation"
+        // over colliding spectra is physically impossible, so the
+        // builder must refuse instead of serving it silently.
+        let mut builder = SchedulerBuilder::new(quick_config(1));
+        builder
+            .register("lane0", byte_majority(), BackendChoice::Cached)
+            .unwrap();
+        builder
+            .register(
+                "lane1_same_band",
+                ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+                    .channels(8)
+                    .inputs(3)
+                    .on_lane(LaneId(1))
+                    .build()
+                    .unwrap(),
+                BackendChoice::Cached,
+            )
+            .unwrap();
+        match builder.build() {
+            Err(ServeError::Config { reason }) => {
+                assert!(reason.contains("overlap"), "got: {reason}")
+            }
+            other => panic!("colliding lane bands must be rejected, got {other:?}"),
+        }
+        // Same band on the SAME lane stays legal (pre-FDM cross-gate
+        // serving), as does the same design on another waveguide.
+        let mut builder = SchedulerBuilder::new(quick_config(1));
+        builder
+            .register("a", byte_majority(), BackendChoice::Cached)
+            .unwrap();
+        builder
+            .register(
+                "b",
+                ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+                    .channels(8)
+                    .inputs(2)
+                    .function(LogicFunction::Xor)
+                    .build()
+                    .unwrap(),
+                BackendChoice::Cached,
+            )
+            .unwrap();
+        builder
+            .register(
+                "c",
+                ParallelGateBuilder::new(Waveguide::paper_default().unwrap())
+                    .channels(8)
+                    .inputs(3)
+                    .on_waveguide(WaveguideId(1))
+                    .on_lane(LaneId(1))
+                    .build()
+                    .unwrap(),
+                BackendChoice::Cached,
+            )
+            .unwrap();
+        builder.build().unwrap().shutdown().unwrap();
+    }
+
+    #[test]
+    fn single_lane_traffic_never_reports_fdm_passes() {
+        // Pre-FDM shape: two designs sharing waveguide 0 on the SAME
+        // lane must keep the old per-gate batches (no stacked pass).
+        let guide = Waveguide::paper_default().unwrap();
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            workers: 1,
+            linger: Duration::from_millis(2),
+            ..quick_config(1)
+        });
+        let maj = builder
+            .register("maj", byte_majority(), BackendChoice::Cached)
+            .unwrap();
+        let xor = builder
+            .register(
+                "xor",
+                ParallelGateBuilder::new(guide)
+                    .channels(8)
+                    .inputs(2)
+                    .function(LogicFunction::Xor)
+                    .build()
+                    .unwrap(),
+                BackendChoice::Cached,
+            )
+            .unwrap();
+        let scheduler = builder.build().unwrap();
+        let mut requests = Vec::new();
+        for (m, x) in sample_sets(8, 3).iter().zip(&sample_sets(8, 2)) {
+            requests.push((maj, m.clone()));
+            requests.push((xor, x.clone()));
+        }
+        scheduler.evaluate_many(&requests).unwrap();
+        let stats = scheduler.stats();
+        assert_eq!(stats.completed, 16);
+        assert_eq!(
+            stats.fdm_batches, 0,
+            "same-lane gates must not stack: {stats:?}"
         );
         scheduler.shutdown().unwrap();
     }

@@ -122,6 +122,9 @@ pub(crate) struct SharedStats {
     pub max_drain: AtomicU64,
     pub fused_batches: AtomicU64,
     pub fused_requests: AtomicU64,
+    pub fdm_batches: AtomicU64,
+    pub fdm_lanes: AtomicU64,
+    pub fdm_requests: AtomicU64,
 }
 
 impl SharedStats {
@@ -148,6 +151,15 @@ impl SharedStats {
         self.fused_requests.fetch_add(requests, Ordering::Relaxed);
     }
 
+    /// Records one multi-lane FDM pass: `requests` jobs across `lanes`
+    /// frequency lanes of one waveguide, stacked into a single
+    /// whole-waveguide excitation.
+    pub fn record_fdm_pass(&self, lanes: u64, requests: u64) {
+        self.fdm_batches.fetch_add(1, Ordering::Relaxed);
+        self.fdm_lanes.fetch_add(lanes, Ordering::Relaxed);
+        self.fdm_requests.fetch_add(requests, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> SchedulerStats {
         SchedulerStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -160,6 +172,9 @@ impl SharedStats {
             max_drain: self.max_drain.load(Ordering::Relaxed),
             fused_batches: self.fused_batches.load(Ordering::Relaxed),
             fused_requests: self.fused_requests.load(Ordering::Relaxed),
+            fdm_batches: self.fdm_batches.load(Ordering::Relaxed),
+            fdm_lanes: self.fdm_lanes.load(Ordering::Relaxed),
+            fdm_requests: self.fdm_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +208,14 @@ pub struct SchedulerStats {
     pub fused_batches: u64,
     /// Requests that rode a fused batch.
     pub fused_requests: u64,
+    /// Multi-lane FDM passes issued: one stacked evaluation carrying
+    /// two or more frequency lanes of a single waveguide
+    /// (frequency-division multiplexing, arXiv:2008.12220).
+    pub fdm_batches: u64,
+    /// Lanes coalesced across those FDM passes.
+    pub fdm_lanes: u64,
+    /// Requests that rode an FDM pass.
+    pub fdm_requests: u64,
 }
 
 impl SchedulerStats {

@@ -5,9 +5,9 @@
 //! ```text
 //!  clients ── submit(GateId, OperandSet) ──► Ticket
 //!      │
-//!      ▼  route by the gate's WaveguideId through the adaptive
-//!      │  placement table (gates sharing a waveguide always land on
-//!      │  the same shard; hot-shard co-tenants get moved)
+//!      ▼  route by the gate's (WaveguideId, LaneId) through the
+//!      │  adaptive placement table (lanes of one waveguide start
+//!      │  co-resident; hot-shard co-tenants get moved)
 //!  ┌───────────────┐   ┌───────────────┐
 //!  │ shard 0 queue │   │ shard 1 queue │   … bounded MPSC
 //!  └──────┬────────┘   └──────┬────────┘
@@ -16,18 +16,32 @@
 //!   drain → group        drain → group     backend instance per gate
 //!   by gate (or by       by gate (or by    (split_session from a
 //!   design, fused) →     design, fused) →  shared template)
-//!   evaluate_batch       evaluate_batch
+//!   stack lanes of a     stack lanes of a
+//!   waveguide → FDM      waveguide → FDM
+//!   evaluate pass        evaluate pass
 //! ```
 //!
 //! A worker drains its queue in cycles: it blocks on the first request,
 //! then keeps collecting until the linger window closes or the batch
 //! cap is reached, groups what it got, and issues one
 //! [`GateSession::evaluate_batch`] per group. Because routing is by
-//! [`WaveguideId`], a drain cycle naturally coalesces requests across
-//! *different* gates sharing a waveguide — the cross-gate data
-//! parallelism of the companion paper (arXiv:2008.12220) — while
-//! requests for the same gate ride one batch, the in-waveguide
-//! parallelism of the source paper.
+//! [`WaveguideId`] and [`LaneId`], a drain cycle naturally coalesces
+//! requests across *different* gates sharing a waveguide — the
+//! cross-gate data parallelism of the companion paper
+//! (arXiv:2008.12220) — while requests for the same gate ride one
+//! batch, the in-waveguide parallelism of the source paper.
+//!
+//! # Frequency-division multiplexing
+//!
+//! Gates carrying the same [`WaveguideId`] but distinct [`LaneId`]s
+//! occupy disjoint frequency bands of one physical medium, so their
+//! groups do not stay separate batches: the drain stacks every lane of
+//! a waveguide into one multi-lane [`evaluate_fdm_batch`]
+//! pass (micromagnetic backends are excluded, mirroring the no-fusion
+//! rule). Per-shard FDM pass counters and per-lane served counters
+//! surface through [`Scheduler::telemetry`]; register lane-shifted
+//! circuit gates with
+//! [`SchedulerBuilder::register_circuit_gates_on_lane`].
 //!
 //! # Adaptive policies
 //!
@@ -75,9 +89,9 @@
 use crate::error::ServeError;
 use crate::request::{EvalJob, GateId, SchedulerStats, SharedStats, Ticket};
 use crate::telemetry::{AdaptiveConfig, Telemetry, TelemetrySnapshot};
-use magnon_circuits::netlist::packed_frequency_step;
-use magnon_core::backend::{BackendChoice, GateSession, OperandSet};
-use magnon_core::gate::{GateOutput, ParallelGate, ParallelGateBuilder, WaveguideId};
+use magnon_circuits::netlist::{fdm_lane_base, packed_frequency_step};
+use magnon_core::backend::{evaluate_fdm_batch, BackendChoice, GateSession, LaneBatch, OperandSet};
+use magnon_core::gate::{GateOutput, LaneId, ParallelGate, ParallelGateBuilder, WaveguideId};
 use magnon_core::lut_store::{load_lut, save_lut, LutSnapshot};
 use magnon_core::truth::LogicFunction;
 use magnon_core::GateError;
@@ -140,9 +154,28 @@ struct GateEntry {
     /// Introspection clone (the serving sessions live on the shards).
     gate: ParallelGate,
     /// Index into the placement table (one slot per distinct
-    /// waveguide).
-    wg_slot: usize,
+    /// `(waveguide, lane)` channel).
+    lane_slot: usize,
     lut_loaded: usize,
+}
+
+/// Per-gate routing facts shared with every worker (read-only after
+/// build).
+#[derive(Debug, Clone, Copy)]
+struct GateMeta {
+    /// Fusion-compatibility key (see [`fusion_fingerprint`]).
+    fingerprint: u64,
+    /// Index into the `(waveguide, lane)` placement table.
+    lane_slot: usize,
+    /// The gate's waveguide — FDM passes only stack lanes of one
+    /// physical medium.
+    waveguide: WaveguideId,
+    /// The gate's frequency lane on that waveguide.
+    lane: LaneId,
+    /// Whether this gate's backend may join a multi-lane FDM pass
+    /// (micromag never does: its time-domain simulation is per-gate,
+    /// the same rule that keeps it out of fingerprint fusion).
+    fdm_ok: bool,
 }
 
 /// Registers gates, then builds the runtime.
@@ -223,8 +256,8 @@ impl SchedulerBuilder {
     /// majority, 2-input XOR) at `width` channels on `waveguide`,
     /// mirroring what an inline
     /// [`magnon_circuits::netlist::GateBank`] would lazily build. Both
-    /// gates carry `waveguide_id`, so their traffic shares a shard and
-    /// coalesces.
+    /// gates carry `waveguide_id` (on frequency lane 0), so their
+    /// traffic shares a shard and coalesces.
     ///
     /// # Errors
     ///
@@ -236,24 +269,68 @@ impl SchedulerBuilder {
         width: usize,
         choice: BackendChoice,
     ) -> Result<(GateId, GateId), ServeError> {
+        self.register_circuit_gates_on_lane(waveguide, waveguide_id, LaneId(0), width, choice)
+    }
+
+    /// Like [`SchedulerBuilder::register_circuit_gates`], but on
+    /// frequency lane `lane` of the waveguide: the gates' channel band
+    /// shifts to lane `lane`'s slice of the spectrum
+    /// ([`fdm_lane_base`]), so several circuits can ride one physical
+    /// waveguide concurrently — the FDM serving axis of the companion
+    /// paper (arXiv:2008.12220). A whole-waveguide drain then coalesces
+    /// the lanes into one multi-lane pass.
+    ///
+    /// # Errors
+    ///
+    /// Gate construction failures (e.g. a lane band beyond what the
+    /// dispersion branch supports) and duplicate names.
+    pub fn register_circuit_gates_on_lane(
+        &mut self,
+        waveguide: Waveguide,
+        waveguide_id: WaveguideId,
+        lane: LaneId,
+        width: usize,
+        choice: BackendChoice,
+    ) -> Result<(GateId, GateId), ServeError> {
+        let step = packed_frequency_step(width);
+        let base = fdm_lane_base(lane.0, width);
         let maj3 = ParallelGateBuilder::new(waveguide)
             .channels(width)
             .inputs(3)
             .function(LogicFunction::Majority)
-            .frequency_step(packed_frequency_step(width))
+            .base_frequency(base)
+            .frequency_step(step)
             .on_waveguide(waveguide_id)
+            .on_lane(lane)
             .build()
             .map_err(ServeError::Gate)?;
         let xor2 = ParallelGateBuilder::new(waveguide)
             .channels(width)
             .inputs(2)
             .function(LogicFunction::Xor)
-            .frequency_step(packed_frequency_step(width))
+            .base_frequency(base)
+            .frequency_step(step)
             .on_waveguide(waveguide_id)
+            .on_lane(lane)
             .build()
             .map_err(ServeError::Gate)?;
-        let maj_id = self.register(format!("maj3_w{width}_{waveguide_id}"), maj3, choice)?;
-        let xor_id = self.register(format!("xor2_w{width}_{waveguide_id}"), xor2, choice)?;
+        // Lane 0 keeps the pre-FDM names, so existing LUT files and
+        // registrations stay valid.
+        let suffix = if lane.0 == 0 {
+            String::new()
+        } else {
+            format!("_{lane}")
+        };
+        let maj_id = self.register(
+            format!("maj3_w{width}_{waveguide_id}{suffix}"),
+            maj3,
+            choice,
+        )?;
+        let xor_id = self.register(
+            format!("xor2_w{width}_{waveguide_id}{suffix}"),
+            xor2,
+            choice,
+        )?;
         Ok((maj_id, xor_id))
     }
 
@@ -291,11 +368,41 @@ impl SchedulerBuilder {
         config.adaptive.rebalance_interval = config.adaptive.rebalance_interval.max(1);
         config.adaptive.fusion_threshold = config.adaptive.fusion_threshold.max(2);
 
-        let mut wg_slots: BTreeMap<u64, usize> = BTreeMap::new();
-        let mut placements: Vec<(WaveguideId, usize)> = Vec::new();
+        // Distinct lanes of one waveguide must occupy disjoint bands —
+        // the drain stacks them into one physical excitation, which is
+        // only real when their spectra cannot interfere. (Same-lane
+        // gates may share a band: they serve as separate passes, the
+        // pre-FDM behaviour.)
+        for (i, (name_a, gate_a, _)) in self.registrations.iter().enumerate() {
+            for (name_b, gate_b, _) in &self.registrations[i + 1..] {
+                if gate_a.waveguide_id() == gate_b.waveguide_id()
+                    && gate_a.lane_id() != gate_b.lane_id()
+                    && gate_a.frequency_lane().overlaps(gate_b.frequency_lane())
+                {
+                    return Err(ServeError::Config {
+                        reason: format!(
+                            "gates `{name_a}` ({}) and `{name_b}` ({}) claim distinct frequency \
+                             lanes of {} but their bands overlap ({:.1}-{:.1} GHz vs {:.1}-{:.1} \
+                             GHz) — stacked FDM passes need disjoint spectra (shift one with \
+                             base_frequency/fdm_lane_base, or put them on the same lane)",
+                            gate_a.lane_id(),
+                            gate_b.lane_id(),
+                            gate_a.waveguide_id(),
+                            gate_a.frequency_lane().band_low / 1e9,
+                            gate_a.frequency_lane().band_high / 1e9,
+                            gate_b.frequency_lane().band_low / 1e9,
+                            gate_b.frequency_lane().band_high / 1e9,
+                        ),
+                    });
+                }
+            }
+        }
+
+        let mut lane_slots: BTreeMap<(u64, u16), usize> = BTreeMap::new();
+        let mut placements: Vec<(WaveguideId, LaneId, usize)> = Vec::new();
         let mut entries = Vec::with_capacity(self.registrations.len());
         let mut templates: Vec<GateSession> = Vec::with_capacity(self.registrations.len());
-        let mut fingerprints: Vec<u64> = Vec::with_capacity(self.registrations.len());
+        let mut meta: Vec<GateMeta> = Vec::with_capacity(self.registrations.len());
         for (index, (name, gate, choice)) in self.registrations.into_iter().enumerate() {
             let mut template = GateSession::new(gate.clone(), choice)?;
             let mut lut_loaded = 0;
@@ -307,15 +414,26 @@ impl SchedulerBuilder {
                 }
             }
             let waveguide = gate.waveguide_id();
-            let wg_slot = *wg_slots.entry(waveguide.0).or_insert_with(|| {
-                placements.push((waveguide, static_shard(waveguide, config.workers)));
+            let lane = gate.lane_id();
+            // Placement is per (waveguide, lane), but the initial shard
+            // comes from the waveguide alone, so all lanes of one
+            // medium start co-resident and FDM-coalesce from the first
+            // drain (the rebalancer may separate them later).
+            let lane_slot = *lane_slots.entry((waveguide.0, lane.0)).or_insert_with(|| {
+                placements.push((waveguide, lane, static_shard(waveguide, config.workers)));
                 placements.len() - 1
             });
-            fingerprints.push(fusion_fingerprint(index, &gate, choice));
+            meta.push(GateMeta {
+                fingerprint: fusion_fingerprint(index, &gate, choice),
+                lane_slot,
+                waveguide,
+                lane,
+                fdm_ok: !matches!(choice, BackendChoice::Micromag(_)),
+            });
             entries.push(GateEntry {
                 name,
                 gate,
-                wg_slot,
+                lane_slot,
                 lut_loaded,
             });
             templates.push(template);
@@ -324,7 +442,7 @@ impl SchedulerBuilder {
         let telemetry = Arc::new(Telemetry::new(config.workers, placements));
         let stats = Arc::new(SharedStats::default());
         let templates = Arc::new(templates);
-        let fingerprints = Arc::new(fingerprints);
+        let meta = Arc::new(meta);
         let mut senders = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for shard in 0..config.workers {
@@ -332,7 +450,7 @@ impl SchedulerBuilder {
             // anything rebalancing routes over later splits lazily.
             let mut sessions: Vec<Option<GateSession>> = Vec::with_capacity(entries.len());
             for (entry, template) in entries.iter().zip(templates.iter()) {
-                if telemetry.shard_of_slot(entry.wg_slot) == shard {
+                if telemetry.shard_of_slot(entry.lane_slot) == shard {
                     sessions.push(Some(template.split_session()?));
                 } else {
                     sessions.push(None);
@@ -344,7 +462,7 @@ impl SchedulerBuilder {
                 rx,
                 sessions,
                 templates: Arc::clone(&templates),
-                fingerprints: Arc::clone(&fingerprints),
+                meta: Arc::clone(&meta),
                 linger: config.linger,
                 max_batch: config.max_batch,
                 policy: config.adaptive.clone(),
@@ -439,8 +557,8 @@ struct Worker {
     sessions: Vec<Option<GateSession>>,
     /// Warm templates shared by all shards, the source of lazy splits.
     templates: Arc<Vec<GateSession>>,
-    /// `fingerprints[gate index]` — the fusion compatibility key.
-    fingerprints: Arc<Vec<u64>>,
+    /// `meta[gate index]` — fusion key, lane slot and FDM eligibility.
+    meta: Arc<Vec<GateMeta>>,
     /// Base linger (the adaptive window starts here).
     linger: Duration,
     max_batch: usize,
@@ -554,8 +672,10 @@ impl Worker {
     }
 
     /// Serves one drain cycle: group by gate — or, when the drain is
-    /// deep enough to fuse, by design fingerprint — one batch per
-    /// group, tags routed back to their tickets.
+    /// deep enough to fuse, by design fingerprint — then stack groups
+    /// riding distinct frequency lanes of one waveguide into a single
+    /// multi-lane FDM pass. One batch per surviving group, tags routed
+    /// back to their tickets.
     fn serve_drain(&mut self, pending: &mut Vec<EvalJob>) {
         let drained = pending.len() as u64;
         let hit_cap = pending.len() >= self.max_batch;
@@ -569,18 +689,187 @@ impl Worker {
         for job in pending.drain(..) {
             gates_touched.insert(job.gate);
             let key = if fuse {
-                self.fingerprints[job.gate]
+                self.meta[job.gate].fingerprint
             } else {
                 job.gate as u64
             };
             groups.entry(key).or_default().push(job);
         }
-        let batches = groups.len() as u64;
         let gates_touched = gates_touched.len() as u64;
+        // Second level: bucket FDM-eligible groups by waveguide. A
+        // group qualifies when every job sits on one waveguide through
+        // an FDM-capable backend (fingerprint-fused groups may span
+        // waveguides; those serve unstacked, as before).
+        let mut singles: Vec<Vec<EvalJob>> = Vec::new();
+        let mut by_waveguide: BTreeMap<u64, Vec<Vec<EvalJob>>> = BTreeMap::new();
         for group in groups.into_values() {
+            let lead = self.meta[group[0].gate];
+            let uniform = lead.fdm_ok
+                && group.iter().all(|job| {
+                    self.meta[job.gate].fdm_ok && self.meta[job.gate].waveguide == lead.waveguide
+                });
+            if uniform {
+                by_waveguide
+                    .entry(lead.waveguide.0)
+                    .or_default()
+                    .push(group);
+            } else {
+                singles.push(group);
+            }
+        }
+        let mut batches = 0u64;
+        for (_, wg_groups) in by_waveguide {
+            // At most ONE channel group per lane may ride the stacked
+            // pass — groups sharing a lane occupy the same band, so
+            // only disjoint-band representatives form one physical
+            // excitation. Pick the deepest group per lane (densest
+            // stack); same-lane leftovers serve as their own batches,
+            // exactly like pre-FDM cross-gate coalescing.
+            let mut per_lane: BTreeMap<u16, usize> = BTreeMap::new();
+            for (index, group) in wg_groups.iter().enumerate() {
+                let lane = self.meta[group[0].gate].lane.0;
+                let chosen = per_lane.entry(lane).or_insert(index);
+                if wg_groups[*chosen].len() < group.len() {
+                    *chosen = index;
+                }
+            }
+            if per_lane.len() >= 2 {
+                let stacked_indices: BTreeSet<usize> = per_lane.values().copied().collect();
+                let mut stacked = Vec::with_capacity(stacked_indices.len());
+                for (index, group) in wg_groups.into_iter().enumerate() {
+                    if stacked_indices.contains(&index) {
+                        stacked.push(group);
+                    } else {
+                        batches += 1;
+                        self.serve_group(group);
+                    }
+                }
+                batches += self.serve_fdm(stacked, per_lane.len() as u64);
+            } else {
+                for group in wg_groups {
+                    batches += 1;
+                    self.serve_group(group);
+                }
+            }
+        }
+        for group in singles {
+            batches += 1;
             self.serve_group(group);
         }
         self.stats.record_drain(drained, batches, gates_touched);
+    }
+
+    /// Serves one whole-waveguide multi-lane pass: each group is one
+    /// channel group (a gate design's queued jobs) riding its own
+    /// frequency lane, and all of them evaluate through a single
+    /// stacked [`evaluate_fdm_batch`] call — the companion paper's
+    /// multi-frequency parallelism as a drain-path operation. Falls
+    /// back to per-request evaluation when the stacked pass fails as a
+    /// whole, so errors land only on the requests that earned them.
+    /// Returns the number of batches actually issued (1 for the
+    /// stacked pass; one per group when a missing session devolves the
+    /// stack into per-group serving).
+    fn serve_fdm(&mut self, groups: Vec<Vec<EvalJob>>, lanes: u64) -> u64 {
+        // Distinct group keys mean distinct lead gates, so each lead's
+        // session can be taken out of the table exactly once.
+        let leads: Vec<usize> = groups.iter().map(|group| group[0].gate).collect();
+        for &lead in &leads {
+            if self.session_for(lead).is_err() {
+                // A lane whose session cannot build fails its own
+                // group's requests through the per-group path; the
+                // other lanes still serve.
+                let devolved = groups.len() as u64;
+                for group in groups {
+                    self.serve_group(group);
+                }
+                return devolved;
+            }
+        }
+        let mut sets: Vec<Vec<OperandSet>> = Vec::with_capacity(groups.len());
+        let mut replies = Vec::with_capacity(groups.len());
+        let mut total_requests = 0u64;
+        for group in groups {
+            let mut group_sets = Vec::with_capacity(group.len());
+            let mut group_replies = Vec::with_capacity(group.len());
+            total_requests += group.len() as u64;
+            for job in group {
+                group_sets.push(job.set);
+                group_replies.push((job.gate, job.tag, job.reply));
+            }
+            sets.push(group_sets);
+            replies.push(group_replies);
+        }
+        // Borrow every lead session at once by lifting them out of the
+        // slot table for the duration of the stacked call.
+        let mut sessions: Vec<GateSession> = leads
+            .iter()
+            .map(|&lead| self.sessions[lead].take().expect("ensured above"))
+            .collect();
+        let mut lane_batches: Vec<LaneBatch<'_>> = sessions
+            .iter_mut()
+            .zip(&sets)
+            .map(|(session, lane_sets)| LaneBatch {
+                session,
+                sets: lane_sets,
+            })
+            .collect();
+        let attempt = evaluate_fdm_batch(&mut lane_batches);
+        drop(lane_batches);
+        for (&lead, session) in leads.iter().zip(sessions) {
+            self.sessions[lead] = Some(session);
+        }
+        match attempt {
+            Ok(outputs) => {
+                self.telemetry.record_fdm_pass(self.shard, lanes);
+                self.stats.record_fdm_pass(lanes, total_requests);
+                for (lane_replies, lane_outputs) in replies.into_iter().zip(outputs) {
+                    self.note_lanes_served(lane_replies.iter().map(|(gate, _, _)| *gate));
+                    for ((_, tag, reply), output) in lane_replies.into_iter().zip(lane_outputs) {
+                        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        let _ = reply.send((tag, Ok(output)));
+                    }
+                }
+            }
+            Err(_) => {
+                // The stacked pass failed as a whole (e.g. one lane
+                // carried a malformed operand); retry each request on
+                // its own gate so only the offenders see the error.
+                for (lane_replies, lane_sets) in replies.into_iter().zip(&sets) {
+                    for ((gate, tag, reply), set) in lane_replies.into_iter().zip(lane_sets) {
+                        let result = match self.session_for(gate) {
+                            Ok(session) => session.evaluate(set.words()),
+                            Err(e) => Err(e),
+                        };
+                        match &result {
+                            Ok(_) => {
+                                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                                self.telemetry
+                                    .record_lane_served(self.meta[gate].lane_slot, 1);
+                            }
+                            Err(_) => {
+                                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        };
+                        let _ = reply.send((tag, result));
+                    }
+                }
+            }
+        }
+        1
+    }
+
+    /// Accounts successfully answered requests on their lanes' `served`
+    /// telemetry counters. Success paths only — a request that failed
+    /// was not served, so the per-lane counters always sum to the
+    /// scheduler's `completed` total.
+    fn note_lanes_served(&self, gates: impl Iterator<Item = usize>) {
+        let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+        for gate in gates {
+            *counts.entry(self.meta[gate].lane_slot).or_default() += 1;
+        }
+        for (slot, count) in counts {
+            self.telemetry.record_lane_served(slot, count);
+        }
     }
 
     /// Serves one group (all jobs share a session-compatible target):
@@ -607,6 +896,7 @@ impl Worker {
                 if fused {
                     self.stats.record_fusion(sets.len() as u64);
                 }
+                self.note_lanes_served(replies.iter().map(|(gate, _, _)| *gate));
                 for ((_, tag, reply), output) in replies.into_iter().zip(outputs) {
                     self.stats.completed.fetch_add(1, Ordering::Relaxed);
                     let _ = reply.send((tag, Ok(output)));
@@ -621,8 +911,14 @@ impl Worker {
                         Err(e) => Err(e),
                     };
                     match &result {
-                        Ok(_) => self.stats.completed.fetch_add(1, Ordering::Relaxed),
-                        Err(_) => self.stats.failed.fetch_add(1, Ordering::Relaxed),
+                        Ok(_) => {
+                            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry
+                                .record_lane_served(self.meta[gate].lane_slot, 1);
+                        }
+                        Err(_) => {
+                            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        }
                     };
                     let _ = reply.send((tag, result));
                 }
@@ -687,7 +983,7 @@ impl Scheduler {
     pub fn shard_of(&self, id: GateId) -> Option<usize> {
         self.entries
             .get(id.0)
-            .map(|e| self.telemetry.shard_of_slot(e.wg_slot))
+            .map(|e| self.telemetry.shard_of_slot(e.lane_slot))
     }
 
     /// LUT entries adopted from disk at build time (0 without
@@ -715,7 +1011,7 @@ impl Scheduler {
             .ok_or(ServeError::UnknownGate { index: id.0 })?;
         let shard = self
             .telemetry
-            .route_submit(entry.wg_slot, &self.config.adaptive);
+            .route_submit(entry.lane_slot, &self.config.adaptive);
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
         Ok((
@@ -926,12 +1222,18 @@ mod tests {
             rx,
             sessions: vec![Some(session)],
             templates: Arc::new(vec![template]),
-            fingerprints: Arc::new(vec![0]),
+            meta: Arc::new(vec![GateMeta {
+                fingerprint: 0,
+                lane_slot: 0,
+                waveguide: WaveguideId(0),
+                lane: LaneId(0),
+                fdm_ok: true,
+            }]),
             linger: Duration::from_micros(50),
             max_batch,
             policy: AdaptiveConfig::off(),
             stats: Arc::new(SharedStats::default()),
-            telemetry: Arc::new(Telemetry::new(1, vec![(WaveguideId(0), 0)])),
+            telemetry: Arc::new(Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)])),
         };
         (tx, worker)
     }

@@ -1,7 +1,7 @@
 //! Lock-free serving telemetry and the adaptive placement table.
 //!
 //! Every hot-path touch point is a relaxed atomic: submitters bump a
-//! per-waveguide request counter and read the placement table, workers
+//! per-lane request counter and read the placement table, workers
 //! publish drain sizes, queue depths and their current linger window.
 //! Nothing here takes a lock on the request path; the only
 //! coordination is a compare-and-swap guard around the (rare,
@@ -31,8 +31,18 @@
 //! consistent-enough point-in-time [`TelemetrySnapshot`] for dashboards
 //! and tests. Request counters decay (halve) at every placement review,
 //! so placement follows *recent* traffic, not all-time totals.
+//!
+//! # Lanes
+//!
+//! Since the FDM extension (arXiv:2008.12220's multi-frequency
+//! parallelism), the placement/counter unit is one *frequency lane* —
+//! a `(`[`WaveguideId`]`, `[`LaneId`]`)` pair. Lanes of one waveguide
+//! start co-resident (so their drains coalesce into multi-lane FDM
+//! passes) but are independently movable by the rebalancer when load
+//! skews; per-lane request and served counters plus per-shard FDM pass
+//! counters surface in the snapshot.
 
-use magnon_core::gate::WaveguideId;
+use magnon_core::gate::{LaneId, WaveguideId};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -108,29 +118,39 @@ struct ShardCounters {
     /// Drain cycles that filled to the batch cap (linger utilization:
     /// `full_drains / drain_cycles` ≈ how often the window saturates).
     full_drains: AtomicU64,
+    /// Multi-lane FDM passes served: drains where two or more frequency
+    /// lanes of one waveguide coalesced into a single stacked
+    /// `evaluate_batch`.
+    fdm_passes: AtomicU64,
+    /// Lanes coalesced across those FDM passes (`fdm_lanes /
+    /// fdm_passes` ≈ lanes per pass).
+    fdm_lanes: AtomicU64,
     /// The worker's current adaptive linger window, in nanoseconds.
     linger_ns: AtomicU64,
 }
 
-/// Per-waveguide routing state: where traffic goes and how much of it
-/// there recently was.
+/// Per-lane routing state: where traffic for one `(waveguide, lane)`
+/// channel goes and how much of it there recently was.
 #[derive(Debug)]
-struct WaveguideState {
+struct LaneState {
     id: WaveguideId,
-    /// The shard currently serving this waveguide (the placement
-    /// table).
+    lane: LaneId,
+    /// The shard currently serving this lane (the placement table).
     shard: AtomicUsize,
     /// Decayed request counter (halved at every placement review).
     requests: AtomicU64,
+    /// Requests successfully answered on this lane, ever (success
+    /// paths only, not decayed).
+    served: AtomicU64,
 }
 
 /// Lock-free telemetry shared between client handles and workers.
 #[derive(Debug)]
 pub(crate) struct Telemetry {
     shards: Vec<ShardCounters>,
-    /// Indexed by waveguide *slot* (registration order of first
-    /// appearance), not raw id.
-    waveguides: Vec<WaveguideState>,
+    /// Indexed by lane *slot* (registration order of first appearance
+    /// of each `(waveguide, lane)` pair), not raw id.
+    lanes: Vec<LaneState>,
     submits: AtomicU64,
     rebalances: AtomicU64,
     /// CAS guard: one placement review at a time, submitters never
@@ -139,16 +159,21 @@ pub(crate) struct Telemetry {
 }
 
 impl Telemetry {
-    /// `placements[slot]` gives each waveguide's id and initial shard.
-    pub fn new(workers: usize, placements: Vec<(WaveguideId, usize)>) -> Self {
+    /// `placements[slot]` gives each lane's waveguide id, lane id and
+    /// initial shard. Lanes of one waveguide should start on the same
+    /// shard so their drains FDM-coalesce (the builder places by
+    /// waveguide id alone).
+    pub fn new(workers: usize, placements: Vec<(WaveguideId, LaneId, usize)>) -> Self {
         Telemetry {
             shards: (0..workers).map(|_| ShardCounters::default()).collect(),
-            waveguides: placements
+            lanes: placements
                 .into_iter()
-                .map(|(id, shard)| WaveguideState {
+                .map(|(id, lane, shard)| LaneState {
                     id,
+                    lane,
                     shard: AtomicUsize::new(shard),
                     requests: AtomicU64::new(0),
+                    served: AtomicU64::new(0),
                 })
                 .collect(),
             submits: AtomicU64::new(0),
@@ -157,26 +182,24 @@ impl Telemetry {
         }
     }
 
-    /// The shard currently serving waveguide `slot`.
+    /// The shard currently serving lane `slot`.
     pub fn shard_of_slot(&self, slot: usize) -> usize {
-        self.waveguides[slot].shard.load(Ordering::Acquire)
+        self.lanes[slot].shard.load(Ordering::Acquire)
     }
 
-    /// Routes one submission: bumps the waveguide's request counter,
+    /// Routes one submission: bumps the lane's request counter,
     /// possibly reviews placement, and returns the target shard. The
     /// queue gauge is NOT touched here — a blocking `send` may park the
     /// submitter for arbitrarily long on a full queue, and the gauge
     /// must only count requests that actually reached it; call
     /// [`Telemetry::note_enqueued`] once the send succeeds.
     pub fn route_submit(&self, slot: usize, policy: &AdaptiveConfig) -> usize {
-        self.waveguides[slot]
-            .requests
-            .fetch_add(1, Ordering::Relaxed);
+        self.lanes[slot].requests.fetch_add(1, Ordering::Relaxed);
         let n = self.submits.fetch_add(1, Ordering::Relaxed) + 1;
         if policy.rebalance && n.is_multiple_of(policy.rebalance_interval.max(1)) {
             self.review_placement(policy);
         }
-        self.waveguides[slot].shard.load(Ordering::Acquire)
+        self.lanes[slot].shard.load(Ordering::Acquire)
     }
 
     /// Accounts one request that actually landed in `shard`'s queue.
@@ -205,20 +228,39 @@ impl Telemetry {
         );
     }
 
+    /// Accounts one multi-lane FDM pass on `shard` that coalesced
+    /// `lanes` frequency lanes into a single stacked batch.
+    pub fn record_fdm_pass(&self, shard: usize, lanes: u64) {
+        let counters = &self.shards[shard];
+        counters.fdm_passes.fetch_add(1, Ordering::Relaxed);
+        counters.fdm_lanes.fetch_add(lanes, Ordering::Relaxed);
+    }
+
+    /// Accounts `requests` successfully answered on lane `slot`
+    /// (workers call this on success paths only, so the per-lane
+    /// `served` counters sum to the scheduler's `completed` total).
+    pub fn record_lane_served(&self, slot: usize, requests: u64) {
+        self.lanes[slot]
+            .served
+            .fetch_add(requests, Ordering::Relaxed);
+    }
+
     /// Reviews the placement table: when shard load (sum of resident
-    /// waveguides' recent requests) is skewed past the policy ratio,
-    /// moves the co-tenant waveguide that best narrows the gap from the
-    /// hottest shard to the idlest. A waveguide that *is* the whole hot
-    /// load stays put — one waveguide cannot be split across shards
-    /// without breaking same-shard coalescing.
+    /// lanes' recent requests) is skewed past the policy ratio, moves
+    /// the co-tenant lane that best narrows the gap from the hottest
+    /// shard to the idlest. A lane that *is* the whole hot load stays
+    /// put — one lane cannot be split across shards without breaking
+    /// same-shard coalescing. (Moving a lane off its waveguide's shard
+    /// trades FDM coalescing for load balance; the mover returns only
+    /// when traffic re-skews the other way.)
     fn review_placement(&self, policy: &AdaptiveConfig) {
         if self.reviewing.swap(true, Ordering::AcqRel) {
             return; // someone else is reviewing
         }
-        if self.shards.len() > 1 && self.waveguides.len() > 1 {
+        if self.shards.len() > 1 && self.lanes.len() > 1 {
             let mut loads = vec![0u64; self.shards.len()];
             let residents: Vec<(usize, u64)> = self
-                .waveguides
+                .lanes
                 .iter()
                 .map(|wg| {
                     let shard = wg.shard.load(Ordering::Acquire);
@@ -248,7 +290,7 @@ impl Telemetry {
                     .map(|(slot, &(_, w))| (slot, w));
                 if let Some((slot, w)) = candidate {
                     if (gap as i128 - 2 * w as i128).unsigned_abs() < gap as u128 {
-                        self.waveguides[slot].shard.store(cold, Ordering::Release);
+                        self.lanes[slot].shard.store(cold, Ordering::Release);
                         self.rebalances.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -258,7 +300,7 @@ impl Telemetry {
         // the counters track recent traffic. `fetch_sub` of the halved
         // value, not a load/store pair: submissions landing mid-review
         // must not be erased.
-        for wg in &self.waveguides {
+        for wg in &self.lanes {
             let v = wg.requests.load(Ordering::Relaxed);
             wg.requests.fetch_sub(v / 2, Ordering::Relaxed);
         }
@@ -276,16 +318,20 @@ impl Telemetry {
                     drained: s.drained.load(Ordering::Relaxed),
                     drain_cycles: s.drain_cycles.load(Ordering::Relaxed),
                     full_drains: s.full_drains.load(Ordering::Relaxed),
+                    fdm_passes: s.fdm_passes.load(Ordering::Relaxed),
+                    fdm_lanes: s.fdm_lanes.load(Ordering::Relaxed),
                     linger: Duration::from_nanos(s.linger_ns.load(Ordering::Relaxed)),
                 })
                 .collect(),
-            waveguides: self
-                .waveguides
+            lanes: self
+                .lanes
                 .iter()
-                .map(|wg| WaveguideTelemetry {
+                .map(|wg| LaneTelemetry {
                     id: wg.id,
+                    lane: wg.lane,
                     shard: wg.shard.load(Ordering::Acquire),
                     recent_requests: wg.requests.load(Ordering::Relaxed),
+                    served: wg.served.load(Ordering::Relaxed),
                 })
                 .collect(),
             rebalances: self.rebalances.load(Ordering::Relaxed),
@@ -299,9 +345,10 @@ impl Telemetry {
 pub struct TelemetrySnapshot {
     /// One entry per worker shard.
     pub shards: Vec<ShardTelemetry>,
-    /// One entry per distinct registered waveguide, including its
-    /// *current* shard assignment.
-    pub waveguides: Vec<WaveguideTelemetry>,
+    /// One entry per distinct registered `(waveguide, lane)` channel,
+    /// including its *current* shard assignment. Pre-FDM gates all sit
+    /// on lane 0, where this is exactly the old per-waveguide view.
+    pub lanes: Vec<LaneTelemetry>,
     /// Placement moves performed since the runtime started.
     pub rebalances: u64,
 }
@@ -336,21 +383,31 @@ pub struct ShardTelemetry {
     /// Drain cycles that filled to `max_batch` (the linger-utilization
     /// numerator).
     pub full_drains: u64,
+    /// Multi-lane FDM passes: drains where ≥ 2 frequency lanes of one
+    /// waveguide coalesced into a single stacked batch.
+    pub fdm_passes: u64,
+    /// Lanes coalesced across those passes.
+    pub fdm_lanes: u64,
     /// The worker's current linger window (zero until the worker first
     /// publishes, or when adaptive linger is off).
     pub linger: Duration,
 }
 
-/// One waveguide's routing state inside a [`TelemetrySnapshot`].
+/// One frequency lane's routing state inside a [`TelemetrySnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WaveguideTelemetry {
-    /// The waveguide.
+pub struct LaneTelemetry {
+    /// The waveguide the lane rides on.
     pub id: WaveguideId,
+    /// The lane within that waveguide.
+    pub lane: LaneId,
     /// The shard currently serving it.
     pub shard: usize,
     /// Requests in the current decay window (halved at every placement
     /// review).
     pub recent_requests: u64,
+    /// Requests successfully answered on this lane since start
+    /// (successes only, not decayed — sums to `completed` across lanes).
+    pub served: u64,
 }
 
 #[cfg(test)]
@@ -367,7 +424,13 @@ mod tests {
 
     #[test]
     fn route_follows_the_placement_table() {
-        let telemetry = Telemetry::new(2, vec![(WaveguideId(0), 0), (WaveguideId(4), 0)]);
+        let telemetry = Telemetry::new(
+            2,
+            vec![
+                (WaveguideId(0), LaneId(0), 0),
+                (WaveguideId(0), LaneId(4), 0),
+            ],
+        );
         let policy = AdaptiveConfig::off();
         let s0 = telemetry.route_submit(0, &policy);
         let s1 = telemetry.route_submit(1, &policy);
@@ -378,7 +441,7 @@ mod tests {
         telemetry.note_enqueued(s1);
         let snap = telemetry.snapshot();
         assert_eq!(snap.shards[0].queued, 2);
-        assert_eq!(snap.waveguides[0].recent_requests, 1);
+        assert_eq!(snap.lanes[0].recent_requests, 1);
         assert_eq!(snap.rebalances, 0);
     }
 
@@ -389,7 +452,7 @@ mod tests {
         // not register as depth — the telemetry consumers (and the
         // rebalancer) would otherwise see phantom load for as long as
         // the submitter stays blocked.
-        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)]);
         let policy = AdaptiveConfig::off();
         for _ in 0..2 {
             let shard = telemetry.route_submit(0, &policy);
@@ -408,7 +471,7 @@ mod tests {
         // The enqueue accounting lands after `send`, so a worker racing
         // ahead can decrement first; the snapshot must clamp at zero
         // instead of wrapping.
-        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)]);
         telemetry.record_drain(0, 3, false);
         assert_eq!(telemetry.snapshot().shards[0].queued, 0);
         for _ in 0..3 {
@@ -423,7 +486,13 @@ mod tests {
     #[test]
     fn skewed_load_moves_the_cotenant_off_the_hot_shard() {
         // Both waveguides start on shard 0; waveguide 0 is hot.
-        let telemetry = Telemetry::new(2, vec![(WaveguideId(0), 0), (WaveguideId(4), 0)]);
+        let telemetry = Telemetry::new(
+            2,
+            vec![
+                (WaveguideId(0), LaneId(0), 0),
+                (WaveguideId(0), LaneId(4), 0),
+            ],
+        );
         let policy = hot_policy();
         for i in 0..64u64 {
             let slot = usize::from(i % 8 == 7); // 7/8 of traffic on slot 0
@@ -431,25 +500,31 @@ mod tests {
         }
         let snap = telemetry.snapshot();
         assert!(snap.rebalances >= 1, "skew must trigger a move: {snap:?}");
-        assert_eq!(snap.waveguides[0].shard, 0, "the hot waveguide stays");
-        assert_eq!(snap.waveguides[1].shard, 1, "the co-tenant moves");
+        assert_eq!(snap.lanes[0].shard, 0, "the hot waveguide stays");
+        assert_eq!(snap.lanes[1].shard, 1, "the co-tenant moves");
     }
 
     #[test]
     fn a_lone_hot_waveguide_stays_put() {
-        let telemetry = Telemetry::new(2, vec![(WaveguideId(0), 0), (WaveguideId(1), 1)]);
+        let telemetry = Telemetry::new(
+            2,
+            vec![
+                (WaveguideId(0), LaneId(0), 0),
+                (WaveguideId(1), LaneId(0), 1),
+            ],
+        );
         let policy = hot_policy();
         for _ in 0..64 {
             telemetry.route_submit(0, &policy); // all load on slot 0, alone on shard 0
         }
         let snap = telemetry.snapshot();
         assert_eq!(snap.rebalances, 0, "nothing useful to move: {snap:?}");
-        assert_eq!(snap.waveguides[0].shard, 0);
+        assert_eq!(snap.lanes[0].shard, 0);
     }
 
     #[test]
     fn drain_accounting_balances_the_queue_gauge() {
-        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)]);
         let policy = AdaptiveConfig::off();
         for _ in 0..5 {
             let shard = telemetry.route_submit(0, &policy);
@@ -468,7 +543,7 @@ mod tests {
 
     #[test]
     fn request_counters_decay_even_with_one_shard() {
-        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)]);
         let policy = AdaptiveConfig {
             rebalance: true,
             rebalance_interval: 8,
@@ -479,17 +554,41 @@ mod tests {
         }
         let snap = telemetry.snapshot();
         assert!(
-            snap.waveguides[0].recent_requests < 16,
+            snap.lanes[0].recent_requests < 16,
             "reviews must decay the window regardless of topology: {snap:?}"
         );
         assert_eq!(snap.rebalances, 0);
     }
 
     #[test]
+    fn fdm_passes_and_lane_served_counters_surface_in_the_snapshot() {
+        // Two lanes of waveguide 0 co-resident on shard 0: a multi-lane
+        // pass serving 3 + 2 requests across both lanes.
+        let telemetry = Telemetry::new(
+            1,
+            vec![
+                (WaveguideId(0), LaneId(0), 0),
+                (WaveguideId(0), LaneId(1), 0),
+            ],
+        );
+        telemetry.record_fdm_pass(0, 2);
+        telemetry.record_lane_served(0, 3);
+        telemetry.record_lane_served(1, 2);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.shards[0].fdm_passes, 1);
+        assert_eq!(snap.shards[0].fdm_lanes, 2);
+        assert_eq!(snap.lanes[0].lane, LaneId(0));
+        assert_eq!(snap.lanes[1].lane, LaneId(1));
+        assert_eq!(snap.lanes[0].served, 3);
+        assert_eq!(snap.lanes[1].served, 2);
+        assert_eq!(snap.lanes[0].id, snap.lanes[1].id, "one waveguide");
+    }
+
+    #[test]
     fn refused_submissions_never_touch_the_gauge() {
         // try_submit routing a request to a full queue simply never
         // calls note_enqueued — no bump to undo.
-        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), 0)]);
+        let telemetry = Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)]);
         let _shard = telemetry.route_submit(0, &AdaptiveConfig::off());
         assert_eq!(telemetry.snapshot().shards[0].queued, 0);
     }

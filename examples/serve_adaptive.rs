@@ -123,11 +123,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.max_drain,
         stats.fused_requests,
     );
-    println!("final placement and per-waveguide load:");
-    for wg in &telemetry.waveguides {
+    println!("final placement and per-lane load:");
+    for lane in &telemetry.lanes {
         println!(
-            "  waveguide {} -> shard {} ({} recent requests)",
-            wg.id, wg.shard, wg.recent_requests,
+            "  {} {} -> shard {} ({} recent requests, {} served)",
+            lane.id, lane.lane, lane.shard, lane.recent_requests, lane.served,
         );
     }
     println!(

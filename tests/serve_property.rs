@@ -242,11 +242,120 @@ proptest! {
         prop_assert_eq!(telemetry.shards.len(), workers);
         // The placement table never points outside the shard range,
         // however many moves happened.
-        for wg in &telemetry.waveguides {
-            prop_assert!(wg.shard < workers);
+        for lane in &telemetry.lanes {
+            prop_assert!(lane.shard < workers);
         }
         let queued: u64 = telemetry.shards.iter().map(|s| s.queued).sum();
         prop_assert_eq!(queued, 0, "all queues drained after completion");
+        scheduler.shutdown().unwrap();
+    }
+
+    /// FDM scheduling is output-equivalent to sequential per-lane
+    /// evaluation: randomized interleaved streams across three
+    /// frequency lanes of ONE waveguide (distinct designs on disjoint
+    /// bands) plus a second waveguide must decode exactly as each
+    /// gate's own `ParallelGate::evaluate`, however the drains stacked
+    /// the lanes into multi-lane passes underneath.
+    #[test]
+    fn fdm_scheduler_matches_sequential_per_lane_evaluation(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 8..64),
+        workers in 1usize..4,
+    ) {
+        let guide = Waveguide::paper_default().unwrap();
+        // Three lanes of waveguide 0 on the disjoint bands probed by
+        // the core lane tests, plus a lane-0 gate alone on waveguide 1.
+        let gates: Vec<ParallelGate> = vec![
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(3)
+                .on_waveguide(WaveguideId(0))
+                .on_lane(LaneId(0))
+                .build()
+                .unwrap(),
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(2)
+                .function(LogicFunction::Xor)
+                .base_frequency(100e9)
+                .on_waveguide(WaveguideId(0))
+                .on_lane(LaneId(1))
+                .build()
+                .unwrap(),
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(5)
+                .base_frequency(190e9)
+                .on_waveguide(WaveguideId(0))
+                .on_lane(LaneId(2))
+                .build()
+                .unwrap(),
+            ParallelGateBuilder::new(guide)
+                .channels(8)
+                .inputs(3)
+                .on_waveguide(WaveguideId(1))
+                .build()
+                .unwrap(),
+        ];
+        // Every lane pair on waveguide 0 stays disjoint — the property
+        // stream is a physically valid FDM assignment.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                prop_assert!(!gates[i]
+                    .frequency_lane()
+                    .overlaps(gates[j].frequency_lane()));
+            }
+        }
+        let mut builder = SchedulerBuilder::new(ServeConfig {
+            linger: Duration::from_micros(200),
+            ..quick_config(workers)
+        });
+        let ids: Vec<_> = gates
+            .iter()
+            .enumerate()
+            .map(|(k, gate)| {
+                // Mixed backends: cached and analytic lanes may share a
+                // stacked pass.
+                let choice = if k % 2 == 0 {
+                    BackendChoice::Cached
+                } else {
+                    BackendChoice::Analytic
+                };
+                builder
+                    .register(format!("lane_gate{k}"), gate.clone(), choice)
+                    .unwrap()
+            })
+            .collect();
+        let scheduler = builder.build().unwrap();
+
+        let requests: Vec<(usize, OperandSet)> = seeds
+            .iter()
+            .map(|&s| request_from_seed(&gates, s))
+            .collect();
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|(which, set)| scheduler.submit(ids[*which], set.clone()).unwrap())
+            .collect();
+        // Redeem out of submission order: FDM stacking must not break
+        // tag routing.
+        for (ticket, (which, set)) in tickets.into_iter().rev().zip(requests.iter().rev()) {
+            let served = ticket.wait().unwrap();
+            let reference = gates[*which].evaluate(set.words()).unwrap();
+            prop_assert_eq!(served.word(), reference.word());
+        }
+
+        let stats = scheduler.stats();
+        prop_assert_eq!(stats.completed, seeds.len() as u64);
+        prop_assert_eq!(stats.failed, 0);
+        // FDM bookkeeping stays consistent whatever actually stacked:
+        // every stacked pass carries ≥ 2 lanes and its requests are a
+        // subset of the total.
+        prop_assert!(stats.fdm_requests <= stats.completed);
+        prop_assert!(stats.fdm_lanes >= 2 * stats.fdm_batches);
+        let telemetry = scheduler.telemetry();
+        let served: u64 = telemetry.lanes.iter().map(|l| l.served).sum();
+        prop_assert_eq!(served, seeds.len() as u64, "per-lane served counters must cover the stream");
+        let fdm_passes: u64 = telemetry.shards.iter().map(|s| s.fdm_passes).sum();
+        prop_assert_eq!(fdm_passes, stats.fdm_batches);
         scheduler.shutdown().unwrap();
     }
 

@@ -5,6 +5,19 @@
 //! statistical regression machinery — each bench prints
 //! `<name>  time: <median> (<iters> iters x <samples> samples)` so
 //! relative comparisons between benches in one run remain meaningful.
+//!
+//! # Machine-readable results
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! bench result is additionally merged into that file as one entry of
+//! a JSON array (`label`, `median_s`, `iters`, `samples`, optional
+//! throughput rate, unix timestamp). Multiple bench binaries append to
+//! the same file, so a whole `cargo bench` run accumulates one
+//! trajectory. Pass an **absolute** path — cargo runs bench binaries
+//! from the package directory, so a relative path lands next to the
+//! bench crate instead of the workspace root. The workspace convention
+//! is `BENCH_JSON=$(pwd)/results/BENCH_serve.json` for the serving
+//! benches.
 
 use std::time::{Duration, Instant};
 
@@ -194,6 +207,66 @@ fn run_bench(
         "  {label:<48} time: {}{rate}  [{iters} iters x {sample_size} samples]",
         format_time(median)
     );
+    record_json(label, median, iters, sample_size, throughput);
+}
+
+/// Merges one bench result into the JSON array named by `BENCH_JSON`
+/// (no-op when unset). The file is maintained by string surgery — the
+/// shim has no JSON parser — so anything that is not already an array
+/// is overwritten with a fresh one.
+fn record_json(
+    label: &str,
+    median_s: f64,
+    iters: u64,
+    samples: usize,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let (kind, per_s) = match throughput {
+        Some(Throughput::Elements(n)) => ("elem", Some(n as f64 / median_s)),
+        Some(Throughput::Bytes(n)) => ("bytes", Some(n as f64 / median_s)),
+        None => ("none", None),
+    };
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = format!(
+        "{{\"label\":{label:?},\"median_s\":{median_s:e},\"iters\":{iters},\
+         \"samples\":{samples},\"throughput_kind\":\"{kind}\",\"throughput_per_s\":{},\
+         \"unix_ts\":{unix_ts}}}",
+        per_s.map_or("null".into(), |v| format!("{v:.6e}")),
+    );
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if trimmed.starts_with('[') => {
+                    let body = head.trim_end();
+                    if body == "[" {
+                        format!("[\n{entry}\n]\n")
+                    } else {
+                        format!("{body},\n{entry}\n]\n")
+                    }
+                }
+                _ => format!("[\n{entry}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    // Temp-file + rename (the lut_store pattern): an interrupted run
+    // can never truncate the accumulated trajectory mid-write.
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    if std::fs::write(&tmp, merged).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
 }
 
 fn format_time(seconds: f64) -> String {
