@@ -122,9 +122,37 @@ pub fn fdm_lane_base(lane: u16, width: usize) -> f64 {
     10.0e9 + f64::from(lane) * (width as f64 + 1.0) * packed_frequency_step(width)
 }
 
+/// Guard band the [`fdm_lane_base`] grid guarantees between the last
+/// occupied channel of one lane and the first channel of the next.
+///
+/// Lane `l` occupies `base(l) .. base(l) + (width-1)·step` and lane
+/// `l+1` starts at `base(l) + (width+1)·step`, so exactly two channel
+/// steps of clear spectrum separate consecutive lanes — derived from
+/// [`packed_frequency_step`], never from a fixed 10 GHz/100 GHz
+/// constant, so the guarantee holds at every width the packed grid
+/// supports. Placers packing gates onto FDM lanes may rely on this
+/// spacing (and should still verify built [`ChannelPlan`]s with
+/// [`ChannelPlan::overlaps`] / [`ChannelPlan::guard_band_to`]).
+///
+/// [`ChannelPlan`]: magnon_core::channel::ChannelPlan
+/// [`ChannelPlan::overlaps`]: magnon_core::channel::ChannelPlan::overlaps
+/// [`ChannelPlan::guard_band_to`]:
+///     magnon_core::channel::ChannelPlan::guard_band_to
+pub fn fdm_lane_guard_band(width: usize) -> f64 {
+    2.0 * packed_frequency_step(width)
+}
+
 /// Handle to a node in a [`Circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
+
+impl NodeId {
+    /// Position of the node in its circuit's topological node order
+    /// (nodes only reference strictly smaller indices).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// A circuit node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,6 +168,50 @@ enum Node {
     /// Complement — free in hardware via inverted readout (paper §III),
     /// so it is not counted as a gate.
     Not(NodeId),
+}
+
+/// Public view of one circuit node — the IR surface compilers walk
+/// (via [`Circuit::node_kind`] / [`Circuit::node_kinds`]) to levelize,
+/// place and schedule a netlist without re-deriving its structure from
+/// evaluation traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// External input with its operand index.
+    Input {
+        /// Position in the evaluation operand list.
+        index: usize,
+    },
+    /// A constant word.
+    Constant(Word),
+    /// 3-input majority gate over three earlier nodes.
+    Maj3(NodeId, NodeId, NodeId),
+    /// 2-input XOR gate over two earlier nodes.
+    Xor2(NodeId, NodeId),
+    /// Free inversion (inverted readout) of an earlier node.
+    Not(NodeId),
+}
+
+impl NodeKind {
+    /// The physical gate shape this node lowers to, or `None` for the
+    /// free node kinds (inputs, constants, inverted readouts).
+    pub fn gate_shape(&self) -> Option<GateShape> {
+        match self {
+            NodeKind::Maj3(..) => Some(GateShape::Maj3),
+            NodeKind::Xor2(..) => Some(GateShape::Xor2),
+            _ => None,
+        }
+    }
+
+    /// The earlier nodes this node reads, in operand order (duplicates
+    /// preserved — `MAJ(a, a, b)` lists `a` twice).
+    pub fn operands(&self) -> Vec<NodeId> {
+        match *self {
+            NodeKind::Input { .. } | NodeKind::Constant(_) => Vec::new(),
+            NodeKind::Maj3(a, b, c) => vec![a, b, c],
+            NodeKind::Xor2(a, b) => vec![a, b],
+            NodeKind::Not(a) => vec![a],
+        }
+    }
 }
 
 /// Gate-type counts of a circuit.
@@ -414,6 +486,35 @@ impl Circuit {
         &self.outputs
     }
 
+    /// Total node count (inputs, constants, gates and inversions).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The kind of node `id`, or `None` for a foreign handle.
+    pub fn node_kind(&self, id: NodeId) -> Option<NodeKind> {
+        self.nodes.get(id.0).map(|node| match *node {
+            Node::Input(index) => NodeKind::Input { index },
+            Node::Constant(w) => NodeKind::Constant(w),
+            Node::Maj3(a, b, c) => NodeKind::Maj3(a, b, c),
+            Node::Xor2(a, b) => NodeKind::Xor2(a, b),
+            Node::Not(a) => NodeKind::Not(a),
+        })
+    }
+
+    /// Every node's kind in topological order (a node's operands always
+    /// precede it) — the walk order compiler passes levelize over.
+    pub fn node_kinds(&self) -> Vec<NodeKind> {
+        self.node_ids()
+            .map(|id| self.node_kind(id).expect("id enumerated from this circuit"))
+            .collect()
+    }
+
+    /// Every node id in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
     /// Adds an external input and returns its node.
     pub fn input(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len());
@@ -562,27 +663,9 @@ impl Circuit {
     /// * [`GateError::InputCountMismatch`] for the wrong operand count.
     /// * [`GateError::WordWidthMismatch`] for mis-sized operands.
     pub fn evaluate(&self, inputs: &[Word]) -> Result<Vec<Word>, GateError> {
-        self.check_inputs(inputs)?;
-        let mut values: Vec<Word> = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let v = match *node {
-                Node::Input(k) => inputs[k],
-                Node::Constant(w) => w,
-                Node::Maj3(a, b, c) => {
-                    let (a, b, c) = (values[a.0], values[b.0], values[c.0]);
-                    Word::from_bits(
-                        (a.bits() & b.bits()) | (a.bits() & c.bits()) | (b.bits() & c.bits()),
-                        self.width,
-                    )?
-                }
-                Node::Xor2(a, b) => {
-                    Word::from_bits(values[a.0].bits() ^ values[b.0].bits(), self.width)?
-                }
-                Node::Not(a) => values[a.0].not(),
-            };
-            values.push(v);
-        }
-        Ok(self.outputs.iter().map(|id| values[id.0]).collect())
+        let sets = [inputs.to_vec()];
+        let mut outputs = self.evaluate_batch(&sets)?;
+        Ok(outputs.pop().expect("one set in, one set out"))
     }
 
     /// Evaluates the circuit in the boolean reference semantics for
@@ -592,7 +675,24 @@ impl Circuit {
     ///
     /// Same conditions as [`Circuit::evaluate`], per set.
     pub fn evaluate_batch(&self, sets: &[Vec<Word>]) -> Result<Vec<Vec<Word>>, GateError> {
-        sets.iter().map(|set| self.evaluate(set)).collect()
+        let width = self.width;
+        self.run_engine(sets, |shape, batch| {
+            batch
+                .iter()
+                .map(|set| {
+                    let w = set.words();
+                    match shape {
+                        GateShape::Maj3 => Word::from_bits(
+                            (w[0].bits() & w[1].bits())
+                                | (w[0].bits() & w[2].bits())
+                                | (w[1].bits() & w[2].bits()),
+                            width,
+                        ),
+                        GateShape::Xor2 => Word::from_bits(w[0].bits() ^ w[1].bits(), width),
+                    }
+                })
+                .collect()
+        })
     }
 
     /// Evaluates the circuit with every MAJ/XOR node routed through a
@@ -664,6 +764,30 @@ impl Circuit {
                 actual: dispatcher.width(),
             });
         }
+        self.run_engine(sets, |shape, batch| {
+            Ok(dispatcher
+                .dispatch(shape, batch)?
+                .into_iter()
+                .map(|out| out.word())
+                .collect())
+        })
+    }
+
+    /// The one circuit-walk engine every `evaluate_*` entry point
+    /// shares, parameterized by how a per-node batch of gate operands
+    /// turns into output words: the boolean reference semantics
+    /// computes them bitwise, the physical paths hand them to a
+    /// [`GateDispatcher`] (inline bank, serving scheduler), and a
+    /// compiled plan's executor replays the same node order through
+    /// scheduler tickets.
+    ///
+    /// The walk is node-major: each MAJ/XOR node evaluates *all* sets
+    /// as one batch, free nodes (inputs, constants, inversions) resolve
+    /// in place.
+    fn run_engine<F>(&self, sets: &[Vec<Word>], mut eval: F) -> Result<Vec<Vec<Word>>, GateError>
+    where
+        F: FnMut(GateShape, &[OperandSet]) -> Result<Vec<Word>, GateError>,
+    {
         for set in sets {
             self.check_inputs(set)?;
         }
@@ -693,9 +817,9 @@ impl Circuit {
                     batch.extend(values.iter().map(|per_set| {
                         OperandSet::new(vec![per_set[a.0], per_set[b.0], per_set[c.0]])
                     }));
-                    let outs = dispatcher.dispatch(GateShape::Maj3, &batch)?;
+                    let outs = eval(GateShape::Maj3, &batch)?;
                     for (per_set, out) in values.iter_mut().zip(outs) {
-                        per_set.push(out.word());
+                        per_set.push(out);
                     }
                 }
                 Node::Xor2(a, b) => {
@@ -705,9 +829,9 @@ impl Circuit {
                             .iter()
                             .map(|per_set| OperandSet::new(vec![per_set[a.0], per_set[b.0]])),
                     );
-                    let outs = dispatcher.dispatch(GateShape::Xor2, &batch)?;
+                    let outs = eval(GateShape::Xor2, &batch)?;
                     for (per_set, out) in values.iter_mut().zip(outs) {
-                        per_set.push(out.word());
+                        per_set.push(out);
                     }
                 }
             }
@@ -1002,13 +1126,78 @@ mod tests {
                 let band_high = base + (width as f64 - 1.0) * step;
                 let next_base = fdm_lane_base(lane + 1, width);
                 assert!(
-                    next_base - band_high >= 2.0 * step - 1.0,
+                    next_base - band_high >= fdm_lane_guard_band(width) - 1.0,
                     "lane {lane} (w{width}) must keep a two-step guard band"
                 );
             }
         }
         assert_eq!(fdm_lane_base(0, 8), 10.0e9);
         assert_eq!(fdm_lane_base(1, 8), 100.0e9);
+        assert_eq!(fdm_lane_guard_band(8), 20.0e9);
+    }
+
+    #[test]
+    fn fdm_lane_grid_survives_real_channel_plans() {
+        // The arithmetic above is what the grid promises; what a placer
+        // actually packs are built ChannelPlans — verify the promise
+        // survives construction (band edges, overlap predicate, guard
+        // band) for every width class of the packed grid.
+        use magnon_core::channel::{ChannelPlan, DispersionModel};
+        use magnon_physics::waveguide::Waveguide;
+        let guide = Waveguide::paper_default().unwrap();
+        for width in [4usize, 8, 12] {
+            let step = packed_frequency_step(width);
+            let plans: Vec<ChannelPlan> = (0u16..3)
+                .map(|lane| {
+                    ChannelPlan::uniform(
+                        &guide,
+                        DispersionModel::Exchange,
+                        width,
+                        fdm_lane_base(lane, width),
+                        step,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            for (i, a) in plans.iter().enumerate() {
+                for b in &plans[i + 1..] {
+                    assert!(!a.overlaps(b), "w{width}: lane bands must stay disjoint");
+                    assert!(
+                        a.guard_band_to(b) >= fdm_lane_guard_band(width) - 1.0,
+                        "w{width}: built plans must keep the two-step guard band"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_accessors_expose_the_ir() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let x = c.xor2(a, b).unwrap();
+        let m = c.maj3(a, b, x).unwrap();
+        let n = c.not(m).unwrap();
+        c.mark_output(n).unwrap();
+        assert_eq!(c.node_count(), 5);
+        assert_eq!(a.index(), 0);
+        assert_eq!(n.index(), 4);
+        let kinds = c.node_kinds();
+        assert_eq!(kinds.len(), 5);
+        assert_eq!(kinds[0], NodeKind::Input { index: 0 });
+        assert_eq!(kinds[2], NodeKind::Xor2(a, b));
+        assert_eq!(kinds[2].gate_shape(), Some(GateShape::Xor2));
+        assert_eq!(kinds[3].operands(), vec![a, b, x]);
+        assert_eq!(kinds[4].gate_shape(), None);
+        assert_eq!(kinds[4].operands(), vec![m]);
+        assert!(c.node_kind(NodeId(99)).is_none());
+        // Operands always precede their consumers in node_ids order.
+        for (i, kind) in kinds.iter().enumerate() {
+            for op in kind.operands() {
+                assert!(op.index() < i);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Levelization: topological wavefronts with ASAP scheduling.
+//!
+//! Every gate node (MAJ-3, XOR-2) is assigned the earliest level its
+//! operands allow: `level = 1 + max(level of operand gates)`, with
+//! free nodes (inputs, constants, inverted readouts) passing their
+//! producers' level through unchanged. Gates of independent subgraphs
+//! therefore share levels — the concurrency the placer spreads across
+//! `(waveguide, lane)` slots and the pipelined executor exploits
+//! across shards.
+
+use magnon_circuits::netlist::{Circuit, NodeId};
+
+/// The wavefront decomposition of a circuit.
+#[derive(Debug, Clone)]
+pub struct Levelized {
+    levels: Vec<Vec<NodeId>>,
+    node_level: Vec<Option<usize>>,
+}
+
+impl Levelized {
+    /// Gate nodes per wavefront, earliest first. Every node in a level
+    /// depends only on nodes of strictly earlier levels (or on free
+    /// nodes), so a whole level can be in flight at once.
+    pub fn levels(&self) -> &[Vec<NodeId>] {
+        &self.levels
+    }
+
+    /// Number of wavefronts — the circuit's gate depth.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The widest wavefront — the concurrency demand placement sizes
+    /// its slot table for.
+    pub fn max_level_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The wavefront index of gate node `id` (`None` for free nodes
+    /// and foreign handles).
+    pub fn level_of(&self, id: NodeId) -> Option<usize> {
+        self.node_level.get(id.index()).copied().flatten()
+    }
+}
+
+/// Computes ASAP wavefronts for `circuit`.
+pub fn levelize(circuit: &Circuit) -> Levelized {
+    let kinds = circuit.node_kinds();
+    // Logical depth of every node: gates sit one past their deepest
+    // operand, free nodes inherit it.
+    let mut depth = vec![0usize; kinds.len()];
+    let mut levels: Vec<Vec<NodeId>> = Vec::new();
+    let mut node_level = vec![None; kinds.len()];
+    for (id, kind) in circuit.node_ids().zip(&kinds) {
+        let operand_depth = kind
+            .operands()
+            .iter()
+            .map(|op| depth[op.index()])
+            .max()
+            .unwrap_or(0);
+        if kind.gate_shape().is_some() {
+            let d = operand_depth + 1;
+            depth[id.index()] = d;
+            if levels.len() < d {
+                levels.resize_with(d, Vec::new);
+            }
+            levels[d - 1].push(id);
+            node_level[id.index()] = Some(d - 1);
+        } else {
+            depth[id.index()] = operand_depth;
+        }
+    }
+    Levelized { levels, node_level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_subgraphs_share_levels() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let x = c.input();
+        let y = c.input();
+        // Subgraph 1: a chain of two XORs. Subgraph 2: one XOR.
+        let p = c.xor2(a, b).unwrap();
+        let q = c.xor2(p, a).unwrap();
+        let r = c.xor2(x, y).unwrap();
+        c.mark_output(q).unwrap();
+        c.mark_output(r).unwrap();
+        let lv = levelize(&c);
+        assert_eq!(lv.depth(), 2);
+        // ASAP puts the independent r next to p, not after the chain.
+        assert_eq!(lv.levels()[0], vec![p, r]);
+        assert_eq!(lv.levels()[1], vec![q]);
+        assert_eq!(lv.max_level_width(), 2);
+        assert_eq!(lv.level_of(q), Some(1));
+        assert_eq!(lv.level_of(a), None);
+    }
+
+    #[test]
+    fn free_nodes_pass_depth_through() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let x = c.xor2(a, b).unwrap();
+        let n = c.not(x).unwrap();
+        // The NOT is free: the consumer still sits one level past x.
+        let m = c.maj3(n, a, b).unwrap();
+        c.mark_output(m).unwrap();
+        let lv = levelize(&c);
+        assert_eq!(lv.level_of(x), Some(0));
+        assert_eq!(lv.level_of(n), None);
+        assert_eq!(lv.level_of(m), Some(1));
+    }
+
+    #[test]
+    fn gateless_circuits_have_no_levels() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        c.mark_output(a).unwrap();
+        let lv = levelize(&c);
+        assert_eq!(lv.depth(), 0);
+        assert_eq!(lv.max_level_width(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! The emitted plan: everything an executor needs to run a circuit
+//! through a serving scheduler.
+
+use crate::levelize::Levelized;
+use crate::place::{Placement, SlotSpec};
+use crate::validate::ValidationReport;
+use magnon_circuits::netlist::{Circuit, GateCounts, NodeId};
+
+/// Compile-time facts about a plan, aggregated across the passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileReport {
+    /// Word width every wire carries.
+    pub width: usize,
+    /// Gate population of the circuit.
+    pub gate_counts: GateCounts,
+    /// Number of ASAP wavefronts (gate depth).
+    pub depth: usize,
+    /// Widest wavefront — the concurrency the slot table was sized for.
+    pub max_level_width: usize,
+    /// Slots in the plan's `(waveguide, lane)` table.
+    pub slot_count: usize,
+    /// Distinct waveguides the plan claims (FDM stacking makes this
+    /// smaller than `slot_count` whenever isolation allows).
+    pub waveguides_used: usize,
+    /// Lanes stacked per waveguide.
+    pub lanes_per_waveguide: u16,
+    /// Smallest spectral gap (Hz) between co-resident lanes; infinite
+    /// without lane sharing.
+    pub min_guard_band: f64,
+    /// Worst inter-lane isolation (dB); infinite without lane sharing.
+    pub isolation_db: f64,
+    /// Longest consecutive-majority run the validator probed.
+    pub maj_chain_depth: usize,
+    /// Worst-case cascade amplitude at that depth (`1.0` when no probe
+    /// ran).
+    pub cascade_min_amplitude: f64,
+}
+
+/// An executable plan: the circuit, its wavefronts, and the slot table
+/// its gate nodes were placed onto.
+///
+/// Produced by [`crate::compile`]; executed by the `magnon-serve`
+/// crate's pipelined executor, which registers one MAJ-3/XOR-2 gate
+/// pair per [`SlotSpec`] and submits each node's request the moment
+/// its operands complete.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    circuit: Circuit,
+    levelized: Levelized,
+    placement: Placement,
+    report: CompileReport,
+}
+
+impl CompiledCircuit {
+    /// Assembles the plan from the passes' outputs (the **emit** step).
+    pub(crate) fn emit(
+        circuit: Circuit,
+        validation: ValidationReport,
+        levelized: Levelized,
+        placement: Placement,
+    ) -> Self {
+        let report = CompileReport {
+            width: validation.width,
+            gate_counts: validation.gate_counts,
+            depth: levelized.depth(),
+            max_level_width: levelized.max_level_width(),
+            slot_count: placement.slots().len(),
+            waveguides_used: placement.waveguides_used(),
+            lanes_per_waveguide: placement.lanes_per_waveguide(),
+            min_guard_band: placement.min_guard_band(),
+            isolation_db: placement.isolation_db(),
+            maj_chain_depth: validation.maj_chain_depth,
+            cascade_min_amplitude: validation.cascade_min_amplitude,
+        };
+        CompiledCircuit {
+            circuit,
+            levelized,
+            placement,
+            report,
+        }
+    }
+
+    /// The compiled netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Gate nodes per ASAP wavefront, earliest first.
+    pub fn levels(&self) -> &[Vec<NodeId>] {
+        self.levelized.levels()
+    }
+
+    /// The wavefront index of gate node `id`.
+    pub fn level_of(&self, id: NodeId) -> Option<usize> {
+        self.levelized.level_of(id)
+    }
+
+    /// The `(waveguide, lane)` slot table.
+    pub fn slots(&self) -> &[SlotSpec] {
+        self.placement.slots()
+    }
+
+    /// The slot gate node `id` executes on (`None` for free nodes).
+    pub fn slot_of(&self, id: NodeId) -> Option<usize> {
+        self.placement.slot_of(id)
+    }
+
+    /// Compile-time facts about the plan.
+    pub fn report(&self) -> &CompileReport {
+        &self.report
+    }
+}

@@ -1,0 +1,238 @@
+//! Validation: widths, the FDM lane grid, and cascade feasibility.
+//!
+//! The validator answers three questions before any placement work
+//! happens:
+//!
+//! * does the circuit's word width fit a buildable channel plan on the
+//!   target waveguide (one probe gate on the packed grid)?
+//! * does the [`fdm_lane_base`] grid the placer packs into actually
+//!   keep its bands disjoint with the promised guard band, for every
+//!   lane the configuration may use?
+//! * if the circuit's majority gates were chained *without*
+//!   re-transduction (the paper's §III cascade option, modelled by
+//!   [`magnon_core::cascade`]), would the weakest vote still arrive
+//!   with usable amplitude after the deepest MAJ chain?
+
+use crate::{CompileError, CompilerConfig};
+use magnon_circuits::netlist::{
+    fdm_lane_base, fdm_lane_guard_band, packed_frequency_step, Circuit, GateCounts, NodeKind,
+};
+use magnon_core::cascade::Cascade;
+use magnon_core::channel::{ChannelPlan, DispersionModel};
+use magnon_core::gate::ParallelGateBuilder;
+use magnon_core::truth::LogicFunction;
+use magnon_physics::waveguide::Waveguide;
+
+/// What the validation pass established about a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Word width every wire carries.
+    pub width: usize,
+    /// Gate population of the circuit.
+    pub gate_counts: GateCounts,
+    /// Longest run of consecutive majority gates (inversions are
+    /// transparent; XORs, inputs and constants break the run) — the
+    /// depth the cascade probe is run at.
+    pub maj_chain_depth: usize,
+    /// Worst per-channel output amplitude of the cascade probe (units
+    /// of one nominal source wave); `1.0` when no chain of two or more
+    /// majority stages exists.
+    pub cascade_min_amplitude: f64,
+    /// Guard band (Hz) the lane grid keeps between consecutive lanes at
+    /// this width.
+    pub lane_grid_guard_band: f64,
+    /// How many lanes of the grid were probed as buildable on the
+    /// target waveguide (bounded by the configuration's lane cap).
+    pub buildable_lanes: u16,
+}
+
+/// Runs the validation pass.
+///
+/// # Errors
+///
+/// * [`CompileError::Validation`] — no outputs, an unusable lane grid,
+///   or a cascade-infeasible majority chain.
+/// * [`CompileError::Gate`] — the width/waveguide combination cannot
+///   build a gate at all.
+pub fn validate(
+    circuit: &Circuit,
+    waveguide: &Waveguide,
+    config: &CompilerConfig,
+) -> Result<ValidationReport, CompileError> {
+    if circuit.outputs().is_empty() {
+        return Err(CompileError::Validation {
+            reason: "the circuit marks no outputs — nothing to execute".into(),
+        });
+    }
+    let width = circuit.width();
+    let step = packed_frequency_step(width);
+
+    // Width probe: one majority gate on lane 0 of the packed grid. Its
+    // plan and layout double as the cascade geometry below.
+    let probe = ParallelGateBuilder::new(*waveguide)
+        .channels(width)
+        .inputs(3)
+        .function(LogicFunction::Majority)
+        .frequency_step(step)
+        .build()?;
+
+    // Lane-grid check: every lane the placer may use must build a
+    // disjoint plan with the grid's guard band. Lanes beyond what the
+    // dispersion window supports simply cap the buildable count — the
+    // placer will not climb past them.
+    let guard = fdm_lane_guard_band(width);
+    let mut plans: Vec<ChannelPlan> = Vec::new();
+    for lane in 0..config.max_lanes_per_waveguide {
+        let Ok(plan) = ChannelPlan::uniform(
+            waveguide,
+            DispersionModel::Exchange,
+            width,
+            fdm_lane_base(lane, width),
+            step,
+        ) else {
+            break;
+        };
+        plans.push(plan);
+    }
+    if plans.is_empty() {
+        return Err(CompileError::Validation {
+            reason: format!("lane 0 of the w{width} grid is not buildable on this waveguide"),
+        });
+    }
+    for (i, a) in plans.iter().enumerate() {
+        for (j, b) in plans.iter().enumerate().skip(i + 1) {
+            if a.overlaps(b) {
+                return Err(CompileError::Validation {
+                    reason: format!("grid lanes {i} and {j} overlap at width {width}"),
+                });
+            }
+            if a.guard_band_to(b) < guard - 1.0 {
+                return Err(CompileError::Validation {
+                    reason: format!(
+                        "grid lanes {i} and {j} keep only {:.2} GHz of guard band \
+                         (the w{width} grid promises {:.2} GHz)",
+                        a.guard_band_to(b) / 1e9,
+                        guard / 1e9,
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cascade feasibility: run the weakest-vote chain (a 2-1 split into
+    // stage 0, then a cancelling fresh pair per stage, so the carried
+    // wave alone decides every later vote while propagation decay eats
+    // it) over the deepest consecutive-MAJ run of the circuit.
+    let maj_chain_depth = longest_maj_chain(circuit);
+    let cascade_min_amplitude = if maj_chain_depth >= 2 {
+        let gaps = vec![1usize; width];
+        let cascade = Cascade::new(probe.channel_plan(), probe.layout(), &gaps)?;
+        let first = vec![vec![true; width], vec![false; width], vec![false; width]];
+        let later = vec![vec![vec![true; width], vec![false; width]]; maj_chain_depth - 1];
+        let analysis = cascade.run(&first, &later)?;
+        let min = analysis
+            .min_amplitude_per_stage()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        if min < config.min_cascade_amplitude {
+            return Err(CompileError::Validation {
+                reason: format!(
+                    "a {maj_chain_depth}-deep majority cascade decays the weakest vote to \
+                     {min:.2e} source amplitudes (< {:.2e}) — the chain is not cascade-feasible \
+                     without re-transduction",
+                    config.min_cascade_amplitude,
+                ),
+            });
+        }
+        min
+    } else {
+        1.0
+    };
+
+    Ok(ValidationReport {
+        width,
+        gate_counts: circuit.gate_counts(),
+        maj_chain_depth,
+        cascade_min_amplitude,
+        lane_grid_guard_band: guard,
+        buildable_lanes: plans.len() as u16,
+    })
+}
+
+/// Longest run of consecutive majority gates. Inversions are
+/// transparent (free detector placements carry the wave through);
+/// anything else re-transduces and resets the run.
+fn longest_maj_chain(circuit: &Circuit) -> usize {
+    let kinds = circuit.node_kinds();
+    let mut run = vec![0usize; kinds.len()];
+    let mut longest = 0;
+    for (id, kind) in circuit.node_ids().zip(&kinds) {
+        let carried = |op: &magnon_circuits::netlist::NodeId| run[op.index()];
+        run[id.index()] = match kind {
+            NodeKind::Maj3(..) => 1 + kind.operands().iter().map(carried).max().unwrap_or(0),
+            NodeKind::Not(a) => run[a.index()],
+            _ => 0,
+        };
+        longest = longest.max(run[id.index()]);
+    }
+    longest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maj_chain_sees_through_inversions_and_resets_on_xor() {
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let d = c.input();
+        let m1 = c.maj3(a, b, d).unwrap();
+        let n = c.not(m1).unwrap();
+        let m2 = c.maj3(n, a, b).unwrap();
+        let x = c.xor2(m2, a).unwrap();
+        let m3 = c.maj3(x, a, b).unwrap();
+        c.mark_output(m3).unwrap();
+        // m1 -> not -> m2 is a run of 2; the XOR resets, m3 restarts at 1.
+        assert_eq!(longest_maj_chain(&c), 2);
+    }
+
+    #[test]
+    fn shallow_circuits_skip_the_cascade_probe() {
+        let guide = Waveguide::paper_default().unwrap();
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let x = c.xor2(a, b).unwrap();
+        c.mark_output(x).unwrap();
+        let report = validate(&c, &guide, &CompilerConfig::default()).unwrap();
+        assert_eq!(report.maj_chain_depth, 0);
+        assert_eq!(report.cascade_min_amplitude, 1.0);
+        assert!(report.buildable_lanes >= 1);
+        assert_eq!(report.lane_grid_guard_band, fdm_lane_guard_band(8));
+    }
+
+    #[test]
+    fn deep_maj_chains_report_their_cascade_amplitude() {
+        let guide = Waveguide::paper_default().unwrap();
+        let mut c = Circuit::new(8).unwrap();
+        let a = c.input();
+        let b = c.input();
+        let d = c.input();
+        let mut m = c.maj3(a, b, d).unwrap();
+        for _ in 0..5 {
+            m = c.maj3(m, a, b).unwrap();
+        }
+        c.mark_output(m).unwrap();
+        let report = validate(&c, &guide, &CompilerConfig::default()).unwrap();
+        assert_eq!(report.maj_chain_depth, 6);
+        assert!(report.cascade_min_amplitude.is_finite());
+        assert!(report.cascade_min_amplitude > 0.0);
+        assert!(
+            report.cascade_min_amplitude < 1.5,
+            "a carried weak vote cannot exceed its source amplitude by much: {}",
+            report.cascade_min_amplitude
+        );
+    }
+}

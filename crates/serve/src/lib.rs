@@ -23,6 +23,12 @@
 //! * [`ScheduledBank`] — plugs the scheduler into circuit evaluation
 //!   ([`magnon_circuits::netlist::GateDispatcher`]), so adders, ALUs
 //!   and parity trees ride the same coalescing;
+//! * [`CircuitExecutor`] — runs compiled circuit plans
+//!   ([`magnon_compiler::CompiledCircuit`]) through the scheduler with
+//!   dependency-aware pipelined submission: each gate node's request
+//!   goes out the moment its operands complete, so independent
+//!   subgraphs (and different operand sets) interleave across shards
+//!   instead of marching level by level;
 //! * **LUT persistence** — with [`ServeConfig::lut_dir`] set, cached
 //!   backends save their truth-table LUTs on
 //!   [`Scheduler::shutdown`] and reload them on
@@ -70,12 +76,14 @@
 
 pub mod dispatch;
 pub mod error;
+pub mod pipeline;
 pub mod request;
 pub mod scheduler;
 pub mod telemetry;
 
 pub use dispatch::ScheduledBank;
 pub use error::ServeError;
+pub use pipeline::{register_compiled, CircuitExecutor, CompiledGates};
 pub use request::{GateId, SchedulerStats, Ticket};
 pub use scheduler::{Scheduler, SchedulerBuilder, ServeConfig, ShutdownReport};
 pub use telemetry::{AdaptiveConfig, LaneTelemetry, ShardTelemetry, TelemetrySnapshot};

@@ -112,8 +112,16 @@
 //! across gates sharing a [`core::gate::WaveguideId`]), and cached
 //! truth-table LUTs persist across restarts. See
 //! `examples/serve_pipeline.rs` and the `serve_throughput` bench.
+//!
+//! Whole netlists compile to scheduler-ready plans with
+//! [`compiler::compile`]: ASAP wavefronts, spectrum-aware FDM
+//! placement onto `(waveguide, lane)` slots, and pipelined execution
+//! through [`serve::CircuitExecutor`] with dependency-aware
+//! submission. See `examples/serve_compiled.rs` and the
+//! `serve_circuit` bench.
 
 pub use magnon_circuits as circuits;
+pub use magnon_compiler as compiler;
 pub use magnon_core as core;
 pub use magnon_cost as cost;
 pub use magnon_math as math;
