@@ -55,6 +55,21 @@ fn bench_batch(c: &mut Criterion) {
             b.iter(|| black_box(cached.evaluate_batch(black_box(&sets)).expect("batch")))
         });
 
+        // Logic-only bit-sliced kernel on an eagerly densified LUT:
+        // 64 operand sets advance per boolean word-op, and no
+        // per-channel analog readouts are materialized.
+        let mut sliced = gate.session(BackendChoice::Cached).expect("session");
+        sliced.warm_all();
+        group.bench_function("sliced_batch_256", |b| {
+            b.iter(|| {
+                black_box(
+                    sliced
+                        .evaluate_batch_logic(black_box(&sets))
+                        .expect("batch"),
+                )
+            })
+        });
+
         group.finish();
     }
 }

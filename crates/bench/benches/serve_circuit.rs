@@ -121,6 +121,7 @@ fn bench_serve_circuit(c: &mut Criterion) {
     );
 
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         workers: 2,
         max_batch: 48,
         linger: Duration::from_micros(300),

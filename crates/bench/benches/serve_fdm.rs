@@ -48,6 +48,7 @@ fn lane_gate(n: usize, lane: u16, waveguide: WaveguideId) -> ParallelGate {
 
 fn scheduler_with(gates: Vec<ParallelGate>) -> (Scheduler, Vec<GateId>) {
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         workers: 2,
         max_batch: BATCH,
         linger: Duration::from_micros(100),

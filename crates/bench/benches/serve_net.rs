@@ -51,6 +51,7 @@ fn scheduler_for(n: usize) -> (Arc<Scheduler>, Vec<GateId>) {
     // Static policies, 2 workers: the serve_throughput comparison
     // configuration.
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         workers: 2,
         max_batch: BATCH,
         linger: Duration::from_micros(100),

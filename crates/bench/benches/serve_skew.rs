@@ -53,6 +53,7 @@ fn gate_with_width(n: usize, waveguide: WaveguideId) -> ParallelGate {
 
 fn scheduler_for(n: usize, adaptive: AdaptiveConfig) -> (Scheduler, Vec<GateId>) {
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         workers: WORKERS,
         max_batch: BATCH,
         linger: Duration::from_micros(100),

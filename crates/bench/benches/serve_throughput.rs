@@ -50,6 +50,7 @@ fn scheduler_for(n: usize, workers: usize) -> (Scheduler, Vec<GateId>) {
     // Static policies: this bench baselines the PR 2 runtime; the
     // adaptive comparison lives in `serve_skew.rs`.
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         workers,
         max_batch: BATCH,
         linger: Duration::from_micros(100),

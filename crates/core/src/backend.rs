@@ -25,6 +25,7 @@
 //! from analytic to cached to micromagnetic evaluation is a one-line
 //! change (see `magnon_circuits::netlist`).
 
+use crate::bitslice::{lane_mask, transpose64};
 use crate::engine::ChannelReadout;
 use crate::error::GateError;
 use crate::gate::{GateOutput, ParallelGate};
@@ -71,6 +72,25 @@ impl From<&[Word]> for OperandSet {
     fn from(words: &[Word]) -> Self {
         OperandSet::new(words.to_vec())
     }
+}
+
+/// Cache-effectiveness counters of a LUT-keeping backend (see
+/// [`SpinWaveBackend::lut_stats`]).
+///
+/// Counters are per backend instance: [`SpinWaveBackend::split`] hands
+/// the shard a warm LUT (including its dense rows) but zeroed
+/// `hits`/`misses`, so a sum over live shard sessions never
+/// double-counts warm-up work already reported by the template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LutStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Entries computed (and memoized) on demand.
+    pub misses: u64,
+    /// Channel rows flattened to the dense bit-sliced form.
+    pub dense_rows: usize,
+    /// Total channel rows (the gate's word width).
+    pub total_rows: usize,
 }
 
 /// The evaluation contract every engine implements.
@@ -137,6 +157,37 @@ pub trait SpinWaveBackend: Send + Sync {
     /// failing set aborts the batch.
     fn evaluate_batch(&mut self, sets: &[OperandSet]) -> Result<Vec<GateOutput>, GateError> {
         sets.iter().map(|set| self.evaluate(set.words())).collect()
+    }
+
+    /// Evaluates many operand sets, returning only the decoded logic
+    /// words — no per-channel readout diagnostics. Responses on the
+    /// wire carry only logic words, so serving drains use this path to
+    /// skip the dominant per-request allocation. The default maps
+    /// [`SpinWaveBackend::evaluate_batch`] and discards the readouts;
+    /// backends with a faster logic-only path override it (the cached
+    /// backend answers straight from its bit-sliced kernel).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWaveBackend::evaluate_batch`].
+    fn evaluate_batch_logic(&mut self, sets: &[OperandSet]) -> Result<Vec<Word>, GateError> {
+        Ok(self
+            .evaluate_batch(sets)?
+            .into_iter()
+            .map(|output| output.word())
+            .collect())
+    }
+
+    /// Eagerly resolves everything this backend can precompute, so
+    /// serving never computes on the hot path — the cached backend
+    /// fills its whole LUT and flattens every row to the dense
+    /// bit-sliced form. A no-op for backends with nothing to warm.
+    fn warm_all(&mut self) {}
+
+    /// Truth-table cache effectiveness counters, when the backend keeps
+    /// a LUT (`None` for engines that compute every request).
+    fn lut_stats(&self) -> Option<LutStats> {
+        None
     }
 }
 
@@ -233,11 +284,105 @@ impl SpinWaveBackend for AnalyticBackend {
         }
         Ok(outputs)
     }
+
+    fn evaluate_batch_logic(&mut self, sets: &[OperandSet]) -> Result<Vec<Word>, GateError> {
+        for set in sets {
+            self.gate.check_inputs(set.words())?;
+        }
+        let prep = self.gate.prep();
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        if workers > 1 && sets.len() > 1 {
+            return sets
+                .par_iter()
+                .map(|set| prep.evaluate_word(set.words()))
+                .collect();
+        }
+        sets.iter()
+            .map(|set| prep.evaluate_word(set.words()))
+            .collect()
+    }
 }
 
 /// Upper bound on the operand count a LUT backend will precompile
 /// (`2^m` entries per channel).
 const MAX_LUT_INPUTS: usize = 16;
+
+/// Operand-count cutoff for the sum-of-products strategy in the sliced
+/// kernel: up to `2^m` minterm word-ops per channel beat 64 per-lane
+/// gathers while `m` stays small; past this the indexed gather loop
+/// (which the compiler can unroll and vectorize) wins.
+const SOP_MAX_INPUTS: usize = 6;
+
+/// A fully resolved channel row flattened for the bit-sliced hot path:
+/// no `Option` anywhere the kernel reads.
+#[derive(Debug, Clone)]
+struct DenseRow {
+    /// Packed decoded logic — bit `combo % 64` of word `combo / 64`.
+    logic: Vec<u64>,
+    /// Combos decoding to 1 (picks the sparser sum-of-products
+    /// polarity).
+    ones: usize,
+    /// `readouts[combo]` — the analog side table full outputs gather
+    /// from.
+    readouts: Vec<ChannelReadout>,
+}
+
+/// The input combination channel `channel` carries for validated
+/// operands: bit `j` = input `j`'s bit on that channel.
+#[inline]
+fn combo_of(inputs: &[Word], channel: usize) -> usize {
+    let mut combo = 0usize;
+    for (j, word) in inputs.iter().enumerate() {
+        combo |= (((word.bits() >> channel) & 1) as usize) << j;
+    }
+    combo
+}
+
+/// All-lanes LUT lookup for one dense channel by sum-of-products: OR
+/// together, for every combo whose LUT bit is set, the AND across
+/// inputs of that combo's (possibly complemented) operand bit-plane —
+/// one boolean word-op chain answers all 64 lanes. The sparser polarity
+/// is iterated: when more than half the combos decode to 1, the zeros
+/// are summed and the result complemented.
+fn sop_lookup(dense: &DenseRow, planes: &[[u64; 64]], channel: usize, mask: u64) -> u64 {
+    let combos = dense.readouts.len();
+    let invert = 2 * dense.ones > combos;
+    let mut acc = 0u64;
+    for combo in 0..combos {
+        let lut_bit = (dense.logic[combo >> 6] >> (combo & 63)) & 1 == 1;
+        if lut_bit == invert {
+            continue;
+        }
+        let mut term = mask;
+        for (j, plane) in planes.iter().enumerate() {
+            let p = plane[channel];
+            term &= if (combo >> j) & 1 == 1 { p } else { !p };
+            if term == 0 {
+                break;
+            }
+        }
+        acc |= term;
+    }
+    if invert {
+        !acc & mask
+    } else {
+        acc
+    }
+}
+
+/// All-lanes LUT lookup for one dense channel by per-lane gather —
+/// branch-free indexed reads of the packed bitset.
+fn gather_lookup(dense: &DenseRow, planes: &[[u64; 64]], channel: usize, lanes: usize) -> u64 {
+    let mut out = 0u64;
+    for s in 0..lanes {
+        let mut combo = 0usize;
+        for (j, plane) in planes.iter().enumerate() {
+            combo |= (((plane[channel] >> s) & 1) as usize) << j;
+        }
+        out |= ((dense.logic[combo >> 6] >> (combo & 63)) & 1) << s;
+    }
+    out
+}
 
 /// A precompiled truth-table backend.
 ///
@@ -246,12 +391,22 @@ const MAX_LUT_INPUTS: usize = 16;
 /// memoized on first use — or all at once via
 /// [`CachedBackend::precompile`] — after which evaluation is a pure
 /// table lookup per channel.
+///
+/// The moment a channel's row is fully resolved it is *densified*:
+/// flattened into a packed logic bitset plus a readout side table (see
+/// `DenseRow`), and batches to dense channels run the bit-sliced kernel
+/// — operand bits of up to 64 sets pack into `u64` lanes and every
+/// boolean op answers all lanes at once (see [`crate::bitslice`]).
 #[derive(Debug, Clone)]
 pub struct CachedBackend {
     gate: ParallelGate,
     /// `lut[channel][combo]` — memoized readout for that input
     /// combination.
     lut: Vec<Vec<Option<ChannelReadout>>>,
+    /// Resolved-entry count per channel row (densify trigger).
+    filled: Vec<usize>,
+    /// Dense form per channel, present once the row is fully resolved.
+    dense: Vec<Option<DenseRow>>,
     hits: u64,
     misses: u64,
 }
@@ -271,30 +426,40 @@ impl CachedBackend {
         }
         // Rows are allocated lazily on first touch: construction stays
         // O(n) even at the 2^16-combination cap.
-        let lut = vec![Vec::new(); gate.word_width()];
+        let n = gate.word_width();
         Ok(CachedBackend {
             gate,
-            lut,
+            lut: vec![Vec::new(); n],
+            filled: vec![0; n],
+            dense: vec![None; n],
             hits: 0,
             misses: 0,
         })
     }
 
-    /// Fills the whole LUT eagerly (`n · 2^m` channel evaluations), so
-    /// serving never computes again.
+    /// Fills the whole LUT eagerly (`n · 2^m` channel evaluations) and
+    /// densifies every row, so serving never computes again and every
+    /// batch runs the bit-sliced kernel.
     pub fn precompile(&mut self) {
         let combos = 1usize << self.gate.input_count();
         for c in 0..self.gate.word_width() {
+            if self.dense[c].is_some() {
+                continue;
+            }
             let row = &mut self.lut[c];
             if row.is_empty() {
                 row.resize(combos, None);
             }
+            let mut filled = self.filled[c];
             for (combo, entry) in row.iter_mut().enumerate() {
                 if entry.is_none() {
                     *entry = Some(self.gate.prep().channel_readout(c, combo));
                     self.misses += 1;
+                    filled += 1;
                 }
             }
+            self.filled[c] = filled;
+            self.densify(c);
         }
     }
 
@@ -308,10 +473,46 @@ impl CachedBackend {
         self.misses
     }
 
+    /// Channel rows currently in the dense bit-sliced form.
+    pub fn dense_rows(&self) -> usize {
+        self.dense.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Flattens a fully resolved row into its dense form: the packed
+    /// logic bitset the sliced kernel reads, the analog side table full
+    /// outputs gather from, and the one-bit population count that picks
+    /// the sum-of-products polarity.
+    fn densify(&mut self, channel: usize) {
+        debug_assert!(self.dense[channel].is_none());
+        let row = &self.lut[channel];
+        let combos = row.len();
+        let mut logic = vec![0u64; combos.div_ceil(64)];
+        let mut readouts = Vec::with_capacity(combos);
+        let mut ones = 0usize;
+        for (combo, entry) in row.iter().enumerate() {
+            let readout = entry.expect("densify requires a fully resolved row");
+            if readout.logic {
+                logic[combo >> 6] |= 1u64 << (combo & 63);
+                ones += 1;
+            }
+            readouts.push(readout);
+        }
+        self.dense[channel] = Some(DenseRow {
+            logic,
+            ones,
+            readouts,
+        });
+    }
+
     fn channel_readout(&mut self, channel: usize, combo: usize) -> ChannelReadout {
-        let row = &mut self.lut[channel];
-        if row.is_empty() {
-            row.resize(1usize << self.gate.prep().input_count(), None);
+        if let Some(dense) = &self.dense[channel] {
+            let readout = dense.readouts[combo];
+            self.hits += 1;
+            return readout;
+        }
+        let combos = 1usize << self.gate.prep().input_count();
+        if self.lut[channel].is_empty() {
+            self.lut[channel].resize(combos, None);
         }
         if let Some(readout) = self.lut[channel][combo] {
             self.hits += 1;
@@ -320,20 +521,88 @@ impl CachedBackend {
         let readout = self.gate.prep().channel_readout(channel, combo);
         self.lut[channel][combo] = Some(readout);
         self.misses += 1;
+        self.filled[channel] += 1;
+        if self.filled[channel] == combos {
+            self.densify(channel);
+        }
         readout
     }
 
     fn evaluate_prepared(&mut self, inputs: &[Word]) -> Result<GateOutput, GateError> {
         let n = self.gate.word_width();
-        let mut word = Word::zeros(n)?;
+        let mut bits = 0u64;
         let mut readouts = Vec::with_capacity(n);
         for c in 0..n {
-            let combo = crate::engine::EnginePrep::channel_combo(inputs, c)?;
-            let readout = self.channel_readout(c, combo);
-            word = word.with_bit(c, readout.logic)?;
+            let readout = self.channel_readout(c, combo_of(inputs, c));
+            bits |= (readout.logic as u64) << c;
             readouts.push(readout);
         }
-        Ok(GateOutput::new(word, readouts))
+        Ok(GateOutput::new(Word::from_bits(bits, n)?, readouts))
+    }
+
+    /// Scalar fallback for a channel without a dense row yet: each
+    /// lane's combo resolves through the memoizing analytic path,
+    /// filling the LUT — and densifying the row the moment its last
+    /// combo lands, so later blocks of the same batch re-enter the
+    /// sliced loop.
+    fn resolve_cold_channel(&mut self, channel: usize, planes: &[[u64; 64]], lanes: usize) -> u64 {
+        let mut out = 0u64;
+        for s in 0..lanes {
+            let mut combo = 0usize;
+            for (j, plane) in planes.iter().enumerate() {
+                combo |= (((plane[channel] >> s) & 1) as usize) << j;
+            }
+            out |= (self.channel_readout(channel, combo).logic as u64) << s;
+        }
+        out
+    }
+
+    /// The bit-sliced kernel: evaluates validated operand sets in
+    /// blocks of up to 64 lanes and returns each set's output bit
+    /// pattern.
+    ///
+    /// Per block: pack each operand's words set-major, transpose to
+    /// lane-major bit-planes (`planes[j][c]` bit `s` = set `s`, input
+    /// `j`, channel `c`), answer every dense channel with one
+    /// word-parallel LUT lookup across all lanes, scalar-resolve cold
+    /// channels (memoizing as it goes), then transpose the output
+    /// planes back into per-set words. A ragged tail is just a block
+    /// with fewer lanes — unused lanes are zeroed and masked out.
+    fn sliced_words(&mut self, sets: &[OperandSet]) -> Vec<u64> {
+        let n = self.gate.word_width();
+        let m = self.gate.input_count();
+        let mut out = Vec::with_capacity(sets.len());
+        let mut planes = vec![[0u64; 64]; m];
+        for block in sets.chunks(64) {
+            let lanes = block.len();
+            let mask = lane_mask(lanes);
+            for (j, plane) in planes.iter_mut().enumerate() {
+                for (s, set) in block.iter().enumerate() {
+                    plane[s] = set.words()[j].bits();
+                }
+                plane[lanes..].fill(0);
+                transpose64(plane);
+            }
+            let mut out_planes = [0u64; 64];
+            let mut dense_lookups = 0u64;
+            for (c, out_plane) in out_planes.iter_mut().take(n).enumerate() {
+                *out_plane = if self.dense[c].is_some() {
+                    let dense = self.dense[c].as_ref().expect("checked dense row");
+                    dense_lookups += lanes as u64;
+                    if m <= SOP_MAX_INPUTS {
+                        sop_lookup(dense, &planes, c, mask)
+                    } else {
+                        gather_lookup(dense, &planes, c, lanes)
+                    }
+                } else {
+                    self.resolve_cold_channel(c, &planes, lanes)
+                };
+            }
+            self.hits += dense_lookups;
+            transpose64(&mut out_planes);
+            out.extend_from_slice(&out_planes[..lanes]);
+        }
+        out
     }
 }
 
@@ -346,12 +615,14 @@ impl SpinWaveBackend for CachedBackend {
         &self.gate
     }
 
-    /// The split shard starts with a copy of the warm LUT and fresh
-    /// hit/miss counters.
+    /// The split shard starts with a copy of the warm LUT — dense rows
+    /// included — and fresh hit/miss counters.
     fn split(&self) -> Result<Box<dyn SpinWaveBackend>, GateError> {
         Ok(Box::new(CachedBackend {
             gate: self.gate.clone(),
             lut: self.lut.clone(),
+            filled: self.filled.clone(),
+            dense: self.dense.clone(),
             hits: 0,
             misses: 0,
         }))
@@ -365,18 +636,28 @@ impl SpinWaveBackend for CachedBackend {
         snapshot.matches_gate(&self.gate)?;
         let combos = 1usize << self.gate.input_count();
         let mut imported = 0usize;
-        for (row, snap_row) in self.lut.iter_mut().zip(snapshot.rows()) {
-            if snap_row.is_empty() {
+        let channels = self.lut.len();
+        for (c, snap_row) in snapshot.rows().iter().enumerate().take(channels) {
+            if snap_row.is_empty() || self.dense[c].is_some() {
                 continue;
             }
+            let row = &mut self.lut[c];
             if row.is_empty() {
                 row.resize(combos, None);
             }
+            let mut filled = self.filled[c];
             for (entry, snap_entry) in row.iter_mut().zip(snap_row) {
                 if entry.is_none() && snap_entry.is_some() {
                     *entry = *snap_entry;
                     imported += 1;
+                    filled += 1;
                 }
+            }
+            self.filled[c] = filled;
+            // A snapshot of a fully warmed gate re-enters the dense
+            // form immediately: dense rows persist across restarts.
+            if filled == combos {
+                self.densify(c);
             }
         }
         Ok(imported)
@@ -388,12 +669,54 @@ impl SpinWaveBackend for CachedBackend {
     }
 
     fn evaluate_batch(&mut self, sets: &[OperandSet]) -> Result<Vec<GateOutput>, GateError> {
+        // Validate once up front; everything after runs infallible
+        // prepared paths.
         for set in sets {
             self.gate.check_inputs(set.words())?;
         }
-        sets.iter()
-            .map(|set| self.evaluate_prepared(set.words()))
+        let n = self.gate.word_width();
+        let words = self.sliced_words(sets);
+        // The sliced pass resolved every combo it met, so gathering the
+        // readout side tables below is pure table reads (not counted
+        // again — the kernel already accounted each lookup once).
+        let mut outputs = Vec::with_capacity(sets.len());
+        for (set, bits) in sets.iter().zip(words) {
+            let mut readouts = Vec::with_capacity(n);
+            for c in 0..n {
+                let combo = combo_of(set.words(), c);
+                let readout = match &self.dense[c] {
+                    Some(dense) => dense.readouts[combo],
+                    None => self.lut[c][combo].expect("combo resolved by the sliced pass"),
+                };
+                readouts.push(readout);
+            }
+            outputs.push(GateOutput::new(Word::from_bits(bits, n)?, readouts));
+        }
+        Ok(outputs)
+    }
+
+    fn evaluate_batch_logic(&mut self, sets: &[OperandSet]) -> Result<Vec<Word>, GateError> {
+        for set in sets {
+            self.gate.check_inputs(set.words())?;
+        }
+        let n = self.gate.word_width();
+        self.sliced_words(sets)
+            .into_iter()
+            .map(|bits| Word::from_bits(bits, n))
             .collect()
+    }
+
+    fn warm_all(&mut self) {
+        self.precompile();
+    }
+
+    fn lut_stats(&self) -> Option<LutStats> {
+        Some(LutStats {
+            hits: self.hits,
+            misses: self.misses,
+            dense_rows: self.dense_rows(),
+            total_rows: self.gate.word_width(),
+        })
     }
 }
 
@@ -543,6 +866,32 @@ impl GateSession {
         Ok(outputs)
     }
 
+    /// Streams a batch through the backend's logic-only path: bare
+    /// output words, no per-channel readout diagnostics (see
+    /// [`SpinWaveBackend::evaluate_batch_logic`]). This is the serving
+    /// drain's hot path — responses on the wire only carry logic words.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpinWaveBackend::evaluate_batch`].
+    pub fn evaluate_batch_logic(&mut self, sets: &[OperandSet]) -> Result<Vec<Word>, GateError> {
+        let words = self.backend.evaluate_batch_logic(sets)?;
+        self.sets_evaluated += words.len() as u64;
+        Ok(words)
+    }
+
+    /// Eagerly warms the backend — the cached backend fills and
+    /// densifies its whole LUT (see [`SpinWaveBackend::warm_all`]).
+    pub fn warm_all(&mut self) {
+        self.backend.warm_all();
+    }
+
+    /// The backend's LUT effectiveness counters, when it keeps one (see
+    /// [`SpinWaveBackend::lut_stats`]).
+    pub fn lut_stats(&self) -> Option<LutStats> {
+        self.backend.lut_stats()
+    }
+
     /// Evaluates a batch of tagged requests, echoing each caller tag on
     /// its result.
     ///
@@ -659,6 +1008,27 @@ pub fn evaluate_fdm_batch(lanes: &mut [LaneBatch<'_>]) -> Result<Vec<Vec<GateOut
     lanes
         .iter_mut()
         .map(|lane| lane.session.evaluate_batch(lane.sets))
+        .collect()
+}
+
+/// The logic-only variant of [`evaluate_fdm_batch`]: identical
+/// validation and lane semantics, but each lane answers bare output
+/// words (no readout diagnostics) through
+/// [`GateSession::evaluate_batch_logic`] — per-lane batches ride the
+/// bit-sliced kernel when the lane's backend is cached.
+///
+/// # Errors
+///
+/// Same conditions as [`evaluate_fdm_batch`].
+pub fn evaluate_fdm_batch_logic(lanes: &mut [LaneBatch<'_>]) -> Result<Vec<Vec<Word>>, GateError> {
+    for lane in lanes.iter() {
+        for set in lane.sets {
+            lane.session.gate().check_inputs(set.words())?;
+        }
+    }
+    lanes
+        .iter_mut()
+        .map(|lane| lane.session.evaluate_batch_logic(lane.sets))
         .collect()
 }
 

@@ -1,0 +1,104 @@
+//! Bit-sliced lane packing for word-parallel batch evaluation.
+//!
+//! The paper's gate is data-parallel across *channels*: one excitation
+//! pass answers `n` logic results. The batch hot path adds the
+//! orthogonal axis — data parallelism across *operand sets*. Up to 64
+//! sets form the lanes of a block: lane `s`'s bit for channel `c` and
+//! input `j` is packed into bit `s` of a `u64` plane, after which one
+//! boolean word-op (or one LUT gather) advances all 64 lanes at once.
+//!
+//! The only non-trivial primitive is the 64×64 bit-matrix transpose
+//! that converts between the natural *set-major* layout (one `u64` per
+//! operand word, bit `c` = channel `c`) and the *lane-major* layout the
+//! sliced kernel consumes (one `u64` per channel, bit `s` = set `s`).
+//! [`transpose64`] is the classic recursive block-swap (Hacker's
+//! Delight §7-3, widened to 64): swap the off-diagonal 32×32 blocks,
+//! then the 16×16 blocks inside them, … down to single bits — six
+//! passes of shift/mask/xor over the whole matrix.
+
+/// Transposes a 64×64 bit matrix in place.
+///
+/// Semantics: after the call, bit `k` of `a[i]` equals bit `i` of the
+/// *original* `a[k]`. The transform is an involution — applying it
+/// twice restores the input.
+pub fn transpose64(a: &mut [u64; 64]) {
+    // Hacker's Delight writes this for MSB-first columns; `Word` packs
+    // channel 0 at bit 0 (LSB-first), so the shifts run the other way:
+    // the mask selects the *high* half and narrows from there.
+    let mut j = 32usize;
+    let mut m: u64 = 0xFFFF_FFFF_0000_0000;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k + j] << j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t >> j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m >> j;
+    }
+}
+
+/// The lane-occupancy mask for a block of `lanes` sets: bits
+/// `0..lanes` set. `lanes` must be in `1..=64`.
+pub fn lane_mask(lanes: usize) -> u64 {
+    debug_assert!((1..=64).contains(&lanes));
+    if lanes >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bit(x: u64, i: usize) -> bool {
+        (x >> i) & 1 == 1
+    }
+
+    #[test]
+    fn transpose_swaps_rows_and_columns() {
+        let mut a = [0u64; 64];
+        for (k, row) in a.iter_mut().enumerate() {
+            // An asymmetric, dense-ish pattern.
+            *row = (k as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(k as u32);
+        }
+        let original = a;
+        transpose64(&mut a);
+        for (k, &orig_row) in original.iter().enumerate() {
+            for (i, &new_row) in a.iter().enumerate() {
+                assert_eq!(
+                    bit(new_row, k),
+                    bit(orig_row, i),
+                    "element ({k},{i}) not transposed"
+                );
+            }
+        }
+        // Involution.
+        transpose64(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn transpose_identity_is_fixed_point() {
+        let mut a = [0u64; 64];
+        for (k, row) in a.iter_mut().enumerate() {
+            *row = 1u64 << k;
+        }
+        let original = a;
+        transpose64(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn lane_masks() {
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(7), 0x7F);
+        assert_eq!(lane_mask(64), u64::MAX);
+    }
+}

@@ -342,6 +342,25 @@ impl EnginePrep {
         Ok(combo)
     }
 
+    /// Evaluates every channel for one operand set, returning only the
+    /// decoded word — the logic-only hot path skips the readout
+    /// allocation entirely. Operand shape must already be validated
+    /// against the gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates word construction errors (cannot occur for validated
+    /// operands).
+    pub(crate) fn evaluate_word(&self, inputs: &[Word]) -> Result<Word, GateError> {
+        let n = self.channel_count();
+        let mut bits = 0u64;
+        for c in 0..n {
+            let readout = self.channel_readout(c, Self::channel_combo(inputs, c)?);
+            bits |= (readout.logic as u64) << c;
+        }
+        Word::from_bits(bits, n)
+    }
+
     /// Evaluates every channel for one operand set. Operand shape must
     /// already be validated against the gate.
     ///

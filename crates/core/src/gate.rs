@@ -582,6 +582,18 @@ impl GateOutput {
         GateOutput { word, readouts }
     }
 
+    /// Wraps a bare decoded word as a logic-only output: `readouts()`
+    /// answers an empty slice. Serving runtimes reply with these when
+    /// callers only consume logic words (see `magnon-serve`'s
+    /// `keep_readouts`), skipping the per-channel diagnostics
+    /// allocation.
+    pub fn logic_only(word: Word) -> Self {
+        GateOutput {
+            word,
+            readouts: Vec::new(),
+        }
+    }
+
     /// The decoded output word.
     pub fn word(&self) -> Word {
         self.word

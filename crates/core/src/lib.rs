@@ -84,6 +84,7 @@
 //! ```
 
 pub mod backend;
+pub mod bitslice;
 pub mod cascade;
 pub mod channel;
 pub mod crosstalk;
@@ -105,8 +106,8 @@ pub use error::GateError;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::backend::{
-        AnalyticBackend, BackendChoice, CachedBackend, GateSession, MicromagBackend, OperandSet,
-        SpinWaveBackend,
+        AnalyticBackend, BackendChoice, CachedBackend, GateSession, LutStats, MicromagBackend,
+        OperandSet, SpinWaveBackend,
     };
     pub use crate::channel::{ChannelPlan, FrequencyChannel};
     pub use crate::encoding::ReadoutMode;

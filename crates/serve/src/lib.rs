@@ -100,6 +100,7 @@ mod tests {
 
     fn quick_config(workers: usize) -> ServeConfig {
         ServeConfig {
+            keep_readouts: false,
             workers,
             max_batch: 64,
             linger: Duration::from_micros(100),
@@ -273,6 +274,7 @@ mod tests {
     fn coalescing_shows_up_in_stats_under_batched_load() {
         let gate = byte_majority();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             linger: Duration::from_millis(2),
             ..quick_config(1)
         });
@@ -328,6 +330,7 @@ mod tests {
     fn try_submit_reports_a_full_queue() {
         let gate = byte_majority();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 1,
             max_batch: 4,
             linger: Duration::from_millis(50),
@@ -366,6 +369,7 @@ mod tests {
         // holds: queue_depth in the channel plus max_batch mid-collection.
         let gate = byte_majority();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 1,
             max_batch: 1,
             linger: Duration::ZERO,
@@ -412,6 +416,7 @@ mod tests {
     fn zero_max_batch_is_rejected_at_build() {
         let gate = byte_majority();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             max_batch: 0,
             ..quick_config(1)
         });
@@ -430,6 +435,7 @@ mod tests {
     fn inverted_adaptive_linger_bounds_are_rejected_at_build() {
         let gate = byte_majority();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             adaptive: AdaptiveConfig {
                 min_linger: Duration::from_millis(5),
                 max_linger: Duration::from_micros(5),
@@ -447,6 +453,7 @@ mod tests {
     fn static_placement_spreads_even_waveguide_ids_over_two_shards() {
         let guide = Waveguide::paper_default().unwrap();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             adaptive: AdaptiveConfig::off(),
             ..quick_config(2)
         });
@@ -485,6 +492,7 @@ mod tests {
         let guide = Waveguide::paper_default().unwrap();
         // Waveguides 0 and 4 statically hash to the same shard of 2.
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 2,
             adaptive: AdaptiveConfig {
                 rebalance: true,
@@ -550,6 +558,7 @@ mod tests {
         // gates can only come from multi-lane FDM stacking.
         let guide = Waveguide::paper_default().unwrap();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 1,
             max_batch: 64,
             linger: Duration::from_millis(2),
@@ -688,6 +697,7 @@ mod tests {
         // lane must keep the old per-gate batches (no stacked pass).
         let guide = Waveguide::paper_default().unwrap();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 1,
             linger: Duration::from_millis(2),
             ..quick_config(1)
@@ -727,6 +737,7 @@ mod tests {
     fn deep_drains_fuse_compatible_gates_across_waveguides() {
         let guide = Waveguide::paper_default().unwrap();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 1,
             max_batch: 64,
             linger: Duration::from_millis(2),
@@ -779,6 +790,7 @@ mod tests {
     fn incompatible_gates_never_fuse() {
         let guide = Waveguide::paper_default().unwrap();
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 1,
             max_batch: 64,
             linger: Duration::from_millis(2),
@@ -833,6 +845,7 @@ mod tests {
         let gate = byte_majority();
         let base = Duration::from_micros(400);
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 1,
             max_batch: 64,
             linger: base,

@@ -90,7 +90,9 @@ use crate::error::ServeError;
 use crate::request::{EvalJob, GateId, SchedulerStats, SharedStats, Ticket};
 use crate::telemetry::{AdaptiveConfig, Telemetry, TelemetrySnapshot};
 use magnon_circuits::netlist::{fdm_lane_base, packed_frequency_step};
-use magnon_core::backend::{evaluate_fdm_batch, BackendChoice, GateSession, LaneBatch, OperandSet};
+use magnon_core::backend::{
+    evaluate_fdm_batch, evaluate_fdm_batch_logic, BackendChoice, GateSession, LaneBatch, OperandSet,
+};
 use magnon_core::gate::{GateOutput, LaneId, ParallelGate, ParallelGateBuilder, WaveguideId};
 use magnon_core::lut_store::{load_lut, save_lut, LutSnapshot};
 use magnon_core::truth::LogicFunction;
@@ -133,6 +135,14 @@ pub struct ServeConfig {
     /// rebalancing, cross-waveguide fusion). [`AdaptiveConfig::off`]
     /// reproduces the static runtime.
     pub adaptive: AdaptiveConfig,
+    /// Keep per-channel analog readouts on batched replies. Off by
+    /// default: responses on the wire only carry logic words, so drains
+    /// answer through the logic-only path
+    /// ([`GateOutput::logic_only`] — `readouts()` comes back empty),
+    /// skipping the dominant per-request allocation and riding the
+    /// cached backend's bit-sliced kernel. Turn on for callers that
+    /// read amplitude/phase diagnostics off their tickets.
+    pub keep_readouts: bool,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +154,7 @@ impl Default for ServeConfig {
             queue_depth: 1024,
             lut_dir: None,
             adaptive: AdaptiveConfig::default(),
+            keep_readouts: false,
         }
     }
 }
@@ -466,6 +477,7 @@ impl SchedulerBuilder {
                 linger: config.linger,
                 max_batch: config.max_batch,
                 policy: config.adaptive.clone(),
+                keep_readouts: config.keep_readouts,
                 stats: Arc::clone(&stats),
                 telemetry: Arc::clone(&telemetry),
             };
@@ -563,6 +575,9 @@ struct Worker {
     linger: Duration,
     max_batch: usize,
     policy: AdaptiveConfig,
+    /// Answer batched replies with full analog readouts instead of the
+    /// logic-only fast path (see [`ServeConfig::keep_readouts`]).
+    keep_readouts: bool,
     stats: Arc<SharedStats>,
     telemetry: Arc<Telemetry>,
 }
@@ -757,6 +772,29 @@ impl Worker {
             self.serve_group(group);
         }
         self.stats.record_drain(drained, batches, gates_touched);
+        self.publish_lut_stats();
+    }
+
+    /// Republishes this shard's LUT effectiveness gauge: the summed
+    /// hit/miss/dense-row counters of every live cached session. Runs
+    /// once per drain, off the per-request path.
+    fn publish_lut_stats(&self) {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut dense_rows = 0u64;
+        let mut any = false;
+        for session in self.sessions.iter().flatten() {
+            if let Some(stats) = session.lut_stats() {
+                hits += stats.hits;
+                misses += stats.misses;
+                dense_rows += stats.dense_rows as u64;
+                any = true;
+            }
+        }
+        if any {
+            self.telemetry
+                .publish_lut(self.shard, hits, misses, dense_rows);
+        }
     }
 
     /// Serves one whole-waveguide multi-lane pass: each group is one
@@ -813,7 +851,16 @@ impl Worker {
                 sets: lane_sets,
             })
             .collect();
-        let attempt = evaluate_fdm_batch(&mut lane_batches);
+        let attempt = if self.keep_readouts {
+            evaluate_fdm_batch(&mut lane_batches)
+        } else {
+            evaluate_fdm_batch_logic(&mut lane_batches).map(|lanes| {
+                lanes
+                    .into_iter()
+                    .map(|words| words.into_iter().map(GateOutput::logic_only).collect())
+                    .collect()
+            })
+        };
         drop(lane_batches);
         for (&lead, session) in leads.iter().zip(sessions) {
             self.sessions[lead] = Some(session);
@@ -887,8 +934,12 @@ impl Worker {
             sets.push(job.set);
             replies.push((job.gate, job.tag, job.reply));
         }
+        let keep_readouts = self.keep_readouts;
         let attempt = match self.session_for(lead) {
-            Ok(session) => session.evaluate_batch(&sets),
+            Ok(session) if keep_readouts => session.evaluate_batch(&sets),
+            Ok(session) => session
+                .evaluate_batch_logic(&sets)
+                .map(|words| words.into_iter().map(GateOutput::logic_only).collect()),
             Err(e) => Err(e),
         };
         match attempt {
@@ -1232,6 +1283,7 @@ mod tests {
             linger: Duration::from_micros(50),
             max_batch,
             policy: AdaptiveConfig::off(),
+            keep_readouts: false,
             stats: Arc::new(SharedStats::default()),
             telemetry: Arc::new(Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)])),
         };
@@ -1320,6 +1372,7 @@ mod tests {
             std::env::temp_dir().join(format!("magnon_panic_shutdown_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             workers: 2,
             lut_dir: Some(dir.clone()),
             adaptive: AdaptiveConfig::off(),

@@ -127,6 +127,14 @@ struct ShardCounters {
     fdm_lanes: AtomicU64,
     /// The worker's current adaptive linger window, in nanoseconds.
     linger_ns: AtomicU64,
+    /// LUT lookups answered from memory, summed over the shard's live
+    /// cached sessions (a gauge the worker republishes after each
+    /// drain).
+    lut_hits: AtomicU64,
+    /// LUT entries computed on demand by those sessions.
+    lut_misses: AtomicU64,
+    /// Channel rows in the dense bit-sliced form across those sessions.
+    lut_dense_rows: AtomicU64,
 }
 
 /// Per-lane routing state: where traffic for one `(waveguide, lane)`
@@ -228,6 +236,21 @@ impl Telemetry {
         );
     }
 
+    /// Publishes a shard's LUT effectiveness gauge: the sums of
+    /// hit/miss/dense-row counters over the shard's live cached
+    /// sessions. Stored, not accumulated — each session's counters are
+    /// already cumulative, and sessions stay resident on their shard
+    /// once split, so the summed gauge never goes backwards. (A
+    /// rebalanced gate splits a *fresh-countered* session on its new
+    /// shard while the old shard keeps its session and its counts; see
+    /// `LutStats` in `magnon-core` for the split semantics.)
+    pub fn publish_lut(&self, shard: usize, hits: u64, misses: u64, dense_rows: u64) {
+        let counters = &self.shards[shard];
+        counters.lut_hits.store(hits, Ordering::Relaxed);
+        counters.lut_misses.store(misses, Ordering::Relaxed);
+        counters.lut_dense_rows.store(dense_rows, Ordering::Relaxed);
+    }
+
     /// Accounts one multi-lane FDM pass on `shard` that coalesced
     /// `lanes` frequency lanes into a single stacked batch.
     pub fn record_fdm_pass(&self, shard: usize, lanes: u64) {
@@ -321,6 +344,9 @@ impl Telemetry {
                     fdm_passes: s.fdm_passes.load(Ordering::Relaxed),
                     fdm_lanes: s.fdm_lanes.load(Ordering::Relaxed),
                     linger: Duration::from_nanos(s.linger_ns.load(Ordering::Relaxed)),
+                    lut_hits: s.lut_hits.load(Ordering::Relaxed),
+                    lut_misses: s.lut_misses.load(Ordering::Relaxed),
+                    lut_dense_rows: s.lut_dense_rows.load(Ordering::Relaxed),
                 })
                 .collect(),
             lanes: self
@@ -369,6 +395,19 @@ impl TelemetrySnapshot {
             max as f64 / min as f64
         }
     }
+
+    /// Fraction of LUT lookups answered from memory across all shards
+    /// (1.0 when every lookup hit; `None` before any cached session
+    /// reported).
+    pub fn lut_hit_rate(&self) -> Option<f64> {
+        let hits: u64 = self.shards.iter().map(|s| s.lut_hits).sum();
+        let misses: u64 = self.shards.iter().map(|s| s.lut_misses).sum();
+        if hits + misses == 0 {
+            None
+        } else {
+            Some(hits as f64 / (hits + misses) as f64)
+        }
+    }
 }
 
 /// One shard's counters inside a [`TelemetrySnapshot`].
@@ -391,6 +430,17 @@ pub struct ShardTelemetry {
     /// The worker's current linger window (zero until the worker first
     /// publishes, or when adaptive linger is off).
     pub linger: Duration,
+    /// LUT lookups answered from memory, summed over the shard's live
+    /// cached sessions (republished after every drain). Cumulative
+    /// across rebalances: a moved gate splits a fresh-countered session
+    /// on its new shard while the old shard keeps its own, so neither
+    /// gauge resets nor double-counts.
+    pub lut_hits: u64,
+    /// LUT entries computed on demand by those sessions.
+    pub lut_misses: u64,
+    /// Channel rows flattened to the dense bit-sliced form across those
+    /// sessions — `n · live cached sessions` once fully warm.
+    pub lut_dense_rows: u64,
 }
 
 /// One frequency lane's routing state inside a [`TelemetrySnapshot`].
@@ -582,6 +632,21 @@ mod tests {
         assert_eq!(snap.lanes[0].served, 3);
         assert_eq!(snap.lanes[1].served, 2);
         assert_eq!(snap.lanes[0].id, snap.lanes[1].id, "one waveguide");
+    }
+
+    #[test]
+    fn lut_gauges_are_republished_not_accumulated() {
+        let telemetry = Telemetry::new(2, vec![(WaveguideId(0), LaneId(0), 0)]);
+        assert_eq!(telemetry.snapshot().lut_hit_rate(), None);
+        telemetry.publish_lut(0, 96, 32, 8);
+        telemetry.publish_lut(0, 224, 32, 8); // next drain republishes the new sums
+        telemetry.publish_lut(1, 64, 0, 8);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.shards[0].lut_hits, 224);
+        assert_eq!(snap.shards[0].lut_misses, 32);
+        assert_eq!(snap.shards[0].lut_dense_rows, 8);
+        assert_eq!(snap.shards[1].lut_hits, 64);
+        assert_eq!(snap.lut_hit_rate(), Some(288.0 / 320.0));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 fn quick_config(workers: usize) -> ServeConfig {
     ServeConfig {
+        keep_readouts: false,
         workers,
         max_batch: 64,
         linger: Duration::from_micros(50),
@@ -172,6 +173,7 @@ proptest! {
                 .unwrap(),
         );
         let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
             workers,
             max_batch: 32,
             linger: Duration::from_micros(50),
@@ -306,6 +308,7 @@ proptest! {
             }
         }
         let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
             linger: Duration::from_micros(200),
             ..quick_config(workers)
         });
@@ -432,6 +435,7 @@ fn shutdown_then_restart_roundtrips_the_lut() {
 
     // Cold run: serve, then persist at shutdown.
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         lut_dir: Some(dir.clone()),
         ..quick_config(2)
     });
@@ -453,6 +457,7 @@ fn shutdown_then_restart_roundtrips_the_lut() {
 
     // Warm restart: entries load, outputs are identical.
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         lut_dir: Some(dir.clone()),
         ..quick_config(2)
     });
@@ -485,6 +490,7 @@ fn corrupted_or_mismatched_lut_files_are_rejected_at_build() {
 
     // Produce a valid file first.
     let mut builder = SchedulerBuilder::new(ServeConfig {
+        keep_readouts: false,
         lut_dir: Some(dir.clone()),
         ..quick_config(1)
     });
@@ -510,6 +516,7 @@ fn corrupted_or_mismatched_lut_files_are_rejected_at_build() {
 
     let rebuild = |dir: std::path::PathBuf, gate: ParallelGate| {
         let mut builder = SchedulerBuilder::new(ServeConfig {
+            keep_readouts: false,
             lut_dir: Some(dir),
             ..quick_config(1)
         });
