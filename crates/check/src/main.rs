@@ -1,0 +1,247 @@
+//! `magnon-check` — run the concurrency model checker from the shell.
+//!
+//! ```text
+//! RUSTFLAGS="--cfg mcheck" cargo run -p magnon-check --release -- --seeds 2000
+//! RUSTFLAGS="--cfg mcheck" cargo run -p magnon-check --release -- \
+//!     --scenario serve-exactly-once --replay-seed 1234
+//! ```
+//!
+//! Without the `mcheck` cfg the binary only explains how to enable the
+//! instrumentation (the façade is plain `std`, so there is nothing to
+//! schedule).
+
+#[cfg(not(mcheck))]
+fn main() {
+    eprintln!(
+        "magnon-check: this build has no model-check instrumentation.\n\
+         Rebuild with the mcheck cfg to turn the sync façade into shims:\n\n    \
+         RUSTFLAGS=\"--cfg mcheck\" cargo run -p magnon-check --release -- --seeds 2000\n"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(mcheck)]
+fn main() {
+    std::process::exit(mcheck_main::run());
+}
+
+#[cfg(mcheck)]
+mod mcheck_main {
+    use magnon_check::{explore, explore_bounded, replay, scenarios, ExploreConfig, ReplayToken};
+
+    struct Args {
+        seeds: u64,
+        seed_start: u64,
+        preempt: u8,
+        step_limit: u64,
+        scenario: Option<String>,
+        replay_seed: Option<u64>,
+        bounded: Option<usize>,
+        max_runs: u64,
+        self_test: bool,
+    }
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: magnon-check [--scenario NAME] [--seeds N] [--seed-start N] [--preempt PCT]\n\
+             \x20                   [--step-limit N] [--replay-seed SEED] [--bounded PREEMPTIONS]\n\
+             \x20                   [--max-runs N] [--self-test] [--list]\n\n\
+             Default: explore every registered scenario over N random seeds.\n\
+             --replay-seed reruns one schedule (requires --scenario).\n\
+             --bounded runs the bounded-preemption exhaustive mode instead of seeds.\n\
+             --self-test verifies the checker finds a planted racy-counter bug."
+        );
+        std::process::exit(2);
+    }
+
+    fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+        match value.and_then(|v| v.parse().ok()) {
+            Some(v) => v,
+            None => {
+                eprintln!("magnon-check: {flag} needs a valid value");
+                usage()
+            }
+        }
+    }
+
+    fn parse_args() -> Args {
+        let mut args = Args {
+            seeds: 1000,
+            seed_start: 0,
+            preempt: 25,
+            step_limit: 200_000,
+            scenario: None,
+            replay_seed: None,
+            bounded: None,
+            max_runs: 20_000,
+            self_test: false,
+        };
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            match flag.as_str() {
+                "--seeds" => args.seeds = parse(&flag, argv.next()),
+                "--seed-start" => args.seed_start = parse(&flag, argv.next()),
+                "--preempt" => args.preempt = parse(&flag, argv.next()),
+                "--step-limit" => args.step_limit = parse(&flag, argv.next()),
+                "--scenario" => args.scenario = Some(argv.next().unwrap_or_else(|| usage())),
+                "--replay-seed" => args.replay_seed = Some(parse(&flag, argv.next())),
+                "--bounded" => args.bounded = Some(parse(&flag, argv.next())),
+                "--max-runs" => args.max_runs = parse(&flag, argv.next()),
+                "--self-test" => args.self_test = true,
+                "--list" => {
+                    for (name, _) in scenarios::all() {
+                        println!("{name}");
+                    }
+                    std::process::exit(0);
+                }
+                _ => usage(),
+            }
+        }
+        args
+    }
+
+    fn selected(args: &Args) -> Vec<(&'static str, fn())> {
+        match &args.scenario {
+            None => scenarios::all().to_vec(),
+            Some(name) => match scenarios::by_name(name) {
+                Some(body) => {
+                    let entry = scenarios::all()
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .expect("by_name hit implies registry entry");
+                    vec![(entry.0, body)]
+                }
+                None => {
+                    eprintln!(
+                        "magnon-check: unknown scenario `{name}` (--list shows the registry)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    pub fn run() -> i32 {
+        let args = parse_args();
+
+        if args.self_test {
+            return self_test(&args);
+        }
+
+        if let Some(seed) = args.replay_seed {
+            let Some(name) = args.scenario.as_deref() else {
+                eprintln!("magnon-check: --replay-seed needs --scenario");
+                usage()
+            };
+            let Some(body) = scenarios::by_name(name) else {
+                eprintln!("magnon-check: unknown scenario `{name}`");
+                std::process::exit(2);
+            };
+            let token = ReplayToken::Seed {
+                seed,
+                preempt_percent: args.preempt,
+            };
+            let outcome = scenarios::with_quiet_panics(|| replay(body, &token, args.step_limit));
+            println!("replay: scenario `{name}`, {token}");
+            println!("schedule hash: {:#018x}", outcome.trace.schedule_hash());
+            println!("steps: {}", outcome.steps);
+            print!("{}", outcome.trace.render());
+            return match (&outcome.failure, &outcome.root_panic) {
+                (None, None) => {
+                    println!("outcome: clean");
+                    0
+                }
+                (failure, panic) => {
+                    if let Some(f) = failure {
+                        println!("outcome: {f}");
+                    }
+                    if let Some(p) = panic {
+                        println!("root panic: {p}");
+                    }
+                    1
+                }
+            };
+        }
+
+        let mut exit = 0;
+        for (name, body) in selected(&args) {
+            let report = scenarios::with_quiet_panics(|| {
+                if let Some(preemptions) = args.bounded {
+                    explore_bounded(body, preemptions, args.step_limit, args.max_runs)
+                } else {
+                    explore(
+                        body,
+                        &ExploreConfig {
+                            seeds: args.seed_start..args.seed_start + args.seeds,
+                            preempt_percent: args.preempt,
+                            step_limit: args.step_limit,
+                        },
+                    )
+                }
+            });
+            println!(
+                "scenario `{name}`: {} runs, {} distinct interleavings",
+                report.runs, report.distinct_schedules
+            );
+            if let Some(failure) = &report.failure {
+                exit = 1;
+                println!("  FAILED — replay with {}", failure.token);
+                println!("  {}", failure.message);
+                println!("  schedule hash {:#018x}", failure.schedule_hash);
+                if let ReplayToken::Seed { seed, .. } = failure.token {
+                    println!(
+                        "  rerun: RUSTFLAGS=\"--cfg mcheck\" cargo run -p magnon-check --release \
+                         -- --scenario {name} --replay-seed {seed} --preempt {}",
+                        args.preempt
+                    );
+                }
+            }
+        }
+        exit
+    }
+
+    /// Proves the checker actually explores: the planted racy-counter
+    /// bug must be found within the seed budget, and the failing seed
+    /// must replay to the identical schedule.
+    fn self_test(args: &Args) -> i32 {
+        let report = scenarios::with_quiet_panics(|| {
+            explore(
+                scenarios::racy_counter,
+                &ExploreConfig {
+                    seeds: args.seed_start..args.seed_start + args.seeds,
+                    preempt_percent: args.preempt,
+                    step_limit: args.step_limit,
+                },
+            )
+        });
+        match report.failure {
+            Some(failure) => {
+                let outcome = scenarios::with_quiet_panics(|| {
+                    replay(scenarios::racy_counter, &failure.token, args.step_limit)
+                });
+                let replay_hash = outcome.trace.schedule_hash();
+                if outcome.trace.render() == failure.trace && replay_hash == failure.schedule_hash {
+                    println!(
+                        "self-test: planted bug found after {} runs ({}), replay byte-identical",
+                        report.runs, failure.token
+                    );
+                    0
+                } else {
+                    println!(
+                        "self-test: FAILED — replay diverged from the recorded trace \
+                         ({:#018x} vs {:#018x})",
+                        replay_hash, failure.schedule_hash
+                    );
+                    1
+                }
+            }
+            None => {
+                println!(
+                    "self-test: FAILED — the planted racy-counter bug survived {} runs",
+                    report.runs
+                );
+                1
+            }
+        }
+    }
+}

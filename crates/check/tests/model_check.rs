@@ -1,0 +1,145 @@
+//! Model-checker integration tests.
+//!
+//! Run with the instrumentation on, in release (explorations are many
+//! thousands of runs):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg mcheck" cargo test -p magnon-check --release
+//! ```
+//!
+//! Without `--cfg mcheck` only the cfg-reporting test compiles — the
+//! rest of this file needs the instrumented façade.
+
+#[test]
+fn enabled_reports_the_build_cfg() {
+    assert_eq!(magnon_check::enabled(), cfg!(mcheck));
+}
+
+#[cfg(mcheck)]
+mod mcheck_tests {
+    use magnon_check::scenarios::{self, with_quiet_panics};
+    use magnon_check::{explore, explore_bounded, replay, ExploreConfig, ReplayToken};
+
+    fn config(seeds: std::ops::Range<u64>) -> ExploreConfig {
+        ExploreConfig {
+            seeds,
+            preempt_percent: 25,
+            step_limit: 200_000,
+        }
+    }
+
+    /// The checker's reason to exist: a planted lost-update bug (racy
+    /// load-then-store) must be FOUND within a modest seed budget. The
+    /// run-to-block default schedule hides it; only real interleaving
+    /// exploration exposes it.
+    #[test]
+    fn finds_the_planted_racy_counter_bug() {
+        let report = with_quiet_panics(|| explore(scenarios::racy_counter, &config(0..200)));
+        let failure = report
+            .failure
+            .expect("the planted racy-counter bug must be found within 200 seeds");
+        assert!(
+            failure.message.contains("lost update"),
+            "the failure must be the planted assert, got: {}",
+            failure.message
+        );
+    }
+
+    /// A failure's replay token reproduces the exact interleaving: the
+    /// rerendered trace is byte-identical and the schedule hash
+    /// matches, run after run.
+    #[test]
+    fn failing_seed_replays_byte_identical() {
+        let report = with_quiet_panics(|| explore(scenarios::racy_counter, &config(0..200)));
+        let failure = report.failure.expect("planted bug found");
+        for _ in 0..2 {
+            let outcome =
+                with_quiet_panics(|| replay(scenarios::racy_counter, &failure.token, 200_000));
+            assert_eq!(
+                outcome.trace.schedule_hash(),
+                failure.schedule_hash,
+                "replay must take the recorded schedule"
+            );
+            assert_eq!(
+                outcome.trace.render(),
+                failure.trace,
+                "replay must reproduce the trace byte-for-byte"
+            );
+            assert!(
+                outcome.root_panic.is_some(),
+                "replaying the failing schedule must fail again"
+            );
+        }
+    }
+
+    /// The CI smoke scenario (2 shards × 2 waveguides × small batch):
+    /// a broad seed sweep with zero invariant violations. CI drives
+    /// the full ≥10,000-interleaving sweep through the binary; this
+    /// keeps the test suite a faster regression net over the same
+    /// invariants (ticket exactly-once, gauge never negative and
+    /// drains to zero, clean shutdown).
+    #[test]
+    fn serve_smoke_sweep_is_clean() {
+        let report = explore(scenarios::serve_exactly_once, &config(0..2_000));
+        report.assert_clean("serve-exactly-once");
+        assert_eq!(report.runs, 2_000);
+        assert!(
+            report.distinct_schedules >= 1_900,
+            "near-every seed should land a distinct interleaving, got {}",
+            report.distinct_schedules
+        );
+    }
+
+    /// Regression sweep for the submit-path gauge race this PR fixed:
+    /// `note_enqueued` used to run *after* `send`, so a worker could
+    /// drain the job and decrement before the increment landed,
+    /// dipping the raw gauge negative. The smoke scenario samples the
+    /// raw gauge at every interleaving; with the old ordering this
+    /// sweep fails within the first few hundred seeds.
+    #[test]
+    fn queue_gauge_ordering_regression() {
+        let report = explore(scenarios::serve_exactly_once, &config(10_000..10_500));
+        report.assert_clean("serve-exactly-once (gauge regression band)");
+    }
+
+    /// Every registered scenario stays clean over a seed sweep — the
+    /// standing gate for future concurrency PRs.
+    #[test]
+    fn all_scenarios_sweep_clean() {
+        for &(name, body) in scenarios::all() {
+            let report = with_quiet_panics(|| explore(body, &config(0..150)));
+            report.assert_clean(name);
+            assert_eq!(report.runs, 150, "{name} must run every seed");
+        }
+    }
+
+    /// Bounded-preemption exhaustive mode on the smallest scenario:
+    /// the low-preemption schedule space must be fully enumerated
+    /// (the explorer terminates on its own, well under the run cap)
+    /// with zero violations, and cover a nontrivial schedule count.
+    #[test]
+    fn bounded_exhaustive_timeout_scenario_is_clean() {
+        let report = explore_bounded(scenarios::timed_out_ticket_redeems, 2, 200_000, 5_000);
+        report.assert_clean("ticket-timeout-redeem (bounded)");
+        assert!(
+            report.runs > 50 && report.runs < 5_000,
+            "2-preemption space should be enumerated exhaustively below the cap, got {} runs",
+            report.runs
+        );
+    }
+
+    /// Path tokens replay too: rerunning a bounded-mode decision path
+    /// reproduces its schedule hash.
+    #[test]
+    fn path_tokens_replay_deterministically() {
+        let token = ReplayToken::Path(vec![0, 0, 3, 1]);
+        let a = replay(scenarios::timed_out_ticket_redeems, &token, 200_000);
+        let b = replay(scenarios::timed_out_ticket_redeems, &token, 200_000);
+        assert!(
+            a.failure.is_none() && a.root_panic.is_none(),
+            "scenario is clean"
+        );
+        assert_eq!(a.trace.schedule_hash(), b.trace.schedule_hash());
+        assert_eq!(a.trace.render(), b.trace.render());
+    }
+}

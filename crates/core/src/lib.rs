@@ -98,6 +98,7 @@ pub mod lut_store;
 pub mod micromag_bridge;
 pub mod robustness;
 pub mod scalability;
+pub mod sync;
 pub mod truth;
 pub mod word;
 

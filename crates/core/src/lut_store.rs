@@ -339,6 +339,8 @@ pub fn save_lut(path: &Path, snapshot: &LutSnapshot) -> Result<(), GateError> {
 fn tmp_sibling(path: &Path) -> std::path::PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — the counter only needs uniqueness; the names
+    // never race because each caller gets a distinct value.
     let n = SEQ.fetch_add(1, Ordering::Relaxed);
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(format!(".tmp-{}-{n}", std::process::id()));

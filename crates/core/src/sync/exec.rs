@@ -1,0 +1,817 @@
+//! The model-check execution controller (`cfg(mcheck)` only).
+//!
+//! One *execution* runs a closure (the "root task") plus every thread
+//! it spawns through the façade, serialized: a single baton moves
+//! between tasks, and every instrumented sync op is a *yield point*
+//! where a pluggable [`Policy`] decides who runs next. Because only
+//! one task executes between yield points, the whole run is a
+//! deterministic function of the policy — a seeded policy makes every
+//! interleaving replayable, and the recorded [`Trace`] of events is
+//! byte-identical across replays.
+//!
+//! Blocking primitives (channel recv, mutex lock, park, join) never
+//! call into the OS: a task that cannot proceed registers itself as
+//! blocked on a *resource key* and hands the baton over; the op that
+//! unblocks it (send, unlock, unpark, task exit) wakes the waiters.
+//! Timeout-able waits are modeled nondeterministically — the policy
+//! may "fire" the timeout at any yield, advancing the virtual clock to
+//! the waiter's deadline, which is exactly the guarantee real timed
+//! waits give (they return *no earlier* than the deadline, with no
+//! upper bound).
+//!
+//! Failure modes detected here, not by the harness:
+//!
+//! * **deadlock** — every live task is blocked and none can time out;
+//! * **step limit** — the schedule exceeded its step budget (livelock
+//!   or runaway loop);
+//!
+//! either aborts the execution: blocked ops return their disconnected/
+//! poisoned variants so tasks unwind, and the outcome carries the
+//! failure plus the full trace.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Identifies one modeled task within an execution (0 is the root).
+pub type TaskId = usize;
+
+/// Identifies one instrumented object (channel, mutex, atomic, …).
+pub type ObjectId = u64;
+
+/// What a yield point records. Compact by design: the trace of a
+/// deep run has tens of thousands of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The task that performed the op.
+    pub task: TaskId,
+    /// Virtual clock (nanoseconds) when the op ran.
+    pub clock: u64,
+    /// Operation mnemonic (static — see the `op::` constants).
+    pub op: &'static str,
+    /// The object acted on (0 for task-level ops like spawn/exit).
+    pub object: ObjectId,
+    /// Op-specific payload (value stored, task spawned, …).
+    pub aux: u64,
+}
+
+/// Operation mnemonics used in traces.
+pub mod op {
+    pub const ATOMIC_LOAD: &str = "atomic-load";
+    pub const ATOMIC_STORE: &str = "atomic-store";
+    pub const ATOMIC_RMW: &str = "atomic-rmw";
+    pub const LOCK_ACQUIRE: &str = "lock-acquire";
+    pub const LOCK_RELEASE: &str = "lock-release";
+    pub const LOCK_BLOCK: &str = "lock-block";
+    pub const CHAN_SEND: &str = "chan-send";
+    pub const CHAN_RECV: &str = "chan-recv";
+    pub const CHAN_EMPTY: &str = "chan-empty";
+    pub const CHAN_FULL: &str = "chan-full";
+    pub const CHAN_CLOSED: &str = "chan-closed";
+    pub const CHAN_TIMEOUT: &str = "chan-timeout";
+    pub const BLOCK: &str = "block";
+    pub const WAKE: &str = "wake";
+    pub const PARK: &str = "park";
+    pub const UNPARK: &str = "unpark";
+    pub const SPAWN: &str = "spawn";
+    pub const EXIT: &str = "exit";
+    pub const JOIN: &str = "join";
+    pub const SLEEP: &str = "sleep";
+    pub const YIELD: &str = "yield";
+}
+
+/// The full event log of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// The recorded events, in global order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// An order-sensitive hash of the schedule: two runs with the same
+    /// hash took the same interleaving. FNV-1a over every event field.
+    pub fn schedule_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for e in &self.events {
+            eat(e.task as u64);
+            eat(e.op.as_ptr() as usize as u64 ^ e.op.len() as u64);
+            eat(e.object);
+            eat(e.aux);
+        }
+        hash
+    }
+
+    /// Renders the trace one event per line (`seq task clock op object
+    /// aux`) — the byte-identical replay format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(self.events.len() * 32);
+        for (seq, e) in self.events.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{seq:06} t{} @{} {} obj{} {}",
+                e.task, e.clock, e.op, e.object, e.aux
+            );
+        }
+        out
+    }
+}
+
+/// Why an execution failed (panics in the root task surface separately
+/// through [`RunOutcome::root_panic`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every live task was blocked with no timeout-able waiter.
+    Deadlock {
+        /// The tasks that were blocked, with the resource each waited on.
+        blocked: Vec<(TaskId, ObjectId)>,
+    },
+    /// The schedule ran past its step budget.
+    StepLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Deadlock { blocked } => {
+                write!(f, "deadlock: all live tasks blocked (")?;
+                for (i, (task, obj)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "t{task} on obj{obj}")?;
+                }
+                write!(f, ")")
+            }
+            FailureKind::StepLimit { limit } => {
+                write!(f, "step limit exceeded ({limit} yield points) — livelock?")
+            }
+        }
+    }
+}
+
+/// What [`run_execution`] hands back.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The full event log.
+    pub trace: Trace,
+    /// Deadlock / step-limit, when detected.
+    pub failure: Option<FailureKind>,
+    /// The root task's panic payload rendered to a string, if it
+    /// panicked.
+    pub root_panic: Option<String>,
+    /// Yield points executed.
+    pub steps: u64,
+}
+
+/// A scheduling decision at one yield point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Grant the baton to this runnable task.
+    Run(TaskId),
+    /// Fire the pending timeout of this blocked-with-deadline task
+    /// (it resumes with its wait reporting a timeout, and the virtual
+    /// clock jumps to its deadline).
+    FireTimeout(TaskId),
+}
+
+/// What the policy sees at one yield point.
+#[derive(Debug)]
+pub struct ChoicePoint<'a> {
+    /// The task that just yielded (it may or may not still be
+    /// runnable — check membership in `runnable`).
+    pub current: TaskId,
+    /// Tasks that can be granted the baton right now.
+    pub runnable: &'a [TaskId],
+    /// Blocked tasks whose waits carry a deadline (choosing one fires
+    /// its timeout).
+    pub timeoutable: &'a [TaskId],
+}
+
+/// A schedule: decides, at every yield point, which task runs next.
+/// Implementations must be deterministic functions of their own state
+/// for replay to work.
+pub trait Policy: Send {
+    /// Picks the next task. `point.runnable` is never empty when this
+    /// is called together with an empty `timeoutable` — the controller
+    /// reports deadlock itself instead of consulting the policy.
+    fn choose(&mut self, point: &ChoicePoint<'_>) -> Choice;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Runnable,
+    /// Blocked on `key`; `deadline` is the virtual-time bound of a
+    /// timed wait (`None` = may wait forever).
+    Blocked {
+        key: ObjectId,
+        deadline: Option<u64>,
+    },
+    Finished,
+}
+
+struct TaskSlot {
+    state: TaskState,
+    /// Set when the task was resumed by a fired timeout (consumed by
+    /// the blocked op's return path).
+    woke_by_timeout: bool,
+    /// `thread::park` token (an unpark with no parker pending makes
+    /// the next park return immediately — std semantics).
+    park_token: bool,
+}
+
+struct ExecState {
+    tasks: Vec<TaskSlot>,
+    /// Who holds the baton.
+    current: TaskId,
+    policy: Box<dyn Policy>,
+    trace: Trace,
+    clock: u64,
+    steps: u64,
+    step_limit: u64,
+    next_object: ObjectId,
+    failure: Option<FailureKind>,
+    aborted: bool,
+    /// Scratch buffers reused across yield points.
+    runnable_buf: Vec<TaskId>,
+    timeoutable_buf: Vec<TaskId>,
+}
+
+struct Exec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+/// The installed execution, if any. `None` outside `run_execution` —
+/// shim ops then run uninstrumented (single-threaded unit tests of the
+/// façade, static initializers).
+static ACTIVE: Mutex<Option<Arc<Exec>>> = Mutex::new(None);
+
+/// Object ids handed out while no execution is active (not traced, but
+/// must stay unique so debug output is unambiguous).
+static OFFLINE_OBJECTS: AtomicU64 = AtomicU64::new(1 << 62);
+
+/// Fallback epoch for virtual `Instant::now()` outside an execution.
+static OFFLINE_EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+
+thread_local! {
+    /// This OS thread's task id within the active execution, if it is
+    /// a modeled task.
+    static TASK_ID: std::cell::Cell<Option<TaskId>> = const { std::cell::Cell::new(None) };
+}
+
+fn active() -> Option<Arc<Exec>> {
+    ACTIVE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(Arc::clone)
+}
+
+fn current_task() -> Option<TaskId> {
+    TASK_ID.with(|t| t.get())
+}
+
+/// The execution handle shim ops talk to: `None` when this thread is
+/// not a modeled task of an active execution.
+fn context() -> Option<(Arc<Exec>, TaskId)> {
+    let task = current_task()?;
+    let exec = active()?;
+    Some((exec, task))
+}
+
+fn lock_state(exec: &Exec) -> MutexGuard<'_, ExecState> {
+    exec.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ExecState {
+    fn record(&mut self, task: TaskId, op: &'static str, object: ObjectId, aux: u64) {
+        self.trace.events.push(Event {
+            task,
+            clock: self.clock,
+            op,
+            object,
+            aux,
+        });
+    }
+
+    /// Collects the schedulable sets into the scratch buffers.
+    fn collect_enabled(&mut self) {
+        self.runnable_buf.clear();
+        self.timeoutable_buf.clear();
+        for (id, slot) in self.tasks.iter().enumerate() {
+            match slot.state {
+                TaskState::Runnable => self.runnable_buf.push(id),
+                TaskState::Blocked {
+                    deadline: Some(_), ..
+                } => self.timeoutable_buf.push(id),
+                _ => {}
+            }
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.tasks
+            .iter()
+            .all(|t| matches!(t.state, TaskState::Finished))
+    }
+
+    /// Runs one scheduling decision and grants the baton. Returns
+    /// `false` when the execution is over (all finished or aborted).
+    fn schedule(&mut self) -> bool {
+        if self.aborted {
+            return false;
+        }
+        self.steps += 1;
+        self.clock += 1; // every yield point advances virtual time 1 ns
+        if self.steps > self.step_limit && self.failure.is_none() {
+            self.failure = Some(FailureKind::StepLimit {
+                limit: self.step_limit,
+            });
+            self.aborted = true;
+            return false;
+        }
+        self.collect_enabled();
+        if self.runnable_buf.is_empty() && self.timeoutable_buf.is_empty() {
+            if self.all_finished() {
+                return false;
+            }
+            // Deadlock: live tasks exist but nothing can run.
+            let blocked = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter_map(|(id, t)| match t.state {
+                    TaskState::Blocked { key, .. } => Some((id, key)),
+                    _ => None,
+                })
+                .collect();
+            self.failure = Some(FailureKind::Deadlock { blocked });
+            self.aborted = true;
+            return false;
+        }
+        let current = self.current;
+        let runnable = std::mem::take(&mut self.runnable_buf);
+        let timeoutable = std::mem::take(&mut self.timeoutable_buf);
+        let choice = self.policy.choose(&ChoicePoint {
+            current,
+            runnable: &runnable,
+            timeoutable: &timeoutable,
+        });
+        self.runnable_buf = runnable;
+        self.timeoutable_buf = timeoutable;
+        match choice {
+            Choice::Run(next) => {
+                debug_assert!(
+                    matches!(self.tasks[next].state, TaskState::Runnable),
+                    "policy chose non-runnable task {next}"
+                );
+                self.current = next;
+            }
+            Choice::FireTimeout(next) => {
+                let slot = &mut self.tasks[next];
+                if let TaskState::Blocked {
+                    deadline: Some(deadline),
+                    key,
+                } = slot.state
+                {
+                    // Virtual time jumps to the deadline: the wait
+                    // returns no earlier than requested, and later
+                    // `Instant::now()` reads stay consistent.
+                    self.clock = self.clock.max(deadline);
+                    slot.state = TaskState::Runnable;
+                    slot.woke_by_timeout = true;
+                    self.record(next, op::CHAN_TIMEOUT, key, deadline);
+                } else {
+                    debug_assert!(false, "policy fired timeout on non-timed task {next}");
+                }
+                self.current = next;
+            }
+        }
+        true
+    }
+}
+
+/// Ends the execution from inside the state lock: mark aborted (when
+/// `fail` is set), wake every OS thread.
+fn finish(exec: &Exec, state: &mut MutexGuard<'_, ExecState>) {
+    state.aborted = true;
+    exec.cv.notify_all();
+}
+
+/// One yield point: record `ev`, let the policy reschedule, and wait
+/// until this task holds the baton again. No-op when the calling
+/// thread is not a modeled task.
+pub(crate) fn yield_point(op_name: &'static str, object: ObjectId, aux: u64) {
+    let Some((exec, task)) = context() else {
+        return;
+    };
+    let mut state = lock_state(&exec);
+    if state.aborted {
+        return;
+    }
+    state.record(task, op_name, object, aux);
+    if !state.schedule() {
+        finish(&exec, &mut state);
+        return;
+    }
+    if state.current != task {
+        exec.cv.notify_all();
+        while state.current != task && !state.aborted {
+            state = exec.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Blocks the calling task on `key` until [`wake_key`] (or a fired
+/// timeout / abort). `deadline` is virtual-time absolute.
+pub(crate) fn block_on(key: ObjectId, deadline: Option<u64>) -> BlockResult {
+    let Some((exec, task)) = context() else {
+        // No controller: a modeled block outside an execution can
+        // never be woken — fail loudly instead of hanging the tests.
+        panic!(
+            "magnon_core::sync (mcheck): blocking wait on obj{key} outside a model-checked \
+             execution — run the code under magnon_check::explore/replay"
+        );
+    };
+    let mut state = lock_state(&exec);
+    if state.aborted {
+        return BlockResult::Aborted;
+    }
+    state.record(task, op::BLOCK, key, deadline.unwrap_or(0));
+    state.tasks[task].state = TaskState::Blocked { key, deadline };
+    state.tasks[task].woke_by_timeout = false;
+    if !state.schedule() {
+        finish(&exec, &mut state);
+        return BlockResult::Aborted;
+    }
+    exec.cv.notify_all();
+    loop {
+        if state.aborted {
+            return BlockResult::Aborted;
+        }
+        if state.current == task && matches!(state.tasks[task].state, TaskState::Runnable) {
+            break;
+        }
+        state = exec.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+    if std::mem::take(&mut state.tasks[task].woke_by_timeout) {
+        BlockResult::TimedOut
+    } else {
+        BlockResult::Woken
+    }
+}
+
+pub(crate) enum BlockResult {
+    Woken,
+    TimedOut,
+    Aborted,
+}
+
+/// Marks every task blocked on `key` runnable (they compete for the
+/// baton at the next scheduling point — no thundering-herd wake order
+/// to model, the policy decides).
+pub(crate) fn wake_key(key: ObjectId) {
+    let Some((exec, task)) = context() else {
+        return;
+    };
+    let mut state = lock_state(&exec);
+    let mut woke = 0u64;
+    for slot in state.tasks.iter_mut() {
+        if matches!(slot.state, TaskState::Blocked { key: k, .. } if k == key) {
+            slot.state = TaskState::Runnable;
+            slot.woke_by_timeout = false;
+            woke += 1;
+        }
+    }
+    if woke > 0 {
+        state.record(task, op::WAKE, key, woke);
+    }
+}
+
+/// Allocates an id for a new instrumented object.
+pub(crate) fn new_object_id() -> ObjectId {
+    match active() {
+        Some(exec) => {
+            let mut state = lock_state(&exec);
+            state.next_object += 1;
+            state.next_object
+        }
+        // ordering: Relaxed — ids only need uniqueness, there is no
+        // execution to order against in offline mode.
+        None => OFFLINE_OBJECTS.fetch_add(1, Ordering::Relaxed),
+    }
+}
+
+/// Whether the calling thread is a modeled task of an active
+/// execution (shim blocking ops use real std waits otherwise).
+pub(crate) fn modeled() -> bool {
+    context().is_some()
+}
+
+/// The calling thread's task id within the active execution, if any.
+pub(crate) fn current_task_id() -> Option<TaskId> {
+    if active().is_some() {
+        current_task()
+    } else {
+        None
+    }
+}
+
+/// Virtual `Instant::now()` in nanoseconds: the execution clock when
+/// modeled, real monotonic time otherwise.
+pub(crate) fn now_nanos() -> u64 {
+    if let Some((exec, _)) = context() {
+        return lock_state(&exec).clock;
+    }
+    let epoch = OFFLINE_EPOCH.get_or_init(std::time::Instant::now);
+    epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Advances the virtual clock by `nanos` (models `thread::sleep`
+/// without ever blocking: time is the controller's to spend).
+pub(crate) fn advance_clock(nanos: u64) {
+    if let Some((exec, _)) = context() {
+        let mut state = lock_state(&exec);
+        state.clock = state.clock.saturating_add(nanos);
+    }
+}
+
+/// Registers a newly spawned OS thread as a modeled task and parks it
+/// until the controller grants it the baton for the first time.
+/// Returns the new task's id.
+pub(crate) fn register_task() -> Option<TaskId> {
+    let (exec, parent) = context()?;
+    let mut state = lock_state(&exec);
+    let id = state.tasks.len();
+    state.tasks.push(TaskSlot {
+        state: TaskState::Runnable,
+        woke_by_timeout: false,
+        park_token: false,
+    });
+    state.record(parent, op::SPAWN, 0, id as u64);
+    Some(id)
+}
+
+/// Binds the calling OS thread to task `id` and waits for its first
+/// baton grant.
+pub(crate) fn enter_task(id: TaskId) {
+    let Some(exec) = active() else { return };
+    TASK_ID.with(|t| t.set(Some(id)));
+    let mut state = lock_state(&exec);
+    while state.current != id && !state.aborted {
+        state = exec.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Marks the calling task finished and hands the baton on. Safe to
+/// call during unwinding.
+pub(crate) fn exit_task() {
+    let Some((exec, task)) = context() else {
+        return;
+    };
+    TASK_ID.with(|t| t.set(None));
+    let mut state = lock_state(&exec);
+    state.tasks[task].state = TaskState::Finished;
+    state.record(task, op::EXIT, 0, 0);
+    // A join waiting on this task blocks on key = JOIN_KEY_BASE + id.
+    let key = join_key(task);
+    for slot in state.tasks.iter_mut() {
+        if matches!(slot.state, TaskState::Blocked { key: k, .. } if k == key) {
+            slot.state = TaskState::Runnable;
+            slot.woke_by_timeout = false;
+        }
+    }
+    if !state.schedule() {
+        finish(&exec, &mut state);
+        return;
+    }
+    exec.cv.notify_all();
+}
+
+/// The blocking key a joiner of task `id` waits on.
+pub(crate) fn join_key(id: TaskId) -> ObjectId {
+    (1 << 61) + id as u64
+}
+
+/// The park-token key of task `id`.
+pub(crate) fn park_key(id: TaskId) -> ObjectId {
+    (1 << 60) + id as u64
+}
+
+/// Whether task `id` has finished (for `JoinHandle::is_finished` and
+/// join loops).
+pub(crate) fn task_finished(id: TaskId) -> bool {
+    match active() {
+        Some(exec) => matches!(lock_state(&exec).tasks[id].state, TaskState::Finished),
+        None => true,
+    }
+}
+
+/// Takes the calling task's park token, if set.
+pub(crate) fn take_park_token() -> bool {
+    let Some((exec, task)) = context() else {
+        return false;
+    };
+    let mut state = lock_state(&exec);
+    std::mem::take(&mut state.tasks[task].park_token)
+}
+
+/// Sets task `id`'s park token and wakes it if parked.
+pub(crate) fn set_park_token(id: TaskId) {
+    let Some((exec, caller)) = context() else {
+        return;
+    };
+    let mut state = lock_state(&exec);
+    state.tasks[id].park_token = true;
+    state.record(caller, op::UNPARK, park_key(id), 0);
+    let key = park_key(id);
+    for slot in state.tasks.iter_mut() {
+        if matches!(slot.state, TaskState::Blocked { key: k, .. } if k == key) {
+            slot.state = TaskState::Runnable;
+            slot.woke_by_timeout = false;
+        }
+    }
+}
+
+/// The virtual deadline `timeout` from now, for timed waits.
+pub(crate) fn deadline_after(timeout: std::time::Duration) -> Option<u64> {
+    Some(now_nanos().saturating_add(timeout.as_nanos().min(u64::MAX as u128) as u64))
+}
+
+/// Runs `body` as the root task of a fresh execution under `policy`.
+///
+/// The body runs on a dedicated OS thread (so the harness thread can
+/// supervise); every thread it spawns through the façade joins the
+/// execution. Returns once every modeled task finished or the
+/// execution aborted (deadlock/step limit) — aborted executions
+/// release blocked tasks by failing their waits, then wait for the
+/// unwinding threads to exit.
+///
+/// # Panics
+///
+/// Panics when called while another execution is active on this
+/// process (executions are global; serialize them with a harness
+/// lock).
+pub fn run_execution<F>(policy: Box<dyn Policy>, step_limit: u64, body: F) -> RunOutcome
+where
+    F: FnOnce() + Send + 'static,
+{
+    let exec = Arc::new(Exec {
+        state: Mutex::new(ExecState {
+            tasks: vec![TaskSlot {
+                state: TaskState::Runnable,
+                woke_by_timeout: false,
+                park_token: false,
+            }],
+            current: 0,
+            policy,
+            trace: Trace::default(),
+            // Virtual time starts at a fixed origin: replaying a
+            // schedule must reproduce the trace byte-for-byte, clock
+            // column included. (A nonzero origin keeps modeled
+            // Instants away from the zero-underflow edge.)
+            clock: 1_000,
+            steps: 0,
+            step_limit,
+            next_object: 0,
+            failure: None,
+            aborted: false,
+            runnable_buf: Vec::new(),
+            timeoutable_buf: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    {
+        let mut slot = ACTIVE.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            slot.is_none(),
+            "an mcheck execution is already active — serialize explorations"
+        );
+        *slot = Some(Arc::clone(&exec));
+    }
+    let root = std::thread::Builder::new()
+        .name("mcheck-root".into())
+        .spawn({
+            let exec = Arc::clone(&exec);
+            move || {
+                TASK_ID.with(|t| t.set(Some(0)));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+                // Mark finished while still bound to the task so the
+                // trace records the exit.
+                let panic_msg = result.err().map(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic payload>")
+                        .to_string()
+                });
+                TASK_ID.with(|t| t.set(Some(0)));
+                {
+                    let mut state = lock_state(&exec);
+                    state.tasks[0].state = TaskState::Finished;
+                    state.record(0, op::EXIT, 0, 0);
+                    let key = join_key(0);
+                    for slot in state.tasks.iter_mut() {
+                        if matches!(slot.state, TaskState::Blocked { key: k, .. } if k == key) {
+                            slot.state = TaskState::Runnable;
+                            slot.woke_by_timeout = false;
+                        }
+                    }
+                    if !state.schedule() {
+                        finish(&exec, &mut state);
+                    } else {
+                        exec.cv.notify_all();
+                    }
+                }
+                TASK_ID.with(|t| t.set(None));
+                panic_msg
+            }
+        })
+        .expect("spawn mcheck root thread");
+    // Supervise: wait until the execution completes or aborts. The
+    // root thread's join below synchronizes with every modeled task
+    // having exited (tasks the body spawned are joined by the body or
+    // detached — detached tasks keep running until they finish or the
+    // abort releases them; give them a bounded real-time grace).
+    let root_panic = root.join().unwrap_or(Some("<root thread died>".into()));
+    // Wait (bounded) for detached tasks to finish so the next
+    // execution starts clean.
+    let grace = std::time::Instant::now();
+    loop {
+        let state = lock_state(&exec);
+        let live = state
+            .tasks
+            .iter()
+            .any(|t| !matches!(t.state, TaskState::Finished));
+        if !live || state.aborted {
+            break;
+        }
+        drop(state);
+        if grace.elapsed() > std::time::Duration::from_secs(10) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let (trace, failure, steps) = {
+        let mut state = lock_state(&exec);
+        state.aborted = true;
+        exec.cv.notify_all();
+        (
+            std::mem::take(&mut state.trace),
+            state.failure.clone(),
+            state.steps,
+        )
+    };
+    *ACTIVE.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    RunOutcome {
+        trace,
+        failure,
+        root_panic,
+        steps,
+    }
+}
+
+/// Offline (non-modeled) blocking ops need a real condvar per object
+/// so façade code still *works* outside executions (single-threaded
+/// unit tests, incidental uses). Kept in a side table keyed by object
+/// id.
+pub(crate) struct OfflineWaiters {
+    inner: Mutex<Option<HashMap<ObjectId, Arc<Condvar>>>>,
+}
+
+pub(crate) static OFFLINE_WAITERS: OfflineWaiters = OfflineWaiters {
+    inner: Mutex::new(None),
+};
+
+impl OfflineWaiters {
+    pub fn condvar(&self, id: ObjectId) -> Arc<Condvar> {
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.get_or_insert_with(HashMap::new)
+                .entry(id)
+                .or_insert_with(|| Arc::new(Condvar::new())),
+        )
+    }
+
+    pub fn notify(&self, id: ObjectId) {
+        let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cv) = map.as_ref().and_then(|m| m.get(&id)) {
+            cv.notify_all();
+        }
+    }
+}

@@ -24,11 +24,11 @@
 
 use crate::error::NetError;
 use crate::protocol::{write_frame, Frame, FrameReader, GateInfo, NET_VERSION};
+use magnon_core::sync::time::{Duration, Instant};
 use magnon_core::word::Word;
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
 
 /// A gate in the connected server's directory (index into
 /// [`NetClient::gates`]). The index is public — it is just a position

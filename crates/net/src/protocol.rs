@@ -235,16 +235,21 @@ impl Frame {
     ///
     /// [`NetError::Protocol`] for any malformed input.
     pub fn decode(payload: &[u8]) -> Result<Self, NetError> {
-        if payload.len() < 1 + 8 {
+        // Checked splits all the way down: this is the path raw peer
+        // bytes walk, so a malformed frame must become an error value,
+        // never a panicking index.
+        let Some((body, check)) = payload.split_last_chunk::<8>() else {
             return Err(NetError::protocol("frame shorter than type + checksum"));
-        }
-        let (body, check) = payload.split_at(payload.len() - 8);
-        let stored = u64::from_le_bytes(check.try_into().expect("8 bytes"));
+        };
+        let stored = u64::from_le_bytes(*check);
         if stored != fnv1a(body) {
             return Err(NetError::protocol("frame checksum mismatch"));
         }
-        let mut r = Cursor::new(&body[1..]);
-        let frame = match body[0] {
+        let Some((&frame_type, fields)) = body.split_first() else {
+            return Err(NetError::protocol("frame shorter than type + checksum"));
+        };
+        let mut r = Cursor::new(fields);
+        let frame = match frame_type {
             1 => {
                 let magic = r.take(4)?;
                 if magic != NET_MAGIC {
@@ -410,18 +415,20 @@ impl FrameReader {
     ///   decoding failure.
     pub fn read_frame(&mut self, r: &mut impl Read) -> Result<Frame, NetError> {
         loop {
-            if self.frame_len.is_none() && self.buf.len() >= 4 {
-                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
-                if !(MIN_FRAME_BYTES..=MAX_FRAME_BYTES).contains(&len) {
-                    return Err(NetError::protocol(format!(
-                        "frame length {len} outside {MIN_FRAME_BYTES}..={MAX_FRAME_BYTES}"
-                    )));
+            if self.frame_len.is_none() {
+                if let Some(prefix) = self.buf.first_chunk::<4>() {
+                    let len = u32::from_le_bytes(*prefix) as usize;
+                    if !(MIN_FRAME_BYTES..=MAX_FRAME_BYTES).contains(&len) {
+                        return Err(NetError::protocol(format!(
+                            "frame length {len} outside {MIN_FRAME_BYTES}..={MAX_FRAME_BYTES}"
+                        )));
+                    }
+                    self.frame_len = Some(len);
                 }
-                self.frame_len = Some(len);
             }
             if let Some(len) = self.frame_len {
-                if self.buf.len() >= 4 + len {
-                    let frame = Frame::decode(&self.buf[4..4 + len])?;
+                if let Some(payload) = self.buf.get(4..4 + len) {
+                    let frame = Frame::decode(payload)?;
                     self.buf.drain(..4 + len);
                     self.frame_len = None;
                     return Ok(frame);
@@ -443,7 +450,10 @@ impl FrameReader {
                         "connection closed mid-frame (truncated frame)",
                     ));
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                // A conforming `Read` never returns more than the
+                // buffer holds; the checked take keeps a broken one
+                // from panicking this connection's thread.
+                Ok(n) => self.buf.extend_from_slice(chunk.get(..n).unwrap_or(&chunk)),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(NetError::io("read frame", e)),
             }
@@ -457,10 +467,10 @@ fn truncate_utf8(s: &str, max: usize) -> &str {
         return s;
     }
     let mut end = max;
-    while !s.is_char_boundary(end) {
+    while end > 0 && !s.is_char_boundary(end) {
         end -= 1;
     }
-    &s[..end]
+    s.get(..end).unwrap_or("")
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -484,34 +494,41 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
-        if self.pos + n > self.bytes.len() {
-            return Err(NetError::protocol("unexpected end of frame"));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = || NetError::protocol("unexpected end of frame");
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
         Ok(slice)
     }
 
+    /// `take(N)` as a fixed-size array, for the integer decoders. The
+    /// conversion cannot fail after a successful take; the error arm
+    /// exists so the decode path holds no panicking conversions.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], NetError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| NetError::protocol("unexpected end of frame"))
+    }
+
     fn u8(&mut self) -> Result<u8, NetError> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.array::<1>()?;
+        Ok(byte)
     }
 
     fn u16(&mut self) -> Result<u16, NetError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, NetError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, NetError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// A wire word: width byte + bits. Strict — bits above the declared

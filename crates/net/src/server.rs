@@ -26,14 +26,14 @@
 
 use crate::error::{NetError, WireErrorCode};
 use crate::protocol::{write_frame, Frame, FrameReader, GateInfo, NET_VERSION};
+use magnon_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use magnon_core::sync::mpsc::{self, RecvTimeoutError};
+use magnon_core::sync::thread::{self, JoinHandle};
+use magnon_core::sync::time::{Duration, Instant};
+use magnon_core::sync::{Arc, Mutex};
 use magnon_serve::{Scheduler, ServeError, Ticket};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -98,12 +98,16 @@ pub struct NetServerStats {
 impl SharedNetStats {
     fn snapshot(&self) -> NetServerStats {
         NetServerStats {
+            // ordering: Relaxed throughout — point-in-time stats
+            // snapshot; each counter is read independently, nothing
+            // synchronizes through them.
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             submits: self.submits.load(Ordering::Relaxed),
             responses: self.responses.load(Ordering::Relaxed),
             retry_afters: self.retry_afters.load(Ordering::Relaxed),
             request_errors: self.request_errors.load(Ordering::Relaxed),
+            // ordering: Relaxed — same snapshot contract as above.
             timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
@@ -193,7 +197,7 @@ impl NetServer {
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
             let stats = Arc::clone(&stats);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("magnon-net-accept".into())
                 .spawn(move || {
                     accept_loop(
@@ -235,6 +239,9 @@ impl NetServer {
     }
 
     fn stop_and_join(&mut self) {
+        // ordering: Release pairs with the Acquire loads in the accept
+        // and reader loops; whatever the closer wrote before stopping
+        // is visible to a thread that observes the flag.
         self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
@@ -271,6 +278,7 @@ fn accept_loop(
     stats: Arc<SharedNetStats>,
 ) {
     let mut next_conn = 0u64;
+    // ordering: Acquire pairs with the Release store in stop_and_join.
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -281,7 +289,7 @@ fn accept_loop(
                 let stats = Arc::clone(&stats);
                 let conn_id = next_conn;
                 next_conn += 1;
-                let handle = std::thread::Builder::new()
+                let handle = thread::Builder::new()
                     .name(format!("magnon-net-conn-{conn_id}"))
                     .spawn(move || {
                         serve_connection(stream, scheduler, config, hello_ack, stop, stats)
@@ -306,9 +314,9 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(500));
+                thread::sleep(Duration::from_micros(500));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            Err(_) => thread::sleep(Duration::from_millis(1)),
         }
     }
 }
@@ -353,6 +361,7 @@ fn serve_connection(
 
     // Handshake: first frame must be a version-matched hello.
     let hello = loop {
+        // ordering: Acquire pairs with the Release in stop_and_join.
         if stop.load(Ordering::Acquire) {
             return;
         }
@@ -361,6 +370,7 @@ fn serve_connection(
             Err(ref e) if is_timeout(e) => {}
             Err(ref e) if is_eof(e) => return, // probe connect, no bytes
             Err(e) => {
+                // ordering: Relaxed — monotonic stat counter.
                 stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
                 reject(&mut stream, format!("handshake failed: {e}"));
                 return;
@@ -370,6 +380,7 @@ fn serve_connection(
     match hello {
         Frame::Hello { version } if version == NET_VERSION => {}
         Frame::Hello { version } => {
+            // ordering: Relaxed — monotonic stat counter.
             stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
             reject(
                 &mut stream,
@@ -378,6 +389,7 @@ fn serve_connection(
             return;
         }
         other => {
+            // ordering: Relaxed — monotonic stat counter.
             stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
             reject(
                 &mut stream,
@@ -390,6 +402,7 @@ fn serve_connection(
     if stream.write_all(&hello_ack).is_err() {
         return;
     }
+    // ordering: Relaxed — monotonic stat counter.
     stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
 
     // Split the connection: this thread keeps reading, a writer pump
@@ -406,7 +419,7 @@ fn serve_connection(
     let pump = {
         let stats = Arc::clone(&stats);
         let config = config.clone();
-        std::thread::Builder::new()
+        thread::Builder::new()
             .name("magnon-net-writer".into())
             .spawn(move || writer_pump(write_half, out_rx, config, stats))
     };
@@ -416,6 +429,7 @@ fn serve_connection(
     // timeouts, so shutdown is not held hostage by a client that keeps
     // frames flowing.
     loop {
+        // ordering: Acquire pairs with the Release in stop_and_join.
         if stop.load(Ordering::Acquire) {
             break;
         }
@@ -428,6 +442,7 @@ fn serve_connection(
             Err(e) => {
                 // Framing is lost: one diagnostic, then close. The
                 // listener and other connections are unaffected.
+                // ordering: Relaxed — monotonic stat counter.
                 stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
                 let _ = out_tx.send(Outbound::Ready(Frame::Error {
                     tag: 0,
@@ -444,6 +459,7 @@ fn serve_connection(
             operands,
         } = frame
         else {
+            // ordering: Relaxed — monotonic stat counter.
             stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
             let _ = out_tx.send(Outbound::Ready(Frame::Error {
                 tag: 0,
@@ -452,6 +468,8 @@ fn serve_connection(
             }));
             break;
         };
+        // ordering: Relaxed — monotonic stat counters (here and the
+        // error bump below); the scheduler channel is the handoff.
         stats.submits.fetch_add(1, Ordering::Relaxed);
         let Some(id) = scheduler.gate_id(gate as usize) else {
             stats.request_errors.fetch_add(1, Ordering::Relaxed);
@@ -467,6 +485,7 @@ fn serve_connection(
         if let Some(expected) = lane {
             let actual = scheduler.gate(id).map(|g| g.lane_id().0);
             if actual != Some(expected) {
+                // ordering: Relaxed — monotonic stat counter.
                 stats.request_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = out_tx.send(Outbound::Ready(Frame::Error {
                     tag,
@@ -491,6 +510,7 @@ fn serve_connection(
                 }
             }
             Err(ServeError::QueueFull { shard }) => {
+                // ordering: Relaxed — monotonic stat counter.
                 stats.retry_afters.fetch_add(1, Ordering::Relaxed);
                 let _ = out_tx.send(Outbound::Ready(Frame::RetryAfter {
                     tag,
@@ -499,6 +519,7 @@ fn serve_connection(
                 }));
             }
             Err(ServeError::Shutdown) => {
+                // ordering: Relaxed — monotonic stat counter.
                 stats.request_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = out_tx.send(Outbound::Ready(Frame::Error {
                     tag,
@@ -508,6 +529,7 @@ fn serve_connection(
                 break;
             }
             Err(e) => {
+                // ordering: Relaxed — monotonic stat counter.
                 stats.request_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = out_tx.send(Outbound::Ready(Frame::Error {
                     tag,
@@ -558,7 +580,7 @@ fn writer_pump(
             // (recv_timeout on a disconnected channel returns
             // immediately — polling it here would busy-spin and starve
             // the workers producing the very completions we wait for.)
-            std::thread::sleep(config.poll_interval);
+            thread::sleep(config.poll_interval);
         } else {
             // Pull new work. With nothing pending we can block until
             // the reader sends more; otherwise poll so completions
@@ -606,6 +628,9 @@ fn writer_pump(
                     if now < entry.deadline {
                         return true; // still in flight
                     }
+                    // ordering: Relaxed — monotonic stat counters
+                    // (these and the arms below); the ticket channel
+                    // already delivered the result.
                     stats.timeouts.fetch_add(1, Ordering::Relaxed);
                     Frame::Error {
                         tag: entry.tag,
@@ -614,6 +639,7 @@ fn writer_pump(
                     }
                 }
                 Ok(Some(output)) => {
+                    // ordering: Relaxed — monotonic stat counter.
                     stats.responses.fetch_add(1, Ordering::Relaxed);
                     Frame::Response {
                         tag: entry.tag,
@@ -621,6 +647,7 @@ fn writer_pump(
                     }
                 }
                 Err(ServeError::Gate(e)) => {
+                    // ordering: Relaxed — monotonic stat counter.
                     stats.request_errors.fetch_add(1, Ordering::Relaxed);
                     Frame::Error {
                         tag: entry.tag,
@@ -629,6 +656,7 @@ fn writer_pump(
                     }
                 }
                 Err(_) => {
+                    // ordering: Relaxed — monotonic stat counter.
                     stats.request_errors.fetch_add(1, Ordering::Relaxed);
                     Frame::Error {
                         tag: entry.tag,

@@ -361,12 +361,15 @@ mod tests {
 
     #[test]
     fn queue_gauge_stays_bounded_under_blocking_backpressure() {
-        // Regression for the phantom-depth overcount: the per-shard
-        // queued gauge used to be bumped before `send` could block on a
-        // full queue, so every parked submitter showed up as depth for
-        // as long as it stayed blocked. With accounting on successful
-        // enqueue, the gauge can never exceed what the shard actually
-        // holds: queue_depth in the channel plus max_batch mid-collection.
+        // The gauge counts a submission from just before its `send`
+        // (never after: counting post-send races the worker's drain
+        // decrement and can dip the gauge negative — the model
+        // checker's gauge invariant pinned that down). The bound under
+        // backpressure is therefore "everything submitted and not yet
+        // drained": queue_depth in the channel, plus max_batch
+        // mid-collection, plus at most one parked submitter per
+        // submitting thread (here: one). The gauge must also never
+        // read negative and must return to zero once traffic drains.
         let gate = byte_majority();
         let mut builder = SchedulerBuilder::new(ServeConfig {
             keep_readouts: false,
@@ -402,9 +405,9 @@ mod tests {
             }
         });
         assert!(
-            max_seen <= 2,
-            "queued gauge must never count parked submitters \
-             (depth 1 + one mid-collection job allows at most 2, saw {max_seen})"
+            max_seen <= 3,
+            "queued gauge must stay within depth 1 + one mid-collection job \
+             + one parked submitter = 3, saw {max_seen}"
         );
         let stats = scheduler.stats();
         assert_eq!(stats.completed, 64);

@@ -29,11 +29,11 @@ use magnon_circuits::netlist::{DispatchStats, GateShape, NodeKind};
 use magnon_compiler::CompiledCircuit;
 use magnon_core::backend::{BackendChoice, OperandSet};
 use magnon_core::gate::WaveguideId;
+use magnon_core::sync::time::Duration;
 use magnon_core::word::Word;
 use magnon_core::GateError;
 use magnon_physics::waveguide::Waveguide;
 use std::collections::VecDeque;
-use std::time::Duration;
 
 /// How long the pipelined loop parks on its oldest in-flight ticket
 /// per harvest round — long enough that the client thread sleeps
@@ -267,13 +267,18 @@ impl<'a> CircuitExecutor<'a> {
             }
             self.peak_in_flight = self.peak_in_flight.max(in_flight.len() as u64);
 
-            // Harvest oldest-first: completions flow out of drain
-            // cycles in near-submission order, so park on the oldest
-            // ticket (keeping this thread off the workers' cores), then
-            // redeem the whole completed burst behind it without
-            // blocking. The timeout bounds the head-of-line stall when
-            // an out-of-order completion lands behind a slow head — a
-            // timed-out ticket stays redeemable on the next round.
+            // Harvest: park on the oldest ticket (keeping this thread
+            // off the workers' cores — completions flow out of drain
+            // cycles in near-submission order, so the oldest usually
+            // lands first), then sweep EVERY in-flight ticket without
+            // blocking. The sweep must not stop at the first pending
+            // ticket: fused and FDM drains complete requests out of
+            // submission order, so a slow head can hide finished
+            // tickets behind it — and the dependents those completions
+            // would unlock sit unsubmitted for a full park per round.
+            // (The model checker's executor-pipeline scenario caught
+            // the prefix-only variant of this loop doing exactly that.)
+            // A timed-out head stays redeemable on a later round.
             if let Some(head) = in_flight.front() {
                 match head.2.wait_timeout(PARK) {
                     Ok(out) => {
@@ -283,13 +288,15 @@ impl<'a> CircuitExecutor<'a> {
                     Err(ServeError::Timeout) => {}
                     Err(e) => return Err(e),
                 }
-                while let Some(head) = in_flight.front() {
-                    match head.2.try_wait()? {
+                let mut i = 0;
+                while i < in_flight.len() {
+                    match in_flight[i].2.try_wait()? {
                         Some(out) => {
-                            let (set, node, _t) = in_flight.pop_front().expect("head exists");
+                            let (set, node, _t) =
+                                in_flight.remove(i).expect("index checked against len");
                             self.complete(&mut state, set, node, out.word());
                         }
-                        None => break,
+                        None => i += 1,
                     }
                 }
             }

@@ -3,9 +3,9 @@
 use crate::error::ServeError;
 use magnon_core::backend::{OperandSet, RequestTag};
 use magnon_core::gate::GateOutput;
+use magnon_core::sync::atomic::{AtomicU64, Ordering};
+use magnon_core::sync::mpsc;
 use magnon_core::GateError;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
 
 /// Handle to a gate registered with a [`crate::Scheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,6 +132,9 @@ impl SharedStats {
     /// `evaluate_batch` calls spanning `gates_touched` distinct gates
     /// (fusion can make `batches < gates_touched`).
     pub fn record_drain(&self, requests: u64, batches: u64, gates_touched: u64) {
+        // ordering: Relaxed — monotonic stat counters; the reply
+        // channel orders the result delivery, nothing synchronizes
+        // through these.
         self.drain_passes.fetch_add(1, Ordering::Relaxed);
         self.batches.fetch_add(batches, Ordering::Relaxed);
         if requests > 1 {
@@ -139,14 +142,17 @@ impl SharedStats {
                 .fetch_add(requests, Ordering::Relaxed);
         }
         if gates_touched > 1 {
+            // ordering: Relaxed — monotonic stat counter.
             self.cross_gate_passes.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: Relaxed — monotonic high-water mark, stat only.
         self.max_drain.fetch_max(requests, Ordering::Relaxed);
     }
 
     /// Records one fused batch: `requests` jobs for two or more
     /// distinct gates evaluated through a single compatible session.
     pub fn record_fusion(&self, requests: u64) {
+        // ordering: Relaxed — monotonic stat counters, dashboards only.
         self.fused_batches.fetch_add(1, Ordering::Relaxed);
         self.fused_requests.fetch_add(requests, Ordering::Relaxed);
     }
@@ -155,6 +161,7 @@ impl SharedStats {
     /// frequency lanes of one waveguide, stacked into a single
     /// whole-waveguide excitation.
     pub fn record_fdm_pass(&self, lanes: u64, requests: u64) {
+        // ordering: Relaxed — monotonic stat counters, dashboards only.
         self.fdm_batches.fetch_add(1, Ordering::Relaxed);
         self.fdm_lanes.fetch_add(lanes, Ordering::Relaxed);
         self.fdm_requests.fetch_add(requests, Ordering::Relaxed);
@@ -162,12 +169,16 @@ impl SharedStats {
 
     pub fn snapshot(&self) -> SchedulerStats {
         SchedulerStats {
+            // ordering: Relaxed throughout — a point-in-time stats
+            // snapshot; each counter is read independently and no
+            // reader synchronizes through them.
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             drain_passes: self.drain_passes.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            // ordering: Relaxed — same snapshot contract as above.
             cross_gate_passes: self.cross_gate_passes.load(Ordering::Relaxed),
             max_drain: self.max_drain.load(Ordering::Relaxed),
             fused_batches: self.fused_batches.load(Ordering::Relaxed),

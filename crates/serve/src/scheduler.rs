@@ -95,16 +95,16 @@ use magnon_core::backend::{
 };
 use magnon_core::gate::{GateOutput, LaneId, ParallelGate, ParallelGateBuilder, WaveguideId};
 use magnon_core::lut_store::{load_lut, save_lut, LutSnapshot};
+use magnon_core::sync::atomic::{AtomicU64, Ordering};
+use magnon_core::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use magnon_core::sync::thread::{self, JoinHandle};
+use magnon_core::sync::time::{Duration, Instant};
+use magnon_core::sync::Arc;
 use magnon_core::truth::LogicFunction;
 use magnon_core::GateError;
 use magnon_physics::waveguide::Waveguide;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone)]
@@ -385,7 +385,7 @@ impl SchedulerBuilder {
         // gates may share a band: they serve as separate passes, the
         // pre-FDM behaviour.)
         for (i, (name_a, gate_a, _)) in self.registrations.iter().enumerate() {
-            for (name_b, gate_b, _) in &self.registrations[i + 1..] {
+            for (name_b, gate_b, _) in self.registrations.iter().skip(i + 1) {
                 if gate_a.waveguide_id() == gate_b.waveguide_id()
                     && gate_a.lane_id() != gate_b.lane_id()
                     && gate_a.frequency_lane().overlaps(gate_b.frequency_lane())
@@ -483,7 +483,7 @@ impl SchedulerBuilder {
             };
             senders.push(tx);
             handles.push(
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("magnon-serve-{shard}"))
                     .spawn(move || worker.run())
                     .map_err(|e| {
@@ -678,12 +678,32 @@ impl Worker {
 
     /// The serving session for `gate`, splitting one off the shared
     /// warm template the first time rebalancing routes that gate here.
+    /// An out-of-range index is an error, not a panic — the drain path
+    /// must keep serving the other requests of the batch.
     fn session_for(&mut self, gate: usize) -> Result<&mut GateSession, GateError> {
-        let slot = &mut self.sessions[gate];
+        let out_of_range = || GateError::Runtime {
+            reason: format!("gate index {gate} is not registered"),
+        };
+        let slot = self.sessions.get_mut(gate).ok_or_else(out_of_range)?;
         if slot.is_none() {
-            *slot = Some(self.templates[gate].split_session()?);
+            let template = self.templates.get(gate).ok_or_else(out_of_range)?;
+            *slot = Some(template.split_session()?);
         }
-        Ok(slot.as_mut().expect("just filled"))
+        slot.as_mut().ok_or_else(out_of_range)
+    }
+
+    /// Routing facts for `gate`. Every caller runs behind
+    /// [`Worker::serve_drain`]'s index assert, so the fallback (a
+    /// solitary non-FDM, non-fusing meta) is dead code that exists only
+    /// to keep the drain path free of panicking lookups.
+    fn meta_of(&self, gate: usize) -> GateMeta {
+        self.meta.get(gate).copied().unwrap_or(GateMeta {
+            fingerprint: gate as u64,
+            lane_slot: 0,
+            waveguide: WaveguideId(u64::MAX),
+            lane: LaneId(u16::MAX),
+            fdm_ok: false,
+        })
     }
 
     /// Serves one drain cycle: group by gate — or, when the drain is
@@ -698,13 +718,27 @@ impl Worker {
         // its completion must never still see its request in the queue
         // gauge.
         self.telemetry.record_drain(self.shard, drained, hit_cap);
+        // A gate index past the registry is memory corruption or an
+        // injected poison job: crash this worker loudly here, at the
+        // drain's entry, rather than serve a wrong answer. This is the
+        // drain path's ONE deliberate panic site (the shutdown path
+        // joins and reports the panicked shard; the model checker's
+        // shutdown-under-panic scenario drives exactly this).
+        for job in pending.iter() {
+            // lint: allow(drain-path-panic)
+            assert!(
+                job.gate < self.meta.len(),
+                "job targets unregistered gate index {}",
+                job.gate
+            );
+        }
         let fuse = self.policy.fusion && pending.len() >= self.policy.fusion_threshold;
         let mut gates_touched: BTreeSet<usize> = BTreeSet::new();
         let mut groups: BTreeMap<u64, Vec<EvalJob>> = BTreeMap::new();
         for job in pending.drain(..) {
             gates_touched.insert(job.gate);
             let key = if fuse {
-                self.meta[job.gate].fingerprint
+                self.meta_of(job.gate).fingerprint
             } else {
                 job.gate as u64
             };
@@ -718,10 +752,14 @@ impl Worker {
         let mut singles: Vec<Vec<EvalJob>> = Vec::new();
         let mut by_waveguide: BTreeMap<u64, Vec<Vec<EvalJob>>> = BTreeMap::new();
         for group in groups.into_values() {
-            let lead = self.meta[group[0].gate];
+            let Some(first) = group.first() else {
+                continue;
+            };
+            let lead = self.meta_of(first.gate);
             let uniform = lead.fdm_ok
                 && group.iter().all(|job| {
-                    self.meta[job.gate].fdm_ok && self.meta[job.gate].waveguide == lead.waveguide
+                    let meta = self.meta_of(job.gate);
+                    meta.fdm_ok && meta.waveguide == lead.waveguide
                 });
             if uniform {
                 by_waveguide
@@ -740,16 +778,22 @@ impl Worker {
             // excitation. Pick the deepest group per lane (densest
             // stack); same-lane leftovers serve as their own batches,
             // exactly like pre-FDM cross-gate coalescing.
-            let mut per_lane: BTreeMap<u16, usize> = BTreeMap::new();
+            // Track (index, depth) per lane so choosing the deepest
+            // group needs no back-indexing into `wg_groups`.
+            let mut per_lane: BTreeMap<u16, (usize, usize)> = BTreeMap::new();
             for (index, group) in wg_groups.iter().enumerate() {
-                let lane = self.meta[group[0].gate].lane.0;
-                let chosen = per_lane.entry(lane).or_insert(index);
-                if wg_groups[*chosen].len() < group.len() {
-                    *chosen = index;
+                let Some(first) = group.first() else {
+                    continue;
+                };
+                let lane = self.meta_of(first.gate).lane.0;
+                let chosen = per_lane.entry(lane).or_insert((index, group.len()));
+                if chosen.1 < group.len() {
+                    *chosen = (index, group.len());
                 }
             }
             if per_lane.len() >= 2 {
-                let stacked_indices: BTreeSet<usize> = per_lane.values().copied().collect();
+                let stacked_indices: BTreeSet<usize> =
+                    per_lane.values().map(|&(index, _)| index).collect();
                 let mut stacked = Vec::with_capacity(stacked_indices.len());
                 for (index, group) in wg_groups.into_iter().enumerate() {
                     if stacked_indices.contains(&index) {
@@ -810,7 +854,10 @@ impl Worker {
     fn serve_fdm(&mut self, groups: Vec<Vec<EvalJob>>, lanes: u64) -> u64 {
         // Distinct group keys mean distinct lead gates, so each lead's
         // session can be taken out of the table exactly once.
-        let leads: Vec<usize> = groups.iter().map(|group| group[0].gate).collect();
+        let leads: Vec<usize> = groups
+            .iter()
+            .filter_map(|group| group.first().map(|job| job.gate))
+            .collect();
         for &lead in &leads {
             if self.session_for(lead).is_err() {
                 // A lane whose session cannot build fails its own
@@ -821,6 +868,29 @@ impl Worker {
                     self.serve_group(group);
                 }
                 return devolved;
+            }
+        }
+        // Borrow every lead session at once by lifting them out of the
+        // slot table for the duration of the stacked call. The ensure
+        // loop above just built each one, so a missing slot here means
+        // the table is inconsistent — restore what was taken and serve
+        // per group rather than panic mid-drain.
+        let mut sessions: Vec<GateSession> = Vec::with_capacity(leads.len());
+        for &lead in &leads {
+            match self.sessions.get_mut(lead).and_then(Option::take) {
+                Some(session) => sessions.push(session),
+                None => {
+                    for (&taken, session) in leads.iter().zip(sessions) {
+                        if let Some(slot) = self.sessions.get_mut(taken) {
+                            *slot = Some(session);
+                        }
+                    }
+                    let devolved = groups.len() as u64;
+                    for group in groups {
+                        self.serve_group(group);
+                    }
+                    return devolved;
+                }
             }
         }
         let mut sets: Vec<Vec<OperandSet>> = Vec::with_capacity(groups.len());
@@ -837,12 +907,6 @@ impl Worker {
             sets.push(group_sets);
             replies.push(group_replies);
         }
-        // Borrow every lead session at once by lifting them out of the
-        // slot table for the duration of the stacked call.
-        let mut sessions: Vec<GateSession> = leads
-            .iter()
-            .map(|&lead| self.sessions[lead].take().expect("ensured above"))
-            .collect();
         let mut lane_batches: Vec<LaneBatch<'_>> = sessions
             .iter_mut()
             .zip(&sets)
@@ -863,7 +927,9 @@ impl Worker {
         };
         drop(lane_batches);
         for (&lead, session) in leads.iter().zip(sessions) {
-            self.sessions[lead] = Some(session);
+            if let Some(slot) = self.sessions.get_mut(lead) {
+                *slot = Some(session);
+            }
         }
         match attempt {
             Ok(outputs) => {
@@ -872,6 +938,8 @@ impl Worker {
                 for (lane_replies, lane_outputs) in replies.into_iter().zip(outputs) {
                     self.note_lanes_served(lane_replies.iter().map(|(gate, _, _)| *gate));
                     for ((_, tag, reply), output) in lane_replies.into_iter().zip(lane_outputs) {
+                        // ordering: Relaxed — monotonic stat counter;
+                        // the reply channel orders the result delivery.
                         self.stats.completed.fetch_add(1, Ordering::Relaxed);
                         let _ = reply.send((tag, Ok(output)));
                     }
@@ -887,13 +955,16 @@ impl Worker {
                             Ok(session) => session.evaluate(set.words()),
                             Err(e) => Err(e),
                         };
+                        // ordering: Relaxed — monotonic stat counters;
+                        // the reply channel orders the result delivery.
                         match &result {
                             Ok(_) => {
                                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
                                 self.telemetry
-                                    .record_lane_served(self.meta[gate].lane_slot, 1);
+                                    .record_lane_served(self.meta_of(gate).lane_slot, 1);
                             }
                             Err(_) => {
+                                // ordering: Relaxed — stat counter.
                                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
                             }
                         };
@@ -912,7 +983,7 @@ impl Worker {
     fn note_lanes_served(&self, gates: impl Iterator<Item = usize>) {
         let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
         for gate in gates {
-            *counts.entry(self.meta[gate].lane_slot).or_default() += 1;
+            *counts.entry(self.meta_of(gate).lane_slot).or_default() += 1;
         }
         for (slot, count) in counts {
             self.telemetry.record_lane_served(slot, count);
@@ -924,7 +995,10 @@ impl Worker {
     /// per-request fallback on each job's own gate so errors land only
     /// on the requests that earned them.
     fn serve_group(&mut self, group: Vec<EvalJob>) {
-        let lead = group[0].gate;
+        let Some(first) = group.first() else {
+            return;
+        };
+        let lead = first.gate;
         let fused = group.iter().any(|job| job.gate != lead);
         // Move the operand sets out of the jobs — the batch path must
         // not copy request payloads.
@@ -949,6 +1023,8 @@ impl Worker {
                 }
                 self.note_lanes_served(replies.iter().map(|(gate, _, _)| *gate));
                 for ((_, tag, reply), output) in replies.into_iter().zip(outputs) {
+                    // ordering: Relaxed — monotonic stat counter; the
+                    // reply channel orders the result delivery.
                     self.stats.completed.fetch_add(1, Ordering::Relaxed);
                     let _ = reply.send((tag, Ok(output)));
                 }
@@ -961,13 +1037,16 @@ impl Worker {
                         Ok(session) => session.evaluate(set.words()),
                         Err(e) => Err(e),
                     };
+                    // ordering: Relaxed — monotonic stat counters; the
+                    // reply channel orders the result delivery.
                     match &result {
                         Ok(_) => {
                             self.stats.completed.fetch_add(1, Ordering::Relaxed);
                             self.telemetry
-                                .record_lane_served(self.meta[gate].lane_slot, 1);
+                                .record_lane_served(self.meta_of(gate).lane_slot, 1);
                         }
                         Err(_) => {
+                            // ordering: Relaxed — stat counter.
                             self.stats.failed.fetch_add(1, Ordering::Relaxed);
                         }
                     };
@@ -1063,6 +1142,8 @@ impl Scheduler {
         let shard = self
             .telemetry
             .route_submit(entry.lane_slot, &self.config.adaptive);
+        // ordering: Relaxed — tags only need uniqueness; submission
+        // order is established by the queue send, not the counter.
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
         Ok((
@@ -1086,13 +1167,22 @@ impl Scheduler {
     /// * [`ServeError::Shutdown`] when the runtime is gone.
     pub fn submit(&self, id: GateId, set: OperandSet) -> Result<Ticket, ServeError> {
         let (shard, job, ticket) = self.job_for(id, set)?;
-        // Gauge accounting happens only after the send lands: a
-        // submitter parked here by backpressure must not show up as
-        // queue depth (the rebalancer would chase phantom load).
-        self.senders[shard]
-            .send(job)
-            .map_err(|_| ServeError::Shutdown)?;
+        // Gauge accounting happens BEFORE the send: a worker can drain
+        // the job the instant it lands, and counting afterwards opens a
+        // window where the drain's decrement beats our increment and
+        // the gauge dips negative (found by the model checker's
+        // gauge-never-negative invariant). The cost is that a submitter
+        // parked on a full queue counts as depth a little early — it
+        // will land (or the failed send rolls the count back), so the
+        // gauge stays an upper bound that still drains to zero.
         self.telemetry.note_enqueued(shard);
+        let sender = self.senders.get(shard).ok_or(ServeError::Shutdown)?;
+        if sender.send(job).is_err() {
+            self.telemetry.note_send_failed(shard);
+            return Err(ServeError::Shutdown);
+        }
+        // ordering: Relaxed — monotonic stat counter; the channel send
+        // above is the synchronizing handoff.
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(ticket)
     }
@@ -1106,15 +1196,67 @@ impl Scheduler {
     /// [`Scheduler::submit`].
     pub fn try_submit(&self, id: GateId, set: OperandSet) -> Result<Ticket, ServeError> {
         let (shard, job, ticket) = self.job_for(id, set)?;
-        match self.senders[shard].try_send(job) {
+        // Increment-then-rollback, as in `submit`: the gauge must lead
+        // the send so a racing drain can never take it negative.
+        self.telemetry.note_enqueued(shard);
+        let Some(sender) = self.senders.get(shard) else {
+            self.telemetry.note_send_failed(shard);
+            return Err(ServeError::Shutdown);
+        };
+        match sender.try_send(job) {
             Ok(()) => {
-                self.telemetry.note_enqueued(shard);
+                // ordering: Relaxed — monotonic stat counter; the
+                // channel send is the synchronizing handoff.
                 self.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(ticket)
             }
-            Err(TrySendError::Full(_)) => Err(ServeError::QueueFull { shard }),
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+            Err(TrySendError::Full(_)) => {
+                self.telemetry.note_send_failed(shard);
+                Err(ServeError::QueueFull { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.telemetry.note_send_failed(shard);
+                Err(ServeError::Shutdown)
+            }
         }
+    }
+
+    /// The raw, unclamped queue-depth gauge of `shard` — model-check
+    /// invariants assert on this (never negative once drains settle,
+    /// zero at shutdown), where [`Scheduler::telemetry`]'s snapshot
+    /// would clamp the evidence away.
+    #[cfg(mcheck)]
+    #[doc(hidden)]
+    pub fn queued_raw(&self, shard: usize) -> i64 {
+        self.telemetry.queued_raw(shard)
+    }
+
+    /// Sends a deliberately malformed job straight into `shard`'s
+    /// queue so its worker panics mid-drain — the model checker's hook
+    /// for the shutdown-joins-all-workers-under-panic invariant.
+    /// Returns whether the poison landed.
+    #[cfg(mcheck)]
+    #[doc(hidden)]
+    pub fn inject_poison(&self, shard: usize) -> bool {
+        let Some(sender) = self.senders.get(shard) else {
+            return false;
+        };
+        let (reply, _rx) = mpsc::channel();
+        // The poison rides the gauge like any job: the worker's drain
+        // decrement must see a matching increment.
+        self.telemetry.note_enqueued(shard);
+        let landed = sender
+            .send(EvalJob {
+                gate: usize::MAX,
+                tag: u64::MAX,
+                set: OperandSet::new(Vec::new()),
+                reply,
+            })
+            .is_ok();
+        if !landed {
+            self.telemetry.note_send_failed(shard);
+        }
+        landed
     }
 
     /// Submits a whole request list up front, then waits for every

@@ -43,8 +43,8 @@
 //! counters surface in the snapshot.
 
 use magnon_core::gate::{LaneId, WaveguideId};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use magnon_core::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use magnon_core::sync::time::Duration;
 
 /// Tuning knobs for the three adaptive serving policies.
 ///
@@ -105,11 +105,13 @@ impl AdaptiveConfig {
 /// Per-shard counters (all relaxed atomics).
 #[derive(Debug, Default)]
 struct ShardCounters {
-    /// Requests enqueued but not yet drained. Signed: the increment
-    /// lands *after* a successful `send` (a submitter parked on a full
-    /// queue must not register as phantom depth), so a worker racing
-    /// ahead can transiently drive the counter below zero; the snapshot
-    /// clamps at 0 and the running sum stays exact.
+    /// Requests enqueued but not yet drained. The increment leads the
+    /// `send` (and rolls back on a failed one): were it to land after,
+    /// a worker could drain the job and decrement before the increment,
+    /// dipping the gauge negative — the model checker's
+    /// gauge-never-negative invariant caught exactly that. Kept signed
+    /// so `queued_raw` can surface a regression instead of wrapping;
+    /// the public snapshot clamps at 0.
     queued: AtomicI64,
     /// Requests the worker has pulled off the queue, ever.
     drained: AtomicU64,
@@ -192,44 +194,84 @@ impl Telemetry {
 
     /// The shard currently serving lane `slot`.
     pub fn shard_of_slot(&self, slot: usize) -> usize {
+        // ordering: Acquire — pairs with the Release store in
+        // `review_placement` so a submitter that observes a move also
+        // observes the counter decay that preceded it.
         self.lanes[slot].shard.load(Ordering::Acquire)
     }
 
     /// Routes one submission: bumps the lane's request counter,
     /// possibly reviews placement, and returns the target shard. The
-    /// queue gauge is NOT touched here — a blocking `send` may park the
-    /// submitter for arbitrarily long on a full queue, and the gauge
-    /// must only count requests that actually reached it; call
-    /// [`Telemetry::note_enqueued`] once the send succeeds.
+    /// queue gauge is NOT touched here — routing can be speculative
+    /// (`try_submit` may still refuse); call
+    /// [`Telemetry::note_enqueued`] immediately *before* the send and
+    /// [`Telemetry::note_send_failed`] if the send then fails.
     pub fn route_submit(&self, slot: usize, policy: &AdaptiveConfig) -> usize {
+        // ordering: Relaxed — approximate load counters; the rebalancer
+        // reads them as a heuristic and tolerates stragglers, nothing
+        // synchronizes through them.
         self.lanes[slot].requests.fetch_add(1, Ordering::Relaxed);
         let n = self.submits.fetch_add(1, Ordering::Relaxed) + 1;
         if policy.rebalance && n.is_multiple_of(policy.rebalance_interval.max(1)) {
             self.review_placement(policy);
         }
+        // ordering: Acquire — pairs with the Release placement store in
+        // `review_placement` (see `shard_of_slot`).
         self.lanes[slot].shard.load(Ordering::Acquire)
     }
 
-    /// Accounts one request that actually landed in `shard`'s queue.
+    /// Accounts one request bound for `shard`'s queue. Call *before*
+    /// the send (and [`Telemetry::note_send_failed`] if the send then
+    /// fails): counting after the send races the worker's drain
+    /// decrement and can take the gauge negative.
     pub fn note_enqueued(&self, shard: usize) {
+        // ordering: Relaxed — advisory depth gauge; the queue send
+        // itself is the synchronizing handoff, the gauge only needs the
+        // running sum to be exact, not ordered against the payload.
         self.shards[shard].queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls back [`Telemetry::note_enqueued`] for a send that did not
+    /// land (queue full on `try_send`, or the runtime shut down).
+    pub fn note_send_failed(&self, shard: usize) {
+        // ordering: Relaxed — rollback of the advisory gauge bump; same
+        // reasoning as `note_enqueued`.
+        self.shards[shard].queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The raw, unclamped queue gauge — model-check invariants assert
+    /// on this (never negative once drains settle, zero at shutdown),
+    /// where the public snapshot would clamp the evidence away.
+    #[cfg(mcheck)]
+    #[doc(hidden)]
+    pub fn queued_raw(&self, shard: usize) -> i64 {
+        // ordering: Relaxed — model-check probe; the serialized
+        // scheduler makes every interleaving sequentially consistent
+        // anyway.
+        self.shards[shard].queued.load(Ordering::Relaxed)
     }
 
     /// Accounts one worker drain of `requests` jobs.
     pub fn record_drain(&self, shard: usize, requests: u64, hit_cap: bool) {
         let counters = &self.shards[shard];
+        // ordering: Relaxed — monotonic stat counters plus the advisory
+        // queue gauge; the channel recv that delivered the jobs is the
+        // synchronizing edge, the counters only feed dashboards.
         counters
             .queued
             .fetch_sub(requests as i64, Ordering::Relaxed);
         counters.drained.fetch_add(requests, Ordering::Relaxed);
         counters.drain_cycles.fetch_add(1, Ordering::Relaxed);
         if hit_cap {
+            // ordering: Relaxed — monotonic stat counter.
             counters.full_drains.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Publishes a worker's current adaptive linger window.
     pub fn publish_linger(&self, shard: usize, linger: Duration) {
+        // ordering: Relaxed — single-writer gauge (only the shard's own
+        // worker stores it); readers want a recent value, not a fence.
         self.shards[shard].linger_ns.store(
             linger.as_nanos().min(u64::MAX as u128) as u64,
             Ordering::Relaxed,
@@ -246,6 +288,9 @@ impl Telemetry {
     /// `LutStats` in `magnon-core` for the split semantics.)
     pub fn publish_lut(&self, shard: usize, hits: u64, misses: u64, dense_rows: u64) {
         let counters = &self.shards[shard];
+        // ordering: Relaxed — single-writer gauges republished by the
+        // shard's own worker after each drain; no reader synchronizes
+        // through them.
         counters.lut_hits.store(hits, Ordering::Relaxed);
         counters.lut_misses.store(misses, Ordering::Relaxed);
         counters.lut_dense_rows.store(dense_rows, Ordering::Relaxed);
@@ -255,6 +300,7 @@ impl Telemetry {
     /// `lanes` frequency lanes into a single stacked batch.
     pub fn record_fdm_pass(&self, shard: usize, lanes: u64) {
         let counters = &self.shards[shard];
+        // ordering: Relaxed — monotonic stat counters; dashboards only.
         counters.fdm_passes.fetch_add(1, Ordering::Relaxed);
         counters.fdm_lanes.fetch_add(lanes, Ordering::Relaxed);
     }
@@ -263,6 +309,8 @@ impl Telemetry {
     /// (workers call this on success paths only, so the per-lane
     /// `served` counters sum to the scheduler's `completed` total).
     pub fn record_lane_served(&self, slot: usize, requests: u64) {
+        // ordering: Relaxed — monotonic stat counter; the reply channel
+        // orders the result delivery.
         self.lanes[slot]
             .served
             .fetch_add(requests, Ordering::Relaxed);
@@ -277,6 +325,9 @@ impl Telemetry {
     /// trades FDM coalescing for load balance; the mover returns only
     /// when traffic re-skews the other way.)
     fn review_placement(&self, policy: &AdaptiveConfig) {
+        // ordering: AcqRel — the CAS-style guard both acquires the
+        // previous reviewer's writes and publishes ours to the next
+        // one; losers just return, they never block.
         if self.reviewing.swap(true, Ordering::AcqRel) {
             return; // someone else is reviewing
         }
@@ -286,6 +337,10 @@ impl Telemetry {
                 .lanes
                 .iter()
                 .map(|wg| {
+                    // ordering: Acquire pairs with the Release
+                    // placement store below; Relaxed for the load
+                    // counter — the review is a heuristic over an
+                    // inherently racy figure.
                     let shard = wg.shard.load(Ordering::Acquire);
                     let recent = wg.requests.load(Ordering::Relaxed);
                     loads[shard] += recent;
@@ -313,6 +368,9 @@ impl Telemetry {
                     .map(|(slot, &(_, w))| (slot, w));
                 if let Some((slot, w)) = candidate {
                     if (gap as i128 - 2 * w as i128).unsigned_abs() < gap as u128 {
+                        // ordering: Release publishes the move to the
+                        // Acquire loads in `route_submit`; Relaxed for
+                        // the monotonic rebalance stat.
                         self.lanes[slot].shard.store(cold, Ordering::Release);
                         self.rebalances.fetch_add(1, Ordering::Relaxed);
                     }
@@ -323,6 +381,9 @@ impl Telemetry {
         // the counters track recent traffic. `fetch_sub` of the halved
         // value, not a load/store pair: submissions landing mid-review
         // must not be erased.
+        // ordering: Relaxed for the decay (heuristic counters); the
+        // closing Release store pairs with the guard's AcqRel swap so
+        // the next reviewer sees the decayed values.
         for wg in &self.lanes {
             let v = wg.requests.load(Ordering::Relaxed);
             wg.requests.fetch_sub(v / 2, Ordering::Relaxed);
@@ -337,12 +398,17 @@ impl Telemetry {
                 .shards
                 .iter()
                 .map(|s| ShardTelemetry {
+                    // ordering: Relaxed throughout — the snapshot is
+                    // advertised as consistent-enough, not atomic; each
+                    // gauge is read independently.
                     queued: s.queued.load(Ordering::Relaxed).max(0) as u64,
                     drained: s.drained.load(Ordering::Relaxed),
                     drain_cycles: s.drain_cycles.load(Ordering::Relaxed),
                     full_drains: s.full_drains.load(Ordering::Relaxed),
                     fdm_passes: s.fdm_passes.load(Ordering::Relaxed),
                     fdm_lanes: s.fdm_lanes.load(Ordering::Relaxed),
+                    // ordering: Relaxed — same consistent-enough
+                    // snapshot contract as the counters above.
                     linger: Duration::from_nanos(s.linger_ns.load(Ordering::Relaxed)),
                     lut_hits: s.lut_hits.load(Ordering::Relaxed),
                     lut_misses: s.lut_misses.load(Ordering::Relaxed),
@@ -355,11 +421,15 @@ impl Telemetry {
                 .map(|wg| LaneTelemetry {
                     id: wg.id,
                     lane: wg.lane,
+                    // ordering: Acquire pairs with the rebalancer's
+                    // Release store; Relaxed for the plain counters
+                    // (consistent-enough snapshot, see above).
                     shard: wg.shard.load(Ordering::Acquire),
                     recent_requests: wg.requests.load(Ordering::Relaxed),
                     served: wg.served.load(Ordering::Relaxed),
                 })
                 .collect(),
+            // ordering: Relaxed — monotonic stat counter.
             rebalances: self.rebalances.load(Ordering::Relaxed),
         }
     }
@@ -496,31 +566,31 @@ mod tests {
     }
 
     #[test]
-    fn blocked_submitters_are_invisible_to_the_queue_gauge() {
-        // A shard with queue_depth 2: two submissions land, a third
-        // routes and then parks on the full queue. While parked it must
-        // not register as depth — the telemetry consumers (and the
-        // rebalancer) would otherwise see phantom load for as long as
-        // the submitter stays blocked.
+    fn gauge_leads_the_send_and_rolls_back_refusals() {
+        // Submitters bump the gauge immediately before the send and
+        // roll back a refused one, so routing alone never registers as
+        // depth and a failed try_send leaves the gauge where it was.
         let telemetry = Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)]);
         let policy = AdaptiveConfig::off();
         for _ in 0..2 {
             let shard = telemetry.route_submit(0, &policy);
             telemetry.note_enqueued(shard);
         }
-        let parked = telemetry.route_submit(0, &policy); // send would block here
+        let shard = telemetry.route_submit(0, &policy);
         assert_eq!(telemetry.snapshot().shards[0].queued, 2);
-        // The worker drains both; the parked send now completes.
+        telemetry.note_enqueued(shard); // try_send about to run...
+        telemetry.note_send_failed(shard); // ...queue full, rolled back
+        assert_eq!(telemetry.snapshot().shards[0].queued, 2);
         telemetry.record_drain(0, 2, false);
-        telemetry.note_enqueued(parked);
-        assert_eq!(telemetry.snapshot().shards[0].queued, 1);
+        assert_eq!(telemetry.snapshot().shards[0].queued, 0);
     }
 
     #[test]
     fn gauge_clamps_transient_negatives() {
-        // The enqueue accounting lands after `send`, so a worker racing
-        // ahead can decrement first; the snapshot must clamp at zero
-        // instead of wrapping.
+        // The scheduler's increment-leads-send discipline keeps the
+        // raw gauge non-negative; the snapshot still clamps so a
+        // regression shows up as a wrong count, never a wrapped one
+        // (queued_raw carries the signed evidence for the checker).
         let telemetry = Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)]);
         telemetry.record_drain(0, 3, false);
         assert_eq!(telemetry.snapshot().shards[0].queued, 0);
