@@ -7,6 +7,8 @@
 //! records a byte-identical trace.
 
 use magnon_core::sync::mcheck::{Choice, ChoicePoint, Policy};
+// lint: allow(std-sync-import) — the decision-count channel is checker
+// bookkeeping, not modeled state; the façade would perturb the schedules.
 use std::sync::{Arc, Mutex};
 
 /// Seeded random interleaving search.

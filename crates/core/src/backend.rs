@@ -349,12 +349,14 @@ fn sop_lookup(dense: &DenseRow, planes: &[[u64; 64]], channel: usize, mask: u64)
     let invert = 2 * dense.ones > combos;
     let mut acc = 0u64;
     for combo in 0..combos {
+        // analyze: allow(can-panic) — in-bounds: logic packs one bit per combo
         let lut_bit = (dense.logic[combo >> 6] >> (combo & 63)) & 1 == 1;
         if lut_bit == invert {
             continue;
         }
         let mut term = mask;
         for (j, plane) in planes.iter().enumerate() {
+            // analyze: allow(can-panic) — in-bounds: channel < word width ≤ 64
             let p = plane[channel];
             term &= if (combo >> j) & 1 == 1 { p } else { !p };
             if term == 0 {
@@ -377,8 +379,10 @@ fn gather_lookup(dense: &DenseRow, planes: &[[u64; 64]], channel: usize, lanes: 
     for s in 0..lanes {
         let mut combo = 0usize;
         for (j, plane) in planes.iter().enumerate() {
+            // analyze: allow(can-panic) — in-bounds: channel < word width ≤ 64
             combo |= (((plane[channel] >> s) & 1) as usize) << j;
         }
+        // analyze: allow(can-panic) — in-bounds: logic packs one bit per combo
         out |= ((dense.logic[combo >> 6] >> (combo & 63)) & 1) << s;
     }
     out
@@ -571,36 +575,61 @@ impl CachedBackend {
     fn sliced_words(&mut self, sets: &[OperandSet]) -> Vec<u64> {
         let n = self.gate.word_width();
         let m = self.gate.input_count();
+        // analyze: allow(can-alloc) — per-batch output arena, sized
+        // once to the request count; the hot loop below only fills it.
         let mut out = Vec::with_capacity(sets.len());
+        // analyze: allow(can-alloc) — per-batch plane scratch:
+        // input_count 64-lane bit-planes, reused across every block.
         let mut planes = vec![[0u64; 64]; m];
         for block in sets.chunks(64) {
             let lanes = block.len();
             let mask = lane_mask(lanes);
             for (j, plane) in planes.iter_mut().enumerate() {
-                for (s, set) in block.iter().enumerate() {
-                    plane[s] = set.words()[j].bits();
+                for (slot, set) in plane.iter_mut().zip(block) {
+                    // Operand sets are validated to input_count words
+                    // before the kernel is entered; a short set reads
+                    // as zeros rather than panicking the batch.
+                    *slot = set.words().get(j).map_or(0, |word| word.bits());
                 }
-                plane[lanes..].fill(0);
+                if let Some(tail) = plane.get_mut(lanes..) {
+                    tail.fill(0);
+                }
                 transpose64(plane);
             }
             let mut out_planes = [0u64; 64];
             let mut dense_lookups = 0u64;
+            // Channels without a dense row are deferred to a second
+            // pass: the memoizing cold resolver needs `&mut self`,
+            // which the dense-row borrow here precludes. Channel count
+            // is the word width, so a u64 bitmask covers them all.
+            let mut cold_channels = 0u64;
             for (c, out_plane) in out_planes.iter_mut().take(n).enumerate() {
-                *out_plane = if self.dense[c].is_some() {
-                    let dense = self.dense[c].as_ref().expect("checked dense row");
+                if let Some(Some(dense)) = self.dense.get(c) {
                     dense_lookups += lanes as u64;
-                    if m <= SOP_MAX_INPUTS {
+                    *out_plane = if m <= SOP_MAX_INPUTS {
                         sop_lookup(dense, &planes, c, mask)
                     } else {
                         gather_lookup(dense, &planes, c, lanes)
-                    }
+                    };
                 } else {
-                    self.resolve_cold_channel(c, &planes, lanes)
-                };
+                    cold_channels |= 1 << c;
+                }
+            }
+            while cold_channels != 0 {
+                let c = cold_channels.trailing_zeros() as usize;
+                cold_channels &= cold_channels - 1;
+                let resolved = self.resolve_cold_channel(c, &planes, lanes);
+                if let Some(out_plane) = out_planes.get_mut(c) {
+                    *out_plane = resolved;
+                }
             }
             self.hits += dense_lookups;
             transpose64(&mut out_planes);
-            out.extend_from_slice(&out_planes[..lanes]);
+            if let Some(block_out) = out_planes.get(..lanes) {
+                // analyze: allow(can-alloc) — fills the arena
+                // preallocated above; a block never outgrows it.
+                out.extend_from_slice(block_out);
+            }
         }
         out
     }

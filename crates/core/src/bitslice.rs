@@ -30,8 +30,12 @@ pub fn transpose64(a: &mut [u64; 64]) {
     while j != 0 {
         let mut k = 0usize;
         while k < 64 {
+            // The stride keeps `k`'s `j` bit clear, so `k` and `k + j`
+            // both stay inside the 64×64 tile.
+            // analyze: allow(can-panic) — in-bounds: k + j < 64 by the stride above
             let t = (a[k] ^ (a[k + j] << j)) & m;
             a[k] ^= t;
+            // analyze: allow(can-panic) — in-bounds, as above
             a[k + j] ^= t >> j;
             k = (k + j + 1) & !j;
         }

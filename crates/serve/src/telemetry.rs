@@ -192,12 +192,16 @@ impl Telemetry {
         }
     }
 
-    /// The shard currently serving lane `slot`.
+    /// The shard currently serving lane `slot`. An unregistered slot
+    /// routes to shard 0 — the submit path must stay panic-free, and
+    /// the worker's drain assert owns corruption.
     pub fn shard_of_slot(&self, slot: usize) -> usize {
         // ordering: Acquire — pairs with the Release store in
         // `review_placement` so a submitter that observes a move also
         // observes the counter decay that preceded it.
-        self.lanes[slot].shard.load(Ordering::Acquire)
+        self.lanes
+            .get(slot)
+            .map_or(0, |lane| lane.shard.load(Ordering::Acquire))
     }
 
     /// Routes one submission: bumps the lane's request counter,
@@ -207,17 +211,22 @@ impl Telemetry {
     /// [`Telemetry::note_enqueued`] immediately *before* the send and
     /// [`Telemetry::note_send_failed`] if the send then fails.
     pub fn route_submit(&self, slot: usize, policy: &AdaptiveConfig) -> usize {
+        // An unregistered slot routes to shard 0 instead of panicking
+        // on the caller's thread (see `shard_of_slot`).
+        let Some(lane) = self.lanes.get(slot) else {
+            return 0;
+        };
         // ordering: Relaxed — approximate load counters; the rebalancer
         // reads them as a heuristic and tolerates stragglers, nothing
         // synchronizes through them.
-        self.lanes[slot].requests.fetch_add(1, Ordering::Relaxed);
+        lane.requests.fetch_add(1, Ordering::Relaxed);
         let n = self.submits.fetch_add(1, Ordering::Relaxed) + 1;
         if policy.rebalance && n.is_multiple_of(policy.rebalance_interval.max(1)) {
             self.review_placement(policy);
         }
         // ordering: Acquire — pairs with the Release placement store in
         // `review_placement` (see `shard_of_slot`).
-        self.lanes[slot].shard.load(Ordering::Acquire)
+        lane.shard.load(Ordering::Acquire)
     }
 
     /// Accounts one request bound for `shard`'s queue. Call *before*
@@ -228,7 +237,11 @@ impl Telemetry {
         // ordering: Relaxed — advisory depth gauge; the queue send
         // itself is the synchronizing handoff, the gauge only needs the
         // running sum to be exact, not ordered against the payload.
-        self.shards[shard].queued.fetch_add(1, Ordering::Relaxed);
+        // (`get`, not an index: the submit path is proven panic-free,
+        // and an out-of-range shard has no gauge to bump.)
+        if let Some(counters) = self.shards.get(shard) {
+            counters.queued.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Rolls back [`Telemetry::note_enqueued`] for a send that did not
@@ -236,7 +249,9 @@ impl Telemetry {
     pub fn note_send_failed(&self, shard: usize) {
         // ordering: Relaxed — rollback of the advisory gauge bump; same
         // reasoning as `note_enqueued`.
-        self.shards[shard].queued.fetch_sub(1, Ordering::Relaxed);
+        if let Some(counters) = self.shards.get(shard) {
+            counters.queued.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 
     /// The raw, unclamped queue gauge — model-check invariants assert
@@ -253,7 +268,11 @@ impl Telemetry {
 
     /// Accounts one worker drain of `requests` jobs.
     pub fn record_drain(&self, shard: usize, requests: u64, hit_cap: bool) {
-        let counters = &self.shards[shard];
+        // `get`, not an index: the drain path is proven panic-free, and
+        // a worker always reports its own (registered) shard anyway.
+        let Some(counters) = self.shards.get(shard) else {
+            return;
+        };
         // ordering: Relaxed — monotonic stat counters plus the advisory
         // queue gauge; the channel recv that delivered the jobs is the
         // synchronizing edge, the counters only feed dashboards.
@@ -272,10 +291,12 @@ impl Telemetry {
     pub fn publish_linger(&self, shard: usize, linger: Duration) {
         // ordering: Relaxed — single-writer gauge (only the shard's own
         // worker stores it); readers want a recent value, not a fence.
-        self.shards[shard].linger_ns.store(
-            linger.as_nanos().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
+        if let Some(counters) = self.shards.get(shard) {
+            counters.linger_ns.store(
+                linger.as_nanos().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
+        }
     }
 
     /// Publishes a shard's LUT effectiveness gauge: the sums of
@@ -287,7 +308,11 @@ impl Telemetry {
     /// shard while the old shard keeps its session and its counts; see
     /// `LutStats` in `magnon-core` for the split semantics.)
     pub fn publish_lut(&self, shard: usize, hits: u64, misses: u64, dense_rows: u64) {
-        let counters = &self.shards[shard];
+        // `get`, not an index: workers republish on the drain path,
+        // which is proven panic-free.
+        let Some(counters) = self.shards.get(shard) else {
+            return;
+        };
         // ordering: Relaxed — single-writer gauges republished by the
         // shard's own worker after each drain; no reader synchronizes
         // through them.
@@ -299,10 +324,11 @@ impl Telemetry {
     /// Accounts one multi-lane FDM pass on `shard` that coalesced
     /// `lanes` frequency lanes into a single stacked batch.
     pub fn record_fdm_pass(&self, shard: usize, lanes: u64) {
-        let counters = &self.shards[shard];
         // ordering: Relaxed — monotonic stat counters; dashboards only.
-        counters.fdm_passes.fetch_add(1, Ordering::Relaxed);
-        counters.fdm_lanes.fetch_add(lanes, Ordering::Relaxed);
+        if let Some(counters) = self.shards.get(shard) {
+            counters.fdm_passes.fetch_add(1, Ordering::Relaxed);
+            counters.fdm_lanes.fetch_add(lanes, Ordering::Relaxed);
+        }
     }
 
     /// Accounts `requests` successfully answered on lane `slot`
@@ -311,9 +337,9 @@ impl Telemetry {
     pub fn record_lane_served(&self, slot: usize, requests: u64) {
         // ordering: Relaxed — monotonic stat counter; the reply channel
         // orders the result delivery.
-        self.lanes[slot]
-            .served
-            .fetch_add(requests, Ordering::Relaxed);
+        if let Some(lane) = self.lanes.get(slot) {
+            lane.served.fetch_add(requests, Ordering::Relaxed);
+        }
     }
 
     /// Reviews the placement table: when shard load (sum of resident
@@ -343,22 +369,36 @@ impl Telemetry {
                     // inherently racy figure.
                     let shard = wg.shard.load(Ordering::Acquire);
                     let recent = wg.requests.load(Ordering::Relaxed);
-                    loads[shard] += recent;
+                    // `get`, not an index: the review runs on the
+                    // submit path, which is proven panic-free; a
+                    // placement pointing past the shard table simply
+                    // does not participate in the load tally.
+                    if let Some(load) = loads.get_mut(shard) {
+                        *load += recent;
+                    }
                     (shard, recent)
                 })
                 .collect();
-            let hot = (0..loads.len()).max_by_key(|&s| loads[s]).expect("shards");
-            let cold = (0..loads.len()).min_by_key(|&s| loads[s]).expect("shards");
-            if hot != cold && loads[hot] as f64 > policy.rebalance_ratio * loads[cold].max(1) as f64
-            {
-                let gap = loads[hot] - loads[cold];
+            let hottest = loads.iter().copied().enumerate().max_by_key(|&(_, l)| l);
+            let coldest = loads.iter().copied().enumerate().min_by_key(|&(_, l)| l);
+            let (Some((hot, hot_load)), Some((cold, cold_load))) = (hottest, coldest) else {
+                // Unreachable (the topology guard above ensures at
+                // least two shards), but the submit path must not
+                // panic over it.
+                // ordering: Release — hands the review guard back, as
+                // at the normal exit below.
+                self.reviewing.store(false, Ordering::Release);
+                return;
+            };
+            if hot != cold && hot_load as f64 > policy.rebalance_ratio * cold_load.max(1) as f64 {
+                let gap = hot_load - cold_load;
                 // The move changes the gap to |gap - 2w|; pick the
                 // resident minimizing it, and only move if that
                 // actually narrows the skew.
                 let candidate = residents
                     .iter()
                     .enumerate()
-                    .filter(|(_, &(shard, w))| shard == hot && w > 0 && w < loads[hot])
+                    .filter(|(_, &(shard, w))| shard == hot && w > 0 && w < hot_load)
                     .min_by_key(|(_, &(_, w))| {
                         // Ties go to the lighter mover: the hot
                         // waveguide keeps its warm shard and the
@@ -368,11 +408,13 @@ impl Telemetry {
                     .map(|(slot, &(_, w))| (slot, w));
                 if let Some((slot, w)) = candidate {
                     if (gap as i128 - 2 * w as i128).unsigned_abs() < gap as u128 {
-                        // ordering: Release publishes the move to the
-                        // Acquire loads in `route_submit`; Relaxed for
-                        // the monotonic rebalance stat.
-                        self.lanes[slot].shard.store(cold, Ordering::Release);
-                        self.rebalances.fetch_add(1, Ordering::Relaxed);
+                        if let Some(lane) = self.lanes.get(slot) {
+                            // ordering: Release publishes the move to
+                            // the Acquire loads in `route_submit`;
+                            // Relaxed for the monotonic rebalance stat.
+                            lane.shard.store(cold, Ordering::Release);
+                            self.rebalances.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }

@@ -1,0 +1,228 @@
+//! `analysis-policy.toml` — a hand-rolled parser for the small TOML
+//! subset the policy needs (no external deps in the toolchain):
+//! `[[root]]` / `[[trust]]` array-of-tables, an `[ignore]` table,
+//! string values, and single- or multi-line string arrays.
+
+use crate::Fact;
+
+/// A root function and the facts it must be transitively free of.
+#[derive(Debug, Clone)]
+pub struct RootSpec {
+    pub func: String,
+    pub deny: Vec<Fact>,
+    pub reason: String,
+}
+
+/// An audited boundary: callers of `func` do not inherit `rules` from
+/// it. The trusted function's own facts are still computed — trust
+/// cuts propagation, it does not blind the analyzer.
+#[derive(Debug, Clone)]
+pub struct TrustSpec {
+    pub func: String,
+    pub rules: Vec<Fact>,
+    pub reason: String,
+}
+
+/// The parsed policy.
+#[derive(Debug, Default)]
+pub struct Policy {
+    pub roots: Vec<RootSpec>,
+    pub trust: Vec<TrustSpec>,
+    /// Method names never resolved against workspace impls (std-common
+    /// names like `push`/`get` whose receiver is almost always a std
+    /// type; their effects are covered by intrinsic tokens instead).
+    pub ignore_methods: Vec<String>,
+    /// Files excluded from the graph (e.g. `cfg(mcheck)`-only shims
+    /// that do not exist in the production build).
+    pub ignore_files: Vec<String>,
+}
+
+#[derive(PartialEq)]
+enum Section {
+    None,
+    Root,
+    Trust,
+    Ignore,
+}
+
+/// Strips a `#` comment that is outside quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str, line_no: usize) -> Result<String, String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!(
+            "policy line {line_no}: expected a quoted string, got `{v}`"
+        ))
+    }
+}
+
+fn parse_array(v: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("policy line {line_no}: expected an array, got `{v}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, line_no)?);
+    }
+    Ok(out)
+}
+
+fn parse_facts(items: &[String], line_no: usize) -> Result<Vec<Fact>, String> {
+    items
+        .iter()
+        .map(|s| {
+            Fact::from_id(s).ok_or_else(|| {
+                format!(
+                    "policy line {line_no}: unknown rule `{s}` (expected can-panic/can-block/can-alloc)"
+                )
+            })
+        })
+        .collect()
+}
+
+/// Parses the policy text. Every root and trust entry must name a
+/// function, at least one rule, and a non-empty reason.
+pub fn parse_policy(text: &str) -> Result<Policy, String> {
+    let mut policy = Policy::default();
+    let mut section = Section::None;
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx + 1;
+        let mut line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        match line.as_str() {
+            "[[root]]" => {
+                section = Section::Root;
+                policy.roots.push(RootSpec {
+                    func: String::new(),
+                    deny: Vec::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            "[[trust]]" => {
+                section = Section::Trust;
+                policy.trust.push(TrustSpec {
+                    func: String::new(),
+                    rules: Vec::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            "[ignore]" => {
+                section = Section::Ignore;
+                continue;
+            }
+            s if s.starts_with('[') => {
+                return Err(format!("policy line {line_no}: unknown section `{s}`"));
+            }
+            _ => {}
+        }
+        let Some((key, mut value)) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        else {
+            return Err(format!(
+                "policy line {line_no}: expected `key = value`, got `{line}`"
+            ));
+        };
+        // Multi-line arrays: accumulate until the closing bracket.
+        if value.starts_with('[') && !value.ends_with(']') {
+            for (_, more) in lines.by_ref() {
+                let more = strip_comment(more).trim();
+                value.push(' ');
+                value.push_str(more);
+                if more.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        line = String::new();
+        let _ = line;
+        match (&section, key.as_str()) {
+            (Section::Root, "fn") => {
+                if let Some(r) = policy.roots.last_mut() {
+                    r.func = parse_string(&value, line_no)?;
+                }
+            }
+            (Section::Root, "deny") => {
+                if let Some(r) = policy.roots.last_mut() {
+                    r.deny = parse_facts(&parse_array(&value, line_no)?, line_no)?;
+                }
+            }
+            (Section::Root, "reason") => {
+                if let Some(r) = policy.roots.last_mut() {
+                    r.reason = parse_string(&value, line_no)?;
+                }
+            }
+            (Section::Trust, "fn") => {
+                if let Some(t) = policy.trust.last_mut() {
+                    t.func = parse_string(&value, line_no)?;
+                }
+            }
+            (Section::Trust, "rules") => {
+                if let Some(t) = policy.trust.last_mut() {
+                    t.rules = parse_facts(&parse_array(&value, line_no)?, line_no)?;
+                }
+            }
+            (Section::Trust, "reason") => {
+                if let Some(t) = policy.trust.last_mut() {
+                    t.reason = parse_string(&value, line_no)?;
+                }
+            }
+            (Section::Ignore, "methods") => {
+                policy.ignore_methods = parse_array(&value, line_no)?;
+            }
+            (Section::Ignore, "files") => {
+                policy.ignore_files = parse_array(&value, line_no)?;
+            }
+            _ => {
+                return Err(format!("policy line {line_no}: key `{key}` not valid here"));
+            }
+        }
+    }
+    for r in &policy.roots {
+        if r.func.is_empty() || r.deny.is_empty() {
+            return Err(format!(
+                "policy root `{}` needs `fn` and a non-empty `deny`",
+                r.func
+            ));
+        }
+        if r.reason.is_empty() {
+            return Err(format!("policy root `{}` must name a reason", r.func));
+        }
+    }
+    for t in &policy.trust {
+        if t.func.is_empty() || t.rules.is_empty() {
+            return Err(format!(
+                "policy trust `{}` needs `fn` and non-empty `rules`",
+                t.func
+            ));
+        }
+        if t.reason.is_empty() {
+            return Err(format!("policy trust `{}` must name a reason", t.func));
+        }
+    }
+    Ok(policy)
+}

@@ -1,0 +1,164 @@
+//! The machine-readable JSON report: graph size, per-root verdicts
+//! with call chains, the full waiver inventory, and every ambiguity.
+//! Hand-rolled emitter — the toolchain takes no external deps.
+
+use crate::{Analysis, Fact, Policy, PolicyResults};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn str_array(items: impl Iterator<Item = String>) -> String {
+    let inner: Vec<String> = items.map(|s| format!("\"{}\"", esc(&s))).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+/// Renders the full report as a JSON object.
+pub fn render_json(analysis: &Analysis, policy: &Policy, results: &PolicyResults) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"files\": {},\n", analysis.files));
+    out.push_str(&format!("  \"functions\": {},\n", analysis.fns.len()));
+    out.push_str(&format!("  \"edges\": {},\n", analysis.edges.len()));
+    out.push_str(&format!(
+        "  \"calls\": {{\"resolved\": {}, \"external\": {}, \"ambiguous\": {}}},\n",
+        analysis.resolved_calls,
+        analysis.external_calls,
+        analysis.ambiguities.len()
+    ));
+    // Per-fact totals: how much of the graph carries each fact.
+    out.push_str("  \"fact_totals\": {");
+    let totals: Vec<String> = Fact::ALL
+        .iter()
+        .map(|f| {
+            format!(
+                "\"{}\": {}",
+                f.id(),
+                analysis.can[f.index()].iter().filter(|&&b| b).count()
+            )
+        })
+        .collect();
+    out.push_str(&totals.join(", "));
+    out.push_str("},\n");
+    // Roots.
+    out.push_str("  \"roots\": [\n");
+    let roots: Vec<String> = results
+        .roots
+        .iter()
+        .map(|r| {
+            let status = if r.fn_idx.is_none() {
+                "unresolved"
+            } else if r.violations.is_empty() {
+                "clean"
+            } else {
+                "violated"
+            };
+            let violations: Vec<String> = r
+                .violations
+                .iter()
+                .map(|chain| {
+                    let hops: Vec<String> = chain
+                        .hops
+                        .iter()
+                        .map(|h| {
+                            let f = &analysis.fns[h.fn_idx];
+                            format!(
+                                "{{\"fn\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                                esc(&f.id),
+                                esc(&f.file),
+                                h.via_line.unwrap_or(f.line)
+                            )
+                        })
+                        .collect();
+                    let last = &analysis.fns[chain.hops.last().map(|h| h.fn_idx).unwrap_or(0)];
+                    format!(
+                        "{{\"rule\": \"{}\", \"chain\": [{}], \"site\": {{\"token\": \"{}\", \"file\": \"{}\", \"line\": {}}}}}",
+                        chain.fact.id(),
+                        hops.join(", "),
+                        esc(&chain.site_token),
+                        esc(&last.file),
+                        chain.site_line
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"fn\": \"{}\", \"deny\": {}, \"status\": \"{}\", \"reachable\": {}, \"violations\": [{}]}}",
+                esc(&r.spec.func),
+                str_array(r.spec.deny.iter().map(|f| f.id().to_string())),
+                status,
+                r.reachable,
+                violations.join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&roots.join(",\n"));
+    out.push_str("\n  ],\n");
+    // Waiver inventory: every site waiver plus the policy trust list.
+    out.push_str("  \"waivers\": [\n");
+    let waivers: Vec<String> = analysis
+        .waiver_decls
+        .iter()
+        .map(|w| {
+            format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}",
+                esc(&w.file),
+                w.line,
+                esc(&w.rule),
+                esc(&w.reason)
+            )
+        })
+        .collect();
+    out.push_str(&waivers.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"trust\": [\n");
+    let trust: Vec<String> = policy
+        .trust
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"fn\": \"{}\", \"rules\": {}, \"reason\": \"{}\"}}",
+                esc(&t.func),
+                str_array(t.rules.iter().map(|f| f.id().to_string())),
+                esc(&t.reason)
+            )
+        })
+        .collect();
+    out.push_str(&trust.join(",\n"));
+    out.push_str("\n  ],\n");
+    // Ambiguities: reported, never dropped.
+    out.push_str("  \"ambiguities\": [\n");
+    let ambs: Vec<String> = analysis
+        .ambiguities
+        .iter()
+        .map(|a| {
+            format!(
+                "    {{\"caller\": \"{}\", \"file\": \"{}\", \"line\": {}, \"call\": \"{}\", \"candidates\": {}}}",
+                esc(&a.caller),
+                esc(&a.file),
+                a.line,
+                esc(&a.call),
+                str_array(a.candidates.iter().cloned())
+            )
+        })
+        .collect();
+    out.push_str(&ambs.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"errors\": {}\n",
+        str_array(results.errors.iter().cloned())
+    ));
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,472 @@
+//! Analyzer test suite: parser coverage, fixture crates with planted
+//! transitive violations (found / waived / ambiguous), policy parsing,
+//! and the workspace-must-be-clean gate mirroring PR 8's lint suite.
+
+use super::*;
+
+fn one_crate(src: &str) -> Vec<SourceFile> {
+    vec![SourceFile {
+        crate_name: "tcrate".into(),
+        rel: "crates/tcrate/src/lib.rs".into(),
+        text: src.into(),
+    }]
+}
+
+fn analyzed(src: &str) -> Analysis {
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    compute_facts(&mut a, &[]);
+    a
+}
+
+#[test]
+fn parser_extracts_fns_methods_and_inline_mods() {
+    let a = analyzed(
+        "pub fn free() {}\n\
+         pub struct Widget;\n\
+         impl Widget {\n\
+             pub fn method(&self) {}\n\
+         }\n\
+         impl std::fmt::Display for Widget {\n\
+             fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+         }\n\
+         mod inner {\n\
+             pub fn nested() {}\n\
+         }\n",
+    );
+    let ids: Vec<&str> = a.fns.iter().map(|f| f.id.as_str()).collect();
+    assert!(ids.contains(&"tcrate::free"), "ids: {ids:?}");
+    assert!(ids.contains(&"tcrate::Widget::method"));
+    assert!(ids.contains(&"tcrate::Widget::fmt"));
+    assert!(ids.contains(&"tcrate::inner::nested"));
+}
+
+#[test]
+fn multi_line_signatures_and_where_clauses_parse() {
+    let a = analyzed(
+        "pub fn long_sig(\n\
+             a: u32,\n\
+             b: [u8; 4],\n\
+         ) -> u32\n\
+         where\n\
+             u32: Copy,\n\
+         {\n\
+             helper(a)\n\
+         }\n\
+         fn helper(x: u32) -> u32 { x }\n",
+    );
+    assert_eq!(a.fns.len(), 2);
+    let edge = a
+        .edges
+        .iter()
+        .any(|e| a.fns[e.caller].name == "long_sig" && a.fns[e.callee].name == "helper");
+    assert!(edge, "bare call in the body must resolve within the crate");
+}
+
+#[test]
+fn intrinsic_sites_are_detected_and_attributed() {
+    let a = analyzed(
+        "pub fn risky(v: &[u32]) -> u32 {\n\
+             let x = v[0];\n\
+             let s = format!(\"{x}\");\n\
+             let _ = s;\n\
+             std::thread::sleep(std::time::Duration::from_millis(1));\n\
+             x\n\
+         }\n",
+    );
+    let f = &a.fns[0];
+    assert!(f
+        .sites
+        .iter()
+        .any(|s| s.fact == Fact::Panic && s.token == "slice-index"));
+    assert!(f
+        .sites
+        .iter()
+        .any(|s| s.fact == Fact::Alloc && s.token == "format!("));
+    assert!(f
+        .sites
+        .iter()
+        .any(|s| s.fact == Fact::Block && s.token == "sleep"));
+    assert!(a.can[Fact::Panic.index()][0]);
+    assert!(a.can[Fact::Alloc.index()][0]);
+    assert!(a.can[Fact::Block.index()][0]);
+}
+
+#[test]
+fn string_and_comment_tokens_are_invisible() {
+    let a = analyzed(
+        "pub fn quiet() {\n\
+             // mentions .unwrap() and panic!() in prose\n\
+             let s = \".unwrap() vec![format!\";\n\
+             let _ = s;\n\
+         }\n",
+    );
+    assert!(a.fns[0].sites.is_empty(), "sites: {:?}", a.fns[0].sites);
+}
+
+#[test]
+fn test_code_is_masked_out() {
+    let a = analyzed(
+        "pub fn prod() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             pub fn t() { x.unwrap(); }\n\
+         }\n",
+    );
+    assert_eq!(a.fns.len(), 1);
+    assert_eq!(a.fns[0].name, "prod");
+}
+
+#[test]
+fn transitive_panic_propagates_and_explains() {
+    let src = "pub fn root() { mid(); }\n\
+               fn mid() { deep(); }\n\
+               fn deep() { opt().unwrap(); }\n\
+               fn opt() -> Option<u32> { None }\n";
+    let a = analyzed(src);
+    let root = a.index_of("tcrate::root").expect("root parsed");
+    assert!(
+        a.can[Fact::Panic.index()][root],
+        "panic must propagate to root"
+    );
+    let chain = explain(&a, root, Fact::Panic).expect("chain exists");
+    assert_eq!(chain.hops.len(), 3, "root → mid → deep");
+    assert_eq!(chain.site_token, ".unwrap()");
+    let rendered = render_chain(&a, &chain);
+    assert!(rendered.contains("tcrate::root"));
+    assert!(rendered.contains("tcrate::deep"));
+    assert!(rendered.contains(".unwrap()"));
+}
+
+#[test]
+fn waived_sites_do_not_seed_propagation() {
+    let src = "pub fn root() { helper(); }\n\
+               fn helper() {\n\
+                   // analyze: allow(can-panic) — invariant: map is pre-filled\n\
+                   map().unwrap();\n\
+               }\n\
+               fn map() -> Option<u32> { Some(1) }\n";
+    let a = analyzed(src);
+    let root = a.index_of("tcrate::root").expect("root parsed");
+    assert!(
+        !a.can[Fact::Panic.index()][root],
+        "waived site must not propagate"
+    );
+    assert!(a.waiver_decls.iter().any(|w| w.rule == "can-panic"));
+}
+
+#[test]
+fn waived_call_edges_cut_propagation() {
+    let src = "pub fn root() {\n\
+                   // analyze: allow(can-alloc) — cold path: once per session\n\
+                   build_cache();\n\
+               }\n\
+               fn build_cache() { let v = vec![1, 2]; let _ = v; }\n";
+    let a = analyzed(src);
+    let root = a.index_of("tcrate::root").expect("root parsed");
+    assert!(!a.can[Fact::Alloc.index()][root]);
+    // The callee itself still carries the fact.
+    let callee = a.index_of("tcrate::build_cache").expect("callee parsed");
+    assert!(a.can[Fact::Alloc.index()][callee]);
+}
+
+#[test]
+fn trust_entries_cut_propagation_at_the_boundary() {
+    let src = "pub fn root() { audited(); }\n\
+               pub fn audited() { inner().unwrap(); }\n\
+               fn inner() -> Option<u32> { Some(1) }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let trust = vec![TrustSpec {
+        func: "tcrate::audited".into(),
+        rules: vec![Fact::Panic],
+        reason: "test: audited boundary".into(),
+    }];
+    let errors = compute_facts(&mut a, &trust);
+    assert!(errors.is_empty());
+    let root = a.index_of("tcrate::root").expect("root parsed");
+    let audited = a.index_of("tcrate::audited").expect("audited parsed");
+    assert!(
+        a.can[Fact::Panic.index()][audited],
+        "trusted fn keeps its own facts"
+    );
+    assert!(!a.can[Fact::Panic.index()][root], "caller must not inherit");
+}
+
+#[test]
+fn unknown_trust_fn_is_an_error_not_a_silent_skip() {
+    let mut a = analyze_sources(&one_crate("pub fn f() {}\n"), &[]);
+    let trust = vec![TrustSpec {
+        func: "tcrate::no_such_fn".into(),
+        rules: vec![Fact::Panic],
+        reason: "typo".into(),
+    }];
+    let errors = compute_facts(&mut a, &trust);
+    assert_eq!(errors.len(), 1);
+    assert!(errors[0].contains("no_such_fn"));
+}
+
+#[test]
+fn cross_crate_calls_resolve_by_path_and_import() {
+    let sources = vec![
+        SourceFile {
+            crate_name: "alpha".into(),
+            rel: "crates/alpha/src/lib.rs".into(),
+            text: "use beta::helpers::step;\n\
+                   pub fn go(x: u32) -> u32 { step(x) + beta::helpers::step(x) }\n"
+                .into(),
+        },
+        SourceFile {
+            crate_name: "beta".into(),
+            rel: "crates/beta/src/helpers.rs".into(),
+            text: "pub fn step(x: u32) -> u32 { x + 1 }\n".into(),
+        },
+    ];
+    let a = analyze_sources(&sources, &[]);
+    let go = a.index_of("alpha::go").expect("go parsed");
+    let step = a.index_of("beta::helpers::step").expect("step parsed");
+    let hits = a
+        .edges
+        .iter()
+        .filter(|e| e.caller == go && e.callee == step)
+        .count();
+    assert_eq!(
+        hits, 2,
+        "both the imported and the fully-qualified call resolve"
+    );
+}
+
+#[test]
+fn fn_references_in_higher_order_calls_get_edges() {
+    let src = "pub struct Out;\n\
+               impl Out {\n\
+                   pub fn logic_only(self) -> Out { opt().unwrap() }\n\
+               }\n\
+               fn opt() -> Option<Out> { None }\n\
+               pub fn root(v: Vec<Out>) -> Vec<Out> {\n\
+                   v.into_iter().map(Out::logic_only).collect()\n\
+               }\n";
+    let a = analyzed(src);
+    let root = a.index_of("tcrate::root").expect("root parsed");
+    assert!(
+        a.can[Fact::Panic.index()][root],
+        "`map(Out::logic_only)` must carry the callee's facts"
+    );
+}
+
+#[test]
+fn ambiguous_method_calls_are_reported_with_conservative_edges() {
+    let sources = vec![
+        SourceFile {
+            crate_name: "one".into(),
+            rel: "crates/one/src/lib.rs".into(),
+            text: "pub struct A;\nimpl A { pub fn emit(&self) {} }\n".into(),
+        },
+        SourceFile {
+            crate_name: "two".into(),
+            rel: "crates/two/src/lib.rs".into(),
+            text: "pub struct B;\nimpl B { pub fn emit(&self) { x().unwrap(); }\n}\n\
+                   fn x() -> Option<u32> { None }\n"
+                .into(),
+        },
+        SourceFile {
+            crate_name: "caller".into(),
+            rel: "crates/caller/src/lib.rs".into(),
+            text: "use one::A;\nuse two::B;\npub fn go(a: &A) { a.emit(); }\n".into(),
+        },
+    ];
+    let a = analyzed_multi(sources);
+    assert_eq!(a.ambiguities.len(), 1, "the .emit() call is ambiguous");
+    assert_eq!(a.ambiguities[0].candidates.len(), 2);
+    // Conservative: the caller inherits the worst candidate's facts.
+    let go = a.index_of("caller::go").expect("go parsed");
+    assert!(a.can[Fact::Panic.index()][go]);
+}
+
+fn analyzed_multi(sources: Vec<SourceFile>) -> Analysis {
+    let mut a = analyze_sources(&sources, &[]);
+    compute_facts(&mut a, &[]);
+    a
+}
+
+#[test]
+fn self_receiver_methods_resolve_unambiguously() {
+    let sources = vec![
+        SourceFile {
+            crate_name: "one".into(),
+            rel: "crates/one/src/lib.rs".into(),
+            text: "pub struct A;\n\
+                   impl A {\n\
+                       pub fn run(&self) { self.emit(); }\n\
+                       fn emit(&self) {}\n\
+                   }\n"
+            .into(),
+        },
+        SourceFile {
+            crate_name: "two".into(),
+            rel: "crates/two/src/lib.rs".into(),
+            text: "pub struct B;\nimpl B { pub fn emit(&self) { panic!(); } }\n".into(),
+        },
+    ];
+    let a = analyzed_multi(sources);
+    assert!(
+        a.ambiguities.is_empty(),
+        "self.emit() resolves to the owner's method: {:?}",
+        a.ambiguities
+    );
+    let run = a.index_of("one::A::run").expect("run parsed");
+    assert!(!a.can[Fact::Panic.index()][run]);
+}
+
+#[test]
+fn ignore_methods_suppress_std_name_collisions() {
+    let sources = vec![
+        SourceFile {
+            crate_name: "one".into(),
+            rel: "crates/one/src/lib.rs".into(),
+            text: "pub struct Q;\nimpl Q { pub fn push(&mut self, x: u32) { panic!(); } }\n".into(),
+        },
+        SourceFile {
+            crate_name: "caller".into(),
+            rel: "crates/caller/src/lib.rs".into(),
+            // analyze: allow is absent on purpose: `.push(` is still an
+            // intrinsic alloc token even when the call is ignored.
+            text: "use one::Q;\npub fn go(v: &mut Vec<u32>) { v.push(1); }\n".into(),
+        },
+    ];
+    let mut a = analyze_sources(&sources, &["push".to_string()]);
+    compute_facts(&mut a, &[]);
+    let go = a.index_of("caller::go").expect("go parsed");
+    assert!(
+        !a.can[Fact::Panic.index()][go],
+        "ignored method adds no panic edge"
+    );
+    assert!(
+        a.can[Fact::Alloc.index()][go],
+        "intrinsic token still fires"
+    );
+}
+
+#[test]
+fn policy_parses_roots_trust_and_ignore() {
+    let p = parse_policy(
+        "# comment\n\
+         [[root]]\n\
+         fn = \"a::b\"            # trailing comment\n\
+         deny = [\"can-panic\", \"can-alloc\"]\n\
+         reason = \"drain must not die\"\n\
+         \n\
+         [[trust]]\n\
+         fn = \"a::c\"\n\
+         rules = [\"can-alloc\"]\n\
+         reason = \"audited arena\"\n\
+         \n\
+         [ignore]\n\
+         methods = [\n\
+             \"push\",\n\
+             \"insert\",\n\
+         ]\n\
+         files = [\"crates/x/src/shim.rs\"]\n",
+    )
+    .expect("policy parses");
+    assert_eq!(p.roots.len(), 1);
+    assert_eq!(p.roots[0].deny, vec![Fact::Panic, Fact::Alloc]);
+    assert_eq!(p.trust.len(), 1);
+    assert_eq!(p.ignore_methods, vec!["push", "insert"]);
+    assert_eq!(p.ignore_files, vec!["crates/x/src/shim.rs"]);
+}
+
+#[test]
+fn policy_rejects_missing_reasons_and_unknown_rules() {
+    assert!(parse_policy("[[root]]\nfn = \"a\"\ndeny = [\"can-panic\"]\n").is_err());
+    assert!(
+        parse_policy("[[root]]\nfn = \"a\"\ndeny = [\"can-explode\"]\nreason = \"x\"\n").is_err()
+    );
+}
+
+#[test]
+fn reasonless_waivers_are_policy_errors() {
+    let src = "pub fn root() {\n\
+                   // analyze: allow(can-panic)\n\
+                   x().unwrap();\n\
+               }\n\
+               fn x() -> Option<u32> { None }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let policy = Policy::default();
+    let results = check_policy(&mut a, &policy);
+    assert!(
+        results.errors.iter().any(|e| e.contains("no reason")),
+        "errors: {:?}",
+        results.errors
+    );
+}
+
+#[test]
+fn unresolved_policy_roots_are_errors() {
+    let mut a = analyze_sources(&one_crate("pub fn f() {}\n"), &[]);
+    let policy =
+        parse_policy("[[root]]\nfn = \"tcrate::ghost\"\ndeny = [\"can-panic\"]\nreason = \"x\"\n")
+            .expect("parses");
+    let results = check_policy(&mut a, &policy);
+    assert!(!results.clean());
+    assert!(results.errors.iter().any(|e| e.contains("ghost")));
+}
+
+#[test]
+fn violation_chains_reach_the_json_report() {
+    let src = "pub fn root() { deep(); }\n\
+               fn deep() { x().unwrap(); }\n\
+               fn x() -> Option<u32> { None }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let policy =
+        parse_policy("[[root]]\nfn = \"tcrate::root\"\ndeny = [\"can-panic\"]\nreason = \"t\"\n")
+            .expect("parses");
+    let results = check_policy(&mut a, &policy);
+    assert!(!results.clean());
+    let json = report::render_json(&a, &policy, &results);
+    assert!(json.contains("\"status\": \"violated\""));
+    assert!(json.contains("tcrate::deep"));
+    assert!(json.contains(".unwrap()"));
+}
+
+/// The built-in self-test is also a unit test: plant a violation three
+/// calls deep, find it, pass the waived one, report the ambiguity.
+#[test]
+fn self_test_finds_the_planted_violation() {
+    let evidence = self_test().expect("self-test passes");
+    assert!(evidence.contains("3 calls deep"));
+    assert!(evidence.contains("fix_core"));
+}
+
+/// The whole point: the real workspace, under the real policy, is
+/// clean. Any future PR that adds a transitive panic/alloc/block to a
+/// protected root fails here before CI even runs the binary.
+#[test]
+fn workspace_is_clean_under_the_checked_in_policy() {
+    let root = magnon_lint::workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the analyzer lives inside the workspace");
+    let policy_text = std::fs::read_to_string(root.join("analysis-policy.toml"))
+        .expect("analysis-policy.toml is checked in");
+    let policy = parse_policy(&policy_text).expect("policy parses");
+    assert!(!policy.roots.is_empty(), "policy must declare roots");
+    let sources = load_workspace(&root, &policy.ignore_files);
+    assert!(sources.len() > 20, "the walk must find the crates");
+    let mut analysis = analyze_sources(&sources, &policy.ignore_methods);
+    let results = check_policy(&mut analysis, &policy);
+    let mut rendered = String::new();
+    for e in &results.errors {
+        rendered.push_str(&format!("error: {e}\n"));
+    }
+    for r in &results.roots {
+        for chain in &r.violations {
+            rendered.push_str(&format!(
+                "VIOLATION [{}] root {}\n{}",
+                chain.fact.id(),
+                r.spec.func,
+                render_chain(&analysis, chain)
+            ));
+        }
+    }
+    assert!(
+        results.clean(),
+        "workspace must be analyzer-clean under analysis-policy.toml:\n{rendered}"
+    );
+}

@@ -1,0 +1,859 @@
+//! The workspace invariant linter: project-specific static rules the
+//! compiler cannot express — and the shared lexing layer the semantic
+//! analyzer (`tools/analyze`) builds its call graph on.
+//!
+//! Run the linter from anywhere in the repo:
+//!
+//! ```text
+//! cargo run -p magnon-lint            # exit 0 = clean, 1 = findings
+//! cargo run -p magnon-lint -- --root /path/to/workspace
+//! ```
+//!
+//! # Rules
+//!
+//! | id                    | scope                 | requirement |
+//! |-----------------------|-----------------------|-------------|
+//! | `safety-comment`      | all crates/tools      | every `unsafe` carries a `// SAFETY:` comment on the same line or within 5 lines above |
+//! | `ordering-rationale`  | all crates/tools      | every non-`SeqCst` atomic ordering carries an `// ordering:` rationale on the same line or within 8 lines above |
+//! | `hot-path-sleep`      | declared hot files    | no `thread::sleep` on the serving hot path (the PR 5 client read-path stall class) |
+//! | `drain-path-panic`    | declared drain files  | no `unwrap`/`expect`/`panic!`-family macros or slice indexing in the serve drain and net decode paths |
+//! | `std-sync-import`     | façade-ported crates  | no direct `std::sync`/`std::thread`/`std::time::Instant` — sync primitives go through `magnon_core::sync` so `cfg(mcheck)` can instrument them |
+//!
+//! # Mechanics
+//!
+//! The scanner is line-based but lexes enough Rust to be trustworthy:
+//! string literals (plain, raw, byte), char literals and comments are
+//! stripped from the *code* view before token rules run, and comment
+//! text is kept as a separate view for the `SAFETY:`/`ordering:`
+//! rationale checks. `#[cfg(test)]` items (whole `mod tests { … }`
+//! blocks included) are skipped entirely — test code may unwrap.
+//!
+//! A finding can be waived where the invariant genuinely does not
+//! apply, with a comment on the same line or the two lines above:
+//!
+//! ```text
+//! // lint: allow(drain-path-panic) — deliberate crash on corrupt index
+//! ```
+//!
+//! Waivers are themselves greppable, so the escape hatch stays
+//! auditable. The semantic analyzer reuses the same syntax under its
+//! own tool tag (`// analyze: allow(can-panic) — reason`) and
+//! *requires* the reason text; [`waiver_reason`] is the shared parser.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files where blocking the thread stalls unrelated requests: the
+/// serve drain/submit path and the net client's shared read path
+/// (`magnon-net/src/server.rs` is deliberately absent — its accept
+/// loop and writer pump own their threads and may back off).
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/serve/src/scheduler.rs",
+    "crates/serve/src/request.rs",
+    "crates/serve/src/telemetry.rs",
+    "crates/serve/src/pipeline.rs",
+    "crates/serve/src/dispatch.rs",
+    "crates/net/src/client.rs",
+];
+
+/// Files whose failure mode must be an error value, not a panic: a
+/// panic in the serve drain kills a worker shard; a panic in frame
+/// decoding lets one malformed peer kill a connection thread.
+pub const DRAIN_PATH_FILES: &[&str] = &[
+    "crates/serve/src/scheduler.rs",
+    "crates/net/src/protocol.rs",
+];
+
+/// Crates that must not import `std::sync`/`std::thread`/
+/// `std::time::Instant` directly: the façade-ported serving crates
+/// (dodging `magnon_core::sync` dodges `cfg(mcheck)` instrumentation)
+/// plus the crates the scheduler and compiler lean on — `crates/check`
+/// (whose *modeled* world must go through the façade; its own
+/// controller lock is the waived exception), `crates/compiler` and
+/// `crates/circuits` (pure data-structure crates where a stray
+/// `Instant` or ad-hoc thread would be a design smell and invisible to
+/// the model checker).
+pub const FACADE_DIRS: &[&str] = &[
+    "crates/serve/src",
+    "crates/net/src",
+    "crates/check/src",
+    "crates/compiler/src",
+    "crates/circuits/src",
+];
+
+/// Directory names never scanned (vendored code, build output, test
+/// trees — test code is exempt from these rules wholesale).
+pub const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "examples"];
+
+/// The lint rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    SafetyComment,
+    OrderingRationale,
+    HotPathSleep,
+    DrainPathPanic,
+    StdSyncImport,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "safety-comment",
+            Rule::OrderingRationale => "ordering-rationale",
+            Rule::HotPathSleep => "hot-path-sleep",
+            Rule::DrainPathPanic => "drain-path-panic",
+            Rule::StdSyncImport => "std-sync-import",
+        }
+    }
+
+    pub fn requirement(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => {
+                "`unsafe` needs a `// SAFETY:` comment on the same line or within 5 lines above"
+            }
+            Rule::OrderingRationale => {
+                "non-SeqCst atomic ordering needs an `// ordering:` rationale on the same line \
+                 or within 8 lines above"
+            }
+            Rule::HotPathSleep => {
+                "no `thread::sleep` in declared hot-path modules — a sleeping worker stalls \
+                 every request behind it (park on a channel or condvar instead)"
+            }
+            Rule::DrainPathPanic => {
+                "no `unwrap`/`expect`/panic macros/slice indexing in drain or decode paths — \
+                 return an error so one bad request cannot kill the worker"
+            }
+            Rule::StdSyncImport => {
+                "no direct `std::sync`/`std::thread`/`std::time::Instant` in façade-ported \
+                 crates — import through `magnon_core::sync` so `cfg(mcheck)` instruments it"
+            }
+        }
+    }
+}
+
+/// One violation, addressable as `file:line`.
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.rule.requirement(),
+            self.excerpt.trim()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split each source line into a code view and a comment view.
+// ---------------------------------------------------------------------------
+
+/// Multi-line lexer state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Normal,
+    /// Inside `/* … */`, with nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(u8),
+}
+
+/// One source line split into what the compiler executes and what the
+/// human wrote beside it.
+#[derive(Debug, Default, Clone)]
+pub struct LineViews {
+    /// The line with strings, chars and comments removed.
+    pub code: String,
+    /// All comment text on the line (line + block comments).
+    pub comment: String,
+}
+
+/// Strips strings and comments, line by line, carrying state across
+/// line breaks (multi-line strings and block comments).
+pub struct Stripper {
+    state: LexState,
+}
+
+impl Default for Stripper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stripper {
+    pub fn new() -> Self {
+        Stripper {
+            state: LexState::Normal,
+        }
+    }
+
+    pub fn strip(&mut self, line: &str) -> LineViews {
+        let mut views = LineViews::default();
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            match self.state {
+                LexState::BlockComment(depth) => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        self.state = if depth > 1 {
+                            LexState::BlockComment(depth - 1)
+                        } else {
+                            LexState::Normal
+                        };
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        i += 2;
+                        self.state = LexState::BlockComment(depth + 1);
+                    } else {
+                        views.comment.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                LexState::Str => {
+                    if bytes[i] == '\\' {
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        self.state = LexState::Normal;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    if bytes[i] == '"' {
+                        let mut seen = 0u8;
+                        while seen < hashes && bytes.get(i + 1 + seen as usize) == Some(&'#') {
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            i += 1 + hashes as usize;
+                            self.state = LexState::Normal;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                LexState::Normal => {
+                    let c = bytes[i];
+                    let prev_ident =
+                        i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == '_');
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        views.comment.extend(&bytes[i + 2..]);
+                        break;
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        self.state = LexState::BlockComment(1);
+                        i += 2;
+                    } else if c == '"' {
+                        self.state = LexState::Str;
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && !prev_ident {
+                        // r"…", r#"…"#, b"…", br"…", br#"…"#.
+                        let mut j = i + 1;
+                        if c == 'b' && bytes.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u8;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            self.state = if hashes > 0 {
+                                LexState::RawStr(hashes)
+                            } else if c == 'r' || (c == 'b' && j > i + 1) {
+                                LexState::RawStr(0)
+                            } else {
+                                LexState::Str
+                            };
+                            i = j + 1;
+                        } else {
+                            views.code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal or lifetime. A char literal closes
+                        // with a quote within a few chars; a lifetime
+                        // does not.
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            i += 3;
+                        } else {
+                            // Lifetime: keep the quote in the code view
+                            // so `&'a [u8]` stays recognizable as a
+                            // type, not an index expression.
+                            views.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        views.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        views
+    }
+}
+
+/// Strips a whole source into per-line views (fresh lexer state).
+pub fn split_views(source: &str) -> Vec<LineViews> {
+    let mut stripper = Stripper::new();
+    source.lines().map(|l| stripper.strip(l)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers on the stripped code view.
+// ---------------------------------------------------------------------------
+
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Whether `code` contains `word` with non-identifier characters on
+/// both sides.
+pub fn has_word(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok =
+            start == 0 || !is_ident_char(code[..start].chars().next_back().unwrap_or(' '));
+        let after_ok =
+            end >= code.len() || !is_ident_char(code[end..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Whether `code` indexes a slice/array/map: a `[` whose preceding
+/// non-space token ends an expression (an identifier, `)`, `]`, `?`).
+/// Attribute `#[…]`, macro `vec![…]`, array types `[u8; 4]`, slice
+/// patterns, lifetimes (`&'a [u8]`) and type-position keywords
+/// (`&mut [u8]`) all read differently and do not match.
+pub fn has_slice_index(code: &str) -> bool {
+    const TYPE_KEYWORDS: &[&str] = &[
+        "mut", "dyn", "impl", "as", "in", "where", "const", "static", "return", "break", "else",
+        "let", "match", "ref",
+    ];
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && chars[j - 1].is_whitespace() {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let p = chars[j - 1];
+        if p == ')' || p == ']' || p == '?' {
+            return true;
+        }
+        if is_ident_char(p) {
+            let mut s = j - 1;
+            while s > 0 && is_ident_char(chars[s - 1]) {
+                s -= 1;
+            }
+            let ident: String = chars[s..j].iter().collect();
+            let lifetime = s > 0 && chars[s - 1] == '\'';
+            if !lifetime && !TYPE_KEYWORDS.contains(&ident.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+pub const NON_SEQCST: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+pub const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect("];
+pub const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+pub const STD_SYNC_TOKENS: &[&str] = &["std::sync::", "std::thread", "std::time::Instant"];
+
+// ---------------------------------------------------------------------------
+// Per-file lint driver.
+// ---------------------------------------------------------------------------
+
+/// How a file's path classifies it for the scoped rules.
+#[derive(Debug, Clone, Copy, Default)]
+struct FileClass {
+    hot_path: bool,
+    drain_path: bool,
+    facade: bool,
+}
+
+fn classify(rel: &str) -> FileClass {
+    FileClass {
+        hot_path: HOT_PATH_FILES.contains(&rel),
+        drain_path: DRAIN_PATH_FILES.contains(&rel),
+        facade: FACADE_DIRS.iter().any(|d| rel.starts_with(d)),
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute line
+/// through the end of the item's braces, or its `;` for brace-less
+/// items). Brace counting runs on the stripped code view, so braces in
+/// strings and comments cannot desynchronize it.
+pub fn cfg_test_mask(lines: &[LineViews]) -> Vec<bool> {
+    cfg_mask(lines, &["#[cfg(test)]", "#[cfg(all(test"])
+}
+
+/// [`cfg_test_mask`] generalized over the attribute markers that start
+/// a masked item — the semantic analyzer also masks `#[cfg(mcheck)]`
+/// items, which exist only in instrumented builds and must not appear
+/// in the production call graph.
+pub fn cfg_mask(lines: &[LineViews], markers: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !markers.iter().any(|m| lines[i].code.contains(m)) {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            if !opened && j > i && lines[j].code.contains(';') {
+                // A brace-less item (`use …;`, `fn f();`) ends here.
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Whether line `idx` (0-based) carries a waiver for `rule` on itself
+/// or the two lines above.
+fn waived(lines: &[LineViews], idx: usize, rule: Rule) -> bool {
+    waiver_reason(lines, idx, "lint", rule.id()).is_some()
+}
+
+/// The shared waiver parser: scans the comments of line `idx` and the
+/// two lines above for `<tool>: allow(<rule>)`. Returns the reason
+/// text following the closing paren (separator punctuation trimmed) —
+/// `Some("")` for a waiver that names no reason, `None` for no waiver.
+/// Both the linter (`lint:` tag, reason optional) and the semantic
+/// analyzer (`analyze:` tag, reason mandatory) resolve waivers here,
+/// so the two tools cannot drift on placement rules.
+pub fn waiver_reason(lines: &[LineViews], idx: usize, tool: &str, rule: &str) -> Option<String> {
+    let needle = format!("{tool}: allow({rule})");
+    for l in &lines[idx.saturating_sub(2)..=idx.min(lines.len() - 1)] {
+        if let Some(pos) = l.comment.find(&needle) {
+            let reason = l.comment[pos + needle.len()..]
+                .trim_start_matches(|c: char| {
+                    c.is_whitespace() || c == '—' || c == '-' || c == ':' || c == '–'
+                })
+                .trim()
+                .to_string();
+            return Some(reason);
+        }
+    }
+    None
+}
+
+/// Whether any comment in the `window` lines ending at `idx` (same
+/// line included) contains `marker`.
+fn rationale_nearby(lines: &[LineViews], idx: usize, window: usize, marker: &str) -> bool {
+    lines[idx.saturating_sub(window)..=idx]
+        .iter()
+        .any(|l| l.comment.contains(marker))
+}
+
+/// Lints one file's source. `rel` is the workspace-relative path with
+/// forward slashes (it selects the scoped rules).
+pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    let class = classify(rel);
+    let lines = split_views(source);
+    let test_mask = cfg_test_mask(&lines);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    let report = |idx: usize, rule: Rule, findings: &mut Vec<Finding>| {
+        if !waived(&lines, idx, rule) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule,
+                excerpt: raw_lines.get(idx).unwrap_or(&"").to_string(),
+            });
+        }
+    };
+    for (idx, line) in lines.iter().enumerate() {
+        if test_mask[idx] || line.code.trim().is_empty() {
+            continue;
+        }
+        let code = &line.code;
+        if has_word(code, "unsafe") && !rationale_nearby(&lines, idx, 5, "SAFETY:") {
+            report(idx, Rule::SafetyComment, &mut findings);
+        }
+        if NON_SEQCST.iter().any(|o| code.contains(o))
+            && !rationale_nearby(&lines, idx, 8, "ordering:")
+        {
+            report(idx, Rule::OrderingRationale, &mut findings);
+        }
+        if class.hot_path && (code.contains("thread::sleep") || has_word(code, "sleep_ms")) {
+            report(idx, Rule::HotPathSleep, &mut findings);
+        }
+        if class.drain_path {
+            let panics = PANIC_TOKENS.iter().any(|t| code.contains(t))
+                || PANIC_MACROS.iter().any(|m| {
+                    code.find(m).is_some_and(|pos| {
+                        pos == 0 || !is_ident_char(code[..pos].chars().next_back().unwrap_or(' '))
+                    })
+                })
+                || has_slice_index(code);
+            if panics {
+                report(idx, Rule::DrainPathPanic, &mut findings);
+            }
+        }
+        if class.facade && STD_SYNC_TOKENS.iter().any(|t| code.contains(t)) {
+            report(idx, Rule::StdSyncImport, &mut findings);
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk.
+// ---------------------------------------------------------------------------
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collects `.rs` files under `dir`, skipping [`SKIP_DIRS`] and
+/// dotted directories, in sorted order.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every non-test `.rs` file under `crates/` and `tools/` of the
+/// workspace at `root`. Returns the findings and the file count.
+pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
+    let mut files = Vec::new();
+    for sub in ["crates", "tools"] {
+        collect_rs_files(&root.join(sub), &mut files);
+    }
+    let mut findings = Vec::new();
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    (findings, files.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_all(source: &str) -> Vec<LineViews> {
+        split_views(source)
+    }
+
+    #[test]
+    fn stripper_separates_code_and_comments() {
+        let views = strip_all(
+            "let x = 1; // trailing note\n\
+             let s = \"panic!(\\\"in a string\\\")\";\n\
+             /* block panic!() comment\n\
+             still comment */ let y = 2;\n\
+             let r = r#\"raw .unwrap() text\"#;\n\
+             let c = 'x'; let lt: &'static str = \"\";",
+        );
+        assert_eq!(views[0].code.trim(), "let x = 1;");
+        assert!(views[0].comment.contains("trailing note"));
+        assert!(!views[1].code.contains("panic"));
+        assert!(views[2].comment.contains("block panic"));
+        assert_eq!(views[3].code.trim(), "let y = 2;");
+        assert!(!views[4].code.contains("unwrap"));
+        // Char literal contents vanish; the lifetime quote survives so
+        // type syntax stays recognizable.
+        assert!(views[5].code.contains("&'static str"));
+        assert!(!views[5].code.contains('x'));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let views = strip_all("/* outer /* inner */ still out */ let z = 3;");
+        assert_eq!(views[0].code.trim(), "let z = 3;");
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let bad = "fn f() {\n    unsafe { std::hint::unreachable_unchecked() }\n}";
+        let findings = lint_source("crates/x/src/lib.rs", bad);
+        assert!(findings.iter().any(|f| f.rule == Rule::SafetyComment));
+        let good = "fn f() {\n    // SAFETY: caller guarantees the invariant.\n    unsafe { std::hint::unreachable_unchecked() }\n}";
+        assert!(lint_source("crates/x/src/lib.rs", good)
+            .iter()
+            .all(|f| f.rule != Rule::SafetyComment));
+    }
+
+    #[test]
+    fn non_seqcst_ordering_needs_rationale() {
+        let bad = "counter.fetch_add(1, Ordering::Relaxed);";
+        let findings = lint_source("crates/x/src/lib.rs", bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::OrderingRationale);
+        let good = "// ordering: monotonic counter, no data published.\ncounter.fetch_add(1, Ordering::Relaxed);";
+        assert!(lint_source("crates/x/src/lib.rs", good).is_empty());
+        // SeqCst needs no comment.
+        assert!(lint_source("crates/x/src/lib.rs", "c.load(Ordering::SeqCst);").is_empty());
+    }
+
+    #[test]
+    fn sleep_is_flagged_only_on_hot_path_files() {
+        let source = "fn f() { thread::sleep(Duration::from_millis(1)); }";
+        assert!(lint_source("crates/net/src/client.rs", source)
+            .iter()
+            .any(|f| f.rule == Rule::HotPathSleep));
+        // server.rs is not a declared hot path: its pump may back off.
+        assert!(lint_source("crates/net/src/server.rs", source)
+            .iter()
+            .all(|f| f.rule != Rule::HotPathSleep));
+    }
+
+    /// The acceptance criterion's deliberately seeded violation: a
+    /// drain-path file with an `unwrap` (and friends) must fail.
+    #[test]
+    fn seeded_drain_path_violations_fail() {
+        for bad in [
+            "let x = slot.take().unwrap();",
+            "let x = slot.take().expect(\"filled\");",
+            "panic!(\"corrupt\");",
+            "unreachable!();",
+            "let lead = group[0].gate;",
+            "let head = buf[..4].to_vec();",
+            "let b = chunk?[0];",
+        ] {
+            let findings = lint_source("crates/serve/src/scheduler.rs", bad);
+            assert!(
+                findings.iter().any(|f| f.rule == Rule::DrainPathPanic),
+                "must flag drain-path panic in: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_path_rule_spares_non_panicking_idioms() {
+        for good in [
+            "let x = slot.unwrap_or(0);",
+            "let x = slot.unwrap_or_else(Vec::new);",
+            "let x = map.get(key);",
+            "#[derive(Debug)]",
+            "let v = vec![1, 2, 3];",
+            "let t: [u8; 4] = [0; 4];",
+            "matches!(x, [..])",
+            "self.meta.get(gate).copied()",
+            "fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {",
+            "bytes: &'a [u8],",
+            "f(&mut [1, 2]);",
+            "return [a, b];",
+            "let [byte] = self.array::<1>()?;",
+        ] {
+            assert!(
+                lint_source("crates/serve/src/scheduler.rs", good).is_empty(),
+                "must not flag: {good}"
+            );
+        }
+    }
+
+    #[test]
+    fn std_sync_imports_are_banned_in_facade_crates() {
+        for bad in [
+            "use std::sync::Arc;",
+            "use std::thread;",
+            "let t = std::time::Instant::now();",
+        ] {
+            let findings = lint_source("crates/serve/src/telemetry.rs", bad);
+            assert!(
+                findings.iter().any(|f| f.rule == Rule::StdSyncImport),
+                "must flag std sync import: {bad}"
+            );
+        }
+        // Non-façade crates may use std::sync directly (core IS the façade).
+        assert!(lint_source("crates/core/src/sync/shim.rs", "use std::sync::Arc;").is_empty());
+        // std::time::Duration is a plain value type, not a sync primitive.
+        assert!(lint_source("crates/net/src/protocol.rs", "use std::time::Duration;").is_empty());
+    }
+
+    /// PR 9 widened the façade rule beyond the serving crates: the
+    /// model checker, the compiler and the circuits crate must route
+    /// sync primitives through `magnon_core::sync` too (or carry a
+    /// reasoned waiver, like the checker's own controller lock).
+    #[test]
+    fn facade_rule_covers_check_compiler_and_circuits() {
+        for rel in [
+            "crates/check/src/harness.rs",
+            "crates/compiler/src/place.rs",
+            "crates/circuits/src/netlist.rs",
+        ] {
+            let findings = lint_source(rel, "use std::sync::Mutex;");
+            assert!(
+                findings.iter().any(|f| f.rule == Rule::StdSyncImport),
+                "must flag std sync import in {rel}"
+            );
+        }
+        let waived = "// lint: allow(std-sync-import) — controller lock must not be modeled\n\
+                      use std::sync::Mutex;";
+        assert!(lint_source("crates/check/src/harness.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let source = "fn prod() {}\n\
+                      #[cfg(test)]\n\
+                      mod tests {\n\
+                          use std::sync::Arc;\n\
+                          fn t() { x.unwrap(); thread::sleep(d); }\n\
+                      }\n";
+        assert!(lint_source("crates/serve/src/scheduler.rs", source).is_empty());
+        // …but code after the test mod is linted again.
+        let tail = format!("{source}fn later() {{ y.unwrap(); }}\n");
+        let findings = lint_source("crates/serve/src/scheduler.rs", &tail);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 7);
+    }
+
+    #[test]
+    fn waivers_silence_a_single_rule_on_a_single_site() {
+        let waived = "// Deliberate crash on corrupt state.\n\
+                      // lint: allow(drain-path-panic)\n\
+                      assert_no_panics();\n\
+                      let lead = group[0].gate;\n\
+                      let next = group[1].gate;";
+        let findings = lint_source("crates/serve/src/scheduler.rs", waived);
+        // The waiver covers its own neighborhood (2 lines below), not
+        // the indexing further down.
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn waiver_reasons_parse_through_the_shared_helper() {
+        let lines = split_views(
+            "// analyze: allow(can-alloc) — pooled buffer retains capacity\n\
+             buf.push(job);\n\
+             // analyze: allow(can-panic)\n\
+             x.unwrap();",
+        );
+        assert_eq!(
+            waiver_reason(&lines, 1, "analyze", "can-alloc").as_deref(),
+            Some("pooled buffer retains capacity")
+        );
+        // Present but reasonless — the analyzer makes this an error.
+        assert_eq!(
+            waiver_reason(&lines, 3, "analyze", "can-panic").as_deref(),
+            Some("")
+        );
+        // Wrong tool tag never matches.
+        assert_eq!(waiver_reason(&lines, 1, "lint", "can-alloc"), None);
+        // No waiver at all.
+        assert_eq!(waiver_reason(&lines, 1, "analyze", "can-panic"), None);
+    }
+
+    #[test]
+    fn string_and_comment_contents_never_trip_rules() {
+        let source = "let s = \"thread::sleep unsafe Ordering::Relaxed .unwrap()\";\n\
+                      // mentions panic!(…) and std::sync::Mutex in prose\n";
+        assert!(lint_source("crates/serve/src/scheduler.rs", source).is_empty());
+    }
+
+    /// The whole point: the real workspace lints clean. This makes
+    /// `cargo test` itself a lint gate — a new violation fails here
+    /// before CI even runs the binary.
+    #[test]
+    fn workspace_is_clean() {
+        let root = workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("the lint tool lives inside the workspace");
+        let (findings, files) = lint_workspace(&root);
+        assert!(files > 20, "the walk must actually find the crates");
+        let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        assert!(
+            findings.is_empty(),
+            "workspace must lint clean, got {} finding(s):\n{}",
+            findings.len(),
+            rendered.join("\n")
+        );
+    }
+}
