@@ -22,6 +22,9 @@
 //! * [`executor_pipeline_completes`] — the pipelined circuit executor's
 //!   park/harvest loop completes every plan against the reference even
 //!   when completions land out of order behind a slow head ticket.
+//! * [`net_reap_outside_lock`] — the connection-reap discipline the
+//!   lock-order pass enforces in `magnon_net`: handles reaped under the
+//!   registry guard, joined outside it, none lost or double-joined.
 //! * [`racy_counter`] — a deliberately broken load-then-store counter;
 //!   the checker's self-test (it must FIND this bug).
 
@@ -49,6 +52,7 @@ pub fn all() -> &'static [(&'static str, fn())] {
         ("ticket-timeout-redeem", timed_out_ticket_redeems as fn()),
         ("rebalance-no-loss", rebalance_no_loss_no_dup as fn()),
         ("executor-pipeline", executor_pipeline_completes as fn()),
+        ("net-reap-outside-lock", net_reap_outside_lock as fn()),
     ]
 }
 
@@ -352,6 +356,81 @@ pub fn executor_pipeline_completes() {
         "pipelined outputs diverged from the circuit"
     );
     scheduler.shutdown().expect("clean shutdown");
+}
+
+/// Regression scenario for the connection-reap discipline the lock
+/// pass surfaced in `magnon_net`'s accept loop: finished handles used
+/// to be `join()`ed *while holding* the connection-registry lock, so a
+/// connection mid-teardown could stall every new accept (and
+/// shutdown's final take) behind it. The fixed shape —
+/// [`magnon_net::server::reap_finished`] collects under the guard, the
+/// caller joins after dropping it — must neither lose nor double-join
+/// a handle under any interleaving, and the registry must drain to
+/// empty at shutdown.
+pub fn net_reap_outside_lock() {
+    use magnon_core::sync::mpsc;
+    use magnon_core::sync::Mutex;
+    use magnon_net::server::reap_finished;
+
+    let registry: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+
+    // Three connection stand-ins, spawned before the registry guard is
+    // taken (the accept loop's shape): two finish on their own, one is
+    // mid-teardown and only exits once released — exactly the thread
+    // the old shape would have joined under the lock.
+    let fast_a = thread::spawn(|| {});
+    let fast_b = thread::spawn(|| {});
+    let slow = thread::spawn(move || {
+        release_rx.recv().expect("release message");
+    });
+    {
+        let mut registry = registry.lock().unwrap_or_else(|e| e.into_inner());
+        registry.push(fast_a);
+        registry.push(fast_b);
+        registry.push(slow);
+    }
+
+    // Accept-churn loop: reap under the guard, join outside it.
+    let mut joined = 0usize;
+    for _ in 0..8 {
+        let finished = {
+            let mut registry = registry.lock().unwrap_or_else(|e| e.into_inner());
+            reap_finished(&mut registry)
+        };
+        for handle in finished {
+            handle.join().expect("connection stand-in");
+            joined += 1;
+        }
+        if joined == 2 {
+            break;
+        }
+        thread::yield_now();
+    }
+    {
+        let registry = registry.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(
+            registry.len() + joined,
+            3,
+            "a reaped handle left the registry exactly once ({} still registered, {joined} joined)",
+            registry.len()
+        );
+    }
+
+    // Shutdown: release the slow connection, take the registry under
+    // the guard, join after dropping it — stop_and_join's shape.
+    release_tx.send(()).expect("release the slow connection");
+    let rest = {
+        let mut registry = registry.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *registry)
+    };
+    for handle in rest {
+        handle.join().expect("connection stand-in");
+        joined += 1;
+    }
+    assert_eq!(joined, 3, "every connection joins exactly once");
+    let registry = registry.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(registry.is_empty(), "registry drains to empty at shutdown");
 }
 
 /// The deliberately broken self-test body: two threads doing a

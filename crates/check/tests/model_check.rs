@@ -102,6 +102,21 @@ mod mcheck_tests {
         report.assert_clean("serve-exactly-once (gauge regression band)");
     }
 
+    /// Regression sweep for the connection-reap defect the lock-order
+    /// pass surfaced in `magnon_net::server::accept_loop`: finished
+    /// handles were `join()`ed while the registry lock was held, so a
+    /// connection mid-teardown serialized every accept behind it. The
+    /// scenario drives the fixed reap-under-guard / join-outside shape
+    /// (including a deliberately slow connection) through a pinned
+    /// seed band; exactly-once joining and a drained registry must
+    /// hold on every interleaving.
+    #[test]
+    fn net_reap_discipline_regression() {
+        let report = explore(scenarios::net_reap_outside_lock, &config(20_000..20_500));
+        report.assert_clean("net-reap-outside-lock (lock-discipline regression band)");
+        assert_eq!(report.runs, 500);
+    }
+
     /// Every registered scenario stays clean over a seed sweep — the
     /// standing gate for future concurrency PRs.
     #[test]

@@ -246,7 +246,8 @@ impl NetServer {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
-        let handles = std::mem::take(&mut *self.connections.lock().expect("connection registry"));
+        let handles =
+            std::mem::take(&mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()));
         for handle in handles {
             let _ = handle.join();
         }
@@ -294,23 +295,26 @@ fn accept_loop(
                     .spawn(move || {
                         serve_connection(stream, scheduler, config, hello_ack, stop, stats)
                     });
-                let mut registry = connections.lock().expect("connection registry");
                 // Reap finished connections as churn comes in, so a
                 // long-running server does not accumulate one dead
-                // JoinHandle per client it ever served.
-                let mut i = 0;
-                while i < registry.len() {
-                    if registry[i].is_finished() {
-                        let _ = registry.swap_remove(i).join();
-                    } else {
-                        i += 1;
+                // JoinHandle per client it ever served. The handles are
+                // collected under the registry lock but joined after it
+                // is released: join() can block on a connection that is
+                // mid-teardown, and holding `conn_registry` there would
+                // stall shutdown's take() behind an arbitrary client.
+                let finished = {
+                    let mut registry = connections.lock().unwrap_or_else(|e| e.into_inner());
+                    let finished = reap_finished(&mut registry);
+                    // A spawn failure (out of threads) simply sheds the
+                    // connection: the stream moved into the closure
+                    // either way and drops with the failed builder.
+                    if let Ok(handle) = handle {
+                        registry.push(handle);
                     }
-                }
-                // A spawn failure (out of threads) simply sheds the
-                // connection: the stream moved into the closure either
-                // way and drops with the failed builder.
-                if let Ok(handle) = handle {
-                    registry.push(handle);
+                    finished
+                };
+                for handle in finished {
+                    let _ = handle.join();
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -319,6 +323,26 @@ fn accept_loop(
             Err(_) => thread::sleep(Duration::from_millis(1)),
         }
     }
+}
+
+/// Removes every finished connection handle from the registry and
+/// returns them for the caller to join. Joining must happen *after*
+/// the registry guard is dropped — `join()` blocks on the connection
+/// thread's teardown, and holding the registry lock there would stall
+/// every new accept and the shutdown path behind one slow client. The
+/// lock-order pass (`cargo run -p magnon-analyze`) enforces that split;
+/// `magnon-check`'s `net_reap_outside_lock` scenario exercises it.
+pub fn reap_finished(registry: &mut Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
+    let mut finished = Vec::new();
+    let mut i = 0;
+    while i < registry.len() {
+        if registry[i].is_finished() {
+            finished.push(registry.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    finished
 }
 
 /// `true` for the error kinds a socket read timeout produces.

@@ -28,6 +28,7 @@
 //! method calls get conservative edges to every candidate and are
 //! reported, never silently dropped.
 
+pub mod locks;
 mod parse;
 pub mod policy;
 pub mod report;
@@ -85,6 +86,12 @@ pub struct FnDef {
     pub line: usize,
     pub calls: Vec<CallExpr>,
     pub sites: Vec<Site>,
+    pub locks: Vec<LockSite>,
+    pub sends: Vec<SendSite>,
+    /// Lines covered by a `lock-order` / `lock-block` waiver comment
+    /// (the comment itself or up to two lines below it).
+    pub lock_order_waived: Vec<usize>,
+    pub lock_block_waived: Vec<usize>,
 }
 
 #[derive(Debug, Clone)]
@@ -113,6 +120,25 @@ pub struct Site {
     pub token: String,
     pub line: usize,
     pub waived: Option<String>,
+}
+
+/// One `.lock()` acquisition site with its inferred guard extent.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Identifier left of `.lock(` — a field, local, or static name.
+    /// `"?"` when no identifier precedes the call.
+    pub receiver: String,
+    pub line: usize,
+    /// Last line of the guard's extent; equals `line` for guards
+    /// consumed inside a larger expression.
+    pub release_line: usize,
+}
+
+/// A `.send(` call site — blocking when the channel is bounded.
+#[derive(Debug, Clone)]
+pub struct SendSite {
+    pub receiver: String,
+    pub line: usize,
 }
 
 /// One analyzer waiver comment (rule + mandatory reason), as written.
@@ -735,11 +761,15 @@ pub struct PolicyResults {
     pub roots: Vec<RootResult>,
     /// Hard errors: unresolved roots/trust entries, reasonless waivers.
     pub errors: Vec<String>,
+    /// The lock-order & blocking-discipline pass verdict.
+    pub lock: locks::LockResults,
 }
 
 impl PolicyResults {
     pub fn clean(&self) -> bool {
-        self.errors.is_empty() && self.roots.iter().all(|r| r.violations.is_empty())
+        self.errors.is_empty()
+            && self.roots.iter().all(|r| r.violations.is_empty())
+            && self.lock.violations.is_empty()
     }
 }
 
@@ -756,7 +786,7 @@ pub fn check_policy(analysis: &mut Analysis, policy: &Policy) -> PolicyResults {
                 w.file, w.line, w.rule
             ));
         }
-        if Fact::from_id(&w.rule).is_none() {
+        if Fact::from_id(&w.rule).is_none() && !locks::WAIVER_RULES.contains(&w.rule.as_str()) {
             errors.push(format!(
                 "{}:{}: waiver names unknown rule `{}`",
                 w.file, w.line, w.rule
@@ -789,7 +819,13 @@ pub fn check_policy(analysis: &mut Analysis, policy: &Policy) -> PolicyResults {
             violations,
         });
     }
-    PolicyResults { roots, errors }
+    let mut lock = locks::check_locks(analysis, policy);
+    errors.append(&mut lock.errors);
+    PolicyResults {
+        roots,
+        errors,
+        lock,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -918,6 +954,62 @@ pub fn pump(sink: &SinkA) {
     sink.flush();
 }
 "#;
+    // The lock fixture plants every defect kind the lock pass must
+    // find: an A→B / B→A cycle, a blocking `.recv()` under a guard, a
+    // waived twin that must pass, and a non-reentrant double-acquire.
+    let lock_src = r#"
+use std::sync::Mutex;
+use std::sync::mpsc::Receiver;
+
+pub struct Hub {
+    queue: Mutex<Vec<u32>>,
+    placement: Mutex<Vec<u32>>,
+    rx: Receiver<u32>,
+}
+
+impl Hub {
+    pub fn route_submit(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.push(1);
+        self.place(1);
+    }
+
+    fn place(&self, x: u32) {
+        let mut p = self.placement.lock().unwrap();
+        p.push(x);
+    }
+
+    pub fn rebalance(&self) {
+        let p = self.placement.lock().unwrap();
+        for x in p.iter() {
+            self.enqueue(*x);
+        }
+    }
+
+    fn enqueue(&self, x: u32) {
+        self.queue.lock().unwrap().push(x);
+    }
+
+    pub fn drain_wait(&self) -> u32 {
+        let q = self.queue.lock().unwrap();
+        let v = self.rx.recv().unwrap();
+        q.len() as u32 + v
+    }
+
+    pub fn audited_wait(&self) -> u32 {
+        let q = self.queue.lock().unwrap();
+        // analyze: allow(lock-block) — fixture: the waived wait must pass
+        let v = self.rx.recv().unwrap();
+        q.len() as u32 + v
+    }
+
+    pub fn reenter(&self) {
+        let q = self.queue.lock().unwrap();
+        self.enqueue(7);
+        drop(q);
+    }
+}
+"#;
     vec![
         SourceFile {
             crate_name: "fix_serve".into(),
@@ -944,6 +1036,11 @@ pub fn pump(sink: &SinkA) {
             rel: "crates/fix_pump/src/lib.rs".into(),
             text: amb_caller.into(),
         },
+        SourceFile {
+            crate_name: "fix_lock".into(),
+            rel: "crates/fix_lock/src/hub.rs".into(),
+            text: lock_src.into(),
+        },
     ]
 }
 
@@ -959,6 +1056,22 @@ reason = "fixture: the planted violation must be found"
 fn = "fix_serve::drain::Drain::safe_loop"
 deny = ["can-panic"]
 reason = "fixture: the waived site must pass"
+
+[[lock]]
+class = "fix_queue"
+receivers = ["queue"]
+crate = "fix_lock"
+before = ["fix_placement"]
+reason = "fixture: queue is the outer lock"
+
+[[lock]]
+class = "fix_placement"
+receivers = ["placement"]
+crate = "fix_lock"
+reason = "fixture: placement is the inner lock"
+
+[locks]
+strict = ["fix_lock"]
 "#,
     )
     .expect("fixture policy parses")
@@ -1017,11 +1130,61 @@ pub fn self_test() -> Result<String, String> {
     {
         return Err("self-test FAILED: the ambiguous method call was silently dropped".into());
     }
+    // The lock fixture: a planted fix_queue ↔ fix_placement cycle, a
+    // blocking recv under a guard, a double-acquire, and a waived wait
+    // that must pass.
+    let lock = &results.lock;
+    let cycle = lock
+        .violations
+        .iter()
+        .find(|v| v.kind == "deadlock-cycle")
+        .ok_or("self-test FAILED: the planted lock-order cycle was not found")?;
+    if !(cycle.classes.contains(&"fix_queue".to_string())
+        && cycle.classes.contains(&"fix_placement".to_string()))
+    {
+        return Err(format!(
+            "self-test FAILED: cycle names wrong classes: {:?}",
+            cycle.classes
+        ));
+    }
+    let blocked = lock
+        .violations
+        .iter()
+        .find(|v| v.kind == "lock-block" && v.detail.contains(".recv()"))
+        .ok_or("self-test FAILED: the planted recv-under-lock was not found")?;
+    if !blocked.detail.contains("drain_wait") {
+        return Err("self-test FAILED: lock-block evidence names the wrong function".into());
+    }
+    if lock
+        .violations
+        .iter()
+        .any(|v| v.detail.contains("audited_wait"))
+    {
+        return Err("self-test FAILED: the waived lock-block site was reported anyway".into());
+    }
+    if !lock
+        .violations
+        .iter()
+        .any(|v| v.kind == "double-acquire" && v.detail.contains("reenter"))
+    {
+        return Err("self-test FAILED: the planted double-acquire was not found".into());
+    }
+    if !analysis
+        .waiver_decls
+        .iter()
+        .any(|w| w.rule == "lock-block" && w.reason.contains("fixture"))
+    {
+        return Err("self-test FAILED: the lock-block waiver did not reach the inventory".into());
+    }
     let mut out = String::from("planted violation found (3 calls deep):\n");
     out.push_str(&render_chain(&analysis, chain));
     out.push_str(&format!(
-        "waived site passed and is inventoried; {} ambiguous call(s) reported",
+        "waived site passed and is inventoried; {} ambiguous call(s) reported\n",
         analysis.ambiguities.len()
+    ));
+    out.push_str(&format!(
+        "lock pass: planted cycle found ({}), recv-under-lock found, double-acquire found, waived wait passed",
+        cycle.classes.join(" → ")
     ));
     Ok(out)
 }

@@ -1,0 +1,663 @@
+//! Lock-order & blocking-discipline pass over the workspace call
+//! graph.
+//!
+//! Every `.lock()` acquisition site is classified into a named class
+//! from the policy's `[[lock]]` section — matched by the receiver
+//! identifier left of the call, optionally scoped to one crate, or by
+//! calling a declared guard-returning helper (`acquire_fns`). The
+//! may-hold-while-acquiring relation is then computed to an
+//! interprocedural fixpoint and checked four ways:
+//!
+//! 1. **deadlock-cycle** — a cycle in the computed lock-order graph;
+//! 2. **lock-block** — a blocking operation (`recv`/`recv_timeout`/
+//!    `wait`/`join`/`park`/`sleep`, or a `.send()` on a channel not
+//!    declared unbounded) reachable while a guard is held;
+//! 3. **double-acquire** — a non-reentrant class re-acquired along any
+//!    path while already held;
+//! 4. **order-inversion / order-undeclared** — a computed edge that
+//!    contradicts, or is not covered by, the declared `before` partial
+//!    order. Coverage is strict: every real nesting must be declared.
+//!
+//! Guard extents come from the parser's syntactic inference
+//! (statement-bound guards live to the end of their block, expression
+//! temporaries die on their own line); a policy `acquire_fns` helper
+//! conservatively holds its class for the remainder of every calling
+//! function. `// analyze: allow(lock-order) — reason` waives order
+//! edges sourced at a line, `allow(lock-block)` waives blocking sites
+//! and blocking propagation through a call line; both demand a reason
+//! like every other analyzer waiver.
+
+use crate::policy::LockSpec;
+use crate::{Analysis, Fact, Policy};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Waiver rules owned by this pass.
+pub const WAIVER_RULES: [&str; 2] = ["lock-order", "lock-block"];
+
+/// One classified acquisition within a function.
+#[derive(Clone)]
+struct Acq {
+    class: usize,
+    line: usize,
+    /// Last line of the guard extent (`usize::MAX` — rest of the fn,
+    /// used for `acquire_fns` helpers).
+    until: usize,
+}
+
+/// A computed may-hold-while-acquiring edge with its shortest witness.
+#[derive(Clone)]
+pub struct LockEdge {
+    pub from: usize,
+    pub to: usize,
+    /// Function that holds `from` when `to` is acquired.
+    pub holder: usize,
+    pub hold_line: usize,
+    /// Call hops from the holder to the acquiring fn: `(callee, call
+    /// line in the previous hop)`. Empty when the holder acquires
+    /// directly.
+    pub hops: Vec<(usize, usize)>,
+    pub acquire_line: usize,
+}
+
+/// One reported defect.
+pub struct LockViolation {
+    /// `deadlock-cycle` / `lock-block` / `double-acquire` /
+    /// `order-inversion` / `order-undeclared`.
+    pub kind: &'static str,
+    pub classes: Vec<String>,
+    /// Rendered hop-by-hop evidence, one indented line per hop.
+    pub detail: String,
+}
+
+/// The pass verdict, embedded in [`crate::PolicyResults`].
+#[derive(Default)]
+pub struct LockResults {
+    pub class_names: Vec<String>,
+    pub classified_sites: usize,
+    /// Sites whose receiver matched no class, in non-strict crates.
+    pub unclassified: Vec<String>,
+    pub edges: Vec<LockEdge>,
+    /// Declared `before` pairs, for the report.
+    pub declared: Vec<(String, String)>,
+    pub violations: Vec<LockViolation>,
+    /// Hard errors (merged into the policy errors by the caller).
+    pub errors: Vec<String>,
+    /// Per-fn transitive acquisition masks — `--explain` reads these.
+    pub acq_trans: Vec<u64>,
+    /// Per-fn direct acquisitions `(class, line)` — `--explain` input.
+    pub fn_acqs: Vec<Vec<(usize, usize)>>,
+}
+
+impl LockResults {
+    /// True when the computed lock-order graph has no cycle.
+    pub fn acyclic(&self) -> bool {
+        !self.violations.iter().any(|v| v.kind == "deadlock-cycle")
+    }
+}
+
+/// Runs the whole pass. Pure function of the analysis and policy (only
+/// the graph's edges and per-fn sites are read, not the fact vectors).
+pub fn check_locks(analysis: &Analysis, policy: &Policy) -> LockResults {
+    let specs = &policy.locks;
+    let cfg = &policy.lock_config;
+    let n = analysis.fns.len();
+    let mut res = LockResults {
+        class_names: specs.iter().map(|s| s.class.clone()).collect(),
+        acq_trans: vec![0; n],
+        fn_acqs: vec![Vec::new(); n],
+        ..Default::default()
+    };
+    for s in specs {
+        for b in &s.before {
+            res.declared.push((s.class.clone(), b.clone()));
+        }
+    }
+    if specs.len() > 64 {
+        res.errors.push(format!(
+            "{} lock classes exceed the 64-class bitmask",
+            specs.len()
+        ));
+        return res;
+    }
+    let order_waived = |fi: usize, line: usize| analysis.fns[fi].lock_order_waived.contains(&line);
+    let block_waived = |fi: usize, line: usize| analysis.fns[fi].lock_block_waived.contains(&line);
+
+    // Guard-returning helpers declared in the policy.
+    let mut helper_class: HashMap<usize, usize> = HashMap::new();
+    for (ci, s) in specs.iter().enumerate() {
+        for f in &s.acquire_fns {
+            match analysis.index_of(f) {
+                Some(i) => {
+                    helper_class.insert(i, ci);
+                }
+                None => res.errors.push(format!(
+                    "policy lock class `{}` names unknown acquire fn `{}`",
+                    s.class, f
+                )),
+            }
+        }
+    }
+
+    // Classify every direct site; add helper-call acquisitions.
+    let mut acqs: Vec<Vec<Acq>> = vec![Vec::new(); n];
+    for (fi, f) in analysis.fns.iter().enumerate() {
+        for site in &f.locks {
+            let class = specs.iter().position(|s| {
+                s.receivers.iter().any(|r| r == &site.receiver)
+                    && (s.crate_scope.is_empty() || s.crate_scope == f.crate_name)
+            });
+            match class {
+                Some(ci) => {
+                    res.classified_sites += 1;
+                    acqs[fi].push(Acq {
+                        class: ci,
+                        line: site.line,
+                        until: site.release_line.max(site.line),
+                    });
+                }
+                None => {
+                    let tag = format!(
+                        "{}:{} `{}.lock()` in {}",
+                        f.file, site.line, site.receiver, f.id
+                    );
+                    if cfg.strict.contains(&f.crate_name) {
+                        res.errors.push(format!(
+                            "{tag}: receiver matches no [[lock]] class and crate `{}` is strict",
+                            f.crate_name
+                        ));
+                    } else {
+                        res.unclassified.push(tag);
+                    }
+                }
+            }
+        }
+    }
+    for e in &analysis.edges {
+        if let Some(&ci) = helper_class.get(&e.callee) {
+            acqs[e.caller].push(Acq {
+                class: ci,
+                line: e.line,
+                until: usize::MAX,
+            });
+        }
+    }
+    for (fi, fn_acqs) in acqs.iter().enumerate() {
+        for a in fn_acqs {
+            res.fn_acqs[fi].push((a.class, a.line));
+            // May-acquire fixpoint seed: classes acquired directly.
+            res.acq_trans[fi] |= 1u64 << a.class;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for e in &analysis.edges {
+            if order_waived(e.caller, e.line) {
+                continue;
+            }
+            let add = res.acq_trans[e.callee] & !res.acq_trans[e.caller];
+            if add != 0 {
+                res.acq_trans[e.caller] |= add;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // May-block fixpoint. `.lock(` itself is excluded — nested
+    // acquisition is modeled by order edges, not treated as blocking.
+    let mut block_site: Vec<Option<(String, usize)>> = vec![None; n];
+    for (fi, f) in analysis.fns.iter().enumerate() {
+        for s in &f.sites {
+            if s.fact == Fact::Block && s.token != ".lock(" && !block_waived(fi, s.line) {
+                block_site[fi] = Some((s.token.clone(), s.line));
+                break;
+            }
+        }
+        if block_site[fi].is_none() {
+            for s in &f.sends {
+                if !cfg.unbounded_sends.contains(&s.receiver) && !block_waived(fi, s.line) {
+                    block_site[fi] = Some((format!("{}.send(", s.receiver), s.line));
+                    break;
+                }
+            }
+        }
+    }
+    let mut blocks: Vec<bool> = block_site.iter().map(|s| s.is_some()).collect();
+    loop {
+        let mut changed = false;
+        for e in &analysis.edges {
+            if blocks[e.callee] && !blocks[e.caller] && !block_waived(e.caller, e.line) {
+                blocks[e.caller] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Per-acquisition scans: blocking under the guard, later
+    // acquisitions (order edges), double-acquire.
+    let mut edge_at: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut seen_double: HashSet<(usize, usize, usize)> = HashSet::new();
+    for fi in 0..n {
+        for ai in 0..acqs[fi].len() {
+            let a = acqs[fi][ai].clone();
+            let in_extent = |line: usize| line >= a.line && line <= a.until;
+            let holder_id = analysis.fns[fi].id.clone();
+            let holder_file = analysis.fns[fi].file.clone();
+            if !block_waived(fi, a.line) {
+                for s in &analysis.fns[fi].sites {
+                    if s.fact == Fact::Block
+                        && s.token != ".lock("
+                        && in_extent(s.line)
+                        && !block_waived(fi, s.line)
+                    {
+                        res.violations.push(LockViolation {
+                            kind: "lock-block",
+                            classes: vec![specs[a.class].class.clone()],
+                            detail: format!(
+                                "    {} holds `{}` (acquired at {}:{})\n     → blocking `{}` at {}:{}\n",
+                                holder_id, specs[a.class].class, holder_file, a.line,
+                                s.token, holder_file, s.line
+                            ),
+                        });
+                    }
+                }
+                for s in &analysis.fns[fi].sends {
+                    if !cfg.unbounded_sends.contains(&s.receiver)
+                        && in_extent(s.line)
+                        && !block_waived(fi, s.line)
+                    {
+                        res.violations.push(LockViolation {
+                            kind: "lock-block",
+                            classes: vec![specs[a.class].class.clone()],
+                            detail: format!(
+                                "    {} holds `{}` (acquired at {}:{})\n     → bounded `{}.send(` at {}:{}\n",
+                                holder_id, specs[a.class].class, holder_file, a.line,
+                                s.receiver, holder_file, s.line
+                            ),
+                        });
+                    }
+                }
+                for &ei in &analysis.fadj[fi] {
+                    let e = &analysis.edges[ei];
+                    if !in_extent(e.line) || block_waived(fi, e.line) || !blocks[e.callee] {
+                        continue;
+                    }
+                    let (hops, token, line) = chain_to_block(
+                        analysis,
+                        e.callee,
+                        e.line,
+                        &block_site,
+                        &blocks,
+                        &block_waived,
+                    );
+                    let mut detail = format!(
+                        "    {} holds `{}` (acquired at {}:{})\n",
+                        holder_id, specs[a.class].class, holder_file, a.line
+                    );
+                    render_hops(analysis, fi, &hops, &mut detail);
+                    let last = hops.last().map(|&(f, _)| f).unwrap_or(fi);
+                    detail.push_str(&format!(
+                        "     → blocking `{}` at {}:{}\n",
+                        token, analysis.fns[last].file, line
+                    ));
+                    res.violations.push(LockViolation {
+                        kind: "lock-block",
+                        classes: vec![specs[a.class].class.clone()],
+                        detail,
+                    });
+                }
+            }
+            if order_waived(fi, a.line) {
+                continue;
+            }
+            // Direct later acquisitions inside the extent.
+            for (bi, b) in acqs[fi].clone().iter().enumerate() {
+                if bi == ai
+                    || b.line < a.line
+                    || !in_extent(b.line)
+                    || (b.line == a.line && bi < ai)
+                    || (b.line != a.line && order_waived(fi, b.line))
+                {
+                    continue;
+                }
+                let edge = LockEdge {
+                    from: a.class,
+                    to: b.class,
+                    holder: fi,
+                    hold_line: a.line,
+                    hops: Vec::new(),
+                    acquire_line: b.line,
+                };
+                record(
+                    analysis,
+                    specs,
+                    edge,
+                    &mut res,
+                    &mut edge_at,
+                    &mut seen_double,
+                );
+            }
+            // Acquisitions reached through calls inside the extent.
+            for &ei in &analysis.fadj[fi] {
+                let e = &analysis.edges[ei];
+                if !in_extent(e.line) || order_waived(fi, e.line) {
+                    continue;
+                }
+                // Skip the call that *is* this acquisition (its helper).
+                if helper_class.get(&e.callee) == Some(&a.class) && e.line == a.line {
+                    continue;
+                }
+                let mut mask = res.acq_trans[e.callee];
+                while mask != 0 {
+                    let c = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let (hops, line) = chain_to_acq(
+                        analysis,
+                        e.callee,
+                        e.line,
+                        c,
+                        &acqs,
+                        &res.acq_trans,
+                        &order_waived,
+                    );
+                    let edge = LockEdge {
+                        from: a.class,
+                        to: c,
+                        holder: fi,
+                        hold_line: a.line,
+                        hops,
+                        acquire_line: line,
+                    };
+                    record(
+                        analysis,
+                        specs,
+                        edge,
+                        &mut res,
+                        &mut edge_at,
+                        &mut seen_double,
+                    );
+                }
+            }
+        }
+    }
+
+    // Cycles in the computed class graph.
+    if let Some(cycle) = graph_cycle(specs.len(), &res.edges) {
+        let names: Vec<String> = cycle.iter().map(|&c| specs[c].class.clone()).collect();
+        let mut detail = String::new();
+        for w in cycle.windows(2) {
+            if let Some(&ei) = edge_at.get(&(w[0], w[1])) {
+                let e = res.edges[ei].clone();
+                detail.push_str(&render_edge(analysis, &res, &e));
+            }
+        }
+        res.violations.push(LockViolation {
+            kind: "deadlock-cycle",
+            classes: names,
+            detail,
+        });
+    }
+
+    // Strict declared-order coverage: every computed edge must sit in
+    // the transitive closure of the `before` lists.
+    let mut after = vec![0u64; specs.len()];
+    for (ci, s) in specs.iter().enumerate() {
+        for b in &s.before {
+            if let Some(bj) = specs.iter().position(|x| &x.class == b) {
+                after[ci] |= 1u64 << bj;
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for ci in 0..specs.len() {
+            let mut mask = after[ci];
+            while mask != 0 {
+                let cj = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let add = after[cj] & !after[ci];
+                if add != 0 {
+                    after[ci] |= add;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for ei in 0..res.edges.len() {
+        let (from, to) = (res.edges[ei].from, res.edges[ei].to);
+        if from == to || after[from] & (1u64 << to) != 0 {
+            continue;
+        }
+        let e = res.edges[ei].clone();
+        let (kind, note) = if after[to] & (1u64 << from) != 0 {
+            (
+                "order-inversion",
+                format!(
+                    "    the declared order is `{}` before `{}` — this path nests them the other way\n",
+                    specs[to].class, specs[from].class
+                ),
+            )
+        } else {
+            (
+                "order-undeclared",
+                format!(
+                    "    no declared order covers `{}` → `{}` — add a `before` entry or a lock-order waiver\n",
+                    specs[from].class, specs[to].class
+                ),
+            )
+        };
+        let mut detail = render_edge(analysis, &res, &e);
+        detail.push_str(&note);
+        res.violations.push(LockViolation {
+            kind,
+            classes: vec![specs[from].class.clone(), specs[to].class.clone()],
+            detail,
+        });
+    }
+    res
+}
+
+/// Records a computed edge: same-class pairs become double-acquire
+/// violations (unless the class is reentrant), distinct pairs are
+/// kept with their first (shortest) witness.
+fn record(
+    analysis: &Analysis,
+    specs: &[LockSpec],
+    edge: LockEdge,
+    res: &mut LockResults,
+    edge_at: &mut HashMap<(usize, usize), usize>,
+    seen_double: &mut HashSet<(usize, usize, usize)>,
+) {
+    let (from, to) = (edge.from, edge.to);
+    if from == to {
+        if !specs[from].reentrant && seen_double.insert((edge.holder, edge.hold_line, from)) {
+            let mut detail = render_edge(analysis, res, &edge);
+            detail.push_str(&format!(
+                "    `{}` is not reentrant — this path self-deadlocks\n",
+                specs[from].class
+            ));
+            res.violations.push(LockViolation {
+                kind: "double-acquire",
+                classes: vec![specs[from].class.clone()],
+                detail,
+            });
+        }
+        return;
+    }
+    if let std::collections::hash_map::Entry::Vacant(v) = edge_at.entry((from, to)) {
+        v.insert(res.edges.len());
+        res.edges.push(edge);
+    }
+}
+
+/// Public rendering entry for the CLI's `--explain` output.
+pub fn render_lock_edge(analysis: &Analysis, res: &LockResults, e: &LockEdge) -> String {
+    render_edge(analysis, res, e)
+}
+
+/// Renders one edge's witness hop-by-hop.
+fn render_edge(analysis: &Analysis, res: &LockResults, e: &LockEdge) -> String {
+    let holder = &analysis.fns[e.holder];
+    let mut out = format!(
+        "    {} locks `{}` at {}:{}\n",
+        holder.id, res.class_names[e.from], holder.file, e.hold_line
+    );
+    render_hops(analysis, e.holder, &e.hops, &mut out);
+    let last = e.hops.last().map(|&(f, _)| f).unwrap_or(e.holder);
+    out.push_str(&format!(
+        "     → acquires `{}` at {}:{}\n",
+        res.class_names[e.to], analysis.fns[last].file, e.acquire_line
+    ));
+    out
+}
+
+fn render_hops(analysis: &Analysis, start: usize, hops: &[(usize, usize)], out: &mut String) {
+    let mut prev = start;
+    for &(f, line) in hops {
+        out.push_str(&format!(
+            "     → calls {}  (at {}:{})\n",
+            analysis.fns[f].id, analysis.fns[prev].file, line
+        ));
+        prev = f;
+    }
+}
+
+/// Shortest call chain from `start` (entered via `via_line`) to a
+/// function that acquires `class` on its own lines, staying inside the
+/// may-acquire set so the walk cannot dead-end.
+fn chain_to_acq(
+    analysis: &Analysis,
+    start: usize,
+    via_line: usize,
+    class: usize,
+    acqs: &[Vec<Acq>],
+    acq_trans: &[u64],
+    order_waived: &dyn Fn(usize, usize) -> bool,
+) -> (Vec<(usize, usize)>, usize) {
+    let direct = |f: usize| acqs[f].iter().find(|a| a.class == class).map(|a| a.line);
+    let mut parent: HashMap<usize, (usize, usize)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut seen = HashSet::new();
+    queue.push_back(start);
+    seen.insert(start);
+    while let Some(f) = queue.pop_front() {
+        if let Some(line) = direct(f) {
+            return (unwind(start, f, via_line, &parent), line);
+        }
+        for &ei in &analysis.fadj[f] {
+            let e = &analysis.edges[ei];
+            if order_waived(e.caller, e.line) || acq_trans[e.callee] & (1u64 << class) == 0 {
+                continue;
+            }
+            if seen.insert(e.callee) {
+                parent.insert(e.callee, (f, e.line));
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    (vec![(start, via_line)], 0)
+}
+
+/// Shortest call chain from `start` to a direct blocking site.
+fn chain_to_block(
+    analysis: &Analysis,
+    start: usize,
+    via_line: usize,
+    block_site: &[Option<(String, usize)>],
+    blocks: &[bool],
+    block_waived: &dyn Fn(usize, usize) -> bool,
+) -> (Vec<(usize, usize)>, String, usize) {
+    let mut parent: HashMap<usize, (usize, usize)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut seen = HashSet::new();
+    queue.push_back(start);
+    seen.insert(start);
+    while let Some(f) = queue.pop_front() {
+        if let Some((token, line)) = &block_site[f] {
+            return (unwind(start, f, via_line, &parent), token.clone(), *line);
+        }
+        for &ei in &analysis.fadj[f] {
+            let e = &analysis.edges[ei];
+            if block_waived(e.caller, e.line) || !blocks[e.callee] {
+                continue;
+            }
+            if seen.insert(e.callee) {
+                parent.insert(e.callee, (f, e.line));
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    (vec![(start, via_line)], "?".into(), 0)
+}
+
+/// Rebuilds the BFS path `start → … → target` as `(fn, call line)`
+/// hops, prefixed with the entry hop.
+fn unwind(
+    start: usize,
+    target: usize,
+    via_line: usize,
+    parent: &HashMap<usize, (usize, usize)>,
+) -> Vec<(usize, usize)> {
+    let mut rev = Vec::new();
+    let mut cur = target;
+    while cur != start {
+        let Some(&(p, line)) = parent.get(&cur) else {
+            break;
+        };
+        rev.push((cur, line));
+        cur = p;
+    }
+    rev.push((start, via_line));
+    rev.reverse();
+    rev
+}
+
+/// Finds one cycle in the computed class graph, returned as a closed
+/// walk (`first == last`).
+fn graph_cycle(nclasses: usize, edges: &[LockEdge]) -> Option<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nclasses];
+    for e in edges {
+        if e.from != e.to && !adj[e.from].contains(&e.to) {
+            adj[e.from].push(e.to);
+        }
+    }
+    fn dfs(i: usize, adj: &[Vec<usize>], state: &mut [u8], path: &mut Vec<usize>) -> Option<usize> {
+        state[i] = 1;
+        path.push(i);
+        for &j in &adj[i] {
+            match state[j] {
+                1 => return Some(j),
+                0 => {
+                    if let Some(c) = dfs(j, adj, state, path) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        state[i] = 2;
+        path.pop();
+        None
+    }
+    let mut state = vec![0u8; nclasses];
+    for i in 0..nclasses {
+        if state[i] == 0 {
+            let mut path = Vec::new();
+            if let Some(entry) = dfs(i, &adj, &mut state, &mut path) {
+                let pos = path.iter().position(|&p| p == entry).unwrap_or(0);
+                let mut cycle = path[pos..].to_vec();
+                cycle.push(entry);
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}

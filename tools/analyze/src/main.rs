@@ -33,8 +33,12 @@ fn main() {
                      \n\
                      Proves the analysis-policy.toml roots transitively free of their\n\
                      denied facts (can-panic / can-block / can-alloc) over the workspace\n\
-                     call graph. --explain prints the offending chain for a function;\n\
-                     --self-test plants a 3-deep transitive violation and must find it."
+                     call graph, and runs the lock-order & blocking-discipline pass over\n\
+                     the [[lock]] classes (deadlock cycles, blocking-while-locked,\n\
+                     double-acquire, order inversions). --explain prints offending\n\
+                     chains and lock holdings for a function; --self-test plants a\n\
+                     3-deep transitive violation plus a lock-order cycle and must find\n\
+                     both."
                 );
                 return;
             }
@@ -118,6 +122,34 @@ fn main() {
                         None => println!("[{}] proven free", fact.id()),
                     }
                 }
+                let lock = &results.lock;
+                if lock.class_names.is_empty() {
+                    println!("[locks] no [[lock]] classes declared");
+                } else if lock.acq_trans[idx] == 0 {
+                    println!("[locks] acquires no classified lock, directly or transitively");
+                } else {
+                    let held: Vec<&str> = (0..lock.class_names.len())
+                        .filter(|c| lock.acq_trans[idx] & (1u64 << c) != 0)
+                        .map(|c| lock.class_names[c].as_str())
+                        .collect();
+                    println!("[locks] may acquire: {}", held.join(", "));
+                    for &(c, line) in &lock.fn_acqs[idx] {
+                        println!(
+                            "    `{}` acquired at {}:{}",
+                            lock.class_names[c], analysis.fns[idx].file, line
+                        );
+                    }
+                    for e in &lock.edges {
+                        if e.holder == idx {
+                            print!(
+                                "  holds `{}` while acquiring `{}`:\n{}",
+                                lock.class_names[e.from],
+                                lock.class_names[e.to],
+                                magnon_analyze::locks::render_lock_edge(&analysis, lock, e)
+                            );
+                        }
+                    }
+                }
             }
             _ => {
                 println!("--explain {target}: ambiguous, candidates:");
@@ -143,6 +175,29 @@ fn main() {
             print!("{}", render_chain(&analysis, chain));
         }
     }
+    for v in &results.lock.violations {
+        violation_count += 1;
+        println!(
+            "magnon-analyze: LOCK VIOLATION [{}] {}",
+            v.kind,
+            v.classes.join(" → ")
+        );
+        print!("{}", v.detail);
+    }
+    for tag in &results.lock.unclassified {
+        println!("magnon-analyze: note: unclassified lock site {tag}");
+    }
+    println!(
+        "magnon-analyze: lock pass: {} class(es), {} classified site(s), {} order edge(s), {}",
+        results.lock.class_names.len(),
+        results.lock.classified_sites,
+        results.lock.edges.len(),
+        if results.lock.acyclic() {
+            "lock-order graph acyclic"
+        } else {
+            "lock-order graph CYCLIC"
+        }
+    );
     println!(
         "magnon-analyze: {} fn(s), {} edge(s), {} call(s) resolved, {} external, \
          {} ambiguous, {} waiver(s)",
@@ -155,7 +210,8 @@ fn main() {
     );
     if violation_count == 0 && results.errors.is_empty() {
         println!(
-            "magnon-analyze: clean — {} policy root(s) proven",
+            "magnon-analyze: clean — {} policy root(s) proven, lock-order graph acyclic, \
+             zero unwaived blocking-while-locked sites",
             results.roots.len()
         );
     } else {

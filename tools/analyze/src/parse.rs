@@ -7,7 +7,9 @@
 //! explicit ambiguity report). `#[cfg(test)]` and `#[cfg(mcheck)]`
 //! items are masked out — the analyzer models the production build.
 
-use crate::{CallExpr, CallKind, Fact, FileParse, FileUses, FnDef, Site, WaiverDecl};
+use crate::{
+    CallExpr, CallKind, Fact, FileParse, FileUses, FnDef, LockSite, SendSite, Site, WaiverDecl,
+};
 use magnon_lint::{
     cfg_mask, has_slice_index, is_ident_char, split_views, waiver_reason, LineViews,
 };
@@ -112,6 +114,12 @@ struct Parser<'a> {
     /// Innermost fn observed at any point of the current line —
     /// intrinsic fact sites on the line attribute to it.
     line_fn: Option<usize>,
+    /// Brace depth at the start of the current line, before any of its
+    /// own braces — guard-extent inference anchors on it.
+    line_start_depth: usize,
+    /// Statement-bound lock guards whose block has not closed yet:
+    /// `(fn index, lock-site index, depth the guard dies below)`.
+    open_guards: Vec<(usize, usize, usize)>,
 }
 
 /// Parses one file into its functions, calls, sites and imports.
@@ -135,12 +143,18 @@ pub fn parse_file(crate_name: &str, rel: &str, source: &str) -> FileParse {
         fns: Vec::new(),
         uses: FileUses::default(),
         line_fn: None,
+        line_start_depth: 0,
+        open_guards: Vec::new(),
     };
     for (idx, lv) in lines.iter().enumerate() {
         if mask[idx] {
             continue;
         }
         p.line(idx, &lv.code);
+    }
+    // Guards still open at EOF (unbalanced braces) extend to the end.
+    for (f, s, _) in std::mem::take(&mut p.open_guards) {
+        p.fns[f].locks[s].release_line = lines.len();
     }
     let waiver_decls = collect_waiver_decls(rel, &lines, &mask);
     FileParse {
@@ -222,6 +236,7 @@ impl<'a> Parser<'a> {
 
     fn line(&mut self, idx: usize, code: &str) {
         self.line_fn = self.innermost_fn();
+        self.line_start_depth = self.depth;
         let chars: Vec<char> = code.chars().collect();
         let mut i = 0usize;
         if self.use_buf.is_some() {
@@ -330,7 +345,7 @@ impl<'a> Parser<'a> {
             }
             match c {
                 '{' => self.open_brace(),
-                '}' => self.close_brace(),
+                '}' => self.close_brace(idx),
                 ';' if self.pending_brackets == 0 => self.pending = Pending::None,
                 '(' | '[' if !matches!(self.pending, Pending::None) => {
                     self.pending_brackets += 1;
@@ -344,6 +359,17 @@ impl<'a> Parser<'a> {
         }
         if let Some(f) = self.line_fn {
             self.scan_sites(idx, code, f);
+            self.scan_locks(idx, code, f);
+            for (rule, waived) in [("lock-order", 0), ("lock-block", 1)] {
+                if waiver_reason(self.lines, idx, "analyze", rule).is_some() {
+                    let v = if waived == 0 {
+                        &mut self.fns[f].lock_order_waived
+                    } else {
+                        &mut self.fns[f].lock_block_waived
+                    };
+                    v.push(idx + 1);
+                }
+            }
         }
     }
 
@@ -593,6 +619,10 @@ impl<'a> Parser<'a> {
                     line,
                     calls: Vec::new(),
                     sites: Vec::new(),
+                    locks: Vec::new(),
+                    sends: Vec::new(),
+                    lock_order_waived: Vec::new(),
+                    lock_block_waived: Vec::new(),
                 });
                 self.line_fn = Some(idx);
                 ScopeKind::Fn(idx)
@@ -606,10 +636,22 @@ impl<'a> Parser<'a> {
         self.depth += 1;
     }
 
-    fn close_brace(&mut self) {
+    fn close_brace(&mut self, idx: usize) {
         self.depth = self.depth.saturating_sub(1);
         while matches!(self.scopes.last(), Some(s) if s.depth == self.depth) {
             self.scopes.pop();
+        }
+        if !self.open_guards.is_empty() {
+            let depth = self.depth;
+            let fns = &mut self.fns;
+            self.open_guards.retain(|&(f, s, assoc)| {
+                if depth < assoc {
+                    fns[f].locks[s].release_line = idx + 1;
+                    false
+                } else {
+                    true
+                }
+            });
         }
     }
 
@@ -701,6 +743,155 @@ impl<'a> Parser<'a> {
             });
         }
     }
+
+    /// `.lock()` acquisition sites (with inferred guard extents) and
+    /// `.send(` sites, for the lock-discipline pass.
+    ///
+    /// Guard-extent heuristic: a guard bound by its statement — the
+    /// chain ends in `;`, a `{` follows (`if let Ok(g) = m.lock() {`),
+    /// or the chain runs off the line — lives to the end of the
+    /// enclosing block; a guard consumed inside a larger expression
+    /// (`take(&mut *m.lock()?)`) dies on its own line. Deliberately
+    /// conservative: an over-long extent can only flag more, never
+    /// hide a held lock.
+    fn scan_locks(&mut self, idx: usize, code: &str, fn_idx: usize) {
+        let chars: Vec<char> = code.chars().collect();
+        let mut depth_here = self.line_start_depth as i64;
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '{' {
+                depth_here += 1;
+            } else if c == '}' {
+                depth_here -= 1;
+            } else if c == '.' && matches_at(&chars, i + 1, "send(") {
+                let receiver = ident_before(&chars, i);
+                if !receiver.is_empty() {
+                    self.fns[fn_idx].sends.push(SendSite {
+                        receiver,
+                        line: idx + 1,
+                    });
+                }
+                i += 6;
+                continue;
+            } else if c == '.' && matches_at(&chars, i + 1, "lock(") {
+                let mut receiver = ident_before(&chars, i);
+                if receiver.is_empty() && chars[..i].iter().all(|c| c.is_whitespace()) {
+                    // Chain continuation (`self.counts\n.lock()`):
+                    // take the receiver from the previous code line.
+                    for back in (idx.saturating_sub(2)..idx).rev() {
+                        let prev = trailing_ident(&self.lines[back].code);
+                        if !prev.is_empty() {
+                            receiver = prev;
+                            break;
+                        }
+                        if !self.lines[back].code.trim().is_empty() {
+                            break;
+                        }
+                    }
+                }
+                if receiver.is_empty() {
+                    // `(…).lock()` and friends: keep the site visible so
+                    // strict crates surface it instead of hiding it.
+                    receiver = "?".to_string();
+                }
+                let depth_at = depth_here.max(0) as usize;
+                let mut j = skip_paren_group(&chars, i + 5);
+                // Chained adapters (`.unwrap()`, `.expect(…)`, `?`) stay
+                // part of the acquisition expression and still yield the
+                // guard; any *other* chained method (`.len()`, `.push(…)`)
+                // consumes it — the guard dies with the statement.
+                let mut guard_consumed = false;
+                loop {
+                    match chars.get(j) {
+                        Some('?') => j += 1,
+                        Some('.') if chars.get(j + 1).copied().is_some_and(is_ident_start) => {
+                            let mut name_end = j + 1;
+                            while chars.get(name_end).copied().is_some_and(is_ident_char) {
+                                name_end += 1;
+                            }
+                            let name: String = chars[j + 1..name_end].iter().collect();
+                            if !matches!(name.as_str(), "unwrap" | "expect" | "unwrap_or_else") {
+                                guard_consumed = true;
+                                break;
+                            }
+                            j = name_end;
+                            if chars.get(j) == Some(&'(') {
+                                j = skip_paren_group(&chars, j);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let mut k = j;
+                while chars.get(k).is_some_and(|c| c.is_whitespace()) {
+                    k += 1;
+                }
+                let site = self.fns[fn_idx].locks.len();
+                let (release_line, assoc) = if guard_consumed {
+                    (idx + 1, None)
+                } else {
+                    match chars.get(k) {
+                        None | Some(&';') => (0, Some(depth_at)),
+                        Some(&'{') => (0, Some(depth_at + 1)),
+                        _ => (idx + 1, None),
+                    }
+                };
+                self.fns[fn_idx].locks.push(LockSite {
+                    receiver,
+                    line: idx + 1,
+                    release_line,
+                });
+                if let Some(a) = assoc {
+                    self.open_guards.push((fn_idx, site, a));
+                }
+                i = j.max(i + 1);
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn matches_at(chars: &[char], at: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, pc)| chars.get(at + k) == Some(&pc))
+}
+
+/// The identifier ending just before `chars[end]`.
+fn ident_before(chars: &[char], end: usize) -> String {
+    let mut k = end;
+    while k > 0 && is_ident_char(chars[k - 1]) {
+        k -= 1;
+    }
+    chars[k..end].iter().collect()
+}
+
+/// The identifier a code view ends with (ignoring trailing spaces).
+fn trailing_ident(code: &str) -> String {
+    let chars: Vec<char> = code.trim_end().chars().collect();
+    ident_before(&chars, chars.len())
+}
+
+/// From an opening `(`, the index just past its match (line end when
+/// the argument list spills onto further lines).
+fn skip_paren_group(chars: &[char], mut j: usize) -> usize {
+    let mut d = 0i32;
+    while j < chars.len() {
+        match chars[j] {
+            '(' => d += 1,
+            ')' => {
+                d -= 1;
+                if d == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    chars.len()
 }
 
 fn read_ident_ahead(chars: &[char], i: &mut usize) -> Option<String> {

@@ -23,11 +23,45 @@ pub struct TrustSpec {
     pub reason: String,
 }
 
+/// One named lock class for the lock-order pass. Acquisition sites
+/// are matched by the receiver identifier left of `.lock()` (a field,
+/// local or static name), optionally scoped to one crate; a
+/// guard-returning helper fn can be named instead (or in addition).
+#[derive(Debug, Clone, Default)]
+pub struct LockSpec {
+    pub class: String,
+    pub receivers: Vec<String>,
+    /// Fully-qualified helpers whose *call* acquires the class for the
+    /// rest of the calling function (conservative extent).
+    pub acquire_fns: Vec<String>,
+    /// Restrict receiver matching to one crate; empty matches any.
+    pub crate_scope: String,
+    /// Reentrant classes may be re-acquired while held.
+    pub reentrant: bool,
+    /// Classes that may be acquired while this one is held — the
+    /// declared partial order, checked strictly against computed edges.
+    pub before: Vec<String>,
+    pub reason: String,
+}
+
+/// The `[locks]` table.
+#[derive(Debug, Default)]
+pub struct LockConfig {
+    /// Crates where an unclassified `.lock()` receiver is a policy
+    /// error rather than a note.
+    pub strict: Vec<String>,
+    /// `.send()` receivers proven to be unbounded channels (their
+    /// sends never block and are exempt from lock-block).
+    pub unbounded_sends: Vec<String>,
+}
+
 /// The parsed policy.
 #[derive(Debug, Default)]
 pub struct Policy {
     pub roots: Vec<RootSpec>,
     pub trust: Vec<TrustSpec>,
+    pub locks: Vec<LockSpec>,
+    pub lock_config: LockConfig,
     /// Method names never resolved against workspace impls (std-common
     /// names like `push`/`get` whose receiver is almost always a std
     /// type; their effects are covered by intrinsic tokens instead).
@@ -42,6 +76,8 @@ enum Section {
     None,
     Root,
     Trust,
+    Lock,
+    Locks,
     Ignore,
 }
 
@@ -86,6 +122,16 @@ fn parse_array(v: &str, line_no: usize) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
+fn parse_bool(v: &str, line_no: usize) -> Result<bool, String> {
+    match v.trim() {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        v => Err(format!(
+            "policy line {line_no}: expected true or false, got `{v}`"
+        )),
+    }
+}
+
 fn parse_facts(items: &[String], line_no: usize) -> Result<Vec<Fact>, String> {
     items
         .iter()
@@ -128,6 +174,15 @@ pub fn parse_policy(text: &str) -> Result<Policy, String> {
                     rules: Vec::new(),
                     reason: String::new(),
                 });
+                continue;
+            }
+            "[[lock]]" => {
+                section = Section::Lock;
+                policy.locks.push(LockSpec::default());
+                continue;
+            }
+            "[locks]" => {
+                section = Section::Locks;
                 continue;
             }
             "[ignore]" => {
@@ -191,6 +246,31 @@ pub fn parse_policy(text: &str) -> Result<Policy, String> {
                     t.reason = parse_string(&value, line_no)?;
                 }
             }
+            (Section::Lock, key) => {
+                let Some(l) = policy.locks.last_mut() else {
+                    continue;
+                };
+                match key {
+                    "class" => l.class = parse_string(&value, line_no)?,
+                    "receivers" => l.receivers = parse_array(&value, line_no)?,
+                    "acquire_fns" => l.acquire_fns = parse_array(&value, line_no)?,
+                    "crate" => l.crate_scope = parse_string(&value, line_no)?,
+                    "reentrant" => l.reentrant = parse_bool(&value, line_no)?,
+                    "before" => l.before = parse_array(&value, line_no)?,
+                    "reason" => l.reason = parse_string(&value, line_no)?,
+                    _ => {
+                        return Err(format!(
+                            "policy line {line_no}: key `{key}` not valid in [[lock]]"
+                        ));
+                    }
+                }
+            }
+            (Section::Locks, "strict") => {
+                policy.lock_config.strict = parse_array(&value, line_no)?;
+            }
+            (Section::Locks, "unbounded_sends") => {
+                policy.lock_config.unbounded_sends = parse_array(&value, line_no)?;
+            }
             (Section::Ignore, "methods") => {
                 policy.ignore_methods = parse_array(&value, line_no)?;
             }
@@ -224,5 +304,80 @@ pub fn parse_policy(text: &str) -> Result<Policy, String> {
             return Err(format!("policy trust `{}` must name a reason", t.func));
         }
     }
+    for (i, l) in policy.locks.iter().enumerate() {
+        if l.class.is_empty() {
+            return Err("every [[lock]] entry must name a class".into());
+        }
+        if l.receivers.is_empty() && l.acquire_fns.is_empty() {
+            return Err(format!(
+                "policy lock class `{}` needs `receivers` or `acquire_fns`",
+                l.class
+            ));
+        }
+        if l.reason.is_empty() {
+            return Err(format!(
+                "policy lock class `{}` must name a reason",
+                l.class
+            ));
+        }
+        if policy.locks[..i].iter().any(|p| p.class == l.class) {
+            return Err(format!("policy lock class `{}` is declared twice", l.class));
+        }
+        for b in &l.before {
+            if !policy.locks.iter().any(|p| &p.class == b) {
+                return Err(format!(
+                    "policy lock class `{}` is ordered before unknown class `{}`",
+                    l.class, b
+                ));
+            }
+        }
+    }
+    if let Some(cycle) = declared_order_cycle(&policy.locks) {
+        return Err(format!(
+            "policy declared lock order is cyclic: {cycle} — a cyclic `before` relation can prove nothing"
+        ));
+    }
     Ok(policy)
+}
+
+/// DFS over the declared `before` edges; returns a rendered cycle when
+/// the declared order is not a partial order.
+fn declared_order_cycle(locks: &[LockSpec]) -> Option<String> {
+    fn dfs(i: usize, locks: &[LockSpec], state: &mut [u8], path: &mut Vec<usize>) -> Option<usize> {
+        state[i] = 1;
+        path.push(i);
+        for b in &locks[i].before {
+            let Some(j) = locks.iter().position(|l| &l.class == b) else {
+                continue;
+            };
+            match state[j] {
+                1 => return Some(j),
+                0 => {
+                    if let Some(c) = dfs(j, locks, state, path) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        state[i] = 2;
+        path.pop();
+        None
+    }
+    let mut state = vec![0u8; locks.len()];
+    for i in 0..locks.len() {
+        if state[i] == 0 {
+            let mut path = Vec::new();
+            if let Some(entry) = dfs(i, locks, &mut state, &mut path) {
+                let pos = path.iter().position(|&p| p == entry).unwrap_or(0);
+                let mut names: Vec<&str> = path[pos..]
+                    .iter()
+                    .map(|&p| locks[p].class.as_str())
+                    .collect();
+                names.push(locks[entry].class.as_str());
+                return Some(names.join(" → "));
+            }
+        }
+    }
+    None
 }

@@ -155,6 +155,96 @@ pub fn render_json(analysis: &Analysis, policy: &Policy, results: &PolicyResults
         .collect();
     out.push_str(&ambs.join(",\n"));
     out.push_str("\n  ],\n");
+    // The deadlock report: lock classes, computed order edges with
+    // witnesses, declared order, and every lock violation.
+    out.push_str("  \"locks\": {\n");
+    out.push_str("    \"classes\": [\n");
+    let classes: Vec<String> = policy
+        .locks
+        .iter()
+        .map(|l| {
+            format!(
+                "      {{\"class\": \"{}\", \"receivers\": {}, \"acquire_fns\": {}, \"crate\": \"{}\", \"reentrant\": {}, \"before\": {}, \"reason\": \"{}\"}}",
+                esc(&l.class),
+                str_array(l.receivers.iter().cloned()),
+                str_array(l.acquire_fns.iter().cloned()),
+                esc(&l.crate_scope),
+                l.reentrant,
+                str_array(l.before.iter().cloned()),
+                esc(&l.reason)
+            )
+        })
+        .collect();
+    out.push_str(&classes.join(",\n"));
+    out.push_str("\n    ],\n");
+    out.push_str(&format!(
+        "    \"classified_sites\": {},\n",
+        results.lock.classified_sites
+    ));
+    out.push_str(&format!(
+        "    \"unclassified\": {},\n",
+        str_array(results.lock.unclassified.iter().cloned())
+    ));
+    out.push_str("    \"edges\": [\n");
+    let lock_edges: Vec<String> = results
+        .lock
+        .edges
+        .iter()
+        .map(|e| {
+            let holder = &analysis.fns[e.holder];
+            let hops: Vec<String> = e
+                .hops
+                .iter()
+                .map(|&(f, line)| {
+                    format!(
+                        "{{\"fn\": \"{}\", \"call_line\": {}}}",
+                        esc(&analysis.fns[f].id),
+                        line
+                    )
+                })
+                .collect();
+            format!(
+                "      {{\"from\": \"{}\", \"to\": \"{}\", \"holder\": \"{}\", \"file\": \"{}\", \"hold_line\": {}, \"acquire_line\": {}, \"hops\": [{}]}}",
+                esc(&results.lock.class_names[e.from]),
+                esc(&results.lock.class_names[e.to]),
+                esc(&holder.id),
+                esc(&holder.file),
+                e.hold_line,
+                e.acquire_line,
+                hops.join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&lock_edges.join(",\n"));
+    out.push_str("\n    ],\n");
+    out.push_str(&format!(
+        "    \"declared_order\": [{}],\n",
+        results
+            .lock
+            .declared
+            .iter()
+            .map(|(a, b)| format!("[\"{}\", \"{}\"]", esc(a), esc(b)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("    \"acyclic\": {},\n", results.lock.acyclic()));
+    out.push_str("    \"violations\": [\n");
+    let lock_violations: Vec<String> = results
+        .lock
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "      {{\"kind\": \"{}\", \"classes\": {}, \"detail\": \"{}\"}}",
+                v.kind,
+                str_array(v.classes.iter().cloned()),
+                esc(&v.detail)
+            )
+        })
+        .collect();
+    out.push_str(&lock_violations.join(",\n"));
+    out.push_str("\n    ]\n");
+    out.push_str("  },\n");
     out.push_str(&format!(
         "  \"errors\": {}\n",
         str_array(results.errors.iter().cloned())

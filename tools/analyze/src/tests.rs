@@ -436,6 +436,280 @@ fn self_test_finds_the_planted_violation() {
     assert!(evidence.contains("fix_core"));
 }
 
+// --- the lock-order & blocking-discipline pass -----------------------------
+
+#[test]
+fn lock_policy_round_trips() {
+    let p = parse_policy(
+        "[[lock]]\n\
+         class = \"outer\"\n\
+         receivers = [\"queue\", \"jobs\"]\n\
+         acquire_fns = [\"a::lock_queue\"]\n\
+         crate = \"a\"\n\
+         reentrant = false\n\
+         before = [\"inner\"]\n\
+         reason = \"queue is the outer lock\"\n\
+         \n\
+         [[lock]]\n\
+         class = \"inner\"\n\
+         receivers = [\"slots\"]\n\
+         reason = \"leaf\"\n\
+         \n\
+         [locks]\n\
+         strict = [\"a\"]\n\
+         unbounded_sends = [\"event_tx\"]\n",
+    )
+    .expect("lock policy parses");
+    assert_eq!(p.locks.len(), 2);
+    assert_eq!(p.locks[0].class, "outer");
+    assert_eq!(p.locks[0].receivers, vec!["queue", "jobs"]);
+    assert_eq!(p.locks[0].acquire_fns, vec!["a::lock_queue"]);
+    assert_eq!(p.locks[0].crate_scope, "a");
+    assert_eq!(p.locks[0].before, vec!["inner"]);
+    assert!(!p.locks[0].reentrant);
+    assert_eq!(p.lock_config.strict, vec!["a"]);
+    assert_eq!(p.lock_config.unbounded_sends, vec!["event_tx"]);
+}
+
+#[test]
+fn lock_policy_rejects_malformed_entries() {
+    // No class name.
+    assert!(parse_policy("[[lock]]\nreceivers = [\"q\"]\nreason = \"r\"\n").is_err());
+    // Neither receivers nor acquire_fns.
+    assert!(parse_policy("[[lock]]\nclass = \"a\"\nreason = \"r\"\n").is_err());
+    // No reason.
+    assert!(parse_policy("[[lock]]\nclass = \"a\"\nreceivers = [\"q\"]\n").is_err());
+    // Duplicate class.
+    assert!(parse_policy(
+        "[[lock]]\nclass = \"a\"\nreceivers = [\"q\"]\nreason = \"r\"\n\
+         [[lock]]\nclass = \"a\"\nreceivers = [\"p\"]\nreason = \"r\"\n"
+    )
+    .is_err());
+    // `before` naming an unknown class.
+    assert!(parse_policy(
+        "[[lock]]\nclass = \"a\"\nreceivers = [\"q\"]\nbefore = [\"ghost\"]\nreason = \"r\"\n"
+    )
+    .is_err());
+    // Non-boolean reentrant and an unknown key.
+    assert!(parse_policy(
+        "[[lock]]\nclass = \"a\"\nreceivers = [\"q\"]\nreentrant = \"yes\"\nreason = \"r\"\n"
+    )
+    .is_err());
+    assert!(parse_policy("[[lock]]\nclass = \"a\"\nfrequency = \"2.282 GHz\"\n").is_err());
+}
+
+#[test]
+fn cyclic_declared_order_is_a_policy_error() {
+    let err = parse_policy(
+        "[[lock]]\nclass = \"a\"\nreceivers = [\"qa\"]\nbefore = [\"b\"]\nreason = \"r\"\n\
+         [[lock]]\nclass = \"b\"\nreceivers = [\"qb\"]\nbefore = [\"c\"]\nreason = \"r\"\n\
+         [[lock]]\nclass = \"c\"\nreceivers = [\"qc\"]\nbefore = [\"a\"]\nreason = \"r\"\n",
+    )
+    .expect_err("a cyclic declared order must be rejected");
+    assert!(err.contains("cyclic"), "err: {err}");
+    assert!(
+        err.contains("a → b → c → a") || err.contains("b → c → a → b"),
+        "err: {err}"
+    );
+}
+
+#[test]
+fn reasonless_lock_order_waivers_are_policy_errors() {
+    let src = "use std::sync::Mutex;\n\
+               pub fn go(q: &Mutex<u32>, p: &Mutex<u32>) {\n\
+                   let _a = q.lock().unwrap();\n\
+                   // analyze: allow(lock-order)\n\
+                   let _b = p.lock().unwrap();\n\
+               }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let policy = Policy::default();
+    let results = check_policy(&mut a, &policy);
+    assert!(
+        results.errors.iter().any(|e| e.contains("no reason")),
+        "errors: {:?}",
+        results.errors
+    );
+}
+
+/// The defect shape this PR fixed in `magnon_net`: joining a thread
+/// while the registry guard is held. The old accept-loop shape must be
+/// flagged as lock-block; the fixed shape (collect under the guard,
+/// join after the block closes) must be clean.
+#[test]
+fn join_under_registry_lock_is_flagged_and_the_fixed_shape_is_clean() {
+    let lock_policy = "[[lock]]\n\
+                       class = \"registry\"\n\
+                       receivers = [\"connections\"]\n\
+                       reason = \"test registry\"\n";
+    let old_shape = "use std::sync::Mutex;\n\
+                     pub fn accept_loop(connections: &Mutex<Vec<u32>>) {\n\
+                         let mut registry = connections.lock().unwrap();\n\
+                         if let Some(h) = registry.pop() {\n\
+                             join_one(h);\n\
+                         }\n\
+                     }\n\
+                     fn join_one(_h: u32) { std::thread::park(); }\n";
+    let mut a = analyze_sources(&one_crate(old_shape), &[]);
+    let policy = parse_policy(lock_policy).expect("parses");
+    let results = check_policy(&mut a, &policy);
+    let blocked: Vec<_> = results
+        .lock
+        .violations
+        .iter()
+        .filter(|v| v.kind == "lock-block")
+        .collect();
+    assert_eq!(blocked.len(), 1, "one blocking-under-lock path");
+    assert!(
+        blocked[0].detail.contains("join_one") && blocked[0].detail.contains("park"),
+        "the chain names the hop and the blocking site: {}",
+        blocked[0].detail
+    );
+    assert!(!results.clean());
+
+    let fixed_shape = "use std::sync::Mutex;\n\
+                       pub fn accept_loop(connections: &Mutex<Vec<u32>>) {\n\
+                           let finished = {\n\
+                               let mut registry = connections.lock().unwrap();\n\
+                               registry.pop()\n\
+                           };\n\
+                           if let Some(h) = finished {\n\
+                               join_one(h);\n\
+                           }\n\
+                       }\n\
+                       fn join_one(_h: u32) { std::thread::park(); }\n";
+    let mut a = analyze_sources(&one_crate(fixed_shape), &[]);
+    let results = check_policy(&mut a, &policy);
+    assert!(
+        results.lock.violations.is_empty(),
+        "joining after the guard block closes is clean: {:?}",
+        results
+            .lock
+            .violations
+            .iter()
+            .map(|v| (v.kind, v.detail.clone()))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Expression-temporary guards die on their own line: blocking on the
+/// next line is *not* under the lock.
+#[test]
+fn temporary_guards_do_not_cover_following_lines() {
+    let src = "use std::sync::Mutex;\n\
+               pub fn tick(connections: &Mutex<Vec<u32>>) {\n\
+                   let n = connections.lock().unwrap().len();\n\
+                   std::thread::park();\n\
+                   let _ = n;\n\
+               }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let policy = parse_policy(
+        "[[lock]]\nclass = \"registry\"\nreceivers = [\"connections\"]\nreason = \"t\"\n",
+    )
+    .expect("parses");
+    let results = check_policy(&mut a, &policy);
+    assert!(
+        results.lock.violations.is_empty(),
+        "violations: {:?}",
+        results
+            .lock
+            .violations
+            .iter()
+            .map(|v| v.kind)
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Nesting against the declared order is order-inversion; nesting with
+/// no declared cover is order-undeclared. Both carry the witness.
+#[test]
+fn order_inversion_and_undeclared_nesting_are_flagged() {
+    let src = "use std::sync::Mutex;\n\
+               pub struct S { queue: Mutex<u32>, slots: Mutex<u32>, aux: Mutex<u32> }\n\
+               impl S {\n\
+                   pub fn inverted(&self) {\n\
+                       let _s = self.slots.lock().unwrap();\n\
+                       let _q = self.queue.lock().unwrap();\n\
+                   }\n\
+                   pub fn undeclared(&self) {\n\
+                       let _q = self.queue.lock().unwrap();\n\
+                       let _x = self.aux.lock().unwrap();\n\
+                   }\n\
+               }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let policy = parse_policy(
+        "[[lock]]\nclass = \"queue\"\nreceivers = [\"queue\"]\nbefore = [\"slots\"]\nreason = \"t\"\n\
+         [[lock]]\nclass = \"slots\"\nreceivers = [\"slots\"]\nreason = \"t\"\n\
+         [[lock]]\nclass = \"aux\"\nreceivers = [\"aux\"]\nreason = \"t\"\n",
+    )
+    .expect("parses");
+    let results = check_policy(&mut a, &policy);
+    let kinds: Vec<&str> = results.lock.violations.iter().map(|v| v.kind).collect();
+    assert!(kinds.contains(&"order-inversion"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"order-undeclared"), "kinds: {kinds:?}");
+    let inv = results
+        .lock
+        .violations
+        .iter()
+        .find(|v| v.kind == "order-inversion")
+        .unwrap();
+    assert_eq!(inv.classes, vec!["slots".to_string(), "queue".to_string()]);
+    assert!(inv.detail.contains("inverted"), "detail: {}", inv.detail);
+}
+
+/// Strict crates turn unmatched receivers into hard errors; non-strict
+/// crates record them as notes.
+#[test]
+fn strict_crates_reject_unclassified_receivers() {
+    let src = "use std::sync::Mutex;\n\
+               pub fn f(mystery: &Mutex<u32>) { let _g = mystery.lock().unwrap(); }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let strict = parse_policy(
+        "[[lock]]\nclass = \"known\"\nreceivers = [\"other\"]\nreason = \"t\"\n\
+         [locks]\nstrict = [\"tcrate\"]\n",
+    )
+    .expect("parses");
+    let results = check_policy(&mut a, &strict);
+    assert!(
+        results.errors.iter().any(|e| e.contains("mystery")),
+        "errors: {:?}",
+        results.errors
+    );
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let lax =
+        parse_policy("[[lock]]\nclass = \"known\"\nreceivers = [\"other\"]\nreason = \"t\"\n")
+            .expect("parses");
+    let results = check_policy(&mut a, &lax);
+    assert!(results.errors.is_empty());
+    assert_eq!(results.lock.unclassified.len(), 1);
+}
+
+/// The computed lock graph reaches the JSON deadlock report with its
+/// witness edges and violations.
+#[test]
+fn lock_edges_and_violations_reach_the_json_report() {
+    let src = "use std::sync::Mutex;\n\
+               pub struct S { queue: Mutex<u32>, slots: Mutex<u32> }\n\
+               impl S {\n\
+                   pub fn nested(&self) {\n\
+                       let _q = self.queue.lock().unwrap();\n\
+                       let _s = self.slots.lock().unwrap();\n\
+                   }\n\
+               }\n";
+    let mut a = analyze_sources(&one_crate(src), &[]);
+    let policy = parse_policy(
+        "[[lock]]\nclass = \"queue\"\nreceivers = [\"queue\"]\nreason = \"t\"\n\
+         [[lock]]\nclass = \"slots\"\nreceivers = [\"slots\"]\nreason = \"t\"\n",
+    )
+    .expect("parses");
+    let results = check_policy(&mut a, &policy);
+    let json = report::render_json(&a, &policy, &results);
+    assert!(json.contains("\"locks\""));
+    assert!(json.contains("\"from\": \"queue\""));
+    assert!(json.contains("\"to\": \"slots\""));
+    assert!(json.contains("order-undeclared"));
+    assert!(json.contains("\"acyclic\": true"));
+}
+
 /// The whole point: the real workspace, under the real policy, is
 /// clean. Any future PR that adds a transitive panic/alloc/block to a
 /// protected root fails here before CI even runs the binary.
@@ -465,8 +739,20 @@ fn workspace_is_clean_under_the_checked_in_policy() {
             ));
         }
     }
+    for v in &results.lock.violations {
+        rendered.push_str(&format!(
+            "LOCK VIOLATION [{}] {}\n{}",
+            v.kind,
+            v.classes.join(" → "),
+            v.detail
+        ));
+    }
     assert!(
         results.clean(),
         "workspace must be analyzer-clean under analysis-policy.toml:\n{rendered}"
+    );
+    assert!(
+        results.lock.acyclic() && results.lock.classified_sites > 0,
+        "the checked-in [[lock]] classes must classify the workspace's sites"
     );
 }

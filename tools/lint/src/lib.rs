@@ -503,12 +503,109 @@ fn rationale_nearby(lines: &[LineViews], idx: usize, window: usize, marker: &str
         .any(|l| l.comment.contains(marker))
 }
 
+/// Whether a fully-expanded `use` group path hits the façade ban list.
+/// `::self` re-imports the module itself; a trailing `::` is an open
+/// prefix whose items are judged individually.
+fn banned_group_path(path: &str) -> bool {
+    let p = path.strip_suffix("::self").unwrap_or(path);
+    let p = p.trim_end_matches(':');
+    ["std::sync", "std::thread", "std::time::Instant"]
+        .iter()
+        .any(|b| p == *b || (p.starts_with(b) && p[b.len()..].starts_with("::")))
+}
+
+/// Lines (0-based) where a brace-grouped `use std::…{…}` import pulls
+/// in a banned façade path. Grouped forms — `use std::{thread, io}`,
+/// `use std::time::{Duration, Instant}` — evade the plain
+/// [`STD_SYNC_TOKENS`] scan because the banned path never appears
+/// contiguously; this pass expands group prefixes (nested groups and
+/// `as` renames included) across line boundaries and flags the line
+/// each offending leaf lands on.
+pub fn grouped_std_import_lines(lines: &[LineViews]) -> Vec<usize> {
+    let mut flagged: Vec<usize> = Vec::new();
+    let mut in_item = false;
+    let mut stack: Vec<String> = Vec::new();
+    let mut seg = String::new();
+    let mut alias_skip = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let mut code: &str = &line.code;
+        'line: loop {
+            if !in_item {
+                let Some(pos) = code.find("use std::") else {
+                    break 'line;
+                };
+                let boundary = code[..pos]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|c| !is_ident_char(c));
+                code = &code[pos + "use std::".len()..];
+                if boundary {
+                    in_item = true;
+                    stack.clear();
+                    seg = String::from("std::");
+                    alias_skip = false;
+                }
+                continue 'line;
+            }
+            let mut resume: Option<usize> = None;
+            for (ci, ch) in code.char_indices() {
+                match ch {
+                    '{' => {
+                        stack.push(seg.clone());
+                        alias_skip = false;
+                    }
+                    '}' | ',' | ';' => {
+                        if !stack.is_empty() && banned_group_path(&seg) {
+                            flagged.push(idx);
+                        }
+                        alias_skip = false;
+                        match ch {
+                            '}' => seg = stack.pop().unwrap_or_else(|| String::from("std::")),
+                            ',' => {
+                                seg = stack
+                                    .last()
+                                    .cloned()
+                                    .unwrap_or_else(|| String::from("std::"))
+                            }
+                            _ => {
+                                in_item = false;
+                                resume = Some(ci + 1);
+                            }
+                        }
+                        if resume.is_some() {
+                            break;
+                        }
+                    }
+                    c if (is_ident_char(c) || c == ':') && !alias_skip => seg.push(c),
+                    c if c.is_whitespace()
+                        && seg.chars().next_back().is_some_and(is_ident_char) =>
+                    {
+                        alias_skip = true;
+                    }
+                    _ => {}
+                }
+            }
+            match resume {
+                Some(r) => code = &code[r..],
+                None => break 'line,
+            }
+        }
+    }
+    flagged.dedup();
+    flagged
+}
+
 /// Lints one file's source. `rel` is the workspace-relative path with
 /// forward slashes (it selects the scoped rules).
 pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     let class = classify(rel);
     let lines = split_views(source);
     let test_mask = cfg_test_mask(&lines);
+    let grouped_std = if class.facade {
+        grouped_std_import_lines(&lines)
+    } else {
+        Vec::new()
+    };
     let raw_lines: Vec<&str> = source.lines().collect();
     let mut findings = Vec::new();
     let report = |idx: usize, rule: Rule, findings: &mut Vec<Finding>| {
@@ -549,7 +646,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                 report(idx, Rule::DrainPathPanic, &mut findings);
             }
         }
-        if class.facade && STD_SYNC_TOKENS.iter().any(|t| code.contains(t)) {
+        if class.facade
+            && (STD_SYNC_TOKENS.iter().any(|t| code.contains(t)) || grouped_std.contains(&idx))
+        {
             report(idx, Rule::StdSyncImport, &mut findings);
         }
     }
@@ -777,6 +876,39 @@ mod tests {
         let waived = "// lint: allow(std-sync-import) — controller lock must not be modeled\n\
                       use std::sync::Mutex;";
         assert!(lint_source("crates/check/src/harness.rs", waived).is_empty());
+    }
+
+    /// Grouped imports must not evade the façade rule: `std::{thread}`
+    /// and `std::time::{…, Instant}` never spell the banned path
+    /// contiguously, so the expansion pass catches them.
+    #[test]
+    fn facade_rule_catches_grouped_std_imports() {
+        for (src, what) in [
+            ("use std::{thread, io};", "std::{thread}"),
+            ("use std::time::{Duration, Instant};", "grouped Instant"),
+            ("use std::{sync::Arc, fmt};", "nested sync path"),
+            ("use std::{io,\n    thread,\n};", "multi-line group"),
+            ("use std::time::{Instant as Clock};", "renamed Instant"),
+            ("use std::thread::{self};", "self re-import"),
+        ] {
+            let findings = lint_source("crates/net/src/server.rs", src);
+            assert!(
+                findings.iter().any(|f| f.rule == Rule::StdSyncImport),
+                "must flag {what}: {src}"
+            );
+        }
+        // Groups that never touch a banned path stay clean, as does the
+        // same import outside a façade crate.
+        assert!(lint_source(
+            "crates/net/src/server.rs",
+            "use std::time::{Duration};\nuse std::{fmt, io};"
+        )
+        .is_empty());
+        assert!(lint_source("crates/math/src/fft.rs", "use std::{thread, io};").is_empty());
+        // Waivers work on the grouped form too.
+        let waived = "// lint: allow(std-sync-import) — test fixture needs a raw thread\n\
+                      use std::{thread, io};";
+        assert!(lint_source("crates/net/src/server.rs", waived).is_empty());
     }
 
     #[test]
